@@ -1,0 +1,124 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+Each ablation flips one architectural decision of the paper's design
+and measures the consequence:
+
+* scoreboard column ordering (hazard-aware vs natural): the stall cost
+  of naive sequencing in the pipelined design;
+* min-array forwarding (mid-pipe handoff vs full drain): the latency
+  contribution of the core1 -> core2 handoff;
+* Q FIFO sizing: peak occupancy vs the paper's decoupling capacity;
+* check-message scaling (0.75 vs 1.0): the error-rate reason Algorithm
+  1 scales at all.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import publish
+from repro.arch import ArchConfig, TwoLayerPipelinedArch
+from repro.codes import wimax_code
+from repro.decoder import LayeredMinSumDecoder
+from repro.eval.ber import run_ber
+from repro.eval.designs import reference_frame
+from repro.utils.tables import render_table
+
+
+def _pipelined(code, **overrides):
+    overrides.setdefault("early_termination", False)
+    overrides.setdefault("handoff_depth", 3)
+    return TwoLayerPipelinedArch(
+        ArchConfig(code, core1_depth=5, core2_depth=2, **overrides)
+    )
+
+
+def test_ablation_column_ordering(benchmark):
+    code = wimax_code("1/2", 2304)
+    llrs = np.asarray(reference_frame(code))
+
+    def run():
+        rows = []
+        for order in ("natural", "hazard-aware"):
+            result = _pipelined(code, column_order=order).decode(llrs)
+            rows.append(
+                [order, f"{result.cycles / 10:.1f}",
+                 result.trace.stall_cycles // 10]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = render_table(
+        ["column order", "cycles/iter", "stalls/iter"],
+        rows,
+        title="Ablation — scoreboard stall cost of column ordering",
+    )
+    publish("ABL_column_ordering", report, benchmark)
+    natural, aware = rows
+    assert float(aware[1]) <= float(natural[1])
+
+
+def test_ablation_handoff_forwarding(benchmark):
+    code = wimax_code("1/2", 2304)
+    llrs = np.asarray(reference_frame(code))
+
+    def run():
+        rows = []
+        for label, handoff in (("full drain", 5), ("mid-pipe forward", 3)):
+            result = _pipelined(code, handoff_depth=handoff).decode(llrs)
+            rows.append([label, handoff, f"{result.cycles / 10:.1f}"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = render_table(
+        ["handoff", "cycles", "cycles/iter"],
+        rows,
+        title="Ablation — min-array handoff depth (core1 -> core2)",
+    )
+    publish("ABL_handoff", report, benchmark)
+    assert float(rows[1][2]) <= float(rows[0][2])
+
+
+def test_ablation_fifo_occupancy(benchmark):
+    code = wimax_code("1/2", 2304)
+    llrs = np.asarray(reference_frame(code))
+
+    def run():
+        arch = _pipelined(code)
+        arch.decode(llrs)
+        return arch.q_fifo.peak_occupancy, arch.config.fifo_capacity
+
+    peak, capacity = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = render_table(
+        ["Q FIFO capacity (words)", "peak occupancy"],
+        [[capacity, peak]],
+        title="Ablation — Q FIFO sizing (paper: decouples one layer)",
+    )
+    publish("ABL_fifo", report, benchmark)
+    assert peak <= capacity
+
+
+def test_ablation_scaling_factor(benchmark):
+    """Why Algorithm 1 multiplies by 0.75: plain min-sum is worse."""
+    code = wimax_code("1/2", 576)
+
+    def run():
+        rows = []
+        for factor in (1.0, 0.75, 0.5):
+            decoder = LayeredMinSumDecoder(
+                code, max_iterations=8, scaling_factor=factor
+            )
+            (point,) = run_ber(
+                code, decoder.decode, [2.6], max_frames=120,
+                min_frame_errors=200, seed=11,
+            )
+            rows.append([factor, f"{point.fer:.3f}", f"{point.ber:.2e}"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = render_table(
+        ["scaling factor", "FER @2.6dB", "BER @2.6dB"],
+        rows,
+        title="Ablation — check-message scaling (paper uses 0.75)",
+    )
+    publish("ABL_scaling", report, benchmark)
+    fer = {float(r[0]): float(r[1]) for r in rows}
+    assert fer[0.75] <= fer[1.0]

@@ -1,0 +1,80 @@
+"""EXP-ALG1 — Algorithm 1 software performance and error correction.
+
+Not a paper table, but the substrate behind every one of them: the
+vectorized layered scaled-min-sum decoder's software throughput and a
+spot check of its error-correction behaviour (the "excellent error
+correction performance" the introduction leans on).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import publish
+from repro.channel import AwgnChannel
+from repro.codes import wimax_code
+from repro.decoder import FloodingDecoder, LayeredMinSumDecoder
+from repro.encoder import RuEncoder
+from repro.eval.ber import run_ber
+from repro.utils.tables import render_table
+
+
+def _frame(code, ebno_db, seed):
+    rng = np.random.default_rng(seed)
+    enc = RuEncoder(code)
+    cw = enc.encode(rng.integers(0, 2, enc.k).astype(np.uint8))
+    return AwgnChannel.from_ebno(ebno_db, code.rate, seed=rng).llrs(cw)
+
+
+def test_layered_float_decode_2304(benchmark):
+    code = wimax_code("1/2", 2304)
+    llrs = _frame(code, 2.5, 1)
+    decoder = LayeredMinSumDecoder(code, max_iterations=10)
+    result = benchmark(decoder.decode, llrs)
+    assert result.converged
+
+
+def test_layered_fixed_decode_2304(benchmark):
+    code = wimax_code("1/2", 2304)
+    llrs = _frame(code, 2.5, 2)
+    decoder = LayeredMinSumDecoder(code, max_iterations=10, fixed=True)
+    result = benchmark(decoder.decode, llrs)
+    assert result.bits.shape == (2304,)
+
+
+def test_flooding_decode_2304(benchmark):
+    code = wimax_code("1/2", 2304)
+    llrs = _frame(code, 2.5, 3)
+    decoder = FloodingDecoder(code, max_iterations=20, check_rule="min-sum",
+                              scaling_factor=0.75)
+    result = benchmark(decoder.decode, llrs)
+    assert result.bits.shape == (2304,)
+
+
+def test_ber_spot_check(benchmark):
+    """BER waterfall sanity: error rate collapses across 2 dB."""
+    code = wimax_code("1/2", 576)
+    decoder = LayeredMinSumDecoder(code, max_iterations=10)
+
+    def sweep():
+        return run_ber(
+            code,
+            decoder.decode,
+            [1.0, 2.0, 3.0],
+            max_frames=60,
+            min_frame_errors=60,
+            seed=7,
+        )
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [p.ebno_db, p.frames, f"{p.fer:.3f}", f"{p.ber:.2e}",
+         f"{p.avg_iterations:.1f}"]
+        for p in points
+    ]
+    report = render_table(
+        ["Eb/N0 dB", "frames", "FER", "BER", "avg iters"],
+        rows,
+        title="Algorithm 1 waterfall spot check ((576, 1/2) WiMax, 10 it)",
+    )
+    publish("EXP-ALG1_ber", report, benchmark)
+    assert points[-1].fer < points[0].fer
+    assert points[-1].avg_iterations < points[0].avg_iterations

@@ -1,0 +1,32 @@
+"""EXP-DSE — the full design space of parallel realizations.
+
+The abstract's promise, as one grid: architecture x parallelism x
+target clock, each point carrying throughput, area, and power, with the
+Pareto frontier marked.  Expected shape: the two-layer pipelined
+architecture dominates the frontier at matched parallelism; per-layer
+survives only at the smallest-area corners.
+"""
+
+from benchmarks.conftest import publish
+from repro.eval.design_space import format_design_space, run_design_space
+
+
+def test_design_space_exploration(benchmark):
+    points = benchmark.pedantic(
+        run_design_space,
+        rounds=1,
+        iterations=1,
+        kwargs={"parallelisms": (96, 48, 24), "clocks": (200.0, 400.0)},
+    )
+    publish("EXP-DSE_design_space", format_design_space(points), benchmark)
+
+    by = {(p.architecture, p.parallelism, p.clock_mhz): p for p in points}
+    # Pipelined dominates per-layer at matched (parallelism, clock).
+    for key in ((96, 400.0), (48, 400.0), (24, 400.0)):
+        pipe = by[("pipelined",) + key]
+        per = by[("perlayer",) + key]
+        assert pipe.throughput_mbps > per.throughput_mbps
+    # The frontier exists and the fastest point is on it.
+    assert any(p.pareto for p in points)
+    best = max(points, key=lambda p: p.throughput_mbps)
+    assert best.pareto and best.architecture == "pipelined"

@@ -1,0 +1,38 @@
+"""EXP-F8B — Fig 8(b): standard-cell area vs target clock.
+
+Regenerates the area panel from the compiled netlists.  Paper shape:
+area grows with target clock for both architectures (pipelining
+registers + gate upsizing); the pipelined design is larger (duplicated
+min/pos/sign arrays, Q FIFO, scoreboard); the axis tops out at 0.5 mm^2.
+"""
+
+from benchmarks.conftest import publish
+from repro.eval.fig8 import format_fig8, run_fig8
+from repro.hls import PicoCompiler
+from repro.hls.programs import DecoderProfile, build_pipelined_program
+from repro.utils.tables import render_table
+
+
+def test_fig8b_area_sweep(benchmark):
+    points = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    rows = [
+        [p.architecture, int(p.clock_mhz), f"{p.std_cell_area_mm2:.3f}"]
+        for p in points
+    ]
+    report = render_table(
+        ["architecture", "clock MHz", "std-cell mm^2"],
+        rows,
+        title="Fig 8(b) — std-cell area vs clock (paper axis 0-0.5 mm^2)",
+    )
+    publish("EXP-F8B_fig8b_area", report, benchmark)
+    by = {(p.architecture, p.clock_mhz): p.std_cell_area_mm2 for p in points}
+    assert by[("pipelined", 400.0)] > by[("perlayer", 400.0)]
+    assert by[("pipelined", 400.0)] < 0.5
+
+
+def test_hls_compile_speed_pipelined_400(benchmark):
+    """Wall time of one full HLS compile of the Fig 7 program."""
+    profile = DecoderProfile()
+    program = build_pipelined_program(profile)
+    result = benchmark(PicoCompiler(clock_mhz=400).compile, program)
+    assert result.cycles > 0

@@ -1,0 +1,33 @@
+"""EXP-F8A — Fig 8(a): latency per iteration vs target clock.
+
+Regenerates the latency panel: cycles per decoding iteration of the
+per-layer and two-layer pipelined architectures at 100-400 MHz,
+measured by the cycle-accurate simulators on the shared reference
+frame.  Paper shape: both curves rise with clock; pipelined ~= half the
+per-layer latency; pipelined @ 400 MHz ~= 112 cycles/iteration.
+"""
+
+from benchmarks.conftest import publish
+from repro.eval.designs import design_point
+from repro.eval.fig8 import format_fig8, run_fig8
+
+
+def test_fig8a_latency_sweep(benchmark):
+    points = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    publish("EXP-F8A_fig8a_latency", format_fig8(points), benchmark)
+    by = {(p.architecture, p.clock_mhz): p.cycles_per_iteration for p in points}
+    assert by[("perlayer", 400.0)] > by[("pipelined", 400.0)]
+    assert 85 <= by[("pipelined", 400.0)] <= 140  # paper: ~112
+
+
+def test_pipelined_decode_throughput_400mhz(benchmark):
+    """Single-frame decode wall time of the cycle-accurate simulator."""
+    point = design_point("pipelined", 400.0)
+    result = benchmark(point.decode_reference_frame)
+    assert result.decode.iterations == 10
+
+
+def test_perlayer_decode_throughput_400mhz(benchmark):
+    point = design_point("perlayer", 400.0)
+    result = benchmark(point.decode_reference_frame)
+    assert result.cycles > 0

@@ -1,0 +1,24 @@
+"""EXP-F3 — Fig 3: scalable parallelism via the unroll factor.
+
+Paper claim: the unroll pragma scales the datapath between 96 cores
+(maximum parallelism) and fewer cores at proportionally more cycles,
+so throughput/area can be tailored per application.
+"""
+
+from benchmarks.conftest import publish
+from repro.eval.scalability import format_scalability, run_scalability
+
+
+def test_scalable_parallelism(benchmark):
+    points = benchmark.pedantic(
+        run_scalability, rounds=1, iterations=1, kwargs={"factors": (96, 48, 24)}
+    )
+    publish("EXP-F3_scalability", format_scalability(points), benchmark)
+    full, half, quarter = points
+    # Cycles scale roughly inversely with parallelism ...
+    assert 1.5 <= half.cycles_per_iteration / full.cycles_per_iteration <= 2.4
+    assert 2.8 <= quarter.cycles_per_iteration / full.cycles_per_iteration <= 4.6
+    # ... while area scales down.
+    assert full.std_cell_area_mm2 > half.std_cell_area_mm2 > quarter.std_cell_area_mm2
+    # Throughput ordering follows parallelism.
+    assert full.throughput_mbps > half.throughput_mbps > quarter.throughput_mbps

@@ -1,0 +1,23 @@
+"""EXP-F4F6 — Figs 4/6: schedule timelines and core utilization.
+
+Paper claims: in the per-layer architecture "the core utilization is
+low (about 50%)" — core1 idles while core2 runs and vice versa — and
+the pipelined architecture overlaps them across layers.
+"""
+
+from benchmarks.conftest import publish
+from repro.eval.schedules import format_schedules, run_schedules
+
+
+def test_schedule_utilization(benchmark):
+    result = benchmark.pedantic(run_schedules, rounds=1, iterations=1)
+    publish("EXP-F4F6_schedules", format_schedules(result), benchmark)
+    # Per-layer: cores busy well under full time (paper: ~50%).
+    assert result.perlayer_utilization["core1"] < 0.55
+    assert result.perlayer_utilization["core2"] < 0.55
+    # Pipelined: core1 approaches full utilization.
+    assert result.pipelined_utilization["core1"] > 0.6
+    assert (
+        result.pipelined_utilization["core1"]
+        > result.perlayer_utilization["core1"]
+    )

@@ -1,0 +1,66 @@
+"""Software micro-benchmarks of the hot numpy kernels.
+
+Not a paper artifact — a performance-tracking suite for the library
+itself.  The layered decoder's wall time is dominated by these three
+kernels; regressions here slow every experiment in the repository.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.shifter import BarrelShifter
+from repro.codes import wimax_code
+from repro.decoder.minsum import min1_min2, scale_magnitude_fixed
+from repro.encoder import RuEncoder
+
+
+@pytest.fixture(scope="module")
+def code():
+    return wimax_code("1/2", 2304)
+
+
+def test_min1_min2_kernel(benchmark):
+    rng = np.random.default_rng(0)
+    mags = rng.integers(0, 128, (7, 96)).astype(np.int64)
+    min1, _min2, _pos = benchmark(min1_min2, mags)
+    assert min1.shape == (96,)
+
+
+def test_scale_kernel(benchmark):
+    rng = np.random.default_rng(1)
+    mags = rng.integers(0, 128, (7, 96)).astype(np.int64)
+    scaled = benchmark(scale_magnitude_fixed, mags)
+    assert (scaled <= mags).all()
+
+
+def test_syndrome_kernel(benchmark, code):
+    rng = np.random.default_rng(2)
+    bits = rng.integers(0, 2, code.n).astype(np.uint8)
+    syndrome = benchmark(code.syndrome, bits)
+    assert syndrome.shape == (code.m,)
+
+
+def test_encoder_kernel(benchmark, code):
+    rng = np.random.default_rng(3)
+    encoder = RuEncoder(code)
+    message = rng.integers(0, 2, encoder.k).astype(np.uint8)
+    codeword = benchmark(encoder.encode, message)
+    assert code.is_codeword(codeword)
+
+
+def test_barrel_shifter_kernel(benchmark):
+    shifter = BarrelShifter(96)
+    word = np.arange(96)
+    rotated = benchmark(shifter.rotate, word, 37)
+    assert rotated[0] == 37
+
+
+def test_expanded_h_construction(benchmark):
+    code = wimax_code("1/2", 576)
+
+    def build():
+        # Force a fresh expansion (bypass the cached property).
+        return code.base.expand()
+
+    h = benchmark(build)
+    assert h.shape == (288, 576)

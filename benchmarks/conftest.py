@@ -1,0 +1,22 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one artifact of the paper's evaluation
+section and records the paper-vs-measured comparison: the report text
+is printed (visible with ``pytest -s``), attached to the benchmark's
+``extra_info``, and written to ``benchmarks/reports/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+def publish(name: str, report: str, benchmark=None) -> None:
+    """Print, persist, and attach one experiment report."""
+    print(f"\n{report}\n")
+    REPORTS_DIR.mkdir(exist_ok=True)
+    (REPORTS_DIR / f"{name}.txt").write_text(report + "\n")
+    if benchmark is not None:
+        benchmark.extra_info["report"] = report

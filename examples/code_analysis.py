@@ -1,0 +1,61 @@
+"""Code diagnostics: everything a coding engineer checks before tape-out.
+
+Runs the full structural analysis of the paper's case-study code —
+degree distributions, density, short-cycle census, girth, and the
+asymptotic density-evolution threshold — and exports the matrix in
+alist format for cross-tool verification.
+
+Run:  python examples/code_analysis.py
+"""
+
+from repro.codes import (
+    BecDensityEvolution,
+    count_4_cycles,
+    count_6_cycles,
+    degree_distributions,
+    density,
+    girth,
+    to_alist,
+    wimax_code,
+)
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    code = wimax_code("1/2", 2304)
+    print(f"code: {code.name} — n={code.n}, k={code.k}, z={code.z}, "
+          f"{code.num_layers} layers, {code.num_edges} edges\n")
+
+    dist = degree_distributions(code)
+    rows = [
+        ["variable degrees", dict(sorted(dist.variable_nodes.items()))],
+        ["check degrees", dict(sorted(dist.check_nodes.items()))],
+        ["mean variable degree", f"{dist.mean_variable_degree():.2f}"],
+        ["mean check degree", f"{dist.mean_check_degree():.2f}"],
+        ["density of H", f"{density(code):.4%}"],
+        ["4-cycles (expanded)", count_4_cycles(code.base)],
+        ["6-cycles (expanded)", count_6_cycles(code.base)],
+        ["girth", girth(code.base)],
+    ]
+    print(render_table(["property", "value"], rows, "Structural diagnostics"))
+
+    de = BecDensityEvolution.for_code(code)
+    threshold = de.threshold()
+    print(
+        f"\nBEC density-evolution threshold: {threshold:.4f} "
+        f"(capacity {1 - code.rate:.3f}; "
+        f"{threshold / (1 - code.rate):.1%} of the Shannon limit)"
+    )
+    regular = BecDensityEvolution.regular(3, 6).threshold()
+    print(f"regular (3,6) baseline:          {regular:.4f}")
+
+    alist = to_alist(code)
+    print(
+        f"\nalist export: {len(alist.splitlines())} lines "
+        f"(header: {alist.splitlines()[0]!r}) — "
+        "feed it to aff3ct/GNU Radio to cross-check"
+    )
+
+
+if __name__ == "__main__":
+    main()

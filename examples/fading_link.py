@@ -1,0 +1,101 @@
+"""A realistic wireless link: Rayleigh fading and interleaving.
+
+The paper's decoder lives in a handset, where the channel fades.  This
+example measures the (576, 1/2) WiMax code over four channel
+conditions at equal noise power:
+
+1. AWGN (the lab baseline);
+2. fully interleaved Rayleigh fading (i.i.d. per bit);
+3. block fading, coherence 48 bits, no interleaving;
+4. the same block fading behind a row-column bit interleaver.
+
+Expected reading: fading costs several dB (rows 2-3 fail where AWGN is
+clean), and the explicit interleaver changes little — an LDPC code's
+pseudo-random Tanner graph already spreads any 48-bit fade across many
+parity checks, so unlike convolutional codes it needs no channel
+interleaver.  That robustness is part of why 4G standards paired with
+LDPC in the first place.
+
+Run:  python examples/fading_link.py [--frames N]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.channel import AwgnChannel, BlockInterleaver, RayleighChannel
+from repro.codes import wimax_code
+from repro.decoder import LayeredMinSumDecoder
+from repro.encoder import RuEncoder
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=40)
+    parser.add_argument("--sigma", type=float, default=0.62)
+    args = parser.parse_args()
+
+    code = wimax_code("1/2", 576)
+    encoder = RuEncoder(code)
+    decoder = LayeredMinSumDecoder(code, max_iterations=15)
+    interleaver = BlockInterleaver.for_length(code.n, depth=24)
+    rng = np.random.default_rng(2009)
+
+    def run(label, channel_factory, interleave):
+        failures = 0
+        iterations = []
+        for seed in range(args.frames):
+            message = rng.integers(0, 2, encoder.k).astype(np.uint8)
+            codeword = encoder.encode(message)
+            channel = channel_factory(seed)
+            if interleave:
+                llrs = interleaver.deinterleave(
+                    channel.llrs(interleaver.interleave(codeword))
+                )
+            else:
+                llrs = channel.llrs(codeword)
+            result = decoder.decode(llrs)
+            iterations.append(result.iterations)
+            failures += not (
+                result.converged
+                and np.array_equal(result.bits[: encoder.k], message)
+            )
+        return [
+            label,
+            args.frames,
+            failures,
+            f"{failures / args.frames:.2f}",
+            f"{np.mean(iterations):.1f}",
+        ]
+
+    sigma = args.sigma
+    rows = [
+        run("AWGN", lambda s: AwgnChannel(sigma, seed=5000 + s), False),
+        run(
+            "Rayleigh, i.i.d.",
+            lambda s: RayleighChannel(sigma, coherence=1, seed=6000 + s),
+            False,
+        ),
+        run(
+            "Rayleigh, block 48, no interleaver",
+            lambda s: RayleighChannel(sigma, coherence=48, seed=7000 + s),
+            False,
+        ),
+        run(
+            "Rayleigh, block 48, interleaved",
+            lambda s: RayleighChannel(sigma, coherence=48, seed=7000 + s),
+            True,
+        ),
+    ]
+    print(
+        render_table(
+            ["channel", "frames", "failures", "FER", "avg iters"],
+            rows,
+            title=f"(576, 1/2) WiMax over fading links (sigma = {sigma})",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

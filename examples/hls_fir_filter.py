@@ -1,0 +1,60 @@
+"""The HLS engine as a general tool: synthesize a FIR filter.
+
+The paper's methodology is not decoder-specific — PICO compiles
+"video, audio, imaging, wireless and encryption" kernels.  This example
+pushes an 8-tap FIR filter through the same flow the decoder uses and
+shows the two pragma knobs at work:
+
+* unrolling the tap loop trades multipliers for cycles;
+* pipelining the sample loop reaches II = 1;
+* raising the target clock deepens the pipeline and grows area.
+
+Run:  python examples/hls_fir_filter.py
+"""
+
+from repro.hls import PicoCompiler
+from repro.hls.programs import fir_program
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    samples = 256
+    rows = []
+    for taps in (4, 8, 16):
+        for unroll in (False, True):
+            for clock in (100.0, 400.0):
+                program = fir_program(
+                    taps=taps, samples=samples, unroll_taps=unroll
+                )
+                result = PicoCompiler(clock_mhz=clock).compile(program)
+                area = result.area()
+                pipe_blocks = [b for b in result.blocks if b.pipelined]
+                ii = pipe_blocks[0].schedule.ii if pipe_blocks else "-"
+                rows.append(
+                    [
+                        taps,
+                        "full" if unroll else "none",
+                        int(clock),
+                        result.cycles,
+                        ii,
+                        f"{area.std_cell_ge:.0f}",
+                    ]
+                )
+
+    print(
+        render_table(
+            ["taps", "tap unroll", "clock MHz", "cycles", "II", "area GE"],
+            rows,
+            title=f"FIR filter over {samples} samples through the HLS flow",
+        )
+    )
+    print(
+        "\nReading the table: full tap unrolling buys ~taps-fold fewer"
+        "\ncycles for ~taps-fold more multiplier area; the 400 MHz points"
+        "\npay extra pipeline registers (deeper schedules, more GE) —"
+        "\nthe same trade the decoder architectures make in Fig 8."
+    )
+
+
+if __name__ == "__main__":
+    main()

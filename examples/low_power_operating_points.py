@@ -1,0 +1,81 @@
+"""Find the handset's energy-optimal operating point.
+
+The paper's goal is a *low power* decoder for wireless handsets.  Its
+Table II quotes the peak corner (0.9 V, 400 MHz, 180 mW, 415 Mbps) —
+but a handset rarely needs peak throughput.  This example chains the
+full model stack (HLS compile → area → activity-driven power → DVFS)
+to answer the question an SoC power architect actually asks: *for the
+data rate my modem needs, what voltage/frequency should this block run
+at, and what does a bit cost?*
+
+Run:  python examples/low_power_operating_points.py
+"""
+
+from repro.eval.designs import design_point
+from repro.power import SpyGlassEstimator
+from repro.power.dvfs import DvfsModel
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    # Measure the nominal corner end to end.
+    point = design_point("pipelined", 400.0)
+    run = point.decode_reference_frame()
+    estimator = SpyGlassEstimator()
+    report = estimator.estimate(point.hls, run.trace, point.q_depth_words)
+    peak_mw = estimator.peak_power_mw(point.hls, run.trace, point.q_depth_words)
+    throughput = run.throughput_mbps(point.code.k)
+    print(
+        f"nominal corner: 0.90 V / 400 MHz, {peak_mw:.0f} mW peak, "
+        f"{throughput:.0f} Mbps, "
+        f"{peak_mw * 1e3 / throughput:.0f} pJ/bit\n"
+    )
+
+    model = DvfsModel(
+        nominal_vdd=0.9,
+        nominal_clock_mhz=400.0,
+        dynamic_mw=peak_mw - report.with_gating.leakage_mw,
+        leakage_mw=report.with_gating.leakage_mw,
+        throughput_mbps=throughput,
+    )
+
+    # The voltage-frequency envelope.
+    rows = [
+        [f"{p.vdd:.2f}", f"{p.clock_mhz:.0f}", f"{p.total_mw:.1f}",
+         f"{p.throughput_mbps:.0f}", f"{p.energy_pj_per_bit:.0f}"]
+        for p in model.sweep((0.6, 0.7, 0.8, 0.9, 1.0, 1.1))
+    ]
+    print(
+        render_table(
+            ["Vdd", "fmax MHz", "power mW", "Mbps", "pJ/bit"],
+            rows,
+            title="Voltage-frequency envelope (running at fmax)",
+        )
+    )
+
+    # Energy-optimal points for typical handset service rates.
+    rows = []
+    for service, mbps in (
+        ("VoIP + control", 5.0),
+        ("video call", 25.0),
+        ("HD streaming", 80.0),
+        ("WiMax peak DL", 300.0),
+    ):
+        opt = model.min_energy_point(mbps)
+        rows.append(
+            [service, f"{mbps:.0f}", f"{opt.vdd:.2f}",
+             f"{opt.clock_mhz:.0f}", f"{opt.total_mw:.1f}",
+             f"{opt.energy_pj_per_bit:.0f}"]
+        )
+    print()
+    print(
+        render_table(
+            ["service", "Mbps", "Vdd", "clock MHz", "power mW", "pJ/bit"],
+            rows,
+            title="Minimum-energy operating point per service rate",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: encode, transmit, and decode one WiMax LDPC frame.
+
+This is the 60-second tour of the algorithm substrate: build the
+paper's (2304, rate 1/2) code, encode a random payload, push it through
+a noisy channel, and decode it with Algorithm 1 (layered scaled
+min-sum, 10 iterations, early termination).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import AwgnChannel, LayeredMinSumDecoder, wimax_code
+from repro.encoder import RuEncoder
+
+
+def main() -> None:
+    # The paper's case-study code: length 2304, rate 1/2, z = 96.
+    code = wimax_code("1/2", 2304)
+    print(f"code: {code.name}  n={code.n} k={code.k} layers={code.num_layers}")
+
+    # Encode a random payload with the linear-time dual-diagonal encoder.
+    rng = np.random.default_rng(42)
+    encoder = RuEncoder(code)
+    message = rng.integers(0, 2, encoder.k).astype(np.uint8)
+    codeword = encoder.encode(message)
+    print(f"encoded {encoder.k} payload bits -> {code.n}-bit codeword")
+
+    # BPSK over AWGN at 2.0 dB Eb/N0 (near the waterfall).
+    channel = AwgnChannel.from_ebno(2.0, code.rate, seed=rng)
+    llrs = channel.llrs(codeword)
+    raw_errors = int(np.count_nonzero((llrs < 0) != codeword))
+    print(f"channel put {raw_errors} raw bit errors into the frame")
+
+    # Decode with the paper's Algorithm 1.
+    decoder = LayeredMinSumDecoder(code, max_iterations=10)
+    result = decoder.decode(llrs)
+    residual = int(np.count_nonzero(result.bits[: encoder.k] != message))
+    print(
+        f"decoded in {result.iterations} iterations; "
+        f"converged={result.converged}; payload errors={residual}"
+    )
+
+    # The bit-accurate 8-bit fixed-point decoder (what the chip computes).
+    fixed = LayeredMinSumDecoder(code, max_iterations=10, fixed=True)
+    fixed_result = fixed.decode(llrs)
+    agree = bool(np.array_equal(result.bits, fixed_result.bits))
+    print(
+        f"8-bit fixed-point decoder: {fixed_result.iterations} iterations, "
+        f"same decisions as float: {agree}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro — reproduction of the SOCC 2009 HLS-based LDPC decoder paper.
+
+The package is organized in two halves:
+
+* the *algorithm* substrate: :mod:`repro.codes`, :mod:`repro.encoder`,
+  :mod:`repro.channel`, :mod:`repro.decoder` — a complete QC-LDPC
+  coding system (IEEE 802.16e WiMax and IEEE 802.11n code families,
+  layered scaled min-sum decoding per the paper's Algorithm 1);
+
+* the *hardware design* substrate: :mod:`repro.hls` (a PICO-like
+  high-level-synthesis engine), :mod:`repro.arch` (cycle-accurate
+  models of the paper's two decoder architectures), :mod:`repro.synth`
+  (a 65 nm technology / area / timing model), and :mod:`repro.power`
+  (a SpyGlass-like power estimator).
+
+:mod:`repro.eval` ties both halves together and regenerates every
+table and figure of the paper's evaluation section.
+"""
+
+from repro.codes import QCLDPCCode, wimax_code, wifi_code
+from repro.decoder import DecodeResult, LayeredMinSumDecoder, decode
+from repro.channel import AwgnChannel, llr_from_channel
+from repro.encoder import RuEncoder
+
+__all__ = [
+    "QCLDPCCode",
+    "wimax_code",
+    "wifi_code",
+    "DecodeResult",
+    "LayeredMinSumDecoder",
+    "decode",
+    "AwgnChannel",
+    "llr_from_channel",
+    "RuEncoder",
+    "__version__",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``codes`` — list the supported code families and their parameters;
+* ``demo`` — encode/transmit/decode one frame and print the outcome;
+* ``experiments [IDS...]`` — regenerate paper tables/figures;
+* ``synth`` — compile a decoder program and print the synthesis report;
+* ``verilog`` — compile and emit structural Verilog;
+* ``alist`` — export a code's parity-check matrix in alist format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_code_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--family", choices=("wimax", "wifi"), default="wimax"
+    )
+    parser.add_argument("--rate", default="1/2", help="rate class, e.g. 1/2")
+    parser.add_argument("--length", type=int, default=2304, help="codeword bits")
+
+
+def _build_code(args):
+    from repro.codes import wifi_code, wimax_code
+
+    if args.family == "wimax":
+        return wimax_code(args.rate, args.length)
+    return wifi_code(args.rate, args.length)
+
+
+def cmd_codes(_args) -> int:
+    from repro.codes import WIFI_BLOCK_LENGTHS, WIFI_RATES, WIMAX_RATES, WIMAX_Z_FACTORS
+    from repro.utils.tables import render_table
+
+    rows = [["802.16e (WiMax)", rate, "576-2304 step 96"] for rate in sorted(WIMAX_RATES)]
+    rows += [
+        ["802.11n (WiFi)", rate, "/".join(str(n) for n in sorted(WIFI_BLOCK_LENGTHS))]
+        for rate in sorted(WIFI_RATES)
+    ]
+    print(render_table(["family", "rate", "lengths"], rows, "Supported code families"))
+    print(f"\nWiMax expansion factors: {WIMAX_Z_FACTORS[0]}..{WIMAX_Z_FACTORS[-1]} step 4")
+    return 0
+
+
+def cmd_demo(args) -> int:
+    from repro.channel import AwgnChannel
+    from repro.decoder import LayeredMinSumDecoder
+    from repro.encoder import RuEncoder
+
+    code = _build_code(args)
+    rng = np.random.default_rng(args.seed)
+    encoder = RuEncoder(code)
+    message = rng.integers(0, 2, encoder.k).astype(np.uint8)
+    codeword = encoder.encode(message)
+    llrs = AwgnChannel.from_ebno(args.ebno, code.rate, seed=rng).llrs(codeword)
+    result = LayeredMinSumDecoder(
+        code, max_iterations=args.iterations, fixed=args.fixed
+    ).decode(llrs)
+    errors = int(np.count_nonzero(result.bits[: encoder.k] != message))
+    print(
+        f"{code.name}: Eb/N0={args.ebno} dB -> "
+        f"{'converged' if result.converged else 'FAILED'} in "
+        f"{result.iterations} iterations, payload errors={errors}"
+    )
+    return 0 if result.converged and errors == 0 else 1
+
+
+def cmd_experiments(args) -> int:
+    from repro.eval.__main__ import main as eval_main
+
+    return eval_main(args.ids)
+
+
+def _compile(args):
+    from repro.hls import PicoCompiler
+    from repro.hls.programs import (
+        DecoderProfile,
+        build_perlayer_program,
+        build_pipelined_program,
+    )
+
+    code = _build_code(args)
+    profile = DecoderProfile.from_code(
+        code, r_words=84 if code.z == 96 else None
+    )
+    builder = (
+        build_pipelined_program
+        if args.architecture == "pipelined"
+        else build_perlayer_program
+    )
+    return PicoCompiler(clock_mhz=args.clock).compile(builder(profile))
+
+
+def cmd_synth(args) -> int:
+    from repro.hls.report import synthesis_report
+
+    print(synthesis_report(_compile(args)))
+    return 0
+
+
+def cmd_verilog(args) -> int:
+    from repro.hls.verilog import emit_verilog
+
+    text = emit_verilog(_compile(args))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {len(text.splitlines())} lines to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_alist(args) -> int:
+    from repro.codes.alist import to_alist
+
+    text = to_alist(_build_code(args))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("codes", help="list supported code families")
+
+    demo = sub.add_parser("demo", help="decode one noisy frame")
+    _add_code_args(demo)
+    demo.add_argument("--ebno", type=float, default=2.0)
+    demo.add_argument("--iterations", type=int, default=10)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--fixed", action="store_true", help="8-bit datapath")
+
+    exp = sub.add_parser("experiments", help="regenerate paper artifacts")
+    exp.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+
+    for name, helptext in (
+        ("synth", "print the synthesis report"),
+        ("verilog", "emit structural Verilog"),
+    ):
+        p = sub.add_parser(name, help=helptext)
+        _add_code_args(p)
+        p.add_argument(
+            "--architecture", choices=("perlayer", "pipelined"),
+            default="pipelined",
+        )
+        p.add_argument("--clock", type=float, default=400.0)
+        if name == "verilog":
+            p.add_argument("--output", "-o", default="")
+
+    al = sub.add_parser("alist", help="export H in alist format")
+    _add_code_args(al)
+    al.add_argument("--output", "-o", default="")
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "codes": cmd_codes,
+        "demo": cmd_demo,
+        "experiments": cmd_experiments,
+        "synth": cmd_synth,
+        "verilog": cmd_verilog,
+        "alist": cmd_alist,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Cycle-accurate architectural models of the paper's two decoders.
+
+The decoupling at the heart of this package: the scoreboard guarantees
+that the two-layer pipelined hardware computes *exactly* the values of
+the sequential layered algorithm (core1 never reads a P entry with a
+pending write), so
+
+* *arithmetic* is simulated once, bit-accurately, by
+  :class:`~repro.arch.core.LayerEngine` (shared by both architectures
+  and identical to the fixed-point numpy decoder), while
+* *timing* is simulated per architecture:
+  :class:`~repro.arch.perlayer.PerLayerArch` (Fig 4: core2 waits for
+  core1 each layer) and
+  :class:`~repro.arch.pipelined.TwoLayerPipelinedArch` (Fig 6: core1
+  of layer l+1 overlaps core2 of layer l, with scoreboard stalls and a
+  Q FIFO).
+
+Both produce a :class:`~repro.arch.scheduler_trace.ArchTrace` with
+per-unit busy segments; the power model reads its activity fractions
+and the evaluation harness its cycle counts.
+"""
+
+from repro.arch.config import ArchConfig
+from repro.arch.memory import FifoModel, MemoryStats, RegArrayModel, RomModel, SramModel
+from repro.arch.shifter import BarrelShifter
+from repro.arch.scoreboard import Scoreboard
+from repro.arch.core import LayerEngine, LayerResult
+from repro.arch.scheduler_trace import ArchTrace, Segment
+from repro.arch.perlayer import PerLayerArch
+from repro.arch.pipelined import TwoLayerPipelinedArch
+from repro.arch.result import ArchDecodeResult
+from repro.arch.framestream import FrameStreamModel, StreamReport
+from repro.arch.verify import EquivalenceReport, verify_equivalence
+from repro.arch.vcd import to_vcd, write_vcd
+from repro.arch.reconfig import DecoderCapacity, ReconfigurableDecoder
+
+__all__ = [
+    "ArchConfig",
+    "SramModel",
+    "RomModel",
+    "FifoModel",
+    "RegArrayModel",
+    "MemoryStats",
+    "BarrelShifter",
+    "Scoreboard",
+    "LayerEngine",
+    "LayerResult",
+    "ArchTrace",
+    "Segment",
+    "PerLayerArch",
+    "TwoLayerPipelinedArch",
+    "ArchDecodeResult",
+    "FrameStreamModel",
+    "StreamReport",
+    "EquivalenceReport",
+    "verify_equivalence",
+    "to_vcd",
+    "write_vcd",
+    "DecoderCapacity",
+    "ReconfigurableDecoder",
+]

@@ -1,0 +1,166 @@
+"""Architecture configuration: code, clock, and derived pipeline depths.
+
+The coupling point between the HLS front end and the timing simulators:
+:meth:`ArchConfig.from_hls` compiles the decoder program at the target
+clock and reads the core1/core2 pipeline depths out of the schedule, so
+a faster clock automatically yields deeper cores and longer per-layer
+latency — the Fig 8(a) mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.codes.qc import QCLDPCCode
+from repro.errors import ArchitectureError
+
+_COLUMN_ORDERS = ("natural", "hazard-aware")
+
+
+@dataclass
+class ArchConfig(object):
+    """Parameters shared by both architecture simulators.
+
+    Attributes
+    ----------
+    code:
+        The QC-LDPC code instance to decode.
+    clock_mhz:
+        Target clock (used for throughput/latency conversions).
+    core1_depth / core2_depth:
+        Pipeline depth in cycles of each core (issue to commit).
+    handoff_depth:
+        Cycles from core1's *last column issue* until the min1/min2
+        arrays are final and core2 may start.  Defaults to
+        ``core1_depth`` (wait for full drain — the simple per-layer
+        design).  The pipelined design forwards the arrays from the
+        min-update stage mid-pipe (``ceil(core1_depth / 2)``), which
+        :meth:`from_hls` configures automatically.
+    parallelism:
+        Datapath lanes; must divide z.  ``z`` lanes process a column
+        per cycle; fewer lanes multiply the column pass count.
+    max_iterations:
+        Iteration budget (paper: 10).
+    early_termination:
+        Stop at an iteration boundary once the syndrome is zero.
+    fifo_capacity:
+        Q FIFO depth (pipelined architecture only).
+    column_order:
+        ``"natural"`` processes each layer's columns in matrix order;
+        ``"hazard-aware"`` reorders them to push columns shared with
+        the previous layer towards the end, trimming scoreboard stalls
+        (an optimization ablated in the benchmarks).
+    termination_check_cycles:
+        Extra cycles charged per iteration for the early-termination
+        syndrome check (0 = fully overlapped with the layer pipeline).
+    """
+
+    code: QCLDPCCode
+    clock_mhz: float = 400.0
+    core1_depth: int = 4
+    core2_depth: int = 2
+    handoff_depth: Optional[int] = None
+    parallelism: Optional[int] = None
+    max_iterations: int = 10
+    early_termination: bool = True
+    fifo_capacity: Optional[int] = None
+    column_order: str = "natural"
+    termination_check_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.core1_depth < 1 or self.core2_depth < 1:
+            raise ArchitectureError("core depths must be >= 1")
+        if self.handoff_depth is None:
+            self.handoff_depth = self.core1_depth
+        if not 1 <= self.handoff_depth <= self.core1_depth:
+            raise ArchitectureError(
+                f"handoff_depth {self.handoff_depth} must be in "
+                f"[1, core1_depth={self.core1_depth}]"
+            )
+        if self.max_iterations < 1:
+            raise ArchitectureError("max_iterations must be >= 1")
+        if self.column_order not in _COLUMN_ORDERS:
+            raise ArchitectureError(
+                f"column_order must be one of {_COLUMN_ORDERS}"
+            )
+        p = self.parallelism if self.parallelism is not None else self.code.z
+        if p < 1 or self.code.z % p != 0:
+            raise ArchitectureError(
+                f"parallelism {p} must divide z={self.code.z}"
+            )
+        self.parallelism = p
+        if self.fifo_capacity is None:
+            self.fifo_capacity = 2 * self.code.max_layer_degree * self.passes
+        if self.fifo_capacity < self.code.max_layer_degree * self.passes:
+            raise ArchitectureError(
+                "Q FIFO must hold at least one full layer "
+                f"({self.code.max_layer_degree * self.passes} words); "
+                f"got {self.fifo_capacity}"
+            )
+
+    @property
+    def passes(self) -> int:
+        """Sequential passes per column when parallelism < z."""
+        return self.code.z // int(self.parallelism)
+
+    @classmethod
+    def from_hls(
+        cls,
+        code: QCLDPCCode,
+        clock_mhz: float = 400.0,
+        architecture: str = "pipelined",
+        parallelism: Optional[int] = None,
+        **overrides,
+    ) -> "ArchConfig":
+        """Derive pipeline depths by compiling the decoder program.
+
+        Runs the PICO-like compiler on the matching Fig 5 / Fig 7
+        program at ``clock_mhz`` and takes core1/core2 depths from the
+        scheduled block lengths.
+        """
+        # Imported here: repro.hls does not depend on repro.arch, and
+        # this keeps the package import graph acyclic.
+        from repro.hls.compiler import PicoCompiler
+        from repro.hls.programs.decoder import (
+            DecoderProfile,
+            build_perlayer_program,
+            build_pipelined_program,
+        )
+
+        profile = DecoderProfile.from_code(
+            code, r_words=max(code.nnz_blocks, 84 if code.z == 96 else 0) or None
+        )
+        if architecture == "pipelined":
+            program = build_pipelined_program(profile, parallelism)
+        elif architecture == "perlayer":
+            program = build_perlayer_program(profile, parallelism)
+        else:
+            raise ArchitectureError(
+                f"unknown architecture {architecture!r}; "
+                "choose 'perlayer' or 'pipelined'"
+            )
+        result = PicoCompiler(clock_mhz=clock_mhz).compile(program)
+        core1 = result.block(f"{program.name}/it/l/j")
+        core2 = result.block(f"{program.name}/it/l/k")
+        d1 = core1.schedule.length
+        if architecture == "pipelined" and "column_order" not in overrides:
+            # The tool's scheduler orders a layer's columns to minimize
+            # scoreboard waits (shared-with-previous-layer columns go
+            # last); natural order remains available as an ablation.
+            overrides["column_order"] = "hazard-aware"
+        handoff = overrides.pop("handoff_depth", None)
+        if handoff is None:
+            # The pipelined design forwards the min arrays from the
+            # mid-pipe min-update stage; the per-layer design waits for
+            # the full drain.
+            handoff = max(1, -(-d1 // 2)) if architecture == "pipelined" else d1
+        return cls(
+            code=code,
+            clock_mhz=clock_mhz,
+            core1_depth=d1,
+            core2_depth=core2.schedule.length,
+            handoff_depth=handoff,
+            parallelism=parallelism,
+            **overrides,
+        )

@@ -1,0 +1,191 @@
+"""Bit-accurate functional model of the core1/core2 datapaths.
+
+:class:`LayerEngine` executes one layer's arithmetic against the P/R
+memory models, using exactly the fixed-point kernels of
+:mod:`repro.decoder.minsum` (saturating 8-bit two's complement,
+shift-add 0.75 scaler).  Both architecture simulators call it — the
+scoreboard makes the pipelined hardware sequentially equivalent, so one
+functional model serves both (see the package docstring) — and the
+integration tests require its output to match
+:class:`repro.decoder.LayeredMinSumDecoder` in fixed mode bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.memory import RegArrayModel, SramModel
+from repro.arch.shifter import BarrelShifter
+from repro.channel.quantize import MESSAGE_8BIT, FixedPointFormat
+from repro.codes.qc import LayerView, QCLDPCCode
+from repro.decoder.minsum import scale_magnitude_fixed, sign_with_zero_positive
+from repro.errors import ArchitectureError
+
+
+@dataclass
+class LayerResult(object):
+    """Artifacts of one layer pass (for the pipelined Q FIFO and tests)."""
+
+    q_words: List[np.ndarray]
+    min1: np.ndarray
+    min2: np.ndarray
+    pos1: np.ndarray
+    sign: np.ndarray
+
+
+class LayerEngine(object):
+    """Executes core1/core2 arithmetic for one layer at a time.
+
+    Parameters
+    ----------
+    code:
+        The code being decoded (provides layer views and shifts).
+    p_mem / r_mem:
+        SRAM models; P is addressed by block column, R by
+        ``layer_base + block_position``.
+    fmt:
+        Fixed-point message format (the paper's 8-bit default).
+    """
+
+    def __init__(
+        self,
+        code: QCLDPCCode,
+        p_mem: SramModel,
+        r_mem: SramModel,
+        fmt: FixedPointFormat = MESSAGE_8BIT,
+    ) -> None:
+        self.code = code
+        self.p_mem = p_mem
+        self.r_mem = r_mem
+        self.fmt = fmt
+        self.shifter = BarrelShifter(code.z)
+        self.min1 = RegArrayModel("min1_array", code.z)
+        self.min2 = RegArrayModel("min2_array", code.z)
+        self.pos1 = RegArrayModel("pos1_array", code.z)
+        self.sign = RegArrayModel("sign_array", code.z)
+        # R addressing: one word per non-zero block, layer-major.
+        degrees = [layer.degree for layer in code.layers]
+        self.layer_base = np.concatenate([[0], np.cumsum(degrees)[:-1]])
+        if r_mem.words < int(np.sum(degrees)):
+            raise ArchitectureError(
+                f"R memory too small: {r_mem.words} words < {int(np.sum(degrees))}"
+            )
+
+    # ------------------------------------------------------------------
+    # core1: read & pre-process (stage 1 of Algorithm 1)
+    # ------------------------------------------------------------------
+    def run_core1(
+        self, layer_index: int, order: Sequence[int]
+    ) -> LayerResult:
+        """Process a layer's columns through core1 in the given order.
+
+        Returns the Q words (in processing order) plus the final
+        min1/min2/pos1/sign register contents.
+        """
+        code = self.code
+        layer = code.layer(layer_index)
+        base = int(self.layer_base[layer_index])
+        sat_max = self.fmt.max_code
+
+        min1 = np.full(code.z, sat_max + 1, dtype=np.int64)
+        min2 = np.full(code.z, sat_max + 1, dtype=np.int64)
+        pos1 = np.zeros(code.z, dtype=np.int64)
+        sign_acc = np.ones(code.z, dtype=np.int64)
+        q_words: List[np.ndarray] = []
+
+        for k in order:
+            j = int(layer.block_cols[k])
+            s = int(layer.shifts[k])
+            p_word = self.p_mem.read(j)
+            p_rot = self.shifter.rotate(p_word, s)
+            r_word = self.r_mem.read(base + k)
+            q = self.fmt.saturate(p_rot.astype(np.int64) - r_word)
+            q_words.append(q)
+
+            mag = np.abs(q.astype(np.int64))
+            sgn = sign_with_zero_positive(q).astype(np.int64)
+            sign_acc *= sgn
+            better = mag < min1
+            min2 = np.where(better, min1, np.minimum(min2, mag))
+            pos1 = np.where(better, k, pos1)
+            min1 = np.where(better, mag, min1)
+
+        self.min1.write(np.minimum(min1, sat_max).astype(np.int32))
+        self.min2.write(np.minimum(min2, sat_max).astype(np.int32))
+        self.pos1.write(pos1.astype(np.int32))
+        self.sign.write(sign_acc.astype(np.int32))
+        return LayerResult(
+            q_words,
+            self.min1.data.copy(),
+            self.min2.data.copy(),
+            self.pos1.data.copy(),
+            self.sign.data.copy(),
+        )
+
+    # ------------------------------------------------------------------
+    # core2: decode & write back (stage 2 of Algorithm 1)
+    # ------------------------------------------------------------------
+    def run_core2(
+        self, layer_index: int, order: Sequence[int], state: LayerResult
+    ) -> None:
+        """Write back R' and P' for a layer using core1's results."""
+        code = self.code
+        layer = code.layer(layer_index)
+        base = int(self.layer_base[layer_index])
+
+        min1 = state.min1.astype(np.int64)
+        min2 = state.min2.astype(np.int64)
+        pos1 = state.pos1
+        sign_all = state.sign.astype(np.int64)
+
+        for q, k in zip(state.q_words, order):
+            j = int(layer.block_cols[k])
+            s = int(layer.shifts[k])
+            mag = np.where(pos1 == k, min2, min1)
+            sgn_q = sign_with_zero_positive(q).astype(np.int64)
+            r_new = (sign_all * sgn_q) * scale_magnitude_fixed(mag)
+            r_new = self.fmt.saturate(r_new)
+            p_new = self.fmt.saturate(q.astype(np.int64) + r_new)
+            self.r_mem.write(base + k, r_new)
+            self.p_mem.write(j, self.shifter.rotate_back(p_new, s))
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def process_layer(
+        self, layer_index: int, order: Sequence[int]
+    ) -> LayerResult:
+        """core1 followed by core2 (the sequential layer semantics)."""
+        state = self.run_core1(layer_index, order)
+        self.run_core2(layer_index, order, state)
+        return state
+
+    def p_vector(self) -> np.ndarray:
+        """The flat P (a-posteriori) vector in natural variable order."""
+        return self.p_mem.data.reshape(-1).copy()
+
+    def column_order(self, layer_index: int, policy: str) -> List[int]:
+        """Column processing order for a layer under a policy.
+
+        ``"natural"``: matrix order.  ``"hazard-aware"``: columns also
+        present in the *previous* layer go last (read as late as
+        possible, ordered by their write position there), so the
+        pipelined core1 rarely has to wait for core2's write-back.
+        """
+        layer = self.code.layer(layer_index)
+        natural = list(range(layer.degree))
+        if policy == "natural":
+            return natural
+        prev = self.code.layer((layer_index - 1) % self.code.num_layers)
+        prev_pos = {int(c): i for i, c in enumerate(prev.block_cols)}
+        return sorted(
+            natural,
+            key=lambda k: (
+                int(layer.block_cols[k]) in prev_pos,
+                prev_pos.get(int(layer.block_cols[k]), -1),
+                k,
+            ),
+        )

@@ -1,0 +1,136 @@
+"""Frame-streaming operation: sustained throughput with I/O overlap.
+
+Table II's throughput divides one frame's payload by one frame's decode
+latency — valid when frame load/unload overlaps decoding.  A real
+handset modem double-buffers the P memory (ping-pong): while the
+decoder works on frame ``i``, the channel interface writes frame
+``i + 1`` into the shadow bank and reads frame ``i - 1`` out.  The
+decoder then never idles unless a frame's *decode* time exceeds its
+*transfer* time.
+
+:class:`FrameStreamModel` makes that pipeline explicit: given per-frame
+decode cycles (from the cycle-accurate simulators) and an I/O interface
+width, it reports sustained throughput, buffer occupancy, and whether
+the system is decode-bound or I/O-bound — with the doubled P-memory
+cost accounted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ArchitectureError
+
+
+@dataclass
+class StreamReport(object):
+    """Steady-state behaviour of the frame pipeline.
+
+    Attributes
+    ----------
+    frames:
+        Number of frames pushed through.
+    total_cycles:
+        Makespan from first input cycle to last output cycle.
+    sustained_mbps:
+        Payload throughput over the makespan at the model's clock.
+    decode_bound:
+        True when decode time dominates (I/O hides behind decoding).
+    io_cycles_per_frame / avg_decode_cycles:
+        The two sides of the balance.
+    extra_p_memory_bits:
+        Cost of the ping-pong bank (one extra P memory).
+    """
+
+    frames: int
+    total_cycles: int
+    sustained_mbps: float
+    decode_bound: bool
+    io_cycles_per_frame: int
+    avg_decode_cycles: float
+    extra_p_memory_bits: int
+
+
+class FrameStreamModel(object):
+    """Ping-pong double-buffered frame pipeline.
+
+    Parameters
+    ----------
+    n / k:
+        Codeword and payload lengths in bits.
+    clock_mhz:
+        Decoder clock.
+    io_bits_per_cycle:
+        Channel-interface width into the shadow P bank (e.g. one
+        z-lane word of quantized LLRs per cycle = 96 * 8 bits).
+    msg_bits:
+        LLR quantization (transfer volume = n * msg_bits).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        clock_mhz: float,
+        io_bits_per_cycle: int = 768,
+        msg_bits: int = 8,
+    ) -> None:
+        if n < 1 or not 0 < k <= n:
+            raise ArchitectureError(f"bad frame shape n={n} k={k}")
+        if io_bits_per_cycle < 1:
+            raise ArchitectureError("interface must move at least one bit")
+        self.n = n
+        self.k = k
+        self.clock_mhz = clock_mhz
+        self.io_bits_per_cycle = io_bits_per_cycle
+        self.msg_bits = msg_bits
+
+    @property
+    def io_cycles_per_frame(self) -> int:
+        """Cycles to load one frame of quantized LLRs."""
+        bits = self.n * self.msg_bits
+        return -(-bits // self.io_bits_per_cycle)  # ceil
+
+    def simulate(self, decode_cycles: Sequence[int]) -> StreamReport:
+        """Run the ping-pong pipeline over per-frame decode times.
+
+        Frame ``i`` may start decoding once (a) its transfer finished
+        and (b) the decoder finished frame ``i - 1``.  Transfers are
+        back-to-back (the channel never waits) unless the shadow bank
+        is still held by a decode that has fallen behind.
+        """
+        if not decode_cycles:
+            raise ArchitectureError("need at least one frame")
+        io = self.io_cycles_per_frame
+        load_done: List[int] = []
+        decode_done: List[int] = []
+        next_load_start = 0
+        for i, cycles in enumerate(decode_cycles):
+            if cycles < 1:
+                raise ArchitectureError(f"frame {i}: bad decode cycles")
+            # The shadow bank frees when frame i-1 *starts* decoding
+            # from its own bank; with two banks, loading frame i must
+            # wait until decode of frame i-1 has begun, i.e. until
+            # frame i-1's load completed and the decoder was free.
+            load_start = next_load_start
+            done = load_start + io
+            load_done.append(done)
+            decoder_free = decode_done[-1] if decode_done else 0
+            start = max(done, decoder_free)
+            decode_done.append(start + cycles)
+            # Bank for frame i+1 frees once frame i starts decoding.
+            next_load_start = max(done, start)
+        total = decode_done[-1]
+        payload = self.k * len(decode_cycles)
+        sustained = payload * self.clock_mhz / total
+        avg_decode = sum(decode_cycles) / len(decode_cycles)
+        return StreamReport(
+            frames=len(decode_cycles),
+            total_cycles=total,
+            sustained_mbps=sustained,
+            decode_bound=avg_decode >= io,
+            io_cycles_per_frame=io,
+            avg_decode_cycles=avg_decode,
+            extra_p_memory_bits=self.n * self.msg_bits,
+        )

@@ -1,0 +1,196 @@
+"""Storage models with access statistics.
+
+Each model wraps a numpy backing store and counts reads/writes; the
+power model converts access counts into SRAM energy and the tests use
+them to verify the architecture touches memory exactly as the paper's
+block diagrams say (one P word and one R word per column per core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ArchitectureError
+
+
+@dataclass
+class MemoryStats(object):
+    """Access counters for one memory instance."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total reads + writes."""
+        return self.reads + self.writes
+
+    def reset(self) -> None:
+        """Zero the counters (e.g. between frames)."""
+        self.reads = 0
+        self.writes = 0
+
+
+class SramModel(object):
+    """A word-addressed SRAM macro: ``words`` x ``width_lanes`` lanes.
+
+    The decoder's P and R SRAMs store one z-lane message word per
+    address; lanes are 8-bit codes (int32 here, saturated by the
+    datapath before writes).
+    """
+
+    def __init__(self, name: str, words: int, lanes: int) -> None:
+        if words < 1 or lanes < 1:
+            raise ArchitectureError(f"bad SRAM shape for {name!r}")
+        self.name = name
+        self.words = words
+        self.lanes = lanes
+        self.data = np.zeros((words, lanes), dtype=np.int32)
+        self.stats = MemoryStats()
+
+    @property
+    def bits(self, lane_bits: int = 8) -> int:
+        """Capacity in bits at the decoder's 8-bit lane width."""
+        return self.words * self.lanes * 8
+
+    def read(self, address: int) -> np.ndarray:
+        """Read one word (returns a copy)."""
+        self._check(address)
+        self.stats.reads += 1
+        return self.data[address].copy()
+
+    def write(self, address: int, word: np.ndarray) -> None:
+        """Write one word."""
+        self._check(address)
+        word = np.asarray(word, dtype=np.int32)
+        if word.shape != (self.lanes,):
+            raise ArchitectureError(
+                f"{self.name}: word shape {word.shape} != ({self.lanes},)"
+            )
+        self.stats.writes += 1
+        self.data[address] = word
+
+    def load_all(self, contents: np.ndarray) -> None:
+        """Bulk initialization (frame load); counts one write per word."""
+        contents = np.asarray(contents, dtype=np.int32)
+        if contents.shape != (self.words, self.lanes):
+            raise ArchitectureError(
+                f"{self.name}: contents shape {contents.shape} != "
+                f"({self.words}, {self.lanes})"
+            )
+        self.data = contents.copy()
+        self.stats.writes += self.words
+
+    def _check(self, address: int) -> None:
+        if not 0 <= address < self.words:
+            raise ArchitectureError(
+                f"{self.name}: address {address} out of range [0, {self.words})"
+            )
+
+
+class RomModel(object):
+    """A read-only table — the parity-check matrix ROM.
+
+    Entries are (block_column, shift) pairs per non-zero block, in
+    layer-major order, plus per-layer degree markers; exactly the
+    sequencing information the paper's ROM provides.
+    """
+
+    def __init__(self, name: str, entries: List[tuple]) -> None:
+        self.name = name
+        self.entries = list(entries)
+        self.stats = MemoryStats()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def read(self, address: int) -> tuple:
+        """Read one entry."""
+        if not 0 <= address < len(self.entries):
+            raise ArchitectureError(
+                f"{self.name}: address {address} out of range"
+            )
+        self.stats.reads += 1
+        return self.entries[address]
+
+
+class FifoModel(object):
+    """A FIFO of z-lane words (the pipelined design's Q FIFO)."""
+
+    def __init__(self, name: str, capacity: int, lanes: int) -> None:
+        if capacity < 1:
+            raise ArchitectureError(f"{name}: capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self.lanes = lanes
+        self._queue: List[np.ndarray] = []
+        self.stats = MemoryStats()
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        """True when another push would overflow."""
+        return len(self._queue) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        """True when there is nothing to pop."""
+        return not self._queue
+
+    def push(self, word: np.ndarray) -> None:
+        """Enqueue one word; raises on overflow (a real design stalls)."""
+        if self.full:
+            raise ArchitectureError(f"{self.name}: FIFO overflow")
+        word = np.asarray(word, dtype=np.int32)
+        if word.shape != (self.lanes,):
+            raise ArchitectureError(
+                f"{self.name}: word shape {word.shape} != ({self.lanes},)"
+            )
+        self._queue.append(word.copy())
+        self.stats.writes += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._queue))
+
+    def pop(self) -> np.ndarray:
+        """Dequeue one word; raises on underflow."""
+        if self.empty:
+            raise ArchitectureError(f"{self.name}: FIFO underflow")
+        self.stats.reads += 1
+        return self._queue.pop(0)
+
+
+class RegArrayModel(object):
+    """A z-lane register vector (min1/min2/pos1/sign arrays)."""
+
+    def __init__(self, name: str, lanes: int, init: Optional[int] = None) -> None:
+        self.name = name
+        self.lanes = lanes
+        self._init = init
+        self.data = np.zeros(lanes, dtype=np.int32)
+        if init is not None:
+            self.data[:] = init
+        self.stats = MemoryStats()
+
+    def reset(self) -> None:
+        """Restore the initialization value (start of a layer)."""
+        self.data[:] = self._init if self._init is not None else 0
+
+    def read(self) -> np.ndarray:
+        """Read the whole vector (a register read, but counted)."""
+        self.stats.reads += 1
+        return self.data.copy()
+
+    def write(self, values: np.ndarray) -> None:
+        """Write the whole vector."""
+        values = np.asarray(values, dtype=np.int32)
+        if values.shape != (self.lanes,):
+            raise ArchitectureError(
+                f"{self.name}: shape {values.shape} != ({self.lanes},)"
+            )
+        self.stats.writes += 1
+        self.data = values.copy()

@@ -1,0 +1,125 @@
+"""The per-layer two-stage decoder architecture (paper Figs 4/5).
+
+Timing semantics per layer: core1 reads and pre-processes all of the
+layer's block columns (one column per cycle per pass at full
+parallelism), its pipeline drains so the min1/min2/pos/sign registers
+hold final values, then core2 runs the same columns through the update
+datapath and writes back.  The next layer starts only after core2's
+last write commits.  Cores are therefore busy at most ~50% of the time
+(Fig 4) — the observation motivating the pipelined architecture.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.arch.config import ArchConfig
+from repro.arch.core import LayerEngine
+from repro.arch.memory import RomModel, SramModel
+from repro.arch.result import ArchDecodeResult
+from repro.arch.scheduler_trace import ArchTrace
+from repro.channel.quantize import MESSAGE_8BIT, FixedPointFormat
+from repro.decoder.result import DecodeResult
+from repro.errors import ArchitectureError
+from repro.utils.bitops import hard_decision
+
+
+class PerLayerArch(object):
+    """Cycle-accurate per-layer decoder (architecture 1 of the paper)."""
+
+    name = "per-layer"
+
+    def __init__(self, config: ArchConfig, fmt: FixedPointFormat = MESSAGE_8BIT) -> None:
+        self.config = config
+        self.fmt = fmt
+        code = config.code
+        self.p_mem = SramModel("p_sram", code.nb, code.z)
+        self.r_mem = SramModel("r_sram", code.nnz_blocks, code.z)
+        self.h_rom = RomModel(
+            "h_rom",
+            [
+                (int(j), int(s))
+                for layer in code.layers
+                for j, s in zip(layer.block_cols, layer.shifts)
+            ],
+        )
+        self.engine = LayerEngine(code, self.p_mem, self.r_mem, fmt)
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+    def decode(self, channel_llrs: np.ndarray) -> ArchDecodeResult:
+        """Decode one frame of float channel LLRs."""
+        llrs = np.asarray(channel_llrs, dtype=np.float64)
+        code = self.config.code
+        if llrs.shape != (code.n,):
+            raise ArchitectureError(f"LLR length {llrs.shape} != ({code.n},)")
+        return self.decode_codes(self.fmt.quantize(llrs))
+
+    def decode_codes(self, llr_codes: np.ndarray) -> ArchDecodeResult:
+        """Decode pre-quantized integer LLR codes."""
+        code = self.config.code
+        cfg = self.config
+        self.p_mem.load_all(
+            np.asarray(llr_codes, dtype=np.int32).reshape(code.nb, code.z)
+        )
+        self.r_mem.load_all(np.zeros((self.r_mem.words, code.z), dtype=np.int32))
+
+        trace = ArchTrace()
+        t = 0
+        iterations = 0
+        iteration_syndromes: List[int] = []
+        for _ in range(cfg.max_iterations):
+            for l in range(code.num_layers):
+                order = self.engine.column_order(l, cfg.column_order)
+                cols = code.layer(l).degree * cfg.passes
+
+                start1 = t
+                end1_issue = start1 + cols  # one column (pass) per cycle
+                arrays_final = end1_issue - 1 + cfg.handoff_depth
+                trace.add("core1", start1, end1_issue, f"L{l}")
+                trace.add("shifter", start1, end1_issue, f"L{l}")
+
+                start2 = arrays_final
+                end2_issue = start2 + cols
+                commit = end2_issue - 1 + cfg.core2_depth
+                trace.add("core2", start2, end2_issue, f"L{l}")
+
+                state = self.engine.run_core1(l, order)
+                self.engine.run_core2(l, order, state)
+                t = commit
+
+            t += cfg.termination_check_cycles
+            iterations += 1
+            weight = int(code.syndrome(hard_decision(self.engine.p_vector())).sum())
+            iteration_syndromes.append(weight)
+            if cfg.early_termination and weight == 0:
+                break
+
+        trace.total_cycles = max(trace.total_cycles, t)
+        p = self.engine.p_vector()
+        bits = hard_decision(p)
+        weight = iteration_syndromes[-1]
+        decode = DecodeResult(
+            bits=bits,
+            converged=weight == 0,
+            iterations=iterations,
+            llrs=self.fmt.dequantize(p),
+            syndrome_weight=weight,
+            iteration_syndromes=iteration_syndromes,
+        )
+        return ArchDecodeResult(decode, trace, cfg.clock_mhz)
+
+    # ------------------------------------------------------------------
+    # static timing (no data needed)
+    # ------------------------------------------------------------------
+    def cycles_per_iteration(self) -> int:
+        """Closed-form cycles for one full iteration of this schedule."""
+        cfg = self.config
+        total = 0
+        for layer in self.config.code.layers:
+            cols = layer.degree * cfg.passes
+            total += 2 * cols + cfg.handoff_depth + cfg.core2_depth - 2
+        return total + cfg.termination_check_cycles

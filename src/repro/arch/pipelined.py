@@ -1,0 +1,181 @@
+"""The two-layer pipelined decoder architecture (paper Figs 6/7).
+
+core1 of layer ``l+1`` overlaps core2 of layer ``l``.  Correctness is
+kept by the scoreboard: core1 stalls on a column whose refined P value
+is still in core2's pipeline.  The Q values cross between cores through
+a FIFO, and each core owns private copies of the min1/min2/pos1/sign
+arrays (handed off when a layer's core1 pass completes).
+
+The timing simulation is event-exact at column granularity:
+
+* core1 issues one column per cycle except when the scoreboard holds it
+  (stall until the blocking write's commit time) or the Q FIFO is full;
+* core2 for layer ``l`` starts once core1's pipeline has drained layer
+  ``l`` (min arrays final) and core2 has finished issuing layer ``l-1``;
+* a column's pending window runs from its core1 read to its core2
+  write commit (``issue + core2_depth``).
+
+Because the scoreboard enforces read-after-write, the *values* computed
+are exactly the sequential layered schedule's — the functional work is
+delegated to the shared :class:`~repro.arch.core.LayerEngine`, and the
+Q FIFO contents are checked against it cycle by cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.arch.config import ArchConfig
+from repro.arch.core import LayerEngine
+from repro.arch.memory import FifoModel, RomModel, SramModel
+from repro.arch.result import ArchDecodeResult
+from repro.arch.scheduler_trace import ArchTrace
+from repro.arch.scoreboard import Scoreboard
+from repro.channel.quantize import MESSAGE_8BIT, FixedPointFormat
+from repro.decoder.result import DecodeResult
+from repro.errors import ArchitectureError
+from repro.utils.bitops import hard_decision
+
+
+class TwoLayerPipelinedArch(object):
+    """Cycle-accurate two-layer pipelined decoder (architecture 2)."""
+
+    name = "two-layer-pipelined"
+
+    def __init__(self, config: ArchConfig, fmt: FixedPointFormat = MESSAGE_8BIT) -> None:
+        self.config = config
+        self.fmt = fmt
+        code = config.code
+        self.p_mem = SramModel("p_sram", code.nb, code.z)
+        self.r_mem = SramModel("r_sram", code.nnz_blocks, code.z)
+        self.h_rom = RomModel(
+            "h_rom",
+            [
+                (int(j), int(s))
+                for layer in code.layers
+                for j, s in zip(layer.block_cols, layer.shifts)
+            ],
+        )
+        self.q_fifo = FifoModel("q_fifo", config.fifo_capacity, code.z)
+        self.scoreboard = Scoreboard(code.nb)
+        self.engine = LayerEngine(code, self.p_mem, self.r_mem, fmt)
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+    def decode(self, channel_llrs: np.ndarray) -> ArchDecodeResult:
+        """Decode one frame of float channel LLRs."""
+        llrs = np.asarray(channel_llrs, dtype=np.float64)
+        code = self.config.code
+        if llrs.shape != (code.n,):
+            raise ArchitectureError(f"LLR length {llrs.shape} != ({code.n},)")
+        return self.decode_codes(self.fmt.quantize(llrs))
+
+    def decode_codes(self, llr_codes: np.ndarray) -> ArchDecodeResult:
+        """Decode pre-quantized integer LLR codes."""
+        code = self.config.code
+        cfg = self.config
+        self.p_mem.load_all(
+            np.asarray(llr_codes, dtype=np.int32).reshape(code.nb, code.z)
+        )
+        self.r_mem.load_all(np.zeros((self.r_mem.words, code.z), dtype=np.int32))
+
+        trace = ArchTrace()
+        # pending[block_col] = cycle at which the outstanding write commits.
+        pending: Dict[int, int] = {}
+        pop_times: List[int] = []  # global FIFO pop schedule (per column)
+        push_count = 0
+        next_issue1 = 0  # core1 is free from this cycle on
+        core2_free = 0  # core2 has issued everything before this cycle
+        last_commit = 0
+
+        iterations = 0
+        iteration_syndromes: List[int] = []
+        for _ in range(cfg.max_iterations):
+            for l in range(code.num_layers):
+                order = self.engine.column_order(l, cfg.column_order)
+                layer = code.layer(l)
+                passes = cfg.passes
+
+                # ---- core1 pass: issue columns with hazard/FIFO stalls.
+                issues1: List[int] = []
+                for k in order:
+                    j = int(layer.block_cols[k])
+                    for _pass in range(passes):
+                        t = next_issue1
+                        if self.scoreboard.pending(j):
+                            clear_at = pending[j]
+                            if clear_at > t:
+                                self.scoreboard.record_stall(clear_at - t)
+                                trace.stall_cycles += clear_at - t
+                                t = clear_at
+                            self.scoreboard.clear(j)
+                            pending.pop(j, None)
+                        # Q FIFO back-pressure: this push must wait for
+                        # pop number (push_count - capacity) to happen.
+                        back = push_count - self.q_fifo.capacity
+                        if back >= 0:
+                            if back >= len(pop_times):
+                                raise ArchitectureError(
+                                    "Q FIFO deadlock: capacity smaller "
+                                    "than one in-flight layer"
+                                )
+                            t = max(t, pop_times[back] + 1)
+                        issues1.append(t)
+                        push_count += 1
+                        next_issue1 = t + 1
+                    # Mark the refined value as in flight (write pending).
+                    self.scoreboard.set(j)
+                    pending[j] = 1 << 60  # resolved after core2 scheduling
+
+                end1_drain = issues1[-1] + cfg.handoff_depth
+                trace.add("core1", issues1[0], issues1[-1] + 1, f"L{l}")
+                trace.add("shifter", issues1[0], issues1[-1] + 1, f"L{l}")
+
+                # ---- core2 pass: starts when core1 drained and core2 free.
+                cols = layer.degree * passes
+                start2 = max(end1_drain, core2_free)
+                issues2 = [start2 + i for i in range(cols)]
+                core2_free = issues2[-1] + 1
+                trace.add("core2", start2, issues2[-1] + 1, f"L{l}")
+                pop_times.extend(issues2)
+
+                # Resolve this layer's commit times (clears the hazards).
+                for idx, k in enumerate(order):
+                    j = int(layer.block_cols[k])
+                    commit = issues2[(idx + 1) * passes - 1] + cfg.core2_depth
+                    pending[j] = commit
+                    last_commit = max(last_commit, commit)
+
+                # ---- functional work (sequentially equivalent).
+                state = self.engine.run_core1(l, order)
+                for q in state.q_words:
+                    if self.q_fifo.full:
+                        self.q_fifo.pop()  # timing already accounts pops
+                    self.q_fifo.push(q)
+                self.engine.run_core2(l, order, state)
+                while not self.q_fifo.empty:
+                    self.q_fifo.pop()
+
+            iterations += 1
+            weight = int(code.syndrome(hard_decision(self.engine.p_vector())).sum())
+            iteration_syndromes.append(weight)
+            if cfg.early_termination and weight == 0:
+                break
+            next_issue1 += cfg.termination_check_cycles
+
+        trace.total_cycles = max(trace.total_cycles, last_commit)
+        p = self.engine.p_vector()
+        bits = hard_decision(p)
+        weight = iteration_syndromes[-1]
+        decode = DecodeResult(
+            bits=bits,
+            converged=weight == 0,
+            iterations=iterations,
+            llrs=self.fmt.dequantize(p),
+            syndrome_weight=weight,
+            iteration_syndromes=iteration_syndromes,
+        )
+        return ArchDecodeResult(decode, trace, cfg.clock_mhz)

@@ -1,0 +1,143 @@
+"""Runtime reconfiguration: one decoder, every supported code.
+
+The paper's decoder "fully supports the IEEE 802.16e WiMax standard":
+one piece of hardware decodes 19 code lengths x 6 rate classes, chosen
+per frame by pointing the sequencer at a different parity-check ROM
+region.  :class:`ReconfigurableDecoder` models that contract: it is
+built once with a *capacity* (maximum z, block columns, R words — the
+paper's 96 / 24 / 84), accepts any code that fits, and tracks
+reconfigurations the way a driver would program the real device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.arch.config import ArchConfig
+from repro.arch.perlayer import PerLayerArch
+from repro.arch.pipelined import TwoLayerPipelinedArch
+from repro.arch.result import ArchDecodeResult
+from repro.codes.qc import QCLDPCCode
+from repro.errors import ArchitectureError
+
+
+@dataclass(frozen=True)
+class DecoderCapacity(object):
+    """The hardware limits a code must fit within.
+
+    Defaults are the paper's implementation: z up to 96, 24 block
+    columns, 84 R-memory words, 8-bit messages.
+    """
+
+    max_z: int = 96
+    max_block_columns: int = 24
+    max_r_words: int = 84
+    msg_bits: int = 8
+
+    def admits(self, code: QCLDPCCode) -> Optional[str]:
+        """None if the code fits, else the reason it does not."""
+        if code.z > self.max_z:
+            return f"z={code.z} exceeds the {self.max_z}-lane datapath"
+        if code.nb > self.max_block_columns:
+            return (
+                f"nb={code.nb} exceeds the {self.max_block_columns}-word "
+                "P memory"
+            )
+        if code.nnz_blocks > self.max_r_words:
+            return (
+                f"{code.nnz_blocks} blocks exceed the {self.max_r_words}-word "
+                "R memory"
+            )
+        return None
+
+
+class ReconfigurableDecoder(object):
+    """One hardware instance, reconfigured per code.
+
+    Parameters
+    ----------
+    capacity:
+        Hardware limits (defaults: the paper's).
+    architecture:
+        ``"pipelined"`` (default) or ``"perlayer"``.
+    clock_mhz / core depths:
+        Timing configuration shared by every code.
+    """
+
+    def __init__(
+        self,
+        capacity: DecoderCapacity = DecoderCapacity(),
+        architecture: str = "pipelined",
+        clock_mhz: float = 400.0,
+        core1_depth: int = 5,
+        core2_depth: int = 2,
+        handoff_depth: Optional[int] = 3,
+        max_iterations: int = 10,
+    ) -> None:
+        if architecture not in ("pipelined", "perlayer"):
+            raise ArchitectureError(
+                f"unknown architecture {architecture!r}"
+            )
+        self.capacity = capacity
+        self.architecture = architecture
+        self.clock_mhz = clock_mhz
+        self.core1_depth = core1_depth
+        self.core2_depth = core2_depth
+        self.handoff_depth = handoff_depth
+        self.max_iterations = max_iterations
+        self.reconfigurations = 0
+        self.frames_decoded = 0
+        self._code: Optional[QCLDPCCode] = None
+        self._sim = None
+        self._per_code_frames: Dict[str, int] = {}
+
+    @property
+    def current_code(self) -> Optional[QCLDPCCode]:
+        """The code the sequencer is currently programmed for."""
+        return self._code
+
+    def switch_code(self, code: QCLDPCCode) -> None:
+        """Program the decoder for a new code (ROM region select)."""
+        reason = self.capacity.admits(code)
+        if reason is not None:
+            raise ArchitectureError(f"code {code.name!r} rejected: {reason}")
+        self._code = code
+        self.reconfigurations += 1
+        self._sim = None  # rebuilt lazily per frame
+
+    def decode(self, channel_llrs: np.ndarray) -> ArchDecodeResult:
+        """Decode one frame with the currently selected code."""
+        if self._code is None:
+            raise ArchitectureError(
+                "no code selected; call switch_code() first"
+            )
+        config = ArchConfig(
+            self._code,
+            clock_mhz=self.clock_mhz,
+            core1_depth=self.core1_depth,
+            core2_depth=self.core2_depth,
+            handoff_depth=min(
+                self.handoff_depth or self.core1_depth, self.core1_depth
+            ),
+            max_iterations=self.max_iterations,
+            column_order=(
+                "hazard-aware" if self.architecture == "pipelined" else "natural"
+            ),
+        )
+        simulator = (
+            TwoLayerPipelinedArch(config)
+            if self.architecture == "pipelined"
+            else PerLayerArch(config)
+        )
+        result = simulator.decode(channel_llrs)
+        self.frames_decoded += 1
+        name = self._code.name
+        self._per_code_frames[name] = self._per_code_frames.get(name, 0) + 1
+        return result
+
+    def usage_summary(self) -> Dict[str, int]:
+        """Frames decoded per code since construction."""
+        return dict(self._per_code_frames)

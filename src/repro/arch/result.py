@@ -1,0 +1,51 @@
+"""Decode result + timing record returned by the architecture models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.scheduler_trace import ArchTrace
+from repro.decoder.result import DecodeResult
+
+
+@dataclass
+class ArchDecodeResult(object):
+    """What an architectural decode produces.
+
+    Attributes
+    ----------
+    decode:
+        The functional outcome (bit-identical to the fixed-point numpy
+        decoder).
+    trace:
+        Cycle-accurate busy/stall record.
+    clock_mhz:
+        The clock the timing was simulated at.
+    """
+
+    decode: DecodeResult
+    trace: ArchTrace
+    clock_mhz: float
+
+    @property
+    def cycles(self) -> int:
+        """Total decode latency in cycles."""
+        return self.trace.total_cycles
+
+    @property
+    def cycles_per_iteration(self) -> float:
+        """Average cycles per executed iteration."""
+        return self.cycles / max(self.decode.iterations, 1)
+
+    @property
+    def latency_us(self) -> float:
+        """Decode latency in microseconds at the simulated clock."""
+        return self.cycles / self.clock_mhz
+
+    def throughput_mbps(self, info_bits: int) -> float:
+        """Information throughput in Mbit/s for this frame's latency.
+
+        Table II's convention: payload bits over decode latency
+        (1152 bits / 2.8 us = 415 Mbps for the paper's decoder).
+        """
+        return info_bits / self.latency_us

@@ -1,0 +1,100 @@
+"""Execution traces: busy segments, utilization, and Fig 4/6 timelines.
+
+Both architecture simulators emit an :class:`ArchTrace`: a list of
+``(unit, start, end, label)`` busy segments plus the total makespan.
+From it come
+
+* per-unit busy-cycle counts and utilization — the paper's "core
+  utilization is low (about 50%)" claim for the per-layer design;
+* the activity fractions the clock-gating power model consumes;
+* an ASCII rendering of the Fig 4 / Fig 6 schedule diagrams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import ArchitectureError
+
+
+@dataclass(frozen=True)
+class Segment(object):
+    """A half-open busy interval [start, end) of one hardware unit."""
+
+    unit: str
+    start: int
+    end: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ArchitectureError(
+                f"empty segment for {self.unit}: [{self.start}, {self.end})"
+            )
+
+    @property
+    def cycles(self) -> int:
+        """Busy cycles covered by the segment."""
+        return self.end - self.start
+
+
+@dataclass
+class ArchTrace(object):
+    """Timing record of one decode (or a per-iteration slice)."""
+
+    total_cycles: int = 0
+    segments: List[Segment] = field(default_factory=list)
+    stall_cycles: int = 0
+
+    def add(self, unit: str, start: int, end: int, label: str = "") -> None:
+        """Append a busy segment."""
+        self.segments.append(Segment(unit, start, end, label))
+        self.total_cycles = max(self.total_cycles, end)
+
+    def units(self) -> List[str]:
+        """Distinct unit names, in first-appearance order."""
+        seen: List[str] = []
+        for seg in self.segments:
+            if seg.unit not in seen:
+                seen.append(seg.unit)
+        return seen
+
+    def busy_cycles(self, unit: str) -> int:
+        """Total busy cycles of one unit."""
+        return sum(seg.cycles for seg in self.segments if seg.unit == unit)
+
+    def utilization(self, unit: str) -> float:
+        """Busy fraction of one unit over the makespan."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.busy_cycles(unit) / self.total_cycles
+
+    def activity(self) -> Dict[str, float]:
+        """Unit -> busy fraction (the clock-gating model's input)."""
+        return {unit: self.utilization(unit) for unit in self.units()}
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def render(self, width: int = 72, max_cycles: int = 0) -> str:
+        """ASCII timeline in the style of the paper's Figs 4 and 6."""
+        span = min(self.total_cycles, max_cycles) if max_cycles else self.total_cycles
+        if span == 0:
+            return "(empty trace)"
+        scale = width / span
+        lines = []
+        name_w = max(len(u) for u in self.units())
+        for unit in self.units():
+            row = [" "] * width
+            for seg in self.segments:
+                if seg.unit != unit or seg.start >= span:
+                    continue
+                a = int(seg.start * scale)
+                b = max(a + 1, int(min(seg.end, span) * scale))
+                mark = (seg.label[:1] or "#") if seg.label else "#"
+                for x in range(a, min(b, width)):
+                    row[x] = mark
+            lines.append(f"{unit.rjust(name_w)} |{''.join(row)}|")
+        lines.append(f"{' ' * name_w} 0{' ' * (width - len(str(span)) - 1)}{span}")
+        return "\n".join(lines)

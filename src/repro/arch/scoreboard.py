@@ -1,0 +1,77 @@
+"""The pipelined architecture's hazard scoreboard (Section IV-B).
+
+One bit per block column: bit ``n`` is 1 iff a write to P word ``n`` is
+pending in core2's pipeline.  Core1 *sets* the bit when it reads column
+``n`` (a refined value will be written later); core2 *clears* it when
+the write commits.  Core1 checking a set bit stalls — "does nothing
+for that iteration" in the paper's words.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.errors import ArchitectureError
+
+
+class Scoreboard(object):
+    """Pending-write tracker with stall accounting."""
+
+    def __init__(self, num_columns: int) -> None:
+        if num_columns < 1:
+            raise ArchitectureError("scoreboard needs at least one column")
+        self.num_columns = num_columns
+        self._pending: Set[int] = set()
+        self.stall_cycles = 0
+        self.checks = 0
+        self.hits = 0
+
+    def _validate(self, column: int) -> None:
+        if not 0 <= column < self.num_columns:
+            raise ArchitectureError(
+                f"column {column} out of range [0, {self.num_columns})"
+            )
+
+    def pending(self, column: int) -> bool:
+        """check_scoreboard(): is a write to this column outstanding?"""
+        self._validate(column)
+        self.checks += 1
+        hit = column in self._pending
+        if hit:
+            self.hits += 1
+        return hit
+
+    def set(self, column: int) -> None:
+        """set_scoreboard(): mark a write as outstanding.
+
+        Setting an already-pending column is an architectural error —
+        it would mean two in-flight writes to one word, which the
+        one-layer-deep pipeline of Fig 6 cannot produce.
+        """
+        self._validate(column)
+        if column in self._pending:
+            raise ArchitectureError(
+                f"double-pend on column {column}: a second write was "
+                "issued before the first committed"
+            )
+        self._pending.add(column)
+
+    def clear(self, column: int) -> None:
+        """clear_scoreboard(): the write has committed."""
+        self._validate(column)
+        if column not in self._pending:
+            raise ArchitectureError(
+                f"clear of non-pending column {column}"
+            )
+        self._pending.discard(column)
+
+    def record_stall(self, cycles: int) -> None:
+        """Account stall cycles attributed to scoreboard waits."""
+        if cycles < 0:
+            raise ArchitectureError("negative stall")
+        self.stall_cycles += cycles
+
+    @property
+    def outstanding(self) -> int:
+        """Number of currently pending columns."""
+        return len(self._pending)

@@ -1,0 +1,54 @@
+"""The barrel shifter that aligns P words to a layer's check rows.
+
+A weight-1 circulant with shift ``s`` connects check row ``r`` to
+block-column lane ``(r + s) mod z``; reading P through the shifter
+gives lane ``r`` the value ``P[(r + s) mod z]`` — i.e. a left-rotate
+by ``s`` (``np.roll(word, -s)``).  Write-back applies the inverse
+rotation so the P memory stays in natural column order.
+
+The model counts rotations (for switching-activity estimation) and
+knows its own structural cost: ``log2(z)`` mux stages per lane.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ArchitectureError
+
+
+class BarrelShifter(object):
+    """A z-lane logarithmic barrel rotator."""
+
+    def __init__(self, z: int) -> None:
+        if z < 1:
+            raise ArchitectureError(f"z must be >= 1, got {z}")
+        self.z = z
+        self.rotations = 0
+
+    @property
+    def stages(self) -> int:
+        """Number of 2:1 mux stages per lane."""
+        return max(1, math.ceil(math.log2(self.z))) if self.z > 1 else 0
+
+    def rotate(self, word: np.ndarray, shift: int) -> np.ndarray:
+        """Align a natural-order P word to check-row order (left rotate)."""
+        word = np.asarray(word)
+        if word.shape != (self.z,):
+            raise ArchitectureError(
+                f"word shape {word.shape} != ({self.z},)"
+            )
+        self.rotations += 1
+        return np.roll(word, -(shift % self.z))
+
+    def rotate_back(self, word: np.ndarray, shift: int) -> np.ndarray:
+        """Inverse alignment: check-row order back to natural order."""
+        word = np.asarray(word)
+        if word.shape != (self.z,):
+            raise ArchitectureError(
+                f"word shape {word.shape} != ({self.z},)"
+            )
+        self.rotations += 1
+        return np.roll(word, shift % self.z)

@@ -1,0 +1,31 @@
+"""Channel models and LLR front-end.
+
+BPSK over AWGN with the paper's initialization ``P_n = 2 y_n / sigma^2``
+(Algorithm 1), plus the fixed-point quantizers that model the decoder's
+6/8-bit message formats.
+"""
+
+from repro.channel.awgn import (
+    AwgnChannel,
+    bpsk_modulate,
+    ebno_to_sigma,
+    llr_from_channel,
+    snr_to_sigma,
+)
+from repro.channel.quantize import FixedPointFormat, quantize_llrs
+from repro.channel.fading import RayleighChannel
+from repro.channel.interleaver import BlockInterleaver
+from repro.channel.bec import ErasureChannel
+
+__all__ = [
+    "AwgnChannel",
+    "bpsk_modulate",
+    "ebno_to_sigma",
+    "llr_from_channel",
+    "snr_to_sigma",
+    "FixedPointFormat",
+    "quantize_llrs",
+    "RayleighChannel",
+    "BlockInterleaver",
+    "ErasureChannel",
+]

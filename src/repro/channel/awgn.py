@@ -1,0 +1,94 @@
+"""BPSK modulation over an AWGN channel.
+
+Conventions match the paper's Algorithm 1: bit 0 maps to +1, bit 1 to
+-1; the received sample is ``y = x + n`` with ``n ~ N(0, sigma^2)``; the
+channel LLR (a-posteriori initialization) is ``P_n = 2 y_n / sigma^2``,
+positive meaning "bit is 0".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+def bpsk_modulate(bits: np.ndarray) -> np.ndarray:
+    """Map bits {0, 1} to symbols {+1.0, -1.0}."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    return 1.0 - 2.0 * bits.astype(np.float64)
+
+
+def ebno_to_sigma(ebno_db: float, rate: float) -> float:
+    """Noise standard deviation for a given Eb/N0 (dB) and code rate.
+
+    With unit symbol energy, ``Es/N0 = rate * Eb/N0`` and
+    ``sigma^2 = 1 / (2 * Es/N0)``.
+    """
+    if not 0.0 < rate <= 1.0:
+        raise ValueError(f"code rate must be in (0, 1], got {rate}")
+    esno = rate * 10.0 ** (ebno_db / 10.0)
+    return math.sqrt(1.0 / (2.0 * esno))
+
+
+def snr_to_sigma(snr_db: float) -> float:
+    """Noise standard deviation for a given symbol SNR Es/N0 (dB)."""
+    esno = 10.0 ** (snr_db / 10.0)
+    return math.sqrt(1.0 / (2.0 * esno))
+
+
+def llr_from_channel(received: np.ndarray, sigma: float) -> np.ndarray:
+    """Channel LLRs ``2 y / sigma^2`` (Algorithm 1 initialization)."""
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    return 2.0 * np.asarray(received, dtype=np.float64) / (sigma * sigma)
+
+
+@dataclass
+class AwgnChannel(object):
+    """A reusable BPSK/AWGN channel with its own random stream.
+
+    Parameters
+    ----------
+    sigma:
+        Noise standard deviation per real dimension.
+    seed:
+        Seed or generator for the noise stream.
+    """
+
+    sigma: float
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma}")
+        self._rng = as_generator(self.seed)
+
+    @classmethod
+    def from_ebno(
+        cls, ebno_db: float, rate: float, seed: SeedLike = None
+    ) -> "AwgnChannel":
+        """Construct from Eb/N0 in dB at a given code rate."""
+        return cls(ebno_to_sigma(ebno_db, rate), seed)
+
+    def transmit(self, bits: np.ndarray) -> np.ndarray:
+        """Modulate bits and add noise; returns received samples."""
+        symbols = bpsk_modulate(bits)
+        if self.sigma == 0:
+            return symbols
+        noise = self._rng.normal(0.0, self.sigma, size=symbols.shape)
+        return symbols + noise
+
+    def llrs(self, bits: np.ndarray) -> np.ndarray:
+        """Transmit and convert straight to channel LLRs.
+
+        For the noiseless channel (``sigma == 0``) returns ``+/-LARGE``
+        saturated LLRs so downstream fixed-point paths stay finite.
+        """
+        received = self.transmit(bits)
+        if self.sigma == 0:
+            return 100.0 * received
+        return llr_from_channel(received, self.sigma)

@@ -1,0 +1,68 @@
+"""Bit interleaving: spreading fading bursts across the codeword.
+
+A block-fading channel erases runs of consecutive bits; an LDPC code
+handles scattered erasures far better than bursts.  The classic fix is
+a row-column block interleaver between encoder and modulator (and the
+matching deinterleaver on the LLRs before decoding).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class BlockInterleaver(object):
+    """Row-column block interleaver.
+
+    Writes the sequence row-wise into a ``rows x cols`` array and reads
+    it column-wise.  ``rows * cols`` must equal the block length.
+    """
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ReproError(f"bad interleaver shape {rows} x {cols}")
+        self.rows = rows
+        self.cols = cols
+        self.length = rows * cols
+        self._perm = (
+            np.arange(self.length).reshape(rows, cols).T.reshape(-1)
+        )
+        self._inv = np.argsort(self._perm)
+
+    @classmethod
+    def for_length(cls, length: int, depth: int = 32) -> "BlockInterleaver":
+        """Build an interleaver for a given block length.
+
+        ``depth`` is the target row count; it is reduced to the largest
+        divisor of ``length`` at most ``depth`` so the shape is exact.
+        """
+        rows = max(d for d in range(1, depth + 1) if length % d == 0)
+        return cls(rows, length // rows)
+
+    def interleave(self, values: np.ndarray) -> np.ndarray:
+        """Permute a block (bits or LLRs)."""
+        values = np.asarray(values)
+        if values.shape != (self.length,):
+            raise ReproError(
+                f"block length {values.shape} != ({self.length},)"
+            )
+        return values[self._perm]
+
+    def deinterleave(self, values: np.ndarray) -> np.ndarray:
+        """Inverse permutation."""
+        values = np.asarray(values)
+        if values.shape != (self.length,):
+            raise ReproError(
+                f"block length {values.shape} != ({self.length},)"
+            )
+        return values[self._inv]
+
+    def spread(self) -> int:
+        """Minimum output distance of two adjacent input bits.
+
+        For a row-column interleaver this equals the row count — the
+        burst length the design can fully disperse.
+        """
+        return self.rows

@@ -1,0 +1,83 @@
+"""Fixed-point message formats for the hardware decoder.
+
+The paper represents P and R messages as 8-bit fixed-point numbers
+(Section IV-A) and reports "Quantization 6" in Table II (6 significant
+message bits in the comparison).  :class:`FixedPointFormat` models a
+signed two's-complement format with saturating arithmetic, matching what
+the synthesized datapath does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FixedPointFormat(object):
+    """Signed fixed-point format: ``total_bits`` with ``frac_bits`` fraction.
+
+    Values are stored as integers in ``[-(2^(B-1)-1), 2^(B-1)-1]``
+    (symmetric saturation: the most negative code is unused, as is usual
+    in min-sum datapaths so that negation never overflows).
+    """
+
+    total_bits: int
+    frac_bits: int
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 2:
+            raise ValueError("need at least 2 bits (sign + magnitude)")
+        if not 0 <= self.frac_bits < self.total_bits:
+            raise ValueError(
+                f"frac_bits {self.frac_bits} out of range for "
+                f"{self.total_bits}-bit format"
+            )
+
+    @property
+    def max_code(self) -> int:
+        """Largest representable integer code."""
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def min_code(self) -> int:
+        """Smallest representable integer code (symmetric)."""
+        return -self.max_code
+
+    @property
+    def scale(self) -> float:
+        """Real value of one LSB step."""
+        return 1.0 / (1 << self.frac_bits)
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_code * self.scale
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Real values -> saturated integer codes (int32)."""
+        scaled = np.round(np.asarray(values, dtype=np.float64) / self.scale)
+        return np.clip(scaled, self.min_code, self.max_code).astype(np.int32)
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        """Integer codes -> real values."""
+        return np.asarray(codes, dtype=np.float64) * self.scale
+
+    def saturate(self, codes: np.ndarray) -> np.ndarray:
+        """Clamp integer codes into the representable range."""
+        return np.clip(codes, self.min_code, self.max_code).astype(np.int32)
+
+
+#: The paper's 8-bit message format (Section IV-A): 8 bits, 2 fractional.
+MESSAGE_8BIT = FixedPointFormat(total_bits=8, frac_bits=2)
+
+#: The 6-bit quantization reported in Table II's comparison row.
+MESSAGE_6BIT = FixedPointFormat(total_bits=6, frac_bits=1)
+
+
+def quantize_llrs(
+    llrs: np.ndarray, fmt: FixedPointFormat = MESSAGE_8BIT
+) -> np.ndarray:
+    """Quantize channel LLRs into the decoder's message format."""
+    return fmt.quantize(llrs)

@@ -1,0 +1,87 @@
+"""QC-LDPC code structures: base matrices, expansion, standard families.
+
+The paper's decoder operates on *block-structured* (quasi-cyclic) LDPC
+codes: the parity-check matrix H is an L x C array of z x z blocks, each
+either zero or a cyclically shifted identity (Fig 2 of the paper).  This
+package provides
+
+* :class:`BaseMatrix` — the prototype (shift) matrix plus expansion;
+* :class:`QCLDPCCode` — a fully expanded code with layer views, sparse
+  row/column adjacency, and the metadata the architecture models need
+  (block columns per layer, memory footprints);
+* the IEEE 802.16e (WiMax) and IEEE 802.11n base-matrix tables;
+* a programmatic construction of valid dual-diagonal QC-LDPC codes;
+* structural validation helpers.
+"""
+
+from repro.codes.base_matrix import BaseMatrix, scale_shift
+from repro.codes.qc import QCLDPCCode
+from repro.codes.wimax import (
+    WIMAX_RATES,
+    WIMAX_Z_FACTORS,
+    wimax_base_matrix,
+    wimax_code,
+)
+from repro.codes.wifi import (
+    WIFI_BLOCK_LENGTHS,
+    WIFI_RATES,
+    wifi_base_matrix,
+    wifi_code,
+)
+from repro.codes.construction import random_qc_code, make_base_matrix
+from repro.codes.alist import read_alist, to_alist, write_alist
+from repro.codes.rate_adapt import RateAdaptedCode, puncture, shorten
+from repro.codes.from_dense import (
+    code_from_alist,
+    code_from_dense,
+    infer_expansion_factor,
+)
+from repro.codes.analysis import (
+    count_4_cycles,
+    count_6_cycles,
+    degree_distributions,
+    density,
+    girth,
+)
+from repro.codes.density_evolution import BecDensityEvolution
+from repro.codes.validation import (
+    check_code,
+    circulant_weights_ok,
+    girth_lower_bound_ok,
+    is_dual_diagonal,
+)
+
+__all__ = [
+    "BaseMatrix",
+    "QCLDPCCode",
+    "scale_shift",
+    "WIMAX_RATES",
+    "WIMAX_Z_FACTORS",
+    "wimax_base_matrix",
+    "wimax_code",
+    "WIFI_BLOCK_LENGTHS",
+    "WIFI_RATES",
+    "wifi_base_matrix",
+    "wifi_code",
+    "random_qc_code",
+    "make_base_matrix",
+    "read_alist",
+    "to_alist",
+    "write_alist",
+    "RateAdaptedCode",
+    "puncture",
+    "shorten",
+    "code_from_alist",
+    "code_from_dense",
+    "infer_expansion_factor",
+    "count_4_cycles",
+    "count_6_cycles",
+    "degree_distributions",
+    "density",
+    "girth",
+    "BecDensityEvolution",
+    "check_code",
+    "circulant_weights_ok",
+    "girth_lower_bound_ok",
+    "is_dual_diagonal",
+]

@@ -1,0 +1,123 @@
+"""MacKay *alist* import/export for parity-check matrices.
+
+The alist format is the de-facto interchange format for LDPC matrices
+(MacKay's database, aff3ct, GNU Radio all speak it).  Supporting it
+lets this package's codes flow to other tools and lets externally
+published matrices be decoded here.
+
+Format (1-based indices, 0-padded ragged rows):
+
+```
+n m
+max_col_degree max_row_degree
+<col degrees ...>
+<row degrees ...>
+<n lines: check indices per variable, padded with 0>
+<m lines: variable indices per check, padded with 0>
+```
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.codes.qc import QCLDPCCode
+from repro.errors import CodeConstructionError
+
+PathLike = Union[str, Path]
+
+
+def write_alist(code: QCLDPCCode, path: PathLike) -> None:
+    """Export a code's expanded H to an alist file."""
+    Path(path).write_text(to_alist(code))
+
+
+def to_alist(code: QCLDPCCode) -> str:
+    """Render a code's expanded H in alist format."""
+    var_adj = code.variable_adjacency
+    chk_adj = code.check_adjacency
+    col_degrees = [len(a) for a in var_adj]
+    row_degrees = [len(a) for a in chk_adj]
+    max_col = max(col_degrees)
+    max_row = max(row_degrees)
+
+    lines = [
+        f"{code.n} {code.m}",
+        f"{max_col} {max_row}",
+        " ".join(str(d) for d in col_degrees),
+        " ".join(str(d) for d in row_degrees),
+    ]
+    for adj in var_adj:
+        entries = [str(int(x) + 1) for x in sorted(adj)]
+        entries += ["0"] * (max_col - len(entries))
+        lines.append(" ".join(entries))
+    for adj in chk_adj:
+        entries = [str(int(x) + 1) for x in sorted(adj)]
+        entries += ["0"] * (max_row - len(entries))
+        lines.append(" ".join(entries))
+    return "\n".join(lines) + "\n"
+
+
+def read_alist(path: PathLike) -> np.ndarray:
+    """Parse an alist file into a dense binary parity-check matrix."""
+    return parse_alist(Path(path).read_text())
+
+
+def parse_alist(text: str) -> np.ndarray:
+    """Parse alist text into a dense binary parity-check matrix."""
+    tokens = text.split()
+    if len(tokens) < 4:
+        raise CodeConstructionError("alist: truncated header")
+    pos = 0
+
+    def take(count: int) -> List[int]:
+        nonlocal pos
+        if pos + count > len(tokens):
+            raise CodeConstructionError("alist: truncated body")
+        out = [int(t) for t in tokens[pos : pos + count]]
+        pos += count
+        return out
+
+    n, m = take(2)
+    if n < 1 or m < 1:
+        raise CodeConstructionError(f"alist: bad dimensions {n} x {m}")
+    max_col, max_row = take(2)
+    col_degrees = take(n)
+    row_degrees = take(m)
+    if max(col_degrees) > max_col or max(row_degrees) > max_row:
+        raise CodeConstructionError("alist: degree exceeds declared maximum")
+
+    h = np.zeros((m, n), dtype=np.uint8)
+    for col in range(n):
+        entries = take(max_col)
+        checks = [e for e in entries if e != 0]
+        if len(checks) != col_degrees[col]:
+            raise CodeConstructionError(
+                f"alist: column {col} degree mismatch"
+            )
+        for check in checks:
+            if not 1 <= check <= m:
+                raise CodeConstructionError(
+                    f"alist: check index {check} out of range"
+                )
+            h[check - 1, col] = 1
+    # Row section is redundant; use it as a consistency check.
+    for row in range(m):
+        entries = take(max_row)
+        variables = sorted(e for e in entries if e != 0)
+        expected = sorted(int(v) + 1 for v in np.flatnonzero(h[row]))
+        if variables != expected:
+            raise CodeConstructionError(
+                f"alist: row {row} disagrees with column section"
+            )
+    return h
+
+
+def roundtrip_ok(code: QCLDPCCode) -> bool:
+    """True iff export -> import reproduces the expanded H exactly."""
+    return bool(
+        np.array_equal(parse_alist(to_alist(code)), code.parity_check_matrix)
+    )

@@ -1,0 +1,160 @@
+"""Code analysis: degree distributions, density, and short cycles.
+
+The standard structural diagnostics a coding engineer runs before
+committing to a matrix:
+
+* **degree distributions** — the edge-perspective lambda/rho polynomials
+  density evolution operates on, plus node-perspective histograms;
+* **density** — non-zero fraction of H (LDPC means *low*);
+* **short-cycle census** — counts of length-4 and length-6 cycles in
+  the expanded Tanner graph, computed at block level (cheap for QC
+  codes and exact, since cycles in the expansion project to closed
+  block-walks whose accumulated shift is zero mod z).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.codes.base_matrix import BaseMatrix, ZERO_BLOCK
+from repro.codes.qc import QCLDPCCode
+
+
+@dataclass
+class DegreeDistributions(object):
+    """Node- and edge-perspective degree distributions.
+
+    ``lambda_poly`` / ``rho_poly`` map degree -> *edge fraction*
+    (the density-evolution convention); ``variable_nodes`` /
+    ``check_nodes`` map degree -> node count.
+    """
+
+    variable_nodes: Dict[int, int]
+    check_nodes: Dict[int, int]
+    lambda_poly: Dict[int, float]
+    rho_poly: Dict[int, float]
+
+    def mean_variable_degree(self) -> float:
+        """Average variable-node degree."""
+        total = sum(self.variable_nodes.values())
+        edges = sum(d * c for d, c in self.variable_nodes.items())
+        return edges / total if total else 0.0
+
+    def mean_check_degree(self) -> float:
+        """Average check-node degree."""
+        total = sum(self.check_nodes.values())
+        edges = sum(d * c for d, c in self.check_nodes.items())
+        return edges / total if total else 0.0
+
+
+def degree_distributions(code: QCLDPCCode) -> DegreeDistributions:
+    """Compute node and edge degree distributions of a code."""
+    var_degrees: Dict[int, int] = {}
+    for adj in code.variable_adjacency:
+        var_degrees[len(adj)] = var_degrees.get(len(adj), 0) + 1
+    chk_degrees: Dict[int, int] = {}
+    for adj in code.check_adjacency:
+        chk_degrees[len(adj)] = chk_degrees.get(len(adj), 0) + 1
+
+    edges = code.num_edges
+    lam = {d: d * c / edges for d, c in var_degrees.items()}
+    rho = {d: d * c / edges for d, c in chk_degrees.items()}
+    return DegreeDistributions(var_degrees, chk_degrees, lam, rho)
+
+
+def density(code: QCLDPCCode) -> float:
+    """Fraction of non-zero entries in the expanded H."""
+    return code.num_edges / (code.n * code.m)
+
+
+def count_4_cycles(base: BaseMatrix) -> int:
+    """Exact 4-cycle count of the expanded graph.
+
+    A 4-cycle uses two block rows and two block columns where all four
+    blocks are non-zero and ``s11 - s12 + s22 - s21 == 0 (mod z)``;
+    each such block pattern contributes z expanded cycles.
+    """
+    shifts = base.shifts
+    z = base.z
+    count = 0
+    for i1 in range(base.mb):
+        for i2 in range(i1 + 1, base.mb):
+            shared = np.flatnonzero(
+                (shifts[i1] != ZERO_BLOCK) & (shifts[i2] != ZERO_BLOCK)
+            )
+            for a in range(len(shared)):
+                for b in range(a + 1, len(shared)):
+                    j1, j2 = int(shared[a]), int(shared[b])
+                    delta = (
+                        shifts[i1, j1]
+                        - shifts[i1, j2]
+                        + shifts[i2, j2]
+                        - shifts[i2, j1]
+                    ) % z
+                    if delta == 0:
+                        count += z
+    return count
+
+
+def count_6_cycles(base: BaseMatrix) -> int:
+    """Exact 6-cycle count of the expanded graph.
+
+    A 6-cycle alternates three block rows and three block columns with
+    the six corner blocks non-zero; each hexagon contributes z expanded
+    cycles when its accumulated shift is zero mod z.  With the row
+    triple ordered (i1 < i2 < i3) and columns assigned to the row pairs
+    (i1,i2), (i2,i3), (i3,i1), every cycle is generated exactly once —
+    the reverse traversal maps back to the same assignment (validated
+    against a brute-force networkx census in the tests).
+    """
+    shifts = base.shifts
+    z = base.z
+    mb, nb = base.mb, base.nb
+    count = 0
+    rows = range(mb)
+    for i1 in rows:
+        for i2 in range(i1 + 1, mb):
+            for i3 in range(i2 + 1, mb):
+                cols12 = np.flatnonzero(
+                    (shifts[i1] != ZERO_BLOCK) & (shifts[i2] != ZERO_BLOCK)
+                )
+                cols23 = np.flatnonzero(
+                    (shifts[i2] != ZERO_BLOCK) & (shifts[i3] != ZERO_BLOCK)
+                )
+                cols31 = np.flatnonzero(
+                    (shifts[i3] != ZERO_BLOCK) & (shifts[i1] != ZERO_BLOCK)
+                )
+                for j1 in cols12:
+                    for j2 in cols23:
+                        if j2 == j1:
+                            continue
+                        for j3 in cols31:
+                            if j3 == j1 or j3 == j2:
+                                continue
+                            delta = (
+                                shifts[i1, int(j1)]
+                                - shifts[i2, int(j1)]
+                                + shifts[i2, int(j2)]
+                                - shifts[i3, int(j2)]
+                                + shifts[i3, int(j3)]
+                                - shifts[i1, int(j3)]
+                            ) % z
+                            if delta == 0:
+                                count += z
+    return count
+
+
+def girth(base: BaseMatrix, max_check: int = 6) -> int:
+    """Girth of the expanded graph, checked up to ``max_check``.
+
+    Returns 4 or 6 when cycles of that length exist, otherwise
+    ``max_check + 2`` meaning "greater than max_check".
+    """
+    if count_4_cycles(base) > 0:
+        return 4
+    if max_check >= 6 and count_6_cycles(base) > 0:
+        return 6
+    return max_check + 2

@@ -1,0 +1,166 @@
+"""Prototype (base) matrices for block-structured LDPC codes.
+
+A base matrix is an ``mb x nb`` integer array.  Entry ``-1`` denotes the
+all-zero z x z block; an entry ``s >= 0`` denotes the identity matrix
+cyclically right-shifted by ``s`` (row ``r`` of the block has its single 1
+in column ``(r + s) mod z``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CodeConstructionError
+
+ZERO_BLOCK = -1
+
+
+def scale_shift(shift: int, z: int, z0: int, mode: str = "floor") -> int:
+    """Scale a shift coefficient from expansion factor ``z0`` down to ``z``.
+
+    IEEE 802.16e defines two scaling rules for deriving the shift values of
+    the smaller code sizes from the ``z0 = 96`` table:
+
+    * ``"floor"`` (all rates except 2/3A): ``floor(shift * z / z0)``;
+    * ``"modulo"`` (rate 2/3A): ``shift mod z``.
+
+    IEEE 802.11n publishes a separate table per block length, so no
+    scaling is applied there.
+    """
+    if shift == ZERO_BLOCK:
+        return ZERO_BLOCK
+    if shift < 0:
+        raise CodeConstructionError(f"invalid shift {shift}")
+    if mode == "floor":
+        return (shift * z) // z0
+    if mode == "modulo":
+        return shift % z
+    raise CodeConstructionError(f"unknown scaling mode {mode!r}")
+
+
+@dataclass(frozen=True)
+class BaseMatrix:
+    """An immutable prototype matrix with its native expansion factor.
+
+    Parameters
+    ----------
+    shifts:
+        ``mb x nb`` array of shift coefficients (``-1`` = zero block).
+    z:
+        Expansion factor the coefficients are expressed for.
+    name:
+        Human-readable identifier, e.g. ``"802.16e r1/2 z=96"``.
+    """
+
+    shifts: np.ndarray
+    z: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        shifts = np.asarray(self.shifts, dtype=np.int64)
+        if shifts.ndim != 2:
+            raise CodeConstructionError("base matrix must be 2-D")
+        if self.z < 1:
+            raise CodeConstructionError(f"expansion factor {self.z} < 1")
+        if np.any(shifts < ZERO_BLOCK) or np.any(shifts >= self.z):
+            raise CodeConstructionError(
+                f"shifts must lie in [-1, {self.z - 1}] for z={self.z}"
+            )
+        object.__setattr__(self, "shifts", shifts)
+
+    # ------------------------------------------------------------------
+    # shape helpers
+    # ------------------------------------------------------------------
+    @property
+    def mb(self) -> int:
+        """Number of block rows (= layers for layered decoding)."""
+        return int(self.shifts.shape[0])
+
+    @property
+    def nb(self) -> int:
+        """Number of block columns."""
+        return int(self.shifts.shape[1])
+
+    @property
+    def n(self) -> int:
+        """Expanded code length in bits."""
+        return self.nb * self.z
+
+    @property
+    def m(self) -> int:
+        """Expanded number of parity checks."""
+        return self.mb * self.z
+
+    @property
+    def design_rate(self) -> float:
+        """Design code rate (k/n assuming full-rank H)."""
+        return (self.nb - self.mb) / self.nb
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    def row_blocks(self, block_row: int) -> List[Tuple[int, int]]:
+        """Non-zero ``(block_col, shift)`` pairs in a block row."""
+        row = self.shifts[block_row]
+        return [(int(j), int(s)) for j, s in enumerate(row) if s != ZERO_BLOCK]
+
+    def col_blocks(self, block_col: int) -> List[Tuple[int, int]]:
+        """Non-zero ``(block_row, shift)`` pairs in a block column."""
+        col = self.shifts[:, block_col]
+        return [(int(i), int(s)) for i, s in enumerate(col) if s != ZERO_BLOCK]
+
+    def row_degrees(self) -> np.ndarray:
+        """Block-row degrees (non-zero blocks per block row)."""
+        return (self.shifts != ZERO_BLOCK).sum(axis=1)
+
+    def col_degrees(self) -> np.ndarray:
+        """Block-column degrees (non-zero blocks per block column)."""
+        return (self.shifts != ZERO_BLOCK).sum(axis=0)
+
+    def nnz_blocks(self) -> int:
+        """Total number of non-zero circulant blocks."""
+        return int(np.count_nonzero(self.shifts != ZERO_BLOCK))
+
+    # ------------------------------------------------------------------
+    # derivation / expansion
+    # ------------------------------------------------------------------
+    def scaled(self, z: int, mode: str = "floor", name: str = "") -> "BaseMatrix":
+        """Derive the base matrix for a smaller expansion factor ``z``."""
+        if z < 1 or z > self.z:
+            raise CodeConstructionError(
+                f"target z={z} must be in [1, {self.z}]"
+            )
+        scaled = np.array(
+            [
+                [scale_shift(int(s), z, self.z, mode) for s in row]
+                for row in self.shifts
+            ],
+            dtype=np.int64,
+        )
+        return BaseMatrix(scaled, z, name or f"{self.name} scaled z={z}")
+
+    def expand(self) -> np.ndarray:
+        """Expand to the full binary parity-check matrix (dense uint8)."""
+        z = self.z
+        h = np.zeros((self.m, self.n), dtype=np.uint8)
+        rows = np.arange(z)
+        for i in range(self.mb):
+            for j, s in self.row_blocks(i):
+                h[i * z + rows, j * z + (rows + s) % z] = 1
+        return h
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"BaseMatrix(name={self.name!r}, mb={self.mb}, nb={self.nb}, "
+            f"z={self.z})"
+        )
+
+
+def base_matrix_from_rows(
+    rows: Sequence[Sequence[int]], z: int, name: str = ""
+) -> BaseMatrix:
+    """Build a :class:`BaseMatrix` from a list-of-lists shift table."""
+    return BaseMatrix(np.array(rows, dtype=np.int64), z, name)

@@ -1,0 +1,196 @@
+"""Programmatic construction of dual-diagonal QC-LDPC codes.
+
+The WiMax/WiFi families share one parity structure (see Fig 2 of the
+paper and the encoder in :mod:`repro.encoder.ru`):
+
+* ``kb = nb - mb`` systematic block columns with free shift values;
+* one *special* parity column with exactly three non-zero blocks — top
+  row and bottom row with equal shifts, plus one interior row with shift
+  zero;
+* ``mb - 1`` dual-diagonal parity columns, column ``kb + 1 + i`` holding
+  zero-shift identities in rows ``i`` and ``i + 1``.
+
+This module generates matrices with that structure for arbitrary shapes
+and degree profiles, with greedy 4-cycle avoidance, so tests and
+experiments can run on code families that are independent of the
+hand-entered standard tables.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.codes.base_matrix import BaseMatrix, ZERO_BLOCK
+from repro.codes.qc import QCLDPCCode
+from repro.errors import CodeConstructionError
+from repro.utils.rng import SeedLike, as_generator
+
+_MAX_SHIFT_TRIES = 64
+
+
+def make_base_matrix(
+    mb: int,
+    nb: int,
+    z: int,
+    row_degree: Optional[int] = None,
+    row_degrees: Optional[Sequence[int]] = None,
+    seed: SeedLike = 0,
+    avoid_4_cycles: bool = True,
+    name: str = "",
+) -> BaseMatrix:
+    """Generate a dual-diagonal QC-LDPC prototype matrix.
+
+    Parameters
+    ----------
+    mb, nb:
+        Block dimensions; ``nb > mb >= 2`` required.
+    z:
+        Expansion factor.
+    row_degree / row_degrees:
+        Target total non-zero blocks per block row (including the parity
+        part).  Provide either a single degree for all rows or one per
+        row.  Defaults to a WiMax-like profile that uses about half of
+        the data columns per row.
+    seed:
+        RNG seed for position and shift selection (deterministic).
+    avoid_4_cycles:
+        Resample shifts that close a length-4 cycle in the Tanner graph
+        (best effort: gives girth >= 6 in practice for sparse profiles).
+    """
+    if mb < 2 or nb <= mb:
+        raise CodeConstructionError(f"need nb > mb >= 2, got mb={mb}, nb={nb}")
+    kb = nb - mb
+    rng = as_generator(seed)
+
+    degrees = _resolve_degrees(mb, kb, row_degree, row_degrees)
+    shifts = np.full((mb, nb), ZERO_BLOCK, dtype=np.int64)
+
+    # Parity part: special column + dual diagonal.
+    mid = mb // 2
+    special_shift = int(rng.integers(0, z)) if z > 1 else 0
+    shifts[0, kb] = special_shift
+    shifts[mid, kb] = 0
+    shifts[mb - 1, kb] = special_shift
+    for i in range(mb - 1):
+        shifts[i, kb + 1 + i] = 0
+        shifts[i + 1, kb + 1 + i] = 0
+
+    # Data part positions: per-row sampling biased toward the currently
+    # least-used columns so every data column ends with degree >= 2.
+    parity_deg = (shifts != ZERO_BLOCK).sum(axis=1)
+    col_use = np.zeros(kb, dtype=np.int64)
+    for i in range(mb):
+        want = degrees[i] - int(parity_deg[i])
+        if want < 1 or want > kb:
+            raise CodeConstructionError(
+                f"row {i}: data degree {want} infeasible for kb={kb}"
+            )
+        order = np.lexsort((rng.random(kb), col_use))
+        chosen = order[:want]
+        col_use[chosen] += 1
+        for j in chosen:
+            shifts[i, int(j)] = int(rng.integers(0, z))
+
+    if np.any(col_use == 0):
+        # Re-home: move an entry from an over-used column in some row to
+        # each empty column, keeping row degrees intact.
+        for j in np.flatnonzero(col_use == 0):
+            donor_col = int(np.argmax(col_use))
+            donor_rows = np.flatnonzero(shifts[:, donor_col] != ZERO_BLOCK)
+            row = int(donor_rows[0])
+            shifts[row, int(j)] = shifts[row, donor_col]
+            shifts[row, donor_col] = ZERO_BLOCK
+            col_use[int(j)] += 1
+            col_use[donor_col] -= 1
+
+    base = BaseMatrix(shifts, z, name or f"random-qc mb={mb} nb={nb} z={z}")
+    if avoid_4_cycles and z > 1:
+        base = _break_4_cycles(base, rng)
+    return base
+
+
+def random_qc_code(
+    mb: int,
+    nb: int,
+    z: int,
+    row_degree: Optional[int] = None,
+    seed: SeedLike = 0,
+    name: str = "",
+) -> QCLDPCCode:
+    """Convenience wrapper: generated prototype -> expanded code."""
+    base = make_base_matrix(mb, nb, z, row_degree=row_degree, seed=seed, name=name)
+    return QCLDPCCode(base)
+
+
+# ---------------------------------------------------------------------------
+# internals
+# ---------------------------------------------------------------------------
+
+
+def _resolve_degrees(
+    mb: int,
+    kb: int,
+    row_degree: Optional[int],
+    row_degrees: Optional[Sequence[int]],
+) -> np.ndarray:
+    if row_degrees is not None:
+        degrees = np.asarray(row_degrees, dtype=np.int64)
+        if degrees.shape != (mb,):
+            raise CodeConstructionError(
+                f"row_degrees must have length {mb}, got {degrees.shape}"
+            )
+        return degrees
+    if row_degree is None:
+        row_degree = max(3, kb // 2 + 2)
+    return np.full(mb, int(row_degree), dtype=np.int64)
+
+
+def _four_cycle_pairs(shifts: np.ndarray, z: int):
+    """Yield (i1, i2, j1, j2) row pairs whose shared columns close a 4-cycle.
+
+    Two circulant blocks pairs ((i1,j1),(i1,j2),(i2,j1),(i2,j2)), all
+    non-zero, form a length-4 cycle in the expanded graph iff
+    ``s(i1,j1) - s(i1,j2) + s(i2,j2) - s(i2,j1) == 0 (mod z)``.
+    """
+    mb, nb = shifts.shape
+    for i1 in range(mb):
+        for i2 in range(i1 + 1, mb):
+            shared = np.flatnonzero(
+                (shifts[i1] != ZERO_BLOCK) & (shifts[i2] != ZERO_BLOCK)
+            )
+            for a in range(len(shared)):
+                for b in range(a + 1, len(shared)):
+                    j1, j2 = int(shared[a]), int(shared[b])
+                    delta = (
+                        shifts[i1, j1]
+                        - shifts[i1, j2]
+                        + shifts[i2, j2]
+                        - shifts[i2, j1]
+                    ) % z
+                    if delta == 0:
+                        yield i1, i2, j1, j2
+
+
+def _break_4_cycles(base: BaseMatrix, rng: np.random.Generator) -> BaseMatrix:
+    """Resample data-part shifts until no 4-cycles remain (best effort)."""
+    shifts = base.shifts.copy()
+    z = base.z
+    kb = base.nb - base.mb
+    for _ in range(_MAX_SHIFT_TRIES):
+        cycles = list(_four_cycle_pairs(shifts, z))
+        if not cycles:
+            break
+        for i1, i2, j1, j2 in cycles:
+            # Only perturb data-part entries; the parity structure is fixed.
+            candidates = [
+                (i, j)
+                for (i, j) in ((i1, j1), (i1, j2), (i2, j1), (i2, j2))
+                if j < kb
+            ]
+            if not candidates:
+                continue
+            i, j = candidates[int(rng.integers(0, len(candidates)))]
+            shifts[i, j] = int(rng.integers(0, z))
+    return BaseMatrix(shifts, z, base.name)

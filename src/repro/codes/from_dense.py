@@ -1,0 +1,105 @@
+"""Recover QC structure from a dense parity-check matrix.
+
+The inverse of expansion: given a binary H and an expansion factor z,
+detect whether every z x z block is a zero matrix or a weight-1
+circulant, and rebuild the :class:`BaseMatrix` /
+:class:`~repro.codes.qc.QCLDPCCode`.  Combined with the alist parser
+this imports externally published QC-LDPC codes straight into the
+layered decoder and the architecture models (whose addressing depends
+on the block structure, not on how the matrix arrived).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.codes.alist import read_alist
+from repro.codes.base_matrix import BaseMatrix, ZERO_BLOCK
+from repro.codes.qc import QCLDPCCode
+from repro.errors import CodeConstructionError
+
+
+def detect_shift(block: np.ndarray) -> Optional[int]:
+    """Shift of a z x z weight-1 circulant, or None.
+
+    Returns ``ZERO_BLOCK`` for the all-zero block, the shift ``s`` when
+    row ``r`` has its single 1 at column ``(r + s) mod z`` for every
+    row, and ``None`` for anything else.
+    """
+    z = block.shape[0]
+    if block.shape != (z, z):
+        raise CodeConstructionError(f"block must be square, got {block.shape}")
+    total = int(block.sum())
+    if total == 0:
+        return ZERO_BLOCK
+    if total != z:
+        return None
+    cols = np.argmax(block, axis=1)
+    if np.any(block.sum(axis=1) != 1) or np.any(block.sum(axis=0) != 1):
+        return None
+    shift = int(cols[0]) % z
+    expected = (np.arange(z) + shift) % z
+    if np.array_equal(cols, expected):
+        return shift
+    return None
+
+
+def base_matrix_from_dense(
+    h: np.ndarray, z: int, name: str = ""
+) -> BaseMatrix:
+    """Rebuild the prototype matrix of a block-structured dense H."""
+    h = np.asarray(h, dtype=np.uint8)
+    if h.ndim != 2:
+        raise CodeConstructionError("H must be 2-D")
+    m, n = h.shape
+    if z < 1 or m % z or n % z:
+        raise CodeConstructionError(
+            f"dimensions {m} x {n} not divisible by z={z}"
+        )
+    mb, nb = m // z, n // z
+    shifts = np.full((mb, nb), ZERO_BLOCK, dtype=np.int64)
+    for i in range(mb):
+        for j in range(nb):
+            block = h[i * z : (i + 1) * z, j * z : (j + 1) * z]
+            shift = detect_shift(block)
+            if shift is None:
+                raise CodeConstructionError(
+                    f"block ({i}, {j}) is not a weight-1 circulant at z={z}"
+                )
+            shifts[i, j] = shift
+    return BaseMatrix(shifts, z, name or f"from-dense z={z}")
+
+
+def code_from_dense(h: np.ndarray, z: int, name: str = "") -> QCLDPCCode:
+    """Dense H -> fully structured QCLDPCCode."""
+    return QCLDPCCode(base_matrix_from_dense(h, z, name))
+
+
+def code_from_alist(path, z: int, name: str = "") -> QCLDPCCode:
+    """Load an alist file as a structured QC-LDPC code."""
+    return code_from_dense(read_alist(path), z, name)
+
+
+def infer_expansion_factor(h: np.ndarray, candidates=None) -> int:
+    """Find the largest z for which H is block-structured.
+
+    Tries divisors of the row count from largest to smallest; z = 1
+    always succeeds (any binary matrix is trivially block-structured at
+    z = 1), so a valid answer always exists.
+    """
+    h = np.asarray(h, dtype=np.uint8)
+    m, n = h.shape
+    if candidates is None:
+        candidates = sorted(
+            (z for z in range(1, m + 1) if m % z == 0 and n % z == 0),
+            reverse=True,
+        )
+    for z in candidates:
+        try:
+            base_matrix_from_dense(h, z)
+            return z
+        except CodeConstructionError:
+            continue
+    raise CodeConstructionError("no expansion factor fits (not even 1?)")

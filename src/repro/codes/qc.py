@@ -1,0 +1,201 @@
+"""Expanded quasi-cyclic LDPC codes with layer-oriented views.
+
+:class:`QCLDPCCode` is the central object of the algorithm substrate.  It
+wraps a :class:`~repro.codes.base_matrix.BaseMatrix` and precomputes the
+index structures that both the vectorized numpy decoder and the
+cycle-accurate architecture models consume:
+
+* per-layer ``(block_col, shift)`` lists (a *layer* is one block row —
+  the unit of the paper's layered Algorithm 1);
+* per-layer gather/scatter index matrices mapping each non-zero block's
+  z lanes to absolute variable indices;
+* flat check-node adjacency (for the flooding baseline decoder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.codes.base_matrix import BaseMatrix, ZERO_BLOCK
+from repro.errors import CodeConstructionError
+
+
+@dataclass(frozen=True)
+class LayerView(object):
+    """Precomputed index structure for one layer (block row).
+
+    Attributes
+    ----------
+    block_cols:
+        1-D array of the non-zero block-column indices of this layer.
+    shifts:
+        Matching circulant shifts (same length as ``block_cols``).
+    var_idx:
+        ``(degree, z)`` array; ``var_idx[k, r]`` is the absolute variable
+        index read by check row ``r`` of the layer through its ``k``-th
+        non-zero block.  Row ``r`` of a block with shift ``s`` connects to
+        column ``(r + s) mod z`` of that block.
+    """
+
+    block_cols: np.ndarray
+    shifts: np.ndarray
+    var_idx: np.ndarray
+
+    @property
+    def degree(self) -> int:
+        """Check-node degree (non-zero blocks in this layer)."""
+        return int(self.block_cols.shape[0])
+
+
+class QCLDPCCode(object):
+    """A fully expanded quasi-cyclic LDPC code.
+
+    Parameters
+    ----------
+    base:
+        Prototype matrix with its expansion factor.
+    name:
+        Optional display name (defaults to the base matrix name).
+    """
+
+    def __init__(self, base: BaseMatrix, name: str = "") -> None:
+        self.base = base
+        self.name = name or base.name
+        self.z = base.z
+        self.mb = base.mb
+        self.nb = base.nb
+        self.n = base.n
+        self.m = base.m
+        self.k = self.n - self.m
+        self._layers = self._build_layers()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _build_layers(self) -> List[LayerView]:
+        z = self.z
+        lanes = np.arange(z)
+        layers = []
+        for i in range(self.mb):
+            blocks = self.base.row_blocks(i)
+            if not blocks:
+                raise CodeConstructionError(f"layer {i} is empty")
+            cols = np.array([j for j, _ in blocks], dtype=np.int64)
+            shifts = np.array([s for _, s in blocks], dtype=np.int64)
+            var_idx = cols[:, None] * z + (lanes[None, :] + shifts[:, None]) % z
+            layers.append(LayerView(cols, shifts, var_idx))
+        return layers
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def rate(self) -> float:
+        """Design code rate k/n."""
+        return self.k / self.n
+
+    @property
+    def num_layers(self) -> int:
+        """Number of layers (block rows) processed per iteration."""
+        return self.mb
+
+    @property
+    def layers(self) -> Sequence[LayerView]:
+        """Layer views in natural (top-to-bottom) order."""
+        return self._layers
+
+    def layer(self, index: int) -> LayerView:
+        """The :class:`LayerView` for block row ``index``."""
+        return self._layers[index]
+
+    @cached_property
+    def nnz_blocks(self) -> int:
+        """Total non-zero circulant blocks (R-memory words needed)."""
+        return self.base.nnz_blocks()
+
+    @cached_property
+    def num_edges(self) -> int:
+        """Edges in the Tanner graph (= nnz entries of expanded H)."""
+        return self.nnz_blocks * self.z
+
+    @cached_property
+    def max_layer_degree(self) -> int:
+        """Largest check-node degree over all layers."""
+        return max(layer.degree for layer in self._layers)
+
+    # ------------------------------------------------------------------
+    # dense / adjacency exports
+    # ------------------------------------------------------------------
+    @cached_property
+    def parity_check_matrix(self) -> np.ndarray:
+        """The expanded binary H (dense ``uint8``; built lazily)."""
+        return self.base.expand()
+
+    @cached_property
+    def check_adjacency(self) -> List[np.ndarray]:
+        """Per expanded check row, the array of its variable indices.
+
+        Used by the flooding baseline decoder; row ``m`` of the expanded H
+        is check ``m = i*z + r`` where ``i`` is the layer and ``r`` the
+        lane within the layer.
+        """
+        adjacency: List[np.ndarray] = []
+        for layer in self._layers:
+            for r in range(self.z):
+                adjacency.append(layer.var_idx[:, r].copy())
+        return adjacency
+
+    @cached_property
+    def variable_adjacency(self) -> List[np.ndarray]:
+        """Per variable node, the array of its check indices."""
+        buckets: List[List[int]] = [[] for _ in range(self.n)]
+        for m, vs in enumerate(self.check_adjacency):
+            for v in vs:
+                buckets[int(v)].append(m)
+        return [np.array(b, dtype=np.int64) for b in buckets]
+
+    # ------------------------------------------------------------------
+    # syndrome / codeword checks
+    # ------------------------------------------------------------------
+    def syndrome(self, bits: np.ndarray) -> np.ndarray:
+        """Compute H x^T over GF(2) without materializing dense H.
+
+        Returns an ``m``-long 0/1 vector ordered layer-major (layer ``i``
+        lane ``r`` at position ``i*z + r``).
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self.n,):
+            raise CodeConstructionError(
+                f"codeword length {bits.shape} != ({self.n},)"
+            )
+        syn = np.empty(self.m, dtype=np.uint8)
+        for i, layer in enumerate(self._layers):
+            # XOR across the layer's blocks, one lane per check row.
+            vals = bits[layer.var_idx]  # (degree, z)
+            syn[i * self.z : (i + 1) * self.z] = np.bitwise_xor.reduce(vals, axis=0)
+        return syn
+
+    def is_codeword(self, bits: np.ndarray) -> bool:
+        """True iff all parity checks are satisfied."""
+        return not np.any(self.syndrome(bits))
+
+    # ------------------------------------------------------------------
+    # memory sizing (consumed by the architecture models)
+    # ------------------------------------------------------------------
+    def p_memory_words(self) -> int:
+        """P-SRAM depth: one word (z LLRs) per block column."""
+        return self.nb
+
+    def r_memory_words(self) -> int:
+        """R-SRAM depth: one word (z messages) per non-zero block."""
+        return self.nnz_blocks
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"QCLDPCCode(name={self.name!r}, n={self.n}, k={self.k}, "
+            f"z={self.z}, layers={self.mb})"
+        )

@@ -1,0 +1,163 @@
+"""Rate adaptation: shortening and puncturing of QC-LDPC codes.
+
+WiMax/WiFi systems adapt the effective code rate without new matrices:
+
+* **shortening** — fix the last ``s`` systematic bits to zero at the
+  encoder and give them infinite (maximum) LLRs at the decoder.  The
+  effective rate drops: ``(k - s) / (n - s)``;
+* **puncturing** — skip transmitting ``p`` chosen parity bits; the
+  decoder sees erasures (zero LLRs) there.  The effective rate rises:
+  ``k / (n - p)``.
+
+Both integrate with every decoder in the package because they act
+purely on the LLR vector; the parity-check matrix never changes — which
+is exactly why hardware (the paper's flexible decoder included) gets
+them for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.codes.qc import QCLDPCCode
+from repro.encoder.ru import RuEncoder
+from repro.errors import CodeConstructionError
+
+#: LLR magnitude representing a known (shortened) zero bit.
+_KNOWN_LLR = 64.0
+
+
+@dataclass(frozen=True)
+class RateAdaptedCode(object):
+    """A mother code plus a shortening/puncturing pattern.
+
+    Attributes
+    ----------
+    code:
+        The mother QC-LDPC code (unchanged).
+    shortened:
+        Number of trailing systematic bits fixed to zero.
+    punctured:
+        Indices of codeword positions not transmitted.
+    """
+
+    code: QCLDPCCode
+    shortened: int = 0
+    punctured: tuple = ()
+
+    def __post_init__(self) -> None:
+        k = self.code.k
+        if not 0 <= self.shortened < k:
+            raise CodeConstructionError(
+                f"shortened {self.shortened} out of range [0, {k})"
+            )
+        punct = tuple(sorted(int(i) for i in self.punctured))
+        for i in punct:
+            if not 0 <= i < self.code.n:
+                raise CodeConstructionError(f"punctured index {i} out of range")
+            if i < k:
+                raise CodeConstructionError(
+                    f"puncturing systematic bit {i}; puncture parity only"
+                )
+        if len(set(punct)) != len(punct):
+            raise CodeConstructionError("duplicate punctured indices")
+        object.__setattr__(self, "punctured", punct)
+
+    # ------------------------------------------------------------------
+    # dimensions
+    # ------------------------------------------------------------------
+    @property
+    def payload_bits(self) -> int:
+        """Information bits actually carried per frame."""
+        return self.code.k - self.shortened
+
+    @property
+    def transmitted_bits(self) -> int:
+        """Channel uses per frame."""
+        return self.code.n - self.shortened - len(self.punctured)
+
+    @property
+    def effective_rate(self) -> float:
+        """Payload over transmitted bits."""
+        return self.payload_bits / self.transmitted_bits
+
+    # ------------------------------------------------------------------
+    # encode / channel mapping
+    # ------------------------------------------------------------------
+    def encode(self, message: np.ndarray, encoder: Optional[RuEncoder] = None):
+        """Encode a shortened payload; returns the transmitted bits.
+
+        The shortened positions are zero-filled before mother-code
+        encoding and removed (with the punctured parity) from the
+        output.
+        """
+        message = np.asarray(message, dtype=np.uint8)
+        if message.shape != (self.payload_bits,):
+            raise CodeConstructionError(
+                f"payload length {message.shape} != ({self.payload_bits},)"
+            )
+        encoder = encoder or RuEncoder(self.code)
+        full_message = np.concatenate(
+            [message, np.zeros(self.shortened, dtype=np.uint8)]
+        )
+        codeword = encoder.encode(full_message)
+        return codeword[self._transmit_mask()]
+
+    def expand_llrs(self, received_llrs: np.ndarray) -> np.ndarray:
+        """Map received LLRs back onto the mother code's n positions.
+
+        Shortened bits get large positive LLRs (known zeros); punctured
+        bits get zero LLRs (erasures).
+        """
+        received_llrs = np.asarray(received_llrs, dtype=np.float64)
+        if received_llrs.shape != (self.transmitted_bits,):
+            raise CodeConstructionError(
+                f"received length {received_llrs.shape} != "
+                f"({self.transmitted_bits},)"
+            )
+        llrs = np.zeros(self.code.n)
+        llrs[self._transmit_mask()] = received_llrs
+        k = self.code.k
+        if self.shortened:
+            llrs[k - self.shortened : k] = _KNOWN_LLR
+        return llrs
+
+    def extract_payload(self, decoded_bits: np.ndarray) -> np.ndarray:
+        """Recover the shortened payload from decoded mother-code bits."""
+        decoded_bits = np.asarray(decoded_bits, dtype=np.uint8)
+        return decoded_bits[: self.payload_bits].copy()
+
+    def _transmit_mask(self) -> np.ndarray:
+        mask = np.ones(self.code.n, dtype=bool)
+        k = self.code.k
+        if self.shortened:
+            mask[k - self.shortened : k] = False
+        for i in self.punctured:
+            mask[i] = False
+        return mask
+
+
+def shorten(code: QCLDPCCode, bits: int) -> RateAdaptedCode:
+    """Shorten the last ``bits`` systematic bits (rate decreases)."""
+    return RateAdaptedCode(code, shortened=bits)
+
+
+def puncture(
+    code: QCLDPCCode, bits: int, pattern: Optional[Sequence[int]] = None
+) -> RateAdaptedCode:
+    """Puncture ``bits`` parity positions (rate increases).
+
+    The default pattern removes parity bits from the *end* of the
+    codeword (the last dual-diagonal blocks), which are the least
+    protected and the standard place to start.
+    """
+    if pattern is not None:
+        return RateAdaptedCode(code, punctured=tuple(pattern))
+    if bits < 0 or bits > code.m:
+        raise CodeConstructionError(f"cannot puncture {bits} of {code.m} parity bits")
+    return RateAdaptedCode(
+        code, punctured=tuple(range(code.n - bits, code.n))
+    )

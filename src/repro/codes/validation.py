@@ -1,0 +1,126 @@
+"""Structural validation of block-structured LDPC codes.
+
+These checks encode the properties the paper's decoder architecture
+relies on: weight-1 circulants (so the barrel shifter suffices for
+message routing), the dual-diagonal parity part (so linear-time encoding
+works), and 4-cycle freedom (so min-sum message passing is well behaved
+over the first iterations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.codes.base_matrix import BaseMatrix, ZERO_BLOCK
+from repro.codes.construction import _four_cycle_pairs
+from repro.codes.qc import QCLDPCCode
+
+
+@dataclass
+class CodeReport:
+    """Result of :func:`check_code`: per-property pass/fail plus notes."""
+
+    circulant_weights: bool
+    dual_diagonal: bool
+    girth_at_least_6: bool
+    column_degrees_ok: bool
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True iff every structural property holds."""
+        return (
+            self.circulant_weights
+            and self.dual_diagonal
+            and self.girth_at_least_6
+            and self.column_degrees_ok
+        )
+
+
+def circulant_weights_ok(code: QCLDPCCode) -> bool:
+    """Every non-zero block of the expanded H has row/column weight 1."""
+    h = code.parity_check_matrix
+    z = code.z
+    for i in range(code.mb):
+        for j in range(code.nb):
+            block = h[i * z : (i + 1) * z, j * z : (j + 1) * z]
+            weight = int(block.sum())
+            if code.base.shifts[i, j] == ZERO_BLOCK:
+                if weight != 0:
+                    return False
+            else:
+                if weight != z:
+                    return False
+                if np.any(block.sum(axis=0) != 1) or np.any(block.sum(axis=1) != 1):
+                    return False
+    return True
+
+
+def is_dual_diagonal(base: BaseMatrix) -> bool:
+    """Check the WiMax/WiFi parity-part structure.
+
+    Requires: a special column at ``kb`` with exactly three entries —
+    equal shifts in the first and last block rows (so they cancel when
+    all block rows are summed) plus one interior entry of any shift —
+    followed by ``mb - 1`` dual-diagonal zero-shift columns.
+    """
+    mb, nb = base.mb, base.nb
+    kb = nb - mb
+    shifts = base.shifts
+
+    special = shifts[:, kb]
+    nz = np.flatnonzero(special != ZERO_BLOCK)
+    if len(nz) != 3:
+        return False
+    top, mid, bot = (int(r) for r in nz)
+    if top != 0 or bot != mb - 1:
+        return False
+    if special[top] != special[bot]:
+        return False
+
+    for i in range(mb - 1):
+        col = shifts[:, kb + 1 + i]
+        nz = np.flatnonzero(col != ZERO_BLOCK)
+        if list(nz) != [i, i + 1]:
+            return False
+        if col[i] != 0 or col[i + 1] != 0:
+            return False
+    return True
+
+
+def girth_lower_bound_ok(base: BaseMatrix) -> bool:
+    """True iff the expanded Tanner graph has no 4-cycles (girth >= 6)."""
+    return not any(True for _ in _four_cycle_pairs(base.shifts, base.z))
+
+
+def column_degrees_ok(base: BaseMatrix, minimum: int = 2) -> bool:
+    """All systematic block columns participate in >= ``minimum`` layers.
+
+    Degree-1 systematic variables receive only one check message and
+    effectively never correct; the last dual-diagonal parity column is
+    exempt (it legitimately has degree 1 in this family).
+    """
+    degrees = base.col_degrees()
+    return bool(np.all(degrees[: base.nb - 1] >= minimum)) and degrees[-1] >= 1
+
+
+def check_code(code: QCLDPCCode) -> CodeReport:
+    """Run every structural check and return a :class:`CodeReport`."""
+    report = CodeReport(
+        circulant_weights=circulant_weights_ok(code),
+        dual_diagonal=is_dual_diagonal(code.base),
+        girth_at_least_6=girth_lower_bound_ok(code.base),
+        column_degrees_ok=column_degrees_ok(code.base),
+    )
+    if not report.circulant_weights:
+        report.notes.append("some block is not a weight-1 circulant")
+    if not report.dual_diagonal:
+        report.notes.append("parity part is not dual-diagonal encodable")
+    if not report.girth_at_least_6:
+        report.notes.append("expanded graph contains 4-cycles")
+    if not report.column_degrees_ok:
+        report.notes.append("a systematic block column has degree < 2")
+    return report

@@ -1,0 +1,179 @@
+"""IEEE 802.16e (WiMax) block-structured LDPC code family.
+
+The WiMax standard defines six rate classes (1/2, 2/3A, 2/3B, 3/4A, 3/4B,
+5/6), each given as a 24-block-column prototype matrix at the maximum
+expansion factor ``z0 = 96`` (code length 2304).  The 18 smaller code
+lengths (576...2304 in steps of 96, ``z = 24...96`` in steps of 4) are
+derived by scaling the shift coefficients: ``floor(s * z / 96)`` for all
+rate classes except 2/3A, which uses ``s mod z``.
+
+The rate-1/2 table below is the paper's case-study code: length 2304,
+12 layers, 24 block columns, 76 non-zero blocks.  The largest per-rate
+block count is 84 (rates 3/4A/3/4B), which is why the paper's R SRAM is
+sized 84 x 768 bits (Table II).
+
+Fidelity note (see DESIGN.md section 2): the rate-1/2 table is the
+published standard table.  The other five rate classes are
+*standard-like reconstructions* — they reproduce the standard's exact
+structure (block dimensions, dual-diagonal parity part, special column
+with matching top/bottom shifts, row-degree profile, 84-block maximum)
+but individual data-part shift values may differ from the published
+tables.  Every structural property the paper's evaluation depends on is
+enforced by ``tests/test_codes_wimax.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.codes.base_matrix import BaseMatrix, base_matrix_from_rows
+from repro.codes.qc import QCLDPCCode
+from repro.errors import CodeConstructionError
+
+#: Rate classes defined by the standard, mapping to (numerator, denominator).
+WIMAX_RATES: Dict[str, Tuple[int, int]] = {
+    "1/2": (1, 2),
+    "2/3A": (2, 3),
+    "2/3B": (2, 3),
+    "3/4A": (3, 4),
+    "3/4B": (3, 4),
+    "5/6": (5, 6),
+}
+
+#: Legal expansion factors: 24, 28, ..., 96.
+WIMAX_Z_FACTORS = tuple(range(24, 97, 4))
+
+_Z0 = 96
+
+# ---------------------------------------------------------------------------
+# Prototype tables at z0 = 96 (columns: 24; -1 denotes the zero block).
+# ---------------------------------------------------------------------------
+
+_RATE_1_2 = [
+    [-1, 94, 73, -1, -1, -1, -1, -1, 55, 83, -1, -1, 7, 0, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1],
+    [-1, 27, -1, -1, -1, 22, 79, 9, -1, -1, -1, 12, -1, 0, 0, -1, -1, -1, -1, -1, -1, -1, -1, -1],
+    [-1, -1, -1, 24, 22, 81, -1, 33, -1, -1, -1, 0, -1, -1, 0, 0, -1, -1, -1, -1, -1, -1, -1, -1],
+    [61, -1, 47, -1, -1, -1, -1, -1, 65, 25, -1, -1, -1, -1, -1, 0, 0, -1, -1, -1, -1, -1, -1, -1],
+    [-1, -1, 39, -1, -1, -1, 84, -1, -1, 41, 72, -1, -1, -1, -1, -1, 0, 0, -1, -1, -1, -1, -1, -1],
+    [-1, -1, -1, -1, 46, 40, -1, 82, -1, -1, -1, 79, 0, -1, -1, -1, -1, 0, 0, -1, -1, -1, -1, -1],
+    [-1, -1, 95, 53, -1, -1, -1, -1, -1, 14, 18, -1, -1, -1, -1, -1, -1, -1, 0, 0, -1, -1, -1, -1],
+    [-1, 11, 73, -1, -1, -1, 2, -1, -1, 47, -1, -1, -1, -1, -1, -1, -1, -1, -1, 0, 0, -1, -1, -1],
+    [12, -1, -1, -1, 83, 24, -1, 43, -1, -1, -1, 51, -1, -1, -1, -1, -1, -1, -1, -1, 0, 0, -1, -1],
+    [-1, -1, -1, -1, -1, 94, -1, 59, -1, -1, 70, 72, -1, -1, -1, -1, -1, -1, -1, -1, -1, 0, 0, -1],
+    [-1, -1, 7, 65, -1, -1, -1, -1, 39, 49, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, 0, 0],
+    [43, -1, -1, -1, -1, 66, -1, 41, -1, -1, -1, 26, 7, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, 0],
+]
+
+_RATE_2_3A = [
+    [3, 0, -1, -1, 2, 0, -1, 3, 7, -1, 1, 1, -1, -1, -1, -1, 1, 0, -1, -1, -1, -1, -1, -1],
+    [-1, -1, 1, -1, 36, -1, -1, 34, 10, -1, -1, 18, 2, -1, 3, 0, -1, 0, 0, -1, -1, -1, -1, -1],
+    [-1, -1, 12, 2, -1, 15, -1, 40, -1, 3, -1, 15, -1, 2, 13, -1, -1, -1, 0, 0, -1, -1, -1, -1],
+    [-1, -1, 19, 24, -1, 3, 0, -1, 6, -1, 17, -1, -1, -1, 8, 39, -1, -1, -1, 0, 0, -1, -1, -1],
+    [20, -1, 6, -1, -1, 10, 29, -1, -1, 28, -1, 14, -1, 38, -1, -1, 0, -1, -1, -1, 0, 0, -1, -1],
+    [-1, -1, 10, -1, 28, 20, -1, -1, 8, -1, 36, -1, 9, -1, 21, 45, -1, -1, -1, -1, -1, 0, 0, -1],
+    [35, 25, -1, 37, -1, 21, -1, -1, 5, -1, -1, 0, -1, 4, 20, -1, -1, -1, -1, -1, -1, -1, 0, 0],
+    [-1, 6, 6, -1, -1, -1, 4, -1, 14, 30, -1, 3, 36, -1, 14, -1, 1, -1, -1, -1, -1, -1, -1, 0],
+]
+
+_RATE_2_3B = [
+    [2, -1, 19, -1, 47, -1, 48, -1, 36, -1, 82, -1, 47, -1, 15, -1, 95, 0, -1, -1, -1, -1, -1, -1],
+    [-1, 69, -1, 88, -1, 33, -1, 3, -1, 16, -1, 37, -1, 40, -1, 48, -1, 0, 0, -1, -1, -1, -1, -1],
+    [10, -1, 86, -1, 62, -1, 28, -1, 85, -1, 16, -1, 34, -1, 73, -1, -1, -1, 0, 0, -1, -1, -1, -1],
+    [-1, 28, -1, 32, -1, 81, -1, 27, -1, 88, -1, 5, -1, 56, -1, 37, -1, -1, -1, 0, 0, -1, -1, -1],
+    [23, -1, 29, -1, 15, -1, 30, -1, 66, -1, 24, -1, 50, -1, 62, -1, -1, -1, -1, -1, 0, 0, -1, -1],
+    [-1, 30, -1, 65, -1, 54, -1, 14, -1, 0, -1, 30, -1, 74, -1, 0, -1, -1, -1, -1, -1, 0, 0, -1],
+    [32, -1, 0, -1, 15, -1, 56, -1, 85, -1, 5, -1, 6, -1, 52, -1, 0, -1, -1, -1, -1, -1, 0, 0],
+    [-1, 0, -1, 47, -1, 13, -1, 61, -1, 84, -1, 55, -1, 78, -1, 41, 95, -1, -1, -1, -1, -1, -1, 0],
+]
+
+_RATE_3_4A = [
+    [5, 38, 3, 93, -1, -1, -1, 30, 70, -1, 86, -1, 37, 38, 4, 11, -1, 46, 48, 0, -1, -1, -1, -1],
+    [62, 94, 19, 84, -1, 92, 77, -1, 15, -1, -1, 92, -1, 45, 24, 32, 30, -1, -1, 0, 0, -1, -1, -1],
+    [71, -1, 55, -1, 12, 66, 45, 79, -1, 78, -1, -1, 10, -1, 22, 55, 70, 82, -1, -1, 0, 0, -1, -1],
+    [38, 61, -1, 66, 9, 73, 47, 64, -1, 39, -1, 43, -1, -1, -1, -1, 95, 32, 0, -1, -1, 0, 0, -1],
+    [-1, -1, -1, -1, 32, 52, 55, 80, 95, 22, 6, 50, 24, 90, 44, 20, -1, -1, -1, -1, -1, -1, 0, 0],
+    [-1, 63, 31, 88, 20, -1, -1, -1, 6, 40, 56, 16, 71, 53, -1, -1, 27, 26, 48, -1, -1, -1, -1, 0],
+]
+
+_RATE_3_4B = [
+    [-1, 81, -1, 28, -1, -1, 14, 25, 18, -1, -1, 86, 29, 52, 78, 95, 22, 92, 0, 0, -1, -1, -1, -1],
+    [42, -1, 14, 68, 32, -1, -1, -1, -1, 70, 43, 11, 36, 40, -1, 57, 38, 24, -1, 0, 0, -1, -1, -1],
+    [-1, -1, 20, -1, -1, 63, 39, -1, 70, 67, -1, 38, 4, 72, 47, -1, 60, 5, 80, -1, 0, 0, -1, -1],
+    [64, 2, -1, -1, 63, -1, -1, 3, 51, -1, 81, 15, 94, -1, 84, 36, 14, 19, -1, -1, -1, 0, 0, -1],
+    [-1, 53, 60, 80, -1, 26, 75, -1, -1, -1, -1, 86, 77, 1, 3, 72, 60, 25, -1, -1, -1, -1, 0, 0],
+    [77, -1, -1, -1, 15, 28, 35, -1, 72, 30, -1, 85, 84, 26, 64, 11, 89, -1, 0, -1, -1, -1, -1, 0],
+]
+
+# Rate 5/6 parity layout (kb = 20, mb = 4): special column 20 has its
+# three entries at rows 0/1/3 with matching top/bottom shifts (80) and a
+# zero-shift middle; columns 21-23 carry the dual diagonal.
+_RATE_5_6 = [
+    [1, 25, 55, -1, 47, 4, -1, 91, 84, 8, 86, 52, 82, 33, 5, 0, 36, 20, 4, 77, 80, 0, -1, -1],
+    [-1, 6, -1, 36, 40, 47, 12, 79, 47, -1, 41, 21, 12, 71, 14, 72, 0, 44, 49, -1, 0, 0, 0, -1],
+    [51, 81, 83, 4, 67, -1, 21, -1, 31, 24, 91, 61, 81, 9, 86, 78, 60, 88, 67, 15, -1, -1, 0, 0],
+    [50, -1, 50, 15, -1, 36, 13, 10, 11, 20, 53, 90, 29, 92, 57, 30, 84, 92, 11, 66, 80, -1, -1, 0],
+]
+
+_TABLES = {
+    "1/2": _RATE_1_2,
+    "2/3A": _RATE_2_3A,
+    "2/3B": _RATE_2_3B,
+    "3/4A": _RATE_3_4A,
+    "3/4B": _RATE_3_4B,
+    "5/6": _RATE_5_6,
+}
+
+#: Scaling rule per rate class (IEEE 802.16e section 8.4.9.2.5).
+_SCALING_MODE = {rate: ("modulo" if rate == "2/3A" else "floor") for rate in WIMAX_RATES}
+
+
+def wimax_base_matrix(rate: str = "1/2", z: int = 96) -> BaseMatrix:
+    """The WiMax prototype matrix for a rate class at expansion factor z.
+
+    Parameters
+    ----------
+    rate:
+        One of ``"1/2"``, ``"2/3A"``, ``"2/3B"``, ``"3/4A"``, ``"3/4B"``,
+        ``"5/6"``.
+    z:
+        Expansion factor, one of :data:`WIMAX_Z_FACTORS` (24...96 step 4).
+        Code length is ``24 * z``.
+    """
+    if rate not in _TABLES:
+        raise CodeConstructionError(
+            f"unknown WiMax rate {rate!r}; choose from {sorted(_TABLES)}"
+        )
+    if z not in WIMAX_Z_FACTORS:
+        raise CodeConstructionError(
+            f"z={z} is not a legal WiMax expansion factor {WIMAX_Z_FACTORS}"
+        )
+    base = base_matrix_from_rows(
+        _TABLES[rate], _Z0, name=f"802.16e r{rate} z={_Z0}"
+    )
+    if z == _Z0:
+        return base
+    return base.scaled(z, mode=_SCALING_MODE[rate], name=f"802.16e r{rate} z={z}")
+
+
+def wimax_code(rate: str = "1/2", n: int = 2304) -> QCLDPCCode:
+    """Build a WiMax LDPC code by rate class and code length.
+
+    ``n`` must be a multiple of 24 with ``n / 24`` a legal expansion
+    factor.  The default is the paper's case study: the (2304, rate 1/2)
+    code with z = 96.
+    """
+    if n % 24 != 0:
+        raise CodeConstructionError(f"WiMax code length {n} not a multiple of 24")
+    z = n // 24
+    return QCLDPCCode(wimax_base_matrix(rate, z))
+
+
+def wimax_max_r_words(z: int = 96) -> int:
+    """R-memory depth needed to support every WiMax rate class.
+
+    The paper sizes the R SRAM at 84 words: the largest non-zero block
+    count over the six rate classes (reached by rate 3/4B).
+    """
+    return max(
+        wimax_base_matrix(rate, z).nnz_blocks() for rate in WIMAX_RATES
+    )

@@ -1,0 +1,39 @@
+"""LDPC decoding algorithms.
+
+The paper's Algorithm 1 — layered scaled min-sum with factor 0.75 —
+is implemented in :class:`LayeredMinSumDecoder`, in both floating-point
+and bit-accurate fixed-point (the 8-bit message format of the
+synthesized datapath).  :class:`FloodingDecoder` provides the classic
+two-phase baselines (sum-product and min-sum) the layered schedule is
+measured against.
+"""
+
+from repro.decoder.result import DecodeResult
+from repro.decoder.layered import LayeredMinSumDecoder
+from repro.decoder.flooding import FloodingDecoder
+from repro.decoder.hard import GallagerBDecoder, WeightedBitFlipDecoder
+from repro.decoder.layered_spa import LayeredSumProductDecoder
+from repro.decoder.stats import MessageStats, instrumented_decode
+from repro.decoder.minsum import (
+    min1_min2,
+    scale_magnitude_fixed,
+    scale_magnitude_float,
+    sign_with_zero_positive,
+)
+from repro.decoder.api import decode
+
+__all__ = [
+    "DecodeResult",
+    "LayeredMinSumDecoder",
+    "FloodingDecoder",
+    "GallagerBDecoder",
+    "WeightedBitFlipDecoder",
+    "LayeredSumProductDecoder",
+    "MessageStats",
+    "instrumented_decode",
+    "min1_min2",
+    "scale_magnitude_fixed",
+    "scale_magnitude_float",
+    "sign_with_zero_positive",
+    "decode",
+]

@@ -1,0 +1,72 @@
+"""High-level one-call decode API.
+
+``decode(code, llrs)`` covers the common case — the paper's layered
+scaled min-sum with 10 iterations and early termination — while the
+decoder classes remain available for repeated-use and advanced
+configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.qc import QCLDPCCode
+from repro.decoder.flooding import FloodingDecoder
+from repro.decoder.layered import DEFAULT_MAX_ITERATIONS, LayeredMinSumDecoder
+from repro.decoder.layered_spa import LayeredSumProductDecoder
+from repro.decoder.result import DecodeResult
+from repro.errors import DecodingError
+
+_ALGORITHMS = (
+    "layered-min-sum",
+    "layered-sum-product",
+    "flooding-min-sum",
+    "flooding-sum-product",
+)
+
+
+def decode(
+    code: QCLDPCCode,
+    channel_llrs: np.ndarray,
+    algorithm: str = "layered-min-sum",
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    fixed: bool = False,
+) -> DecodeResult:
+    """Decode one frame with a named algorithm.
+
+    Parameters
+    ----------
+    code:
+        The QC-LDPC code.
+    channel_llrs:
+        Length-n channel LLRs (positive = bit 0 more likely).
+    algorithm:
+        ``"layered-min-sum"`` (the paper's Algorithm 1, default),
+        ``"layered-sum-product"``, ``"flooding-min-sum"``, or
+        ``"flooding-sum-product"``.
+    max_iterations:
+        Full-iteration budget.
+    fixed:
+        Bit-accurate 8-bit arithmetic (layered only).
+    """
+    if algorithm == "layered-min-sum":
+        return LayeredMinSumDecoder(
+            code, max_iterations=max_iterations, fixed=fixed
+        ).decode(channel_llrs)
+    if fixed:
+        raise DecodingError("fixed-point mode is only available for layered-min-sum")
+    if algorithm == "layered-sum-product":
+        return LayeredSumProductDecoder(
+            code, max_iterations=max_iterations
+        ).decode(channel_llrs)
+    if algorithm == "flooding-min-sum":
+        return FloodingDecoder(
+            code, max_iterations=max_iterations, check_rule="min-sum"
+        ).decode(channel_llrs)
+    if algorithm == "flooding-sum-product":
+        return FloodingDecoder(
+            code, max_iterations=max_iterations, check_rule="sum-product"
+        ).decode(channel_llrs)
+    raise DecodingError(
+        f"unknown algorithm {algorithm!r}; choose from {_ALGORITHMS}"
+    )

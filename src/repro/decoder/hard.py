@@ -1,0 +1,165 @@
+"""Hard-decision decoders: Gallager-B and weighted bit flipping.
+
+Low-complexity baselines below min-sum on the performance/complexity
+curve.  The paper's introduction frames LDPC decoder design as a
+power/throughput/quality trade — these decoders anchor the cheap end
+of that trade in the benchmark ablations: a fraction of the arithmetic
+(no multiplies, 1-bit messages for Gallager-B) for a couple of dB of
+coding loss.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.codes.qc import QCLDPCCode
+from repro.decoder.result import DecodeResult
+from repro.errors import DecodingError
+from repro.utils.bitops import hard_decision
+
+
+class GallagerBDecoder(object):
+    """Gallager's algorithm B: majority voting over 1-bit messages.
+
+    Each iteration every check node sends each neighbour the XOR of the
+    *other* neighbours' current bits; a variable flips its bit when at
+    least ``threshold`` of its incoming votes disagree with its channel
+    value.  The default threshold is the classic majority
+    ``ceil((degree + 1) / 2)`` computed per variable.
+    """
+
+    def __init__(
+        self,
+        code: QCLDPCCode,
+        max_iterations: int = 20,
+        threshold: int = 0,
+    ) -> None:
+        if max_iterations < 1:
+            raise DecodingError("max_iterations must be >= 1")
+        self.code = code
+        self.max_iterations = max_iterations
+        self.threshold = threshold
+
+    def decode(self, channel_llrs: np.ndarray) -> DecodeResult:
+        """Decode from LLRs (only their signs are used)."""
+        llrs = np.asarray(channel_llrs, dtype=np.float64)
+        if llrs.shape != (self.code.n,):
+            raise DecodingError(f"LLR length {llrs.shape} != ({self.code.n},)")
+        code = self.code
+        received = hard_decision(llrs)
+        bits = received.copy()
+
+        degrees = np.array(
+            [len(a) for a in code.variable_adjacency], dtype=np.int64
+        )
+        if self.threshold:
+            thresholds = np.full(code.n, self.threshold, dtype=np.int64)
+        else:
+            thresholds = (degrees + 2) // 2  # strict majority
+
+        iterations = 0
+        iteration_syndromes: List[int] = []
+        for _ in range(self.max_iterations):
+            syndrome = code.syndrome(bits)
+            weight = int(syndrome.sum())
+            if weight == 0:
+                iteration_syndromes.append(0)
+                iterations += 1
+                break
+            # Vote: a check sends "flip" to a neighbour when the check
+            # fails with that neighbour's bit included — equivalently,
+            # count failing checks per variable (Gallager-B with the
+            # extrinsic bit folded in; exact for majority thresholds).
+            votes = np.zeros(code.n, dtype=np.int64)
+            failing = np.flatnonzero(syndrome)
+            for m in failing:
+                votes[code.check_adjacency[int(m)]] += 1
+            flip = votes >= thresholds
+            if not flip.any():
+                # Fixed point short of convergence: flip the worst one.
+                worst = int(np.argmax(votes))
+                if votes[worst] == 0:
+                    iterations += 1
+                    iteration_syndromes.append(weight)
+                    break
+                flip = np.zeros(code.n, dtype=bool)
+                flip[worst] = True
+            bits = bits ^ flip.astype(np.uint8)
+            iterations += 1
+            iteration_syndromes.append(int(code.syndrome(bits).sum()))
+
+        weight = iteration_syndromes[-1] if iteration_syndromes else int(
+            code.syndrome(bits).sum()
+        )
+        return DecodeResult(
+            bits=bits,
+            converged=weight == 0,
+            iterations=max(iterations, 1),
+            llrs=np.where(bits == 0, 1.0, -1.0),
+            syndrome_weight=weight,
+            iteration_syndromes=iteration_syndromes or [weight],
+        )
+
+
+class WeightedBitFlipDecoder(object):
+    """Weighted bit flipping: soft reliability, single flip per round.
+
+    Each iteration computes, per variable, the sum over its failing
+    checks weighted by the channel reliability, and flips the variable
+    with the largest flipping metric.  Better than Gallager-B, still
+    far cheaper than min-sum; converges slowly (one flip per
+    iteration), so budget iterations generously.
+    """
+
+    def __init__(self, code: QCLDPCCode, max_iterations: int = 100) -> None:
+        if max_iterations < 1:
+            raise DecodingError("max_iterations must be >= 1")
+        self.code = code
+        self.max_iterations = max_iterations
+
+    def decode(self, channel_llrs: np.ndarray) -> DecodeResult:
+        """Decode from channel LLRs."""
+        llrs = np.asarray(channel_llrs, dtype=np.float64)
+        if llrs.shape != (self.code.n,):
+            raise DecodingError(f"LLR length {llrs.shape} != ({self.code.n},)")
+        code = self.code
+        bits = hard_decision(llrs)
+        reliability = np.abs(llrs)
+        # Per check, the least reliable participant sets its weight.
+        check_weight = np.array(
+            [reliability[adj].min() for adj in code.check_adjacency]
+        )
+
+        iterations = 0
+        iteration_syndromes: List[int] = []
+        for _ in range(self.max_iterations):
+            syndrome = code.syndrome(bits)
+            weight = int(syndrome.sum())
+            iterations += 1
+            if weight == 0:
+                iteration_syndromes.append(0)
+                break
+            # Flipping metric: weighted failing checks minus own confidence.
+            metric = np.full(code.n, -np.inf)
+            involved = np.zeros(code.n, dtype=bool)
+            score = np.zeros(code.n)
+            for m in np.flatnonzero(syndrome):
+                adj = code.check_adjacency[int(m)]
+                score[adj] += check_weight[int(m)]
+                involved[adj] = True
+            metric[involved] = score[involved] - 0.5 * reliability[involved]
+            bits = bits.copy()
+            bits[int(np.argmax(metric))] ^= 1
+            iteration_syndromes.append(int(code.syndrome(bits).sum()))
+
+        weight = iteration_syndromes[-1] if iteration_syndromes else 0
+        return DecodeResult(
+            bits=bits,
+            converged=weight == 0,
+            iterations=iterations,
+            llrs=np.where(bits == 0, 1.0, -1.0) * reliability,
+            syndrome_weight=weight,
+            iteration_syndromes=iteration_syndromes or [weight],
+        )

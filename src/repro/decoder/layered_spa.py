@@ -1,0 +1,83 @@
+"""Layered sum-product decoding: the exact check rule, layered schedule.
+
+Algorithm 1 approximates the check-node update with a scaled minimum;
+this decoder runs the *exact* tanh rule inside the same layered
+schedule.  It is the error-rate ceiling for the schedule — min-sum
+variants are judged by how little they lose against it — at the cost of
+transcendental arithmetic no 400 MHz 65 nm datapath would pay.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.codes.qc import QCLDPCCode
+from repro.decoder.result import DecodeResult
+from repro.errors import DecodingError
+from repro.utils.bitops import hard_decision
+
+_TANH_CLIP = 30.0
+_EPS = 1e-12
+
+
+class LayeredSumProductDecoder(object):
+    """Layered decoder with the exact tanh check-node rule.
+
+    Same state organization as :class:`LayeredMinSumDecoder` (P vector
+    plus per-layer R messages); only stage 2's magnitude computation
+    differs: ``R'_mn = 2 atanh( prod_{j != n} tanh(Q_mj / 2) )``.
+    """
+
+    def __init__(
+        self,
+        code: QCLDPCCode,
+        max_iterations: int = 10,
+        early_termination: bool = True,
+    ) -> None:
+        if max_iterations < 1:
+            raise DecodingError(f"max_iterations must be >= 1, got {max_iterations}")
+        self.code = code
+        self.max_iterations = max_iterations
+        self.early_termination = early_termination
+
+    def decode(self, channel_llrs: np.ndarray) -> DecodeResult:
+        """Decode one frame of channel LLRs (length n, float)."""
+        llrs = np.asarray(channel_llrs, dtype=np.float64)
+        if llrs.shape != (self.code.n,):
+            raise DecodingError(f"LLR length {llrs.shape} != ({self.code.n},)")
+        code = self.code
+        p = llrs.copy()
+        r = [np.zeros((layer.degree, code.z)) for layer in code.layers]
+
+        iteration_syndromes: List[int] = []
+        iterations = 0
+        for _ in range(self.max_iterations):
+            for l in range(code.num_layers):
+                layer = code.layer(l)
+                idx = layer.var_idx
+                q = p[idx] - r[l]
+                t = np.tanh(np.clip(q / 2.0, -_TANH_CLIP, _TANH_CLIP))
+                t = np.where(np.abs(t) < _EPS, np.copysign(_EPS, t + 1e-300), t)
+                prod = np.prod(t, axis=0)
+                extrinsic = np.clip(prod[None, :] / t, -1 + _EPS, 1 - _EPS)
+                r_new = 2.0 * np.arctanh(extrinsic)
+                p[idx] = q + r_new
+                r[l] = r_new
+            iterations += 1
+            weight = int(code.syndrome(hard_decision(p)).sum())
+            iteration_syndromes.append(weight)
+            if self.early_termination and weight == 0:
+                break
+
+        bits = hard_decision(p)
+        weight = iteration_syndromes[-1]
+        return DecodeResult(
+            bits=bits,
+            converged=weight == 0,
+            iterations=iterations,
+            llrs=p,
+            syndrome_weight=weight,
+            iteration_syndromes=iteration_syndromes,
+        )

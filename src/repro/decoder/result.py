@@ -1,0 +1,44 @@
+"""Decode outcome record shared by every decoder in the package."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+
+@dataclass
+class DecodeResult(object):
+    """Outcome of one codeword decode.
+
+    Attributes
+    ----------
+    bits:
+        Hard-decision codeword estimate (length n).
+    converged:
+        True iff all parity checks were satisfied at exit.
+    iterations:
+        Number of *full* iterations executed (early termination makes
+        this smaller than the configured maximum; it drives the
+        latency/throughput numbers of the architecture models).
+    llrs:
+        Final a-posteriori values P_n (float, dequantized for the
+        fixed-point decoder).
+    syndrome_weight:
+        Number of unsatisfied checks at exit (0 when ``converged``).
+    iteration_syndromes:
+        Unsatisfied-check count after each completed iteration; useful
+        for convergence plots and for validating early termination.
+    """
+
+    bits: np.ndarray
+    converged: bool
+    iterations: int
+    llrs: np.ndarray
+    syndrome_weight: int
+    iteration_syndromes: List[int] = field(default_factory=list)
+
+    def message_bits(self, k: int) -> np.ndarray:
+        """The systematic payload (first ``k`` positions)."""
+        return self.bits[:k].copy()

@@ -1,0 +1,29 @@
+"""Encoders for block-structured LDPC codes.
+
+Two encoders are provided and cross-checked against each other in the
+test suite:
+
+* :class:`RuEncoder` — the linear-time Richardson-Urbanke style encoder
+  that exploits the WiMax/WiFi dual-diagonal parity structure (this is
+  what a transmitter SoC pairs with the paper's decoder);
+* :class:`SystematicEncoder` — a generic Gaussian-elimination encoder
+  that works for any full-rank H and serves as the reference.
+"""
+
+from repro.encoder.gf2 import (
+    gf2_matmul,
+    gf2_rank,
+    gf2_rref,
+    gf2_solve,
+)
+from repro.encoder.ru import RuEncoder
+from repro.encoder.systematic import SystematicEncoder
+
+__all__ = [
+    "gf2_matmul",
+    "gf2_rank",
+    "gf2_rref",
+    "gf2_solve",
+    "RuEncoder",
+    "SystematicEncoder",
+]

@@ -1,0 +1,74 @@
+"""Dense GF(2) linear algebra on uint8 numpy arrays.
+
+Small, dependency-free routines used by the generic encoder and by the
+validation tests (rank checks, solving for parity bits).  Matrices are
+0/1 ``uint8`` arrays; all arithmetic is mod 2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+def gf2_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(2)."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    return (a.astype(np.int64) @ b.astype(np.int64) % 2).astype(np.uint8)
+
+
+def gf2_rref(matrix: np.ndarray) -> Tuple[np.ndarray, List[int]]:
+    """Reduced row-echelon form over GF(2).
+
+    Returns the RREF matrix and the list of pivot column indices.
+    """
+    m = np.array(matrix, dtype=np.uint8, copy=True)
+    rows, cols = m.shape
+    pivots: List[int] = []
+    r = 0
+    for c in range(cols):
+        if r >= rows:
+            break
+        pivot_rows = np.flatnonzero(m[r:, c]) + r
+        if len(pivot_rows) == 0:
+            continue
+        p = int(pivot_rows[0])
+        if p != r:
+            m[[r, p]] = m[[p, r]]
+        # Eliminate this column from every other row.
+        others = np.flatnonzero(m[:, c])
+        for o in others:
+            if o != r:
+                m[o] ^= m[r]
+        pivots.append(c)
+        r += 1
+    return m, pivots
+
+
+def gf2_rank(matrix: np.ndarray) -> int:
+    """Rank over GF(2)."""
+    _, pivots = gf2_rref(matrix)
+    return len(pivots)
+
+
+def gf2_solve(a: np.ndarray, b: np.ndarray) -> Optional[np.ndarray]:
+    """Solve ``a @ x = b`` over GF(2); returns one solution or ``None``.
+
+    Free variables (non-pivot columns) are set to zero.
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if b.ndim != 1 or a.shape[0] != b.shape[0]:
+        raise ValueError(f"incompatible shapes {a.shape} and {b.shape}")
+    augmented = np.concatenate([a, b[:, None]], axis=1)
+    rref, pivots = gf2_rref(augmented)
+    n = a.shape[1]
+    # Inconsistent iff a pivot lands in the augmented column.
+    if n in pivots:
+        return None
+    x = np.zeros(n, dtype=np.uint8)
+    for row, col in enumerate(pivots):
+        x[col] = rref[row, n]
+    return x

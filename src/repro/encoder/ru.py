@@ -1,0 +1,100 @@
+"""Linear-time encoder for dual-diagonal QC-LDPC codes.
+
+The WiMax/WiFi parity structure (special column + dual diagonal, see
+:mod:`repro.codes.construction`) admits Richardson-Urbanke style
+encoding in O(n) time:
+
+1. accumulate ``t_i = sum_j P^{s_ij} u_j`` over the data blocks of each
+   block row ``i``;
+2. summing all block rows cancels the dual diagonal and the two equal
+   special-column shifts, leaving ``P^{s_mid} p_0 = sum_i t_i`` where
+   ``s_mid`` is the interior special-column shift (zero in most WiMax
+   rate classes), so ``p_0 = P^{-s_mid} sum_i t_i``;
+3. forward substitution down the dual diagonal yields
+   ``p_{i+1} = t_i + p_i (+ P^{s} p_0 terms where the special column
+   intersects row i)``.
+
+``P^s v`` for a weight-1 circulant with shift ``s`` is ``np.roll(v, -s)``
+(row ``r`` reads lane ``(r + s) mod z``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.base_matrix import ZERO_BLOCK
+from repro.codes.qc import QCLDPCCode
+from repro.codes.validation import is_dual_diagonal
+from repro.errors import EncodingError
+
+
+def rotate(vector: np.ndarray, shift: int) -> np.ndarray:
+    """Apply the shift-``s`` circulant to a z-lane vector."""
+    return np.roll(vector, -shift)
+
+
+class RuEncoder(object):
+    """Richardson-Urbanke encoder for the dual-diagonal QC family.
+
+    Message bits occupy the first ``k = (nb - mb) * z`` codeword
+    positions (fully systematic), followed by the ``mb`` parity blocks.
+    """
+
+    def __init__(self, code: QCLDPCCode) -> None:
+        if not is_dual_diagonal(code.base):
+            raise EncodingError(
+                f"code {code.name!r} lacks the dual-diagonal parity "
+                "structure; use SystematicEncoder instead"
+            )
+        self.code = code
+        self._kb = code.nb - code.mb
+        special = code.base.shifts[:, self._kb]
+        nz = np.flatnonzero(special != ZERO_BLOCK)
+        self._special_top_shift = int(special[0])
+        self._special_mid_row = int(nz[1])
+        self._special_mid_shift = int(special[self._special_mid_row])
+
+    @property
+    def k(self) -> int:
+        """Number of message bits per codeword."""
+        return self._kb * self.code.z
+
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        """Map ``k`` message bits to an ``n``-bit systematic codeword."""
+        code = self.code
+        z = code.z
+        message = np.asarray(message, dtype=np.uint8)
+        if message.shape != (self.k,):
+            raise EncodingError(f"message length {message.shape} != ({self.k},)")
+
+        u = message.reshape(self._kb, z)
+        t = np.zeros((code.mb, z), dtype=np.uint8)
+        for i in range(code.mb):
+            for j, s in code.base.row_blocks(i):
+                if j < self._kb:
+                    t[i] ^= rotate(u[j], s)
+
+        p = np.zeros((code.mb, z), dtype=np.uint8)
+        sum_t = np.bitwise_xor.reduce(t, axis=0)
+        # P^{s_mid} p0 = sum_t  =>  p0 = P^{-s_mid} sum_t.
+        p0 = rotate(sum_t, -self._special_mid_shift % z)
+        # Block row 0: t_0 + P^{s_top} p0 + p_1 = 0.
+        p[1] = t[0] ^ rotate(p0, self._special_top_shift)
+        # Rows 1 .. mb-2: t_i + [P^{s_mid} p0 if special row] + p_i + p_{i+1} = 0.
+        for i in range(1, code.mb - 1):
+            nxt = t[i] ^ p[i]
+            if i == self._special_mid_row:
+                nxt = nxt ^ rotate(p0, self._special_mid_shift)
+            p[i + 1] = nxt
+
+        codeword = np.concatenate([message, p0, p[1:].reshape(-1)])
+        if not code.is_codeword(codeword):
+            raise EncodingError(
+                f"encoding failed parity verification for code {code.name!r}"
+            )
+        return codeword
+
+    def extract_message(self, codeword: np.ndarray) -> np.ndarray:
+        """Recover the systematic message bits (the first k positions)."""
+        codeword = np.asarray(codeword, dtype=np.uint8)
+        return codeword[: self.k].copy()

@@ -1,0 +1,70 @@
+"""Generic systematic encoder via GF(2) Gaussian elimination.
+
+Works for any parity-check matrix whose rank equals its row count.  Used
+as the reference implementation against which the fast dual-diagonal
+encoder is verified; the generic path is O(n^3) setup / O(n*k) encode,
+which is fine for test-sized codes but is exactly why real transmitters
+(and the fast path here) exploit the dual-diagonal structure instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.qc import QCLDPCCode
+from repro.encoder.gf2 import gf2_matmul, gf2_rref
+from repro.errors import EncodingError
+
+
+class SystematicEncoder(object):
+    """Encode by solving H x = 0 with message bits in pivot-free columns.
+
+    The constructor computes the RREF of H once.  Pivot columns become
+    parity positions; the remaining ``k`` columns carry the message
+    systematically (in general these are not the first ``k`` positions —
+    use :attr:`message_columns` to recover the payload).
+    """
+
+    def __init__(self, code: QCLDPCCode) -> None:
+        self.code = code
+        h = code.parity_check_matrix
+        rref, pivots = gf2_rref(h)
+        if len(pivots) != code.m:
+            raise EncodingError(
+                f"H is rank deficient: rank {len(pivots)} < m={code.m}; "
+                "use a full-rank code or puncture redundant rows"
+            )
+        self._pivots = np.array(pivots, dtype=np.int64)
+        mask = np.ones(code.n, dtype=bool)
+        mask[self._pivots] = False
+        self._free = np.flatnonzero(mask)
+        # Parity bits are a linear map of the message: for RREF rows,
+        # x[pivot_r] = sum_{free j} rref[r, j] * x[j].
+        self._parity_map = rref[:, self._free].astype(np.uint8)
+
+    @property
+    def k(self) -> int:
+        """Number of message bits per codeword."""
+        return int(self._free.shape[0])
+
+    @property
+    def message_columns(self) -> np.ndarray:
+        """Codeword positions that carry the message bits, in order."""
+        return self._free.copy()
+
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        """Map ``k`` message bits to an ``n``-bit codeword."""
+        message = np.asarray(message, dtype=np.uint8)
+        if message.shape != (self.k,):
+            raise EncodingError(
+                f"message length {message.shape} != ({self.k},)"
+            )
+        codeword = np.zeros(self.code.n, dtype=np.uint8)
+        codeword[self._free] = message
+        codeword[self._pivots] = gf2_matmul(self._parity_map, message)
+        return codeword
+
+    def extract_message(self, codeword: np.ndarray) -> np.ndarray:
+        """Recover the message bits from a codeword."""
+        codeword = np.asarray(codeword, dtype=np.uint8)
+        return codeword[self._free].copy()

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class CodeConstructionError(ReproError):
+    """A parity-check matrix could not be built or failed validation."""
+
+
+class EncodingError(ReproError):
+    """Encoding failed (e.g. a non-encodable parity structure)."""
+
+
+class DecodingError(ReproError):
+    """Decoder misuse (bad shapes, invalid parameters)."""
+
+
+class HlsError(ReproError):
+    """High-level-synthesis front-end or scheduling failure."""
+
+
+class ScheduleError(HlsError):
+    """No feasible schedule under the given resource/latency constraints."""
+
+
+class ArchitectureError(ReproError):
+    """Architectural simulation failure (hazard violation, bad config)."""
+
+
+class ModelError(ReproError):
+    """Technology / area / power model misuse."""

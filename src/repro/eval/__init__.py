@@ -1,0 +1,67 @@
+"""Evaluation harness: regenerate every table and figure of the paper.
+
+One module per paper artifact:
+
+* :mod:`fig8` — latency/iteration and standard-cell area vs target
+  clock for both architectures (Fig 8a/8b);
+* :mod:`table1` — SpyGlass-style power with/without clock gating;
+* :mod:`table2` — the comparison table against the hand-coded decoders
+  [2] (Rovini, GLOBECOM'07) and [3] (Brack, DATE'07);
+* :mod:`schedules` — the Fig 4 / Fig 6 schedule timelines and the
+  ~50% core-utilization observation;
+* :mod:`scalability` — the Fig 3 parallelism sweep (96/48/... cores);
+* :mod:`ber` — Monte-Carlo error-rate harness (Algorithm 1 validation).
+
+:data:`experiments.EXPERIMENTS` is the registry keyed by experiment id
+(EXP-F8A, EXP-T1, ...), mirroring DESIGN.md's per-experiment index; the
+benchmark suite runs each entry and prints paper-vs-measured rows.
+"""
+
+from repro.eval.paper_ref import PAPER
+from repro.eval.fig8 import Fig8Point, run_fig8
+from repro.eval.table1 import run_table1
+from repro.eval.table2 import run_table2
+from repro.eval.schedules import run_schedules
+from repro.eval.scalability import run_scalability
+from repro.eval.ber import BerPoint, run_ber
+from repro.eval.throughput_snr import ThroughputPoint, run_throughput_snr
+from repro.eval.wifi_comparison import WifiPoint, run_wifi_comparison
+from repro.eval.convergence import (
+    ConvergenceCurve,
+    default_decoders,
+    measure_convergence,
+)
+from repro.eval.quantization import QuantizationPoint, run_quantization_study
+from repro.eval.thresholds import ThresholdPoint, run_thresholds
+from repro.eval.design_space import DesignSpacePoint, run_design_space
+from repro.eval.experiments import EXPERIMENTS, run_experiment
+from repro.eval.summary import build_report, write_reproduction_report
+
+__all__ = [
+    "PAPER",
+    "Fig8Point",
+    "run_fig8",
+    "run_table1",
+    "run_table2",
+    "run_schedules",
+    "run_scalability",
+    "BerPoint",
+    "run_ber",
+    "EXPERIMENTS",
+    "run_experiment",
+    "ThroughputPoint",
+    "run_throughput_snr",
+    "WifiPoint",
+    "run_wifi_comparison",
+    "ConvergenceCurve",
+    "default_decoders",
+    "measure_convergence",
+    "QuantizationPoint",
+    "run_quantization_study",
+    "ThresholdPoint",
+    "run_thresholds",
+    "DesignSpacePoint",
+    "run_design_space",
+    "build_report",
+    "write_reproduction_report",
+]

@@ -1,0 +1,30 @@
+"""Command-line entry: ``python -m repro.eval [EXP-ID ...]``.
+
+With no arguments, every registered experiment runs in order.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.eval.experiments import EXPERIMENTS, run_experiment
+
+
+def main(argv=None) -> int:
+    """Run the requested experiments (default: all) and print reports."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    ids = args or sorted(EXPERIMENTS)
+    seen = set()
+    for exp_id in ids:
+        fn = EXPERIMENTS.get(exp_id.upper())
+        if fn in seen:
+            continue  # Fig 8a/8b share one sweep; print it once
+        seen.add(fn)
+        print(f"=== {exp_id.upper()} " + "=" * 40)
+        print(run_experiment(exp_id))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

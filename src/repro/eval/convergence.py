@@ -1,0 +1,121 @@
+"""Convergence analysis: syndrome decay across iterations.
+
+The per-iteration unsatisfied-check counts every decoder records
+(``DecodeResult.iteration_syndromes``) make schedule comparisons
+visible at a finer grain than final error rates: layered decoding's
+~2x advantage over flooding shows up as a syndrome curve dropping
+roughly twice as fast.  The extension experiment averages those curves
+over frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.channel import AwgnChannel
+from repro.codes.qc import QCLDPCCode
+from repro.decoder import FloodingDecoder, LayeredMinSumDecoder
+from repro.decoder.result import DecodeResult
+from repro.encoder import RuEncoder
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.tables import render_table
+
+DecoderFn = Callable[[np.ndarray], DecodeResult]
+
+
+@dataclass
+class ConvergenceCurve(object):
+    """Average residual syndrome weight per iteration for one decoder."""
+
+    label: str
+    mean_syndrome: List[float]
+    converged_fraction: List[float]
+
+    def iterations_to_clear(self) -> float:
+        """First iteration index (1-based) where >= 90% of frames
+        converged; ``inf`` if never reached."""
+        for i, frac in enumerate(self.converged_fraction):
+            if frac >= 0.9:
+                return float(i + 1)
+        return float("inf")
+
+
+def measure_convergence(
+    code: QCLDPCCode,
+    decoders: Dict[str, DecoderFn],
+    ebno_db: float = 2.5,
+    frames: int = 10,
+    iterations: int = 20,
+    seed: SeedLike = 3,
+) -> List[ConvergenceCurve]:
+    """Average syndrome-decay curves over random frames.
+
+    Decoders must be configured with ``early_termination=False`` (or
+    tolerate it); shorter records are padded with their final value so
+    early-converging decoders still chart correctly.
+    """
+    rng = as_generator(seed)
+    encoder = RuEncoder(code)
+    llr_frames = []
+    for _ in range(frames):
+        message = rng.integers(0, 2, encoder.k).astype(np.uint8)
+        codeword = encoder.encode(message)
+        llr_frames.append(
+            AwgnChannel.from_ebno(ebno_db, code.rate, seed=rng).llrs(codeword)
+        )
+
+    curves: List[ConvergenceCurve] = []
+    for label, decoder in decoders.items():
+        syndromes = np.zeros((frames, iterations))
+        converged = np.zeros((frames, iterations))
+        for f, llrs in enumerate(llr_frames):
+            record = decoder(llrs).iteration_syndromes
+            padded = list(record) + [record[-1]] * (iterations - len(record))
+            syndromes[f] = padded[:iterations]
+            converged[f] = [s == 0 for s in padded[:iterations]]
+        curves.append(
+            ConvergenceCurve(
+                label,
+                mean_syndrome=list(syndromes.mean(axis=0)),
+                converged_fraction=list(converged.mean(axis=0)),
+            )
+        )
+    return curves
+
+
+def default_decoders(code: QCLDPCCode, iterations: int = 20) -> Dict[str, DecoderFn]:
+    """The canonical schedule comparison: layered vs flooding."""
+    return {
+        "layered 0.75": LayeredMinSumDecoder(
+            code, max_iterations=iterations, early_termination=False
+        ).decode,
+        "flooding 0.75": FloodingDecoder(
+            code,
+            max_iterations=iterations,
+            check_rule="min-sum",
+            scaling_factor=0.75,
+            early_termination=False,
+        ).decode,
+    }
+
+
+def format_convergence(curves: List[ConvergenceCurve], every: int = 2) -> str:
+    """Render the decay curves side by side."""
+    iterations = len(curves[0].mean_syndrome)
+    picks = list(range(0, iterations, every))
+    headers = ["iteration"] + [c.label for c in curves]
+    rows = []
+    for i in picks:
+        rows.append(
+            [i + 1] + [f"{c.mean_syndrome[i]:.1f}" for c in curves]
+        )
+    table = render_table(
+        headers, rows, title="Convergence — mean unsatisfied checks per iteration"
+    )
+    clears = ", ".join(
+        f"{c.label}: {c.iterations_to_clear():.0f}" for c in curves
+    )
+    return f"{table}\niterations to 90% frame convergence — {clears}"

@@ -1,0 +1,143 @@
+"""EXP-DSE — the design space of parallel decoder realizations.
+
+The paper's abstract promises to "explore the design space of parallel
+realizations of LDPC decoders using a high level synthesis
+methodology".  Figs 3 and 8 show two one-dimensional slices; this
+experiment sweeps the full grid — architecture x parallelism x target
+clock — and reports every point's throughput, standard-cell area, and
+power, plus the Pareto frontier (throughput up, area down) that an SoC
+team would actually pick from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.arch import ArchConfig, PerLayerArch, TwoLayerPipelinedArch
+from repro.codes import wimax_code
+from repro.eval.designs import reference_frame
+from repro.hls import PicoCompiler
+from repro.hls.programs import (
+    DecoderProfile,
+    build_perlayer_program,
+    build_pipelined_program,
+)
+from repro.power import SpyGlassEstimator
+from repro.utils.tables import render_table
+
+
+@dataclass
+class DesignSpacePoint(object):
+    """One (architecture, parallelism, clock) realization."""
+
+    architecture: str
+    parallelism: int
+    clock_mhz: float
+    cycles_per_iteration: float
+    throughput_mbps: float
+    std_cell_mm2: float
+    power_mw: float
+    pareto: bool = False
+
+    @property
+    def efficiency_mbps_per_mm2(self) -> float:
+        """Throughput density — the HLS sales metric."""
+        return self.throughput_mbps / self.std_cell_mm2
+
+
+def run_design_space(
+    parallelisms: Sequence[int] = (96, 48, 24),
+    clocks: Sequence[float] = (200.0, 400.0),
+    architectures: Sequence[str] = ("perlayer", "pipelined"),
+) -> List[DesignSpacePoint]:
+    """Sweep the grid and mark the Pareto-optimal points."""
+    code = wimax_code("1/2", 2304)
+    profile = DecoderProfile.from_code(code, r_words=84)
+    llrs = reference_frame(code)
+    estimator = SpyGlassEstimator()
+
+    points: List[DesignSpacePoint] = []
+    for arch in architectures:
+        builder = (
+            build_pipelined_program if arch == "pipelined" else build_perlayer_program
+        )
+        simulator = TwoLayerPipelinedArch if arch == "pipelined" else PerLayerArch
+        for p in parallelisms:
+            for clock in clocks:
+                hls = PicoCompiler(clock_mhz=clock).compile(builder(profile, p))
+                config = ArchConfig.from_hls(
+                    code, clock, arch, parallelism=p, early_termination=False
+                )
+                result = simulator(config).decode(llrs)
+                iters = max(result.decode.iterations, 1)
+                q_depth = (
+                    config.fifo_capacity
+                    if arch == "pipelined"
+                    else profile.max_degree * config.passes
+                )
+                power = estimator.estimate(hls, result.trace, q_depth)
+                points.append(
+                    DesignSpacePoint(
+                        architecture=arch,
+                        parallelism=p,
+                        clock_mhz=clock,
+                        cycles_per_iteration=result.cycles / iters,
+                        throughput_mbps=result.throughput_mbps(code.k),
+                        std_cell_mm2=hls.area().std_cell_mm2,
+                        power_mw=power.with_gating.total_mw,
+                    )
+                )
+    _mark_pareto(points)
+    return points
+
+
+def _mark_pareto(points: List[DesignSpacePoint]) -> None:
+    """Mark points not dominated in (throughput up, area down)."""
+    for a in points:
+        a.pareto = not any(
+            (b.throughput_mbps >= a.throughput_mbps)
+            and (b.std_cell_mm2 <= a.std_cell_mm2)
+            and (
+                b.throughput_mbps > a.throughput_mbps
+                or b.std_cell_mm2 < a.std_cell_mm2
+            )
+            for b in points
+        )
+
+
+def format_design_space(points: List[DesignSpacePoint]) -> str:
+    """Render the grid with the Pareto frontier highlighted."""
+    rows = []
+    for p in sorted(points, key=lambda q: -q.throughput_mbps):
+        rows.append(
+            [
+                p.architecture,
+                p.parallelism,
+                int(p.clock_mhz),
+                f"{p.cycles_per_iteration:.0f}",
+                f"{p.throughput_mbps:.0f}",
+                f"{p.std_cell_mm2:.3f}",
+                f"{p.power_mw:.0f}",
+                f"{p.efficiency_mbps_per_mm2:.0f}",
+                "*" if p.pareto else "",
+            ]
+        )
+    return render_table(
+        [
+            "architecture",
+            "cores",
+            "MHz",
+            "cyc/it",
+            "Mbps",
+            "std-cell mm^2",
+            "mW",
+            "Mbps/mm^2",
+            "pareto",
+        ],
+        rows,
+        title=(
+            "Design space — parallel realizations of the (2304, 1/2) "
+            "decoder (* = Pareto: throughput vs area)"
+        ),
+    )

@@ -1,0 +1,124 @@
+"""Experiment registry: DESIGN.md's per-experiment index, runnable.
+
+Each entry regenerates one paper artifact and returns a printable
+report.  ``python -m repro.eval <EXP-ID>`` runs one from the command
+line; the benchmark suite runs them all.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.eval.fig8 import format_fig8, run_fig8
+from repro.eval.scalability import format_scalability, run_scalability
+from repro.eval.schedules import format_schedules, run_schedules
+from repro.eval.table1 import format_table1, run_table1
+from repro.eval.table2 import format_table2, run_table2
+from repro.eval.throughput_snr import format_throughput_snr, run_throughput_snr
+from repro.eval.wifi_comparison import format_wifi_comparison, run_wifi_comparison
+from repro.eval.quantization import (
+    format_quantization_study,
+    run_quantization_study,
+)
+from repro.eval.convergence import (
+    default_decoders,
+    format_convergence,
+    measure_convergence,
+)
+from repro.eval.design_space import format_design_space, run_design_space
+from repro.eval.thresholds import format_thresholds, run_thresholds
+
+
+def _exp_fig8() -> str:
+    return format_fig8(run_fig8())
+
+
+def _exp_table1() -> str:
+    return format_table1(run_table1())
+
+
+def _exp_table2() -> str:
+    return format_table2(run_table2())
+
+
+def _exp_schedules() -> str:
+    return format_schedules(run_schedules())
+
+
+def _exp_scalability() -> str:
+    return format_scalability(run_scalability())
+
+
+def _exp_throughput_snr() -> str:
+    return format_throughput_snr(run_throughput_snr(frames=6))
+
+
+def _exp_wifi() -> str:
+    return format_wifi_comparison(run_wifi_comparison())
+
+
+def _exp_quantization() -> str:
+    return format_quantization_study(
+        run_quantization_study(max_frames=80, min_frame_errors=80)
+    )
+
+
+def _exp_fig9() -> str:
+    from repro.eval.designs import design_point
+    from repro.synth.floorplan import build_floorplan
+
+    point = design_point("pipelined", 400.0)
+    plan = build_floorplan(point.hls.area())
+    return (
+        "Fig 9 - VLSI layout view (modelled floorplan):\n"
+        + plan.render_ascii(width=60)
+        + f"\ndie {plan.die_area_mm2:.2f} mm^2 at "
+        + f"{plan.utilization():.0%} utilization (paper: 1.2 mm^2)"
+    )
+
+
+def _exp_design_space() -> str:
+    return format_design_space(run_design_space())
+
+
+def _exp_thresholds() -> str:
+    return format_thresholds(run_thresholds())
+
+
+def _exp_convergence() -> str:
+    from repro.codes import wimax_code
+
+    code = wimax_code("1/2", 576)
+    curves = measure_convergence(
+        code, default_decoders(code, iterations=16), frames=8, iterations=16
+    )
+    return format_convergence(curves)
+
+
+#: Experiment id -> report generator (ids match DESIGN.md section 4).
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "EXP-F8A": _exp_fig8,  # both Fig 8 panels share one sweep
+    "EXP-F8B": _exp_fig8,
+    "EXP-T1": _exp_table1,
+    "EXP-T2": _exp_table2,
+    "EXP-F4F6": _exp_schedules,
+    "EXP-F3": _exp_scalability,
+    # Extensions beyond the paper's published artifacts.
+    "EXP-EXT1": _exp_throughput_snr,
+    "EXP-EXT2": _exp_wifi,
+    "EXP-EXT5": _exp_quantization,
+    "EXP-F9": _exp_fig9,
+    "EXP-ALG2": _exp_convergence,
+    "EXP-DSE": _exp_design_space,
+    "EXP-EXT6": _exp_thresholds,
+}
+
+
+def run_experiment(exp_id: str) -> str:
+    """Run one experiment by id and return its report text."""
+    key = exp_id.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key]()

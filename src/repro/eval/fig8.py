@@ -1,0 +1,91 @@
+"""Fig 8 reproduction: latency and area vs target clock frequency.
+
+Panel (a): latency per decoding iteration in cycles, per-layer vs
+two-layer pipelined, at 100/200/300/400 MHz — measured by running the
+cycle-accurate simulators on the shared reference frame with early
+termination disabled (steady-state cycles / iterations).
+
+Panel (b): total standard-cell area in mm^2 for the same sweep —
+estimated from the compiled netlist at each target clock (SRAM macros
+excluded, as in the paper: "two architectures would require the same
+amount of external SRAMs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.eval.designs import design_point
+from repro.eval.paper_ref import FIG8_SHAPE
+from repro.utils.tables import render_table
+
+_ARCHS = ("perlayer", "pipelined")
+
+
+@dataclass
+class Fig8Point(object):
+    """One (architecture, clock) sample of both panels."""
+
+    architecture: str
+    clock_mhz: float
+    cycles_per_iteration: float
+    std_cell_area_mm2: float
+    core1_depth: int
+    core2_depth: int
+    stall_cycles_per_iteration: float
+
+
+def run_fig8(clocks: Sequence[float] = FIG8_SHAPE["clocks_mhz"]) -> List[Fig8Point]:
+    """Measure both panels of Fig 8 over the clock sweep."""
+    points: List[Fig8Point] = []
+    for arch in _ARCHS:
+        for clock in clocks:
+            point = design_point(arch, clock)
+            result = point.decode_reference_frame()
+            iters = max(result.decode.iterations, 1)
+            points.append(
+                Fig8Point(
+                    architecture=arch,
+                    clock_mhz=clock,
+                    cycles_per_iteration=result.cycles / iters,
+                    std_cell_area_mm2=point.hls.area().std_cell_mm2,
+                    core1_depth=point.config.core1_depth,
+                    core2_depth=point.config.core2_depth,
+                    stall_cycles_per_iteration=result.trace.stall_cycles / iters,
+                )
+            )
+    return points
+
+
+def format_fig8(points: List[Fig8Point]) -> str:
+    """Render both panels the way the paper charts them."""
+    rows_a = []
+    rows_b = []
+    for p in points:
+        rows_a.append(
+            [
+                p.architecture,
+                int(p.clock_mhz),
+                f"{p.cycles_per_iteration:.1f}",
+                p.core1_depth,
+                p.core2_depth,
+                f"{p.stall_cycles_per_iteration:.1f}",
+            ]
+        )
+        rows_b.append(
+            [p.architecture, int(p.clock_mhz), f"{p.std_cell_area_mm2:.3f}"]
+        )
+    a = render_table(
+        ["architecture", "clock MHz", "cycles/iter", "d1", "d2", "stalls/iter"],
+        rows_a,
+        title="Fig 8(a) — latency per iteration vs target clock "
+        "(paper axis: 0-250 cycles; pipelined @400 ~= 112)",
+    )
+    b = render_table(
+        ["architecture", "clock MHz", "std-cell mm^2"],
+        rows_b,
+        title="Fig 8(b) — standard-cell area vs target clock "
+        "(paper axis: 0-0.5 mm^2; both curves rise with clock)",
+    )
+    return f"{a}\n\n{b}"

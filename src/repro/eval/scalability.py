@@ -1,0 +1,81 @@
+"""Fig 3 reproduction: scalable parallelism via the unroll factor.
+
+The paper's Fig 3 shows PICO generating 96 decoder cores from a fully
+unrolled loop, or 48 cores (at twice the passes) from a partial unroll.
+Here the parallelism knob sweeps {96, 48, 24, 12} on the pipelined
+design: datapath lane-units scale with the factor, cycles scale
+inversely — throughput/area becomes a tunable trade-off, which is the
+figure's whole point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.arch import ArchConfig, TwoLayerPipelinedArch
+from repro.codes import wimax_code
+from repro.eval.designs import reference_frame
+from repro.hls import PicoCompiler
+from repro.hls.programs import DecoderProfile, build_pipelined_program
+from repro.utils.tables import render_table
+
+
+@dataclass
+class ScalabilityPoint(object):
+    """One parallelism setting of the Fig 3 sweep."""
+
+    parallelism: int
+    cycles_per_iteration: float
+    std_cell_area_mm2: float
+    throughput_mbps: float
+
+
+def run_scalability(
+    factors: Sequence[int] = (96, 48, 24, 12), clock_mhz: float = 400.0
+) -> List[ScalabilityPoint]:
+    """Sweep the unroll/parallelism factor on the pipelined design."""
+    code = wimax_code("1/2", 2304)
+    profile = DecoderProfile.from_code(code, r_words=84)
+    llrs = reference_frame(code)
+    points: List[ScalabilityPoint] = []
+    for factor in factors:
+        hls = PicoCompiler(clock_mhz=clock_mhz).compile(
+            build_pipelined_program(profile, parallelism=factor)
+        )
+        config = ArchConfig.from_hls(
+            code,
+            clock_mhz,
+            "pipelined",
+            parallelism=factor,
+            early_termination=False,
+        )
+        result = TwoLayerPipelinedArch(config).decode(llrs)
+        iters = max(result.decode.iterations, 1)
+        points.append(
+            ScalabilityPoint(
+                parallelism=factor,
+                cycles_per_iteration=result.cycles / iters,
+                std_cell_area_mm2=hls.area().std_cell_mm2,
+                throughput_mbps=result.throughput_mbps(code.k),
+            )
+        )
+    return points
+
+
+def format_scalability(points: List[ScalabilityPoint]) -> str:
+    """Render the parallelism sweep."""
+    rows = [
+        [
+            p.parallelism,
+            f"{p.cycles_per_iteration:.1f}",
+            f"{p.std_cell_area_mm2:.3f}",
+            f"{p.throughput_mbps:.0f}",
+        ]
+        for p in points
+    ]
+    return render_table(
+        ["cores (unroll)", "cycles/iter", "std-cell mm^2", "Mbps @10it"],
+        rows,
+        title="Fig 3 — scalable parallelism: cores vs cycles vs area",
+    )

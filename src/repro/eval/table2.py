@@ -1,0 +1,95 @@
+"""Table II reproduction: comparison with the hand-coded decoders.
+
+Only the "This Work" column is reproducible; the two comparison rows
+carry the published numbers of [2] and [3] verbatim (they are fabbed or
+hand-synthesized designs we do not rebuild beyond these records).  Our
+column is produced end-to-end by the models: area from the compiled
+netlist + SRAM macros, throughput/latency from the cycle-accurate
+pipelined simulator at 10 iterations, power from the SpyGlass-style
+estimator at peak activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.eval.designs import design_point
+from repro.eval.paper_ref import COMPARISON_DECODERS, PAPER
+from repro.power import SpyGlassEstimator
+from repro.utils.tables import render_table
+
+
+@dataclass
+class Table2Result(object):
+    """Our measured column plus the reference rows."""
+
+    ours: Dict[str, object]
+    paper_ours: Dict[str, object]
+    references: List[Dict[str, object]]
+
+
+def run_table2(clock_mhz: float = 400.0) -> Table2Result:
+    """Produce the full comparison table."""
+    point = design_point("pipelined", clock_mhz)
+    run = point.decode_reference_frame()
+    area = point.hls.area()
+    estimator = SpyGlassEstimator()
+    peak_mw = estimator.peak_power_mw(point.hls, run.trace, point.q_depth_words)
+
+    info_bits = point.code.k
+    ours = {
+        "name": "This Work (measured)",
+        "core_area_mm2": round(area.core_area_mm2, 2),
+        "max_frequency_mhz": clock_mhz,
+        "max_power_mw": round(peak_mw, 0),
+        "technology_nm": 65,
+        "quantization_bits": point.profile.msg_bits,
+        "iterations": str(point.config.max_iterations),
+        "max_code_length": point.code.n,
+        "memory_bits": point.profile.memory_bits(),
+        "throughput_mbps": round(run.throughput_mbps(info_bits), 0),
+        "latency_us": round(run.latency_us, 2),
+    }
+    paper_ours = {
+        "name": "This Work (paper)",
+        "core_area_mm2": PAPER["core_area_mm2"],
+        "max_frequency_mhz": PAPER["clock_mhz"],
+        "max_power_mw": PAPER["max_power_mw"],
+        "technology_nm": 65,
+        "quantization_bits": PAPER["quantization_bits"],
+        "iterations": str(PAPER["iterations"]),
+        "max_code_length": PAPER["code_length"],
+        "memory_bits": PAPER["memory_bits"],
+        "throughput_mbps": PAPER["throughput_mbps"],
+        "latency_us": PAPER["latency_us"],
+    }
+    return Table2Result(ours, paper_ours, list(COMPARISON_DECODERS))
+
+
+def format_table2(result: Table2Result) -> str:
+    """Render Table II with our measured column first."""
+    fields = [
+        ("Core Area (mm^2)", "core_area_mm2"),
+        ("Max Frequency (MHz)", "max_frequency_mhz"),
+        ("Max Power (mW)", "max_power_mw"),
+        ("Technology (nm)", "technology_nm"),
+        ("Quantization (bits)", "quantization_bits"),
+        ("Iterations", "iterations"),
+        ("Max Code Length", "max_code_length"),
+        ("Memory (bits)", "memory_bits"),
+        ("Throughput @R=1/2 (Mbps)", "throughput_mbps"),
+        ("Latency @R=1/2 (us)", "latency_us"),
+    ]
+    columns = [result.ours, result.paper_ours] + result.references
+    headers = ["Metric"] + [str(c["name"]) for c in columns]
+    rows = []
+    for label, key in fields:
+        row = [label]
+        for column in columns:
+            value = column.get(key)
+            row.append("NA" if value is None or value != value else value)
+        rows.append(row)
+    return render_table(
+        headers, rows, title="Table II — comparison with existing LDPC decoders"
+    )

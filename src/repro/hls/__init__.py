@@ -1,0 +1,71 @@
+"""A PICO-like high-level algorithmic synthesis engine.
+
+The paper's methodology is: describe the decoder as sequential un-timed
+C with ``#pragma unroll`` directives, and let PICO find the parallelism
+and emit RTL (Figs 1, 3, 5, 7).  This package reproduces that flow on a
+small loop-nest IR:
+
+1. :mod:`ir` / :mod:`pragmas` — loop nests, array declarations, and the
+   unroll / pipeline pragmas of Fig 3;
+2. :mod:`unroll` — pragma-driven loop unrolling (datapath replication);
+3. :mod:`dfg` + :mod:`dependence` — dataflow construction and RAW /
+   WAR / WAW analysis over scalar values and array accesses;
+4. :mod:`schedule` — resource-constrained list scheduling and modulo
+   (initiation-interval) pipelining;
+5. :mod:`allocation` — functional-unit binding and register counting;
+6. :mod:`rtl` — the netlist-level summary (FUs, registers, memories)
+   that the area / power models consume;
+7. :mod:`clockgating` — block-level gating analysis (Section IV-C);
+8. :mod:`compiler` — the top-level ``PicoCompiler`` tying it together.
+
+:mod:`repro.hls.programs` expresses the paper's two decoder
+architectures in this IR.
+"""
+
+from repro.hls.ir import (
+    Affine,
+    ArrayDecl,
+    Loop,
+    MemAccess,
+    Op,
+    Program,
+    Stmt,
+)
+from repro.hls.pragmas import Pragma, PIPELINE, UNROLL
+from repro.hls.unroll import unroll_program
+from repro.hls.dfg import DataflowGraph, build_dfg
+from repro.hls.schedule import Schedule, Scheduler
+from repro.hls.allocation import Allocation, allocate
+from repro.hls.rtl import MemoryMacro, RtlModule
+from repro.hls.compiler import HlsResult, PicoCompiler
+from repro.hls.verilog import emit_verilog
+from repro.hls.report import synthesis_report
+from repro.hls.testbench import TestbenchBundle, generate_testbench
+
+__all__ = [
+    "Affine",
+    "ArrayDecl",
+    "Loop",
+    "MemAccess",
+    "Op",
+    "Program",
+    "Stmt",
+    "Pragma",
+    "PIPELINE",
+    "UNROLL",
+    "unroll_program",
+    "DataflowGraph",
+    "build_dfg",
+    "Schedule",
+    "Scheduler",
+    "Allocation",
+    "allocate",
+    "MemoryMacro",
+    "RtlModule",
+    "HlsResult",
+    "PicoCompiler",
+    "emit_verilog",
+    "synthesis_report",
+    "TestbenchBundle",
+    "generate_testbench",
+]

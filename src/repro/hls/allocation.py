@@ -1,0 +1,102 @@
+"""Functional-unit binding and register allocation over a schedule.
+
+After scheduling, the hardware cost of a block is:
+
+* one functional lane-unit per operator kind per *peak concurrent use*
+  in any cycle (or II slot of a pipelined loop) — operations issued in
+  different slots time-share units;
+* input multiplexers wherever a unit serves more than one operation;
+* registers for every value that crosses a cycle boundary between its
+  production and its last use.  Values chained into consumers within
+  the same cycle live in wires and cost nothing — this is why a
+  low-clock design has fewer registers (Fig 8b's area growth with
+  frequency comes partly from here).  For pipelined loops, a value
+  alive ``c`` cycles needs ``ceil(c / II)`` copies in flight;
+* internal pipeline registers inside multi-stage operators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.hls.dfg import DataflowGraph
+from repro.hls.schedule import Schedule
+
+_EPS = 1e-9
+
+
+@dataclass
+class Allocation(object):
+    """Hardware inventory implied by one scheduled block.
+
+    Attributes
+    ----------
+    fu_counts:
+        (op kind, width) -> number of functional lane-units.
+    fu_ops:
+        (op kind, width) -> number of lane-operations time-sharing them.
+    register_bits:
+        Pipeline/value registers in bits.
+    mux_inputs:
+        Total extra mux inputs in front of shared units.
+    """
+
+    fu_counts: Dict[Tuple[str, int], int] = field(default_factory=dict)
+    fu_ops: Dict[Tuple[str, int], int] = field(default_factory=dict)
+    register_bits: int = 0
+    mux_inputs: int = 0
+
+
+def allocate(dfg: DataflowGraph, schedule: Schedule) -> Allocation:
+    """Bind the scheduled block to functional units and registers."""
+    alloc = Allocation()
+    ii = max(schedule.ii, 1)
+
+    # Peak per-slot concurrency per (kind, width) = lane-unit count.
+    slot_use: Dict[Tuple[str, int, int], int] = {}
+    for i, stmt in enumerate(dfg.stmts):
+        key = (stmt.op.kind, stmt.op.width)
+        alloc.fu_ops[key] = alloc.fu_ops.get(key, 0) + stmt.op.simd
+        slot = schedule.starts[i] % ii
+        skey = (stmt.op.kind, stmt.op.width, slot)
+        slot_use[skey] = slot_use.get(skey, 0) + stmt.op.simd
+    for (kind, width, _slot), used in slot_use.items():
+        key = (kind, width)
+        alloc.fu_counts[key] = max(alloc.fu_counts.get(key, 0), used)
+    for key, ops in alloc.fu_ops.items():
+        units = alloc.fu_counts[key]
+        if ops > units:
+            alloc.mux_inputs += ops - units
+
+    # Value lifetimes -> register bits.
+    last_use = [-1] * len(dfg.stmts)
+    for i in range(len(dfg.stmts)):
+        for dep in dfg.preds(i):
+            if dep.kind == "raw" and dep.distance == 0:
+                last_use[dep.src] = max(last_use[dep.src], schedule.starts[i])
+    bits = 0
+    for i, stmt in enumerate(dfg.stmts):
+        width_bits = stmt.op.total_bits
+        finish = schedule.finishes[i]
+        registered = abs(finish - round(finish)) < _EPS
+        # Internal pipeline registers of multi-stage operators.
+        stages = int(math.ceil(finish - _EPS)) - schedule.starts[i]
+        if stages > 1:
+            bits += width_bits * (stages - 1)
+        if not stmt.dest:
+            continue
+        if last_use[i] < 0:
+            # Result unused by scalar dataflow: a store drains it to
+            # memory; anything else needs one staging register.
+            if stmt.store is None and not registered:
+                bits += width_bits
+            continue
+        available = int(math.floor(finish + _EPS))
+        span = last_use[i] - available + (1 if registered else 0)
+        if span > 0:
+            copies = -(-span // ii)  # ceil: values in flight when pipelined
+            bits += width_bits * copies
+    alloc.register_bits = bits
+    return alloc

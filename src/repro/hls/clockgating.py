@@ -1,0 +1,69 @@
+"""Block-level clock-gating analysis (the paper's Section IV-C).
+
+PICO inserts two levels of gating:
+
+* *register-level*: a register whose enable is inactive in a cycle is
+  not clocked;
+* *block-level*: an entire processing block (a core cluster) with no
+  activity has its clock shut off.
+
+For power estimation the quantity that matters is, per register
+population, the fraction of cycles it is actually clocked.  This module
+derives those fractions from an architecture activity trace (see
+:mod:`repro.arch.scheduler_trace`): a block active for 71% of cycles
+has its sequential internal power cut by the remaining 29% — exactly
+the reduction Table I reports for the two-layer pipelined decoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+
+@dataclass
+class GatingReport(object):
+    """Clock-gating effectiveness for one design + workload.
+
+    Attributes
+    ----------
+    block_activity:
+        Block name -> fraction of cycles clocked (0..1) with gating.
+    gated_fraction:
+        Register-bit-weighted average activity: the multiplier applied
+        to sequential internal power when gating is enabled.
+    """
+
+    block_activity: Dict[str, float] = field(default_factory=dict)
+    gated_fraction: float = 1.0
+
+    @property
+    def internal_power_saving(self) -> float:
+        """Fractional sequential-internal power saved by gating."""
+        return 1.0 - self.gated_fraction
+
+
+def analyze_gating(
+    block_activity: Mapping[str, float],
+    block_register_bits: Mapping[str, int],
+) -> GatingReport:
+    """Combine per-block activity with register populations.
+
+    Parameters
+    ----------
+    block_activity:
+        Block name -> fraction of cycles the block was active (from an
+        architecture simulation trace).
+    block_register_bits:
+        Block name -> flip-flop bits behind that block's gate.
+    """
+    total_bits = 0
+    weighted = 0.0
+    activity: Dict[str, float] = {}
+    for name, bits in block_register_bits.items():
+        frac = min(max(float(block_activity.get(name, 1.0)), 0.0), 1.0)
+        activity[name] = frac
+        total_bits += bits
+        weighted += frac * bits
+    gated = weighted / total_bits if total_bits else 1.0
+    return GatingReport(block_activity=activity, gated_fraction=gated)

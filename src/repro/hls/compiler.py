@@ -1,0 +1,221 @@
+"""The top-level PICO-like compiler driver.
+
+``PicoCompiler.compile(program)`` runs the full flow of the paper's
+Fig 1 on one program: unroll pragmas, build dataflow graphs, schedule
+(list or modulo per pragma), allocate functional units and registers,
+and emit an :class:`~repro.hls.rtl.RtlModule` netlist summary plus a
+cycle count for one top-to-bottom execution of the program body.
+
+Cycle accounting:
+
+* a straight-line block costs its schedule length;
+* a sequential loop costs ``trip * body_cycles``;
+* a pipelined loop costs ``(trip - 1) * II + body_length`` (ramp-up
+  plus steady state) — the block-serial decoder core loops run at
+  II = 1, so a layer of degree d costs ``d - 1 + depth`` cycles, which
+  is exactly the per-layer fill/drain behaviour of Fig 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import HlsError
+from repro.hls.allocation import Allocation, allocate
+from repro.hls.dfg import build_dfg
+from repro.hls.ir import ArrayDecl, Loop, Node, Program, Stmt
+from repro.hls.rtl import MemoryMacro, RtlModule
+from repro.hls.schedule import Schedule, Scheduler
+from repro.hls.unroll import unroll_program
+from repro.synth.area import AreaReport, estimate_area
+from repro.synth.tech65 import TSMC65GP, TechnologyModel
+from repro.synth.timing import TimingModel
+
+
+@dataclass
+class BlockReport(object):
+    """Schedule + allocation for one scheduled region."""
+
+    label: str
+    schedule: Schedule
+    allocation: Allocation
+    pipelined: bool
+    trip: int = 1
+
+    @property
+    def cycles(self) -> int:
+        """Total cycles this region contributes to one program pass."""
+        if self.pipelined:
+            return (self.trip - 1) * self.schedule.ii + self.schedule.length
+        return self.trip * self.schedule.length
+
+
+@dataclass
+class HlsResult(object):
+    """Everything the back-end models need about a compiled program."""
+
+    program: Program
+    clock_mhz: float
+    cycles: int
+    rtl: RtlModule
+    blocks: List[BlockReport] = field(default_factory=list)
+
+    def area(self, tech: TechnologyModel = TSMC65GP) -> AreaReport:
+        """Area report at the compile-time target clock."""
+        return estimate_area(self.rtl, self.clock_mhz, tech)
+
+    def block(self, label: str) -> BlockReport:
+        """Look up a region report by label."""
+        for report in self.blocks:
+            if report.label == label:
+                return report
+        raise HlsError(f"no scheduled block labelled {label!r}")
+
+
+class PicoCompiler(object):
+    """Un-timed IR in, netlist + schedule out (the paper's Fig 1 flow).
+
+    Parameters
+    ----------
+    clock_mhz:
+        Target clock frequency; drives operator latencies, pipeline
+        depths, and the area sizing factor.
+    tech:
+        Technology model (default 65 nm).
+    resources:
+        Optional FU budget per operator kind; by default operators are
+        unlimited and parallelism is set purely by the unroll pragmas,
+        which is PICO's behaviour in the paper.
+    """
+
+    def __init__(
+        self,
+        clock_mhz: float,
+        tech: TechnologyModel = TSMC65GP,
+        resources: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.clock_mhz = clock_mhz
+        self.tech = tech
+        self.timing = TimingModel(tech)
+        self.resources = dict(resources or {})
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+    def compile(self, program: Program) -> HlsResult:
+        """Run unroll -> schedule -> allocate -> RTL on a program."""
+        flat = unroll_program(program)
+        scheduler = Scheduler(
+            self.timing, self.clock_mhz, self.resources, flat.arrays
+        )
+        top = RtlModule(flat.name)
+        self._attach_memories(top, flat.arrays)
+        blocks: List[BlockReport] = []
+        cycles = self._compile_nodes(
+            flat.body, scheduler, top, blocks, label=flat.name
+        )
+        return HlsResult(flat, self.clock_mhz, cycles, top, blocks)
+
+    # ------------------------------------------------------------------
+    # recursion over the loop nest
+    # ------------------------------------------------------------------
+    def _compile_nodes(
+        self,
+        nodes: List[Node],
+        scheduler: Scheduler,
+        module: RtlModule,
+        blocks: List[BlockReport],
+        label: str,
+    ) -> int:
+        cycles = 0
+        run: List[Stmt] = []
+        run_index = 0
+        for node in nodes:
+            if isinstance(node, Stmt):
+                run.append(node)
+                continue
+            if run:
+                cycles += self._compile_straightline(
+                    run, scheduler, module, blocks, f"{label}/b{run_index}"
+                )
+                run_index += 1
+                run = []
+            cycles += self._compile_loop(node, scheduler, module, blocks, label)
+        if run:
+            cycles += self._compile_straightline(
+                run, scheduler, module, blocks, f"{label}/b{run_index}"
+            )
+        return cycles
+
+    def _compile_straightline(
+        self,
+        stmts: List[Stmt],
+        scheduler: Scheduler,
+        module: RtlModule,
+        blocks: List[BlockReport],
+        label: str,
+    ) -> int:
+        dfg = build_dfg(stmts)
+        schedule = scheduler.schedule_block(dfg)
+        alloc = allocate(dfg, schedule)
+        self._fold_allocation(module, alloc)
+        report = BlockReport(label, schedule, alloc, pipelined=False)
+        blocks.append(report)
+        return report.cycles
+
+    def _compile_loop(
+        self,
+        loop: Loop,
+        scheduler: Scheduler,
+        module: RtlModule,
+        blocks: List[BlockReport],
+        label: str,
+    ) -> int:
+        loop_label = f"{label}/{loop.var}"
+        child = RtlModule(loop_label, gated=bool(loop.gate_block))
+        module.add_submodule(child, 1)
+
+        stmts_only = all(isinstance(n, Stmt) for n in loop.body)
+        if stmts_only and loop.pipelined:
+            dfg = build_dfg(list(loop.body), loop_var=loop.var)
+            schedule = scheduler.schedule_pipelined(dfg, loop.requested_ii)
+            alloc = allocate(dfg, schedule)
+            self._fold_allocation(child, alloc)
+            report = BlockReport(
+                loop_label, schedule, alloc, pipelined=True, trip=loop.trip
+            )
+            blocks.append(report)
+            return report.cycles
+        if stmts_only:
+            dfg = build_dfg(list(loop.body))
+            schedule = scheduler.schedule_block(dfg)
+            alloc = allocate(dfg, schedule)
+            self._fold_allocation(child, alloc)
+            report = BlockReport(
+                loop_label, schedule, alloc, pipelined=False, trip=loop.trip
+            )
+            blocks.append(report)
+            return report.cycles
+
+        body_cycles = self._compile_nodes(
+            list(loop.body), scheduler, child, blocks, loop_label
+        )
+        return loop.trip * body_cycles
+
+    # ------------------------------------------------------------------
+    # netlist assembly
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fold_allocation(module: RtlModule, alloc: Allocation) -> None:
+        for (kind, width), count in alloc.fu_counts.items():
+            module.add_fu(kind, width, count)
+        module.register_bits += alloc.register_bits
+        module.mux_inputs += alloc.mux_inputs
+
+    @staticmethod
+    def _attach_memories(module: RtlModule, arrays: List[ArrayDecl]) -> None:
+        for decl in arrays:
+            module.memories.append(
+                MemoryMacro(decl.name, decl.words, decl.width_bits, decl.kind)
+            )

@@ -1,0 +1,122 @@
+"""Dependence analysis over scalar values and array accesses.
+
+Scalars are single-assignment, so scalar dependences are exact def-use
+(RAW) edges.  Memory dependences between two accesses to the same array
+are classified by their affine indices:
+
+* both indices constant and unequal — independent;
+* both constant and equal — dependent (RAW / WAR / WAW by kind);
+* an index still contains a loop variable — *conservatively* dependent
+  within an iteration, and for loop-carried analysis: accesses whose
+  indices move with the loop variable (non-zero coefficient) touch a
+  different word each iteration, so they carry no distance-1
+  dependence; accesses at a loop-invariant address (an accumulator)
+  carry a distance-1 dependence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.hls.ir import MemAccess, Stmt
+
+DEP_KINDS = ("raw", "war", "waw")
+
+
+@dataclass(frozen=True)
+class Dependence(object):
+    """A scheduling edge: ``src`` must issue before ``dst``.
+
+    ``distance`` is the loop-iteration distance: 0 for intra-iteration
+    edges, 1 for loop-carried edges (used by modulo scheduling to bound
+    the initiation interval).
+    """
+
+    src: int
+    dst: int
+    kind: str
+    distance: int = 0
+
+
+def may_alias(a: MemAccess, b: MemAccess) -> bool:
+    """Whether two accesses may touch the same word (same iteration)."""
+    if a.array != b.array:
+        return False
+    if a.index.is_const and b.index.is_const:
+        return a.index.value() == b.index.value()
+    # A symbolic index may equal anything in the same array.
+    return True
+
+
+def _carried_alias(a: MemAccess, b: MemAccess, loop_var: Optional[str]) -> bool:
+    """Whether accesses in *different* iterations may touch one word."""
+    if a.array != b.array:
+        return False
+    if loop_var is None:
+        return True
+    coeff_a = dict(a.index.terms).get(loop_var, 0)
+    coeff_b = dict(b.index.terms).get(loop_var, 0)
+    if coeff_a == 0 and coeff_b == 0:
+        # Loop-invariant addresses: same word every iteration iff the
+        # rest matches; be conservative unless both are constants.
+        if a.index.is_const and b.index.is_const:
+            return a.index.value() == b.index.value()
+        return True
+    if coeff_a == coeff_b and a.index.terms == b.index.terms:
+        # Same stride: the edge goes from iteration t (access a) to
+        # iteration t+1 (access b); the addresses coincide iff
+        # const_a + c*t == const_b + c*(t+1), i.e. const_a - const_b == c.
+        return a.index.const - b.index.const == coeff_a
+    # Different strides: give up and stay conservative.
+    return True
+
+
+def analyze(stmts: List[Stmt], loop_var: Optional[str] = None) -> List[Dependence]:
+    """All dependences over a straight-line statement list.
+
+    Returns intra-iteration edges (distance 0) and, when ``loop_var``
+    is given, loop-carried edges (distance 1) for the enclosing loop.
+    """
+    deps: List[Dependence] = []
+    defs = {}
+    for i, stmt in enumerate(stmts):
+        if stmt.dest:
+            defs[stmt.dest] = i
+
+    # Scalar RAW (exact).
+    for i, stmt in enumerate(stmts):
+        for src in stmt.srcs:
+            j = defs.get(src)
+            if j is not None and j < i:
+                deps.append(Dependence(j, i, "raw"))
+
+    # Memory dependences, pairwise in program order.
+    for i in range(len(stmts)):
+        a = stmts[i]
+        for j in range(i + 1, len(stmts)):
+            b = stmts[j]
+            if a.store and b.load and may_alias(a.store, b.load):
+                deps.append(Dependence(i, j, "raw"))
+            if a.load and b.store and may_alias(a.load, b.store):
+                deps.append(Dependence(i, j, "war"))
+            if a.store and b.store and may_alias(a.store, b.store):
+                deps.append(Dependence(i, j, "waw"))
+
+    if loop_var is not None:
+        deps.extend(_carried(stmts, loop_var))
+    return deps
+
+
+def _carried(stmts: List[Stmt], loop_var: str) -> List[Dependence]:
+    deps: List[Dependence] = []
+    for i, a in enumerate(stmts):
+        for j, b in enumerate(stmts):
+            # Edge from iteration t's stmt i to iteration t+1's stmt j.
+            if a.store and b.load and _carried_alias(a.store, b.load, loop_var):
+                deps.append(Dependence(i, j, "raw", distance=1))
+            if a.load and b.store and _carried_alias(a.load, b.store, loop_var):
+                deps.append(Dependence(i, j, "war", distance=1))
+            if a.store and b.store and _carried_alias(a.store, b.store, loop_var):
+                deps.append(Dependence(i, j, "waw", distance=1))
+    return deps

@@ -1,0 +1,93 @@
+"""Dataflow-graph construction over a straight-line statement list.
+
+A :class:`DataflowGraph` is the scheduler's input: statement nodes plus
+the dependence edges from :mod:`repro.hls.dependence`, with convenience
+queries (predecessors, critical-path priorities, resource demand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import HlsError
+from repro.hls.dependence import Dependence, analyze
+from repro.hls.ir import Stmt
+
+
+@dataclass
+class DataflowGraph(object):
+    """Statements plus dependence edges for one schedulable block."""
+
+    stmts: List[Stmt]
+    deps: List[Dependence]
+    loop_var: Optional[str] = None
+    _preds: Dict[int, List[Dependence]] = field(default_factory=dict, repr=False)
+    _succs: Dict[int, List[Dependence]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        for dep in self.deps:
+            self._preds.setdefault(dep.dst, []).append(dep)
+            self._succs.setdefault(dep.src, []).append(dep)
+
+    def __len__(self) -> int:
+        return len(self.stmts)
+
+    def preds(self, node: int) -> List[Dependence]:
+        """Incoming dependence edges of a node."""
+        return self._preds.get(node, [])
+
+    def succs(self, node: int) -> List[Dependence]:
+        """Outgoing dependence edges of a node."""
+        return self._succs.get(node, [])
+
+    # ------------------------------------------------------------------
+    # priorities
+    # ------------------------------------------------------------------
+    def heights(self, latency_of) -> List[int]:
+        """Critical-path height of each node (list-scheduling priority).
+
+        ``latency_of(stmt) -> int`` supplies per-op latencies.  Only
+        intra-iteration (distance-0) edges contribute to height.
+        """
+        n = len(self.stmts)
+        height = [0] * n
+        # Statements are in program order, and distance-0 edges always
+        # point forward, so one reverse sweep suffices.
+        for i in range(n - 1, -1, -1):
+            h = latency_of(self.stmts[i])
+            best = 0
+            for dep in self.succs(i):
+                if dep.distance == 0:
+                    best = max(best, height[dep.dst])
+            height[i] = h + best
+        return height
+
+    # ------------------------------------------------------------------
+    # resource demand
+    # ------------------------------------------------------------------
+    def op_counts(self) -> Dict[str, int]:
+        """How many statements use each operator kind."""
+        counts: Dict[str, int] = {}
+        for stmt in self.stmts:
+            counts[stmt.op.kind] = counts.get(stmt.op.kind, 0) + 1
+        return counts
+
+    def port_demand(self) -> Dict[Tuple[str, str], int]:
+        """Accesses per (array, direction) — memory-port pressure."""
+        demand: Dict[Tuple[str, str], int] = {}
+        for stmt in self.stmts:
+            if stmt.load:
+                key = (stmt.load.array, "read")
+                demand[key] = demand.get(key, 0) + 1
+            if stmt.store:
+                key = (stmt.store.array, "write")
+                demand[key] = demand.get(key, 0) + 1
+        return demand
+
+
+def build_dfg(stmts: List[Stmt], loop_var: Optional[str] = None) -> DataflowGraph:
+    """Analyze dependences and wrap the block in a DataflowGraph."""
+    if not stmts:
+        raise HlsError("cannot build a dataflow graph from an empty block")
+    return DataflowGraph(stmts, analyze(stmts, loop_var), loop_var)

@@ -1,0 +1,86 @@
+"""Graphviz (dot) export of dataflow graphs and module hierarchies.
+
+Two views an HLS user keeps open while tuning pragmas:
+
+* :func:`dfg_to_dot` — one scheduled block's dataflow graph, nodes
+  annotated with operator kind and issue cycle, solid edges for data
+  dependences and dashed for memory-order edges;
+* :func:`hierarchy_to_dot` — the compiled module tree with replication
+  counts (the ``x96`` clusters of the paper's block diagrams).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hls.dfg import DataflowGraph
+from repro.hls.rtl import RtlModule
+from repro.hls.schedule import Schedule
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', r"\"") + '"'
+
+
+def dfg_to_dot(
+    dfg: DataflowGraph,
+    schedule: Optional[Schedule] = None,
+    name: str = "dfg",
+) -> str:
+    """Render a dataflow graph (optionally scheduled) as dot text."""
+    lines = [f"digraph {name} {{", "  rankdir=TB;", "  node [shape=box];"]
+    for i, stmt in enumerate(dfg.stmts):
+        label = f"{i}: {stmt.op.kind}"
+        if stmt.op.simd > 1:
+            label += f" x{stmt.op.simd}"
+        if stmt.dest:
+            label += f"\\n{stmt.dest}"
+        if stmt.load:
+            label += f"\\nld {stmt.load.array}"
+        if stmt.store:
+            label += f"\\nst {stmt.store.array}"
+        if schedule is not None:
+            label += f"\\n@cycle {schedule.starts[i]}"
+        lines.append(f"  n{i} [label={_quote(label)}];")
+    for dep in dfg.deps:
+        style = "solid" if dep.kind == "raw" else "dashed"
+        extra = ""
+        if dep.distance:
+            extra = f', label="d{dep.distance}", color=red'
+        lines.append(
+            f"  n{dep.src} -> n{dep.dst} [style={style}{extra}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def hierarchy_to_dot(rtl: RtlModule, name: str = "hierarchy") -> str:
+    """Render a compiled module tree as dot text."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [shape=folder];"]
+    counter = [0]
+    index = {}
+
+    def visit(module: RtlModule) -> int:
+        node = counter[0]
+        counter[0] += 1
+        index[id(module)] = node
+        bits = module.register_bits
+        label = module.name.rsplit("/", 1)[-1] or module.name
+        detail = []
+        if bits:
+            detail.append(f"{bits} reg bits")
+        if module.memories:
+            detail.append(f"{len(module.memories)} mems")
+        if module.gated:
+            detail.append("gated")
+        text = label + ("\\n" + ", ".join(detail) if detail else "")
+        lines.append(f"  m{node} [label={_quote(text)}];")
+        for child, copies in module.submodules:
+            child_node = visit(child)
+            edge_label = f' [label="x{copies}"]' if copies > 1 else ""
+            lines.append(f"  m{node} -> m{child_node}{edge_label};")
+        return node
+
+    visit(rtl)
+    lines.append("}")
+    return "\n".join(lines) + "\n"

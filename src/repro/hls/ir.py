@@ -1,0 +1,309 @@
+"""Loop-nest intermediate representation for the HLS engine.
+
+Programs are untimed, C-like loop nests over declared arrays — the same
+abstraction level as the paper's "sequential un-timed C".  A program is
+
+* a set of :class:`ArrayDecl` storage declarations (register files,
+  SRAM macros, ROMs, FIFOs);
+* a body of :class:`Stmt` operations and :class:`Loop` nests, where
+  loop bounds are compile-time constants (as they are in the decoder's
+  C code) and array indices are affine in the enclosing loop variables.
+
+Scalar dataflow is single-assignment: each statement defines one fresh
+value name; sources reference value names or array reads.  This keeps
+dependence analysis exact for scalars and reduces memory disambiguation
+to comparing affine index expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import HlsError
+from repro.hls.pragmas import Pragma
+from repro.synth.library import cell
+
+# ---------------------------------------------------------------------------
+# index expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Affine(object):
+    """Affine index expression: ``sum(coeff * var) + const``.
+
+    ``terms`` maps loop-variable names to integer coefficients.  After
+    full unrolling every index reduces to a constant (empty ``terms``).
+    """
+
+    terms: Tuple[Tuple[str, int], ...] = ()
+    const: int = 0
+
+    @classmethod
+    def of(cls, var: Optional[str] = None, coeff: int = 1, const: int = 0) -> "Affine":
+        """Shorthand: ``Affine.of('i', 2, 1)`` is ``2*i + 1``."""
+        if var is None:
+            return cls((), const)
+        return cls(((var, coeff),), const)
+
+    def substitute(self, var: str, value: int) -> "Affine":
+        """Replace ``var`` with a constant, folding into ``const``."""
+        terms = []
+        const = self.const
+        for name, coeff in self.terms:
+            if name == var:
+                const += coeff * value
+            else:
+                terms.append((name, coeff))
+        return Affine(tuple(terms), const)
+
+    def shift_var(self, var: str, base_var: str, scale: int, offset: int) -> "Affine":
+        """Rewrite ``var`` as ``scale * base_var + offset`` (partial unroll)."""
+        terms = []
+        const = self.const
+        for name, coeff in self.terms:
+            if name == var:
+                terms.append((base_var, coeff * scale))
+                const += coeff * offset
+            else:
+                terms.append((name, coeff))
+        return Affine(tuple(terms), const)
+
+    @property
+    def is_const(self) -> bool:
+        """True when no loop variables remain."""
+        return not self.terms
+
+    def value(self) -> int:
+        """The constant value; raises if variables remain."""
+        if not self.is_const:
+            raise HlsError(f"index {self} is not a constant")
+        return self.const
+
+    def __str__(self) -> str:
+        parts = [f"{c}*{v}" for v, c in self.terms]
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return "+".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# storage
+# ---------------------------------------------------------------------------
+
+ARRAY_KINDS = ("regfile", "sram", "rom", "fifo")
+
+
+@dataclass(frozen=True)
+class ArrayDecl(object):
+    """A storage declaration.
+
+    ``kind`` selects the hardware realization (and its cost model):
+
+    * ``"regfile"`` — flip-flop register file (the paper's global C
+      arrays: Q_array, min1/min2/pos/sign arrays);
+    * ``"sram"``   — user-supplied SRAM macro (P and R memories);
+    * ``"rom"``    — read-only table (the parity-check matrix ROM);
+    * ``"fifo"``   — hardware FIFO (the pipelined design's Q FIFO).
+    """
+
+    name: str
+    words: int
+    width_bits: int
+    kind: str = "regfile"
+    read_ports: int = 1
+    write_ports: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRAY_KINDS:
+            raise HlsError(
+                f"array {self.name!r}: unknown kind {self.kind!r}; "
+                f"choose from {ARRAY_KINDS}"
+            )
+        if self.words < 1 or self.width_bits < 1:
+            raise HlsError(f"array {self.name!r}: bad shape")
+
+    @property
+    def bits(self) -> int:
+        """Total storage capacity in bits."""
+        return self.words * self.width_bits
+
+
+@dataclass(frozen=True)
+class MemAccess(object):
+    """One array access: the array name plus an affine word index."""
+
+    array: str
+    index: Affine
+
+    def __str__(self) -> str:
+        return f"{self.array}[{self.index}]"
+
+
+# ---------------------------------------------------------------------------
+# operations / statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Op(object):
+    """An operation class with operand width, costed via the library.
+
+    ``simd`` models lane-parallel datapaths: ``Op("sub", 8, simd=96)``
+    is 96 independent 8-bit subtractors operating on one 768-bit word —
+    the decoder's z-lane cores.  Area scales with the lane count; delay
+    stays that of one lane.  (Loop *replication* — distinct statements
+    per copy — is the UNROLL pragma's job; ``simd`` is for the
+    word-wide lanes that always act in lock-step.)
+    """
+
+    kind: str
+    width: int = 8
+    simd: int = 1
+
+    def __post_init__(self) -> None:
+        cell(self.kind)  # raises for unknown kinds
+        if self.width < 1 or self.simd < 1:
+            raise HlsError(f"bad op shape: width={self.width} simd={self.simd}")
+
+    @property
+    def area_ge(self) -> float:
+        """Operator area in gate equivalents (all lanes)."""
+        return cell(self.kind).area_at(self.width) * self.simd
+
+    @property
+    def delay_fo4(self) -> float:
+        """Operator delay in FO4 units (one lane's depth)."""
+        return cell(self.kind).delay_at(self.width)
+
+    @property
+    def total_bits(self) -> int:
+        """Result width across all lanes."""
+        return self.width * self.simd
+
+
+@dataclass
+class Stmt(object):
+    """One IR statement: ``dest = op(srcs)`` with optional memory access.
+
+    Attributes
+    ----------
+    dest:
+        Fresh scalar value name defined by this statement ("" for pure
+        stores).
+    op:
+        The operation performed.
+    srcs:
+        Scalar value names read (dataflow predecessors).
+    load / store:
+        Optional memory read / write performed by the statement.  Loads
+        define ``dest`` from memory; stores write the first source.
+    """
+
+    dest: str
+    op: Op
+    srcs: Tuple[str, ...] = ()
+    load: Optional[MemAccess] = None
+    store: Optional[MemAccess] = None
+
+    def renamed(self, suffix: str, local_names: Dict[str, str]) -> "Stmt":
+        """Clone with unrolled value names (used by the unroller).
+
+        Sources resolve through the map *before* the destination is
+        registered, so a self-referencing accumulator source picks up
+        the previous replica's definition, not this one's.
+        """
+        srcs = tuple(local_names.get(s, s) for s in self.srcs)
+        dest = self.dest
+        if dest:
+            dest = f"{dest}{suffix}"
+            local_names[self.dest] = dest
+        return Stmt(dest, self.op, srcs, self.load, self.store)
+
+    def __str__(self) -> str:
+        parts = [f"{self.dest or '_'} = {self.op.kind}({', '.join(self.srcs)})"]
+        if self.load:
+            parts.append(f"load {self.load}")
+        if self.store:
+            parts.append(f"store {self.store}")
+        return "; ".join(parts)
+
+
+Node = Union[Stmt, "Loop"]
+
+
+@dataclass
+class Loop(object):
+    """A counted loop over ``var in range(trip)`` with optional pragmas."""
+
+    var: str
+    trip: int
+    body: List[Node] = field(default_factory=list)
+    pragmas: Tuple[Pragma, ...] = ()
+    gate_block: str = ""
+
+    def __post_init__(self) -> None:
+        if self.trip < 1:
+            raise HlsError(f"loop {self.var!r}: trip count must be >= 1")
+
+    @property
+    def unroll_factor(self) -> int:
+        """Resolved unroll factor (full unroll -> trip count)."""
+        for pragma in self.pragmas:
+            if pragma.kind == "unroll":
+                factor = pragma.factor if pragma.factor is not None else self.trip
+                if self.trip % factor != 0:
+                    raise HlsError(
+                        f"loop {self.var!r}: unroll factor {factor} does "
+                        f"not divide trip count {self.trip}"
+                    )
+                return factor
+        return 1
+
+    @property
+    def pipelined(self) -> bool:
+        """True when a pipeline pragma is attached."""
+        return any(p.kind == "pipeline" for p in self.pragmas)
+
+    @property
+    def requested_ii(self) -> int:
+        """The initiation interval requested by the pipeline pragma."""
+        for pragma in self.pragmas:
+            if pragma.kind == "pipeline":
+                return pragma.ii
+        return 1
+
+
+@dataclass
+class Program(object):
+    """A compilable unit: declarations plus a top-level body."""
+
+    name: str
+    arrays: List[ArrayDecl] = field(default_factory=list)
+    body: List[Node] = field(default_factory=list)
+
+    def array(self, name: str) -> ArrayDecl:
+        """Look up a declaration by name."""
+        for decl in self.arrays:
+            if decl.name == name:
+                return decl
+        raise HlsError(f"program {self.name!r}: no array named {name!r}")
+
+    def validate(self) -> None:
+        """Check that every memory access targets a declared array."""
+        names = {decl.name for decl in self.arrays}
+
+        def walk(nodes: Sequence[Node]) -> None:
+            for node in nodes:
+                if isinstance(node, Loop):
+                    walk(node.body)
+                    continue
+                for access in (node.load, node.store):
+                    if access and access.array not in names:
+                        raise HlsError(
+                            f"statement {node} references undeclared "
+                            f"array {access.array!r}"
+                        )
+
+        walk(self.body)

@@ -1,0 +1,48 @@
+"""Compiler directives, modelled on PICO's C pragmas.
+
+The paper's Fig 3 shows the key directive: ``#pragma unroll`` before a
+loop makes the compiler replicate the loop body as parallel hardware.
+Partial unrolling (an inner unrolled loop inside a sequential outer
+loop) is how the paper scales parallelism from 96 cores down to 48 or
+fewer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Pragma(object):
+    """A directive attached to a loop.
+
+    Attributes
+    ----------
+    kind:
+        ``"unroll"`` or ``"pipeline"``.
+    factor:
+        Unroll factor; ``None`` means *fully* unroll (the paper's plain
+        ``#pragma unroll``).
+    ii:
+        Requested initiation interval for ``pipeline`` (1 = accept a new
+        loop iteration every cycle, the block-serial decoder's mode).
+    """
+
+    kind: str
+    factor: Optional[int] = None
+    ii: int = 1
+
+
+def UNROLL(factor: Optional[int] = None) -> Pragma:
+    """``#pragma unroll [factor]`` — replicate the loop body in space."""
+    if factor is not None and factor < 1:
+        raise ValueError(f"unroll factor must be >= 1, got {factor}")
+    return Pragma("unroll", factor=factor)
+
+
+def PIPELINE(ii: int = 1) -> Pragma:
+    """``#pragma pipeline [II]`` — overlap loop iterations in time."""
+    if ii < 1:
+        raise ValueError(f"initiation interval must be >= 1, got {ii}")
+    return Pragma("pipeline", ii=ii)

@@ -1,0 +1,23 @@
+"""IR programs compiled by the HLS engine.
+
+* :mod:`decoder` — the paper's two LDPC decoder architectures (Figs 5
+  and 7) as parameterized loop nests;
+* :mod:`kernels` — small signal-processing kernels (FIR, vector ops,
+  matrix multiply) used by tests and the HLS example.
+"""
+
+from repro.hls.programs.decoder import (
+    DecoderProfile,
+    build_perlayer_program,
+    build_pipelined_program,
+)
+from repro.hls.programs.kernels import fir_program, matmul_program, vecadd_program
+
+__all__ = [
+    "DecoderProfile",
+    "build_perlayer_program",
+    "build_pipelined_program",
+    "fir_program",
+    "matmul_program",
+    "vecadd_program",
+]

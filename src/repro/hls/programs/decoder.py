@@ -1,0 +1,339 @@
+"""The paper's decoder architectures as HLS input programs.
+
+These loop nests mirror the C pseudo-code in the paper's Figs 5 and 7:
+
+.. code-block:: c
+
+    for (i = 0; i < I; i++) {          // iterations
+      for (l = 0; l < L; l++) {        // layers
+        for (j = 0; j < COLS; j++) {   // decoder_core1, block-serial
+          barrel_shifter();            //   z lanes in lock-step
+          core1_dp();                  //   Q = P - R; min/min2/sign
+        }
+        for (k = 0; k < COLS; k++) {   // decoder_core2
+          core2_dp();                  //   R' = 0.75*sign*min; P' = Q+R'
+        }
+      }
+    }
+
+The z-lane lock-step datapath is expressed with ``simd`` operations
+(one statement = ``parallelism`` lanes); choosing ``parallelism < z``
+multiplies the column trip count by ``z / parallelism`` — the paper's
+Fig 3 scalability knob (96 cores vs 48 cores at twice the cycles).
+
+The two-layer pipelined variant (Fig 7) differs structurally by:
+per-core private copies of the min1/min2/pos1/sign arrays, a Q FIFO
+instead of the Q array, and the scoreboard register with its
+check/set/clear operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.codes.qc import QCLDPCCode
+from repro.errors import HlsError
+from repro.hls.ir import Affine, ArrayDecl, Loop, MemAccess, Op, Program, Stmt
+from repro.hls.pragmas import PIPELINE
+
+#: Position (pos1) register width, as in the paper's block diagram.
+_POS_BITS = 5
+#: Parity-check ROM entry: block column (5b) + shift (7b) + flags.
+_ROM_BITS = 16
+
+
+@dataclass(frozen=True)
+class DecoderProfile(object):
+    """Structural parameters of the code family a decoder must support.
+
+    Attributes
+    ----------
+    z:
+        Maximum expansion factor (96 for WiMax).
+    nb:
+        Block columns (24) — the P memory depth.
+    mb:
+        Block rows / layers of the largest-rate... of the reference
+        code (12 for rate 1/2).
+    max_degree:
+        Largest layer degree of the reference code (7 for rate 1/2).
+    r_words:
+        R-memory depth — the max non-zero block count over every rate
+        class the decoder must support (84 for full WiMax support).
+    msg_bits:
+        Message quantization (8-bit P/R as in Section IV-A).
+    iterations:
+        Decoding iteration budget (10 in Table II).
+    """
+
+    z: int = 96
+    nb: int = 24
+    mb: int = 12
+    max_degree: int = 7
+    r_words: int = 84
+    msg_bits: int = 8
+    iterations: int = 10
+
+    @classmethod
+    def from_code(
+        cls,
+        code: QCLDPCCode,
+        r_words: Optional[int] = None,
+        msg_bits: int = 8,
+        iterations: int = 10,
+    ) -> "DecoderProfile":
+        """Derive a profile from a concrete code instance."""
+        return cls(
+            z=code.z,
+            nb=code.nb,
+            mb=code.mb,
+            max_degree=code.max_layer_degree,
+            r_words=r_words if r_words is not None else code.nnz_blocks,
+            msg_bits=msg_bits,
+            iterations=iterations,
+        )
+
+    def memory_bits(self) -> int:
+        """Total P + R SRAM capacity (Table II's 82,944 bits)."""
+        word = self.z * self.msg_bits
+        return self.nb * word + self.r_words * word
+
+
+def _resolve_parallelism(profile: DecoderProfile, parallelism: Optional[int]) -> int:
+    p = parallelism if parallelism is not None else profile.z
+    if p < 1 or profile.z % p != 0:
+        raise HlsError(
+            f"parallelism {p} must divide the expansion factor {profile.z}"
+        )
+    return p
+
+
+# ---------------------------------------------------------------------------
+# shared statement builders
+# ---------------------------------------------------------------------------
+
+
+def _core1_stmts(
+    p: int, w: int, suffix: str, q_dest: str, q_store: MemAccess
+) -> List[Stmt]:
+    """core1_dp: read P/R, form Q, update running min1/min2/pos/sign."""
+    j = Affine.of("j")
+    zero = Affine.of(const=0)
+    s = suffix
+    return [
+        Stmt(f"h{s}", Op("load", _ROM_BITS), (), load=MemAccess("h_rom", j)),
+        Stmt(f"pw{s}", Op("load", w, p), (f"h{s}",), load=MemAccess("p_mem", j)),
+        Stmt(f"ps{s}", Op("rotate", w, p), (f"pw{s}", f"h{s}")),
+        Stmt(f"rw{s}", Op("load", w, p), (f"h{s}",), load=MemAccess("r_mem", j)),
+        Stmt(f"q{s}", Op("sub", w, p), (f"ps{s}", f"rw{s}")),
+        Stmt("", Op("store", w, p), (f"q{s}",), store=q_store),
+        Stmt(f"aq{s}", Op("abs", w, p), (f"q{s}",)),
+        Stmt(f"sg{s}", Op("sign", 1, p), (f"q{s}",)),
+        Stmt(
+            f"sa{s}",
+            Op("xor", 1, p),
+            (f"sg{s}",),
+            load=MemAccess(f"sign_array{s}", zero),
+            store=MemAccess(f"sign_array{s}", zero),
+        ),
+        Stmt(
+            f"m1{s}",
+            Op("min", w, p),
+            (f"aq{s}",),
+            load=MemAccess(f"min1_array{s}", zero),
+            store=MemAccess(f"min1_array{s}", zero),
+        ),
+        Stmt(f"mx{s}", Op("max", w, p), (f"aq{s}",)),
+        Stmt(
+            f"m2{s}",
+            Op("min", w, p),
+            (f"mx{s}",),
+            load=MemAccess(f"min2_array{s}", zero),
+            store=MemAccess(f"min2_array{s}", zero),
+        ),
+        Stmt(f"pc{s}", Op("cmp", 1, p), (f"aq{s}",)),
+        Stmt(
+            f"po{s}",
+            Op("mux", _POS_BITS, p),
+            (f"pc{s}",),
+            load=MemAccess(f"pos1_array{s}", zero),
+            store=MemAccess(f"pos1_array{s}", zero),
+        ),
+    ]
+
+
+def _core2_stmts(p: int, w: int, suffix: str, q_load: MemAccess) -> List[Stmt]:
+    """core2_dp: select min, scale by 0.75, apply signs, write back."""
+    k = Affine.of("k")
+    zero = Affine.of(const=0)
+    s = suffix
+    return [
+        Stmt(f"qv{s}", Op("load", w, p), (), load=q_load),
+        Stmt(f"l1{s}", Op("load", w, p), (), load=MemAccess(f"min1_array{s}", zero)),
+        Stmt(f"l2{s}", Op("load", w, p), (), load=MemAccess(f"min2_array{s}", zero)),
+        Stmt(
+            f"lp{s}",
+            Op("load", _POS_BITS, p),
+            (),
+            load=MemAccess(f"pos1_array{s}", zero),
+        ),
+        Stmt(f"ls{s}", Op("load", 1, p), (), load=MemAccess(f"sign_array{s}", zero)),
+        Stmt(f"sel{s}", Op("mux", w, p), (f"l1{s}", f"l2{s}", f"lp{s}")),
+        Stmt(f"sc{s}", Op("scale34", w, p), (f"sel{s}",)),
+        Stmt(f"qs{s}", Op("sign", 1, p), (f"qv{s}",)),
+        Stmt(f"rs{s}", Op("xor", 1, p), (f"ls{s}", f"qs{s}")),
+        Stmt(f"ng{s}", Op("neg", w, p), (f"sc{s}",)),
+        Stmt(f"rn{s}", Op("mux", w, p), (f"sc{s}", f"ng{s}", f"rs{s}")),
+        Stmt("", Op("store", w, p), (f"rn{s}",), store=MemAccess("r_mem", k)),
+        Stmt(f"pn{s}", Op("add", w, p), (f"qv{s}", f"rn{s}")),
+        Stmt(f"pt{s}", Op("sat", w, p), (f"pn{s}",)),
+        Stmt("", Op("store", w, p), (f"pt{s}",), store=MemAccess("p_mem", k)),
+        # On-the-fly early-termination support: accumulate the parity of
+        # the hard decisions written back, so the top level can "return
+        # early if all the parity checks are satisfied" at zero cycles.
+        Stmt(f"hd{s}", Op("sign", 1, p), (f"pt{s}",)),
+        Stmt(
+            f"sy{s}",
+            Op("xor", 1, p),
+            (f"hd{s}",),
+            load=MemAccess("syndrome_acc", zero),
+            store=MemAccess("syndrome_acc", zero),
+        ),
+    ]
+
+
+def _shared_arrays(
+    profile: DecoderProfile, p: int, passes: int
+) -> List[ArrayDecl]:
+    word = p * profile.msg_bits
+    return [
+        ArrayDecl("p_mem", profile.nb * passes, word, "sram"),
+        ArrayDecl("r_mem", profile.r_words * passes, word, "sram"),
+        ArrayDecl("h_rom", profile.r_words, _ROM_BITS, "rom"),
+        # Per-lane parity accumulator for zero-cycle early termination.
+        ArrayDecl("syndrome_acc", passes, p, "regfile"),
+    ]
+
+
+def _core_arrays(p: int, w: int, suffix: str, passes: int) -> List[ArrayDecl]:
+    return [
+        ArrayDecl(f"min1_array{suffix}", passes, p * w, "regfile"),
+        ArrayDecl(f"min2_array{suffix}", passes, p * w, "regfile"),
+        ArrayDecl(f"pos1_array{suffix}", passes, p * _POS_BITS, "regfile"),
+        ArrayDecl(f"sign_array{suffix}", passes, p, "regfile"),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# architecture builders
+# ---------------------------------------------------------------------------
+
+
+def build_perlayer_program(
+    profile: DecoderProfile = DecoderProfile(),
+    parallelism: Optional[int] = None,
+) -> Program:
+    """The per-layer two-stage architecture of Figs 4/5.
+
+    One shared set of min/pos/sign arrays; core1 fully drains a layer
+    into the Q register array before core2 starts.
+    """
+    p = _resolve_parallelism(profile, parallelism)
+    passes = profile.z // p
+    w = profile.msg_bits
+    cols = profile.max_degree * passes
+
+    arrays = _shared_arrays(profile, p, passes)
+    arrays.append(ArrayDecl("q_array", profile.max_degree * passes, p * w, "regfile"))
+    arrays.extend(_core_arrays(p, w, "", passes))
+
+    core1 = Loop(
+        "j",
+        cols,
+        _core1_stmts(p, w, "", "q", MemAccess("q_array", Affine.of("j"))),
+        (PIPELINE(1),),
+        gate_block="core1",
+    )
+    core2 = Loop(
+        "k",
+        cols,
+        _core2_stmts(p, w, "", MemAccess("q_array", Affine.of("k"))),
+        (PIPELINE(1),),
+        gate_block="core2",
+    )
+    layers = Loop("l", profile.mb, [core1, core2])
+    iters = Loop("it", profile.iterations, [layers])
+    return Program(f"ldpc_perlayer_p{p}", arrays, [iters])
+
+
+def build_pipelined_program(
+    profile: DecoderProfile = DecoderProfile(),
+    parallelism: Optional[int] = None,
+) -> Program:
+    """The two-layer pipelined architecture of Figs 6/7.
+
+    Each core owns private min/pos/sign array copies; Q values flow
+    through a FIFO; the scoreboard register adds hazard check/set logic
+    to core1 and clear logic to core2.  (The *timing* overlap of the
+    two cores across layers is a property of the generated hardware's
+    handshake, simulated cycle-accurately by
+    :mod:`repro.arch.pipelined`; the program here defines the
+    structure.)
+    """
+    p = _resolve_parallelism(profile, parallelism)
+    passes = profile.z // p
+    w = profile.msg_bits
+    cols = profile.max_degree * passes
+
+    arrays = _shared_arrays(profile, p, passes)
+    arrays.append(
+        ArrayDecl("q_fifo", profile.max_degree * passes, p * w, "fifo")
+    )
+    arrays.extend(_core_arrays(p, w, "_c1", passes))
+    arrays.extend(_core_arrays(p, w, "_c2", passes))
+    arrays.append(ArrayDecl("scoreboard", 1, profile.nb, "regfile"))
+
+    zero = Affine.of(const=0)
+    check = [
+        # check_scoreboard(): stall core1 while a P write is pending.
+        Stmt("sb", Op("load", profile.nb), (), load=MemAccess("scoreboard", zero)),
+        Stmt("hz", Op("cmp", profile.nb), ("sb",)),
+        # set_scoreboard(): mark this column pending.
+        Stmt(
+            "sbs",
+            Op("or", profile.nb),
+            ("hz",),
+            load=MemAccess("scoreboard", zero),
+            store=MemAccess("scoreboard", zero),
+        ),
+    ]
+    clear = [
+        # clear_scoreboard(): writeback done for this column.
+        Stmt(
+            "sbc",
+            Op("and", profile.nb),
+            (),
+            load=MemAccess("scoreboard", zero),
+            store=MemAccess("scoreboard", zero),
+        ),
+    ]
+
+    core1 = Loop(
+        "j",
+        cols,
+        check
+        + _core1_stmts(p, w, "_c1", "q", MemAccess("q_fifo", Affine.of("j"))),
+        (PIPELINE(1),),
+        gate_block="core1",
+    )
+    core2 = Loop(
+        "k",
+        cols,
+        _core2_stmts(p, w, "_c2", MemAccess("q_fifo", Affine.of("k"))) + clear,
+        (PIPELINE(1),),
+        gate_block="core2",
+    )
+    layers = Loop("l", profile.mb, [core1, core2])
+    iters = Loop("it", profile.iterations, [layers])
+    return Program(f"ldpc_pipelined_p{p}", arrays, [iters])

@@ -1,0 +1,128 @@
+"""Small classic kernels for tests and the generic-HLS example.
+
+These show the engine is a general tool, not a decoder-only script:
+the same unroll/pipeline pragmas that scale the LDPC decoder scale a
+FIR filter or a matrix multiply.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hls.ir import Affine, ArrayDecl, Loop, MemAccess, Op, Program, Stmt
+from repro.hls.pragmas import PIPELINE, UNROLL
+
+
+def vecadd_program(
+    n: int = 64, unroll: Optional[int] = None, pipelined: bool = True
+) -> Program:
+    """``y[i] = a[i] + b[i]`` — the smallest useful test program."""
+    pragmas = []
+    if unroll:
+        pragmas.append(UNROLL(unroll))
+    if pipelined:
+        pragmas.append(PIPELINE(1))
+    i = Affine.of("i")
+    body = [
+        Stmt("va", Op("load", 8), (), load=MemAccess("a", i)),
+        Stmt("vb", Op("load", 8), (), load=MemAccess("b", i)),
+        Stmt("vs", Op("add", 8), ("va", "vb")),
+        Stmt("", Op("store", 8), ("vs",), store=MemAccess("y", i)),
+    ]
+    return Program(
+        "vecadd",
+        [
+            ArrayDecl("a", n, 8, "sram"),
+            ArrayDecl("b", n, 8, "sram"),
+            ArrayDecl("y", n, 8, "sram"),
+        ],
+        [Loop("i", n, body, tuple(pragmas))],
+    )
+
+
+def fir_program(
+    taps: int = 8,
+    samples: int = 256,
+    unroll_taps: bool = True,
+    pipelined: bool = True,
+) -> Program:
+    """A ``taps``-tap FIR filter over a sample stream.
+
+    The sample window lives in a register delay line (``regfile``), so
+    all taps read in parallel.  Unrolling the tap loop turns the
+    accumulator recurrence into a combinational multiply-add chain (the
+    persistent-rename property of the unroller); pipelining the sample
+    loop then reaches II = 1 — the canonical HLS demonstration.
+    """
+    t = Affine.of("t")
+    tap_body = [
+        Stmt(
+            "xv",
+            Op("load", 8),
+            (),
+            load=MemAccess("x", Affine((("n", 1), ("t", 1)), 0)),
+        ),
+        Stmt("cv", Op("load", 8), (), load=MemAccess("coef", t)),
+        Stmt("pr", Op("mul", 8), ("xv", "cv")),
+        Stmt("ac", Op("add", 16), ("ac", "pr")),
+    ]
+    tap_pragmas = (UNROLL(),) if unroll_taps else ()
+    sample_body = [
+        Loop("t", taps, tap_body, tap_pragmas),
+        Stmt("", Op("store", 16), ("ac",), store=MemAccess("y", Affine.of("n"))),
+    ]
+    sample_pragmas = (PIPELINE(1),) if pipelined else ()
+    return Program(
+        "fir",
+        [
+            ArrayDecl("x", samples + taps, 8, "regfile"),
+            ArrayDecl("coef", taps, 8, "rom"),
+            ArrayDecl("y", samples, 16, "sram"),
+        ],
+        [Loop("n", samples, sample_body, sample_pragmas)],
+    )
+
+
+def matmul_program(size: int = 8, unroll_inner: bool = True) -> Program:
+    """``C = A @ B`` for square ``size`` matrices.
+
+    Operands live in register files so the fully unrolled dot product
+    reads all ``size`` pairs at once; the inner product accumulates
+    through an SSA adder chain.
+    """
+    inner = [
+        Stmt(
+            "av",
+            Op("load", 8),
+            (),
+            load=MemAccess("A", Affine((("i", size), ("k", 1)), 0)),
+        ),
+        Stmt(
+            "bv",
+            Op("load", 8),
+            (),
+            load=MemAccess("B", Affine((("k", size), ("j", 1)), 0)),
+        ),
+        Stmt("pv", Op("mul", 8), ("av", "bv")),
+        Stmt("sv", Op("add", 16), ("sv", "pv")),
+    ]
+    inner_pragmas = (UNROLL(),) if unroll_inner else ()
+    j_body = [
+        Loop("k", size, inner, inner_pragmas),
+        Stmt(
+            "",
+            Op("store", 16),
+            ("sv",),
+            store=MemAccess("C", Affine((("i", size), ("j", 1)), 0)),
+        ),
+    ]
+    loops = Loop("i", size, [Loop("j", size, j_body)])
+    return Program(
+        "matmul",
+        [
+            ArrayDecl("A", size * size, 8, "regfile"),
+            ArrayDecl("B", size * size, 8, "regfile"),
+            ArrayDecl("C", size * size, 16, "sram"),
+        ],
+        [loops],
+    )

@@ -1,0 +1,120 @@
+"""PICO-style synthesis reports: what the tool prints after a compile.
+
+A real HLS run ends with a report the designer reads before touching
+RTL: per-block schedules with II and depth, the functional-unit
+inventory, the memory map, and the timing story at the target clock.
+This module renders that report from an :class:`HlsResult` — both as a
+human artifact and as the quickest way to understand what the compiler
+did to a program.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hls.compiler import HlsResult
+from repro.synth.tech65 import TSMC65GP, TechnologyModel
+from repro.utils.tables import render_table
+
+
+def synthesis_report(result: HlsResult, tech: TechnologyModel = TSMC65GP) -> str:
+    """Render the full post-compile report."""
+    sections = [
+        _header(result, tech),
+        _schedule_section(result),
+        _fu_section(result),
+        _memory_section(result),
+        _area_section(result, tech),
+    ]
+    return "\n\n".join(sections)
+
+
+def _header(result: HlsResult, tech: TechnologyModel) -> str:
+    budget = tech.fo4_budget(result.clock_mhz)
+    return (
+        f"=== repro.hls synthesis report: {result.program.name} ===\n"
+        f"target clock   : {result.clock_mhz:.0f} MHz "
+        f"({tech.period_ps(result.clock_mhz):.0f} ps period, "
+        f"{budget:.1f} FO4 usable per cycle)\n"
+        f"technology     : {tech.name}\n"
+        f"total latency  : {result.cycles} cycles per top-level pass "
+        f"({result.cycles / result.clock_mhz:.2f} us)"
+    )
+
+
+def _schedule_section(result: HlsResult) -> str:
+    rows: List[List[object]] = []
+    for block in result.blocks:
+        rows.append(
+            [
+                block.label,
+                "pipelined" if block.pipelined else "sequential",
+                block.trip,
+                block.schedule.ii if block.pipelined else "-",
+                block.schedule.length,
+                block.cycles,
+            ]
+        )
+    return render_table(
+        ["block", "mode", "trip", "II", "depth", "cycles"],
+        rows,
+        title="Scheduled blocks",
+    )
+
+
+def _fu_section(result: HlsResult) -> str:
+    totals = {}
+    for module, mult in result.rtl.walk():
+        for (kind, width), count in module.fu_counts.items():
+            key = (kind, width)
+            totals[key] = totals.get(key, 0) + count * mult
+    rows = [
+        [kind, width, count]
+        for (kind, width), count in sorted(totals.items())
+    ]
+    return render_table(
+        ["operator", "width", "lane-units"],
+        rows,
+        title="Functional-unit inventory",
+    )
+
+
+def _memory_section(result: HlsResult) -> str:
+    rows = []
+    for module, mult in result.rtl.walk():
+        for macro in module.memories:
+            rows.append(
+                [
+                    macro.name,
+                    macro.kind,
+                    macro.words,
+                    macro.width_bits,
+                    macro.bits * mult,
+                ]
+            )
+    return render_table(
+        ["memory", "kind", "words", "width", "total bits"],
+        rows,
+        title="Memory map",
+    )
+
+
+def _area_section(result: HlsResult, tech: TechnologyModel) -> str:
+    area = result.area(tech)
+    rows = [
+        [component, f"{ge:.0f}", f"{tech.ge_to_mm2(ge) * 1e3:.1f}"]
+        for component, ge in area.breakdown_ge.items()
+    ]
+    rows.append(
+        ["standard cells total", f"{area.std_cell_ge:.0f}",
+         f"{area.std_cell_mm2 * 1e3:.1f}"]
+    )
+    rows.append(["SRAM macros", "-", f"{area.sram_mm2 * 1e3:.1f}"])
+    rows.append(
+        ["core (after 75% utilization)", "-", f"{area.core_area_mm2 * 1e3:.1f}"]
+    )
+    return render_table(
+        ["area component", "GE", "x1e-3 mm^2"],
+        rows,
+        title="Area estimate",
+    )

@@ -1,0 +1,153 @@
+"""Netlist-level RTL model: the HLS back-end's output summary.
+
+An :class:`RtlModule` is the structural quantity bridge between the
+HLS front end and the area/power models: functional units with widths,
+register bits, mux inputs, memory macros, and replicated submodules
+(the ``x96 copies`` clusters of the paper's Figs 5 and 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import HlsError
+from repro.synth.library import cell
+
+
+@dataclass(frozen=True)
+class MemoryMacro(object):
+    """A memory instance: SRAM macro, ROM table, FIFO, or register file."""
+
+    name: str
+    words: int
+    width_bits: int
+    kind: str  # "sram" | "rom" | "fifo" | "regfile"
+
+    @property
+    def bits(self) -> int:
+        """Capacity in bits."""
+        return self.words * self.width_bits
+
+
+@dataclass
+class RtlModule(object):
+    """Hierarchical netlist summary.
+
+    Attributes
+    ----------
+    name:
+        Module name (e.g. ``core1_dp``, ``decoder_core1``).
+    fu_counts:
+        (op kind, width) -> functional-unit instances.
+    register_bits:
+        Flip-flop bits in this module (pipeline + state registers).
+    mux_inputs:
+        Extra mux inputs from FU sharing.
+    memories:
+        Memory macros instantiated here.
+    submodules:
+        (module, copies) children — ``copies`` models the unroll-driven
+        replication of datapath clusters.
+    gated:
+        Whether this module sits behind a block-level clock gate.
+    """
+
+    name: str
+    fu_counts: Dict[Tuple[str, int], int] = field(default_factory=dict)
+    register_bits: int = 0
+    mux_inputs: int = 0
+    memories: List[MemoryMacro] = field(default_factory=list)
+    submodules: List[Tuple["RtlModule", int]] = field(default_factory=list)
+    gated: bool = False
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def add_fu(self, kind: str, width: int, count: int = 1) -> None:
+        """Add functional units of a kind/width."""
+        cell(kind)  # validate kind
+        if count < 0:
+            raise HlsError(f"negative FU count for {kind}")
+        key = (kind, width)
+        self.fu_counts[key] = self.fu_counts.get(key, 0) + count
+
+    def add_submodule(self, module: "RtlModule", copies: int = 1) -> None:
+        """Instantiate ``copies`` replicas of a child module."""
+        if copies < 1:
+            raise HlsError(f"submodule copies must be >= 1, got {copies}")
+        self.submodules.append((module, copies))
+
+    # ------------------------------------------------------------------
+    # rollups (inclusive of submodules)
+    # ------------------------------------------------------------------
+    def walk(self, multiplier: int = 1) -> Iterator[Tuple["RtlModule", int]]:
+        """Yield (module, effective copies) over the whole hierarchy."""
+        yield self, multiplier
+        for child, copies in self.submodules:
+            yield from child.walk(multiplier * copies)
+
+    def total_register_bits(self) -> int:
+        """Flip-flop bits including all replicated submodules."""
+        return sum(m.register_bits * mult for m, mult in self.walk())
+
+    def total_fu_area_ge(self) -> float:
+        """Functional-unit area in gate equivalents, hierarchy-wide."""
+        total = 0.0
+        for module, mult in self.walk():
+            for (kind, width), count in module.fu_counts.items():
+                total += cell(kind).area_at(width) * count * mult
+        return total
+
+    def total_mux_inputs(self) -> int:
+        """Mux inputs hierarchy-wide."""
+        return sum(m.mux_inputs * mult for m, mult in self.walk())
+
+    def total_memory_bits(self, kinds: Tuple[str, ...] = ("sram",)) -> int:
+        """Capacity of memories of the given kinds, hierarchy-wide."""
+        total = 0
+        for module, mult in self.walk():
+            for macro in module.memories:
+                if macro.kind in kinds:
+                    total += macro.bits * mult
+        return total
+
+    def regfile_bits(self) -> int:
+        """Register-file macro bits realized as flip-flops."""
+        total = 0
+        for module, mult in self.walk():
+            for macro in module.memories:
+                if macro.kind in ("regfile", "fifo"):
+                    total += macro.bits * mult
+        return total
+
+    def gated_register_bits(self) -> int:
+        """Flip-flop + regfile bits inside clock-gated blocks.
+
+        A module nested anywhere under a gated block is behind that
+        block's gate, so gating is inherited down the hierarchy.
+        """
+
+        def visit(module: "RtlModule", mult: int, gated: bool) -> int:
+            gated = gated or module.gated
+            total = 0
+            if gated:
+                total += module.register_bits * mult
+                for macro in module.memories:
+                    if macro.kind in ("regfile", "fifo"):
+                        total += macro.bits * mult
+            for child, copies in module.submodules:
+                total += visit(child, mult * copies, gated)
+            return total
+
+        return visit(self, 1, False)
+
+    def summary(self) -> Dict[str, float]:
+        """Headline structural numbers for reports."""
+        return {
+            "register_bits": self.total_register_bits(),
+            "regfile_bits": self.regfile_bits(),
+            "fu_area_ge": self.total_fu_area_ge(),
+            "mux_inputs": self.total_mux_inputs(),
+            "sram_bits": self.total_memory_bits(("sram",)),
+        }

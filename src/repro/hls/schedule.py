@@ -1,0 +1,330 @@
+"""Delay-aware (chaining) list scheduling and modulo pipelining.
+
+The scheduler measures operator delays in FO4 units and packs dependent
+operators into the same cycle while they fit the clock budget — exactly
+what synthesis does.  Consequences, matching the paper's Fig 8:
+
+* at a slow target clock a whole decoder core chains into 1-2 cycles;
+* at a fast clock the same chain is cut at cycle boundaries, so core
+  latency in cycles (the pipeline depth) *grows with clock frequency*,
+  and with it the per-iteration latency;
+* an operator whose own delay exceeds one cycle budget becomes a
+  multi-stage pipelined unit.
+
+Memory semantics:
+
+* SRAM/ROM macro loads register their address at a cycle boundary and
+  deliver data at the next boundary (1-cycle access);
+* stores and register-file writes commit at the following boundary;
+* a statement with ``load`` and ``store`` on the *same* array is a fused
+  read-modify-write register update (e.g. the running min1/min2 of the
+  decoder's core1): the registered state is stable for the whole cycle,
+  so the update logic may chain after mid-cycle inputs, and the result
+  commits at the next boundary — a carried recurrence through it
+  supports II = 1.
+
+Two entry points:
+
+* :meth:`Scheduler.schedule_block` — non-overlapped scheduling of one
+  block;
+* :meth:`Scheduler.schedule_pipelined` — modulo scheduling at the
+  smallest feasible initiation interval (II), respecting per-II-slot
+  resource and memory-port limits and loop-carried dependences.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ScheduleError
+from repro.hls.dfg import DataflowGraph
+from repro.hls.ir import ArrayDecl, Stmt
+from repro.synth.timing import TimingModel
+
+_MAX_II_SEARCH = 64
+_EPS = 1e-9
+
+
+@dataclass
+class Schedule(object):
+    """Result of scheduling one block.
+
+    Attributes
+    ----------
+    starts:
+        Issue cycle of each statement.
+    finishes:
+        Time each statement's result is available, in fractional cycles
+        (integral values are cycle boundaries / registered results).
+    length:
+        Block latency in whole cycles (first issue to last commit).
+    ii:
+        Initiation interval (= ``length`` for non-pipelined blocks).
+    """
+
+    starts: List[int]
+    finishes: List[float]
+    length: int
+    ii: int
+
+    def depth(self) -> int:
+        """Pipeline depth in cycles (alias for ``length``)."""
+        return self.length
+
+
+class Scheduler(object):
+    """Chaining list / modulo scheduler with FU and port constraints.
+
+    Parameters
+    ----------
+    timing:
+        Timing model providing the per-cycle FO4 budget.
+    clock_mhz:
+        Target clock.
+    resources:
+        Operator-kind -> available lane-unit count; kinds not listed
+        are unlimited (spatial hardware, PICO's default).
+    arrays:
+        Declarations for memory-port constraints: SRAMs and FIFOs
+        honour their declared read/write ports per cycle; register
+        files and ROMs replicate read ports freely but keep their
+        declared write ports.
+    """
+
+    def __init__(
+        self,
+        timing: TimingModel,
+        clock_mhz: float,
+        resources: Optional[Dict[str, int]] = None,
+        arrays: Optional[List[ArrayDecl]] = None,
+    ) -> None:
+        self.timing = timing
+        self.clock_mhz = clock_mhz
+        self.resources = dict(resources or {})
+        self.arrays = {decl.name: decl for decl in (arrays or [])}
+        self.budget_fo4 = timing.tech.fo4_budget(clock_mhz)
+
+    # ------------------------------------------------------------------
+    # classification helpers
+    # ------------------------------------------------------------------
+    def _is_macro(self, array: str) -> bool:
+        decl = self.arrays.get(array)
+        return bool(decl and decl.kind in ("sram", "rom"))
+
+    def _read_ports(self, array: str) -> Optional[int]:
+        decl = self.arrays.get(array)
+        if decl is None:
+            return None
+        if decl.kind in ("regfile", "rom"):
+            return None
+        return decl.read_ports
+
+    def _write_ports(self, array: str) -> Optional[int]:
+        decl = self.arrays.get(array)
+        if decl is None:
+            return None
+        return decl.write_ports
+
+    def _is_rmw(self, stmt: Stmt) -> bool:
+        return (
+            stmt.load is not None
+            and stmt.store is not None
+            and stmt.load.array == stmt.store.array
+        )
+
+    def delay_of(self, stmt: Stmt) -> float:
+        """Effective FO4 delay of one statement, wire load included."""
+        return self.timing.effective_delay_fo4(stmt.op.delay_fo4, stmt.op.simd)
+
+    def stages_of(self, stmt: Stmt) -> int:
+        """Whole-cycle stage count of one statement (>= 1)."""
+        if stmt.load and self._is_macro(stmt.load.array):
+            return 1
+        return max(1, math.ceil(self.delay_of(stmt) / self.budget_fo4 - _EPS))
+
+    # ------------------------------------------------------------------
+    # lower bounds
+    # ------------------------------------------------------------------
+    def resource_mii(self, dfg: DataflowGraph) -> int:
+        """Resource-constrained lower bound on the II."""
+        mii = 1
+        unit_counts: Dict[str, int] = {}
+        for stmt in dfg.stmts:
+            unit_counts[stmt.op.kind] = (
+                unit_counts.get(stmt.op.kind, 0) + stmt.op.simd
+            )
+        for kind, count in unit_counts.items():
+            limit = self.resources.get(kind)
+            if limit:
+                mii = max(mii, math.ceil(count / limit))
+        for (array, direction), count in dfg.port_demand().items():
+            ports = (
+                self._read_ports(array)
+                if direction == "read"
+                else self._write_ports(array)
+            )
+            if ports:
+                mii = max(mii, math.ceil(count / ports))
+        return mii
+
+    # ------------------------------------------------------------------
+    # placement core
+    # ------------------------------------------------------------------
+    def _place(
+        self,
+        stmt: Stmt,
+        avail: float,
+        ii: int,
+        usage: Dict[Tuple[int, str], int],
+        port_usage: Dict[Tuple[int, str, str], int],
+        horizon_cycles: int,
+    ) -> Optional[Tuple[int, float]]:
+        """Find (start_cycle, finish_time) for a statement.
+
+        ``avail`` is the earliest fractional-cycle time all inputs are
+        ready.  Returns None if no slot fits within the horizon.
+        """
+        frac = self.delay_of(stmt) / self.budget_fo4
+        macro_load = stmt.load is not None and self._is_macro(stmt.load.array)
+        registered_output = (
+            stmt.store is not None or macro_load or self._is_rmw(stmt)
+        )
+
+        first_cycle = int(math.floor(avail + _EPS))
+        for cycle in range(first_cycle, first_cycle + horizon_cycles):
+            if not self._fits(stmt, cycle, ii, usage, port_usage):
+                continue
+            if macro_load or frac >= 1.0 - _EPS:
+                # Boundary-aligned: address/state registered at `cycle`.
+                if cycle + _EPS < avail:
+                    continue
+                stages = self.stages_of(stmt)
+                finish = float(cycle + stages)
+                return cycle, finish
+            # Chainable single-cycle op.
+            start_time = max(avail, float(cycle))
+            if start_time >= cycle + 1 - _EPS:
+                continue  # inputs not ready within this cycle
+            if start_time + frac <= cycle + 1 + _EPS:
+                finish = start_time + frac
+                if registered_output:
+                    finish = float(cycle + 1)
+                return cycle, finish
+            # Does not fit the remainder of this cycle; try the next.
+        return None
+
+    # ------------------------------------------------------------------
+    # block (non-pipelined) scheduling
+    # ------------------------------------------------------------------
+    def schedule_block(self, dfg: DataflowGraph) -> Schedule:
+        """Dependence-driven chaining schedule of one block."""
+        schedule = self._schedule(dfg, ii=0)
+        if schedule is None:
+            raise ScheduleError("block scheduling failed (resource deadlock)")
+        return schedule
+
+    # ------------------------------------------------------------------
+    # modulo (pipelined) scheduling
+    # ------------------------------------------------------------------
+    def schedule_pipelined(self, dfg: DataflowGraph, min_ii: int = 1) -> Schedule:
+        """Modulo scheduling at the smallest feasible II."""
+        lower = max(min_ii, self.resource_mii(dfg))
+        for ii in range(lower, lower + _MAX_II_SEARCH):
+            schedule = self._schedule(dfg, ii=ii)
+            if schedule is not None:
+                return schedule
+        raise ScheduleError(
+            f"no feasible II found in [{lower}, {lower + _MAX_II_SEARCH})"
+        )
+
+    # ------------------------------------------------------------------
+    # shared engine
+    # ------------------------------------------------------------------
+    def _schedule(self, dfg: DataflowGraph, ii: int) -> Optional[Schedule]:
+        n = len(dfg.stmts)
+        starts: List[int] = [-1] * n
+        finishes: List[float] = [0.0] * n
+        usage: Dict[Tuple[int, str], int] = {}
+        port_usage: Dict[Tuple[int, str, str], int] = {}
+        horizon = 4 * n + 64
+
+        # Program order is a topological order for distance-0 edges.
+        for i in range(n):
+            avail = 0.0
+            for dep in dfg.preds(i):
+                if dep.distance == 0:
+                    avail = max(avail, finishes[dep.src])
+                elif ii and starts[dep.src] >= 0:
+                    avail = max(avail, finishes[dep.src] - dep.distance * ii)
+            placed = self._place(
+                dfg.stmts[i], avail, ii, usage, port_usage, horizon
+            )
+            if placed is None:
+                return None
+            starts[i], finishes[i] = placed
+            self._commit(dfg.stmts[i], starts[i], ii, usage, port_usage)
+
+        if ii:
+            # Verify carried edges into earlier-placed statements:
+            # finish(src) - d*II <= issue-ready time of dst.
+            for dep in dfg.deps:
+                if dep.distance == 0:
+                    continue
+                if finishes[dep.src] - dep.distance * ii > starts[dep.dst] + _EPS:
+                    return None
+
+        length = max(1, int(math.ceil(max(finishes) - _EPS)))
+        return Schedule(starts, finishes, length, ii if ii else length)
+
+    # ------------------------------------------------------------------
+    # resource tables
+    # ------------------------------------------------------------------
+    def _slot(self, cycle: int, ii: int) -> int:
+        return cycle % ii if ii else cycle
+
+    def _fits(
+        self,
+        stmt: Stmt,
+        cycle: int,
+        ii: int,
+        usage: Dict[Tuple[int, str], int],
+        port_usage: Dict[Tuple[int, str, str], int],
+    ) -> bool:
+        slot = self._slot(cycle, ii)
+        limit = self.resources.get(stmt.op.kind)
+        if (
+            limit is not None
+            and usage.get((slot, stmt.op.kind), 0) + stmt.op.simd > limit
+        ):
+            return False
+        if stmt.load:
+            ports = self._read_ports(stmt.load.array)
+            if ports is not None:
+                if port_usage.get((slot, stmt.load.array, "read"), 0) >= ports:
+                    return False
+        if stmt.store:
+            ports = self._write_ports(stmt.store.array)
+            if ports is not None:
+                if port_usage.get((slot, stmt.store.array, "write"), 0) >= ports:
+                    return False
+        return True
+
+    def _commit(
+        self,
+        stmt: Stmt,
+        cycle: int,
+        ii: int,
+        usage: Dict[Tuple[int, str], int],
+        port_usage: Dict[Tuple[int, str, str], int],
+    ) -> None:
+        slot = self._slot(cycle, ii)
+        key = (slot, stmt.op.kind)
+        usage[key] = usage.get(key, 0) + stmt.op.simd
+        if stmt.load:
+            pkey = (slot, stmt.load.array, "read")
+            port_usage[pkey] = port_usage.get(pkey, 0) + 1
+        if stmt.store:
+            pkey = (slot, stmt.store.array, "write")
+            port_usage[pkey] = port_usage.get(pkey, 0) + 1

@@ -1,0 +1,109 @@
+"""Pragma-driven loop unrolling (the paper's Fig 3 transformation).
+
+Unrolling a loop by factor ``f`` replicates its body ``f`` times in
+space — after scheduling, each replica becomes its own datapath copy
+(``decoder_core() x f`` in the paper's figure).  The residual loop runs
+``trip / f`` sequential passes; a full unroll (``f == trip``) removes
+the loop entirely.
+
+Replica ``k`` of the body sees the original loop variable as
+``f * v' + k`` where ``v'`` is the residual loop's variable; for a full
+unroll the variable folds to the constant ``k``.  Scalar value names
+are suffixed per replica to preserve single assignment, and the rename
+map persists across replicas *and* into the code that follows the
+loop: a source naming a value redefined by an earlier replica resolves
+to that replica's definition.  This is sequential-C semantics, and it
+is what turns an accumulator statement ``acc = add(acc, pr)`` into a
+combinational adder chain when its loop is fully unrolled.
+
+Limitation (documented, asserted nowhere): scalar recurrences across
+iterations of a *non-unrolled pipelined* loop are not modelled — route
+such state through a ``regfile`` read-modify-write (as the decoder's
+min/sign updates do) or unroll the loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.hls.ir import Loop, MemAccess, Node, Program, Stmt
+
+
+def unroll_program(program: Program) -> Program:
+    """Apply every unroll pragma, returning a new flattened program."""
+    program.validate()
+    names: Dict[str, str] = {}
+    body = _unroll_nodes(program.body, names)
+    return Program(program.name, list(program.arrays), body)
+
+
+def _unroll_nodes(nodes: List[Node], names: Dict[str, str]) -> List[Node]:
+    out: List[Node] = []
+    for node in nodes:
+        if isinstance(node, Stmt):
+            out.append(node.renamed("", names))
+            continue
+        out.extend(_unroll_loop(node, names))
+    return out
+
+
+def _unroll_loop(loop: Loop, names: Dict[str, str]) -> List[Node]:
+    factor = loop.unroll_factor
+
+    if factor == 1:
+        inner = _unroll_nodes(loop.body, names)
+        residual = Loop(loop.var, loop.trip, inner, loop.pragmas, loop.gate_block)
+        return [residual]
+
+    full = factor == loop.trip
+    replicas: List[Node] = []
+    for k in range(factor):
+        for node in loop.body:
+            replicas.extend(
+                _clone(node, loop.var, factor, k, full, f"__{loop.var}{k}", names)
+            )
+
+    if full:
+        return replicas
+    residual = Loop(
+        loop.var,
+        loop.trip // factor,
+        replicas,
+        tuple(p for p in loop.pragmas if p.kind != "unroll"),
+        loop.gate_block,
+    )
+    return [residual]
+
+
+def _clone(
+    node: Node,
+    var: str,
+    factor: int,
+    k: int,
+    full: bool,
+    suffix: str,
+    names: Dict[str, str],
+) -> List[Node]:
+    if isinstance(node, Loop):
+        # Recursively expand nested loops inside the replica; inner
+        # unroll pragmas apply within the replica's scope.
+        body: List[Node] = []
+        for child in node.body:
+            body.extend(_clone(child, var, factor, k, full, suffix, names))
+        inner_loop = Loop(node.var, node.trip, body, node.pragmas, node.gate_block)
+        return _unroll_loop(inner_loop, names)
+
+    stmt = node.renamed(suffix, names)
+    stmt.load = _rewrite(stmt.load, var, factor, k, full)
+    stmt.store = _rewrite(stmt.store, var, factor, k, full)
+    return [stmt]
+
+
+def _rewrite(
+    access: Optional[MemAccess], var: str, factor: int, k: int, full: bool
+) -> Optional[MemAccess]:
+    if access is None:
+        return None
+    if full:
+        return MemAccess(access.array, access.index.substitute(var, k))
+    return MemAccess(access.array, access.index.shift_var(var, var, factor, k))

@@ -1,0 +1,37 @@
+"""Gate-level-style power estimation (the SpyGlass stand-in).
+
+Power decomposes the way the paper's Table I reports it:
+
+* **leakage** — static, proportional to standard-cell area;
+* **internal** — dominated by sequential (flip-flop + clock) energy;
+  the component clock gating reduces;
+* **switching** — combinational toggling, set by datapath activity.
+
+:mod:`model` holds the component models, :mod:`activity` extracts
+per-block activity from an architecture trace, and :mod:`spyglass`
+assembles the with/without-clock-gating comparison of Table I and the
+SRAM-inclusive peak power of Table II.
+"""
+
+from repro.power.model import PowerBreakdown, PowerModel
+from repro.power.activity import ActivityProfile, extract_activity, register_blocks
+from repro.power.spyglass import SpyGlassEstimator, SpyGlassReport
+from repro.power.dvfs import DvfsModel, OperatingPoint
+from repro.power.energy import EnergyReport, energy_per_frame
+from repro.power.timeline import PowerTimeline, power_timeline
+
+__all__ = [
+    "PowerBreakdown",
+    "PowerModel",
+    "ActivityProfile",
+    "extract_activity",
+    "register_blocks",
+    "SpyGlassEstimator",
+    "SpyGlassReport",
+    "DvfsModel",
+    "OperatingPoint",
+    "EnergyReport",
+    "energy_per_frame",
+    "PowerTimeline",
+    "power_timeline",
+]

@@ -1,0 +1,113 @@
+"""Activity extraction: architecture trace -> per-block clocking rates.
+
+The clock-gating model needs, per register population, the fraction of
+cycles it is actually clocked.  For the decoder that decomposes as:
+
+* core pipeline registers and the min1/min2/pos1/sign arrays clock
+  while their core issues (the trace's busy fraction);
+* the Q FIFO/array clocks one word per push — per-flip-flop activity
+  is the push rate divided by the FIFO depth (only the addressed word's
+  enable fires);
+* the barrel shifter has no state (combinational);
+* control/sequencing registers always clock (part of the ungateable
+  fraction in the power model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.arch.scheduler_trace import ArchTrace
+from repro.hls.rtl import RtlModule
+
+
+@dataclass
+class ActivityProfile(object):
+    """Register-bit populations and their clocking activity."""
+
+    block_bits: Dict[str, float] = field(default_factory=dict)
+    block_activity: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_bits(self) -> float:
+        """All register bits covered by the profile."""
+        return sum(self.block_bits.values())
+
+    def weighted_activity(self) -> float:
+        """Bit-weighted average activity (before the ungateable floor)."""
+        total = self.total_bits
+        if total == 0:
+            return 1.0
+        return (
+            sum(
+                bits * self.block_activity.get(name, 1.0)
+                for name, bits in self.block_bits.items()
+            )
+            / total
+        )
+
+
+def register_blocks(rtl: RtlModule) -> Dict[str, float]:
+    """Partition a decoder netlist's register bits into gating blocks.
+
+    Pipeline registers inside a compiled loop module go to the block
+    named by the module path suffix (``.../j`` -> core1, ``.../k`` ->
+    core2); register-file and FIFO macros are assigned by name.
+    """
+    blocks: Dict[str, float] = {}
+
+    def put(name: str, bits: float) -> None:
+        blocks[name] = blocks.get(name, 0.0) + bits
+
+    for module, mult in rtl.walk():
+        if module.register_bits:
+            if module.name.endswith("/j"):
+                put("core1", module.register_bits * mult)
+            elif module.name.endswith("/k"):
+                put("core2", module.register_bits * mult)
+            else:
+                put("control", module.register_bits * mult)
+        for macro in module.memories:
+            if macro.kind not in ("regfile", "fifo"):
+                continue
+            bits = macro.bits * mult
+            if macro.kind == "fifo" or macro.name.startswith("q_"):
+                put("q_storage", bits)
+            elif "_c2" in macro.name:
+                put("core2", bits)
+            elif "_c1" in macro.name or macro.name.endswith("_array"):
+                put("core1", bits)
+            else:
+                put("control", bits)
+    return blocks
+
+
+def extract_activity(
+    rtl: RtlModule,
+    trace: ArchTrace,
+    q_depth_words: int,
+) -> ActivityProfile:
+    """Combine netlist register populations with trace busy fractions.
+
+    Parameters
+    ----------
+    rtl:
+        Compiled decoder netlist.
+    trace:
+        Cycle trace of a representative decode.
+    q_depth_words:
+        Depth of the Q storage (per-word write enables mean per-bit
+        activity is the push rate over the depth).
+    """
+    blocks = register_blocks(rtl)
+    busy1 = trace.utilization("core1")
+    busy2 = trace.utilization("core2")
+    activity = {
+        "core1": busy1,
+        "core2": busy2,
+        # One word of the Q storage is written per core1-busy cycle.
+        "q_storage": busy1 / max(q_depth_words, 1),
+        "control": 1.0,
+    }
+    return ActivityProfile(blocks, activity)

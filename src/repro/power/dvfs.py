@@ -1,0 +1,175 @@
+"""Voltage-frequency scaling and energy-per-bit analysis.
+
+The paper's motivation is the wireless *handset*: throughput at minimum
+energy.  The 0.9 V / 400 MHz point of Table II is one point on a
+voltage-frequency curve; this module models the rest of it so the
+energy-optimal operating point for a required throughput can be found —
+the analysis a low-power SoC team runs right after getting the paper's
+numbers.
+
+Model (standard alpha-power MOSFET approximations at 65 nm):
+
+* delay scales as ``V / (V - Vth)^alpha`` with ``alpha ~= 1.3``,
+  normalized to the nominal 0.9 V corner — this caps the achievable
+  clock at each voltage;
+* dynamic power scales as ``(V / Vnom)^2 * f``;
+* leakage scales as ``(V / Vnom)^3`` (DIBL-dominated).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ModelError
+
+_VTH = 0.35  # threshold voltage at 65 nm GP, volts
+_ALPHA = 1.3  # alpha-power law exponent
+
+
+@dataclass(frozen=True)
+class OperatingPoint(object):
+    """One (voltage, frequency) operating point with its costs.
+
+    Attributes
+    ----------
+    vdd:
+        Supply voltage in volts.
+    clock_mhz:
+        Operating frequency (must be <= fmax at this voltage).
+    dynamic_mw / leakage_mw:
+        Scaled power components.
+    throughput_mbps:
+        Delivered information throughput at this clock.
+    energy_pj_per_bit:
+        Total energy divided by information throughput — the handset
+        metric.
+    """
+
+    vdd: float
+    clock_mhz: float
+    dynamic_mw: float
+    leakage_mw: float
+    throughput_mbps: float
+
+    @property
+    def total_mw(self) -> float:
+        """Dynamic plus leakage power."""
+        return self.dynamic_mw + self.leakage_mw
+
+    @property
+    def energy_pj_per_bit(self) -> float:
+        """Energy per delivered information bit in pJ."""
+        if self.throughput_mbps <= 0:
+            return float("inf")
+        return self.total_mw * 1e3 / self.throughput_mbps
+
+
+class DvfsModel(object):
+    """Scale one measured design point across the voltage range.
+
+    Parameters
+    ----------
+    nominal_vdd / nominal_clock_mhz:
+        The measured corner (the paper's 0.9 V / 400 MHz).
+    dynamic_mw / leakage_mw:
+        Power decomposition at the nominal corner (dynamic = internal +
+        switching + SRAM dynamic; leakage = cell + SRAM leakage).
+    throughput_mbps:
+        Delivered throughput at the nominal corner.
+    """
+
+    def __init__(
+        self,
+        nominal_vdd: float = 0.9,
+        nominal_clock_mhz: float = 400.0,
+        dynamic_mw: float = 0.0,
+        leakage_mw: float = 0.0,
+        throughput_mbps: float = 0.0,
+    ) -> None:
+        if nominal_vdd <= _VTH:
+            raise ModelError(f"vdd {nominal_vdd} below threshold {_VTH}")
+        if nominal_clock_mhz <= 0:
+            raise ModelError("nominal clock must be positive")
+        self.nominal_vdd = nominal_vdd
+        self.nominal_clock_mhz = nominal_clock_mhz
+        self.dynamic_mw = dynamic_mw
+        self.leakage_mw = leakage_mw
+        self.throughput_mbps = throughput_mbps
+
+    # ------------------------------------------------------------------
+    # physics
+    # ------------------------------------------------------------------
+    def fmax_mhz(self, vdd: float) -> float:
+        """Achievable clock at a supply voltage (alpha-power law)."""
+        if vdd <= _VTH:
+            return 0.0
+        nominal_speed = (self.nominal_vdd - _VTH) ** _ALPHA / self.nominal_vdd
+        speed = (vdd - _VTH) ** _ALPHA / vdd
+        return self.nominal_clock_mhz * speed / nominal_speed
+
+    def operating_point(
+        self, vdd: float, clock_mhz: Optional[float] = None
+    ) -> OperatingPoint:
+        """Cost one (voltage, clock) pair; clock defaults to fmax(vdd)."""
+        fmax = self.fmax_mhz(vdd)
+        clock = fmax if clock_mhz is None else clock_mhz
+        if clock > fmax * (1 + 1e-9):
+            raise ModelError(
+                f"{clock:.0f} MHz infeasible at {vdd:.2f} V "
+                f"(fmax {fmax:.0f} MHz)"
+            )
+        v_ratio = vdd / self.nominal_vdd
+        f_ratio = clock / self.nominal_clock_mhz
+        return OperatingPoint(
+            vdd=vdd,
+            clock_mhz=clock,
+            dynamic_mw=self.dynamic_mw * v_ratio**2 * f_ratio,
+            leakage_mw=self.leakage_mw * v_ratio**3,
+            throughput_mbps=self.throughput_mbps * f_ratio,
+        )
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def sweep(
+        self, vdd_points: Sequence[float] = (0.6, 0.7, 0.8, 0.9, 1.0, 1.1)
+    ) -> List[OperatingPoint]:
+        """Operating points at fmax for each voltage."""
+        return [self.operating_point(v) for v in vdd_points]
+
+    def min_energy_point(
+        self,
+        required_mbps: float,
+        vdd_grid: Optional[Sequence[float]] = None,
+    ) -> OperatingPoint:
+        """Lowest-energy point meeting a throughput requirement.
+
+        Runs at the *lowest* feasible clock for the requirement at each
+        voltage (race-to-idle is not modelled; the decoder streams).
+        """
+        if required_mbps <= 0:
+            raise ModelError("required throughput must be positive")
+        if required_mbps > self.throughput_mbps * self.fmax_mhz(
+            1.2
+        ) / self.nominal_clock_mhz:
+            raise ModelError(
+                f"requirement {required_mbps} Mbps unreachable even at 1.2 V"
+            )
+        grid = vdd_grid or [0.5 + 0.025 * i for i in range(29)]  # 0.5-1.2 V
+        needed_clock = (
+            required_mbps / self.throughput_mbps * self.nominal_clock_mhz
+        )
+        best: Optional[OperatingPoint] = None
+        for vdd in grid:
+            if vdd <= _VTH or self.fmax_mhz(vdd) < needed_clock:
+                continue
+            point = self.operating_point(vdd, needed_clock)
+            if best is None or point.energy_pj_per_bit < best.energy_pj_per_bit:
+                best = point
+        if best is None:
+            raise ModelError(
+                f"no grid voltage supports {needed_clock:.0f} MHz"
+            )
+        return best

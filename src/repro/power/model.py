@@ -1,0 +1,150 @@
+"""Component power models over RTL structure and activity.
+
+All three components take their constants from the technology model;
+the defaults are calibrated so the full pipelined decoder at 400 MHz
+reproduces the paper's Table I decomposition (3.43 / 64.5 / 22.5 mW
+without gating).  See EXPERIMENTS.md for the calibration record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import ModelError
+from repro.synth.tech65 import TSMC65GP, TechnologyModel
+
+#: Average combinational toggle activity of the decoder datapath under
+#: random-ish LLR data (fraction of gates switching per cycle).
+DEFAULT_TOGGLE_ACTIVITY = 0.200
+
+#: Fraction of sequential internal power that clock gating cannot
+#: remove: the clock trunk above the gate insertion points, the
+#: always-on control/sequencing registers, and the gates themselves.
+UNGATEABLE_FRACTION = 0.278
+
+#: Peak-to-typical activity margin used for Table II's "max power".
+PEAK_ACTIVITY_FACTOR = 1.40
+
+
+@dataclass
+class PowerBreakdown(object):
+    """One power estimate, decomposed as SpyGlass reports it (mW)."""
+
+    leakage_mw: float
+    internal_mw: float
+    switching_mw: float
+    sram_mw: float = 0.0
+    notes: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_mw(self) -> float:
+        """Sum of every component."""
+        return self.leakage_mw + self.internal_mw + self.switching_mw + self.sram_mw
+
+
+class PowerModel(object):
+    """Computes the three standard-cell components plus SRAM power.
+
+    Parameters
+    ----------
+    tech:
+        Technology constants.
+    toggle_activity:
+        Combinational switching activity (per gate per cycle).
+    ungateable_fraction:
+        See :data:`UNGATEABLE_FRACTION`.
+    """
+
+    def __init__(
+        self,
+        tech: TechnologyModel = TSMC65GP,
+        toggle_activity: float = DEFAULT_TOGGLE_ACTIVITY,
+        ungateable_fraction: float = UNGATEABLE_FRACTION,
+    ) -> None:
+        if not 0.0 <= toggle_activity <= 1.0:
+            raise ModelError(f"toggle_activity {toggle_activity} not in [0, 1]")
+        if not 0.0 <= ungateable_fraction <= 1.0:
+            raise ModelError(
+                f"ungateable_fraction {ungateable_fraction} not in [0, 1]"
+            )
+        self.tech = tech
+        self.toggle_activity = toggle_activity
+        self.ungateable_fraction = ungateable_fraction
+
+    # ------------------------------------------------------------------
+    # components
+    # ------------------------------------------------------------------
+    def leakage_mw(self, std_cell_ge: float) -> float:
+        """Static leakage of the standard-cell area."""
+        if std_cell_ge < 0:
+            raise ModelError("negative area")
+        return std_cell_ge * self.tech.leakage_nw_per_ge * 1e-6
+
+    def internal_mw(
+        self,
+        ff_bits: float,
+        clock_mhz: float,
+        activity: float = 1.0,
+    ) -> float:
+        """Sequential internal power of ``ff_bits`` flip-flops.
+
+        ``activity`` is the average fraction of cycles the flops are
+        actually clocked (1.0 = no gating).
+        """
+        if ff_bits < 0 or not 0.0 <= activity <= 1.0:
+            raise ModelError("bad internal-power inputs")
+        energy_j = ff_bits * self.tech.ff_clock_energy_fj * 1e-15 * activity
+        return energy_j * clock_mhz * 1e6 * 1e3
+
+    def gated_internal_mw(
+        self,
+        block_bits: Dict[str, float],
+        block_activity: Dict[str, float],
+        clock_mhz: float,
+    ) -> float:
+        """Internal power with register/block-level clock gating.
+
+        Each block's registers clock only during its active fraction;
+        an ungateable share of the total always clocks.
+        """
+        total_bits = sum(block_bits.values())
+        if total_bits == 0:
+            return 0.0
+        ungated = self.internal_mw(total_bits, clock_mhz)
+        weighted = sum(
+            bits * min(max(block_activity.get(name, 1.0), 0.0), 1.0)
+            for name, bits in block_bits.items()
+        )
+        gated_fraction = (
+            self.ungateable_fraction
+            + (1.0 - self.ungateable_fraction) * (weighted / total_bits)
+        )
+        return ungated * gated_fraction
+
+    def switching_mw(self, comb_ge: float, clock_mhz: float) -> float:
+        """Combinational switching power of the datapath."""
+        if comb_ge < 0:
+            raise ModelError("negative area")
+        energy_j = comb_ge * self.tech.ge_switch_energy_fj * 1e-15
+        return energy_j * self.toggle_activity * clock_mhz * 1e6 * 1e3
+
+    def sram_mw(
+        self,
+        bits: int,
+        word_bits: int,
+        accesses_per_cycle: float,
+        clock_mhz: float,
+    ) -> float:
+        """SRAM macro power: access energy plus leakage."""
+        if bits < 0 or word_bits < 0 or accesses_per_cycle < 0:
+            raise ModelError("bad SRAM power inputs")
+        access_j = (
+            word_bits
+            * self.tech.sram_access_energy_fj_per_bit
+            * 1e-15
+            * accesses_per_cycle
+        )
+        dynamic = access_j * clock_mhz * 1e6 * 1e3
+        leak = bits / 1024.0 * self.tech.sram_leakage_nw_per_kbit * 1e-6
+        return dynamic + leak

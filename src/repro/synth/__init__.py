@@ -1,0 +1,32 @@
+"""65 nm synthesis models: technology constants, timing, and area.
+
+This package stands in for the paper's Synopsys Design Compiler /
+TSMC 65 nm 0.9 V flow (DESIGN.md section 2).  It provides
+
+* :class:`TechnologyModel` with the ``TSMC65GP`` instance — gate-
+  equivalent area, FO4 delay, per-gate leakage, and energy constants
+  calibrated against the paper's Table I / Table II absolute numbers;
+* a small standard-cell :mod:`library <repro.synth.library>` used to
+  cost datapath operators;
+* the :mod:`timing <repro.synth.timing>` model that converts a target
+  clock into pipeline depths and sizing factors (the mechanism behind
+  Fig 8's "latency and area increase with clock frequency");
+* the :mod:`area <repro.synth.area>` estimator over RTL netlists.
+"""
+
+from repro.synth.tech65 import TSMC65GP, TechnologyModel
+from repro.synth.library import STD_CELLS, StdCell, cell
+from repro.synth.timing import TimingModel, TimingReport
+from repro.synth.area import AreaReport, estimate_area
+
+__all__ = [
+    "TechnologyModel",
+    "TSMC65GP",
+    "StdCell",
+    "STD_CELLS",
+    "cell",
+    "TimingModel",
+    "TimingReport",
+    "AreaReport",
+    "estimate_area",
+]

@@ -1,0 +1,87 @@
+"""Area estimation over RTL netlists (the Design Compiler stand-in).
+
+Standard-cell area = functional units (upsized by the timing model's
+sizing factor at the target clock) + flip-flops for pipeline registers
+and register-file macros + sharing muxes + a routing/control overhead
+factor.  SRAM macros are reported separately, matching the paper's
+Fig 8(b) which charts *standard cell* area only ("two architectures
+would require the same amount of external SRAMs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict
+
+from repro.synth.library import cell
+
+if TYPE_CHECKING:  # avoid a circular import with repro.hls at runtime
+    from repro.hls.rtl import RtlModule
+from repro.synth.tech65 import TSMC65GP, TechnologyModel
+from repro.synth.timing import TimingModel
+
+#: Clock-tree buffers, control FSMs, configuration/sequencing logic
+#: for the 19 z-factors x 6 rate classes a full-WiMax decoder must
+#: support, and routing cells beyond the datapath inventory, as a
+#: fraction of counted standard-cell area.
+_OVERHEAD_FRACTION = 0.30
+
+
+@dataclass
+class AreaReport(object):
+    """Area decomposition of one design point.
+
+    All areas are in mm^2; ``breakdown_ge`` keeps the raw gate-
+    equivalent accounting for tests and power estimation.
+    """
+
+    std_cell_mm2: float
+    sram_mm2: float
+    breakdown_ge: Dict[str, float] = field(default_factory=dict)
+
+    utilization: float = 0.75
+
+    @property
+    def total_mm2(self) -> float:
+        """Placed standard cells plus SRAM macros."""
+        return self.std_cell_mm2 + self.sram_mm2
+
+    @property
+    def core_area_mm2(self) -> float:
+        """Table II's core area: placed area over layout utilization."""
+        return self.total_mm2 / self.utilization
+
+    @property
+    def std_cell_ge(self) -> float:
+        """Total standard-cell gate equivalents."""
+        return sum(self.breakdown_ge.values())
+
+
+def estimate_area(
+    rtl: "RtlModule",
+    clock_mhz: float,
+    tech: TechnologyModel = TSMC65GP,
+    timing: TimingModel = None,
+) -> AreaReport:
+    """Estimate silicon area of a netlist at a target clock."""
+    timing = timing or TimingModel(tech)
+    sizing = timing.sizing_factor(clock_mhz)
+
+    fu_ge = rtl.total_fu_area_ge() * sizing
+    ff_bits = rtl.total_register_bits() + rtl.regfile_bits()
+    ff_ge = ff_bits * tech.ff_area_ge
+    mux_ge = rtl.total_mux_inputs() * cell("mux").area_at(8)
+    datapath_ge = fu_ge + ff_ge + mux_ge
+    overhead_ge = datapath_ge * _OVERHEAD_FRACTION
+
+    breakdown = {
+        "functional_units": fu_ge,
+        "registers": ff_ge,
+        "muxes": mux_ge,
+        "control_routing": overhead_ge,
+    }
+    std_cell_mm2 = tech.ge_to_mm2(sum(breakdown.values()))
+    sram_mm2 = tech.sram_area_mm2(rtl.total_memory_bits(("sram",)))
+    return AreaReport(
+        std_cell_mm2, sram_mm2, breakdown, utilization=tech.layout_utilization
+    )

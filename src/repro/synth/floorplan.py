@@ -1,0 +1,164 @@
+"""Floorplanning: the paper's Fig 9 layout view, reproduced.
+
+Fig 9 shows the placed decoder: the R memory along one edge, the P
+memory in a corner, and the standard-cell sea (cores, shifter, control)
+filling the rest of the 1.2 mm^2 die.  This module computes that
+floorplan from the area report — macro dimensions from their bit
+capacities and aspect ratios, the core outline from total area and
+layout utilization — and renders it as ASCII art or SVG.
+
+It is a *slicing* floorplanner: macros are packed along the top edge
+(widest first), and the remaining L-shaped region is standard-cell
+area.  That is exactly the arrangement in the paper's die plot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ModelError
+from repro.synth.area import AreaReport
+from repro.synth.tech65 import TSMC65GP, TechnologyModel
+
+
+@dataclass(frozen=True)
+class Placement(object):
+    """One placed rectangle, in micrometres."""
+
+    name: str
+    x: float
+    y: float
+    width: float
+    height: float
+
+    @property
+    def area_um2(self) -> float:
+        """Rectangle area."""
+        return self.width * self.height
+
+
+@dataclass
+class Floorplan(object):
+    """A placed die: outline plus macro and cell-region rectangles."""
+
+    die_width_um: float
+    die_height_um: float
+    placements: List[Placement] = field(default_factory=list)
+
+    @property
+    def die_area_mm2(self) -> float:
+        """Die outline area."""
+        return self.die_width_um * self.die_height_um * 1e-6
+
+    def utilization(self) -> float:
+        """Placed area over die area."""
+        placed = sum(p.area_um2 for p in self.placements)
+        return placed / (self.die_width_um * self.die_height_um)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def render_ascii(self, width: int = 60) -> str:
+        """ASCII die plot in the style of Fig 9."""
+        scale = width / self.die_width_um
+        height = max(8, int(self.die_height_um * scale * 0.5))
+        yscale = height / self.die_height_um
+        grid = [[" "] * width for _ in range(height)]
+        for idx, p in enumerate(self.placements):
+            mark = p.name[:1].upper() or str(idx)
+            x0 = int(p.x * scale)
+            x1 = max(x0 + 1, int((p.x + p.width) * scale))
+            y0 = int(p.y * yscale)
+            y1 = max(y0 + 1, int((p.y + p.height) * yscale))
+            for y in range(y0, min(y1, height)):
+                for x in range(x0, min(x1, width)):
+                    grid[y][x] = mark
+        border = "+" + "-" * width + "+"
+        body = "\n".join("|" + "".join(row) + "|" for row in grid)
+        legend = "  ".join(
+            f"{p.name[:1].upper()}={p.name}" for p in self.placements
+        )
+        return f"{border}\n{body}\n{border}\n{legend}"
+
+    def render_svg(self) -> str:
+        """SVG die plot (viewable in any browser)."""
+        colors = ["#88c0d0", "#a3be8c", "#d8dee9", "#ebcb8b", "#b48ead"]
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'viewBox="0 0 {self.die_width_um:.0f} {self.die_height_um:.0f}">',
+            f'<rect width="{self.die_width_um:.0f}" '
+            f'height="{self.die_height_um:.0f}" fill="#2e3440"/>',
+        ]
+        for i, p in enumerate(self.placements):
+            color = colors[i % len(colors)]
+            parts.append(
+                f'<rect x="{p.x:.0f}" y="{p.y:.0f}" width="{p.width:.0f}" '
+                f'height="{p.height:.0f}" fill="{color}" stroke="black"/>'
+            )
+            parts.append(
+                f'<text x="{p.x + 8:.0f}" y="{p.y + p.height / 2:.0f}" '
+                f'font-size="{max(self.die_width_um / 30, 10):.0f}">'
+                f"{p.name}</text>"
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+
+def build_floorplan(
+    area: AreaReport,
+    p_bits: int = 18432,
+    r_bits: int = 64512,
+    tech: TechnologyModel = TSMC65GP,
+    macro_aspect: float = 3.0,
+) -> Floorplan:
+    """Place the decoder: R and P macros on the top edge, cells below.
+
+    Parameters
+    ----------
+    area:
+        The design's area report (std cells + SRAM).
+    p_bits / r_bits:
+        Macro capacities (defaults: the paper's P and R SRAMs).
+    macro_aspect:
+        Width/height ratio of the SRAM macros (wide-shallow words).
+    """
+    if p_bits < 0 or r_bits < 0:
+        raise ModelError("negative memory capacity")
+    die_um2 = area.core_area_mm2 * 1e6
+    die_w = math.sqrt(die_um2 / 0.85)  # slightly landscape die
+    die_h = die_um2 / die_w
+
+    placements: List[Placement] = []
+    y = 0.0
+    # R memory spans the top edge (the dominant macro of Fig 9).
+    r_um2 = r_bits * tech.sram_bit_area_um2
+    r_h = r_um2 / die_w
+    placements.append(Placement("R memory (SRAM)", 0.0, y, die_w, r_h))
+    y += r_h
+    # P memory sits below it in the left corner, at the macro aspect.
+    p_um2 = p_bits * tech.sram_bit_area_um2
+    if p_um2 > 0:
+        p_h = math.sqrt(p_um2 / macro_aspect)
+        p_w = min(p_um2 / p_h, die_w)
+        p_h = p_um2 / p_w
+        placements.append(Placement("P memory (SRAM)", 0.0, y, p_w, p_h))
+    else:
+        p_h = 0.0
+    # The standard-cell sea fills the remaining rows.
+    cell_um2 = area.std_cell_mm2 * 1e6
+    cell_y = y + p_h
+    cell_h = cell_um2 / die_w
+    if cell_y + cell_h > die_h + 1e-6:
+        raise ModelError("placed area exceeds the die outline")
+    placements.append(
+        Placement(
+            "standard cells (cores, shifter, control)",
+            0.0,
+            cell_y,
+            die_w,
+            cell_h,
+        )
+    )
+    return Floorplan(die_w, die_h, placements)

@@ -1,0 +1,93 @@
+"""A small standard-cell / operator library.
+
+The HLS engine costs each IR operation by mapping it to one of these
+operator cells.  Areas are in gate equivalents for an 8-bit operand
+(the decoder's message width); delays are in FO4 units so they scale
+with the technology's FO4 figure.  Widths other than 8 bits scale area
+linearly and delay logarithmically (carry chains), which is accurate
+enough for the ripple/prefix adders at these sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ModelError
+
+_REFERENCE_WIDTH = 8
+
+
+@dataclass(frozen=True)
+class StdCell(object):
+    """Cost record for one operator class at the reference width.
+
+    Attributes
+    ----------
+    name:
+        Operator class name, matching ``Op.kind`` in the HLS IR.
+    area_ge:
+        Area in gate equivalents at the 8-bit reference width.
+    delay_fo4:
+        Propagation delay in FO4 units at the reference width.
+    """
+
+    name: str
+    area_ge: float
+    delay_fo4: float
+
+    def area_at(self, width: int) -> float:
+        """Area in GE for an operand width (linear scaling)."""
+        return self.area_ge * width / _REFERENCE_WIDTH
+
+    def delay_at(self, width: int) -> float:
+        """Delay in FO4 for an operand width (log carry scaling)."""
+        if width <= 0:
+            raise ModelError(f"width must be positive, got {width}")
+        scale = math.log2(max(width, 2)) / math.log2(_REFERENCE_WIDTH)
+        return self.delay_fo4 * max(scale, 0.5)
+
+
+# Operator classes the decoder's datapath (and the example kernels) use.
+# Areas reflect typical 65 nm synthesis results for 8-bit operators.
+STD_CELLS: Dict[str, StdCell] = {
+    cellspec.name: cellspec
+    for cellspec in (
+        StdCell("add", area_ge=38.0, delay_fo4=9.0),
+        StdCell("sub", area_ge=42.0, delay_fo4=10.0),
+        StdCell("abs", area_ge=22.0, delay_fo4=5.0),
+        StdCell("neg", area_ge=20.0, delay_fo4=5.0),
+        StdCell("min", area_ge=48.0, delay_fo4=11.0),  # compare + select
+        StdCell("max", area_ge=48.0, delay_fo4=11.0),
+        StdCell("cmp", area_ge=30.0, delay_fo4=9.0),
+        StdCell("mux", area_ge=14.0, delay_fo4=3.0),
+        StdCell("xor", area_ge=12.0, delay_fo4=2.0),
+        StdCell("and", area_ge=8.0, delay_fo4=1.5),
+        StdCell("or", area_ge=8.0, delay_fo4=1.5),
+        StdCell("not", area_ge=4.0, delay_fo4=1.0),
+        StdCell("shift_const", area_ge=0.0, delay_fo4=0.0),  # wiring only
+        # log2(96)-stage barrel rotator, one 8-bit lane: 7 stages of
+        # 2:1 muxes (~1.75 GE/bit) and ~2 FO4 per stage.
+        StdCell("rotate", area_ge=98.0, delay_fo4=14.0),
+        StdCell("scale34", area_ge=40.0, delay_fo4=8.0),  # (3x)>>2 shift-add
+        StdCell("sat", area_ge=18.0, delay_fo4=4.0),  # saturation clamp
+        StdCell("sign", area_ge=2.0, delay_fo4=0.5),  # MSB tap
+        StdCell("mul", area_ge=300.0, delay_fo4=22.0),
+        StdCell("copy", area_ge=0.0, delay_fo4=0.0),
+        StdCell("const", area_ge=0.0, delay_fo4=0.0),
+        StdCell("load", area_ge=10.0, delay_fo4=4.0),  # memory port logic
+        StdCell("store", area_ge=10.0, delay_fo4=3.0),
+    )
+}
+
+
+def cell(kind: str) -> StdCell:
+    """Look up the cost cell for an operator kind."""
+    try:
+        return STD_CELLS[kind]
+    except KeyError:
+        raise ModelError(
+            f"no library cell for operator kind {kind!r}; "
+            f"known kinds: {sorted(STD_CELLS)}"
+        ) from None

@@ -1,0 +1,112 @@
+"""Technology model for a TSMC-65nm-like general-purpose process.
+
+All area, delay, and power estimation in the package funnels through
+one :class:`TechnologyModel` instance, so a different process node is a
+one-object swap.  The constants below are calibrated so the full flow
+lands on the paper's absolute numbers (see EXPERIMENTS.md):
+
+* gate-equivalent (2-input NAND) area of 1.44 um^2 — the usual 65 nm
+  9-track figure;
+* FO4 delay of 45 ps — worst-case corner at 0.9 V, which is the corner
+  a 400 MHz sign-off is made at;
+* leakage of ~14 nW per gate equivalent at 0.9 V (GP process), which reproduces the
+  3.43 mW leakage of Table I at the pipelined decoder's ~0.3 mm^2 of
+  standard cells;
+* 10.6 fJ clock+internal energy per flip-flop toggle (including its
+  share of the clock tree), which reproduces the 64.5 mW ungated
+  sequential-internal power of Table I at 400 MHz;
+* 2.4 fJ switching energy per gate equivalent per toggle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class TechnologyModel(object):
+    """Process constants used by timing, area, and power estimation.
+
+    Attributes
+    ----------
+    name:
+        Display name of the process corner.
+    ge_area_um2:
+        Area of one gate equivalent (2-input NAND) in um^2.
+    fo4_ps:
+        Fanout-of-4 inverter delay in ps at the sign-off corner.
+    ff_area_ge:
+        D flip-flop area in gate equivalents.
+    ff_clock_energy_fj:
+        Internal + clock energy per flip-flop per clocked cycle (fJ),
+        including amortized clock-tree energy.
+    ge_switch_energy_fj:
+        Dynamic energy per gate equivalent per output toggle (fJ).
+    leakage_nw_per_ge:
+        Static leakage per gate equivalent (nW) at nominal voltage.
+    sram_bit_area_um2:
+        Single-port SRAM macro density (um^2 per bit) for the
+        decoder's wide-shallow macros (24-84 words x 768 bits), which
+        are periphery-dominated.  Calibrated against Table II's [3]
+        (Brack DATE'07): 0.551 mm^2 of memory for a comparable WiMax
+        decoder's ~85 kbit.
+    sram_access_energy_fj_per_bit:
+        Read or write energy per bit accessed.
+    sram_leakage_nw_per_kbit:
+        SRAM macro leakage per kilobit.
+    layout_utilization:
+        Placement utilization: core area = placed cell + macro area
+        divided by this factor (routing/whitespace).
+    sequencing_overhead_ps:
+        Flip-flop setup + clock-to-q + clock skew margin charged to
+        every pipeline stage.
+    """
+
+    name: str = "TSMC 65nm GP 0.9V (modelled)"
+    ge_area_um2: float = 1.44
+    fo4_ps: float = 45.0
+    ff_area_ge: float = 9.0
+    ff_clock_energy_fj: float = 10.66
+    ge_switch_energy_fj: float = 2.4
+    leakage_nw_per_ge: float = 13.54
+    sram_bit_area_um2: float = 6.5
+    sram_access_energy_fj_per_bit: float = 45.0
+    sram_leakage_nw_per_kbit: float = 250.0
+    layout_utilization: float = 0.75
+    sequencing_overhead_ps: float = 180.0
+
+    def period_ps(self, clock_mhz: float) -> float:
+        """Clock period in ps for a frequency in MHz."""
+        if clock_mhz <= 0:
+            raise ModelError(f"clock must be positive, got {clock_mhz} MHz")
+        return 1.0e6 / clock_mhz
+
+    def usable_period_ps(self, clock_mhz: float) -> float:
+        """Period available to logic after sequencing overhead."""
+        usable = self.period_ps(clock_mhz) - self.sequencing_overhead_ps
+        if usable <= self.fo4_ps:
+            raise ModelError(
+                f"{clock_mhz} MHz leaves no usable logic time in this "
+                f"technology (period {self.period_ps(clock_mhz):.0f} ps)"
+            )
+        return usable
+
+    def fo4_budget(self, clock_mhz: float) -> float:
+        """How many FO4 delays fit in one cycle at this clock."""
+        return self.usable_period_ps(clock_mhz) / self.fo4_ps
+
+    def ge_to_mm2(self, gate_equivalents: float) -> float:
+        """Convert gate equivalents to silicon area in mm^2."""
+        return gate_equivalents * self.ge_area_um2 * 1e-6
+
+    def sram_area_mm2(self, bits: int) -> float:
+        """Macro area of an SRAM of the given capacity."""
+        if bits < 0:
+            raise ModelError(f"negative SRAM size {bits}")
+        return bits * self.sram_bit_area_um2 * 1e-6
+
+
+#: The package-wide default technology instance.
+TSMC65GP = TechnologyModel()

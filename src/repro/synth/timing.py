@@ -1,0 +1,166 @@
+"""Timing model: target clock -> pipeline depth and sizing factors.
+
+This is the mechanism behind both panels of the paper's Fig 8.  PICO
+"adjusts the design and finds the best solution for a given target
+clock frequency": at a faster clock, less logic fits in a cycle, so
+
+* combinational chains are cut into more pipeline stages — each core's
+  latency in cycles grows, which grows the per-iteration latency
+  (Fig 8a); and
+* cells on critical paths are upsized and extra pipeline registers are
+  inserted — area grows (Fig 8b).
+
+:class:`TimingModel` captures both effects from two inputs: a logic
+depth in FO4 units and a target clock.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.synth.tech65 import TSMC65GP, TechnologyModel
+
+#: Above this fraction of the technology's practical speed limit,
+#: synthesis starts paying steep upsizing costs.
+_SIZING_KNEE = 0.35
+#: Upsizing slope: area multiplier grows with (utilized speed)^2.
+_SIZING_GAIN = 1.1
+#: Wire-load growth per doubling of datapath lanes: a 96-lane 768-bit
+#: structure (the decoder's barrel shifter, min networks) pays heavy
+#: routing RC that a single 8-bit lane does not.
+_WIRE_PENALTY_PER_OCTAVE = 0.18
+
+
+@dataclass(frozen=True)
+class TimingReport(object):
+    """Pipelining decision for one combinational block.
+
+    Attributes
+    ----------
+    stages:
+        Number of pipeline stages the block is cut into (>= 1).
+    stage_delay_ps:
+        Logic delay of the longest resulting stage.
+    slack_ps:
+        Usable-period slack of that stage (negative = infeasible).
+    sizing_factor:
+        Area multiplier from gate upsizing at this clock (>= 1).
+    """
+
+    stages: int
+    stage_delay_ps: float
+    slack_ps: float
+    sizing_factor: float
+
+    @property
+    def feasible(self) -> bool:
+        """True iff the block meets timing at the target clock."""
+        return self.slack_ps >= 0.0
+
+
+class TimingModel(object):
+    """Pipeline-depth and sizing decisions for a technology.
+
+    Parameters
+    ----------
+    tech:
+        Technology constants (default: the 65 nm model).
+    max_stage_fo4:
+        A practical cap on how finely retiming can cut a block: stages
+        shorter than a couple of FO4 stop helping.
+    """
+
+    def __init__(
+        self, tech: TechnologyModel = TSMC65GP, max_stage_fo4: float = 2.0
+    ) -> None:
+        self.tech = tech
+        self.max_stage_fo4 = max_stage_fo4
+
+    # ------------------------------------------------------------------
+    # pipelining
+    # ------------------------------------------------------------------
+    def pipeline(self, logic_depth_fo4: float, clock_mhz: float) -> TimingReport:
+        """Cut a block of the given FO4 depth to meet a clock target."""
+        if logic_depth_fo4 < 0:
+            raise ModelError(f"negative logic depth {logic_depth_fo4}")
+        budget_fo4 = self.tech.fo4_budget(clock_mhz)
+        stages = max(1, math.ceil(logic_depth_fo4 / budget_fo4))
+        stage_fo4 = logic_depth_fo4 / stages
+        stage_delay = stage_fo4 * self.tech.fo4_ps
+        slack = self.tech.usable_period_ps(clock_mhz) - stage_delay
+        if stage_fo4 < self.max_stage_fo4 and stages > 1:
+            # Retiming cannot cut finer; report the floor and its slack.
+            stages = max(1, math.ceil(logic_depth_fo4 / self.max_stage_fo4))
+            stage_delay = self.max_stage_fo4 * self.tech.fo4_ps
+            slack = self.tech.usable_period_ps(clock_mhz) - stage_delay
+        return TimingReport(
+            stages=stages,
+            stage_delay_ps=stage_delay,
+            slack_ps=slack,
+            sizing_factor=self.sizing_factor(clock_mhz),
+        )
+
+    def stages_for(self, logic_depth_fo4: float, clock_mhz: float) -> int:
+        """Just the stage count for a block at a clock target."""
+        return self.pipeline(logic_depth_fo4, clock_mhz).stages
+
+    def operation_latency(self, delay_fo4: float, clock_mhz: float) -> int:
+        """Latency in cycles of a single operator at a clock target.
+
+        Operators that fit in a cycle take 1; larger ones are pipelined.
+        """
+        return self.stages_for(delay_fo4, clock_mhz)
+
+    def wire_penalty(self, simd: int) -> float:
+        """Delay multiplier for lane-parallel (wide) datapaths.
+
+        Routing dominates wide structures: each doubling of the lane
+        count adds a fixed fraction of wire delay.  One lane pays
+        nothing; the decoder's 96-lane word pays about 2.2x.
+        """
+        if simd <= 1:
+            return 1.0
+        return 1.0 + _WIRE_PENALTY_PER_OCTAVE * math.log2(simd)
+
+    def effective_delay_fo4(self, delay_fo4: float, simd: int) -> float:
+        """Operator delay including the wire-load penalty."""
+        return delay_fo4 * self.wire_penalty(simd)
+
+    # ------------------------------------------------------------------
+    # sizing / fmax
+    # ------------------------------------------------------------------
+    def sizing_factor(self, clock_mhz: float) -> float:
+        """Area multiplier from upsizing gates at this clock.
+
+        Grows quadratically once the clock exceeds a knee fraction of
+        the technology's practical limit; this is what bends the Fig 8b
+        area curves upward at 300-400 MHz.
+        """
+        speed = clock_mhz / self.practical_fmax_mhz()
+        if speed <= _SIZING_KNEE:
+            return 1.0
+        return 1.0 + _SIZING_GAIN * (speed - _SIZING_KNEE) ** 2
+
+    def practical_fmax_mhz(self) -> float:
+        """The fastest clock the model considers routable.
+
+        Set by the minimum stage depth plus sequencing overhead: with a
+        2-FO4 floor and 180 ps of overhead at 45 ps FO4, this is about
+        3.7 GHz of raw sequencing limit; real designs stop well short,
+        so a 6x margin is applied, landing near the 400-600 MHz range
+        typical of 65 nm signal-processing blocks.
+        """
+        min_period = (
+            self.max_stage_fo4 * self.tech.fo4_ps + self.tech.sequencing_overhead_ps
+        )
+        return 1.0e6 / (6.0 * min_period)
+
+    def achievable_fmax_mhz(self, logic_depth_fo4: float, max_stages: int) -> float:
+        """Highest clock a block can reach with a stage budget."""
+        if max_stages < 1:
+            raise ModelError(f"max_stages must be >= 1, got {max_stages}")
+        stage_fo4 = max(logic_depth_fo4 / max_stages, self.max_stage_fo4)
+        period = stage_fo4 * self.tech.fo4_ps + self.tech.sequencing_overhead_ps
+        return min(1.0e6 / period, self.practical_fmax_mhz())

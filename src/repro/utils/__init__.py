@@ -1,0 +1,21 @@
+"""Small shared utilities (bit manipulation, RNG handling, tables)."""
+
+from repro.utils.bitops import (
+    hard_decision,
+    hamming_distance,
+    int_to_bits,
+    bits_to_int,
+    parity,
+)
+from repro.utils.rng import as_generator
+from repro.utils.tables import render_table
+
+__all__ = [
+    "hard_decision",
+    "hamming_distance",
+    "int_to_bits",
+    "bits_to_int",
+    "parity",
+    "as_generator",
+    "render_table",
+]

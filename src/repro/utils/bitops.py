@@ -1,0 +1,46 @@
+"""Bit-level helpers shared across the coding and architecture models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hard_decision(llr: np.ndarray) -> np.ndarray:
+    """Map LLRs to hard bits using the paper's convention.
+
+    Positive LLR means "bit is 0" (sign(P) decision in Algorithm 1), so a
+    bit is decided 1 exactly when its LLR is negative.  Zero LLRs resolve
+    to 0, matching a hardware comparator on the sign bit of a two's
+    complement value of zero.
+    """
+    llr = np.asarray(llr)
+    return (llr < 0).astype(np.uint8)
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of positions where the two bit vectors differ."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return int(np.count_nonzero(a ^ b))
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """Little-endian bit decomposition of ``value`` into ``width`` bits."""
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return np.array([(value >> i) & 1 for i in range(width)], dtype=np.uint8)
+
+
+def bits_to_int(bits: np.ndarray) -> int:
+    """Inverse of :func:`int_to_bits` (little-endian)."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    return int(sum(int(b) << i for i, b in enumerate(bits)))
+
+
+def parity(bits: np.ndarray) -> int:
+    """XOR reduction of a bit vector."""
+    return int(np.bitwise_xor.reduce(np.asarray(bits, dtype=np.uint8)))

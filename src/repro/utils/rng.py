@@ -1,0 +1,27 @@
+"""Uniform handling of random number generators.
+
+Every stochastic entry point in the package accepts either ``None`` (fresh
+default generator), an integer seed, or an existing
+:class:`numpy.random.Generator`, and normalizes through this helper so
+experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Return a numpy Generator for ``seed``.
+
+    ``None`` gives a fresh OS-seeded generator, an ``int`` gives a
+    deterministic generator, and an existing generator passes through
+    unchanged (so callers can share one stream across components).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,60 @@
+"""Shared fixtures: representative codes, encoders, and noise frames.
+
+Session-scoped where construction is expensive (expanded H matrices,
+HLS compiles) so the suite stays fast without sacrificing coverage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel import AwgnChannel
+from repro.codes import QCLDPCCode, random_qc_code, wimax_code
+from repro.encoder import RuEncoder
+
+
+@pytest.fixture(scope="session")
+def small_code() -> QCLDPCCode:
+    """A tiny dual-diagonal QC code (fast unit-test workhorse)."""
+    return random_qc_code(mb=4, nb=8, z=8, row_degree=4, seed=7)
+
+
+@pytest.fixture(scope="session")
+def medium_code() -> QCLDPCCode:
+    """A mid-size code with irregular row degrees."""
+    return random_qc_code(mb=6, nb=12, z=12, row_degree=5, seed=3)
+
+
+@pytest.fixture(scope="session")
+def wimax_half() -> QCLDPCCode:
+    """The paper's case study: (2304, rate 1/2) WiMax, z = 96."""
+    return wimax_code("1/2", 2304)
+
+
+@pytest.fixture(scope="session")
+def wimax_short() -> QCLDPCCode:
+    """The shortest WiMax rate-1/2 code (576, z = 24) — fast decodes."""
+    return wimax_code("1/2", 576)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Per-test deterministic RNG."""
+    return np.random.default_rng(1234)
+
+
+def noisy_frame(code: QCLDPCCode, ebno_db: float, seed: int = 0):
+    """Encode a random payload and return (codeword, channel LLRs)."""
+    gen = np.random.default_rng(seed)
+    encoder = RuEncoder(code)
+    message = gen.integers(0, 2, encoder.k).astype(np.uint8)
+    codeword = encoder.encode(message)
+    channel = AwgnChannel.from_ebno(ebno_db, code.rate, seed=gen)
+    return codeword, channel.llrs(codeword)
+
+
+@pytest.fixture()
+def small_frame(small_code):
+    """A moderately noisy frame on the small code."""
+    return noisy_frame(small_code, ebno_db=3.0, seed=5)

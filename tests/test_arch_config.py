@@ -1,0 +1,73 @@
+"""Tests for ArchConfig and its HLS coupling."""
+
+import pytest
+
+from repro.arch import ArchConfig
+from repro.errors import ArchitectureError
+
+
+class TestValidation:
+    def test_defaults(self, small_code):
+        cfg = ArchConfig(small_code)
+        assert cfg.parallelism == small_code.z
+        assert cfg.handoff_depth == cfg.core1_depth
+        assert cfg.passes == 1
+
+    def test_bad_depths_rejected(self, small_code):
+        with pytest.raises(ArchitectureError):
+            ArchConfig(small_code, core1_depth=0)
+
+    def test_bad_handoff_rejected(self, small_code):
+        with pytest.raises(ArchitectureError):
+            ArchConfig(small_code, core1_depth=3, handoff_depth=5)
+
+    def test_bad_column_order_rejected(self, small_code):
+        with pytest.raises(ArchitectureError):
+            ArchConfig(small_code, column_order="random")
+
+    def test_parallelism_must_divide_z(self, small_code):
+        with pytest.raises(ArchitectureError):
+            ArchConfig(small_code, parallelism=3)
+
+    def test_passes_computed(self, small_code):
+        cfg = ArchConfig(small_code, parallelism=small_code.z // 2)
+        assert cfg.passes == 2
+
+    def test_fifo_default_two_layers(self, small_code):
+        cfg = ArchConfig(small_code)
+        assert cfg.fifo_capacity == 2 * small_code.max_layer_degree
+
+    def test_fifo_too_small_rejected(self, small_code):
+        with pytest.raises(ArchitectureError):
+            ArchConfig(small_code, fifo_capacity=1)
+
+
+class TestFromHls:
+    def test_depths_derived(self, wimax_half):
+        cfg = ArchConfig.from_hls(wimax_half, 400.0, "pipelined")
+        assert cfg.core1_depth >= 2
+        assert cfg.core2_depth >= 1
+        assert cfg.handoff_depth <= cfg.core1_depth
+
+    def test_pipelined_defaults_hazard_aware(self, wimax_half):
+        cfg = ArchConfig.from_hls(wimax_half, 400.0, "pipelined")
+        assert cfg.column_order == "hazard-aware"
+
+    def test_perlayer_defaults_natural(self, wimax_half):
+        cfg = ArchConfig.from_hls(wimax_half, 400.0, "perlayer")
+        assert cfg.column_order == "natural"
+
+    def test_depth_grows_with_clock(self, wimax_half):
+        slow = ArchConfig.from_hls(wimax_half, 100.0, "pipelined")
+        fast = ArchConfig.from_hls(wimax_half, 400.0, "pipelined")
+        assert fast.core1_depth >= slow.core1_depth
+
+    def test_unknown_architecture_rejected(self, wimax_half):
+        with pytest.raises(ArchitectureError):
+            ArchConfig.from_hls(wimax_half, 400.0, "systolic")
+
+    def test_overrides_pass_through(self, wimax_half):
+        cfg = ArchConfig.from_hls(
+            wimax_half, 400.0, "pipelined", max_iterations=5
+        )
+        assert cfg.max_iterations == 5

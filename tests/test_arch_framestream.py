@@ -1,0 +1,86 @@
+"""Tests for the frame-streaming (ping-pong) pipeline model."""
+
+import numpy as np
+import pytest
+
+from repro.arch.framestream import FrameStreamModel
+from repro.errors import ArchitectureError
+
+
+def model(**kwargs):
+    defaults = dict(n=2304, k=1152, clock_mhz=400.0, io_bits_per_cycle=768)
+    defaults.update(kwargs)
+    return FrameStreamModel(**defaults)
+
+
+class TestIoCycles:
+    def test_wimax_frame_load(self):
+        # 2304 LLRs x 8 bits / 768 bits per cycle = 24 cycles.
+        assert model().io_cycles_per_frame == 24
+
+    def test_narrow_interface_slower(self):
+        assert model(io_bits_per_cycle=64).io_cycles_per_frame == 288
+
+    def test_ceiling(self):
+        assert model(n=100, k=50, io_bits_per_cycle=768).io_cycles_per_frame == 2
+
+
+class TestPipeline:
+    def test_single_frame(self):
+        report = model().simulate([1000])
+        assert report.total_cycles == 24 + 1000
+        assert report.frames == 1
+
+    def test_decode_bound_steady_state(self):
+        """Decode >> I/O: frames complete every decode_cycles."""
+        report = model().simulate([1000] * 10)
+        # Makespan = first load + 10 decodes (loads fully hidden).
+        assert report.total_cycles == 24 + 10 * 1000
+        assert report.decode_bound
+
+    def test_io_bound_steady_state(self):
+        """Decode << I/O on a narrow interface: loads dominate."""
+        m = model(io_bits_per_cycle=8)  # 2304 cycles per load
+        report = m.simulate([100] * 10)
+        assert not report.decode_bound
+        assert report.total_cycles >= 10 * m.io_cycles_per_frame
+
+    def test_sustained_matches_worst_case_formula(self):
+        cycles = 1016  # 10-iteration pipelined decode
+        report = model().simulate([cycles] * 50)
+        # Long streams amortize the initial load: ~ k * f / cycles.
+        expected = 1152 * 400.0 / cycles
+        assert report.sustained_mbps == pytest.approx(expected, rel=0.01)
+
+    def test_early_termination_lifts_sustained_throughput(self):
+        fast = model().simulate([400] * 20)
+        slow = model().simulate([1016] * 20)
+        assert fast.sustained_mbps > 2 * slow.sustained_mbps
+
+    def test_variable_decode_times(self):
+        rng = np.random.default_rng(0)
+        cycles = rng.integers(300, 1100, 30).tolist()
+        report = model().simulate(cycles)
+        assert report.total_cycles >= sum(cycles)
+        assert report.avg_decode_cycles == pytest.approx(np.mean(cycles))
+
+    def test_extra_memory_cost_reported(self):
+        assert model().simulate([100]).extra_p_memory_bits == 2304 * 8
+
+
+class TestValidation:
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ArchitectureError):
+            model().simulate([])
+
+    def test_bad_cycles_rejected(self):
+        with pytest.raises(ArchitectureError):
+            model().simulate([0])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ArchitectureError):
+            FrameStreamModel(n=0, k=0, clock_mhz=400.0)
+
+    def test_bad_interface_rejected(self):
+        with pytest.raises(ArchitectureError):
+            FrameStreamModel(n=10, k=5, clock_mhz=400.0, io_bits_per_cycle=0)

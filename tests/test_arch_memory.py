@@ -1,0 +1,113 @@
+"""Tests for the storage models."""
+
+import numpy as np
+import pytest
+
+from repro.arch.memory import FifoModel, RegArrayModel, RomModel, SramModel
+from repro.errors import ArchitectureError
+
+
+class TestSram:
+    def test_read_write(self):
+        mem = SramModel("m", 4, 8)
+        word = np.arange(8, dtype=np.int32)
+        mem.write(2, word)
+        np.testing.assert_array_equal(mem.read(2), word)
+
+    def test_read_returns_copy(self):
+        mem = SramModel("m", 4, 8)
+        word = mem.read(0)
+        word[:] = 99
+        assert mem.read(0)[0] == 0
+
+    def test_stats_counted(self):
+        mem = SramModel("m", 4, 8)
+        mem.write(0, np.zeros(8, dtype=np.int32))
+        mem.read(0)
+        mem.read(1)
+        assert mem.stats.writes == 1 and mem.stats.reads == 2
+        assert mem.stats.accesses == 3
+
+    def test_out_of_range_rejected(self):
+        mem = SramModel("m", 4, 8)
+        with pytest.raises(ArchitectureError):
+            mem.read(4)
+
+    def test_wrong_word_shape_rejected(self):
+        mem = SramModel("m", 4, 8)
+        with pytest.raises(ArchitectureError):
+            mem.write(0, np.zeros(7, dtype=np.int32))
+
+    def test_load_all(self):
+        mem = SramModel("m", 2, 3)
+        mem.load_all(np.arange(6).reshape(2, 3))
+        np.testing.assert_array_equal(mem.read(1), [3, 4, 5])
+
+    def test_stats_reset(self):
+        mem = SramModel("m", 2, 2)
+        mem.read(0)
+        mem.stats.reset()
+        assert mem.stats.accesses == 0
+
+
+class TestRom:
+    def test_entries(self):
+        rom = RomModel("h", [(0, 5), (3, 1)])
+        assert rom.read(1) == (3, 1)
+        assert len(rom) == 2
+        assert rom.stats.reads == 1
+
+    def test_out_of_range(self):
+        rom = RomModel("h", [(0, 0)])
+        with pytest.raises(ArchitectureError):
+            rom.read(5)
+
+
+class TestFifo:
+    def test_fifo_order(self):
+        fifo = FifoModel("q", 4, 2)
+        fifo.push(np.array([1, 2]))
+        fifo.push(np.array([3, 4]))
+        np.testing.assert_array_equal(fifo.pop(), [1, 2])
+        np.testing.assert_array_equal(fifo.pop(), [3, 4])
+
+    def test_overflow_raises(self):
+        fifo = FifoModel("q", 1, 2)
+        fifo.push(np.zeros(2))
+        with pytest.raises(ArchitectureError):
+            fifo.push(np.zeros(2))
+
+    def test_underflow_raises(self):
+        fifo = FifoModel("q", 1, 2)
+        with pytest.raises(ArchitectureError):
+            fifo.pop()
+
+    def test_peak_occupancy_tracked(self):
+        fifo = FifoModel("q", 4, 1)
+        for _ in range(3):
+            fifo.push(np.zeros(1))
+        fifo.pop()
+        assert fifo.peak_occupancy == 3
+
+    def test_flags(self):
+        fifo = FifoModel("q", 1, 1)
+        assert fifo.empty and not fifo.full
+        fifo.push(np.zeros(1))
+        assert fifo.full and not fifo.empty
+
+
+class TestRegArray:
+    def test_init_value(self):
+        reg = RegArrayModel("min1", 4, init=127)
+        np.testing.assert_array_equal(reg.read(), [127] * 4)
+
+    def test_reset(self):
+        reg = RegArrayModel("min1", 4, init=5)
+        reg.write(np.zeros(4, dtype=np.int32))
+        reg.reset()
+        np.testing.assert_array_equal(reg.data, [5] * 4)
+
+    def test_shape_checked(self):
+        reg = RegArrayModel("r", 4)
+        with pytest.raises(ArchitectureError):
+            reg.write(np.zeros(3, dtype=np.int32))

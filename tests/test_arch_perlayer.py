@@ -1,0 +1,101 @@
+"""Tests for the per-layer decoder architecture."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ArchConfig, PerLayerArch
+from repro.decoder import LayeredMinSumDecoder
+from tests.conftest import noisy_frame
+
+
+def arch_for(code, **kwargs):
+    kwargs.setdefault("early_termination", True)
+    return PerLayerArch(ArchConfig(code, core1_depth=3, core2_depth=2,
+                                   **kwargs))
+
+
+class TestBitAccuracy:
+    """The architectural decoder must equal the numpy fixed decoder."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_fixed_numpy_decoder(self, small_code, seed):
+        _cw, llrs = noisy_frame(small_code, ebno_db=2.5, seed=seed)
+        ref = LayeredMinSumDecoder(small_code, fixed=True).decode(llrs)
+        got = arch_for(small_code).decode(llrs)
+        np.testing.assert_array_equal(got.decode.bits, ref.bits)
+        assert got.decode.iterations == ref.iterations
+        assert got.decode.iteration_syndromes == ref.iteration_syndromes
+        np.testing.assert_array_equal(got.decode.llrs, ref.llrs)
+
+    def test_matches_on_wimax(self, wimax_short):
+        _cw, llrs = noisy_frame(wimax_short, ebno_db=2.2, seed=9)
+        ref = LayeredMinSumDecoder(wimax_short, fixed=True).decode(llrs)
+        got = arch_for(wimax_short).decode(llrs)
+        np.testing.assert_array_equal(got.decode.bits, ref.bits)
+
+
+class TestTiming:
+    def test_cycles_match_closed_form(self, small_code):
+        arch = arch_for(small_code, early_termination=False, max_iterations=4)
+        _cw, llrs = noisy_frame(small_code, ebno_db=2.0, seed=0)
+        result = arch.decode(llrs)
+        assert result.cycles == 4 * arch.cycles_per_iteration()
+
+    def test_cores_never_overlap(self, small_code):
+        arch = arch_for(small_code, early_termination=False, max_iterations=2)
+        _cw, llrs = noisy_frame(small_code, ebno_db=2.0, seed=1)
+        trace = arch.decode(llrs).trace
+        c1 = [(s.start, s.end) for s in trace.segments if s.unit == "core1"]
+        c2 = [(s.start, s.end) for s in trace.segments if s.unit == "core2"]
+        for a in c1:
+            for b in c2:
+                assert a[1] <= b[0] or b[1] <= a[0], (a, b)
+
+    def test_utilization_well_below_full(self, wimax_short):
+        """The paper's motivation: per-layer cores idle ~half the time."""
+        arch = arch_for(wimax_short, early_termination=False, max_iterations=2)
+        _cw, llrs = noisy_frame(wimax_short, ebno_db=2.0, seed=2)
+        trace = arch.decode(llrs).trace
+        assert 0.25 <= trace.utilization("core1") <= 0.55
+        assert 0.25 <= trace.utilization("core2") <= 0.55
+
+    def test_early_termination_shortens(self, small_code):
+        _cw, llrs = noisy_frame(small_code, ebno_db=6.0, seed=3)
+        eager = arch_for(small_code, max_iterations=10).decode(llrs)
+        full = arch_for(
+            small_code, max_iterations=10, early_termination=False
+        ).decode(llrs)
+        assert eager.cycles < full.cycles
+
+    def test_deeper_cores_cost_cycles(self, small_code):
+        _cw, llrs = noisy_frame(small_code, ebno_db=2.0, seed=4)
+        shallow = PerLayerArch(
+            ArchConfig(small_code, core1_depth=2, core2_depth=1,
+                       early_termination=False)
+        ).decode(llrs)
+        deep = PerLayerArch(
+            ArchConfig(small_code, core1_depth=6, core2_depth=3,
+                       early_termination=False)
+        ).decode(llrs)
+        assert deep.cycles > shallow.cycles
+
+    def test_reduced_parallelism_multiplies_cycles(self, small_code):
+        _cw, llrs = noisy_frame(small_code, ebno_db=2.0, seed=5)
+        full = arch_for(small_code, early_termination=False).decode(llrs)
+        half = arch_for(
+            small_code,
+            early_termination=False,
+            parallelism=small_code.z // 2,
+        ).decode(llrs)
+        assert half.cycles > 1.5 * full.cycles
+        np.testing.assert_array_equal(half.decode.bits, full.decode.bits)
+
+
+class TestResultMetrics:
+    def test_throughput_latency(self, small_code):
+        _cw, llrs = noisy_frame(small_code, ebno_db=6.0, seed=6)
+        result = arch_for(small_code, clock_mhz=200.0).decode(llrs)
+        assert result.latency_us == pytest.approx(result.cycles / 200.0)
+        assert result.throughput_mbps(small_code.k) == pytest.approx(
+            small_code.k / result.latency_us
+        )

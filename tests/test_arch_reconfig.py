@@ -1,0 +1,106 @@
+"""Tests for the runtime-reconfigurable decoder."""
+
+import numpy as np
+import pytest
+
+from repro.arch.reconfig import DecoderCapacity, ReconfigurableDecoder
+from repro.codes import random_qc_code, wifi_code, wimax_code
+from repro.errors import ArchitectureError
+from tests.conftest import noisy_frame
+
+
+class TestCapacity:
+    def test_paper_capacity_admits_all_wimax(self):
+        cap = DecoderCapacity()
+        for rate in ("1/2", "2/3A", "2/3B", "3/4A", "3/4B", "5/6"):
+            for n in (576, 1440, 2304):
+                assert cap.admits(wimax_code(rate, n)) is None
+
+    def test_wimax_build_rejects_wifi(self):
+        """A real constraint: 802.11n r1/2 has 86 non-zero blocks —
+        two more than the paper's 84-word WiMax-sized R memory."""
+        cap = DecoderCapacity()
+        assert "R memory" in cap.admits(wifi_code("1/2", 1944))
+
+    def test_multistandard_build_admits_wifi(self):
+        """The authors' follow-up [5] sizes for multiple standards."""
+        cap = DecoderCapacity(max_r_words=96)
+        assert cap.admits(wifi_code("1/2", 1944)) is None
+
+    def test_rejects_oversized_z(self):
+        cap = DecoderCapacity(max_z=8)
+        code = random_qc_code(3, 7, 16, row_degree=4, seed=0)
+        assert "lane" in cap.admits(code)
+
+    def test_rejects_too_many_blocks(self):
+        cap = DecoderCapacity(max_r_words=10)
+        code = wimax_code("1/2", 576)  # 76 blocks
+        assert "R memory" in cap.admits(code)
+
+
+class TestReconfiguration:
+    def test_decode_requires_code(self):
+        decoder = ReconfigurableDecoder()
+        with pytest.raises(ArchitectureError):
+            decoder.decode(np.zeros(2304))
+
+    def test_switch_and_decode(self):
+        decoder = ReconfigurableDecoder(max_iterations=10)
+        code = wimax_code("1/2", 576)
+        decoder.switch_code(code)
+        cw, llrs = noisy_frame(code, ebno_db=3.0, seed=0)
+        result = decoder.decode(llrs)
+        assert result.decode.converged
+        np.testing.assert_array_equal(result.decode.bits, cw)
+
+    def test_multi_rate_session(self):
+        """One hardware instance serves a whole multi-rate session."""
+        decoder = ReconfigurableDecoder(max_iterations=12)
+        for rate, ebno in (("1/2", 3.2), ("3/4B", 4.6), ("5/6", 5.6)):
+            code = wimax_code(rate, 576)
+            decoder.switch_code(code)
+            for seed in range(2):
+                cw, llrs = noisy_frame(code, ebno_db=ebno, seed=seed)
+                result = decoder.decode(llrs)
+                assert result.decode.converged, (rate, seed)
+        assert decoder.reconfigurations == 3
+        assert decoder.frames_decoded == 6
+        assert len(decoder.usage_summary()) == 3
+
+    def test_cross_standard_session(self):
+        """WiMax then WiFi through one multi-standard-sized instance
+        (the vision of the authors' follow-up paper [5])."""
+        decoder = ReconfigurableDecoder(
+            capacity=DecoderCapacity(max_r_words=96), max_iterations=12
+        )
+        for code, ebno in (
+            (wimax_code("1/2", 2304), 2.6),
+            (wifi_code("1/2", 1944), 2.8),
+        ):
+            decoder.switch_code(code)
+            cw, llrs = noisy_frame(code, ebno_db=ebno, seed=1)
+            result = decoder.decode(llrs)
+            assert result.decode.converged, code.name
+
+    def test_oversized_code_rejected(self):
+        decoder = ReconfigurableDecoder(capacity=DecoderCapacity(max_z=24))
+        with pytest.raises(ArchitectureError):
+            decoder.switch_code(wimax_code("1/2", 2304))
+
+    def test_matches_dedicated_architecture(self):
+        """Reconfigurable wrapper == a dedicated instance, bit for bit."""
+        from repro.arch import ArchConfig, TwoLayerPipelinedArch
+
+        code = wimax_code("1/2", 576)
+        _cw, llrs = noisy_frame(code, ebno_db=2.5, seed=2)
+        decoder = ReconfigurableDecoder()
+        decoder.switch_code(code)
+        a = decoder.decode(llrs)
+        b = TwoLayerPipelinedArch(
+            ArchConfig(
+                code, clock_mhz=400.0, core1_depth=5, core2_depth=2,
+                handoff_depth=3, column_order="hazard-aware",
+            )
+        ).decode(llrs)
+        np.testing.assert_array_equal(a.decode.bits, b.decode.bits)
+        assert a.cycles == b.cycles

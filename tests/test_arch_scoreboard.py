@@ -1,0 +1,56 @@
+"""Tests for the hazard scoreboard."""
+
+import pytest
+
+from repro.arch.scoreboard import Scoreboard
+from repro.errors import ArchitectureError
+
+
+class TestScoreboard:
+    def test_initially_clear(self):
+        sb = Scoreboard(24)
+        assert not sb.pending(0)
+        assert sb.outstanding == 0
+
+    def test_set_then_pending(self):
+        sb = Scoreboard(24)
+        sb.set(3)
+        assert sb.pending(3)
+        assert not sb.pending(4)
+
+    def test_clear(self):
+        sb = Scoreboard(24)
+        sb.set(3)
+        sb.clear(3)
+        assert not sb.pending(3)
+
+    def test_double_set_rejected(self):
+        sb = Scoreboard(24)
+        sb.set(3)
+        with pytest.raises(ArchitectureError):
+            sb.set(3)
+
+    def test_clear_nonpending_rejected(self):
+        sb = Scoreboard(24)
+        with pytest.raises(ArchitectureError):
+            sb.clear(3)
+
+    def test_out_of_range_rejected(self):
+        sb = Scoreboard(24)
+        with pytest.raises(ArchitectureError):
+            sb.pending(24)
+
+    def test_stall_accounting(self):
+        sb = Scoreboard(8)
+        sb.record_stall(3)
+        sb.record_stall(2)
+        assert sb.stall_cycles == 5
+        with pytest.raises(ArchitectureError):
+            sb.record_stall(-1)
+
+    def test_check_and_hit_counters(self):
+        sb = Scoreboard(8)
+        sb.set(1)
+        sb.pending(1)
+        sb.pending(2)
+        assert sb.checks == 2 and sb.hits == 1

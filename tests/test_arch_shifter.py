@@ -1,0 +1,78 @@
+"""Tests for the barrel shifter's alignment semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.shifter import BarrelShifter
+from repro.errors import ArchitectureError
+
+
+class TestRotate:
+    def test_matches_circulant_definition(self):
+        """Lane r of the rotated word must be P[(r + s) mod z]."""
+        z, s = 8, 3
+        shifter = BarrelShifter(z)
+        word = np.arange(z)
+        rotated = shifter.rotate(word, s)
+        for r in range(z):
+            assert rotated[r] == word[(r + s) % z]
+
+    def test_matches_var_idx_gather(self, small_code):
+        """Reading P through the shifter equals the var_idx gather."""
+        z = small_code.z
+        shifter = BarrelShifter(z)
+        rng = np.random.default_rng(0)
+        p = rng.integers(-100, 100, small_code.n)
+        layer = small_code.layer(0)
+        for k in range(layer.degree):
+            j = int(layer.block_cols[k])
+            s = int(layer.shifts[k])
+            word = p[j * z : (j + 1) * z]
+            np.testing.assert_array_equal(
+                shifter.rotate(word, s), p[layer.var_idx[k]]
+            )
+
+    def test_rotate_back_is_inverse(self):
+        shifter = BarrelShifter(16)
+        word = np.arange(16)
+        for s in range(16):
+            np.testing.assert_array_equal(
+                shifter.rotate_back(shifter.rotate(word, s), s), word
+            )
+
+    def test_shift_wraps_mod_z(self):
+        shifter = BarrelShifter(8)
+        word = np.arange(8)
+        np.testing.assert_array_equal(
+            shifter.rotate(word, 3), shifter.rotate(word, 11)
+        )
+
+    def test_rotation_counter(self):
+        shifter = BarrelShifter(4)
+        shifter.rotate(np.zeros(4), 1)
+        shifter.rotate_back(np.zeros(4), 1)
+        assert shifter.rotations == 2
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ArchitectureError):
+            BarrelShifter(4).rotate(np.zeros(5), 1)
+
+    def test_stage_count(self):
+        assert BarrelShifter(96).stages == 7
+        assert BarrelShifter(64).stages == 6
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    z=st.sampled_from([4, 8, 32, 96]),
+    s1=st.integers(0, 200),
+    s2=st.integers(0, 200),
+)
+def test_rotation_composition(z, s1, s2):
+    """rotate(s1) then rotate(s2) == rotate(s1 + s2)."""
+    shifter = BarrelShifter(z)
+    word = np.arange(z)
+    a = shifter.rotate(shifter.rotate(word, s1), s2)
+    b = shifter.rotate(word, s1 + s2)
+    np.testing.assert_array_equal(a, b)

@@ -1,0 +1,64 @@
+"""Tests for trace segments and utilization."""
+
+import pytest
+
+from repro.arch.scheduler_trace import ArchTrace, Segment
+from repro.errors import ArchitectureError
+
+
+class TestSegment:
+    def test_cycles(self):
+        assert Segment("core1", 3, 10).cycles == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ArchitectureError):
+            Segment("core1", 5, 5)
+
+
+class TestTrace:
+    def test_add_extends_makespan(self):
+        trace = ArchTrace()
+        trace.add("a", 0, 10)
+        trace.add("b", 5, 20)
+        assert trace.total_cycles == 20
+
+    def test_busy_cycles(self):
+        trace = ArchTrace()
+        trace.add("a", 0, 10)
+        trace.add("a", 20, 25)
+        assert trace.busy_cycles("a") == 15
+
+    def test_utilization(self):
+        trace = ArchTrace()
+        trace.add("a", 0, 10)
+        trace.add("b", 0, 20)
+        assert trace.utilization("a") == pytest.approx(0.5)
+        assert trace.utilization("b") == pytest.approx(1.0)
+
+    def test_activity_dict(self):
+        trace = ArchTrace()
+        trace.add("x", 0, 4)
+        assert trace.activity() == {"x": 1.0}
+
+    def test_units_in_order(self):
+        trace = ArchTrace()
+        trace.add("b", 0, 1)
+        trace.add("a", 1, 2)
+        trace.add("b", 2, 3)
+        assert trace.units() == ["b", "a"]
+
+    def test_render_contains_units(self):
+        trace = ArchTrace()
+        trace.add("core1", 0, 10, "L0")
+        trace.add("core2", 5, 15, "L0")
+        art = trace.render(width=40)
+        assert "core1" in art and "core2" in art
+
+    def test_render_empty(self):
+        assert "empty" in ArchTrace().render()
+
+    def test_render_window(self):
+        trace = ArchTrace()
+        trace.add("a", 0, 100)
+        art = trace.render(width=20, max_cycles=50)
+        assert art.splitlines()[-1].strip().endswith("50")

@@ -1,0 +1,88 @@
+"""Tests for the VCD trace exporter."""
+
+import re
+
+import pytest
+
+from repro.arch.scheduler_trace import ArchTrace
+from repro.arch.vcd import to_vcd, write_vcd
+from repro.errors import ArchitectureError
+
+
+def sample_trace():
+    trace = ArchTrace()
+    trace.add("core1", 0, 7, "L0")
+    trace.add("core2", 5, 12, "L0")
+    trace.add("core1", 7, 14, "L1")
+    return trace
+
+
+class TestHeader:
+    def test_declares_all_units(self):
+        text = to_vcd(sample_trace())
+        assert "core1_busy" in text and "core2_busy" in text
+
+    def test_timescale_matches_clock(self):
+        text = to_vcd(sample_trace(), clock_mhz=400.0)
+        assert "$timescale 2500 ps $end" in text
+
+    def test_scope_name(self):
+        text = to_vcd(sample_trace(), design="decoder_x")
+        assert "$scope module decoder_x $end" in text
+
+
+class TestWaveform:
+    def test_initial_values(self):
+        text = to_vcd(sample_trace())
+        after_zero = text.split("#0\n", 1)[1]
+        first_block = after_zero.split("#", 1)[0]
+        # core1 busy at t=0, core2 idle.
+        assert "1" in first_block and "0" in first_block
+
+    def test_timestamps_monotonic(self):
+        text = to_vcd(sample_trace())
+        stamps = [int(m) for m in re.findall(r"^#(\d+)$", text, re.M)]
+        assert stamps == sorted(stamps)
+
+    def test_back_to_back_segments_stay_high(self):
+        """core1 runs [0,7) then [7,14): the final value at t=7 is 1."""
+        text = to_vcd(sample_trace())
+        sections = re.split(r"^#(\d+)$", text, flags=re.M)
+        # sections: [prefix, t1, body1, t2, body2, ...]
+        at7 = None
+        for i in range(1, len(sections), 2):
+            if sections[i] == "7":
+                at7 = sections[i + 1]
+        assert at7 is not None
+        core1_id = re.search(r"\$var wire 1 (.) core1_busy", text).group(1)
+        changes = [
+            line for line in at7.splitlines() if line.endswith(core1_id)
+        ]
+        assert changes[-1].startswith("1")
+
+    def test_ends_at_makespan(self):
+        text = to_vcd(sample_trace())
+        stamps = [int(m) for m in re.findall(r"^#(\d+)$", text, re.M)]
+        assert stamps[-1] == 14
+
+
+class TestFileAndValidation:
+    def test_write(self, tmp_path):
+        path = tmp_path / "trace.vcd"
+        write_vcd(sample_trace(), path)
+        assert path.read_text().startswith("$date")
+
+    def test_bad_clock_rejected(self):
+        with pytest.raises(ArchitectureError):
+            to_vcd(sample_trace(), clock_mhz=0)
+
+    def test_real_decode_trace_exports(self, wimax_short):
+        from repro.arch import ArchConfig, TwoLayerPipelinedArch
+        from tests.conftest import noisy_frame
+
+        _cw, llrs = noisy_frame(wimax_short, ebno_db=3.0, seed=0)
+        result = TwoLayerPipelinedArch(
+            ArchConfig(wimax_short, core1_depth=3, core2_depth=2)
+        ).decode(llrs)
+        text = to_vcd(result.trace)
+        assert "core1_busy" in text and "shifter_busy" in text

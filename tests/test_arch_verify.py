@@ -1,0 +1,26 @@
+"""Tests for the equivalence checker."""
+
+from repro.arch.verify import verify_equivalence
+from repro.codes import random_qc_code
+
+
+class TestVerifyEquivalence:
+    def test_small_code_equivalent(self, small_code):
+        report = verify_equivalence(small_code, frames=4, seed=1)
+        assert report.equivalent, report.mismatches
+        assert report.frames == 4
+
+    def test_wimax_equivalent(self, wimax_short):
+        report = verify_equivalence(wimax_short, frames=3, ebno_db=2.2)
+        assert report.equivalent, report.mismatches
+
+    def test_both_architectures_checked(self, small_code):
+        report = verify_equivalence(small_code, frames=1)
+        assert "per-layer" in report.architectures
+        assert "two-layer-pipelined" in report.architectures
+
+    def test_random_codes_equivalent(self):
+        for seed in (0, 1):
+            code = random_qc_code(4, 9, 6, row_degree=4, seed=seed)
+            report = verify_equivalence(code, frames=3, seed=seed)
+            assert report.equivalent, report.mismatches

@@ -1,0 +1,99 @@
+"""Tests for the BPSK/AWGN channel front-end."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    AwgnChannel,
+    bpsk_modulate,
+    ebno_to_sigma,
+    llr_from_channel,
+    snr_to_sigma,
+)
+
+
+class TestBpsk:
+    def test_mapping(self):
+        np.testing.assert_array_equal(
+            bpsk_modulate(np.array([0, 1, 0])), [1.0, -1.0, 1.0]
+        )
+
+    def test_unit_energy(self):
+        symbols = bpsk_modulate(np.array([0, 1]))
+        np.testing.assert_allclose(np.abs(symbols), 1.0)
+
+
+class TestSigmaConversions:
+    def test_ebno_rate_half(self):
+        # Es/N0 = 0.5 * Eb/N0; at 0 dB, sigma^2 = 1.
+        assert ebno_to_sigma(0.0, 0.5) == pytest.approx(1.0)
+
+    def test_higher_ebno_less_noise(self):
+        assert ebno_to_sigma(5.0, 0.5) < ebno_to_sigma(1.0, 0.5)
+
+    def test_higher_rate_less_noise_at_same_ebno(self):
+        assert ebno_to_sigma(2.0, 0.8) < ebno_to_sigma(2.0, 0.5)
+
+    def test_snr_to_sigma(self):
+        assert snr_to_sigma(0.0) == pytest.approx(math.sqrt(0.5))
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ebno_to_sigma(2.0, 0.0)
+
+
+class TestLlr:
+    def test_sign_convention(self):
+        # Positive received sample -> positive LLR -> bit 0.
+        llr = llr_from_channel(np.array([0.8]), sigma=1.0)
+        assert llr[0] > 0
+
+    def test_scaling(self):
+        llr = llr_from_channel(np.array([1.0]), sigma=0.5)
+        assert llr[0] == pytest.approx(8.0)  # 2y/sigma^2
+
+    def test_zero_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            llr_from_channel(np.array([1.0]), 0.0)
+
+
+class TestAwgnChannel:
+    def test_noiseless_channel_exact(self):
+        ch = AwgnChannel(sigma=0.0)
+        bits = np.array([0, 1, 1, 0], dtype=np.uint8)
+        np.testing.assert_array_equal(ch.transmit(bits), [1, -1, -1, 1])
+
+    def test_noiseless_llrs_saturated(self):
+        ch = AwgnChannel(sigma=0.0)
+        llrs = ch.llrs(np.array([0, 1], dtype=np.uint8))
+        assert llrs[0] > 50 and llrs[1] < -50
+
+    def test_reproducible_with_seed(self):
+        bits = np.zeros(100, dtype=np.uint8)
+        a = AwgnChannel(1.0, seed=7).transmit(bits)
+        b = AwgnChannel(1.0, seed=7).transmit(bits)
+        np.testing.assert_array_equal(a, b)
+
+    def test_noise_statistics(self):
+        bits = np.zeros(200_000, dtype=np.uint8)
+        received = AwgnChannel(0.7, seed=1).transmit(bits)
+        noise = received - 1.0
+        assert abs(noise.mean()) < 0.01
+        assert noise.std() == pytest.approx(0.7, rel=0.02)
+
+    def test_from_ebno(self):
+        ch = AwgnChannel.from_ebno(0.0, 0.5, seed=0)
+        assert ch.sigma == pytest.approx(1.0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            AwgnChannel(sigma=-1.0)
+
+    def test_llr_sign_mostly_correct_at_high_snr(self):
+        bits = np.random.default_rng(2).integers(0, 2, 1000).astype(np.uint8)
+        ch = AwgnChannel.from_ebno(8.0, 0.5, seed=3)
+        llrs = ch.llrs(bits)
+        decisions = (llrs < 0).astype(np.uint8)
+        assert (decisions == bits).mean() > 0.99

@@ -1,0 +1,117 @@
+"""Tests for the Rayleigh fading channel and block interleaver."""
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import RayleighChannel
+from repro.channel.interleaver import BlockInterleaver
+from repro.decoder import LayeredMinSumDecoder
+from repro.encoder import RuEncoder
+from repro.errors import ReproError
+
+
+class TestRayleighChannel:
+    def test_envelope_unit_mean_square(self):
+        ch = RayleighChannel(sigma=1.0, seed=0)
+        h = ch.fading_envelope(200_000)
+        assert np.mean(h**2) == pytest.approx(1.0, rel=0.02)
+
+    def test_envelope_nonnegative(self):
+        h = RayleighChannel(sigma=1.0, seed=1).fading_envelope(1000)
+        assert (h >= 0).all()
+
+    def test_coherence_blocks_constant(self):
+        ch = RayleighChannel(sigma=1.0, coherence=50, seed=2)
+        h = ch.fading_envelope(200)
+        for b in range(4):
+            block = h[b * 50 : (b + 1) * 50]
+            assert np.all(block == block[0])
+
+    def test_llr_shape_and_determinism(self):
+        bits = np.zeros(128, dtype=np.uint8)
+        a = RayleighChannel(0.8, seed=3).llrs(bits)
+        b = RayleighChannel(0.8, seed=3).llrs(bits)
+        np.testing.assert_array_equal(a, b)
+
+    def test_noiseless_sign_correct(self):
+        bits = np.random.default_rng(4).integers(0, 2, 256).astype(np.uint8)
+        llrs = RayleighChannel(0.0, seed=5).llrs(bits)
+        decisions = (llrs < 0).astype(np.uint8)
+        np.testing.assert_array_equal(decisions, bits)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RayleighChannel(sigma=-1.0)
+        with pytest.raises(ValueError):
+            RayleighChannel(sigma=1.0, coherence=0)
+
+    def test_fading_hurts_vs_awgn(self, wimax_short):
+        """At equal noise, fading costs frames (the wireless reality)."""
+        from repro.channel import AwgnChannel
+
+        enc = RuEncoder(wimax_short)
+        rng = np.random.default_rng(6)
+        dec = LayeredMinSumDecoder(wimax_short, max_iterations=10)
+        awgn_fail = fade_fail = 0
+        for seed in range(8):
+            cw = enc.encode(rng.integers(0, 2, enc.k).astype(np.uint8))
+            sigma = 0.8
+            awgn = AwgnChannel(sigma, seed=100 + seed).llrs(cw)
+            fade = RayleighChannel(sigma, coherence=1, seed=100 + seed).llrs(cw)
+            awgn_fail += not dec.decode(awgn).converged
+            fade_fail += not dec.decode(fade).converged
+        assert fade_fail >= awgn_fail
+
+
+class TestBlockInterleaver:
+    def test_round_trip(self):
+        il = BlockInterleaver(4, 8)
+        data = np.arange(32)
+        np.testing.assert_array_equal(
+            il.deinterleave(il.interleave(data)), data
+        )
+
+    def test_permutation_is_row_column(self):
+        il = BlockInterleaver(2, 3)
+        np.testing.assert_array_equal(
+            il.interleave(np.arange(6)), [0, 3, 1, 4, 2, 5]
+        )
+
+    def test_for_length_exact_shape(self):
+        il = BlockInterleaver.for_length(2304, depth=32)
+        assert il.length == 2304
+        assert il.rows <= 32 and 2304 % il.rows == 0
+
+    def test_spread(self):
+        il = BlockInterleaver(8, 4)
+        out = il.interleave(np.arange(32))
+        pos = {int(v): i for i, v in enumerate(out)}
+        gaps = [abs(pos[i + 1] - pos[i]) for i in range(31)]
+        assert min(gaps) >= il.spread() - 1
+
+    def test_shape_validation(self):
+        with pytest.raises(ReproError):
+            BlockInterleaver(0, 4)
+        with pytest.raises(ReproError):
+            BlockInterleaver(4, 8).interleave(np.arange(31))
+
+    def test_ldpc_is_its_own_interleaver(self, wimax_short):
+        """A bit interleaver changes block-fading FER only marginally:
+        the Tanner graph already spreads a 48-bit fade across many
+        checks (unlike convolutional codes, LDPC needs no channel
+        interleaver — part of why 4G standards adopted it)."""
+        enc = RuEncoder(wimax_short)
+        il = BlockInterleaver.for_length(wimax_short.n, depth=24)
+        dec = LayeredMinSumDecoder(wimax_short, max_iterations=15)
+        rng = np.random.default_rng(7)
+        plain_fail = inter_fail = 0
+        trials = 10
+        for seed in range(trials):
+            cw = enc.encode(rng.integers(0, 2, enc.k).astype(np.uint8))
+            ch = RayleighChannel(0.62, coherence=48, seed=300 + seed)
+            plain_fail += not dec.decode(ch.llrs(cw)).converged
+            ch2 = RayleighChannel(0.62, coherence=48, seed=300 + seed)
+            tx = il.interleave(cw)
+            llrs = il.deinterleave(ch2.llrs(tx))
+            inter_fail += not dec.decode(llrs).converged
+        assert abs(inter_fail - plain_fail) <= 3

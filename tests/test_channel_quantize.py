@@ -1,0 +1,85 @@
+"""Tests for the fixed-point message formats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.quantize import (
+    MESSAGE_6BIT,
+    MESSAGE_8BIT,
+    FixedPointFormat,
+    quantize_llrs,
+)
+
+
+class TestFormatProperties:
+    def test_paper_8bit_format(self):
+        assert MESSAGE_8BIT.total_bits == 8
+        assert MESSAGE_8BIT.max_code == 127
+        assert MESSAGE_8BIT.min_code == -127  # symmetric saturation
+
+    def test_6bit_format(self):
+        assert MESSAGE_6BIT.max_code == 31
+
+    def test_scale(self):
+        assert FixedPointFormat(8, 2).scale == 0.25
+
+    def test_max_value(self):
+        fmt = FixedPointFormat(8, 2)
+        assert fmt.max_value == pytest.approx(127 * 0.25)
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(1, 0)
+        with pytest.raises(ValueError):
+            FixedPointFormat(8, 8)
+
+
+class TestQuantize:
+    def test_round_half_even_free_zone(self):
+        fmt = FixedPointFormat(8, 2)
+        np.testing.assert_array_equal(fmt.quantize(np.array([1.0])), [4])
+
+    def test_saturation_positive(self):
+        fmt = FixedPointFormat(8, 2)
+        assert fmt.quantize(np.array([1000.0]))[0] == 127
+
+    def test_saturation_negative_symmetric(self):
+        fmt = FixedPointFormat(8, 2)
+        assert fmt.quantize(np.array([-1000.0]))[0] == -127
+
+    def test_dequantize_inverse_on_grid(self):
+        fmt = FixedPointFormat(8, 2)
+        codes = np.array([-127, -4, 0, 4, 127], dtype=np.int32)
+        np.testing.assert_array_equal(fmt.quantize(fmt.dequantize(codes)), codes)
+
+    def test_saturate_clamps(self):
+        fmt = FixedPointFormat(8, 2)
+        np.testing.assert_array_equal(
+            fmt.saturate(np.array([-500, 0, 500])), [-127, 0, 127]
+        )
+
+    def test_quantize_llrs_default_format(self):
+        codes = quantize_llrs(np.array([0.5, -0.5]))
+        np.testing.assert_array_equal(codes, [2, -2])
+
+    @given(
+        st.lists(
+            st.floats(-100, 100, allow_nan=False), min_size=1, max_size=32
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_quantization_error_bounded(self, values):
+        fmt = MESSAGE_8BIT
+        arr = np.array(values)
+        codes = fmt.quantize(arr)
+        back = fmt.dequantize(codes)
+        in_range = np.abs(arr) <= fmt.max_value
+        assert np.all(np.abs(back[in_range] - arr[in_range]) <= fmt.scale / 2 + 1e-9)
+
+    @given(st.lists(st.integers(-127, 127), min_size=1, max_size=16))
+    def test_negation_never_overflows(self, codes):
+        """Symmetric saturation: -code is always representable."""
+        fmt = MESSAGE_8BIT
+        arr = np.array(codes, dtype=np.int32)
+        np.testing.assert_array_equal(fmt.saturate(-arr), -arr)

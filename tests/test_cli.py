@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.family == "wimax" and args.length == 2304
+
+
+class TestCommands:
+    def test_codes(self, capsys):
+        assert main(["codes"]) == 0
+        out = capsys.readouterr().out
+        assert "802.16e" in out and "802.11n" in out
+
+    def test_demo_success(self, capsys):
+        rc = main(["demo", "--length", "576", "--ebno", "4.0"])
+        assert rc == 0
+        assert "converged" in capsys.readouterr().out
+
+    def test_demo_fixed(self, capsys):
+        rc = main(["demo", "--length", "576", "--ebno", "4.0", "--fixed"])
+        assert rc == 0
+
+    def test_demo_failure_exit_code(self, capsys):
+        rc = main(["demo", "--length", "576", "--ebno", "-4.0",
+                   "--iterations", "2"])
+        assert rc == 1
+
+    def test_synth(self, capsys):
+        rc = main(["synth", "--length", "576", "--clock", "200"])
+        assert rc == 0
+        assert "synthesis report" in capsys.readouterr().out
+
+    def test_verilog_stdout(self, capsys):
+        rc = main(["verilog", "--length", "576"])
+        assert rc == 0
+        assert "module" in capsys.readouterr().out
+
+    def test_verilog_file(self, tmp_path, capsys):
+        out = tmp_path / "decoder.v"
+        rc = main(["verilog", "--length", "576", "-o", str(out)])
+        assert rc == 0
+        assert "endmodule" in out.read_text()
+
+    def test_alist_file(self, tmp_path):
+        out = tmp_path / "code.alist"
+        rc = main(["alist", "--length", "576", "-o", str(out)])
+        assert rc == 0
+        first = out.read_text().split()[:2]
+        assert first == ["576", "288"]
+
+    def test_wifi_family(self, capsys):
+        rc = main(["demo", "--family", "wifi", "--length", "648",
+                   "--ebno", "4.0"])
+        assert rc == 0

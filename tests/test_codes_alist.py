@@ -1,0 +1,87 @@
+"""Tests for alist import/export."""
+
+import numpy as np
+import pytest
+
+from repro.codes import random_qc_code, wimax_code
+from repro.codes.alist import (
+    parse_alist,
+    read_alist,
+    roundtrip_ok,
+    to_alist,
+    write_alist,
+)
+from repro.errors import CodeConstructionError
+
+
+class TestRoundTrip:
+    def test_small_code(self, small_code):
+        assert roundtrip_ok(small_code)
+
+    def test_wimax_short(self, wimax_short):
+        assert roundtrip_ok(wimax_short)
+
+    def test_random_code(self):
+        assert roundtrip_ok(random_qc_code(3, 7, 5, row_degree=4, seed=2))
+
+    def test_file_round_trip(self, small_code, tmp_path):
+        path = tmp_path / "code.alist"
+        write_alist(small_code, path)
+        h = read_alist(path)
+        np.testing.assert_array_equal(h, small_code.parity_check_matrix)
+
+
+class TestFormat:
+    def test_header(self, small_code):
+        lines = to_alist(small_code).splitlines()
+        n, m = (int(x) for x in lines[0].split())
+        assert (n, m) == (small_code.n, small_code.m)
+
+    def test_one_based_indices(self, small_code):
+        text = to_alist(small_code)
+        body = text.splitlines()[4:]
+        values = {int(t) for line in body for t in line.split()}
+        assert min(values - {0}) >= 1
+
+    def test_degree_lines(self, small_code):
+        lines = to_alist(small_code).splitlines()
+        col_degrees = [int(x) for x in lines[2].split()]
+        assert len(col_degrees) == small_code.n
+        assert sum(col_degrees) == small_code.num_edges
+
+
+class TestParserValidation:
+    def test_truncated_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            parse_alist("4 2\n")
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            parse_alist("0 2 1 1")
+
+    def test_degree_mismatch_rejected(self, small_code):
+        text = to_alist(small_code)
+        lines = text.splitlines()
+        # Corrupt the first column degree.
+        degrees = lines[2].split()
+        degrees[0] = str(int(degrees[0]) + 1)
+        lines[2] = " ".join(degrees)
+        with pytest.raises(CodeConstructionError):
+            parse_alist("\n".join(lines))
+
+    def test_inconsistent_sections_rejected(self, small_code):
+        text = to_alist(small_code)
+        lines = text.splitlines()
+        # Swap two entries in the final (row-section) line.
+        last = lines[-1].split()
+        if last[0] != "0":
+            last[0] = str(int(last[0]) % small_code.n + 1)
+        lines[-1] = " ".join(last)
+        with pytest.raises(CodeConstructionError):
+            parse_alist("\n".join(lines))
+
+    def test_out_of_range_check_rejected(self):
+        # n=2 m=1; column 1 references check 5.
+        text = "2 1\n1 2\n1 1\n2\n5\n1\n1 2\n"
+        with pytest.raises(CodeConstructionError):
+            parse_alist(text)

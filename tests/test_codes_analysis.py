@@ -1,0 +1,100 @@
+"""Tests for code analysis (degrees, density, cycle census)."""
+
+import numpy as np
+import pytest
+
+from repro.codes import random_qc_code, wimax_code
+from repro.codes.analysis import (
+    count_4_cycles,
+    count_6_cycles,
+    degree_distributions,
+    density,
+    girth,
+)
+from repro.codes.base_matrix import base_matrix_from_rows
+
+
+class TestDegreeDistributions:
+    def test_edge_fractions_sum_to_one(self, wimax_short):
+        dist = degree_distributions(wimax_short)
+        assert sum(dist.lambda_poly.values()) == pytest.approx(1.0)
+        assert sum(dist.rho_poly.values()) == pytest.approx(1.0)
+
+    def test_node_counts_sum(self, wimax_short):
+        dist = degree_distributions(wimax_short)
+        assert sum(dist.variable_nodes.values()) == wimax_short.n
+        assert sum(dist.check_nodes.values()) == wimax_short.m
+
+    def test_wimax_check_degrees(self, wimax_short):
+        dist = degree_distributions(wimax_short)
+        # Rate 1/2 layers have degrees 6 and 7.
+        assert set(dist.check_nodes) == {6, 7}
+
+    def test_mean_degrees_consistent(self, wimax_short):
+        dist = degree_distributions(wimax_short)
+        # Handshake: n * mean_var_degree == m * mean_check_degree.
+        lhs = wimax_short.n * dist.mean_variable_degree()
+        rhs = wimax_short.m * dist.mean_check_degree()
+        assert lhs == pytest.approx(rhs)
+        assert lhs == pytest.approx(wimax_short.num_edges)
+
+
+class TestDensity:
+    def test_ldpc_is_low_density(self, wimax_half):
+        assert density(wimax_half) < 0.01
+
+    def test_density_formula(self, small_code):
+        h = small_code.parity_check_matrix
+        assert density(small_code) == pytest.approx(
+            h.sum() / (h.shape[0] * h.shape[1])
+        )
+
+
+class TestCycleCensus:
+    def test_matches_networkx_brute_force(self):
+        """The block-level census must equal a graph-level census."""
+        import networkx as nx
+
+        for seed in range(3):
+            code = random_qc_code(3, 6, 3, row_degree=4, seed=seed)
+            h = code.parity_check_matrix
+            graph = nx.Graph()
+            for r in range(h.shape[0]):
+                for c in np.flatnonzero(h[r]):
+                    graph.add_edge(("c", r), ("v", int(c)))
+            nx4 = sum(
+                1 for cyc in nx.simple_cycles(graph, length_bound=4)
+                if len(cyc) == 4
+            )
+            nx6 = sum(
+                1 for cyc in nx.simple_cycles(graph, length_bound=6)
+                if len(cyc) == 6
+            )
+            assert count_4_cycles(code.base) == nx4
+            assert count_6_cycles(code.base) == nx6
+
+    def test_known_4_cycle(self):
+        base = base_matrix_from_rows([[0, 0, 0, -1], [0, 0, -1, 0]], z=4)
+        assert count_4_cycles(base) == 4  # one block pattern x z
+
+    def test_wimax_is_4_cycle_free(self, wimax_half):
+        assert count_4_cycles(wimax_half.base) == 0
+
+    def test_wimax_has_6_cycles(self, wimax_half):
+        # Girth 6 is expected for these matrices.
+        assert count_6_cycles(wimax_half.base) > 0
+
+
+class TestGirth:
+    def test_wimax_girth_6(self, wimax_half):
+        assert girth(wimax_half.base) == 6
+
+    def test_4_cycle_matrix(self):
+        base = base_matrix_from_rows([[0, 0, 0, -1], [0, 0, -1, 0]], z=4)
+        assert girth(base) == 4
+
+    def test_large_girth_reported_as_bound(self):
+        # Two rows sharing one column cannot close any 4- or 6-cycle
+        # with only two block rows.
+        base = base_matrix_from_rows([[0, 1, -1], [2, -1, 0]], z=5)
+        assert girth(base) == 8

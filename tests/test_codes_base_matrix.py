@@ -1,0 +1,125 @@
+"""Unit tests for prototype (base) matrices and circulant expansion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.codes.base_matrix import BaseMatrix, ZERO_BLOCK, base_matrix_from_rows, scale_shift
+from repro.errors import CodeConstructionError
+
+
+def tiny_base() -> BaseMatrix:
+    return base_matrix_from_rows(
+        [[0, 1, -1, 2], [-1, 3, 0, 1]], z=4, name="tiny"
+    )
+
+
+class TestScaleShift:
+    def test_zero_block_preserved(self):
+        assert scale_shift(-1, 24, 96) == ZERO_BLOCK
+
+    def test_floor_rule(self):
+        assert scale_shift(94, 24, 96, "floor") == (94 * 24) // 96
+
+    def test_modulo_rule(self):
+        assert scale_shift(94, 24, 96, "modulo") == 94 % 24
+
+    def test_zero_shift_stays_zero(self):
+        assert scale_shift(0, 28, 96, "floor") == 0
+        assert scale_shift(0, 28, 96, "modulo") == 0
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(CodeConstructionError):
+            scale_shift(5, 24, 96, "wat")
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            scale_shift(-3, 24, 96)
+
+    @given(st.integers(0, 95), st.sampled_from(range(24, 97, 4)))
+    def test_scaled_shift_in_range(self, shift, z):
+        for mode in ("floor", "modulo"):
+            scaled = scale_shift(shift, z, 96, mode)
+            assert 0 <= scaled < z
+
+
+class TestBaseMatrix:
+    def test_shape_properties(self):
+        base = tiny_base()
+        assert (base.mb, base.nb) == (2, 4)
+        assert base.m == 8 and base.n == 16
+
+    def test_design_rate(self):
+        assert tiny_base().design_rate == pytest.approx(0.5)
+
+    def test_row_blocks(self):
+        assert tiny_base().row_blocks(0) == [(0, 0), (1, 1), (3, 2)]
+
+    def test_col_blocks(self):
+        assert tiny_base().col_blocks(1) == [(0, 1), (1, 3)]
+
+    def test_degrees(self):
+        base = tiny_base()
+        np.testing.assert_array_equal(base.row_degrees(), [3, 3])
+        np.testing.assert_array_equal(base.col_degrees(), [1, 2, 1, 2])
+
+    def test_nnz_blocks(self):
+        assert tiny_base().nnz_blocks() == 6
+
+    def test_shift_out_of_range_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            BaseMatrix(np.array([[4]]), z=4)
+
+    def test_shift_below_minus_one_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            BaseMatrix(np.array([[-2]]), z=4)
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            BaseMatrix(np.array([1, 2, 3]), z=4)
+
+
+class TestExpansion:
+    def test_expanded_shape(self):
+        h = tiny_base().expand()
+        assert h.shape == (8, 16)
+
+    def test_zero_block_expands_to_zero(self):
+        h = tiny_base().expand()
+        assert not h[0:4, 8:12].any()
+
+    def test_identity_shift_zero(self):
+        h = tiny_base().expand()
+        np.testing.assert_array_equal(h[0:4, 0:4], np.eye(4, dtype=np.uint8))
+
+    def test_shifted_circulant_rows(self):
+        h = tiny_base().expand()
+        block = h[0:4, 4:8]  # shift 1
+        # Row r has its 1 at column (r + 1) mod 4.
+        for r in range(4):
+            assert block[r, (r + 1) % 4] == 1
+            assert block[r].sum() == 1
+
+    def test_every_nonzero_block_weight_one(self):
+        base = tiny_base()
+        h = base.expand()
+        for i in range(base.mb):
+            for j in range(base.nb):
+                blk = h[4 * i : 4 * i + 4, 4 * j : 4 * j + 4]
+                expected = 0 if base.shifts[i, j] == ZERO_BLOCK else 4
+                assert blk.sum() == expected
+
+
+class TestScaled:
+    def test_scaled_z(self):
+        scaled = tiny_base().scaled(2)
+        assert scaled.z == 2
+        assert scaled.shifts.max() < 2
+
+    def test_scaled_preserves_zeros(self):
+        scaled = tiny_base().scaled(2)
+        assert scaled.shifts[0, 2] == ZERO_BLOCK
+
+    def test_scaled_too_large_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            tiny_base().scaled(8)

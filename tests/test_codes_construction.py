@@ -1,0 +1,102 @@
+"""Tests (incl. property-based) for programmatic QC-LDPC construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codes import make_base_matrix, random_qc_code
+from repro.codes.base_matrix import ZERO_BLOCK
+from repro.codes.validation import (
+    column_degrees_ok,
+    girth_lower_bound_ok,
+    is_dual_diagonal,
+)
+from repro.errors import CodeConstructionError
+
+
+class TestMakeBaseMatrix:
+    def test_shape(self):
+        base = make_base_matrix(4, 10, 8, row_degree=5, seed=0)
+        assert (base.mb, base.nb, base.z) == (4, 10, 8)
+
+    def test_dual_diagonal_structure(self):
+        base = make_base_matrix(4, 10, 8, row_degree=5, seed=0)
+        assert is_dual_diagonal(base)
+
+    def test_row_degrees_met(self):
+        base = make_base_matrix(4, 10, 8, row_degree=5, seed=0)
+        np.testing.assert_array_equal(base.row_degrees(), [5] * 4)
+
+    def test_per_row_degrees(self):
+        base = make_base_matrix(4, 12, 8, row_degrees=[5, 6, 6, 5], seed=1)
+        np.testing.assert_array_equal(base.row_degrees(), [5, 6, 6, 5])
+
+    def test_columns_all_used(self):
+        # Degree 6 gives >= 2 entries per data column on average.
+        base = make_base_matrix(4, 10, 16, row_degree=6, seed=0)
+        assert column_degrees_ok(base)
+
+    def test_sparse_profile_covers_every_column_once(self):
+        base = make_base_matrix(4, 10, 16, row_degree=5, seed=0)
+        assert (base.col_degrees() >= 1).all()
+
+    def test_deterministic(self):
+        a = make_base_matrix(4, 10, 8, row_degree=5, seed=9)
+        b = make_base_matrix(4, 10, 8, row_degree=5, seed=9)
+        assert (a.shifts == b.shifts).all()
+
+    def test_seed_changes_shifts(self):
+        a = make_base_matrix(4, 10, 32, row_degree=5, seed=1)
+        b = make_base_matrix(4, 10, 32, row_degree=5, seed=2)
+        assert not (a.shifts == b.shifts).all()
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            make_base_matrix(4, 4, 8)
+
+    def test_infeasible_degree_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            make_base_matrix(4, 8, 8, row_degree=20, seed=0)
+
+    def test_degree_too_small_rejected(self):
+        # Parity part alone needs 2-3 blocks per row.
+        with pytest.raises(CodeConstructionError):
+            make_base_matrix(4, 10, 8, row_degree=2, seed=0)
+
+
+class TestGirth:
+    def test_4_cycle_free_for_sparse_profiles(self):
+        for seed in range(5):
+            base = make_base_matrix(4, 12, 24, row_degree=5, seed=seed)
+            assert girth_lower_bound_ok(base), f"seed {seed} has 4-cycles"
+
+    def test_z1_skips_cycle_breaking(self):
+        base = make_base_matrix(3, 6, 1, row_degree=4, seed=0)
+        assert base.z == 1
+
+
+class TestRandomQcCode:
+    def test_expanded_dimensions(self):
+        code = random_qc_code(4, 8, 6, row_degree=4, seed=0)
+        assert code.n == 48 and code.m == 24
+
+    def test_zero_codeword_valid(self):
+        code = random_qc_code(4, 8, 6, row_degree=4, seed=0)
+        assert code.is_codeword(np.zeros(code.n, dtype=np.uint8))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    mb=st.integers(3, 6),
+    extra=st.integers(2, 8),
+    z=st.sampled_from([4, 8, 12]),
+    seed=st.integers(0, 100),
+)
+def test_construction_properties(mb, extra, z, seed):
+    """Any generated matrix is dual-diagonal with full column usage."""
+    nb = mb + extra
+    degree = min(nb - mb, 4) + 2
+    base = make_base_matrix(mb, nb, z, row_degree=degree, seed=seed)
+    assert is_dual_diagonal(base)
+    assert base.row_degrees().sum() == base.nnz_blocks()
+    assert (base.shifts < z).all() and (base.shifts >= ZERO_BLOCK).all()

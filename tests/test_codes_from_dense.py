@@ -1,0 +1,95 @@
+"""Tests for QC-structure recovery from dense matrices."""
+
+import numpy as np
+import pytest
+
+from repro.codes import random_qc_code, to_alist, wimax_code
+from repro.codes.from_dense import (
+    base_matrix_from_dense,
+    code_from_alist,
+    code_from_dense,
+    detect_shift,
+    infer_expansion_factor,
+)
+from repro.errors import CodeConstructionError
+
+
+class TestDetectShift:
+    def test_zero_block(self):
+        assert detect_shift(np.zeros((4, 4), dtype=np.uint8)) == -1
+
+    def test_identity(self):
+        assert detect_shift(np.eye(4, dtype=np.uint8)) == 0
+
+    def test_shifted(self):
+        block = np.roll(np.eye(5, dtype=np.uint8), 2, axis=1)
+        assert detect_shift(block) == 2
+
+    def test_non_circulant(self):
+        block = np.zeros((4, 4), dtype=np.uint8)
+        block[0, 0] = block[1, 0] = block[2, 2] = block[3, 3] = 1
+        assert detect_shift(block) is None
+
+    def test_wrong_weight(self):
+        block = np.ones((3, 3), dtype=np.uint8)
+        assert detect_shift(block) is None
+
+
+class TestRoundTrip:
+    def test_wimax_roundtrip(self, wimax_short):
+        h = wimax_short.parity_check_matrix
+        base = base_matrix_from_dense(h, wimax_short.z)
+        np.testing.assert_array_equal(base.shifts, wimax_short.base.shifts)
+
+    def test_random_code_roundtrip(self):
+        code = random_qc_code(4, 8, 6, row_degree=4, seed=9)
+        rebuilt = code_from_dense(code.parity_check_matrix, 6)
+        np.testing.assert_array_equal(
+            rebuilt.parity_check_matrix, code.parity_check_matrix
+        )
+
+    def test_alist_to_structured_code(self, wimax_short, tmp_path):
+        path = tmp_path / "h.alist"
+        path.write_text(to_alist(wimax_short))
+        code = code_from_alist(path, wimax_short.z)
+        assert code.num_layers == wimax_short.num_layers
+        np.testing.assert_array_equal(
+            code.base.shifts, wimax_short.base.shifts
+        )
+
+    def test_imported_code_decodes(self, wimax_short, tmp_path):
+        from repro.decoder import LayeredMinSumDecoder
+        from tests.conftest import noisy_frame
+
+        path = tmp_path / "h.alist"
+        path.write_text(to_alist(wimax_short))
+        code = code_from_alist(path, wimax_short.z)
+        cw, llrs = noisy_frame(wimax_short, ebno_db=3.0, seed=0)
+        result = LayeredMinSumDecoder(code).decode(llrs)
+        np.testing.assert_array_equal(result.bits, cw)
+
+
+class TestValidation:
+    def test_indivisible_dimensions_rejected(self, small_code):
+        h = small_code.parity_check_matrix
+        with pytest.raises(CodeConstructionError):
+            base_matrix_from_dense(h, small_code.z + 1)
+
+    def test_non_circulant_matrix_rejected(self):
+        h = np.zeros((4, 8), dtype=np.uint8)
+        h[0, 0] = h[0, 1] = 1  # weight-2 row in one block
+        h[1, 2] = h[2, 4] = h[3, 6] = 1
+        with pytest.raises(CodeConstructionError):
+            base_matrix_from_dense(h, 4)
+
+
+class TestInferZ:
+    def test_finds_native_z(self, small_code):
+        z = infer_expansion_factor(small_code.parity_check_matrix)
+        assert z == small_code.z
+
+    def test_unstructured_matrix_gives_one(self):
+        rng = np.random.default_rng(0)
+        h = rng.integers(0, 2, (4, 8)).astype(np.uint8)
+        # Almost surely not circulant at z in {2, 4}; z = 1 always fits.
+        assert infer_expansion_factor(h) in (1, 2, 4)

@@ -1,0 +1,108 @@
+"""Unit tests for the expanded QCLDPCCode and its layer views."""
+
+import numpy as np
+import pytest
+
+from repro.codes import QCLDPCCode, random_qc_code
+from repro.codes.base_matrix import base_matrix_from_rows
+from repro.errors import CodeConstructionError
+
+
+@pytest.fixture(scope="module")
+def code() -> QCLDPCCode:
+    base = base_matrix_from_rows(
+        [[0, 1, -1, 2], [3, -1, 0, 1], [-1, 2, 1, 0]], z=4
+    )
+    return QCLDPCCode(base, name="unit")
+
+
+class TestShape:
+    def test_dimensions(self, code):
+        assert (code.n, code.m, code.k) == (16, 12, 4)
+
+    def test_rate(self, code):
+        assert code.rate == pytest.approx(0.25)
+
+    def test_num_layers(self, code):
+        assert code.num_layers == 3
+
+    def test_nnz_blocks_and_edges(self, code):
+        assert code.nnz_blocks == 9
+        assert code.num_edges == 36
+
+    def test_max_layer_degree(self, code):
+        assert code.max_layer_degree == 3
+
+
+class TestLayerViews:
+    def test_layer_block_cols(self, code):
+        layer = code.layer(0)
+        np.testing.assert_array_equal(layer.block_cols, [0, 1, 3])
+
+    def test_layer_shifts(self, code):
+        np.testing.assert_array_equal(code.layer(0).shifts, [0, 1, 2])
+
+    def test_var_idx_matches_expansion(self, code):
+        """var_idx must index exactly the 1-entries of the dense H."""
+        h = code.parity_check_matrix
+        z = code.z
+        for l, layer in enumerate(code.layers):
+            for r in range(z):
+                row = h[l * z + r]
+                expected = sorted(np.flatnonzero(row))
+                got = sorted(int(v) for v in layer.var_idx[:, r])
+                assert got == expected
+
+    def test_empty_layer_rejected(self):
+        base = base_matrix_from_rows([[0, 1], [-1, -1]], z=2)
+        with pytest.raises(CodeConstructionError):
+            QCLDPCCode(base)
+
+
+class TestSyndrome:
+    def test_zero_word_is_codeword(self, code):
+        assert code.is_codeword(np.zeros(code.n, dtype=np.uint8))
+
+    def test_single_bit_flip_detected(self, code):
+        word = np.zeros(code.n, dtype=np.uint8)
+        word[5] = 1
+        assert not code.is_codeword(word)
+
+    def test_syndrome_matches_dense_product(self, code, ):
+        rng = np.random.default_rng(0)
+        h = code.parity_check_matrix
+        for _ in range(10):
+            word = rng.integers(0, 2, code.n).astype(np.uint8)
+            dense = (h.astype(np.int64) @ word) % 2
+            np.testing.assert_array_equal(code.syndrome(word), dense)
+
+    def test_wrong_length_rejected(self, code):
+        with pytest.raises(CodeConstructionError):
+            code.syndrome(np.zeros(3, dtype=np.uint8))
+
+
+class TestAdjacency:
+    def test_check_adjacency_count(self, code):
+        assert len(code.check_adjacency) == code.m
+
+    def test_variable_adjacency_degree_sum(self, code):
+        total = sum(len(v) for v in code.variable_adjacency)
+        assert total == code.num_edges
+
+    def test_adjacency_symmetry(self, code):
+        for m, vs in enumerate(code.check_adjacency):
+            for v in vs:
+                assert m in code.variable_adjacency[int(v)]
+
+
+class TestMemorySizing:
+    def test_p_words_is_block_columns(self, code):
+        assert code.p_memory_words() == 4
+
+    def test_r_words_is_nnz_blocks(self, code):
+        assert code.r_memory_words() == 9
+
+    def test_random_code_consistency(self):
+        c = random_qc_code(3, 7, 5, row_degree=4, seed=1)
+        assert c.r_memory_words() == c.nnz_blocks
+        assert c.p_memory_words() == 7

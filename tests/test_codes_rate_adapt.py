@@ -1,0 +1,116 @@
+"""Tests for shortening and puncturing."""
+
+import numpy as np
+import pytest
+
+from repro.channel import AwgnChannel, bpsk_modulate, llr_from_channel
+from repro.codes.rate_adapt import RateAdaptedCode, puncture, shorten
+from repro.decoder import LayeredMinSumDecoder
+from repro.errors import CodeConstructionError
+
+
+class TestDimensions:
+    def test_shortening_lowers_rate(self, wimax_short):
+        adapted = shorten(wimax_short, 96)
+        assert adapted.effective_rate < wimax_short.rate
+        assert adapted.payload_bits == wimax_short.k - 96
+        assert adapted.transmitted_bits == wimax_short.n - 96
+
+    def test_puncturing_raises_rate(self, wimax_short):
+        adapted = puncture(wimax_short, 48)
+        assert adapted.effective_rate > wimax_short.rate
+        assert adapted.transmitted_bits == wimax_short.n - 48
+
+    def test_identity_adaptation(self, wimax_short):
+        adapted = RateAdaptedCode(wimax_short)
+        assert adapted.effective_rate == pytest.approx(wimax_short.rate)
+
+    def test_combined(self, wimax_short):
+        adapted = RateAdaptedCode(
+            wimax_short,
+            shortened=48,
+            punctured=tuple(range(wimax_short.n - 24, wimax_short.n)),
+        )
+        assert adapted.payload_bits == wimax_short.k - 48
+        assert adapted.transmitted_bits == wimax_short.n - 72
+
+
+class TestValidation:
+    def test_shorten_too_much_rejected(self, wimax_short):
+        with pytest.raises(CodeConstructionError):
+            shorten(wimax_short, wimax_short.k)
+
+    def test_puncture_systematic_rejected(self, wimax_short):
+        with pytest.raises(CodeConstructionError):
+            RateAdaptedCode(wimax_short, punctured=(0,))
+
+    def test_duplicate_puncture_rejected(self, wimax_short):
+        i = wimax_short.n - 1
+        with pytest.raises(CodeConstructionError):
+            RateAdaptedCode(wimax_short, punctured=(i, i))
+
+    def test_out_of_range_puncture_rejected(self, wimax_short):
+        with pytest.raises(CodeConstructionError):
+            RateAdaptedCode(wimax_short, punctured=(wimax_short.n,))
+
+    def test_wrong_payload_length_rejected(self, wimax_short):
+        adapted = shorten(wimax_short, 10)
+        with pytest.raises(CodeConstructionError):
+            adapted.encode(np.zeros(wimax_short.k, dtype=np.uint8))
+
+
+def _roundtrip(adapted, ebno_db, seed):
+    """Encode, transmit, expand, decode; return (payload, decoded)."""
+    rng = np.random.default_rng(seed)
+    payload = rng.integers(0, 2, adapted.payload_bits).astype(np.uint8)
+    transmitted = adapted.encode(payload)
+    channel = AwgnChannel.from_ebno(ebno_db, adapted.effective_rate, seed=rng)
+    llrs_rx = channel.llrs(transmitted)
+    llrs = adapted.expand_llrs(llrs_rx)
+    decoder = LayeredMinSumDecoder(adapted.code, max_iterations=15)
+    result = decoder.decode(llrs)
+    return payload, adapted.extract_payload(result.bits), result
+
+
+class TestEndToEnd:
+    def test_shortened_decodes(self, wimax_short):
+        adapted = shorten(wimax_short, 96)
+        payload, decoded, result = _roundtrip(adapted, 3.0, 1)
+        assert result.converged
+        np.testing.assert_array_equal(decoded, payload)
+
+    def test_punctured_decodes_at_higher_snr(self, wimax_short):
+        adapted = puncture(wimax_short, 48)
+        payload, decoded, result = _roundtrip(adapted, 4.5, 2)
+        assert result.converged
+        np.testing.assert_array_equal(decoded, payload)
+
+    def test_shortening_helps_at_equal_channel_noise(self, wimax_short):
+        """At the same channel sigma, the shortened (lower-rate) code
+        fails on no more frames than the mother code."""
+        sigma = 0.92
+        failures = {0: 0, 192: 0}
+        for s in failures:
+            adapted = shorten(wimax_short, s) if s else RateAdaptedCode(wimax_short)
+            decoder = LayeredMinSumDecoder(adapted.code, max_iterations=15)
+            for seed in range(6):
+                rng = np.random.default_rng(200 + seed)
+                payload = rng.integers(0, 2, adapted.payload_bits).astype(np.uint8)
+                tx = adapted.encode(payload)
+                channel = AwgnChannel(sigma, seed=rng)
+                llrs = adapted.expand_llrs(channel.llrs(tx))
+                result = decoder.decode(llrs)
+                decoded = adapted.extract_payload(result.bits)
+                failures[s] += int(not np.array_equal(payload, decoded))
+        assert failures[192] <= failures[0]
+
+    def test_expand_llrs_marks_positions(self, wimax_short):
+        adapted = RateAdaptedCode(
+            wimax_short,
+            shortened=24,
+            punctured=tuple(range(wimax_short.n - 12, wimax_short.n)),
+        )
+        llrs = adapted.expand_llrs(np.ones(adapted.transmitted_bits))
+        k = wimax_short.k
+        assert (llrs[k - 24 : k] > 10).all()  # known zeros
+        assert (llrs[-12:] == 0).all()  # erasures

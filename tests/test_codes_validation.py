@@ -1,0 +1,103 @@
+"""Tests for the structural validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.codes import QCLDPCCode, check_code
+from repro.codes.base_matrix import base_matrix_from_rows
+from repro.codes.validation import (
+    circulant_weights_ok,
+    column_degrees_ok,
+    girth_lower_bound_ok,
+    is_dual_diagonal,
+)
+
+
+def good_base():
+    # kb = 2 data columns; special column 2 (rows 0/2/3, top == bottom);
+    # dual diagonal in columns 3-5.  Shifts chosen 4-cycle-free.
+    return base_matrix_from_rows(
+        [
+            [1, 2, 3, 0, -1, -1],
+            [2, -1, -1, 0, 0, -1],
+            [-1, 1, 0, -1, 0, 0],
+            [3, 3, 3, -1, -1, 0],
+        ],
+        z=4,
+    )
+
+
+class TestDualDiagonal:
+    def test_good_structure_accepted(self):
+        base = good_base()
+        assert is_dual_diagonal(base)
+
+    def test_mismatched_top_bottom_rejected(self):
+        rows = np.array(good_base().shifts)
+        rows[3, 2] = 1  # special column top (3) != bottom (1)
+        assert not is_dual_diagonal(base_matrix_from_rows(rows.tolist(), 4))
+
+    def test_missing_diagonal_rejected(self):
+        rows = np.array(good_base().shifts)
+        rows[1, 3] = -1
+        assert not is_dual_diagonal(base_matrix_from_rows(rows.tolist(), 4))
+
+    def test_nonzero_diagonal_shift_rejected(self):
+        rows = np.array(good_base().shifts)
+        rows[1, 3] = 2
+        assert not is_dual_diagonal(base_matrix_from_rows(rows.tolist(), 4))
+
+    def test_four_entry_special_column_rejected(self):
+        rows = np.array(good_base().shifts)
+        rows[1, 2] = 0
+        assert not is_dual_diagonal(base_matrix_from_rows(rows.tolist(), 4))
+
+    def test_any_interior_shift_accepted(self):
+        rows = np.array(good_base().shifts)
+        rows[2, 2] = 3  # interior shift need not be zero
+        assert is_dual_diagonal(base_matrix_from_rows(rows.tolist(), 4))
+
+
+class TestGirth:
+    def test_cycle_free_accepted(self):
+        assert girth_lower_bound_ok(good_base())
+
+    def test_explicit_4_cycle_detected(self):
+        # Two rows sharing two columns with shifts satisfying
+        # s11 - s12 + s22 - s21 == 0 (mod z).
+        base = base_matrix_from_rows(
+            [[0, 0, 0, -1], [0, 0, -1, 0]], z=4
+        )
+        assert not girth_lower_bound_ok(base)
+
+
+class TestCirculantWeights:
+    def test_expanded_weights(self):
+        code = QCLDPCCode(good_base())
+        assert circulant_weights_ok(code)
+
+
+class TestColumnDegrees:
+    def test_good(self):
+        assert column_degrees_ok(good_base())
+
+    def test_degree_one_data_column_flagged(self):
+        rows = np.array(good_base().shifts)
+        rows[1, 0] = -1
+        rows[3, 0] = -1  # col 0 now degree 1
+        assert not column_degrees_ok(base_matrix_from_rows(rows.tolist(), 4))
+
+
+class TestCheckCode:
+    def test_report_ok_for_good_code(self):
+        report = check_code(QCLDPCCode(good_base()))
+        assert report.ok
+        assert report.notes == []
+
+    def test_report_collects_notes(self):
+        base = base_matrix_from_rows(
+            [[0, 0, 0, -1], [0, 0, -1, 0]], z=4
+        )
+        report = check_code(QCLDPCCode(base))
+        assert not report.ok
+        assert any("4-cycle" in n for n in report.notes)

@@ -1,0 +1,70 @@
+"""Structural tests for the 802.11n code family."""
+
+import pytest
+
+from repro.codes import (
+    WIFI_BLOCK_LENGTHS,
+    WIFI_RATES,
+    check_code,
+    wifi_base_matrix,
+    wifi_code,
+)
+from repro.codes.validation import is_dual_diagonal
+from repro.errors import CodeConstructionError
+
+
+class TestRateHalf1944:
+    """The published table: Table II's [2] supports up to length 1944."""
+
+    def test_dimensions(self):
+        code = wifi_code("1/2", 1944)
+        assert code.n == 1944 and code.z == 81 and code.num_layers == 12
+
+    def test_structure(self):
+        report = check_code(wifi_code("1/2", 1944))
+        assert report.ok, report.notes
+
+    def test_known_entries(self):
+        base = wifi_base_matrix("1/2", 1944)
+        assert base.shifts[0, 0] == 57
+        assert base.shifts[11, 0] == 24
+
+    def test_smaller_sizes_scale(self):
+        for n, z in WIFI_BLOCK_LENGTHS.items():
+            base = wifi_base_matrix("1/2", n)
+            assert base.z == z
+            assert is_dual_diagonal(base)
+
+
+class TestConstructedRates:
+    @pytest.mark.parametrize("rate", ["2/3", "3/4", "5/6"])
+    def test_structure_clean(self, rate):
+        report = check_code(wifi_code(rate, 1944))
+        assert report.ok, report.notes
+
+    @pytest.mark.parametrize("rate", sorted(WIFI_RATES))
+    def test_rate_matches(self, rate):
+        mb, _deg = WIFI_RATES[rate]
+        code = wifi_code(rate, 1296)
+        assert code.mb == mb
+        assert code.nb == 24
+
+    def test_deterministic_construction(self):
+        a = wifi_base_matrix("3/4", 1944)
+        b = wifi_base_matrix("3/4", 1944)
+        assert (a.shifts == b.shifts).all()
+
+    def test_different_sizes_differ(self):
+        a = wifi_base_matrix("3/4", 648)
+        b = wifi_base_matrix("3/4", 1944)
+        assert a.z != b.z
+
+
+class TestValidation:
+    def test_bad_length_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            wifi_code("1/2", 2304)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            wifi_code("7/8", 1944)

@@ -1,0 +1,134 @@
+"""Structural tests of the IEEE 802.16e code family tables.
+
+These lock in every structural property the paper's evaluation relies
+on: the case-study code's dimensions and block count, the R-memory
+maximum of 84 (Table II's SRAM sizing), dual-diagonal encodability of
+every rate class, and 4-cycle freedom at z = 96.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes import (
+    WIMAX_RATES,
+    WIMAX_Z_FACTORS,
+    check_code,
+    wimax_base_matrix,
+    wimax_code,
+)
+from repro.codes.validation import girth_lower_bound_ok, is_dual_diagonal
+from repro.codes.wimax import wimax_max_r_words
+from repro.errors import CodeConstructionError
+
+
+class TestCaseStudyCode:
+    """The (2304, 1/2) code of the paper's Figs 5/7 and Table II."""
+
+    def test_dimensions(self, wimax_half):
+        assert wimax_half.n == 2304
+        assert wimax_half.k == 1152
+        assert wimax_half.z == 96
+        assert wimax_half.num_layers == 12
+        assert wimax_half.nb == 24
+
+    def test_block_count_is_76(self, wimax_half):
+        assert wimax_half.nnz_blocks == 76
+
+    def test_max_layer_degree_is_7(self, wimax_half):
+        assert wimax_half.max_layer_degree == 7
+
+    def test_layer_degrees_are_6_or_7(self, wimax_half):
+        degrees = {layer.degree for layer in wimax_half.layers}
+        assert degrees == {6, 7}
+
+    def test_memory_totals_match_table2(self, wimax_half):
+        # P SRAM 24x768 + R SRAM 84x768 = 82,944 bits (Table II).
+        p_bits = wimax_half.p_memory_words() * 96 * 8
+        r_bits = wimax_max_r_words(96) * 96 * 8
+        assert p_bits == 18432
+        assert r_bits == 64512
+        assert p_bits + r_bits == 82944
+
+    def test_structure_report_clean(self, wimax_half):
+        report = check_code(wimax_half)
+        assert report.ok, report.notes
+
+
+class TestAllRateClasses:
+    @pytest.mark.parametrize("rate", sorted(WIMAX_RATES))
+    def test_dual_diagonal(self, rate):
+        assert is_dual_diagonal(wimax_base_matrix(rate, 96))
+
+    @pytest.mark.parametrize("rate", sorted(WIMAX_RATES))
+    def test_girth_at_least_6_at_z96(self, rate):
+        assert girth_lower_bound_ok(wimax_base_matrix(rate, 96))
+
+    @pytest.mark.parametrize("rate", sorted(WIMAX_RATES))
+    def test_design_rate_matches_name(self, rate):
+        num, den = WIMAX_RATES[rate]
+        base = wimax_base_matrix(rate, 96)
+        assert base.design_rate == pytest.approx(num / den)
+
+    def test_max_r_words_is_84(self):
+        assert wimax_max_r_words(96) == 84
+
+    @pytest.mark.parametrize("rate", sorted(WIMAX_RATES))
+    def test_24_block_columns(self, rate):
+        assert wimax_base_matrix(rate, 96).nb == 24
+
+
+class TestScaling:
+    def test_all_z_factors_legal(self):
+        assert WIMAX_Z_FACTORS == tuple(range(24, 97, 4))
+
+    @pytest.mark.parametrize("z", [24, 48, 96])
+    def test_scaled_codes_build(self, z):
+        code = wimax_code("1/2", 24 * z)
+        assert code.z == z
+        assert code.n == 24 * z
+
+    def test_scaled_keeps_dual_diagonal(self):
+        for z in (24, 52, 96):
+            assert is_dual_diagonal(wimax_base_matrix("1/2", z))
+
+    def test_rate_2_3a_uses_modulo(self):
+        b96 = wimax_base_matrix("2/3A", 96)
+        b24 = wimax_base_matrix("2/3A", 24)
+        i, j = 0, 0  # shift 3 at z0=96
+        assert b24.shifts[i, j] == b96.shifts[i, j] % 24
+
+    def test_rate_1_2_uses_floor(self):
+        b96 = wimax_base_matrix("1/2", 96)
+        b24 = wimax_base_matrix("1/2", 24)
+        assert b24.shifts[0, 1] == (b96.shifts[0, 1] * 24) // 96
+
+    def test_illegal_z_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            wimax_base_matrix("1/2", 25)
+
+    def test_illegal_length_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            wimax_code("1/2", 2000)
+
+    def test_unknown_rate_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            wimax_base_matrix("7/8", 96)
+
+
+class TestPaperRate12Table:
+    """Spot-check published shift values of the standard's r1/2 table."""
+
+    def test_known_entries(self):
+        base = wimax_base_matrix("1/2", 96)
+        assert base.shifts[0, 1] == 94
+        assert base.shifts[0, 2] == 73
+        assert base.shifts[11, 0] == 43
+        assert base.shifts[11, 12] == 7
+
+    def test_special_column_pattern(self):
+        base = wimax_base_matrix("1/2", 96)
+        col = base.shifts[:, 12]
+        nz = np.flatnonzero(col != -1)
+        np.testing.assert_array_equal(nz, [0, 5, 11])
+        assert col[0] == col[11] == 7
+        assert col[5] == 0

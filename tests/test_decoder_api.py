@@ -1,0 +1,51 @@
+"""Tests for the one-call decode API."""
+
+import numpy as np
+import pytest
+
+from repro.decoder import decode
+from repro.errors import DecodingError
+from tests.conftest import noisy_frame
+
+
+class TestDecodeApi:
+    def test_default_is_layered(self, small_code):
+        cw, llrs = noisy_frame(small_code, ebno_db=5.0, seed=0)
+        result = decode(small_code, llrs)
+        assert result.converged
+        np.testing.assert_array_equal(result.bits, cw)
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        [
+            "layered-min-sum",
+            "layered-sum-product",
+            "flooding-min-sum",
+            "flooding-sum-product",
+        ],
+    )
+    def test_all_algorithms_decode(self, small_code, algorithm):
+        cw, llrs = noisy_frame(small_code, ebno_db=6.0, seed=1)
+        result = decode(small_code, llrs, algorithm=algorithm, max_iterations=30)
+        assert result.converged
+        np.testing.assert_array_equal(result.bits, cw)
+
+    def test_fixed_mode(self, small_code):
+        cw, llrs = noisy_frame(small_code, ebno_db=6.0, seed=2)
+        result = decode(small_code, llrs, fixed=True)
+        np.testing.assert_array_equal(result.bits, cw)
+
+    def test_fixed_flooding_rejected(self, small_code):
+        _cw, llrs = noisy_frame(small_code, ebno_db=6.0, seed=3)
+        with pytest.raises(DecodingError):
+            decode(small_code, llrs, algorithm="flooding-min-sum", fixed=True)
+
+    def test_unknown_algorithm_rejected(self, small_code):
+        _cw, llrs = noisy_frame(small_code, ebno_db=6.0, seed=4)
+        with pytest.raises(DecodingError):
+            decode(small_code, llrs, algorithm="turbo")
+
+    def test_iteration_budget_respected(self, small_code):
+        _cw, llrs = noisy_frame(small_code, ebno_db=0.0, seed=5)
+        result = decode(small_code, llrs, max_iterations=3)
+        assert result.iterations <= 3

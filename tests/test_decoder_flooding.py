@@ -1,0 +1,90 @@
+"""Tests for the flooding BP baseline decoders."""
+
+import numpy as np
+import pytest
+
+from repro.decoder import FloodingDecoder
+from repro.errors import DecodingError
+from tests.conftest import noisy_frame
+
+
+class TestFloodingMinSum:
+    def test_clean_frame(self, small_code):
+        cw, llrs = noisy_frame(small_code, ebno_db=6.0, seed=0)
+        result = FloodingDecoder(small_code, check_rule="min-sum").decode(llrs)
+        assert result.converged
+        np.testing.assert_array_equal(result.bits, cw)
+
+    def test_scaled_variant(self, small_code):
+        cw, llrs = noisy_frame(small_code, ebno_db=5.0, seed=1)
+        dec = FloodingDecoder(
+            small_code, check_rule="min-sum", scaling_factor=0.75
+        )
+        result = dec.decode(llrs)
+        assert result.converged
+
+    def test_early_termination(self, small_code):
+        _cw, llrs = noisy_frame(small_code, ebno_db=8.0, seed=2)
+        result = FloodingDecoder(small_code, max_iterations=50).decode(llrs)
+        assert result.iterations < 50
+
+
+class TestFloodingSumProduct:
+    def test_clean_frame(self, small_code):
+        cw, llrs = noisy_frame(small_code, ebno_db=5.0, seed=3)
+        dec = FloodingDecoder(small_code, check_rule="sum-product")
+        result = dec.decode(llrs)
+        assert result.converged
+        np.testing.assert_array_equal(result.bits, cw)
+
+    def test_handles_zero_llrs(self, small_code):
+        llrs = np.zeros(small_code.n)
+        result = FloodingDecoder(
+            small_code, check_rule="sum-product", max_iterations=3
+        ).decode(llrs)
+        assert result.bits.shape == (small_code.n,)
+
+    def test_handles_saturated_llrs(self, small_code):
+        llrs = np.full(small_code.n, 80.0)
+        result = FloodingDecoder(small_code, check_rule="sum-product").decode(llrs)
+        assert result.converged  # all-zeros codeword
+
+
+class TestValidation:
+    def test_unknown_rule_rejected(self, small_code):
+        with pytest.raises(DecodingError):
+            FloodingDecoder(small_code, check_rule="magic")
+
+    def test_bad_iterations_rejected(self, small_code):
+        with pytest.raises(DecodingError):
+            FloodingDecoder(small_code, max_iterations=0)
+
+    def test_wrong_length_rejected(self, small_code):
+        with pytest.raises(DecodingError):
+            FloodingDecoder(small_code).decode(np.zeros(2))
+
+
+class TestSchedulingComparison:
+    """Layered converges in roughly half the iterations of flooding.
+
+    This is *the* motivating property of the layered schedule the
+    paper's Algorithm 1 uses.
+    """
+
+    def test_layered_converges_faster_on_average(self, wimax_short):
+        from repro.decoder import LayeredMinSumDecoder
+
+        layered = LayeredMinSumDecoder(wimax_short, max_iterations=40)
+        flooding = FloodingDecoder(
+            wimax_short,
+            max_iterations=80,
+            check_rule="min-sum",
+            scaling_factor=0.75,
+        )
+        layered_iters, flooding_iters = [], []
+        for seed in range(12):
+            _cw, llrs = noisy_frame(wimax_short, ebno_db=2.6, seed=seed)
+            layered_iters.append(layered.decode(llrs).iterations)
+            flooding_iters.append(flooding.decode(llrs).iterations)
+        ratio = np.mean(flooding_iters) / np.mean(layered_iters)
+        assert ratio > 1.4, (layered_iters, flooding_iters)

@@ -1,0 +1,119 @@
+"""Tests for the hard-decision baseline decoders."""
+
+import numpy as np
+import pytest
+
+from repro.decoder import (
+    GallagerBDecoder,
+    LayeredMinSumDecoder,
+    WeightedBitFlipDecoder,
+)
+from repro.errors import DecodingError
+from tests.conftest import noisy_frame
+
+
+class TestGallagerB:
+    def test_clean_frame_is_fixed_point(self, small_code):
+        cw, llrs = noisy_frame(small_code, ebno_db=50.0, seed=0)
+        result = GallagerBDecoder(small_code).decode(llrs)
+        assert result.converged
+        np.testing.assert_array_equal(result.bits, cw)
+
+    def test_corrects_light_noise(self, wimax_short):
+        cw, llrs = noisy_frame(wimax_short, ebno_db=7.0, seed=1)
+        result = GallagerBDecoder(wimax_short, max_iterations=30).decode(llrs)
+        assert result.converged
+        np.testing.assert_array_equal(result.bits, cw)
+
+    def test_single_flipped_bit_repaired(self, small_code):
+        cw, _ = noisy_frame(small_code, ebno_db=50.0, seed=2)
+        llrs = 10.0 * (1.0 - 2.0 * cw.astype(float))
+        llrs[3] = -llrs[3]
+        result = GallagerBDecoder(small_code).decode(llrs)
+        np.testing.assert_array_equal(result.bits, cw)
+
+    def test_iteration_budget_respected(self, small_code):
+        _cw, llrs = noisy_frame(small_code, ebno_db=-2.0, seed=3)
+        result = GallagerBDecoder(small_code, max_iterations=4).decode(llrs)
+        assert result.iterations <= 5
+
+    def test_bad_params_rejected(self, small_code):
+        with pytest.raises(DecodingError):
+            GallagerBDecoder(small_code, max_iterations=0)
+        with pytest.raises(DecodingError):
+            GallagerBDecoder(small_code).decode(np.zeros(3))
+
+    def test_weaker_than_min_sum(self, wimax_short):
+        """Hard decision pays a real coding loss vs Algorithm 1."""
+        failures_gb = failures_ms = 0
+        for seed in range(10):
+            cw, llrs = noisy_frame(wimax_short, ebno_db=3.5, seed=40 + seed)
+            gb = GallagerBDecoder(wimax_short, max_iterations=30).decode(llrs)
+            ms = LayeredMinSumDecoder(wimax_short).decode(llrs)
+            failures_gb += not np.array_equal(gb.bits, cw)
+            failures_ms += not np.array_equal(ms.bits, cw)
+        assert failures_ms <= failures_gb
+
+
+class TestWeightedBitFlip:
+    def test_clean_frame(self, small_code):
+        cw, llrs = noisy_frame(small_code, ebno_db=50.0, seed=4)
+        result = WeightedBitFlipDecoder(small_code).decode(llrs)
+        assert result.converged
+        np.testing.assert_array_equal(result.bits, cw)
+
+    def test_corrects_most_light_noise_frames(self, wimax_short):
+        """Single-flip WBF can oscillate; expect majority success."""
+        successes = 0
+        for seed in range(5):
+            cw, llrs = noisy_frame(wimax_short, ebno_db=7.0, seed=seed)
+            result = WeightedBitFlipDecoder(
+                wimax_short, max_iterations=300
+            ).decode(llrs)
+            successes += result.converged and np.array_equal(result.bits, cw)
+        assert successes >= 3
+
+    def test_one_flip_per_iteration(self, small_code):
+        cw, _ = noisy_frame(small_code, ebno_db=50.0, seed=6)
+        llrs = 10.0 * (1.0 - 2.0 * cw.astype(float))
+        llrs[5] = -0.5  # one weakly wrong bit
+        result = WeightedBitFlipDecoder(small_code).decode(llrs)
+        assert result.converged
+        assert result.iterations <= 3
+
+    def test_bad_params_rejected(self, small_code):
+        with pytest.raises(DecodingError):
+            WeightedBitFlipDecoder(small_code, max_iterations=0)
+
+
+class TestOffsetVariant:
+    def test_offset_decodes(self, small_code):
+        cw, llrs = noisy_frame(small_code, ebno_db=5.0, seed=7)
+        result = LayeredMinSumDecoder(small_code, variant="offset").decode(llrs)
+        assert result.converged
+        np.testing.assert_array_equal(result.bits, cw)
+
+    def test_offset_fixed_decodes(self, small_code):
+        cw, llrs = noisy_frame(small_code, ebno_db=5.0, seed=8)
+        result = LayeredMinSumDecoder(
+            small_code, variant="offset", fixed=True
+        ).decode(llrs)
+        np.testing.assert_array_equal(result.bits, cw)
+
+    def test_bad_variant_rejected(self, small_code):
+        with pytest.raises(DecodingError):
+            LayeredMinSumDecoder(small_code, variant="fancy")
+
+    def test_negative_beta_rejected(self, small_code):
+        with pytest.raises(DecodingError):
+            LayeredMinSumDecoder(small_code, variant="offset", offset_beta=-1)
+
+    def test_zero_offset_equals_plain_min_sum(self, small_code):
+        _cw, llrs = noisy_frame(small_code, ebno_db=4.0, seed=9)
+        offset0 = LayeredMinSumDecoder(
+            small_code, variant="offset", offset_beta=0.0
+        ).decode(llrs)
+        plain = LayeredMinSumDecoder(
+            small_code, scaling_factor=1.0
+        ).decode(llrs)
+        np.testing.assert_allclose(offset0.llrs, plain.llrs)

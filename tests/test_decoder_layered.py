@@ -1,0 +1,124 @@
+"""Tests for the layered scaled min-sum decoder (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.decoder import LayeredMinSumDecoder
+from repro.encoder import RuEncoder
+from repro.errors import DecodingError
+from tests.conftest import noisy_frame
+
+
+class TestBasicDecoding:
+    def test_noiseless_frame_converges_first_iteration(self, small_code):
+        enc = RuEncoder(small_code)
+        rng = np.random.default_rng(0)
+        cw = enc.encode(rng.integers(0, 2, enc.k).astype(np.uint8))
+        llrs = 20.0 * (1.0 - 2.0 * cw)
+        result = LayeredMinSumDecoder(small_code).decode(llrs)
+        assert result.converged
+        assert result.iterations == 1
+        np.testing.assert_array_equal(result.bits, cw)
+
+    def test_moderate_noise_corrected(self, small_code):
+        cw, llrs = noisy_frame(small_code, ebno_db=5.0, seed=1)
+        result = LayeredMinSumDecoder(small_code).decode(llrs)
+        assert result.converged
+        np.testing.assert_array_equal(result.bits, cw)
+
+    def test_syndrome_weight_zero_when_converged(self, small_code):
+        cw, llrs = noisy_frame(small_code, ebno_db=5.0, seed=2)
+        result = LayeredMinSumDecoder(small_code).decode(llrs)
+        assert result.syndrome_weight == 0
+        assert small_code.is_codeword(result.bits)
+
+    def test_iteration_syndromes_recorded(self, small_code):
+        _cw, llrs = noisy_frame(small_code, ebno_db=4.0, seed=3)
+        result = LayeredMinSumDecoder(small_code).decode(llrs)
+        assert len(result.iteration_syndromes) == result.iterations
+        assert result.iteration_syndromes[-1] == result.syndrome_weight
+
+    def test_early_termination_off_runs_all_iterations(self, small_code):
+        _cw, llrs = noisy_frame(small_code, ebno_db=5.0, seed=4)
+        dec = LayeredMinSumDecoder(
+            small_code, max_iterations=7, early_termination=False
+        )
+        assert dec.decode(llrs).iterations == 7
+
+    def test_message_bits_helper(self, small_code):
+        cw, llrs = noisy_frame(small_code, ebno_db=6.0, seed=5)
+        result = LayeredMinSumDecoder(small_code).decode(llrs)
+        k = small_code.k
+        np.testing.assert_array_equal(result.message_bits(k), cw[:k])
+
+
+class TestParameterValidation:
+    def test_wrong_length_rejected(self, small_code):
+        with pytest.raises(DecodingError):
+            LayeredMinSumDecoder(small_code).decode(np.zeros(3))
+
+    def test_bad_iterations_rejected(self, small_code):
+        with pytest.raises(DecodingError):
+            LayeredMinSumDecoder(small_code, max_iterations=0)
+
+    def test_bad_scaling_rejected(self, small_code):
+        with pytest.raises(DecodingError):
+            LayeredMinSumDecoder(small_code, scaling_factor=1.5)
+
+    def test_bad_layer_order_rejected(self, small_code):
+        with pytest.raises(DecodingError):
+            LayeredMinSumDecoder(small_code, layer_order=[0, 0, 1, 2])
+
+    def test_decode_codes_requires_fixed(self, small_code):
+        dec = LayeredMinSumDecoder(small_code, fixed=False)
+        with pytest.raises(DecodingError):
+            dec.decode_codes(np.zeros(small_code.n, dtype=np.int32))
+
+
+class TestFixedPoint:
+    def test_fixed_decodes_clean_frames(self, small_code):
+        cw, llrs = noisy_frame(small_code, ebno_db=6.0, seed=6)
+        result = LayeredMinSumDecoder(small_code, fixed=True).decode(llrs)
+        assert result.converged
+        np.testing.assert_array_equal(result.bits, cw)
+
+    def test_fixed_llrs_on_quantization_grid(self, small_code):
+        _cw, llrs = noisy_frame(small_code, ebno_db=5.0, seed=7)
+        dec = LayeredMinSumDecoder(small_code, fixed=True)
+        result = dec.decode(llrs)
+        codes = result.llrs / dec.fmt.scale
+        np.testing.assert_allclose(codes, np.round(codes))
+
+    def test_decode_codes_matches_decode(self, small_code):
+        _cw, llrs = noisy_frame(small_code, ebno_db=4.0, seed=8)
+        dec = LayeredMinSumDecoder(small_code, fixed=True)
+        a = dec.decode(llrs)
+        b = dec.decode_codes(dec.fmt.quantize(llrs))
+        np.testing.assert_array_equal(a.bits, b.bits)
+        assert a.iterations == b.iterations
+
+    def test_fixed_tracks_float_at_good_snr(self, small_code):
+        agreements = 0
+        for seed in range(10):
+            cw, llrs = noisy_frame(small_code, ebno_db=5.0, seed=100 + seed)
+            f = LayeredMinSumDecoder(small_code).decode(llrs)
+            q = LayeredMinSumDecoder(small_code, fixed=True).decode(llrs)
+            agreements += np.array_equal(f.bits, q.bits)
+        assert agreements >= 8  # quantization rarely changes the outcome
+
+
+class TestLayerOrder:
+    def test_custom_order_still_decodes(self, small_code):
+        cw, llrs = noisy_frame(small_code, ebno_db=5.0, seed=9)
+        order = list(reversed(range(small_code.num_layers)))
+        result = LayeredMinSumDecoder(small_code, layer_order=order).decode(llrs)
+        assert result.converged
+        np.testing.assert_array_equal(result.bits, cw)
+
+
+class TestWimaxCaseStudy:
+    def test_decodes_the_paper_code(self, wimax_short):
+        cw, llrs = noisy_frame(wimax_short, ebno_db=3.0, seed=10)
+        result = LayeredMinSumDecoder(wimax_short, max_iterations=10).decode(llrs)
+        assert result.converged
+        np.testing.assert_array_equal(result.bits, cw)

@@ -1,0 +1,69 @@
+"""Tests for the layered sum-product decoder."""
+
+import numpy as np
+import pytest
+
+from repro.decoder import LayeredMinSumDecoder
+from repro.decoder.layered_spa import LayeredSumProductDecoder
+from repro.errors import DecodingError
+from tests.conftest import noisy_frame
+
+
+class TestBasics:
+    def test_clean_frame(self, small_code):
+        cw, llrs = noisy_frame(small_code, ebno_db=5.0, seed=0)
+        result = LayeredSumProductDecoder(small_code).decode(llrs)
+        assert result.converged
+        np.testing.assert_array_equal(result.bits, cw)
+
+    def test_result_consistency(self, small_code):
+        _cw, llrs = noisy_frame(small_code, ebno_db=1.0, seed=1)
+        result = LayeredSumProductDecoder(small_code, max_iterations=5).decode(llrs)
+        assert result.converged == (result.syndrome_weight == 0)
+        assert len(result.iteration_syndromes) == result.iterations
+
+    def test_handles_extreme_llrs(self, small_code):
+        llrs = np.full(small_code.n, 100.0)
+        result = LayeredSumProductDecoder(small_code).decode(llrs)
+        assert result.converged
+
+    def test_handles_zero_llrs(self, small_code):
+        result = LayeredSumProductDecoder(
+            small_code, max_iterations=3
+        ).decode(np.zeros(small_code.n))
+        assert result.bits.shape == (small_code.n,)
+        assert np.isfinite(result.llrs).all()
+
+    def test_validation(self, small_code):
+        with pytest.raises(DecodingError):
+            LayeredSumProductDecoder(small_code, max_iterations=0)
+        with pytest.raises(DecodingError):
+            LayeredSumProductDecoder(small_code).decode(np.zeros(3))
+
+
+class TestQualityOrdering:
+    def test_no_worse_than_min_sum_on_hard_frames(self, wimax_short):
+        """Exact check rule: at least as many frames decoded as scaled
+        min-sum at the same iteration budget."""
+        spa_ok = ms_ok = 0
+        for seed in range(12):
+            cw, llrs = noisy_frame(wimax_short, ebno_db=2.2, seed=seed)
+            spa = LayeredSumProductDecoder(wimax_short, max_iterations=8).decode(llrs)
+            ms = LayeredMinSumDecoder(wimax_short, max_iterations=8).decode(llrs)
+            spa_ok += int(np.array_equal(spa.bits, cw))
+            ms_ok += int(np.array_equal(ms.bits, cw))
+        assert spa_ok >= ms_ok
+
+    def test_converges_at_least_as_fast(self, wimax_short):
+        spa_iters, ms_iters = [], []
+        for seed in range(8):
+            _cw, llrs = noisy_frame(wimax_short, ebno_db=3.0, seed=30 + seed)
+            spa_iters.append(
+                LayeredSumProductDecoder(wimax_short, max_iterations=20)
+                .decode(llrs).iterations
+            )
+            ms_iters.append(
+                LayeredMinSumDecoder(wimax_short, max_iterations=20)
+                .decode(llrs).iterations
+            )
+        assert np.mean(spa_iters) <= np.mean(ms_iters) + 0.5

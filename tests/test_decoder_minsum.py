@@ -1,0 +1,112 @@
+"""Tests for the min-sum arithmetic kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.decoder.minsum import (
+    SCALING_FACTOR,
+    min1_min2,
+    offset_magnitude_fixed,
+    scale_magnitude_fixed,
+    scale_magnitude_float,
+    sign_with_zero_positive,
+)
+
+
+class TestSign:
+    def test_positive(self):
+        assert sign_with_zero_positive(np.array([3.0]))[0] == 1
+
+    def test_negative(self):
+        assert sign_with_zero_positive(np.array([-0.5]))[0] == -1
+
+    def test_zero_is_positive(self):
+        assert sign_with_zero_positive(np.array([0.0]))[0] == 1
+
+    def test_integer_input(self):
+        np.testing.assert_array_equal(
+            sign_with_zero_positive(np.array([5, -5, 0])), [1, -1, 1]
+        )
+
+
+class TestMin1Min2:
+    def test_basic(self):
+        mags = np.array([[3.0, 1.0], [1.0, 2.0], [2.0, 5.0]])
+        min1, min2, pos = min1_min2(mags)
+        np.testing.assert_array_equal(min1, [1.0, 1.0])
+        np.testing.assert_array_equal(min2, [2.0, 2.0])
+        np.testing.assert_array_equal(pos, [1, 0])
+
+    def test_ties_keep_first_position(self):
+        mags = np.array([[2.0], [2.0], [3.0]])
+        min1, min2, pos = min1_min2(mags)
+        assert pos[0] == 0
+        assert min1[0] == 2.0 and min2[0] == 2.0
+
+    def test_integer_dtype_supported(self):
+        mags = np.array([[5, 2], [3, 8]], dtype=np.int32)
+        min1, min2, _pos = min1_min2(mags)
+        np.testing.assert_array_equal(min1, [3, 2])
+        np.testing.assert_array_equal(min2, [5, 8])
+
+    def test_degree_one(self):
+        min1, min2, pos = min1_min2(np.array([[4.0, 7.0]]))
+        np.testing.assert_array_equal(min1, min2)
+        np.testing.assert_array_equal(pos, [0, 0])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            min1_min2(np.array([1.0, 2.0]))
+
+    @given(st.integers(2, 8), st.integers(1, 6), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_property_against_sort(self, degree, z, seed):
+        rng = np.random.default_rng(seed)
+        mags = rng.integers(0, 128, (degree, z)).astype(np.int64)
+        min1, min2, pos = min1_min2(mags)
+        for c in range(z):
+            col = np.sort(mags[:, c])
+            assert min1[c] == col[0]
+            assert min2[c] == col[1]
+            assert mags[pos[c], c] == min1[c]
+
+
+class TestScaling:
+    def test_float_scaling(self):
+        assert scale_magnitude_float(np.array([4.0]))[0] == pytest.approx(3.0)
+        assert SCALING_FACTOR == 0.75
+
+    def test_fixed_scaling_truncates(self):
+        # (3 * m) >> 2: exact for multiples of 4, truncated otherwise.
+        np.testing.assert_array_equal(
+            scale_magnitude_fixed(np.array([4, 5, 127], dtype=np.int64)),
+            [3, 3, 95],
+        )
+
+    def test_fixed_requires_integers(self):
+        with pytest.raises(TypeError):
+            scale_magnitude_fixed(np.array([1.0]))
+
+    @given(st.lists(st.integers(0, 127), min_size=1, max_size=32))
+    def test_fixed_close_to_float(self, mags):
+        arr = np.array(mags, dtype=np.int64)
+        fixed = scale_magnitude_fixed(arr)
+        exact = 0.75 * arr
+        assert np.all(fixed <= exact + 1e-9)
+        assert np.all(fixed >= exact - 1)  # truncation loses < 1 LSB
+
+    @given(st.lists(st.integers(0, 127), min_size=1, max_size=32))
+    def test_fixed_never_grows_magnitude(self, mags):
+        arr = np.array(mags, dtype=np.int64)
+        assert np.all(scale_magnitude_fixed(arr) <= arr)
+
+
+class TestOffset:
+    def test_subtracts_beta(self):
+        np.testing.assert_array_equal(
+            offset_magnitude_fixed(np.array([5, 1, 0]), beta=1), [4, 0, 0]
+        )
+
+    def test_never_negative(self):
+        assert offset_magnitude_fixed(np.array([0]), beta=3)[0] == 0

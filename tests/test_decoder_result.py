@@ -1,0 +1,74 @@
+"""Unit tests for the DecodeResult record and cross-decoder contracts."""
+
+import numpy as np
+import pytest
+
+from repro.decoder import (
+    FloodingDecoder,
+    GallagerBDecoder,
+    LayeredMinSumDecoder,
+    LayeredSumProductDecoder,
+    WeightedBitFlipDecoder,
+)
+from repro.decoder.result import DecodeResult
+from tests.conftest import noisy_frame
+
+
+class TestDecodeResult:
+    def test_message_bits_slices_prefix(self):
+        result = DecodeResult(
+            bits=np.array([1, 0, 1, 1, 0], dtype=np.uint8),
+            converged=True,
+            iterations=1,
+            llrs=np.zeros(5),
+            syndrome_weight=0,
+        )
+        np.testing.assert_array_equal(result.message_bits(3), [1, 0, 1])
+
+    def test_message_bits_returns_copy(self):
+        bits = np.array([1, 0], dtype=np.uint8)
+        result = DecodeResult(bits, True, 1, np.zeros(2), 0)
+        payload = result.message_bits(2)
+        payload[0] = 0
+        assert result.bits[0] == 1
+
+
+ALL_DECODERS = [
+    lambda code: LayeredMinSumDecoder(code, max_iterations=8),
+    lambda code: LayeredMinSumDecoder(code, max_iterations=8, fixed=True),
+    lambda code: LayeredSumProductDecoder(code, max_iterations=8),
+    lambda code: FloodingDecoder(code, max_iterations=16),
+    lambda code: GallagerBDecoder(code, max_iterations=16),
+    lambda code: WeightedBitFlipDecoder(code, max_iterations=60),
+]
+
+
+class TestCrossDecoderContracts:
+    """Every decoder in the package honours the same result contract."""
+
+    @pytest.mark.parametrize("factory", ALL_DECODERS)
+    def test_result_contract(self, small_code, factory):
+        _cw, llrs = noisy_frame(small_code, ebno_db=6.0, seed=3)
+        result = factory(small_code).decode(llrs)
+        assert result.bits.shape == (small_code.n,)
+        assert result.bits.dtype == np.uint8
+        assert set(np.unique(result.bits)) <= {0, 1}
+        assert result.iterations >= 1
+        assert result.converged == (result.syndrome_weight == 0)
+        assert result.converged == small_code.is_codeword(result.bits)
+        assert len(result.iteration_syndromes) >= 1
+        assert result.iteration_syndromes[-1] == result.syndrome_weight
+        assert result.llrs.shape == (small_code.n,)
+        assert np.isfinite(result.llrs).all()
+
+    @pytest.mark.parametrize("factory", ALL_DECODERS)
+    def test_clean_channel_decodes(self, small_code, factory):
+        from repro.encoder import RuEncoder
+
+        enc = RuEncoder(small_code)
+        rng = np.random.default_rng(5)
+        cw = enc.encode(rng.integers(0, 2, enc.k).astype(np.uint8))
+        llrs = 20.0 * (1.0 - 2.0 * cw.astype(float))
+        result = factory(small_code).decode(llrs)
+        assert result.converged
+        np.testing.assert_array_equal(result.bits, cw)

@@ -1,0 +1,58 @@
+"""Tests for decoder message-statistics instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.channel.quantize import FixedPointFormat
+from repro.decoder import LayeredMinSumDecoder
+from repro.decoder.stats import instrumented_decode
+from repro.errors import DecodingError
+from tests.conftest import noisy_frame
+
+
+class TestInstrumentedDecode:
+    def test_matches_plain_fixed_decoder(self, small_code):
+        """Instrumentation must not change the arithmetic."""
+        for seed in range(4):
+            _cw, llrs = noisy_frame(small_code, ebno_db=2.5, seed=seed)
+            plain = LayeredMinSumDecoder(small_code, fixed=True).decode(llrs)
+            result, _stats = instrumented_decode(small_code, llrs)
+            np.testing.assert_array_equal(result.bits, plain.bits)
+            assert result.iterations == plain.iterations
+            np.testing.assert_array_equal(result.llrs, plain.llrs)
+
+    def test_stats_lengths_match_iterations(self, small_code):
+        _cw, llrs = noisy_frame(small_code, ebno_db=3.0, seed=1)
+        result, stats = instrumented_decode(small_code, llrs)
+        assert len(stats.p_saturation) == result.iterations
+        assert len(stats.q_saturation) == result.iterations
+        assert len(stats.p_mean_magnitude) == result.iterations
+
+    def test_fractions_in_range(self, small_code):
+        _cw, llrs = noisy_frame(small_code, ebno_db=2.0, seed=2)
+        _result, stats = instrumented_decode(small_code, llrs)
+        for series in (stats.p_saturation, stats.q_saturation):
+            assert all(0.0 <= v <= 1.0 for v in series)
+
+    def test_magnitudes_grow_as_decoder_converges(self, small_code):
+        cw, llrs = noisy_frame(small_code, ebno_db=5.0, seed=3)
+        _result, stats = instrumented_decode(
+            small_code, llrs, early_termination=False, max_iterations=8
+        )
+        assert stats.p_mean_magnitude[-1] > stats.p_mean_magnitude[0]
+
+    def test_narrow_format_saturates_more(self, small_code):
+        _cw, llrs = noisy_frame(small_code, ebno_db=4.0, seed=4)
+        _r1, wide = instrumented_decode(
+            small_code, llrs, fmt=FixedPointFormat(8, 2),
+            early_termination=False, max_iterations=5,
+        )
+        _r2, narrow = instrumented_decode(
+            small_code, llrs, fmt=FixedPointFormat(5, 2),
+            early_termination=False, max_iterations=5,
+        )
+        assert narrow.final_p_saturation >= wide.final_p_saturation
+
+    def test_validation(self, small_code):
+        with pytest.raises(DecodingError):
+            instrumented_decode(small_code, np.zeros(3))

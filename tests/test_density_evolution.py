@@ -1,0 +1,108 @@
+"""Tests for BEC density evolution and the erasure channel."""
+
+import numpy as np
+import pytest
+
+from repro.channel.bec import ErasureChannel
+from repro.codes import wimax_code
+from repro.codes.density_evolution import BecDensityEvolution
+from repro.decoder import LayeredMinSumDecoder
+from repro.encoder import RuEncoder
+from repro.errors import ReproError
+
+
+class TestFixedPoint:
+    def test_zero_erasure_converges_immediately(self):
+        de = BecDensityEvolution.regular(3, 6)
+        result = de.evolve(0.0)
+        assert result.converged
+
+    def test_full_erasure_never_converges(self):
+        de = BecDensityEvolution.regular(3, 6)
+        assert not de.evolve(0.9).converged
+
+    def test_monotone_in_epsilon(self):
+        de = BecDensityEvolution.regular(3, 6)
+        assert de.evolve(0.30).converged
+        assert not de.evolve(0.55).converged
+
+    def test_bad_epsilon_rejected(self):
+        de = BecDensityEvolution.regular(3, 6)
+        with pytest.raises(ReproError):
+            de.evolve(1.5)
+
+    def test_bad_distribution_rejected(self):
+        with pytest.raises(ReproError):
+            BecDensityEvolution({3: 0.5}, {6: 1.0})
+
+
+class TestThresholds:
+    def test_regular_3_6_textbook_value(self):
+        """The canonical calibration point: eps* of (3,6) ~= 0.4294."""
+        threshold = BecDensityEvolution.regular(3, 6).threshold()
+        assert threshold == pytest.approx(0.4294, abs=2e-3)
+
+    def test_regular_4_8_below_3_6(self):
+        """(4,8) has a worse BP threshold than (3,6) — classic result."""
+        t36 = BecDensityEvolution.regular(3, 6).threshold()
+        t48 = BecDensityEvolution.regular(4, 8).threshold()
+        assert t48 < t36
+
+    def test_threshold_below_capacity(self):
+        de = BecDensityEvolution.regular(3, 6)
+        assert de.threshold() < 0.5  # capacity of a rate-1/2 code
+        assert de.capacity_gap(0.5) > 0
+
+    def test_wimax_threshold_reasonable(self, wimax_short):
+        """The irregular WiMax r1/2 ensemble beats regular (3,6)."""
+        de = BecDensityEvolution.for_code(wimax_short)
+        threshold = de.threshold()
+        assert 0.40 < threshold < 0.5
+
+    def test_capacity_gap_validation(self):
+        de = BecDensityEvolution.regular(3, 6)
+        with pytest.raises(ReproError):
+            de.capacity_gap(1.5)
+
+
+class TestErasureChannel:
+    def test_erasures_are_zero_llrs(self):
+        ch = ErasureChannel(0.5, seed=0)
+        llrs = ch.llrs(np.zeros(10_000, dtype=np.uint8))
+        frac = np.mean(llrs == 0.0)
+        assert frac == pytest.approx(0.5, abs=0.02)
+
+    def test_survivors_correct_sign(self):
+        bits = np.random.default_rng(1).integers(0, 2, 1000).astype(np.uint8)
+        llrs = ErasureChannel(0.3, seed=2).llrs(bits)
+        known = llrs != 0
+        decisions = (llrs[known] < 0).astype(np.uint8)
+        np.testing.assert_array_equal(decisions, bits[known])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErasureChannel(-0.1)
+
+
+class TestThresholdEmpirically:
+    """Finite-length behaviour brackets the asymptotic threshold."""
+
+    def _fer(self, code, epsilon, frames=10):
+        encoder = RuEncoder(code)
+        decoder = LayeredMinSumDecoder(code, max_iterations=60)
+        rng = np.random.default_rng(9)
+        failures = 0
+        for seed in range(frames):
+            cw = encoder.encode(rng.integers(0, 2, encoder.k).astype(np.uint8))
+            llrs = ErasureChannel(epsilon, seed=500 + seed).llrs(cw)
+            result = decoder.decode(llrs)
+            failures += not (
+                result.converged and np.array_equal(result.bits, cw)
+            )
+        return failures / frames
+
+    def test_decodes_well_below_threshold(self, wimax_short):
+        assert self._fer(wimax_short, epsilon=0.30) <= 0.2
+
+    def test_fails_above_capacity(self, wimax_short):
+        assert self._fer(wimax_short, epsilon=0.55) >= 0.8

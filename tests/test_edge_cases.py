@@ -1,0 +1,152 @@
+"""Edge-case and failure-path coverage across subsystems.
+
+The happy paths are covered module by module; this file exercises the
+corners: infeasible schedules, degenerate codes, saturated arithmetic,
+reduced-parallelism timing, and error propagation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import ArchConfig, PerLayerArch, TwoLayerPipelinedArch
+from repro.channel.quantize import FixedPointFormat
+from repro.codes import QCLDPCCode, random_qc_code
+from repro.codes.base_matrix import base_matrix_from_rows
+from repro.decoder import LayeredMinSumDecoder
+from repro.errors import ScheduleError
+from repro.hls.dfg import build_dfg
+from repro.hls.ir import Affine, ArrayDecl, MemAccess, Op, Stmt
+from repro.hls.schedule import Scheduler
+from repro.synth.timing import TimingModel
+from tests.conftest import noisy_frame
+
+
+class TestSchedulerFailurePaths:
+    def test_infeasible_port_pipeline_raises_or_bounds(self):
+        """Two writes per iteration through one port: II must be >= 2,
+        never silently 1."""
+        arrays = [ArrayDecl("m", 64, 8, "sram", write_ports=1)]
+        stmts = [
+            Stmt("", Op("store"), ("a",), store=MemAccess("m", Affine.of("i"))),
+            Stmt("", Op("store"), ("b",),
+                 store=MemAccess("m", Affine.of("i", 1, 32))),
+        ]
+        dfg = build_dfg(stmts, loop_var="i")
+        sched = Scheduler(TimingModel(), 300.0, arrays=arrays)
+        assert sched.schedule_pipelined(dfg).ii >= 2
+
+    def test_impossible_clock_raises(self):
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError):
+            Scheduler(TimingModel(), 50_000.0)
+
+    def test_zero_budget_resources(self):
+        stmts = [Stmt("a", Op("mul", 16), ())]
+        dfg = build_dfg(stmts)
+        sched = Scheduler(TimingModel(), 300.0, resources={"mul": 0})
+        with pytest.raises(ScheduleError):
+            sched.schedule_block(dfg)
+
+
+class TestDegenerateCodes:
+    def test_minimum_size_code_decodes(self):
+        code = random_qc_code(2, 4, 2, row_degree=3, seed=0)
+        llrs = 10.0 * np.ones(code.n)
+        result = LayeredMinSumDecoder(code).decode(llrs)
+        assert result.converged
+
+    def test_z_one_code(self):
+        code = random_qc_code(3, 6, 1, row_degree=4, seed=0)
+        assert code.z == 1
+        llrs = 5.0 * np.ones(code.n)
+        result = LayeredMinSumDecoder(code).decode(llrs)
+        assert result.converged
+
+    def test_degree_two_layers(self):
+        """A layer with only parity blocks (degree 2) must still work."""
+        base = base_matrix_from_rows(
+            [
+                [1, 2, 3, 0, -1, -1],
+                [2, -1, -1, 0, 0, -1],
+                [-1, 1, 0, -1, 0, 0],
+                [3, 3, 3, -1, -1, 0],
+            ],
+            z=4,
+        )
+        code = QCLDPCCode(base)
+        llrs = 8.0 * np.ones(code.n)
+        result = LayeredMinSumDecoder(code).decode(llrs)
+        assert result.converged
+
+
+class TestSaturatedArithmetic:
+    def test_all_max_llrs(self, small_code):
+        fmt = FixedPointFormat(8, 2)
+        llrs = np.full(small_code.n, 1000.0)
+        dec = LayeredMinSumDecoder(small_code, fixed=True, fmt=fmt)
+        result = dec.decode(llrs)
+        assert result.converged
+        assert np.abs(result.llrs).max() <= fmt.max_value + 1e-9
+
+    def test_alternating_saturation(self, small_code):
+        llrs = np.where(
+            np.arange(small_code.n) % 2 == 0, 1000.0, -1000.0
+        )
+        dec = LayeredMinSumDecoder(small_code, fixed=True, max_iterations=3)
+        result = dec.decode(llrs)  # must not overflow or crash
+        assert result.bits.shape == (small_code.n,)
+
+    def test_tiny_format(self, small_code):
+        fmt = FixedPointFormat(3, 0)
+        dec = LayeredMinSumDecoder(small_code, fixed=True, fmt=fmt)
+        _cw, llrs = noisy_frame(small_code, ebno_db=6.0, seed=0)
+        result = dec.decode(llrs)
+        assert np.abs(result.llrs / fmt.scale).max() <= fmt.max_code
+
+
+class TestReducedParallelismTiming:
+    @pytest.mark.parametrize("arch_cls", [PerLayerArch, TwoLayerPipelinedArch])
+    def test_passes_scale_cycles_and_preserve_bits(self, small_code, arch_cls):
+        _cw, llrs = noisy_frame(small_code, ebno_db=2.5, seed=1)
+        full_cfg = ArchConfig(
+            small_code, core1_depth=3, core2_depth=2, early_termination=False
+        )
+        half_cfg = ArchConfig(
+            small_code,
+            core1_depth=3,
+            core2_depth=2,
+            early_termination=False,
+            parallelism=small_code.z // 2,
+        )
+        full = arch_cls(full_cfg).decode(llrs)
+        half = arch_cls(half_cfg).decode(llrs)
+        np.testing.assert_array_equal(full.decode.bits, half.decode.bits)
+        assert half.cycles > 1.4 * full.cycles
+
+    def test_parallelism_one(self, small_code):
+        _cw, llrs = noisy_frame(small_code, ebno_db=4.0, seed=2)
+        cfg = ArchConfig(
+            small_code, core1_depth=2, core2_depth=1, parallelism=1,
+            max_iterations=2, early_termination=False,
+        )
+        result = PerLayerArch(cfg).decode(llrs)
+        assert result.cycles > small_code.num_edges  # fully serial
+
+
+class TestTraceWindows:
+    def test_render_narrow_width(self, small_code):
+        _cw, llrs = noisy_frame(small_code, ebno_db=4.0, seed=3)
+        cfg = ArchConfig(small_code, core1_depth=2, core2_depth=1)
+        result = PerLayerArch(cfg).decode(llrs)
+        art = result.trace.render(width=20)
+        assert len(art.splitlines()) >= 3
+
+
+class TestEvalMainModule:
+    def test_single_experiment_cli(self, capsys):
+        from repro.eval.__main__ import main
+
+        assert main(["EXP-T1"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-T1" in out and "Table I" in out

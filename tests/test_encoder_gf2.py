@@ -1,0 +1,106 @@
+"""Tests (incl. property-based) for GF(2) linear algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encoder.gf2 import gf2_matmul, gf2_rank, gf2_rref, gf2_solve
+
+
+def random_matrix(draw_rows, draw_cols, seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, (draw_rows, draw_cols)).astype(np.uint8)
+
+
+class TestMatmul:
+    def test_identity(self):
+        a = random_matrix(4, 4, 0)
+        eye = np.eye(4, dtype=np.uint8)
+        np.testing.assert_array_equal(gf2_matmul(a, eye), a)
+
+    def test_mod2(self):
+        a = np.array([[1, 1]], dtype=np.uint8)
+        b = np.array([[1], [1]], dtype=np.uint8)
+        assert gf2_matmul(a, b)[0, 0] == 0
+
+    def test_known_product(self):
+        a = np.array([[1, 0, 1], [0, 1, 1]], dtype=np.uint8)
+        b = np.array([[1, 1], [1, 0], [0, 1]], dtype=np.uint8)
+        np.testing.assert_array_equal(gf2_matmul(a, b), [[1, 0], [1, 1]])
+
+
+class TestRref:
+    def test_identity_unchanged(self):
+        eye = np.eye(3, dtype=np.uint8)
+        rref, pivots = gf2_rref(eye)
+        np.testing.assert_array_equal(rref, eye)
+        assert pivots == [0, 1, 2]
+
+    def test_pivot_columns_are_unit(self):
+        m = random_matrix(5, 8, 1)
+        rref, pivots = gf2_rref(m)
+        for row, col in enumerate(pivots):
+            column = rref[:, col]
+            assert column[row] == 1 and column.sum() == 1
+
+    def test_input_not_mutated(self):
+        m = random_matrix(4, 4, 2)
+        copy = m.copy()
+        gf2_rref(m)
+        np.testing.assert_array_equal(m, copy)
+
+    def test_zero_matrix(self):
+        rref, pivots = gf2_rref(np.zeros((3, 3), dtype=np.uint8))
+        assert pivots == []
+        assert not rref.any()
+
+
+class TestRank:
+    def test_full_rank_identity(self):
+        assert gf2_rank(np.eye(5, dtype=np.uint8)) == 5
+
+    def test_duplicate_rows_reduce_rank(self):
+        m = np.array([[1, 0, 1], [1, 0, 1]], dtype=np.uint8)
+        assert gf2_rank(m) == 1
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_rank_bounded(self, seed):
+        m = random_matrix(4, 6, seed)
+        assert 0 <= gf2_rank(m) <= 4
+
+
+class TestSolve:
+    def test_identity_system(self):
+        b = np.array([1, 0, 1], dtype=np.uint8)
+        x = gf2_solve(np.eye(3, dtype=np.uint8), b)
+        np.testing.assert_array_equal(x, b)
+
+    def test_solution_satisfies_system(self):
+        rng = np.random.default_rng(3)
+        a = random_matrix(4, 6, 3)
+        x_true = rng.integers(0, 2, 6).astype(np.uint8)
+        b = gf2_matmul(a, x_true[:, None])[:, 0]
+        x = gf2_solve(a, b)
+        assert x is not None
+        np.testing.assert_array_equal(gf2_matmul(a, x[:, None])[:, 0], b)
+
+    def test_inconsistent_returns_none(self):
+        a = np.array([[1, 0], [1, 0]], dtype=np.uint8)
+        b = np.array([0, 1], dtype=np.uint8)
+        assert gf2_solve(a, b) is None
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            gf2_solve(np.eye(3, dtype=np.uint8), np.zeros(4, dtype=np.uint8))
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_solvable_systems_solve(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 2, (5, 7)).astype(np.uint8)
+        x_true = rng.integers(0, 2, 7).astype(np.uint8)
+        b = gf2_matmul(a, x_true[:, None])[:, 0]
+        x = gf2_solve(a, b)
+        assert x is not None
+        np.testing.assert_array_equal(gf2_matmul(a, x[:, None])[:, 0], b)

@@ -1,0 +1,94 @@
+"""Tests for the Monte-Carlo BER harness and algorithmic claims."""
+
+import numpy as np
+import pytest
+
+from repro.codes import wimax_code
+from repro.decoder import FloodingDecoder, LayeredMinSumDecoder
+from repro.eval.ber import run_ber
+
+
+@pytest.fixture(scope="module")
+def code():
+    return wimax_code("1/2", 576)
+
+
+class TestHarness:
+    def test_stops_at_max_frames(self, code):
+        decoder = LayeredMinSumDecoder(code, max_iterations=5)
+        points = run_ber(
+            code, decoder.decode, [10.0], max_frames=5, min_frame_errors=100
+        )
+        assert points[0].frames == 5
+
+    def test_stops_at_min_errors(self, code):
+        decoder = LayeredMinSumDecoder(code, max_iterations=1)
+        points = run_ber(
+            code, decoder.decode, [-2.0], max_frames=500, min_frame_errors=3
+        )
+        assert points[0].frame_errors >= 3
+        assert points[0].frames < 500
+
+    def test_rates_computed(self, code):
+        decoder = LayeredMinSumDecoder(code, max_iterations=2)
+        (point,) = run_ber(
+            code, decoder.decode, [0.0], max_frames=10, min_frame_errors=2
+        )
+        assert 0.0 <= point.ber <= 1.0
+        assert 0.0 <= point.fer <= 1.0
+        assert point.fer >= point.ber
+
+    def test_deterministic_with_seed(self, code):
+        decoder = LayeredMinSumDecoder(code, max_iterations=3)
+        a = run_ber(code, decoder.decode, [2.0], max_frames=8, seed=1)
+        b = run_ber(code, decoder.decode, [2.0], max_frames=8, seed=1)
+        assert a[0].bit_errors == b[0].bit_errors
+
+
+class TestWaterfall:
+    """The headline algorithmic behaviours the paper relies on."""
+
+    def test_ber_decreases_with_snr(self, code):
+        decoder = LayeredMinSumDecoder(code, max_iterations=10)
+        points = run_ber(
+            code,
+            decoder.decode,
+            [0.0, 3.5],
+            max_frames=30,
+            min_frame_errors=30,
+            seed=2,
+        )
+        assert points[1].ber < points[0].ber
+
+    def test_high_snr_error_free(self, code):
+        decoder = LayeredMinSumDecoder(code, max_iterations=10)
+        (point,) = run_ber(
+            code, decoder.decode, [6.0], max_frames=25, min_frame_errors=5, seed=3
+        )
+        assert point.bit_errors == 0
+
+    def test_scaled_min_sum_beats_plain_min_sum(self, code):
+        """The 0.75 factor of Algorithm 1 is there for a reason."""
+        scaled = LayeredMinSumDecoder(
+            code, max_iterations=8, scaling_factor=0.75
+        )
+        plain = LayeredMinSumDecoder(
+            code, max_iterations=8, scaling_factor=1.0
+        )
+        p_scaled = run_ber(
+            code, scaled.decode, [2.6], max_frames=120, min_frame_errors=200,
+            seed=4,
+        )[0]
+        p_plain = run_ber(
+            code, plain.decode, [2.6], max_frames=120, min_frame_errors=200,
+            seed=4,
+        )[0]
+        assert p_scaled.fer <= p_plain.fer
+
+    def test_average_iterations_drop_with_snr(self, code):
+        decoder = LayeredMinSumDecoder(code, max_iterations=20)
+        points = run_ber(
+            code, decoder.decode, [1.5, 4.0], max_frames=20,
+            min_frame_errors=50, seed=5,
+        )
+        assert points[1].avg_iterations < points[0].avg_iterations

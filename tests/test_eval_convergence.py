@@ -1,0 +1,43 @@
+"""Tests for the convergence-curve analysis."""
+
+import pytest
+
+from repro.eval.convergence import (
+    default_decoders,
+    format_convergence,
+    measure_convergence,
+)
+
+
+@pytest.fixture(scope="module")
+def curves(wimax_short):
+    return measure_convergence(
+        wimax_short,
+        default_decoders(wimax_short, iterations=16),
+        ebno_db=2.6,
+        frames=6,
+        iterations=16,
+    )
+
+
+class TestCurves:
+    def test_two_curves(self, curves):
+        assert [c.label for c in curves] == ["layered 0.75", "flooding 0.75"]
+
+    def test_syndrome_decays(self, curves):
+        for curve in curves:
+            assert curve.mean_syndrome[-1] < curve.mean_syndrome[0]
+
+    def test_layered_faster(self, curves):
+        layered, flooding = curves
+        assert layered.iterations_to_clear() <= flooding.iterations_to_clear()
+
+    def test_converged_fraction_monotone(self, curves):
+        for curve in curves:
+            fracs = curve.converged_fraction
+            assert all(a <= b + 1e-9 for a, b in zip(fracs, fracs[1:]))
+
+    def test_format(self, curves):
+        out = format_convergence(curves)
+        assert "Convergence" in out
+        assert "90%" in out

@@ -1,0 +1,78 @@
+"""Tests for the design-space exploration."""
+
+import pytest
+
+from repro.eval.design_space import (
+    DesignSpacePoint,
+    _mark_pareto,
+    format_design_space,
+    run_design_space,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return run_design_space(
+        parallelisms=(96, 48), clocks=(400.0,), architectures=("perlayer", "pipelined")
+    )
+
+
+class TestGrid:
+    def test_point_count(self, grid):
+        assert len(grid) == 4
+
+    def test_pipelined_dominates_perlayer_throughput(self, grid):
+        by = {(p.architecture, p.parallelism): p for p in grid}
+        assert (
+            by[("pipelined", 96)].throughput_mbps
+            > by[("perlayer", 96)].throughput_mbps
+        )
+
+    def test_parallelism_scales_throughput(self, grid):
+        by = {(p.architecture, p.parallelism): p for p in grid}
+        assert (
+            by[("pipelined", 96)].throughput_mbps
+            > by[("pipelined", 48)].throughput_mbps
+        )
+
+    def test_some_pareto_points(self, grid):
+        assert any(p.pareto for p in grid)
+
+    def test_top_throughput_is_pareto(self, grid):
+        best = max(grid, key=lambda p: p.throughput_mbps)
+        assert best.pareto
+
+    def test_format(self, grid):
+        out = format_design_space(grid)
+        assert "pareto" in out and "*" in out
+
+
+class TestParetoMarking:
+    def _point(self, tput, area):
+        return DesignSpacePoint(
+            architecture="x",
+            parallelism=96,
+            clock_mhz=400.0,
+            cycles_per_iteration=100.0,
+            throughput_mbps=tput,
+            std_cell_mm2=area,
+            power_mw=0.0,
+        )
+
+    def test_dominated_point_excluded(self):
+        a = self._point(100.0, 0.2)
+        b = self._point(200.0, 0.1)  # dominates a
+        _mark_pareto([a, b])
+        assert b.pareto and not a.pareto
+
+    def test_tradeoff_points_both_kept(self):
+        a = self._point(100.0, 0.1)
+        b = self._point(200.0, 0.2)
+        _mark_pareto([a, b])
+        assert a.pareto and b.pareto
+
+    def test_duplicate_points_both_pareto(self):
+        a = self._point(100.0, 0.1)
+        b = self._point(100.0, 0.1)
+        _mark_pareto([a, b])
+        assert a.pareto and b.pareto

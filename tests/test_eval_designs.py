@@ -1,0 +1,65 @@
+"""Tests for the shared design-point builder."""
+
+import numpy as np
+import pytest
+
+from repro.eval.designs import design_point, reference_frame
+
+
+class TestDesignPoint:
+    def test_builds_both_architectures(self):
+        per = design_point("perlayer", 400.0)
+        pipe = design_point("pipelined", 400.0)
+        assert per.architecture == "perlayer"
+        assert pipe.architecture == "pipelined"
+
+    def test_case_study_code(self):
+        point = design_point("pipelined", 400.0)
+        assert point.code.n == 2304 and point.code.z == 96
+        assert point.profile.r_words == 84
+
+    def test_simulator_types(self):
+        from repro.arch import PerLayerArch, TwoLayerPipelinedArch
+
+        assert isinstance(design_point("perlayer", 400.0).simulator(), PerLayerArch)
+        assert isinstance(
+            design_point("pipelined", 400.0).simulator(), TwoLayerPipelinedArch
+        )
+
+    def test_q_depth_differs_by_architecture(self):
+        per = design_point("perlayer", 400.0)
+        pipe = design_point("pipelined", 400.0)
+        assert per.q_depth_words == 7  # Q array: one layer
+        assert pipe.q_depth_words == 14  # Q FIFO: two layers
+
+    def test_memoized_per_key(self):
+        assert design_point("pipelined", 400.0) is design_point("pipelined", 400.0)
+        assert design_point("pipelined", 400.0) is not design_point(
+            "pipelined", 300.0
+        )
+
+    def test_reference_decode_runs_all_iterations(self):
+        result = design_point("pipelined", 400.0).decode_reference_frame()
+        assert result.decode.iterations == 10  # early termination disabled
+
+
+class TestReferenceFrame:
+    def test_deterministic(self):
+        code = design_point("pipelined", 400.0).code
+        a = reference_frame(code)
+        b = reference_frame(code)
+        assert a is b  # memoized
+
+    def test_correct_length(self):
+        code = design_point("pipelined", 400.0).code
+        assert len(reference_frame(code)) == code.n
+
+    def test_near_threshold(self):
+        """The frame must keep the decoder busy (not converge in 1-2
+        iterations) so activity traces are representative."""
+        point = design_point("pipelined", 400.0)
+        llrs = np.asarray(reference_frame(point.code))
+        from repro.decoder import LayeredMinSumDecoder
+
+        result = LayeredMinSumDecoder(point.code, max_iterations=10).decode(llrs)
+        assert result.iterations >= 3

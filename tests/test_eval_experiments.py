@@ -1,0 +1,164 @@
+"""Tests for the evaluation harness (every paper artifact)."""
+
+import pytest
+
+from repro.eval import (
+    EXPERIMENTS,
+    PAPER,
+    run_experiment,
+    run_fig8,
+    run_scalability,
+    run_schedules,
+    run_table1,
+    run_table2,
+)
+from repro.eval.fig8 import format_fig8
+from repro.eval.scalability import format_scalability
+from repro.eval.schedules import format_schedules
+from repro.eval.table1 import format_table1
+from repro.eval.table2 import format_table2
+
+
+class TestRegistry:
+    def test_all_design_md_experiments_present(self):
+        assert {"EXP-F8A", "EXP-F8B", "EXP-T1", "EXP-T2", "EXP-F4F6",
+                "EXP-F3"} <= set(EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("EXP-NOPE")
+
+    def test_case_insensitive(self):
+        report = run_experiment("exp-t1")
+        assert "Table I" in report
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_fig8(clocks=(100.0, 400.0))
+
+    def test_both_architectures_present(self, points):
+        archs = {p.architecture for p in points}
+        assert archs == {"perlayer", "pipelined"}
+
+    def test_latency_monotonic_in_clock(self, points):
+        for arch in ("perlayer", "pipelined"):
+            series = sorted(
+                (p for p in points if p.architecture == arch),
+                key=lambda p: p.clock_mhz,
+            )
+            cycles = [p.cycles_per_iteration for p in series]
+            assert cycles == sorted(cycles)
+
+    def test_pipelined_roughly_half_latency(self, points):
+        by = {
+            (p.architecture, p.clock_mhz): p.cycles_per_iteration
+            for p in points
+        }
+        for clock in (100.0, 400.0):
+            ratio = by[("perlayer", clock)] / by[("pipelined", clock)]
+            assert 1.6 <= ratio <= 2.8  # paper: ~2x
+
+    def test_area_monotonic_in_clock(self, points):
+        for arch in ("perlayer", "pipelined"):
+            series = sorted(
+                (p for p in points if p.architecture == arch),
+                key=lambda p: p.clock_mhz,
+            )
+            areas = [p.std_cell_area_mm2 for p in series]
+            assert areas == sorted(areas)
+
+    def test_pipelined_larger_area(self, points):
+        by = {
+            (p.architecture, p.clock_mhz): p.std_cell_area_mm2
+            for p in points
+        }
+        for clock in (100.0, 400.0):
+            assert by[("pipelined", clock)] > by[("perlayer", clock)]
+
+    def test_areas_within_paper_axis(self, points):
+        for p in points:
+            assert 0.05 < p.std_cell_area_mm2 < 0.5
+
+    def test_latencies_within_paper_axis(self, points):
+        for p in points:
+            assert 50 < p.cycles_per_iteration < 250
+
+    def test_format_renders(self, points):
+        out = format_fig8(points)
+        assert "Fig 8(a)" in out and "Fig 8(b)" in out
+
+
+class TestTable1:
+    def test_shape_and_format(self):
+        result = run_table1()
+        out = format_table1(result)
+        assert "W/ clock-gating" in out
+        assert result.report.internal_saving > 0.15
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_table2()
+
+    def test_memory_bits_exact(self, table):
+        assert table.ours["memory_bits"] == PAPER["memory_bits"]
+
+    def test_core_area_close(self, table):
+        assert table.ours["core_area_mm2"] == pytest.approx(
+            PAPER["core_area_mm2"], rel=0.25
+        )
+
+    def test_throughput_close(self, table):
+        assert table.ours["throughput_mbps"] == pytest.approx(
+            PAPER["throughput_mbps"], rel=0.3
+        )
+
+    def test_latency_close(self, table):
+        assert table.ours["latency_us"] == pytest.approx(
+            PAPER["latency_us"], rel=0.3
+        )
+
+    def test_beats_rovini_throughput(self, table):
+        """The comparison's headline: this decoder wins on throughput."""
+        rovini = table.references[0]
+        assert table.ours["throughput_mbps"] > rovini["throughput_mbps"]
+
+    def test_beats_brack_latency(self, table):
+        brack = table.references[1]
+        assert table.ours["latency_us"] < brack["latency_us"]
+
+    def test_format_renders_na_for_missing(self, table):
+        out = format_table2(table)
+        assert "NA" in out
+
+
+class TestSchedules:
+    def test_utilizations(self):
+        result = run_schedules()
+        assert result.perlayer_utilization["core1"] < 0.55
+        assert result.pipelined_utilization["core1"] > 0.6
+
+    def test_format(self):
+        out = format_schedules(run_schedules())
+        assert "Fig 4" in out and "Fig 6" in out
+
+
+class TestScalability:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_scalability(factors=(96, 48))
+
+    def test_half_cores_roughly_double_cycles(self, points):
+        full, half = points
+        ratio = half.cycles_per_iteration / full.cycles_per_iteration
+        assert 1.5 <= ratio <= 2.4
+
+    def test_half_cores_less_area(self, points):
+        full, half = points
+        assert half.std_cell_area_mm2 < full.std_cell_area_mm2
+
+    def test_format(self, points):
+        assert "Fig 3" in format_scalability(points)

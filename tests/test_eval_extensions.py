@@ -1,0 +1,52 @@
+"""Tests for the extension experiments (throughput-vs-SNR, 802.11n)."""
+
+import pytest
+
+from repro.eval.throughput_snr import format_throughput_snr, run_throughput_snr
+from repro.eval.wifi_comparison import format_wifi_comparison, run_wifi_comparison
+
+
+class TestThroughputVsSnr:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_throughput_snr(
+            ebno_db_points=(1.5, 3.0, 4.0), frames=4
+        )
+
+    def test_iterations_drop_with_snr(self, points):
+        iters = [p.avg_iterations for p in points]
+        assert iters == sorted(iters, reverse=True)
+
+    def test_effective_above_worst_case_at_high_snr(self, points):
+        high = points[-1]
+        assert high.effective_mbps > high.worst_case_mbps
+
+    def test_cycles_track_iterations(self, points):
+        for p in points:
+            assert p.avg_cycles / p.avg_iterations < 200
+
+    def test_format(self, points):
+        out = format_throughput_snr(points)
+        assert "effective Mbps" in out
+
+
+class TestWifiComparison:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_wifi_comparison(clocks=(240.0, 400.0), iterations=10)
+
+    def test_two_clock_points(self, points):
+        assert [p.clock_mhz for p in points] == [240.0, 400.0]
+
+    def test_beats_rovini_at_matched_clock(self, points):
+        """Layered pipelined scheduling wins even at [2]'s 240 MHz."""
+        at_240 = points[0]
+        assert at_240.throughput_mbps > 178.0
+        assert at_240.latency_us < 5.75
+
+    def test_higher_clock_higher_throughput(self, points):
+        assert points[1].throughput_mbps > points[0].throughput_mbps
+
+    def test_format_contains_reference(self, points):
+        out = format_wifi_comparison(points)
+        assert "Rovini" in out

@@ -1,0 +1,44 @@
+"""Tests for the quantization study."""
+
+import pytest
+
+from repro.codes import wimax_code
+from repro.eval.quantization import (
+    format_quantization_study,
+    run_quantization_study,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_quantization_study(
+        code=wimax_code("1/2", 576),
+        bit_widths=(4, 6, 8),
+        ebno_db=2.6,
+        max_frames=50,
+        min_frame_errors=50,
+    )
+
+
+class TestStudy:
+    def test_float_reference_first(self, study):
+        assert study[0].label == "float"
+        assert study[0].total_bits is None
+
+    def test_all_formats_present(self, study):
+        assert [p.total_bits for p in study[1:]] == [4, 6, 8]
+
+    def test_8bit_close_to_float(self, study):
+        ref = study[0].point.fer
+        eight = next(p for p in study if p.total_bits == 8).point.fer
+        assert eight <= ref + 0.12
+
+    def test_4bit_degrades(self, study):
+        four = next(p for p in study if p.total_bits == 4).point.fer
+        eight = next(p for p in study if p.total_bits == 8).point.fer
+        assert four >= eight
+
+    def test_format_renders(self, study):
+        out = format_quantization_study(study)
+        assert "quantization" in out.lower()
+        assert "float" in out

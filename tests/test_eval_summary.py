@@ -1,0 +1,36 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.eval.summary import build_report, write_reproduction_report
+
+
+class TestBuildReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # The fast experiments only; the full set runs in benchmarks.
+        return build_report(["EXP-T1", "EXP-F9"])
+
+    def test_header_anchors(self, report):
+        assert "SOCC 2009" in report
+        assert "415 Mbps" in report
+
+    def test_sections_present(self, report):
+        assert "## EXP-T1" in report
+        assert "## EXP-F9" in report
+        assert "Table I" in report
+
+    def test_code_fences_balanced(self, report):
+        assert report.count("```") % 2 == 0
+
+    def test_shared_sweeps_deduplicated(self):
+        report = build_report(["EXP-F8A", "EXP-F8B"])
+        assert report.count("Fig 8(a)") == 1
+        assert "shared sweep" in report
+
+    def test_write(self, tmp_path):
+        out = write_reproduction_report(
+            tmp_path / "report.md", ["EXP-T1"]
+        )
+        assert out.exists()
+        assert "EXP-T1" in out.read_text()

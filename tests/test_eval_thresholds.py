@@ -1,0 +1,38 @@
+"""Tests for the density-evolution threshold experiment."""
+
+import pytest
+
+from repro.eval.thresholds import format_thresholds, run_thresholds
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_thresholds(rates=("1/2", "5/6"), tolerance=1e-3)
+
+
+class TestThresholds:
+    def test_all_below_capacity(self, points):
+        for p in points:
+            assert p.threshold < p.capacity
+            assert 0 < p.efficiency < 1
+
+    def test_wimax_half_beats_regular(self, points):
+        wimax = next(p for p in points if p.label == "802.16e r1/2")
+        regular = next(p for p in points if "regular" in p.label)
+        assert wimax.threshold > regular.threshold
+
+    def test_higher_rate_smaller_threshold(self, points):
+        half = next(p for p in points if "r1/2" in p.label)
+        five6 = next(p for p in points if "r5/6" in p.label)
+        assert five6.threshold < half.threshold
+
+    def test_efficiencies_high(self, points):
+        """Standardized ensembles run at > 80% of the Shannon limit."""
+        for p in points:
+            if "802.16e" in p.label:
+                assert p.efficiency > 0.8
+
+    def test_format(self, points):
+        out = format_thresholds(points)
+        assert "BEC threshold" in out
+        assert "regular (3,6)" in out

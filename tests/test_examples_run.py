@@ -1,0 +1,65 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Each example is executed in a subprocess (fresh interpreter, the way a
+user runs it) with reduced workloads where the script takes arguments.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "converged=True" in out
+        assert "same decisions as float: True" in out
+
+    def test_hls_fir_filter(self):
+        out = run_example("hls_fir_filter.py")
+        assert "FIR filter" in out
+        assert "full" in out
+
+    def test_fading_link(self):
+        out = run_example("fading_link.py", "--frames", "6")
+        assert "AWGN" in out and "Rayleigh" in out
+
+    def test_generate_rtl(self, tmp_path):
+        out = run_example("generate_rtl.py", str(tmp_path))
+        assert "decoder.v" in out
+        assert (tmp_path / "decoder.v").exists()
+        assert (tmp_path / "golden.hex").exists()
+
+    def test_wimax_ber_waterfall(self):
+        out = run_example(
+            "wimax_ber_waterfall.py", "--frames", "8", "--ebno", "2.0", "3.0"
+        )
+        assert "Algorithm 1" in out
+
+    def test_low_power_operating_points(self):
+        out = run_example("low_power_operating_points.py")
+        assert "Minimum-energy operating point" in out
+
+    def test_code_analysis(self):
+        out = run_example("code_analysis.py")
+        assert "girth" in out
+        assert "density-evolution threshold" in out
+
+    def test_multirate_wimax(self):
+        out = run_example("multirate_wimax.py")
+        assert "12 frames decoded" in out

@@ -1,0 +1,38 @@
+"""Tests for the block-level clock-gating analysis."""
+
+import pytest
+
+from repro.hls.clockgating import GatingReport, analyze_gating
+
+
+class TestAnalyzeGating:
+    def test_full_activity_no_saving(self):
+        report = analyze_gating({"a": 1.0}, {"a": 1000})
+        assert report.gated_fraction == pytest.approx(1.0)
+        assert report.internal_power_saving == pytest.approx(0.0)
+
+    def test_idle_block_fully_saved(self):
+        report = analyze_gating({"a": 0.0}, {"a": 1000})
+        assert report.gated_fraction == pytest.approx(0.0)
+
+    def test_bit_weighted_average(self):
+        report = analyze_gating(
+            {"busy": 1.0, "idle": 0.0}, {"busy": 750, "idle": 250}
+        )
+        assert report.gated_fraction == pytest.approx(0.75)
+
+    def test_missing_activity_defaults_to_always_on(self):
+        report = analyze_gating({}, {"a": 100})
+        assert report.gated_fraction == pytest.approx(1.0)
+
+    def test_activity_clamped(self):
+        report = analyze_gating({"a": 1.7}, {"a": 100})
+        assert report.gated_fraction == pytest.approx(1.0)
+
+    def test_half_busy_half_saved(self):
+        report = analyze_gating({"core": 0.5}, {"core": 4096})
+        assert report.internal_power_saving == pytest.approx(0.5)
+
+    def test_empty_design(self):
+        report = analyze_gating({}, {})
+        assert report.gated_fraction == 1.0

@@ -1,0 +1,87 @@
+"""End-to-end tests of the PICO-like compiler on kernel programs."""
+
+import pytest
+
+from repro.errors import HlsError
+from repro.hls import PicoCompiler
+from repro.hls.programs import fir_program, matmul_program, vecadd_program
+
+
+class TestVecAdd:
+    def test_sequential_cycles(self):
+        result = PicoCompiler(clock_mhz=200).compile(
+            vecadd_program(16, pipelined=False)
+        )
+        # Two cycles per iteration (SRAM load + compute/store commit).
+        assert result.cycles == 16 * 2
+
+    def test_pipelined_faster(self):
+        seq = PicoCompiler(200).compile(vecadd_program(16, pipelined=False))
+        pipe = PicoCompiler(200).compile(vecadd_program(16, pipelined=True))
+        assert pipe.cycles < seq.cycles
+
+    def test_unroll_trades_area_for_cycles(self):
+        base = PicoCompiler(200).compile(vecadd_program(16, pipelined=False))
+        wide = PicoCompiler(200).compile(
+            vecadd_program(16, unroll=4, pipelined=False)
+        )
+        assert wide.cycles < base.cycles
+        assert wide.area().std_cell_ge > base.area().std_cell_ge
+
+    def test_memories_attached(self):
+        result = PicoCompiler(200).compile(vecadd_program(16))
+        assert result.rtl.total_memory_bits(("sram",)) == 3 * 16 * 8
+
+
+class TestFir:
+    def test_ii_one(self):
+        result = PicoCompiler(300).compile(fir_program(taps=8, samples=32))
+        (block,) = [b for b in result.blocks if b.pipelined]
+        assert block.schedule.ii == 1
+
+    def test_throughput_near_one_sample_per_cycle(self):
+        result = PicoCompiler(300).compile(fir_program(taps=8, samples=64))
+        assert result.cycles < 64 + 32  # ramp-up only
+
+    def test_depth_grows_with_clock(self):
+        slow = PicoCompiler(100).compile(fir_program(taps=8, samples=32))
+        fast = PicoCompiler(500).compile(fir_program(taps=8, samples=32))
+        slow_len = [b for b in slow.blocks if b.pipelined][0].schedule.length
+        fast_len = [b for b in fast.blocks if b.pipelined][0].schedule.length
+        assert fast_len >= slow_len
+
+    def test_multiplier_count_matches_taps(self):
+        result = PicoCompiler(300).compile(fir_program(taps=8, samples=32))
+        total_muls = 0
+        for module, mult in result.rtl.walk():
+            for (kind, _w), count in module.fu_counts.items():
+                if kind == "mul":
+                    total_muls += count * mult
+        assert total_muls == 8
+
+
+class TestMatmul:
+    def test_compiles(self):
+        result = PicoCompiler(200).compile(matmul_program(4))
+        assert result.cycles > 0
+
+    def test_cycles_scale_with_size(self):
+        small = PicoCompiler(200).compile(matmul_program(4))
+        large = PicoCompiler(200).compile(matmul_program(8))
+        assert large.cycles > small.cycles
+
+
+class TestBlockLookup:
+    def test_block_by_label(self):
+        result = PicoCompiler(200).compile(fir_program(taps=4, samples=16))
+        labels = [b.label for b in result.blocks]
+        assert any(label.endswith("/n") for label in labels)
+        with pytest.raises(HlsError):
+            result.block("nonexistent")
+
+
+class TestAreaTrends:
+    def test_area_rises_with_clock(self):
+        slow = PicoCompiler(100).compile(fir_program(taps=8, samples=32))
+        fast = PicoCompiler(550).compile(fir_program(taps=8, samples=32))
+        assert fast.area().std_cell_ge >= slow.area().std_cell_ge

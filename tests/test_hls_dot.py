@@ -1,0 +1,67 @@
+"""Tests for graphviz export."""
+
+from repro.hls import PicoCompiler
+from repro.hls.dfg import build_dfg
+from repro.hls.dot import dfg_to_dot, hierarchy_to_dot
+from repro.hls.ir import Affine, MemAccess, Op, Stmt
+from repro.hls.programs import DecoderProfile, build_pipelined_program
+
+
+def small_dfg():
+    return build_dfg(
+        [
+            Stmt("a", Op("load"), (), load=MemAccess("m", Affine.of("i"))),
+            Stmt("b", Op("add"), ("a",)),
+            Stmt(
+                "c",
+                Op("min"),
+                ("b",),
+                load=MemAccess("acc", Affine.of(const=0)),
+                store=MemAccess("acc", Affine.of(const=0)),
+            ),
+        ],
+        loop_var="i",
+    )
+
+
+class TestDfgDot:
+    def test_nodes_and_edges(self):
+        text = dfg_to_dot(small_dfg())
+        assert text.startswith("digraph")
+        assert "n0" in text and "n2" in text
+        assert "->" in text
+
+    def test_carried_edges_marked(self):
+        text = dfg_to_dot(small_dfg())
+        assert "color=red" in text  # the RMW recurrence
+
+    def test_schedule_annotation(self):
+        from repro.hls.schedule import Scheduler
+        from repro.synth.timing import TimingModel
+
+        dfg = small_dfg()
+        sched = Scheduler(TimingModel(), 300.0).schedule_block(dfg)
+        text = dfg_to_dot(dfg, sched)
+        assert "@cycle" in text
+
+    def test_memory_annotations(self):
+        text = dfg_to_dot(small_dfg())
+        assert "ld m" in text and "st acc" in text
+
+
+class TestHierarchyDot:
+    def test_decoder_hierarchy(self):
+        result = PicoCompiler(clock_mhz=400).compile(
+            build_pipelined_program(DecoderProfile())
+        )
+        text = hierarchy_to_dot(result.rtl)
+        assert text.startswith("digraph")
+        assert "gated" in text
+        assert "->" in text
+
+    def test_balanced_braces(self):
+        result = PicoCompiler(clock_mhz=400).compile(
+            build_pipelined_program(DecoderProfile())
+        )
+        text = hierarchy_to_dot(result.rtl)
+        assert text.count("{") == text.count("}")

@@ -1,0 +1,148 @@
+"""Tests for the HLS intermediate representation."""
+
+import pytest
+
+from repro.errors import HlsError
+from repro.hls.ir import (
+    Affine,
+    ArrayDecl,
+    Loop,
+    MemAccess,
+    Op,
+    Program,
+    Stmt,
+)
+from repro.hls.pragmas import PIPELINE, UNROLL
+
+
+class TestAffine:
+    def test_constant(self):
+        idx = Affine.of(const=5)
+        assert idx.is_const and idx.value() == 5
+
+    def test_variable_not_const(self):
+        idx = Affine.of("i", 2, 1)
+        assert not idx.is_const
+        with pytest.raises(HlsError):
+            idx.value()
+
+    def test_substitute(self):
+        idx = Affine.of("i", 2, 1)
+        assert idx.substitute("i", 3).value() == 7
+
+    def test_substitute_other_var_noop(self):
+        idx = Affine.of("i")
+        assert not idx.substitute("j", 3).is_const
+
+    def test_shift_var(self):
+        idx = Affine.of("i", 1, 0)
+        shifted = idx.shift_var("i", "i", 4, 2)
+        assert shifted.substitute("i", 1).value() == 6  # 4*1 + 2
+
+    def test_multi_term(self):
+        idx = Affine((("i", 8), ("j", 1)), 0)
+        assert idx.substitute("i", 2).substitute("j", 3).value() == 19
+
+    def test_str(self):
+        assert "i" in str(Affine.of("i", 2))
+
+
+class TestArrayDecl:
+    def test_bits(self):
+        assert ArrayDecl("m", 24, 768, "sram").bits == 24 * 768
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(HlsError):
+            ArrayDecl("m", 4, 8, "flash")
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(HlsError):
+            ArrayDecl("m", 0, 8)
+
+
+class TestOp:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(Exception):
+            Op("frobnicate")
+
+    def test_simd_area_scales(self):
+        assert Op("sub", 8, simd=96).area_ge == pytest.approx(
+            96 * Op("sub", 8).area_ge
+        )
+
+    def test_simd_delay_constant(self):
+        assert Op("sub", 8, simd=96).delay_fo4 == Op("sub", 8).delay_fo4
+
+    def test_total_bits(self):
+        assert Op("sub", 8, simd=96).total_bits == 768
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(HlsError):
+            Op("sub", 0)
+
+
+class TestStmtRename:
+    def test_dest_suffixed(self):
+        s = Stmt("x", Op("add"), ("a", "b"))
+        names = {}
+        renamed = s.renamed("__k0", names)
+        assert renamed.dest == "x__k0"
+        assert names["x"] == "x__k0"
+
+    def test_srcs_resolved_before_dest(self):
+        """Accumulator self-reference picks up the previous definition."""
+        s = Stmt("acc", Op("add"), ("acc", "p"))
+        names = {"acc": "acc__k0"}
+        renamed = s.renamed("__k1", names)
+        assert renamed.srcs == ("acc__k0", "p")
+        assert renamed.dest == "acc__k1"
+
+
+class TestLoop:
+    def test_trip_validated(self):
+        with pytest.raises(HlsError):
+            Loop("i", 0, [])
+
+    def test_unroll_factor_default_one(self):
+        assert Loop("i", 8, []).unroll_factor == 1
+
+    def test_full_unroll(self):
+        assert Loop("i", 8, [], (UNROLL(),)).unroll_factor == 8
+
+    def test_partial_unroll(self):
+        assert Loop("i", 8, [], (UNROLL(4),)).unroll_factor == 4
+
+    def test_non_dividing_factor_rejected(self):
+        with pytest.raises(HlsError):
+            Loop("i", 8, [], (UNROLL(3),)).unroll_factor
+
+    def test_pipeline_flags(self):
+        loop = Loop("i", 8, [], (PIPELINE(2),))
+        assert loop.pipelined and loop.requested_ii == 2
+
+    def test_not_pipelined_by_default(self):
+        assert not Loop("i", 8, []).pipelined
+
+
+class TestProgram:
+    def test_validate_catches_undeclared_array(self):
+        prog = Program(
+            "p",
+            [],
+            [Stmt("x", Op("load"), (), load=MemAccess("ghost", Affine.of("i")))],
+        )
+        with pytest.raises(HlsError):
+            prog.validate()
+
+    def test_array_lookup(self):
+        decl = ArrayDecl("a", 4, 8)
+        prog = Program("p", [decl], [])
+        assert prog.array("a") is decl
+        with pytest.raises(HlsError):
+            prog.array("b")
+
+    def test_validate_recurses_into_loops(self):
+        stmt = Stmt("x", Op("load"), (), load=MemAccess("ghost", Affine.of("i")))
+        prog = Program("p", [], [Loop("i", 4, [Loop("j", 2, [stmt])])])
+        with pytest.raises(HlsError):
+            prog.validate()

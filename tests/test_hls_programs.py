@@ -1,0 +1,124 @@
+"""Tests for the decoder IR programs (Figs 5 and 7)."""
+
+import pytest
+
+from repro.errors import HlsError
+from repro.hls import PicoCompiler
+from repro.hls.programs import (
+    DecoderProfile,
+    build_perlayer_program,
+    build_pipelined_program,
+)
+
+
+@pytest.fixture(scope="module")
+def profile(wimax_half_module=None):
+    return DecoderProfile()  # the paper's defaults
+
+
+class TestDecoderProfile:
+    def test_defaults_match_paper(self, profile):
+        assert profile.z == 96
+        assert profile.nb == 24
+        assert profile.mb == 12
+        assert profile.r_words == 84
+        assert profile.iterations == 10
+
+    def test_memory_bits_table2(self, profile):
+        assert profile.memory_bits() == 82944
+
+    def test_from_code(self, wimax_half):
+        prof = DecoderProfile.from_code(wimax_half, r_words=84)
+        assert prof.z == 96 and prof.max_degree == 7 and prof.mb == 12
+
+
+class TestProgramStructure:
+    def test_perlayer_arrays(self, profile):
+        program = build_perlayer_program(profile)
+        names = {a.name for a in program.arrays}
+        # The block diagram of Fig 5.
+        assert {"p_mem", "r_mem", "h_rom", "q_array",
+                "min1_array", "min2_array", "pos1_array",
+                "sign_array"} <= names
+
+    def test_pipelined_arrays(self, profile):
+        program = build_pipelined_program(profile)
+        names = {a.name for a in program.arrays}
+        # Fig 7: per-core array copies + Q FIFO + scoreboard.
+        assert "q_fifo" in names
+        assert "scoreboard" in names
+        assert "min1_array_c1" in names and "min1_array_c2" in names
+
+    def test_sram_capacity_is_82944_bits(self, profile):
+        program = build_perlayer_program(profile)
+        sram_bits = sum(
+            a.bits for a in program.arrays if a.kind == "sram"
+        )
+        assert sram_bits == 82944
+
+    def test_validates(self, profile):
+        build_perlayer_program(profile).validate()
+        build_pipelined_program(profile).validate()
+
+    def test_bad_parallelism_rejected(self, profile):
+        with pytest.raises(HlsError):
+            build_perlayer_program(profile, parallelism=7)
+
+
+class TestCompiledStructure:
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        return PicoCompiler(clock_mhz=400).compile(
+            build_pipelined_program(DecoderProfile())
+        )
+
+    def test_core_blocks_present(self, compiled):
+        labels = [b.label for b in compiled.blocks]
+        assert any(label.endswith("/j") for label in labels)
+        assert any(label.endswith("/k") for label in labels)
+
+    def test_cores_run_at_ii_1(self, compiled):
+        for block in compiled.blocks:
+            if block.label.endswith(("/j", "/k")):
+                assert block.schedule.ii == 1
+
+    def test_96_lane_datapath(self, compiled):
+        total_subs = 0
+        for module, mult in compiled.rtl.walk():
+            for (kind, _w), count in module.fu_counts.items():
+                if kind == "sub":
+                    total_subs += count * mult
+        assert total_subs >= 96  # one subtractor lane per z
+
+    def test_pipelined_has_more_registers_than_perlayer(self):
+        per = PicoCompiler(400).compile(build_perlayer_program(DecoderProfile()))
+        pipe = PicoCompiler(400).compile(build_pipelined_program(DecoderProfile()))
+        per_bits = per.rtl.total_register_bits() + per.rtl.regfile_bits()
+        pipe_bits = pipe.rtl.total_register_bits() + pipe.rtl.regfile_bits()
+        assert pipe_bits > per_bits
+
+
+class TestScalability:
+    """The Fig 3 knob: parallelism p -> p lane-units, z/p passes."""
+
+    @pytest.mark.parametrize("p", [96, 48, 24])
+    def test_lane_units_scale(self, p):
+        result = PicoCompiler(400).compile(
+            build_perlayer_program(DecoderProfile(), parallelism=p)
+        )
+        total_subs = 0
+        for module, mult in result.rtl.walk():
+            for (kind, _w), count in module.fu_counts.items():
+                if kind == "sub":
+                    total_subs += count * mult
+        assert total_subs == p  # core1's Q subtractor
+
+    def test_half_parallelism_doubles_cycles(self):
+        full = PicoCompiler(400).compile(
+            build_perlayer_program(DecoderProfile(), parallelism=96)
+        )
+        half = PicoCompiler(400).compile(
+            build_perlayer_program(DecoderProfile(), parallelism=48)
+        )
+        assert half.cycles > 1.6 * full.cycles
+        assert half.area().std_cell_ge < full.area().std_cell_ge

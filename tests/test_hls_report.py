@@ -1,0 +1,49 @@
+"""Tests for the PICO-style synthesis report."""
+
+import pytest
+
+from repro.hls import PicoCompiler
+from repro.hls.programs import DecoderProfile, build_pipelined_program, fir_program
+from repro.hls.report import synthesis_report
+
+
+@pytest.fixture(scope="module")
+def decoder_report():
+    result = PicoCompiler(clock_mhz=400).compile(
+        build_pipelined_program(DecoderProfile())
+    )
+    return synthesis_report(result)
+
+
+class TestReportSections:
+    def test_header(self, decoder_report):
+        assert "ldpc_pipelined_p96" in decoder_report
+        assert "400 MHz" in decoder_report
+
+    def test_schedule_table(self, decoder_report):
+        assert "Scheduled blocks" in decoder_report
+        assert "pipelined" in decoder_report
+
+    def test_fu_inventory(self, decoder_report):
+        assert "Functional-unit inventory" in decoder_report
+        assert "rotate" in decoder_report
+
+    def test_memory_map(self, decoder_report):
+        assert "Memory map" in decoder_report
+        assert "p_mem" in decoder_report and "r_mem" in decoder_report
+        assert "scoreboard" in decoder_report
+
+    def test_area_section(self, decoder_report):
+        assert "Area estimate" in decoder_report
+        assert "standard cells total" in decoder_report
+
+    def test_latency_in_microseconds(self, decoder_report):
+        assert "us)" in decoder_report
+
+
+class TestFirReport:
+    def test_fir_report_renders(self):
+        result = PicoCompiler(clock_mhz=200).compile(fir_program(taps=4, samples=16))
+        report = synthesis_report(result)
+        assert "fir" in report
+        assert "mul" in report

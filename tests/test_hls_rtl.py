@@ -1,0 +1,73 @@
+"""Tests for the RTL netlist model."""
+
+import pytest
+
+from repro.errors import HlsError
+from repro.hls.rtl import MemoryMacro, RtlModule
+
+
+def sample_hierarchy():
+    lane = RtlModule("core1_dp")
+    lane.add_fu("sub", 8, 1)
+    lane.add_fu("min", 8, 2)
+    lane.register_bits = 24
+    cluster = RtlModule("core1_cluster", gated=True)
+    cluster.add_submodule(lane, copies=96)
+    cluster.memories.append(MemoryMacro("min1_array", 1, 768, "regfile"))
+    top = RtlModule("decoder")
+    top.add_submodule(cluster, copies=1)
+    top.memories.append(MemoryMacro("p_sram", 24, 768, "sram"))
+    top.memories.append(MemoryMacro("q_fifo", 14, 768, "fifo"))
+    return top, lane, cluster
+
+
+class TestRollups:
+    def test_register_bits_multiply_by_copies(self):
+        top, _lane, _cluster = sample_hierarchy()
+        assert top.total_register_bits() == 96 * 24
+
+    def test_fu_area_multiplies(self):
+        top, lane, _ = sample_hierarchy()
+        single = lane.total_fu_area_ge()
+        assert top.total_fu_area_ge() == pytest.approx(96 * single)
+
+    def test_memory_bits_by_kind(self):
+        top, _, _ = sample_hierarchy()
+        assert top.total_memory_bits(("sram",)) == 24 * 768
+        assert top.regfile_bits() == 768 + 14 * 768
+
+    def test_gated_register_bits(self):
+        top, _, _ = sample_hierarchy()
+        # Gated cluster: its lanes' registers + its regfile macro.
+        assert top.gated_register_bits() == 96 * 24 + 768
+
+    def test_walk_yields_effective_copies(self):
+        top, lane, cluster = sample_hierarchy()
+        copies = {m.name: mult for m, mult in top.walk()}
+        assert copies["core1_dp"] == 96
+        assert copies["decoder"] == 1
+
+    def test_summary_keys(self):
+        top, _, _ = sample_hierarchy()
+        summary = top.summary()
+        assert set(summary) == {
+            "register_bits",
+            "regfile_bits",
+            "fu_area_ge",
+            "mux_inputs",
+            "sram_bits",
+        }
+
+
+class TestValidation:
+    def test_unknown_fu_kind_rejected(self):
+        with pytest.raises(Exception):
+            RtlModule("m").add_fu("quantum", 8)
+
+    def test_zero_copies_rejected(self):
+        with pytest.raises(HlsError):
+            RtlModule("m").add_submodule(RtlModule("c"), copies=0)
+
+    def test_negative_fu_count_rejected(self):
+        with pytest.raises(HlsError):
+            RtlModule("m").add_fu("add", 8, -1)

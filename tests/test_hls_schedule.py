@@ -1,0 +1,179 @@
+"""Tests for the chaining list/modulo scheduler."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ScheduleError
+from repro.hls.dfg import build_dfg
+from repro.hls.ir import Affine, ArrayDecl, MemAccess, Op, Stmt
+from repro.hls.schedule import Scheduler
+from repro.synth.timing import TimingModel
+
+
+def scheduler(clock=400.0, resources=None, arrays=None):
+    return Scheduler(TimingModel(), clock, resources, arrays)
+
+
+def mem(array, const=None, var=None):
+    if const is not None:
+        return MemAccess(array, Affine.of(const=const))
+    return MemAccess(array, Affine.of(var))
+
+
+SRAM = ArrayDecl("m", 64, 8, "sram")
+REG = ArrayDecl("acc", 1, 8, "regfile")
+
+
+class TestChaining:
+    def test_dependent_cheap_ops_share_cycle_at_low_clock(self):
+        stmts = [
+            Stmt("a", Op("add"), ()),
+            Stmt("b", Op("add"), ("a",)),
+            Stmt("c", Op("add"), ("b",)),
+        ]
+        sched = scheduler(clock=100.0).schedule_block(build_dfg(stmts))
+        assert sched.length == 1  # three adds chain in a 10 ns cycle
+
+    def test_chain_splits_at_high_clock(self):
+        stmts = [Stmt("v0", Op("add"), ())]
+        for i in range(12):
+            stmts.append(Stmt(f"v{i+1}", Op("add"), (f"v{i}",)))
+        low = scheduler(clock=100.0).schedule_block(build_dfg(stmts))
+        high = scheduler(clock=400.0).schedule_block(build_dfg(stmts))
+        assert high.length > low.length
+
+    def test_macro_load_takes_a_cycle(self):
+        stmts = [
+            Stmt("x", Op("load"), (), load=mem("m", 0)),
+            Stmt("y", Op("add"), ("x",)),
+        ]
+        sched = scheduler(arrays=[SRAM]).schedule_block(build_dfg(stmts))
+        assert sched.starts[1] >= sched.starts[0] + 1
+
+    def test_dependences_never_violated(self):
+        stmts = [
+            Stmt("a", Op("mul", 16), ()),
+            Stmt("b", Op("mul", 16), ("a",)),
+            Stmt("c", Op("add", 16), ("a", "b")),
+        ]
+        dfg = build_dfg(stmts)
+        sched = scheduler(clock=400.0).schedule_block(dfg)
+        for dep in dfg.deps:
+            assert sched.finishes[dep.src] <= sched.starts[dep.dst] + 1 - 1e-9
+
+
+class TestResources:
+    def test_fu_limit_serializes(self):
+        stmts = [Stmt(f"v{i}", Op("mul", 16), ()) for i in range(4)]
+        unlimited = scheduler().schedule_block(build_dfg(stmts))
+        limited = scheduler(resources={"mul": 1}).schedule_block(build_dfg(stmts))
+        assert limited.length > unlimited.length
+
+    def test_simd_counts_against_limit(self):
+        stmts = [Stmt("v", Op("add", 8, simd=8), ())]
+        dfg = build_dfg(stmts)
+        assert scheduler(resources={"add": 8}).resource_mii(dfg) == 1
+        assert scheduler(resources={"add": 4}).resource_mii(dfg) == 2
+
+    def test_memory_port_limit(self):
+        stmts = [
+            Stmt("a", Op("load"), (), load=mem("m", 0)),
+            Stmt("b", Op("load"), (), load=mem("m", 1)),
+        ]
+        sched = scheduler(arrays=[SRAM]).schedule_block(build_dfg(stmts))
+        assert sched.starts[0] != sched.starts[1]
+
+    def test_regfile_reads_unconstrained(self):
+        regs = ArrayDecl("r", 8, 8, "regfile")
+        stmts = [
+            Stmt(f"v{i}", Op("load"), (), load=mem("r", i)) for i in range(4)
+        ]
+        sched = scheduler(arrays=[regs]).schedule_block(build_dfg(stmts))
+        assert len({sched.starts[i] for i in range(4)}) == 1
+
+
+class TestModulo:
+    def _loop_body(self):
+        return [
+            Stmt("v", Op("load"), (), load=mem("m", var="i")),
+            Stmt(
+                "acc",
+                Op("min"),
+                ("v",),
+                load=mem("acc", 0),
+                store=mem("acc", 0),
+            ),
+        ]
+
+    def test_rmw_recurrence_allows_ii_1(self):
+        dfg = build_dfg(self._loop_body(), loop_var="i")
+        sched = scheduler(arrays=[SRAM, REG]).schedule_pipelined(dfg)
+        assert sched.ii == 1
+
+    def test_port_bound_ii(self):
+        stmts = [
+            Stmt("a", Op("load"), (), load=mem("m", var="i")),
+            Stmt("b", Op("load"), (), load=MemAccess("m", Affine.of("i", 1, 32))),
+        ]
+        dfg = build_dfg(stmts, loop_var="i")
+        sched = scheduler(arrays=[SRAM]).schedule_pipelined(dfg)
+        assert sched.ii >= 2
+
+    def test_min_ii_respected(self):
+        dfg = build_dfg(self._loop_body(), loop_var="i")
+        sched = scheduler(arrays=[SRAM, REG]).schedule_pipelined(dfg, min_ii=3)
+        assert sched.ii >= 3
+
+    def test_slot_resources_not_oversubscribed(self):
+        stmts = [Stmt(f"v{i}", Op("mul", 16), ()) for i in range(6)]
+        dfg = build_dfg(stmts, loop_var="i")
+        sched = scheduler(resources={"mul": 2}).schedule_pipelined(dfg)
+        assert sched.ii >= 3
+        slots = {}
+        for i in range(6):
+            slot = sched.starts[i] % sched.ii
+            slots[slot] = slots.get(slot, 0) + 1
+        assert max(slots.values()) <= 2
+
+
+class TestMultiStageOps:
+    def test_wide_simd_op_pipelines(self):
+        # A 96-lane rotate at 400 MHz exceeds one cycle's budget.
+        stmts = [Stmt("r", Op("rotate", 8, simd=96), ())]
+        sch = scheduler(clock=400.0)
+        assert sch.stages_of(stmts[0]) >= 1
+        sched = sch.schedule_block(build_dfg(stmts))
+        assert sched.length == sch.stages_of(stmts[0])
+
+    def test_stage_count_grows_with_clock(self):
+        stmt = Stmt("r", Op("rotate", 8, simd=96), ())
+        low = scheduler(clock=100.0).stages_of(stmt)
+        high = scheduler(clock=600.0).stages_of(stmt)
+        assert high >= low
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(2, 10),
+    seed=st.integers(0, 1000),
+    clock=st.sampled_from([100.0, 250.0, 400.0]),
+)
+def test_schedule_respects_dependences_property(n, seed, clock):
+    """Random dependence chains always schedule correctly."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    kinds = ["add", "sub", "min", "xor", "mul"]
+    stmts = []
+    for i in range(n):
+        srcs = tuple(
+            f"v{j}" for j in range(i) if rng.random() < 0.4
+        )
+        stmts.append(Stmt(f"v{i}", Op(str(rng.choice(kinds)), 8), srcs))
+    dfg = build_dfg(stmts)
+    sched = scheduler(clock=clock).schedule_block(dfg)
+    for dep in dfg.deps:
+        assert sched.finishes[dep.src] <= sched.starts[dep.dst] + 1 - 1e-9
+    assert sched.length >= 1

@@ -1,0 +1,77 @@
+"""Tests for golden-vector testbench generation."""
+
+import numpy as np
+import pytest
+
+from repro.channel.quantize import MESSAGE_8BIT
+from repro.decoder import LayeredMinSumDecoder
+from repro.errors import HlsError
+from repro.hls.testbench import _hex_to_word, _word_to_hex, generate_testbench
+from tests.conftest import noisy_frame
+
+
+class TestHexPacking:
+    def test_round_trip_random(self):
+        rng = np.random.default_rng(0)
+        word = rng.integers(-127, 128, 24).astype(np.int32)
+        text = _word_to_hex(word, 8)
+        np.testing.assert_array_equal(_hex_to_word(text, 24, 8), word)
+
+    def test_negative_lanes_twos_complement(self):
+        word = np.array([-1, 0], dtype=np.int32)
+        # Lane 0 = -1 -> 0xff in the LSBs; lane 1 = 0.
+        assert _word_to_hex(word, 8) == "00ff"
+
+    def test_digit_count(self):
+        word = np.zeros(96, dtype=np.int32)
+        assert len(_word_to_hex(word, 8)) == 96 * 8 // 4
+
+
+class TestGenerateTestbench:
+    @pytest.fixture(scope="class")
+    def bundle(self, request):
+        code = request.getfixturevalue("wimax_short")
+        _cw, llrs = noisy_frame(code, ebno_db=3.0, seed=0)
+        return code, llrs, generate_testbench(code, llrs)
+
+    def test_vector_counts(self, bundle):
+        code, _llrs, tb = bundle
+        assert len(tb.stimulus_hex) == code.nb
+        assert len(tb.golden_hex) == code.nb
+
+    def test_stimulus_matches_quantizer(self, bundle):
+        code, llrs, tb = bundle
+        codes = MESSAGE_8BIT.quantize(llrs)
+        word0 = _hex_to_word(tb.stimulus_hex[0], code.z, 8)
+        np.testing.assert_array_equal(word0, codes[: code.z])
+
+    def test_golden_matches_decoder(self, bundle):
+        code, llrs, tb = bundle
+        result = LayeredMinSumDecoder(code, fixed=True).decode(llrs)
+        final = np.round(result.llrs / MESSAGE_8BIT.scale).astype(np.int32)
+        for j in range(code.nb):
+            word = _hex_to_word(tb.golden_hex[j], code.z, 8)
+            np.testing.assert_array_equal(
+                word, final[j * code.z : (j + 1) * code.z]
+            )
+
+    def test_metadata(self, bundle):
+        _code, _llrs, tb = bundle
+        assert tb.converged
+        assert 1 <= tb.iterations <= 10
+
+    def test_verilog_structure(self, bundle):
+        code, _llrs, tb = bundle
+        v = tb.testbench_verilog
+        assert "$readmemh" in v
+        assert f"0:{code.nb - 1}" in v
+        assert "PASS" in v and "FAIL" in v
+        import re
+
+        opens = len(re.findall(r"^module ", v, re.M))
+        closes = len(re.findall(r"^endmodule", v, re.M))
+        assert opens == closes == 1
+
+    def test_bad_length_rejected(self, small_code):
+        with pytest.raises(HlsError):
+            generate_testbench(small_code, np.zeros(3))

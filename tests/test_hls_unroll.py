@@ -1,0 +1,118 @@
+"""Tests for pragma-driven loop unrolling (the paper's Fig 3)."""
+
+import pytest
+
+from repro.hls.ir import Affine, ArrayDecl, Loop, MemAccess, Op, Program, Stmt
+from repro.hls.pragmas import UNROLL
+from repro.hls.unroll import unroll_program
+
+
+def make_loop_program(trip, factor=None, nested=False):
+    body = [
+        Stmt("v", Op("load", 8), (), load=MemAccess("a", Affine.of("i"))),
+        Stmt("w", Op("add", 8), ("v",)),
+        Stmt("", Op("store", 8), ("w",), store=MemAccess("y", Affine.of("i"))),
+    ]
+    pragmas = (UNROLL(factor),) if factor is not None else (UNROLL(),)
+    loop = Loop("i", trip, body, pragmas)
+    if nested:
+        loop = Loop("o", 2, [loop])
+    return Program(
+        "p",
+        [ArrayDecl("a", 64, 8, "sram"), ArrayDecl("y", 64, 8, "sram")],
+        [loop],
+    )
+
+
+def flat_stmts(nodes):
+    out = []
+    for n in nodes:
+        if isinstance(n, Stmt):
+            out.append(n)
+        else:
+            out.extend(flat_stmts(n.body))
+    return out
+
+
+class TestFullUnroll:
+    def test_loop_removed(self):
+        prog = unroll_program(make_loop_program(4))
+        assert all(isinstance(n, Stmt) for n in prog.body)
+
+    def test_replica_count(self):
+        prog = unroll_program(make_loop_program(4))
+        assert len(prog.body) == 12  # 3 stmts x 4 replicas
+
+    def test_indices_become_constants(self):
+        prog = unroll_program(make_loop_program(4))
+        loads = [s for s in prog.body if s.load]
+        values = sorted(s.load.index.value() for s in loads)
+        assert values == [0, 1, 2, 3]
+
+    def test_dest_names_unique(self):
+        prog = unroll_program(make_loop_program(4))
+        dests = [s.dest for s in prog.body if s.dest]
+        assert len(dests) == len(set(dests))
+
+
+class TestPartialUnroll:
+    def test_residual_trip(self):
+        prog = unroll_program(make_loop_program(8, factor=4))
+        (loop,) = prog.body
+        assert isinstance(loop, Loop)
+        assert loop.trip == 2
+
+    def test_replicated_body(self):
+        prog = unroll_program(make_loop_program(8, factor=4))
+        (loop,) = prog.body
+        assert len(loop.body) == 12
+
+    def test_index_expression_strided(self):
+        prog = unroll_program(make_loop_program(8, factor=4))
+        (loop,) = prog.body
+        loads = [s for s in loop.body if s.load]
+        # Replica k reads a[4*i + k].
+        consts = sorted(s.load.index.substitute("i", 0).value() for s in loads)
+        assert consts == [0, 1, 2, 3]
+        consts = sorted(s.load.index.substitute("i", 1).value() for s in loads)
+        assert consts == [4, 5, 6, 7]
+
+    def test_unroll_pragma_consumed(self):
+        prog = unroll_program(make_loop_program(8, factor=4))
+        (loop,) = prog.body
+        assert not any(p.kind == "unroll" for p in loop.pragmas)
+
+
+class TestAccumulatorChaining:
+    def test_sequential_ssa_across_replicas(self):
+        body = [
+            Stmt("v", Op("load", 8), (), load=MemAccess("a", Affine.of("i"))),
+            Stmt("acc", Op("add", 16), ("acc", "v")),
+        ]
+        prog = Program(
+            "p",
+            [ArrayDecl("a", 4, 8, "regfile")],
+            [
+                Loop("i", 4, body, (UNROLL(),)),
+                Stmt("", Op("store", 16), ("acc",),
+                     store=MemAccess("out", Affine.of(const=0))),
+            ],
+        )
+        prog.arrays.append(ArrayDecl("out", 1, 16, "sram"))
+        flat = unroll_program(prog)
+        adds = [s for s in flat.body if s.op.kind == "add"]
+        # Each add consumes the previous replica's accumulator.
+        for prev, cur in zip(adds, adds[1:]):
+            assert prev.dest in cur.srcs
+        # The trailing store reads the final accumulator.
+        store = [s for s in flat.body if s.store and s.store.array == "out"][0]
+        assert adds[-1].dest in store.srcs
+
+
+class TestNestedUnroll:
+    def test_nested_sequential_outer(self):
+        prog = unroll_program(make_loop_program(4, nested=True))
+        (outer,) = prog.body
+        assert isinstance(outer, Loop) and outer.trip == 2
+        inner_stmts = flat_stmts(outer.body)
+        assert len(inner_stmts) == 12

@@ -1,0 +1,70 @@
+"""Tests for the structural Verilog emitter."""
+
+import re
+
+import pytest
+
+from repro.hls import PicoCompiler
+from repro.hls.programs import DecoderProfile, build_pipelined_program, fir_program
+from repro.hls.verilog import emit_verilog, sanitize
+
+
+@pytest.fixture(scope="module")
+def decoder_verilog():
+    result = PicoCompiler(clock_mhz=400).compile(
+        build_pipelined_program(DecoderProfile())
+    )
+    return emit_verilog(result)
+
+
+class TestSanitize:
+    def test_slashes_replaced(self):
+        assert "/" not in sanitize("a/b/c")
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize("3core")[0].isalpha()
+
+    def test_plain_name_unchanged(self):
+        assert sanitize("core1_dp") == "core1_dp"
+
+
+class TestEmission:
+    def test_module_balance(self, decoder_verilog):
+        assert decoder_verilog.count("module ") >= 2
+        opens = len(re.findall(r"^module ", decoder_verilog, re.M))
+        closes = len(re.findall(r"^endmodule", decoder_verilog, re.M))
+        assert opens == closes
+
+    def test_header_metadata(self, decoder_verilog):
+        assert "ldpc_pipelined_p96" in decoder_verilog
+        assert "400 MHz" in decoder_verilog
+
+    def test_sram_shapes(self, decoder_verilog):
+        # P SRAM: 24 x 768; R SRAM: 84 x 768.
+        assert "reg [767:0] p_mem [0:23];" in decoder_verilog
+        assert "reg [767:0] r_mem [0:83];" in decoder_verilog
+
+    def test_fifo_with_pointers(self, decoder_verilog):
+        assert "q_fifo_mem" in decoder_verilog
+        assert "q_fifo_rd_ptr" in decoder_verilog
+
+    def test_clock_gate_cells(self, decoder_verilog):
+        assert "ICG" in decoder_verilog
+        assert "clk_gated" in decoder_verilog
+
+    def test_scoreboard_present(self, decoder_verilog):
+        assert "scoreboard" in decoder_verilog
+
+    def test_fu_inventory_commented(self, decoder_verilog):
+        assert re.search(r"\d+ x sub\[7:0\] lane-units", decoder_verilog)
+
+    def test_ports_declared(self, decoder_verilog):
+        assert decoder_verilog.count("input  wire clk,") >= 2
+
+
+class TestFirEmission:
+    def test_fir_emits(self):
+        result = PicoCompiler(clock_mhz=300).compile(fir_program(taps=4, samples=16))
+        text = emit_verilog(result)
+        assert "module fir" in text
+        assert "rom" in text.lower() or "coef" in text

@@ -1,0 +1,108 @@
+"""Cross-module integration tests: the full stack, end to end.
+
+These are the tests DESIGN.md's validation strategy calls out: the
+numpy algorithm, the HLS-compiled structure, and the cycle-accurate
+architectures must agree with each other on the same frames.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import ArchConfig, PerLayerArch, TwoLayerPipelinedArch
+from repro.channel import AwgnChannel
+from repro.codes import wimax_code
+from repro.decoder import LayeredMinSumDecoder, decode
+from repro.encoder import RuEncoder
+from repro.eval.designs import design_point
+from tests.conftest import noisy_frame
+
+
+class TestFullChain:
+    """encode -> channel -> decode across every decoder implementation."""
+
+    @pytest.mark.parametrize("n", [576, 1152])
+    def test_wimax_chain(self, n):
+        code = wimax_code("1/2", n)
+        enc = RuEncoder(code)
+        rng = np.random.default_rng(n)
+        message = rng.integers(0, 2, enc.k).astype(np.uint8)
+        codeword = enc.encode(message)
+        llrs = AwgnChannel.from_ebno(3.0, code.rate, seed=1).llrs(codeword)
+
+        results = {
+            "float": decode(code, llrs),
+            "fixed": decode(code, llrs, fixed=True),
+        }
+        cfg = ArchConfig(code, core1_depth=4, core2_depth=2)
+        results["perlayer"] = PerLayerArch(cfg).decode(llrs).decode
+        cfg2 = ArchConfig(code, core1_depth=4, core2_depth=2)
+        results["pipelined"] = TwoLayerPipelinedArch(cfg2).decode(llrs).decode
+
+        for name, result in results.items():
+            assert result.converged, name
+            np.testing.assert_array_equal(
+                result.bits[: enc.k], message, err_msg=name
+            )
+
+    def test_three_implementations_bit_identical(self, wimax_short):
+        """numpy fixed == per-layer arch == pipelined arch, many frames."""
+        code = wimax_short
+        for seed in range(8):
+            _cw, llrs = noisy_frame(code, ebno_db=2.3, seed=seed)
+            ref = LayeredMinSumDecoder(code, fixed=True).decode(llrs)
+            a = PerLayerArch(
+                ArchConfig(code, core1_depth=3, core2_depth=2)
+            ).decode(llrs)
+            b = TwoLayerPipelinedArch(
+                ArchConfig(code, core1_depth=5, core2_depth=3,
+                           column_order="hazard-aware")
+            ).decode(llrs)
+            np.testing.assert_array_equal(a.decode.bits, ref.bits)
+            np.testing.assert_array_equal(b.decode.bits, ref.bits)
+            assert a.decode.iterations == ref.iterations
+            assert b.decode.iterations == ref.iterations
+
+
+class TestHlsToArchCoupling:
+    def test_design_point_consistency(self):
+        point = design_point("pipelined", 400.0)
+        # The HLS netlist's SRAM capacity equals the arch memories'.
+        sram_bits = point.hls.rtl.total_memory_bits(("sram",))
+        assert sram_bits == point.profile.memory_bits()
+        # The arch config's depths came from the compiled schedules.
+        core1 = point.hls.block(f"{point.hls.program.name}/it/l/j")
+        assert point.config.core1_depth == core1.schedule.length
+
+    def test_memoization(self):
+        a = design_point("pipelined", 400.0)
+        b = design_point("pipelined", 400.0)
+        assert a is b
+
+
+class TestEarlyTerminationConsistency:
+    def test_all_paths_agree_on_iteration_count(self, wimax_short):
+        _cw, llrs = noisy_frame(wimax_short, ebno_db=3.5, seed=3)
+        ref = LayeredMinSumDecoder(wimax_short, fixed=True).decode(llrs)
+        arch = TwoLayerPipelinedArch(
+            ArchConfig(wimax_short, core1_depth=3, core2_depth=2)
+        ).decode(llrs)
+        assert arch.decode.iterations == ref.iterations
+        assert arch.decode.iterations < 10  # early exit actually fired
+
+
+class TestMultiRateFlexibility:
+    """The paper's decoder is flexible across the whole standard."""
+
+    @pytest.mark.parametrize("rate", ["1/2", "2/3A", "3/4B", "5/6"])
+    def test_all_rates_through_architecture(self, rate):
+        code = wimax_code(rate, 576)
+        enc = RuEncoder(code)
+        rng = np.random.default_rng(99)
+        message = rng.integers(0, 2, enc.k).astype(np.uint8)
+        codeword = enc.encode(message)
+        llrs = AwgnChannel.from_ebno(4.5, code.rate, seed=2).llrs(codeword)
+        result = TwoLayerPipelinedArch(
+            ArchConfig(code, core1_depth=4, core2_depth=2)
+        ).decode(llrs)
+        assert result.decode.converged
+        np.testing.assert_array_equal(result.decode.bits, codeword)

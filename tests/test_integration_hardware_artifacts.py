@@ -1,0 +1,114 @@
+"""Integration: the hardware hand-off artifacts must agree with the models.
+
+Every artifact the flow emits — Verilog, golden vectors, VCD, floorplan,
+synthesis report — is derived from the same compiled design and the same
+bit-accurate arithmetic; these tests check the cross-artifact contracts
+a verification engineer would rely on.
+"""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.arch.vcd import to_vcd
+from repro.channel.quantize import MESSAGE_8BIT
+from repro.eval.designs import design_point, reference_frame
+from repro.hls.report import synthesis_report
+from repro.hls.testbench import _hex_to_word, generate_testbench
+from repro.hls.verilog import emit_verilog
+from repro.synth.floorplan import build_floorplan
+
+
+@pytest.fixture(scope="module")
+def point():
+    return design_point("pipelined", 400.0)
+
+
+@pytest.fixture(scope="module")
+def run(point):
+    return point.decode_reference_frame()
+
+
+class TestVerilogReportConsistency:
+    def test_memory_shapes_agree(self, point):
+        """The Verilog's array declarations match the report's memory map."""
+        verilog = emit_verilog(point.hls)
+        report = synthesis_report(point.hls)
+        for macro_name, words, width in (
+            ("p_mem", 24, 768),
+            ("r_mem", 84, 768),
+        ):
+            assert f"reg [{width - 1}:0] {macro_name} [0:{words - 1}];" in verilog
+            assert re.search(
+                rf"{macro_name}\s+\w+\s+{words}\s+{width}", report
+            ), f"{macro_name} missing from report"
+
+    def test_cycle_count_agrees(self, point):
+        verilog = emit_verilog(point.hls)
+        assert f"Cycles  : {point.hls.cycles}" in verilog
+        report = synthesis_report(point.hls)
+        assert f"total latency  : {point.hls.cycles} cycles" in report
+
+
+class TestGoldenVectorsMatchArchitecture:
+    def test_golden_equals_simulated_p_memory(self, point):
+        """The testbench's golden P memory must equal the cycle-accurate
+        simulator's final P memory contents, word for word."""
+        llrs = np.asarray(reference_frame(point.code))
+        bundle = generate_testbench(point.code, llrs, max_iterations=10)
+        sim = point.simulator()
+        # The bundle's decoder uses early termination; mirror it.
+        sim.config.early_termination = True
+        result = sim.decode(llrs)
+        final_codes = np.round(
+            result.decode.llrs / MESSAGE_8BIT.scale
+        ).astype(np.int32)
+        z = point.code.z
+        for j in range(point.code.nb):
+            golden = _hex_to_word(bundle.golden_hex[j], z, 8)
+            np.testing.assert_array_equal(
+                golden, final_codes[j * z : (j + 1) * z], err_msg=f"word {j}"
+            )
+
+    def test_iterations_agree(self, point):
+        llrs = np.asarray(reference_frame(point.code))
+        bundle = generate_testbench(point.code, llrs, max_iterations=10)
+        sim = point.simulator()
+        sim.config.early_termination = True
+        result = sim.decode(llrs)
+        assert bundle.iterations == result.decode.iterations
+
+
+class TestVcdTraceConsistency:
+    def test_vcd_timestamps_bounded_by_trace(self, run):
+        text = to_vcd(run.trace, clock_mhz=400.0)
+        stamps = [int(m) for m in re.findall(r"^#(\d+)$", text, re.M)]
+        assert max(stamps) == run.trace.total_cycles
+
+    def test_vcd_busy_time_matches_trace(self, run):
+        """Integrating core1's VCD waveform gives its busy cycles."""
+        text = to_vcd(run.trace, clock_mhz=400.0)
+        ident = re.search(r"\$var wire 1 (.) core1_busy", text).group(1)
+        busy = 0
+        current = 0
+        last_time = 0
+        for token_time, body in re.findall(
+            r"^#(\d+)\n((?:[01].\n?)*)", text, re.M
+        ):
+            t = int(token_time)
+            busy += current * (t - last_time)
+            last_time = t
+            for line in body.strip().splitlines():
+                if line.endswith(ident):
+                    current = int(line[0])
+        assert busy == run.trace.busy_cycles("core1")
+
+
+class TestFloorplanAreaConsistency:
+    def test_floorplan_covers_report_area(self, point):
+        area = point.hls.area()
+        plan = build_floorplan(area)
+        placed_mm2 = sum(p.area_um2 for p in plan.placements) * 1e-6
+        assert placed_mm2 == pytest.approx(area.total_mm2, rel=0.01)
+        assert plan.die_area_mm2 == pytest.approx(area.core_area_mm2, rel=0.01)

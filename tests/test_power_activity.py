@@ -1,0 +1,66 @@
+"""Tests for activity extraction and register-block partitioning."""
+
+import pytest
+
+from repro.arch.scheduler_trace import ArchTrace
+from repro.hls.rtl import MemoryMacro, RtlModule
+from repro.power.activity import ActivityProfile, extract_activity, register_blocks
+
+
+def decoder_like_rtl():
+    top = RtlModule("dec")
+    core1 = RtlModule("dec/it/l/j")
+    core1.register_bits = 1000
+    core2 = RtlModule("dec/it/l/k")
+    core2.register_bits = 600
+    top.add_submodule(core1)
+    top.add_submodule(core2)
+    top.memories.append(MemoryMacro("q_fifo", 14, 768, "fifo"))
+    top.memories.append(MemoryMacro("min1_array_c1", 1, 768, "regfile"))
+    top.memories.append(MemoryMacro("min1_array_c2", 1, 768, "regfile"))
+    top.memories.append(MemoryMacro("scoreboard", 1, 24, "regfile"))
+    top.memories.append(MemoryMacro("p_sram", 24, 768, "sram"))
+    return top
+
+
+class TestRegisterBlocks:
+    def test_partitions(self):
+        blocks = register_blocks(decoder_like_rtl())
+        assert blocks["core1"] == 1000 + 768
+        assert blocks["core2"] == 600 + 768
+        assert blocks["q_storage"] == 14 * 768
+        assert blocks["control"] == 24
+
+    def test_sram_not_counted(self):
+        blocks = register_blocks(decoder_like_rtl())
+        assert sum(blocks.values()) < 24 * 768 + 20000
+
+
+class TestExtractActivity:
+    def make_trace(self):
+        trace = ArchTrace()
+        trace.add("core1", 0, 90)
+        trace.add("core2", 10, 80)
+        trace.total_cycles = 100
+        return trace
+
+    def test_busy_fractions(self):
+        profile = extract_activity(decoder_like_rtl(), self.make_trace(), 14)
+        assert profile.block_activity["core1"] == pytest.approx(0.9)
+        assert profile.block_activity["core2"] == pytest.approx(0.7)
+
+    def test_q_storage_scaled_by_depth(self):
+        profile = extract_activity(decoder_like_rtl(), self.make_trace(), 14)
+        assert profile.block_activity["q_storage"] == pytest.approx(0.9 / 14)
+
+    def test_control_always_on(self):
+        profile = extract_activity(decoder_like_rtl(), self.make_trace(), 14)
+        assert profile.block_activity["control"] == 1.0
+
+    def test_weighted_activity_between_extremes(self):
+        profile = extract_activity(decoder_like_rtl(), self.make_trace(), 14)
+        w = profile.weighted_activity()
+        assert 0.0 < w < 1.0
+
+    def test_empty_profile_weighted_activity(self):
+        assert ActivityProfile().weighted_activity() == 1.0

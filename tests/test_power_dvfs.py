@@ -1,0 +1,96 @@
+"""Tests for the DVFS / energy-per-bit model."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.power.dvfs import DvfsModel, OperatingPoint
+
+
+@pytest.fixture(scope="module")
+def model():
+    # Roughly the paper's decoder: 180 mW peak split ~150/30, 415 Mbps.
+    return DvfsModel(
+        nominal_vdd=0.9,
+        nominal_clock_mhz=400.0,
+        dynamic_mw=150.0,
+        leakage_mw=30.0,
+        throughput_mbps=415.0,
+    )
+
+
+class TestFmax:
+    def test_nominal_point_recovered(self, model):
+        assert model.fmax_mhz(0.9) == pytest.approx(400.0)
+
+    def test_monotonic_in_vdd(self, model):
+        assert model.fmax_mhz(1.1) > model.fmax_mhz(0.9) > model.fmax_mhz(0.7)
+
+    def test_zero_below_threshold(self, model):
+        assert model.fmax_mhz(0.3) == 0.0
+
+
+class TestOperatingPoint:
+    def test_nominal_costs(self, model):
+        point = model.operating_point(0.9, 400.0)
+        assert point.total_mw == pytest.approx(180.0)
+        assert point.throughput_mbps == pytest.approx(415.0)
+
+    def test_energy_per_bit_nominal(self, model):
+        point = model.operating_point(0.9, 400.0)
+        # 180 mW / 415 Mbps ~= 0.43 nJ/bit = 434 pJ/bit.
+        assert point.energy_pj_per_bit == pytest.approx(433.7, rel=0.01)
+
+    def test_voltage_scaling_quadratic_dynamic(self, model):
+        half_clock = model.operating_point(0.9, 200.0)
+        assert half_clock.dynamic_mw == pytest.approx(75.0)
+
+    def test_infeasible_clock_rejected(self, model):
+        with pytest.raises(ModelError):
+            model.operating_point(0.6, 400.0)
+
+    def test_lower_voltage_lower_energy_at_fixed_throughput(self, model):
+        fast = model.operating_point(0.9, 200.0)
+        slow = model.operating_point(0.7, 200.0)
+        assert slow.energy_pj_per_bit < fast.energy_pj_per_bit
+
+
+class TestMinEnergy:
+    def test_meets_requirement(self, model):
+        point = model.min_energy_point(100.0)
+        assert point.throughput_mbps >= 100.0 * (1 - 1e-9)
+
+    def test_lower_requirement_lower_voltage(self, model):
+        low = model.min_energy_point(50.0)
+        high = model.min_energy_point(415.0)
+        assert low.vdd < high.vdd
+
+    def test_energy_per_bit_is_u_shaped(self, model):
+        """The classic minimum-energy point: leakage dominates at low
+        throughput (voltage floor), supply voltage at high throughput —
+        energy/bit has an interior minimum."""
+        energies = [
+            model.min_energy_point(mbps).energy_pj_per_bit
+            for mbps in (50.0, 150.0, 300.0, 415.0)
+        ]
+        minimum = min(energies)
+        assert energies.index(minimum) not in (0,)  # not leakage-limited end
+        assert energies[-1] > minimum  # nominal corner is not optimal
+        assert energies[0] > minimum  # deep-throttled is not optimal either
+
+    def test_impossible_requirement_rejected(self, model):
+        with pytest.raises(ModelError):
+            model.min_energy_point(5000.0)
+
+    def test_zero_requirement_rejected(self, model):
+        with pytest.raises(ModelError):
+            model.min_energy_point(0.0)
+
+
+class TestValidation:
+    def test_bad_nominal_vdd(self):
+        with pytest.raises(ModelError):
+            DvfsModel(nominal_vdd=0.2)
+
+    def test_bad_nominal_clock(self):
+        with pytest.raises(ModelError):
+            DvfsModel(nominal_clock_mhz=0.0)

@@ -1,0 +1,68 @@
+"""Tests for per-frame energy accounting."""
+
+import pytest
+
+from repro.eval.designs import design_point, reference_frame
+from repro.power import SpyGlassEstimator
+from repro.power.energy import energy_per_frame
+
+
+@pytest.fixture(scope="module")
+def setup():
+    point = design_point("pipelined", 400.0)
+    result = point.decode_reference_frame()
+    report = SpyGlassEstimator().estimate(
+        point.hls, result.trace, point.q_depth_words
+    )
+    return point, result, report.with_gating
+
+
+class TestEnergyPerFrame:
+    def test_components_positive(self, setup):
+        point, result, power = setup
+        energy = energy_per_frame(power, result, point.code.k)
+        assert energy.static_nj > 0
+        assert energy.sequential_nj > 0
+        assert energy.combinational_nj > 0
+        assert energy.sram_nj > 0
+
+    def test_total_is_sum(self, setup):
+        point, result, power = setup
+        energy = energy_per_frame(power, result, point.code.k)
+        assert energy.total_nj == pytest.approx(
+            energy.static_nj
+            + energy.sequential_nj
+            + energy.combinational_nj
+            + energy.sram_nj
+        )
+
+    def test_magnitude_sane(self, setup):
+        """~72 mW x ~2.5 us + SRAM ~= a few hundred nJ per frame."""
+        point, result, power = setup
+        energy = energy_per_frame(power, result, point.code.k)
+        assert 50 < energy.total_nj < 1000
+
+    def test_pj_per_bit(self, setup):
+        point, result, power = setup
+        energy = energy_per_frame(power, result, point.code.k)
+        assert energy.pj_per_bit == pytest.approx(
+            energy.total_nj * 1e3 / point.code.k
+        )
+        assert 50 < energy.pj_per_bit < 800
+
+    def test_early_termination_saves_energy(self, setup):
+        """Fewer cycles -> proportionally less energy (same power)."""
+        point, result, power = setup
+        full = energy_per_frame(power, result, point.code.k)
+
+        import dataclasses
+
+        # A synthetic early-exit decode at 40% of the cycles.
+        class Shorter(object):
+            cycles = int(result.cycles * 0.4)
+            clock_mhz = result.clock_mhz
+            trace = result.trace
+
+        short = energy_per_frame(power, Shorter(), point.code.k)
+        assert short.static_nj < full.static_nj
+        assert short.sequential_nj < full.sequential_nj

@@ -1,0 +1,102 @@
+"""Tests for the component power models."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.power.model import PowerBreakdown, PowerModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PowerModel()
+
+
+class TestLeakage:
+    def test_proportional_to_area(self, model):
+        assert model.leakage_mw(2e5) == pytest.approx(2 * model.leakage_mw(1e5))
+
+    def test_zero_area_zero_power(self, model):
+        assert model.leakage_mw(0) == 0.0
+
+    def test_negative_rejected(self, model):
+        with pytest.raises(ModelError):
+            model.leakage_mw(-1)
+
+
+class TestInternal:
+    def test_scales_with_clock(self, model):
+        assert model.internal_mw(1000, 400.0) == pytest.approx(
+            4 * model.internal_mw(1000, 100.0)
+        )
+
+    def test_scales_with_bits(self, model):
+        assert model.internal_mw(2000, 200.0) == pytest.approx(
+            2 * model.internal_mw(1000, 200.0)
+        )
+
+    def test_activity_scales(self, model):
+        full = model.internal_mw(1000, 400.0, activity=1.0)
+        half = model.internal_mw(1000, 400.0, activity=0.5)
+        assert half == pytest.approx(0.5 * full)
+
+    def test_bad_activity_rejected(self, model):
+        with pytest.raises(ModelError):
+            model.internal_mw(100, 400.0, activity=1.5)
+
+
+class TestGatedInternal:
+    def test_never_exceeds_ungated(self, model):
+        blocks = {"a": 5000, "b": 3000}
+        activity = {"a": 0.5, "b": 0.9}
+        gated = model.gated_internal_mw(blocks, activity, 400.0)
+        ungated = model.internal_mw(8000, 400.0)
+        assert gated <= ungated
+
+    def test_idle_design_saves_everything_gateable(self, model):
+        blocks = {"a": 1000}
+        gated = model.gated_internal_mw(blocks, {"a": 0.0}, 400.0)
+        ungated = model.internal_mw(1000, 400.0)
+        assert gated == pytest.approx(model.ungateable_fraction * ungated)
+
+    def test_fully_active_design_saves_nothing(self, model):
+        blocks = {"a": 1000}
+        gated = model.gated_internal_mw(blocks, {"a": 1.0}, 400.0)
+        assert gated == pytest.approx(model.internal_mw(1000, 400.0))
+
+    def test_empty_design(self, model):
+        assert model.gated_internal_mw({}, {}, 400.0) == 0.0
+
+
+class TestSwitching:
+    def test_scales_with_area_and_clock(self, model):
+        base = model.switching_mw(1e5, 100.0)
+        assert model.switching_mw(2e5, 100.0) == pytest.approx(2 * base)
+        assert model.switching_mw(1e5, 200.0) == pytest.approx(2 * base)
+
+    def test_custom_activity(self):
+        quiet = PowerModel(toggle_activity=0.1)
+        loud = PowerModel(toggle_activity=0.4)
+        assert loud.switching_mw(1e5, 400.0) == pytest.approx(
+            4 * quiet.switching_mw(1e5, 400.0)
+        )
+
+    def test_bad_activity_rejected(self):
+        with pytest.raises(ModelError):
+            PowerModel(toggle_activity=2.0)
+
+
+class TestSram:
+    def test_dynamic_plus_leak(self, model):
+        active = model.sram_mw(82944, 768, 4.0, 400.0)
+        idle = model.sram_mw(82944, 768, 0.0, 400.0)
+        assert active > idle > 0
+
+    def test_bad_inputs_rejected(self, model):
+        with pytest.raises(ModelError):
+            model.sram_mw(-1, 768, 1.0, 400.0)
+
+
+class TestBreakdown:
+    def test_total(self):
+        b = PowerBreakdown(1.0, 2.0, 3.0, sram_mw=4.0)
+        assert b.total_mw == pytest.approx(10.0)

@@ -1,0 +1,73 @@
+"""Tests for the SpyGlass-style estimator (Table I shape)."""
+
+import pytest
+
+from repro.eval.designs import design_point
+from repro.power import SpyGlassEstimator
+
+
+@pytest.fixture(scope="module")
+def pipelined_400():
+    point = design_point("pipelined", 400.0)
+    run = point.decode_reference_frame()
+    report = SpyGlassEstimator().estimate(
+        point.hls, run.trace, point.q_depth_words
+    )
+    return point, run, report
+
+
+class TestTable1Shape:
+    def test_gating_leaves_leakage_unchanged(self, pipelined_400):
+        _point, _run, report = pipelined_400
+        assert report.with_gating.leakage_mw == pytest.approx(
+            report.without_gating.leakage_mw
+        )
+
+    def test_gating_leaves_switching_unchanged(self, pipelined_400):
+        _point, _run, report = pipelined_400
+        assert report.with_gating.switching_mw == pytest.approx(
+            report.without_gating.switching_mw
+        )
+
+    def test_gating_reduces_internal_only(self, pipelined_400):
+        _point, _run, report = pipelined_400
+        assert report.with_gating.internal_mw < report.without_gating.internal_mw
+
+    def test_internal_saving_near_29_percent(self, pipelined_400):
+        _point, _run, report = pipelined_400
+        assert 0.20 <= report.internal_saving <= 0.38  # paper: 0.29
+
+    def test_absolute_totals_near_paper(self, pipelined_400):
+        _point, _run, report = pipelined_400
+        assert report.with_gating.total_mw == pytest.approx(72.0, rel=0.15)
+        assert report.without_gating.total_mw == pytest.approx(90.4, rel=0.15)
+
+
+class TestPeakPower:
+    def test_peak_near_180mw(self, pipelined_400):
+        point, run, _report = pipelined_400
+        peak = SpyGlassEstimator().peak_power_mw(
+            point.hls, run.trace, point.q_depth_words
+        )
+        assert peak == pytest.approx(180.0, rel=0.15)
+
+    def test_peak_above_typical(self, pipelined_400):
+        point, run, report = pipelined_400
+        peak = SpyGlassEstimator().peak_power_mw(
+            point.hls, run.trace, point.q_depth_words
+        )
+        assert peak > report.with_gating.total_mw
+
+
+class TestScalingBehaviour:
+    def test_power_scales_down_with_clock(self):
+        lo = design_point("pipelined", 100.0)
+        hi = design_point("pipelined", 400.0)
+        est = SpyGlassEstimator()
+        lo_rep = est.estimate(
+            lo.hls, lo.decode_reference_frame().trace, lo.q_depth_words
+        )
+        hi_rep = est.estimate(
+            hi.hls, hi.decode_reference_frame().trace, hi.q_depth_words
+        )
+        assert lo_rep.with_gating.total_mw < hi_rep.with_gating.total_mw

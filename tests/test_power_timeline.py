@@ -1,0 +1,74 @@
+"""Tests for the per-cycle power timeline."""
+
+import numpy as np
+import pytest
+
+from repro.arch.scheduler_trace import ArchTrace
+from repro.errors import ModelError
+from repro.power import SpyGlassEstimator
+from repro.power.model import PowerBreakdown
+from repro.power.timeline import PowerTimeline, power_timeline
+
+
+def synthetic_trace():
+    trace = ArchTrace()
+    trace.add("core1", 0, 50)
+    trace.add("core2", 30, 90)
+    trace.total_cycles = 100
+    return trace
+
+
+def breakdown():
+    return PowerBreakdown(leakage_mw=3.0, internal_mw=45.0, switching_mw=22.0)
+
+
+class TestTimeline:
+    def test_length_matches_makespan(self):
+        tl = power_timeline(breakdown(), synthetic_trace(), 400.0)
+        assert tl.series_mw.shape == (100,)
+
+    def test_leakage_floor(self):
+        tl = power_timeline(breakdown(), synthetic_trace(), 400.0)
+        assert tl.series_mw.min() >= 3.0
+
+    def test_peak_during_overlap(self):
+        tl = power_timeline(breakdown(), synthetic_trace(), 400.0)
+        overlap = tl.series_mw[30:50].mean()
+        idle = tl.series_mw[90:].mean()
+        assert overlap > idle
+
+    def test_peak_to_average_at_least_one(self):
+        tl = power_timeline(breakdown(), synthetic_trace(), 400.0)
+        assert tl.peak_to_average >= 1.0
+
+    def test_average_close_to_decomposition_total(self):
+        """The redistributed series must conserve the average power."""
+        tl = power_timeline(breakdown(), synthetic_trace(), 400.0)
+        assert tl.average_mw == pytest.approx(
+            breakdown().total_mw, rel=0.05
+        )
+
+    def test_sparkline_width(self):
+        tl = power_timeline(breakdown(), synthetic_trace(), 400.0)
+        assert len(tl.sparkline(40)) == 40
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ModelError):
+            power_timeline(breakdown(), ArchTrace(), 400.0)
+
+
+class TestOnRealDecode:
+    def test_pipelined_decode_profile(self):
+        from repro.eval.designs import design_point
+
+        point = design_point("pipelined", 400.0)
+        run = point.decode_reference_frame()
+        report = SpyGlassEstimator().estimate(
+            point.hls, run.trace, point.q_depth_words
+        )
+        tl = power_timeline(
+            report.with_gating, run.trace, 400.0, sram_mw_active=55.0
+        )
+        # Pipelined cores overlap heavily: modest crest factor.
+        assert 1.0 <= tl.peak_to_average < 1.6
+        assert tl.peak_mw > tl.average_mw

@@ -1,0 +1,123 @@
+"""Property-based tests over the HLS engine (hypothesis).
+
+Random straight-line programs and loop nests must always compile to
+consistent artifacts: dependence-respecting schedules, unroll-invariant
+statement counts, positive areas, and latency that scales with trips.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.hls import PicoCompiler
+from repro.hls.dfg import build_dfg
+from repro.hls.ir import Affine, ArrayDecl, Loop, MemAccess, Op, Program, Stmt
+from repro.hls.pragmas import PIPELINE, UNROLL
+from repro.hls.unroll import unroll_program
+
+_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_KINDS = ["add", "sub", "min", "max", "xor", "abs", "mux"]
+
+
+def random_body(rng, length):
+    """A random dependence chain of arithmetic statements."""
+    stmts = [
+        Stmt("v0", Op("load", 8), (), load=MemAccess("a", Affine.of("i")))
+    ]
+    for i in range(1, length):
+        srcs = tuple(
+            f"v{j}" for j in sorted(rng.choice(i, size=min(2, i), replace=False))
+        )
+        stmts.append(Stmt(f"v{i}", Op(str(rng.choice(_KINDS)), 8), srcs))
+    stmts.append(
+        Stmt("", Op("store", 8), (f"v{length - 1}",),
+             store=MemAccess("y", Affine.of("i")))
+    )
+    return stmts
+
+
+def random_program(seed, trip, length, unroll, pipeline):
+    rng = np.random.default_rng(seed)
+    pragmas = []
+    if unroll and trip % unroll == 0:
+        pragmas.append(UNROLL(unroll))
+    if pipeline:
+        pragmas.append(PIPELINE(1))
+    return Program(
+        "prop",
+        [ArrayDecl("a", trip, 8, "sram"), ArrayDecl("y", trip, 8, "sram")],
+        [Loop("i", trip, random_body(rng, length), tuple(pragmas))],
+    )
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(0, 500),
+    trip=st.sampled_from([4, 8, 12]),
+    length=st.integers(2, 8),
+    clock=st.sampled_from([100.0, 400.0]),
+)
+def test_compile_always_produces_consistent_artifacts(seed, trip, length, clock):
+    program = random_program(seed, trip, length, unroll=None, pipeline=False)
+    result = PicoCompiler(clock_mhz=clock).compile(program)
+    assert result.cycles >= trip  # at least one cycle per iteration
+    assert result.area().std_cell_ge > 0
+    for block in result.blocks:
+        assert block.schedule.length >= 1
+        assert all(s >= 0 for s in block.schedule.starts)
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(0, 500),
+    trip=st.sampled_from([4, 8]),
+    length=st.integers(2, 6),
+    factor=st.sampled_from([2, 4]),
+)
+def test_unroll_preserves_statement_count(seed, trip, length, factor):
+    program = random_program(seed, trip, length, unroll=factor, pipeline=False)
+    flat = unroll_program(program)
+    base = length + 1  # body stmts + store
+    if factor == trip:
+        # Full unroll: the loop dissolves into top-level statements.
+        assert len(flat.body) == base * factor
+    else:
+        (loop,) = flat.body
+        assert len(loop.body) == base * factor
+        assert loop.trip == trip // factor
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(0, 500),
+    trip=st.sampled_from([8, 16]),
+    length=st.integers(2, 6),
+)
+def test_pipelining_never_slower(seed, trip, length):
+    seq = PicoCompiler(300.0).compile(
+        random_program(seed, trip, length, None, False)
+    )
+    pipe = PicoCompiler(300.0).compile(
+        random_program(seed, trip, length, None, True)
+    )
+    assert pipe.cycles <= seq.cycles
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 500), length=st.integers(2, 8))
+def test_schedule_respects_dependences(seed, length):
+    rng = np.random.default_rng(seed)
+    stmts = random_body(rng, length)
+    dfg = build_dfg(stmts)
+    from repro.hls.schedule import Scheduler
+    from repro.synth.timing import TimingModel
+
+    arrays = [ArrayDecl("a", 64, 8, "sram"), ArrayDecl("y", 64, 8, "sram")]
+    sched = Scheduler(TimingModel(), 400.0, arrays=arrays).schedule_block(dfg)
+    for dep in dfg.deps:
+        assert sched.finishes[dep.src] <= sched.starts[dep.dst] + 1 - 1e-9

@@ -1,0 +1,135 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These tie whole subsystems together with invariants that must hold for
+*any* code in the supported family, not just the fixtures:
+
+* encode/decode identity on noiseless channels;
+* syndrome/codeword consistency;
+* decoder monotonicity and determinism;
+* architecture/algorithm equivalence on random codes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.arch import ArchConfig, TwoLayerPipelinedArch
+from repro.channel import AwgnChannel
+from repro.codes import random_qc_code
+from repro.decoder import LayeredMinSumDecoder
+from repro.encoder import RuEncoder
+
+_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+code_params = st.tuples(
+    st.integers(3, 5),        # mb
+    st.integers(4, 8),        # extra block columns
+    st.sampled_from([4, 6, 8]),  # z
+    st.integers(0, 50),       # construction seed
+)
+
+
+def build(params):
+    mb, extra, z, seed = params
+    nb = mb + extra
+    degree = min(nb - mb, 4) + 2
+    return random_qc_code(mb, nb, z, row_degree=degree, seed=seed)
+
+
+@_SETTINGS
+@given(params=code_params, payload_seed=st.integers(0, 1000))
+def test_noiseless_roundtrip(params, payload_seed):
+    """Any code + any payload decodes exactly on a clean channel."""
+    code = build(params)
+    encoder = RuEncoder(code)
+    rng = np.random.default_rng(payload_seed)
+    message = rng.integers(0, 2, encoder.k).astype(np.uint8)
+    codeword = encoder.encode(message)
+    llrs = 20.0 * (1.0 - 2.0 * codeword.astype(float))
+    result = LayeredMinSumDecoder(code).decode(llrs)
+    assert result.converged and result.iterations == 1
+    np.testing.assert_array_equal(result.bits, codeword)
+
+
+@_SETTINGS
+@given(params=code_params, payload_seed=st.integers(0, 1000))
+def test_codeword_space_closed_under_xor(params, payload_seed):
+    """Linearity: the XOR of two codewords is a codeword."""
+    code = build(params)
+    encoder = RuEncoder(code)
+    rng = np.random.default_rng(payload_seed)
+    a = encoder.encode(rng.integers(0, 2, encoder.k).astype(np.uint8))
+    b = encoder.encode(rng.integers(0, 2, encoder.k).astype(np.uint8))
+    assert code.is_codeword(a ^ b)
+
+
+@_SETTINGS
+@given(params=code_params, noise_seed=st.integers(0, 1000))
+def test_decoder_output_always_consistent(params, noise_seed):
+    """converged <=> zero syndrome <=> is_codeword, on any input."""
+    code = build(params)
+    rng = np.random.default_rng(noise_seed)
+    llrs = rng.normal(0, 3, code.n)
+    result = LayeredMinSumDecoder(code, max_iterations=5).decode(llrs)
+    assert result.converged == (result.syndrome_weight == 0)
+    assert result.converged == code.is_codeword(result.bits)
+    assert int(code.syndrome(result.bits).sum()) == result.syndrome_weight
+
+
+@_SETTINGS
+@given(params=code_params, noise_seed=st.integers(0, 1000))
+def test_decoding_is_deterministic(params, noise_seed):
+    code = build(params)
+    rng = np.random.default_rng(noise_seed)
+    llrs = rng.normal(0, 2, code.n)
+    a = LayeredMinSumDecoder(code, max_iterations=4).decode(llrs)
+    b = LayeredMinSumDecoder(code, max_iterations=4).decode(llrs)
+    np.testing.assert_array_equal(a.bits, b.bits)
+    assert a.iterations == b.iterations
+
+
+@_SETTINGS
+@given(params=code_params, noise_seed=st.integers(0, 500))
+def test_architecture_equals_algorithm_on_random_codes(params, noise_seed):
+    """The pipelined architecture is bit-identical to the fixed-point
+    numpy decoder for arbitrary codes of the family."""
+    code = build(params)
+    encoder = RuEncoder(code)
+    rng = np.random.default_rng(noise_seed)
+    codeword = encoder.encode(
+        rng.integers(0, 2, encoder.k).astype(np.uint8)
+    )
+    llrs = AwgnChannel.from_ebno(3.0, code.rate, seed=rng).llrs(codeword)
+    ref = LayeredMinSumDecoder(code, fixed=True, max_iterations=6).decode(llrs)
+    arch = TwoLayerPipelinedArch(
+        ArchConfig(
+            code,
+            core1_depth=4,
+            core2_depth=2,
+            max_iterations=6,
+            column_order="hazard-aware",
+        )
+    ).decode(llrs)
+    np.testing.assert_array_equal(arch.decode.bits, ref.bits)
+    assert arch.decode.iterations == ref.iterations
+
+
+@_SETTINGS
+@given(params=code_params, noise_seed=st.integers(0, 500))
+def test_more_iterations_never_lose_convergence(params, noise_seed):
+    """If the decoder converges within I iterations, it also converges
+    within I' > I (early termination freezes the solution)."""
+    code = build(params)
+    rng = np.random.default_rng(noise_seed)
+    encoder = RuEncoder(code)
+    codeword = encoder.encode(rng.integers(0, 2, encoder.k).astype(np.uint8))
+    llrs = AwgnChannel.from_ebno(4.0, code.rate, seed=rng).llrs(codeword)
+    short = LayeredMinSumDecoder(code, max_iterations=4).decode(llrs)
+    long = LayeredMinSumDecoder(code, max_iterations=12).decode(llrs)
+    if short.converged:
+        assert long.converged
+        np.testing.assert_array_equal(short.bits, long.bits)

@@ -1,0 +1,59 @@
+"""Tests for area estimation over RTL netlists."""
+
+import pytest
+
+from repro.hls.rtl import MemoryMacro, RtlModule
+from repro.synth.area import estimate_area
+from repro.synth.tech65 import TSMC65GP
+
+
+def small_design(register_bits=256, fus=4, sram_bits=0):
+    top = RtlModule("design")
+    top.add_fu("add", 8, fus)
+    top.register_bits = register_bits
+    if sram_bits:
+        top.memories.append(MemoryMacro("mem", sram_bits // 8, 8, "sram"))
+    return top
+
+
+class TestEstimate:
+    def test_breakdown_keys(self):
+        report = estimate_area(small_design(), 200.0)
+        assert set(report.breakdown_ge) == {
+            "functional_units",
+            "registers",
+            "muxes",
+            "control_routing",
+        }
+
+    def test_registers_dominate_when_many(self):
+        report = estimate_area(small_design(register_bits=100_000, fus=1), 200.0)
+        assert report.breakdown_ge["registers"] > report.breakdown_ge[
+            "functional_units"
+        ]
+
+    def test_sram_reported_separately(self):
+        with_mem = estimate_area(small_design(sram_bits=8192), 200.0)
+        without = estimate_area(small_design(), 200.0)
+        assert with_mem.sram_mm2 > 0
+        assert without.sram_mm2 == 0
+        assert with_mem.std_cell_mm2 == pytest.approx(without.std_cell_mm2)
+
+    def test_area_monotonic_in_clock(self):
+        design = small_design(fus=100)
+        slow = estimate_area(design, 100.0)
+        fast = estimate_area(design, 500.0)
+        assert fast.std_cell_mm2 >= slow.std_cell_mm2
+
+    def test_core_area_includes_utilization(self):
+        report = estimate_area(small_design(sram_bits=8192), 300.0)
+        assert report.core_area_mm2 == pytest.approx(
+            report.total_mm2 / TSMC65GP.layout_utilization
+        )
+
+    def test_regfile_macros_counted_as_flipflops(self):
+        design = small_design()
+        design.memories.append(MemoryMacro("rf", 8, 64, "regfile"))
+        with_rf = estimate_area(design, 200.0)
+        without = estimate_area(small_design(), 200.0)
+        assert with_rf.breakdown_ge["registers"] > without.breakdown_ge["registers"]

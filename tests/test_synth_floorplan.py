@@ -1,0 +1,79 @@
+"""Tests for the Fig 9 floorplan reproduction."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.eval.designs import design_point
+from repro.synth.floorplan import Floorplan, Placement, build_floorplan
+
+
+@pytest.fixture(scope="module")
+def plan():
+    point = design_point("pipelined", 400.0)
+    return build_floorplan(point.hls.area())
+
+
+class TestPlacement:
+    def test_area(self):
+        assert Placement("x", 0, 0, 10, 5).area_um2 == 50
+
+
+class TestBuildFloorplan:
+    def test_die_matches_core_area(self, plan):
+        point = design_point("pipelined", 400.0)
+        assert plan.die_area_mm2 == pytest.approx(
+            point.hls.area().core_area_mm2, rel=1e-6
+        )
+
+    def test_three_regions(self, plan):
+        names = [p.name for p in plan.placements]
+        assert any("R memory" in n for n in names)
+        assert any("P memory" in n for n in names)
+        assert any("standard cells" in n for n in names)
+
+    def test_r_macro_larger_than_p(self, plan):
+        r = next(p for p in plan.placements if "R memory" in p.name)
+        p_ = next(p for p in plan.placements if "P memory" in p.name)
+        # 64,512 vs 18,432 bits (Fig 9 shows R visibly larger).
+        assert r.area_um2 > 3 * p_.area_um2
+
+    def test_everything_inside_die(self, plan):
+        for p in plan.placements:
+            assert p.x >= -1e-6 and p.y >= -1e-6
+            assert p.x + p.width <= plan.die_width_um + 1e-6
+            assert p.y + p.height <= plan.die_height_um + 1e-6
+
+    def test_no_macro_overlap(self, plan):
+        macros = [p for p in plan.placements if "SRAM" in p.name]
+        a, b = macros
+        horizontally_apart = (
+            a.x + a.width <= b.x + 1e-6 or b.x + b.width <= a.x + 1e-6
+        )
+        vertically_apart = (
+            a.y + a.height <= b.y + 1e-6 or b.y + b.height <= a.y + 1e-6
+        )
+        assert horizontally_apart or vertically_apart
+
+    def test_utilization_sane(self, plan):
+        assert 0.5 < plan.utilization() <= 1.0
+
+    def test_negative_capacity_rejected(self, plan):
+        point = design_point("pipelined", 400.0)
+        with pytest.raises(ModelError):
+            build_floorplan(point.hls.area(), p_bits=-1)
+
+
+class TestRendering:
+    def test_ascii_has_border_and_legend(self, plan):
+        art = plan.render_ascii(width=50)
+        assert art.startswith("+")
+        assert "R=" in art or "P=" in art or "S=" in art
+
+    def test_ascii_regions_visible(self, plan):
+        art = plan.render_ascii(width=50)
+        assert "R" in art and "P" in art and "S" in art
+
+    def test_svg_well_formed(self, plan):
+        svg = plan.render_svg()
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert svg.count("<rect") == len(plan.placements) + 1

@@ -1,0 +1,50 @@
+"""Tests for the standard-cell operator library."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.synth.library import STD_CELLS, cell
+
+
+class TestLookup:
+    def test_known_cells_present(self):
+        for kind in ("add", "sub", "min", "mux", "rotate", "scale34", "sat"):
+            assert kind in STD_CELLS
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ModelError):
+            cell("warp_drive")
+
+
+class TestScaling:
+    def test_area_linear_in_width(self):
+        add = cell("add")
+        assert add.area_at(16) == pytest.approx(2 * add.area_at(8))
+
+    def test_delay_logarithmic_in_width(self):
+        add = cell("add")
+        assert add.delay_at(64) == pytest.approx(2 * add.delay_at(8))
+
+    def test_delay_floor_for_narrow_ops(self):
+        add = cell("add")
+        assert add.delay_at(1) >= 0.5 * add.delay_at(8)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ModelError):
+            cell("add").delay_at(0)
+
+
+class TestRelativeCosts:
+    def test_multiplier_dominates_adder(self):
+        assert cell("mul").area_ge > 5 * cell("add").area_ge
+
+    def test_wiring_only_ops_free(self):
+        assert cell("shift_const").area_ge == 0
+        assert cell("copy").area_ge == 0
+
+    def test_min_costs_compare_plus_select(self):
+        assert cell("min").area_ge > cell("cmp").area_ge
+
+    def test_rotate_reflects_mux_stages(self):
+        # log2(96) stages x 8 bits x ~1.75 GE/mux-bit ~= 98.
+        assert 60 < cell("rotate").area_ge < 150

@@ -1,0 +1,53 @@
+"""Tests for the technology model."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.synth.tech65 import TSMC65GP, TechnologyModel
+
+
+class TestPeriods:
+    def test_period_conversion(self):
+        assert TSMC65GP.period_ps(400) == pytest.approx(2500.0)
+
+    def test_usable_period_subtracts_overhead(self):
+        usable = TSMC65GP.usable_period_ps(400)
+        assert usable == pytest.approx(2500.0 - TSMC65GP.sequencing_overhead_ps)
+
+    def test_zero_clock_rejected(self):
+        with pytest.raises(ModelError):
+            TSMC65GP.period_ps(0)
+
+    def test_impossible_clock_rejected(self):
+        with pytest.raises(ModelError):
+            TSMC65GP.usable_period_ps(10_000)
+
+    def test_fo4_budget_shrinks_with_clock(self):
+        assert TSMC65GP.fo4_budget(400) < TSMC65GP.fo4_budget(100)
+
+
+class TestArea:
+    def test_ge_to_mm2(self):
+        assert TSMC65GP.ge_to_mm2(1e6) == pytest.approx(1.44)
+
+    def test_sram_area_positive(self):
+        assert TSMC65GP.sram_area_mm2(82944) > 0
+
+    def test_negative_sram_rejected(self):
+        with pytest.raises(ModelError):
+            TSMC65GP.sram_area_mm2(-1)
+
+    def test_sram_calibration_matches_brack(self):
+        """Table II [3] reports ~0.551 mm^2 for ~85 kbit of decoder SRAM."""
+        area = TSMC65GP.sram_area_mm2(84864)
+        assert 0.45 < area < 0.65
+
+
+class TestCustomization:
+    def test_technology_is_swappable(self):
+        fast = TechnologyModel(name="fast", fo4_ps=20.0)
+        assert fast.fo4_budget(400) > TSMC65GP.fo4_budget(400)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            TSMC65GP.fo4_ps = 1.0

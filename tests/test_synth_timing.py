@@ -1,0 +1,80 @@
+"""Tests for the timing model (pipelining + sizing)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.synth.timing import TimingModel
+
+
+@pytest.fixture(scope="module")
+def timing():
+    return TimingModel()
+
+
+class TestPipelining:
+    def test_shallow_logic_single_stage(self, timing):
+        assert timing.stages_for(20.0, 100.0) == 1
+
+    def test_stage_count_grows_with_clock(self, timing):
+        assert timing.stages_for(120.0, 500.0) > timing.stages_for(120.0, 100.0)
+
+    def test_stage_count_grows_with_depth(self, timing):
+        assert timing.stages_for(200.0, 400.0) > timing.stages_for(40.0, 400.0)
+
+    def test_report_feasible_flag(self, timing):
+        report = timing.pipeline(40.0, 300.0)
+        assert report.feasible
+        assert report.stages >= 1
+
+    def test_negative_depth_rejected(self, timing):
+        with pytest.raises(ModelError):
+            timing.pipeline(-1.0, 300.0)
+
+    def test_zero_depth_ok(self, timing):
+        assert timing.stages_for(0.0, 300.0) == 1
+
+
+class TestSizing:
+    def test_no_penalty_at_low_clock(self, timing):
+        assert timing.sizing_factor(50.0) == pytest.approx(1.0)
+
+    def test_monotonic_in_clock(self, timing):
+        factors = [timing.sizing_factor(c) for c in (100, 200, 300, 400)]
+        assert factors == sorted(factors)
+
+    def test_penalty_at_400mhz(self, timing):
+        assert timing.sizing_factor(400.0) > 1.0
+
+
+class TestWirePenalty:
+    def test_single_lane_free(self, timing):
+        assert timing.wire_penalty(1) == 1.0
+
+    def test_96_lanes_roughly_doubles(self, timing):
+        assert 1.8 < timing.wire_penalty(96) < 2.6
+
+    def test_monotonic(self, timing):
+        assert timing.wire_penalty(96) > timing.wire_penalty(8) > timing.wire_penalty(2)
+
+    def test_effective_delay(self, timing):
+        assert timing.effective_delay_fo4(10.0, 96) == pytest.approx(
+            10.0 * timing.wire_penalty(96)
+        )
+
+
+class TestFmax:
+    def test_practical_fmax_in_65nm_range(self, timing):
+        fmax = timing.practical_fmax_mhz()
+        assert 400 <= fmax <= 900
+
+    def test_achievable_fmax_capped(self, timing):
+        assert timing.achievable_fmax_mhz(10.0, 4) <= timing.practical_fmax_mhz()
+
+    def test_more_stages_more_fmax(self, timing):
+        assert timing.achievable_fmax_mhz(200.0, 8) >= timing.achievable_fmax_mhz(
+            200.0, 1
+        )
+
+    def test_bad_stage_budget_rejected(self, timing):
+        with pytest.raises(ModelError):
+            timing.achievable_fmax_mhz(100.0, 0)

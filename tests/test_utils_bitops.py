@@ -1,0 +1,91 @@
+"""Unit tests for repro.utils.bitops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bitops import (
+    bits_to_int,
+    hamming_distance,
+    hard_decision,
+    int_to_bits,
+    parity,
+)
+
+
+class TestHardDecision:
+    def test_positive_llr_is_zero_bit(self):
+        assert hard_decision(np.array([3.2]))[0] == 0
+
+    def test_negative_llr_is_one_bit(self):
+        assert hard_decision(np.array([-0.1]))[0] == 1
+
+    def test_zero_llr_resolves_to_zero(self):
+        # Hardware sign-bit convention: +0 has MSB 0.
+        assert hard_decision(np.array([0.0]))[0] == 0
+
+    def test_vectorized(self):
+        llrs = np.array([1.0, -1.0, 0.0, -7.5, 2.5])
+        np.testing.assert_array_equal(
+            hard_decision(llrs), [0, 1, 0, 1, 0]
+        )
+
+    def test_returns_uint8(self):
+        assert hard_decision(np.array([1.0, -1.0])).dtype == np.uint8
+
+    def test_integer_codes_supported(self):
+        np.testing.assert_array_equal(
+            hard_decision(np.array([5, -5, 0], dtype=np.int32)), [0, 1, 0]
+        )
+
+
+class TestHammingDistance:
+    def test_identical(self):
+        a = np.array([0, 1, 1, 0], dtype=np.uint8)
+        assert hamming_distance(a, a) == 0
+
+    def test_counts_differences(self):
+        a = np.array([0, 1, 1, 0], dtype=np.uint8)
+        b = np.array([1, 1, 0, 0], dtype=np.uint8)
+        assert hamming_distance(a, b) == 2
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            hamming_distance(np.zeros(3), np.zeros(4))
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=64))
+    def test_distance_to_complement_is_length(self, bits):
+        a = np.array(bits, dtype=np.uint8)
+        assert hamming_distance(a, 1 - a) == len(bits)
+
+
+class TestIntBits:
+    def test_round_trip_simple(self):
+        assert bits_to_int(int_to_bits(13, 8)) == 13
+
+    def test_width_checked(self):
+        with pytest.raises(ValueError):
+            int_to_bits(256, 8)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+    def test_little_endian(self):
+        np.testing.assert_array_equal(int_to_bits(1, 4), [1, 0, 0, 0])
+
+    @given(st.integers(0, 2**16 - 1))
+    def test_round_trip_property(self, value):
+        assert bits_to_int(int_to_bits(value, 16)) == value
+
+
+class TestParity:
+    def test_even(self):
+        assert parity(np.array([1, 1, 0], dtype=np.uint8)) == 0
+
+    def test_odd(self):
+        assert parity(np.array([1, 1, 1], dtype=np.uint8)) == 1
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=32))
+    def test_matches_sum_mod_2(self, bits):
+        assert parity(np.array(bits, dtype=np.uint8)) == sum(bits) % 2

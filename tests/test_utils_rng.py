@@ -1,0 +1,31 @@
+"""Unit tests for RNG normalization."""
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = as_generator(42).integers(0, 1000, 10)
+        b = as_generator(42).integers(0, 1000, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 1 << 30, 8)
+        b = as_generator(2).integers(0, 1 << 30, 8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_shared_stream_advances(self):
+        gen = np.random.default_rng(0)
+        first = as_generator(gen).integers(0, 1 << 30)
+        second = as_generator(gen).integers(0, 1 << 30)
+        # Same underlying stream: consecutive draws, not a reset.
+        assert (first, second) != (first, first) or first != second

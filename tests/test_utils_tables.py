@@ -1,0 +1,40 @@
+"""Unit tests for the text-table renderer."""
+
+import pytest
+
+from repro.utils.tables import render_table
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "33" in lines[3]
+
+    def test_title_included(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_column_count_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[0.12345], [12.345], [1234.5]])
+        assert "0.1234" in out or "0.1235" in out
+        assert "12.35" in out or "12.34" in out
+        assert "1234.5" in out
+
+    def test_zero_renders_compact(self):
+        out = render_table(["v"], [[0.0]])
+        assert out.splitlines()[-1].strip() == "0"
+
+    def test_separator_matches_widths(self):
+        out = render_table(["abc"], [["x"]])
+        header, sep, _row = out.splitlines()
+        assert len(sep) == len(header)
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert len(out.splitlines()) == 2
