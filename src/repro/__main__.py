@@ -5,6 +5,8 @@ Commands:
 * ``codes`` — list the supported code families and their parameters;
 * ``demo`` — encode/transmit/decode one frame and print the outcome;
 * ``experiments [IDS...]`` — regenerate paper tables/figures;
+* ``serve-bench`` — compare per-frame, batch, and continuous-batching
+  decode throughput on generated traffic;
 * ``synth`` — compile a decoder program and print the synthesis report;
 * ``verilog`` — compile and emit structural Verilog;
 * ``alist`` — export a code's parity-check matrix in alist format.
@@ -69,6 +71,106 @@ def cmd_demo(args) -> int:
         f"{result.iterations} iterations, payload errors={errors}"
     )
     return 0 if result.converged and errors == 0 else 1
+
+
+def cmd_serve_bench(args) -> int:
+    import time
+
+    from repro.channel import AwgnChannel
+    from repro.decoder import LayeredMinSumDecoder
+    from repro.encoder import RuEncoder
+    from repro.serve import (
+        BatchLayeredMinSumDecoder,
+        ContinuousBatchingEngine,
+        DecodeJob,
+        ServeMetrics,
+    )
+    from repro.utils.tables import render_table
+
+    if args.frames < 1:
+        print("serve-bench: --frames must be >= 1", file=sys.stderr)
+        return 2
+    if args.batch < 1:
+        print("serve-bench: --batch must be >= 1", file=sys.stderr)
+        return 2
+    if args.iterations < 1:
+        print("serve-bench: --iterations must be >= 1", file=sys.stderr)
+        return 2
+
+    code = _build_code(args)
+    rng = np.random.default_rng(args.seed)
+    encoder = RuEncoder(code)
+    frames = []
+    for _ in range(args.frames):
+        message = rng.integers(0, 2, encoder.k).astype(np.uint8)
+        codeword = encoder.encode(message)
+        channel = AwgnChannel.from_ebno(args.ebno, code.rate, seed=rng)
+        frames.append(channel.llrs(codeword))
+    llrs_2d = np.stack(frames)
+
+    # mode 1: the pre-serve baseline, one decode() call per frame
+    loop_decoder = LayeredMinSumDecoder(
+        code, max_iterations=args.iterations, fixed=args.fixed
+    )
+    t0 = time.perf_counter()
+    loop_results = [loop_decoder.decode(f) for f in frames]
+    t_loop = time.perf_counter() - t0
+    loop_converged = sum(r.converged for r in loop_results)
+
+    # mode 2: static batches of --batch frames through the batch kernel
+    batch_decoder = BatchLayeredMinSumDecoder(
+        code, max_iterations=args.iterations, fixed=args.fixed
+    )
+    t0 = time.perf_counter()
+    batch_converged = 0
+    for start in range(0, args.frames, args.batch):
+        batch_converged += batch_decoder.decode(
+            llrs_2d[start : start + args.batch]
+        ).num_converged
+    t_batch = time.perf_counter() - t0
+
+    # mode 3: continuous batching (retired slots refilled mid-flight)
+    metrics = ServeMetrics()
+    engine = ContinuousBatchingEngine(
+        code,
+        batch_size=args.batch,
+        max_iterations=args.iterations,
+        fixed=args.fixed,
+        metrics=metrics,
+    )
+    jobs = [DecodeJob(llrs=f) for f in frames]
+    t0 = time.perf_counter()
+    engine_results = engine.run(jobs)
+    t_engine = time.perf_counter() - t0
+    engine_converged = sum(d.result.converged for d in engine_results)
+
+    rows = [
+        ["frame-at-a-time", args.frames, f"{t_loop:.3f}",
+         f"{args.frames / t_loop:.1f}", "1.00x", loop_converged],
+        [f"static batch-{args.batch}", args.frames, f"{t_batch:.3f}",
+         f"{args.frames / t_batch:.1f}", f"{t_loop / t_batch:.2f}x",
+         batch_converged],
+        [f"continuous batch-{args.batch}", args.frames, f"{t_engine:.3f}",
+         f"{args.frames / t_engine:.1f}", f"{t_loop / t_engine:.2f}x",
+         engine_converged],
+    ]
+    print(
+        render_table(
+            ["mode", "frames", "time s", "frames/s", "speedup", "converged"],
+            rows,
+            title=(
+                f"serve-bench: {code.name}, Eb/N0={args.ebno} dB, "
+                f"{'fixed' if args.fixed else 'float'}, "
+                f"{args.iterations} iterations max"
+            ),
+        )
+    )
+    print()
+    print(metrics.report(title="continuous-batching metrics"))
+    agree = loop_converged == batch_converged == engine_converged
+    if not agree:
+        print("WARNING: modes disagree on converged frame count")
+    return 0 if agree else 1
 
 
 def cmd_experiments(args) -> int:
@@ -146,6 +248,17 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiments", help="regenerate paper artifacts")
     exp.add_argument("ids", nargs="*", help="experiment ids (default: all)")
 
+    sb = sub.add_parser(
+        "serve-bench", help="batched/continuous serving throughput comparison"
+    )
+    _add_code_args(sb)
+    sb.add_argument("--ebno", type=float, default=2.5)
+    sb.add_argument("--frames", type=int, default=64, help="traffic size")
+    sb.add_argument("--batch", type=int, default=16, help="decoder slots")
+    sb.add_argument("--iterations", type=int, default=10)
+    sb.add_argument("--seed", type=int, default=0)
+    sb.add_argument("--fixed", action="store_true", help="8-bit datapath")
+
     for name, helptext in (
         ("synth", "print the synthesis report"),
         ("verilog", "emit structural Verilog"),
@@ -173,6 +286,7 @@ def main(argv=None) -> int:
         "codes": cmd_codes,
         "demo": cmd_demo,
         "experiments": cmd_experiments,
+        "serve-bench": cmd_serve_bench,
         "synth": cmd_synth,
         "verilog": cmd_verilog,
         "alist": cmd_alist,

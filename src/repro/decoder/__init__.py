@@ -8,7 +8,7 @@ two-phase baselines (sum-product and min-sum) the layered schedule is
 measured against.
 """
 
-from repro.decoder.result import DecodeResult
+from repro.decoder.result import BatchDecodeResult, DecodeResult
 from repro.decoder.layered import LayeredMinSumDecoder
 from repro.decoder.flooding import FloodingDecoder
 from repro.decoder.hard import GallagerBDecoder, WeightedBitFlipDecoder
@@ -20,9 +20,10 @@ from repro.decoder.minsum import (
     scale_magnitude_float,
     sign_with_zero_positive,
 )
-from repro.decoder.api import decode
+from repro.decoder.api import decode, decode_many
 
 __all__ = [
+    "BatchDecodeResult",
     "DecodeResult",
     "LayeredMinSumDecoder",
     "FloodingDecoder",
@@ -36,4 +37,5 @@ __all__ = [
     "scale_magnitude_float",
     "sign_with_zero_positive",
     "decode",
+    "decode_many",
 ]

@@ -3,7 +3,10 @@
 ``decode(code, llrs)`` covers the common case — the paper's layered
 scaled min-sum with 10 iterations and early termination — while the
 decoder classes remain available for repeated-use and advanced
-configuration.
+configuration.  ``decode_many(code, llrs_2d)`` is the batched
+counterpart: layered min-sum frames go through the vectorized batch
+kernel (:mod:`repro.serve.batch`), other algorithms fall back to a
+per-frame loop, and both paths share one algorithm dispatch.
 """
 
 from __future__ import annotations
@@ -14,7 +17,7 @@ from repro.codes.qc import QCLDPCCode
 from repro.decoder.flooding import FloodingDecoder
 from repro.decoder.layered import DEFAULT_MAX_ITERATIONS, LayeredMinSumDecoder
 from repro.decoder.layered_spa import LayeredSumProductDecoder
-from repro.decoder.result import DecodeResult
+from repro.decoder.result import BatchDecodeResult, DecodeResult
 from repro.errors import DecodingError
 
 _ALGORITHMS = (
@@ -23,6 +26,31 @@ _ALGORITHMS = (
     "flooding-min-sum",
     "flooding-sum-product",
 )
+
+
+def _make_decoder(
+    code: QCLDPCCode,
+    algorithm: str,
+    max_iterations: int,
+    fixed: bool,
+):
+    """Validate ``algorithm``/``fixed`` and build the per-frame decoder.
+
+    The single dispatch point shared by :func:`decode` and
+    :func:`decode_many`.
+    """
+    if algorithm not in _ALGORITHMS:
+        raise DecodingError(
+            f"unknown algorithm {algorithm!r}; choose from {_ALGORITHMS}"
+        )
+    if fixed and algorithm != "layered-min-sum":
+        raise DecodingError("fixed-point mode is only available for layered-min-sum")
+    if algorithm == "layered-min-sum":
+        return LayeredMinSumDecoder(code, max_iterations=max_iterations, fixed=fixed)
+    if algorithm == "layered-sum-product":
+        return LayeredSumProductDecoder(code, max_iterations=max_iterations)
+    check_rule = "min-sum" if algorithm == "flooding-min-sum" else "sum-product"
+    return FloodingDecoder(code, max_iterations=max_iterations, check_rule=check_rule)
 
 
 def decode(
@@ -49,24 +77,50 @@ def decode(
     fixed:
         Bit-accurate 8-bit arithmetic (layered only).
     """
+    return _make_decoder(code, algorithm, max_iterations, fixed).decode(channel_llrs)
+
+
+def decode_many(
+    code: QCLDPCCode,
+    channel_llrs: np.ndarray,
+    algorithm: str = "layered-min-sum",
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    fixed: bool = False,
+) -> BatchDecodeResult:
+    """Decode a ``(B, n)`` LLR matrix; rows are independent frames.
+
+    The default algorithm runs through the vectorized batch kernel
+    (bit-exact with :func:`decode` frame by frame, converged frames
+    retired early); the other algorithms decode row by row and are
+    repackaged into the same :class:`BatchDecodeResult`.
+    """
+    llrs = np.asarray(channel_llrs, dtype=np.float64)
+    if llrs.ndim != 2 or llrs.shape[1] != code.n:
+        raise DecodingError(f"LLR matrix shape {llrs.shape} != (B, {code.n})")
+    # Validate algorithm/fixed exactly as decode() does, for every path.
+    decoder = _make_decoder(code, algorithm, max_iterations, fixed)
+
     if algorithm == "layered-min-sum":
-        return LayeredMinSumDecoder(
+        # Imported here: repro.serve imports repro.decoder at load time.
+        from repro.serve.batch import BatchLayeredMinSumDecoder
+
+        return BatchLayeredMinSumDecoder(
             code, max_iterations=max_iterations, fixed=fixed
-        ).decode(channel_llrs)
-    if fixed:
-        raise DecodingError("fixed-point mode is only available for layered-min-sum")
-    if algorithm == "layered-sum-product":
-        return LayeredSumProductDecoder(
-            code, max_iterations=max_iterations
-        ).decode(channel_llrs)
-    if algorithm == "flooding-min-sum":
-        return FloodingDecoder(
-            code, max_iterations=max_iterations, check_rule="min-sum"
-        ).decode(channel_llrs)
-    if algorithm == "flooding-sum-product":
-        return FloodingDecoder(
-            code, max_iterations=max_iterations, check_rule="sum-product"
-        ).decode(channel_llrs)
-    raise DecodingError(
-        f"unknown algorithm {algorithm!r}; choose from {_ALGORITHMS}"
+        ).decode(llrs)
+
+    results = [decoder.decode(row) for row in llrs]
+    return BatchDecodeResult(
+        bits=np.stack([r.bits for r in results])
+        if results
+        else np.zeros((0, code.n), dtype=np.uint8),
+        converged=np.array([r.converged for r in results], dtype=bool),
+        iterations=np.array([r.iterations for r in results], dtype=np.int64),
+        llrs=np.stack([r.llrs for r in results])
+        if results
+        else np.zeros((0, code.n), dtype=np.float64),
+        syndrome_weights=np.array(
+            [r.syndrome_weight for r in results], dtype=np.int64
+        ),
+        iteration_syndromes=[list(r.iteration_syndromes) for r in results],
+        max_iterations=max_iterations,
     )

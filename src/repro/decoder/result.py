@@ -42,3 +42,77 @@ class DecodeResult(object):
     def message_bits(self, k: int) -> np.ndarray:
         """The systematic payload (first ``k`` positions)."""
         return self.bits[:k].copy()
+
+
+@dataclass
+class BatchDecodeResult(object):
+    """Outcome of decoding a batch of ``B`` codewords at once.
+
+    Row ``i`` of every array describes frame ``i`` of the input LLR
+    matrix; :meth:`frame` / :meth:`per_frame` convert rows back into the
+    per-frame :class:`DecodeResult` the rest of the package consumes.
+
+    Attributes
+    ----------
+    bits:
+        ``(B, n)`` hard-decision codeword estimates.
+    converged:
+        ``(B,)`` bool, True where all parity checks passed.
+    iterations:
+        ``(B,)`` full iterations executed per frame (early retirement
+        makes these smaller than ``max_iterations``).
+    llrs:
+        ``(B, n)`` final a-posteriori values (dequantized in fixed mode).
+    syndrome_weights:
+        ``(B,)`` unsatisfied-check counts at exit.
+    iteration_syndromes:
+        Per frame, the unsatisfied-check count after each completed
+        iteration (length = that frame's ``iterations``).
+    max_iterations:
+        The iteration budget the batch ran under; together with
+        ``iterations`` it yields :attr:`iterations_saved`.
+    """
+
+    bits: np.ndarray
+    converged: np.ndarray
+    iterations: np.ndarray
+    llrs: np.ndarray
+    syndrome_weights: np.ndarray
+    iteration_syndromes: List[List[int]] = field(default_factory=list)
+    max_iterations: int = 0
+
+    def __len__(self) -> int:
+        return int(self.bits.shape[0])
+
+    @property
+    def num_converged(self) -> int:
+        """Number of frames whose parity checks all passed."""
+        return int(np.count_nonzero(self.converged))
+
+    @property
+    def iterations_saved(self) -> int:
+        """Iterations avoided by early retirement of converged frames."""
+        if self.max_iterations <= 0:
+            return 0
+        saved = self.max_iterations - self.iterations[self.converged]
+        return int(saved.sum())
+
+    def frame(self, i: int) -> DecodeResult:
+        """Frame ``i`` as a per-frame :class:`DecodeResult`."""
+        syndromes = (
+            list(self.iteration_syndromes[i])
+            if i < len(self.iteration_syndromes)
+            else []
+        )
+        return DecodeResult(
+            bits=self.bits[i].copy(),
+            converged=bool(self.converged[i]),
+            iterations=int(self.iterations[i]),
+            llrs=self.llrs[i].copy(),
+            syndrome_weight=int(self.syndrome_weights[i]),
+            iteration_syndromes=syndromes,
+        )
+
+    def per_frame(self) -> List[DecodeResult]:
+        """All frames as per-frame results, in batch order."""
+        return [self.frame(i) for i in range(len(self))]

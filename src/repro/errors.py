@@ -31,3 +31,23 @@ class ArchitectureError(ReproError):
 
 class ModelError(ReproError):
     """Technology / area / power model misuse."""
+
+
+class ServeError(ReproError):
+    """Base class for batched decode runtime (``repro.serve``) failures."""
+
+
+class EngineFullError(ServeError):
+    """A frame was admitted to a continuous-batching engine with no free slot."""
+
+
+class QueueFullError(ServeError):
+    """A bounded service queue rejected a frame (overload backpressure)."""
+
+
+class ServeTimeoutError(ServeError):
+    """A submit or result wait exceeded its deadline."""
+
+
+class ServiceClosedError(ServeError):
+    """A frame was submitted to a service that is shutting down or closed."""

@@ -1,0 +1,41 @@
+"""Batched decode runtime: batch kernel, continuous batching, workers.
+
+The software analogue of the paper's throughput story.  Where the
+hardware keeps its z-way datapath saturated across layers (two-layer
+pipelining + scoreboard), this package keeps a vectorized numpy datapath
+saturated across *frames*:
+
+* :class:`BatchLayeredMinSumDecoder` — decode a ``(B, n)`` LLR matrix
+  with one numpy pass per layer, bit-exact with the per-frame decoder,
+  retiring converged frames early;
+* :class:`ContinuousBatchingEngine` — slot reuse: retired frames free
+  slots that new frames fill mid-flight, so the batch never drains;
+* :class:`DecodeService` — worker pool with per-rate sharding, bounded
+  queues (typed backpressure errors), and futures-based submission;
+* :class:`ServeMetrics` / :class:`MetricsSnapshot` — counters and
+  latency/occupancy statistics with a text report.
+
+Quickstart::
+
+    from repro.serve import DecodeService
+
+    with DecodeService(code, batch_size=16) as service:
+        futures = [service.submit(llrs) for llrs in traffic]
+        results = [f.result().result for f in futures]
+"""
+
+from repro.serve.batch import BatchLayeredMinSumDecoder
+from repro.serve.engine import ContinuousBatchingEngine
+from repro.serve.jobs import CompletedJob, DecodeJob
+from repro.serve.metrics import MetricsSnapshot, ServeMetrics
+from repro.serve.pool import DecodeService
+
+__all__ = [
+    "BatchLayeredMinSumDecoder",
+    "ContinuousBatchingEngine",
+    "CompletedJob",
+    "DecodeJob",
+    "DecodeService",
+    "MetricsSnapshot",
+    "ServeMetrics",
+]

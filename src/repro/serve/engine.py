@@ -1,0 +1,217 @@
+"""Continuous-batching engine: slot reuse across frames.
+
+The LLM-inference continuous-batching pattern applied to LDPC decoding:
+an engine owns ``batch_size`` decoder slots; every :meth:`step` runs one
+full layered iteration over the *occupied* slots only, retires frames
+whose parity checks pass (or whose iteration budget is spent), and the
+freed slots are immediately available to :meth:`admit` new frames — so
+a saturated engine never idles a slot waiting for the slowest frame of
+a fixed batch, exactly the way the paper's two-layer pipelined
+architecture keeps core1/core2 busy across layers via its scoreboard.
+
+Frames in the same engine share one code (and hence one LLR length);
+mixed-rate traffic is sharded across engines by the worker pool in
+:mod:`repro.serve.pool`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.channel.quantize import MESSAGE_8BIT, FixedPointFormat
+from repro.codes.qc import QCLDPCCode
+from repro.decoder.layered import DEFAULT_MAX_ITERATIONS
+from repro.decoder.minsum import SCALING_FACTOR
+from repro.decoder.result import DecodeResult
+from repro.errors import DecodingError, EngineFullError
+from repro.serve.batch import BatchLayeredMinSumDecoder
+from repro.serve.jobs import CompletedJob, DecodeJob
+from repro.serve.metrics import ServeMetrics
+from repro.utils.bitops import hard_decision
+
+__all__ = ["ContinuousBatchingEngine"]
+
+
+class ContinuousBatchingEngine(object):
+    """Decode a stream of jobs through a fixed pool of batch slots.
+
+    Parameters
+    ----------
+    code:
+        The QC-LDPC code every frame of this engine uses.
+    batch_size:
+        Number of decoder slots (B).
+    max_iterations / scaling_factor / fixed / fmt:
+        Forwarded to the underlying batch kernel.
+    metrics:
+        Optional shared :class:`ServeMetrics`; a private instance is
+        created when omitted.
+    """
+
+    def __init__(
+        self,
+        code: QCLDPCCode,
+        batch_size: int = 16,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        scaling_factor: float = SCALING_FACTOR,
+        fixed: bool = False,
+        fmt: FixedPointFormat = MESSAGE_8BIT,
+        metrics: Optional[ServeMetrics] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise DecodingError(f"batch_size must be >= 1, got {batch_size}")
+        self.code = code
+        self.batch_size = batch_size
+        self.max_iterations = max_iterations
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self.kernel = BatchLayeredMinSumDecoder(
+            code,
+            max_iterations=max_iterations,
+            scaling_factor=scaling_factor,
+            fixed=fixed,
+            fmt=fmt,
+            early_termination=True,
+        )
+        self._p = self.kernel.prepare(np.zeros((batch_size, code.n)))
+        self._r = self.kernel.new_r_state(batch_size)
+        self._occupied = np.zeros(batch_size, dtype=bool)
+        self._iters = np.zeros(batch_size, dtype=np.int64)
+        self._jobs: List[Optional[DecodeJob]] = [None] * batch_size
+        self._syndromes: List[List[int]] = [[] for _ in range(batch_size)]
+
+    # ------------------------------------------------------------------
+    # slot management
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Frames currently occupying a slot."""
+        return int(np.count_nonzero(self._occupied))
+
+    @property
+    def free_slots(self) -> int:
+        """Slots available for :meth:`admit`."""
+        return self.batch_size - self.in_flight
+
+    def admit(self, job: DecodeJob) -> int:
+        """Place one job into a free slot; returns the slot index.
+
+        Raises
+        ------
+        EngineFullError
+            If every slot is occupied.
+        DecodingError
+            If the job's LLR vector has the wrong length.
+        """
+        free = np.flatnonzero(~self._occupied)
+        if free.size == 0:
+            raise EngineFullError(
+                f"all {self.batch_size} slots occupied; step() before admitting"
+            )
+        llrs = np.asarray(job.llrs, dtype=np.float64)
+        if llrs.shape != (self.code.n,):
+            raise DecodingError(
+                f"job {job.job_id}: LLR length {llrs.shape} != ({self.code.n},)"
+            )
+        slot = int(free[0])
+        self._p[slot] = self.kernel.prepare(llrs[None, :])[0]
+        for rl in self._r:
+            rl[slot] = 0
+        self._occupied[slot] = True
+        self._iters[slot] = 0
+        self._jobs[slot] = job
+        self._syndromes[slot] = []
+        self.metrics.frame_admitted()
+        return slot
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def step(self) -> List[CompletedJob]:
+        """Run one layered iteration over the occupied slots.
+
+        Retires (and returns) every frame whose parity checks pass or
+        whose iteration budget is exhausted; the freed slots can be
+        refilled before the next step.
+        """
+        act = np.flatnonzero(self._occupied)
+        if act.size == 0:
+            return []
+
+        # Iterate the full slot arrays: free slots decode stale/zero
+        # state (cheap, harmless) and in exchange the hot path never
+        # gathers/scatters the per-layer R matrices.
+        self.kernel.iterate_once(self._p, self._r)
+        p = self._p
+
+        self._iters[act] += 1
+        weights = self.kernel.syndrome_weights(p[act])
+        self.metrics.step_recorded(int(act.size), self.batch_size)
+
+        completed: List[CompletedJob] = []
+        for j, slot in enumerate(act):
+            slot = int(slot)
+            weight = int(weights[j])
+            self._syndromes[slot].append(weight)
+            converged = weight == 0
+            if not converged and self._iters[slot] < self.max_iterations:
+                continue
+            job = self._jobs[slot]
+            result = DecodeResult(
+                bits=hard_decision(p[slot]),
+                converged=converged,
+                iterations=int(self._iters[slot]),
+                llrs=self.kernel.finalize_llrs(p[slot : slot + 1])[0],
+                syndrome_weight=weight,
+                iteration_syndromes=list(self._syndromes[slot]),
+            )
+            done = CompletedJob(job=job, result=result)
+            self.metrics.frame_retired(
+                converged=converged,
+                iterations=result.iterations,
+                max_iterations=self.max_iterations,
+                latency_s=done.latency_s,
+            )
+            self._occupied[slot] = False
+            self._jobs[slot] = None
+            completed.append(done)
+        return completed
+
+    def drain(self) -> List[CompletedJob]:
+        """Step until every in-flight frame has retired."""
+        completed: List[CompletedJob] = []
+        while self.in_flight:
+            completed.extend(self.step())
+        return completed
+
+    # ------------------------------------------------------------------
+    # convenience driver
+    # ------------------------------------------------------------------
+    def run(self, jobs: Iterable[DecodeJob]) -> List[CompletedJob]:
+        """Continuously feed ``jobs`` through the slots.
+
+        Admission happens whenever a slot is free (including slots freed
+        by early retirement mid-stream), so a long job list keeps the
+        batch full; results are returned in the input order.
+        """
+        pending = deque(
+            job if isinstance(job, DecodeJob) else DecodeJob(llrs=np.asarray(job))
+            for job in jobs
+        )
+        order = {job.job_id: i for i, job in enumerate(pending)}
+        completed: List[Optional[CompletedJob]] = [None] * len(pending)
+        extras: List[CompletedJob] = []
+
+        while pending or self.in_flight:
+            while pending and self.free_slots:
+                self.admit(pending.popleft())
+            for done in self.step():
+                pos = order.get(done.job_id)
+                if pos is None:
+                    # a frame admitted outside this run() call retired here
+                    extras.append(done)
+                else:
+                    completed[pos] = done
+        return [c for c in completed if c is not None] + extras

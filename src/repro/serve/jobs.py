@@ -1,0 +1,76 @@
+"""Job records flowing through the serving runtime.
+
+A :class:`DecodeJob` is one frame of channel LLRs waiting for a decoder
+slot; a :class:`CompletedJob` pairs the job with its
+:class:`~repro.decoder.result.DecodeResult` and the latency split the
+metrics layer aggregates.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.decoder.result import DecodeResult
+
+_JOB_IDS = itertools.count()
+
+
+def _next_job_id() -> int:
+    return next(_JOB_IDS)
+
+
+@dataclass
+class DecodeJob(object):
+    """One frame awaiting decode.
+
+    Attributes
+    ----------
+    llrs:
+        Length-n channel LLRs.
+    job_id:
+        Monotonic id (auto-assigned; submission order within a process).
+    code_key:
+        Routing key for sharded services (e.g. the rate class); None
+        means "the only shard".
+    enqueued_at:
+        ``time.monotonic()`` timestamp taken at construction, the start
+        of the latency clock.
+    """
+
+    llrs: np.ndarray
+    job_id: int = field(default_factory=_next_job_id)
+    code_key: Optional[str] = None
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+
+@dataclass
+class CompletedJob(object):
+    """A decoded frame with its latency accounting.
+
+    Attributes
+    ----------
+    job:
+        The originating :class:`DecodeJob`.
+    result:
+        The per-frame decode outcome.
+    completed_at:
+        ``time.monotonic()`` when the frame retired from its engine.
+    """
+
+    job: DecodeJob
+    result: DecodeResult
+    completed_at: float = field(default_factory=time.monotonic)
+
+    @property
+    def job_id(self) -> int:
+        return self.job.job_id
+
+    @property
+    def latency_s(self) -> float:
+        """Queue wait + decode time, in seconds."""
+        return max(0.0, self.completed_at - self.job.enqueued_at)

@@ -1,0 +1,167 @@
+"""Counters and latency/occupancy statistics for the serving runtime.
+
+One :class:`ServeMetrics` instance can be shared by every engine and
+worker of a service — all mutators take an internal lock — and exposes
+its state two ways: :meth:`snapshot` returns an immutable
+:class:`MetricsSnapshot` dataclass for programmatic use, and
+:meth:`report` renders the snapshot as an aligned text table in the
+house style of the evaluation harness.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.utils.stats import RollingReservoir
+from repro.utils.tables import render_table
+
+__all__ = ["MetricsSnapshot", "ServeMetrics"]
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot(object):
+    """Immutable point-in-time view of a :class:`ServeMetrics`.
+
+    Attributes
+    ----------
+    frames_in / frames_out:
+        Frames admitted to an engine slot / frames retired with a result.
+    frames_converged / frames_failed:
+        Retired frames whose parity checks passed / did not pass.
+    frames_rejected:
+        Frames refused by backpressure (queue full or service closed).
+    engine_steps:
+        Decode iterations executed across all engines (each step runs
+        one full layered iteration over the occupied slots).
+    slot_iterations:
+        Frame-iterations executed (sum of occupied slots over steps).
+    iterations_saved:
+        Frame-iterations avoided by early retirement of converged
+        frames, relative to running every frame to its budget.
+    mean_occupancy:
+        Mean fraction of slots busy per engine step (0..1).
+    p50_latency_s / p99_latency_s / mean_latency_s:
+        Submit-to-retire latency percentiles over the recent window.
+    elapsed_s:
+        Wall-clock seconds since the metrics object was created/reset.
+    throughput_fps:
+        ``frames_out / elapsed_s`` (0 when no time has elapsed).
+    """
+
+    frames_in: int
+    frames_out: int
+    frames_converged: int
+    frames_failed: int
+    frames_rejected: int
+    engine_steps: int
+    slot_iterations: int
+    iterations_saved: int
+    mean_occupancy: float
+    p50_latency_s: float
+    p99_latency_s: float
+    mean_latency_s: float
+    elapsed_s: float
+    throughput_fps: float
+
+
+class ServeMetrics(object):
+    """Thread-safe counters + histograms for the decode service."""
+
+    def __init__(self, latency_window: int = 8192) -> None:
+        self._lock = threading.Lock()
+        self._latency_window = latency_window
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter and drop retained samples."""
+        with self._lock:
+            self._frames_in = 0
+            self._frames_out = 0
+            self._frames_converged = 0
+            self._frames_failed = 0
+            self._frames_rejected = 0
+            self._engine_steps = 0
+            self._slot_iterations = 0
+            self._iterations_saved = 0
+            self._occupancy = RollingReservoir(self._latency_window)
+            self._latency = RollingReservoir(self._latency_window)
+            self._started_at = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # recording hooks (called by engines / services)
+    # ------------------------------------------------------------------
+    def frame_admitted(self, count: int = 1) -> None:
+        with self._lock:
+            self._frames_in += count
+
+    def frame_rejected(self, count: int = 1) -> None:
+        with self._lock:
+            self._frames_rejected += count
+
+    def step_recorded(self, busy_slots: int, capacity: int) -> None:
+        """One engine step over ``busy_slots`` of ``capacity`` slots."""
+        with self._lock:
+            self._engine_steps += 1
+            self._slot_iterations += busy_slots
+            if capacity > 0:
+                self._occupancy.observe(busy_slots / capacity)
+
+    def frame_retired(
+        self,
+        converged: bool,
+        iterations: int,
+        max_iterations: int,
+        latency_s: float,
+    ) -> None:
+        with self._lock:
+            self._frames_out += 1
+            if converged:
+                self._frames_converged += 1
+                self._iterations_saved += max(0, max_iterations - iterations)
+            else:
+                self._frames_failed += 1
+            self._latency.observe(latency_s)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        """Consistent immutable view of all counters and histograms."""
+        with self._lock:
+            elapsed = max(0.0, time.monotonic() - self._started_at)
+            fps = self._frames_out / elapsed if elapsed > 0 else 0.0
+            return MetricsSnapshot(
+                frames_in=self._frames_in,
+                frames_out=self._frames_out,
+                frames_converged=self._frames_converged,
+                frames_failed=self._frames_failed,
+                frames_rejected=self._frames_rejected,
+                engine_steps=self._engine_steps,
+                slot_iterations=self._slot_iterations,
+                iterations_saved=self._iterations_saved,
+                mean_occupancy=self._occupancy.mean,
+                p50_latency_s=self._latency.percentile(50.0),
+                p99_latency_s=self._latency.percentile(99.0),
+                mean_latency_s=self._latency.mean,
+                elapsed_s=elapsed,
+                throughput_fps=fps,
+            )
+
+    def report(self, title: str = "serving metrics") -> str:
+        """The snapshot as an aligned two-column text table."""
+        snap = self.snapshot()
+        rows = [
+            ["frames in / out", f"{snap.frames_in} / {snap.frames_out}"],
+            ["converged / failed", f"{snap.frames_converged} / {snap.frames_failed}"],
+            ["rejected (backpressure)", str(snap.frames_rejected)],
+            ["engine steps", str(snap.engine_steps)],
+            ["slot iterations", str(snap.slot_iterations)],
+            ["iterations saved (early retire)", str(snap.iterations_saved)],
+            ["mean batch occupancy", f"{snap.mean_occupancy:.2f}"],
+            ["latency p50 / p99 (ms)",
+             f"{snap.p50_latency_s * 1e3:.2f} / {snap.p99_latency_s * 1e3:.2f}"],
+            ["throughput (frames/s)", f"{snap.throughput_fps:.1f}"],
+        ]
+        return render_table(["metric", "value"], rows, title=title)

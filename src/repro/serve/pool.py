@@ -1,0 +1,306 @@
+"""Sharded worker pool wrapping continuous-batching engines.
+
+:class:`DecodeService` is the front door of the serving runtime: callers
+submit frames (getting a future back) and a pool of worker threads — one
+per code shard — drains bounded queues into per-shard
+:class:`~repro.serve.engine.ContinuousBatchingEngine` instances.
+
+Design points:
+
+* **Per-rate sharding.**  Every configured code gets its own queue,
+  worker, and engine, so mixed-rate traffic (à la CVR's continuously
+  variable rate decoding) never fragments a batch: all frames sharing a
+  slot matrix have the same length and layer structure.
+* **Backpressure.**  Queues are bounded; ``submit`` either rejects
+  immediately (:class:`~repro.errors.QueueFullError`) or waits up to a
+  timeout (:class:`~repro.errors.ServeTimeoutError`), so overload is an
+  explicit, typed signal rather than unbounded memory growth.
+* **Threads, not processes.**  The hot loop is numpy over large arrays,
+  which releases the GIL; threads keep results zero-copy and the
+  service embeddable.  One engine per worker means no shared mutable
+  decode state.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Dict, List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.codes.qc import QCLDPCCode
+from repro.decoder.layered import DEFAULT_MAX_ITERATIONS
+from repro.errors import (
+    QueueFullError,
+    ServeError,
+    ServeTimeoutError,
+    ServiceClosedError,
+)
+from repro.serve.engine import ContinuousBatchingEngine
+from repro.serve.jobs import CompletedJob, DecodeJob
+from repro.serve.metrics import ServeMetrics
+
+__all__ = ["DecodeService"]
+
+_POLL_S = 0.05
+
+
+class _Shard(object):
+    """One code's queue + engine + worker thread."""
+
+    def __init__(
+        self,
+        key: str,
+        engine: ContinuousBatchingEngine,
+        capacity: int,
+    ) -> None:
+        self.key = key
+        self.engine = engine
+        self.queue: "queue.Queue" = queue.Queue(maxsize=capacity)
+        self.thread: Optional[threading.Thread] = None
+
+
+class DecodeService(object):
+    """Threaded decode service with per-rate sharding and backpressure.
+
+    Parameters
+    ----------
+    codes:
+        One :class:`QCLDPCCode` or a mapping ``{key: code}``; each entry
+        becomes an independent shard.  For a single code the key is the
+        code's name.
+    batch_size:
+        Slots per shard engine.
+    max_iterations / fixed:
+        Decoder configuration, shared by every shard.
+    queue_capacity:
+        Bound of each shard's admission queue (the backpressure knob).
+    metrics:
+        Optional shared :class:`ServeMetrics` (one is created if absent).
+    autostart:
+        Start worker threads immediately; with ``False`` the service
+        accepts submissions (until queues fill) but decodes nothing
+        until :meth:`start` — useful for tests and staged warm-up.
+    """
+
+    def __init__(
+        self,
+        codes: Union[QCLDPCCode, Mapping[str, QCLDPCCode]],
+        batch_size: int = 16,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        fixed: bool = False,
+        queue_capacity: int = 256,
+        metrics: Optional[ServeMetrics] = None,
+        autostart: bool = True,
+    ) -> None:
+        if queue_capacity < 1:
+            raise ServeError(f"queue_capacity must be >= 1, got {queue_capacity}")
+        if isinstance(codes, QCLDPCCode):
+            codes = {codes.name or "default": codes}
+        if not codes:
+            raise ServeError("DecodeService needs at least one code")
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self._shards: Dict[str, _Shard] = {}
+        self._length_index: Dict[int, List[str]] = {}
+        for key, code in codes.items():
+            engine = ContinuousBatchingEngine(
+                code,
+                batch_size=batch_size,
+                max_iterations=max_iterations,
+                fixed=fixed,
+                metrics=self.metrics,
+            )
+            self._shards[key] = _Shard(key, engine, queue_capacity)
+            self._length_index.setdefault(code.n, []).append(key)
+        self._closing = threading.Event()
+        self._started = False
+        if autostart:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start one worker thread per shard (idempotent)."""
+        if self._closing.is_set():
+            raise ServiceClosedError("cannot start a closed service")
+        if self._started:
+            return
+        for shard in self._shards.values():
+            thread = threading.Thread(
+                target=self._worker,
+                args=(shard,),
+                name=f"decode-worker-{shard.key}",
+                daemon=True,
+            )
+            shard.thread = thread
+            thread.start()
+        self._started = True
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting frames; drain queued and in-flight work.
+
+        With ``wait=True`` blocks until every worker has retired its
+        remaining frames and exited.
+        """
+        self._closing.set()
+        if not self._started:
+            # no worker will ever drain these; fail them explicitly
+            for shard in self._shards.values():
+                self._fail_queue(shard, ServiceClosedError("service closed"))
+            return
+        if wait:
+            for shard in self._shards.values():
+                if shard.thread is not None:
+                    shard.thread.join()
+
+    def __enter__(self) -> "DecodeService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(wait=True)
+
+    @property
+    def closed(self) -> bool:
+        return self._closing.is_set()
+
+    @property
+    def shard_keys(self) -> List[str]:
+        """Configured shard keys, in insertion order."""
+        return list(self._shards)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        llrs: np.ndarray,
+        code_key: Optional[str] = None,
+        timeout: float = 0.0,
+    ) -> "Future[CompletedJob]":
+        """Enqueue one frame; returns a future of :class:`CompletedJob`.
+
+        Parameters
+        ----------
+        llrs:
+            Length-n channel LLRs for the target shard's code.
+        code_key:
+            Shard to route to; optional when the service has one shard
+            or when the LLR length identifies the shard uniquely.
+        timeout:
+            Seconds to wait for queue space.  ``0`` rejects immediately
+            with :class:`QueueFullError` when the shard queue is full; a
+            positive value waits and raises :class:`ServeTimeoutError`
+            on expiry.
+        """
+        if self._closing.is_set():
+            self.metrics.frame_rejected()
+            raise ServiceClosedError("service is closed to new frames")
+        llrs = np.asarray(llrs, dtype=np.float64)
+        shard = self._route(llrs, code_key)
+        job = DecodeJob(llrs=llrs, code_key=shard.key)
+        future: "Future[CompletedJob]" = Future()
+        item = (job, future)
+        try:
+            if timeout > 0:
+                shard.queue.put(item, timeout=timeout)
+            else:
+                shard.queue.put_nowait(item)
+        except queue.Full:
+            self.metrics.frame_rejected()
+            if timeout > 0:
+                raise ServeTimeoutError(
+                    f"shard {shard.key!r}: no queue space within {timeout}s"
+                ) from None
+            raise QueueFullError(
+                f"shard {shard.key!r}: queue full "
+                f"({shard.queue.maxsize} frames waiting)"
+            ) from None
+        return future
+
+    def decode(
+        self,
+        llrs: np.ndarray,
+        code_key: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> CompletedJob:
+        """Synchronous convenience: submit and wait for the result."""
+        future = self.submit(llrs, code_key=code_key, timeout=timeout or 0.0)
+        try:
+            return future.result(timeout=timeout)
+        except (FutureTimeoutError, TimeoutError):
+            raise ServeTimeoutError(
+                f"decode did not complete within {timeout}s"
+            ) from None
+
+    def _route(self, llrs: np.ndarray, code_key: Optional[str]) -> _Shard:
+        if code_key is not None:
+            shard = self._shards.get(code_key)
+            if shard is None:
+                raise ServeError(
+                    f"unknown code_key {code_key!r}; have {self.shard_keys}"
+                )
+            return shard
+        if len(self._shards) == 1:
+            return next(iter(self._shards.values()))
+        keys = self._length_index.get(llrs.shape[0] if llrs.ndim else -1)
+        if keys is None or len(keys) != 1:
+            raise ServeError(
+                f"cannot route frame of length {llrs.shape}: pass code_key "
+                f"(shards: {self.shard_keys})"
+            )
+        return self._shards[keys[0]]
+
+    # ------------------------------------------------------------------
+    # worker loop
+    # ------------------------------------------------------------------
+    def _worker(self, shard: _Shard) -> None:
+        engine = shard.engine
+        futures: Dict[int, Future] = {}
+        while True:
+            # admit as much queued work as fits into free slots
+            while engine.free_slots > 0:
+                block = engine.in_flight == 0
+                try:
+                    job, future = shard.queue.get(
+                        timeout=_POLL_S if block else 0.0
+                    )
+                except queue.Empty:
+                    break
+                if not future.set_running_or_notify_cancel():
+                    continue  # caller cancelled while queued
+                try:
+                    engine.admit(job)
+                except Exception as exc:  # bad frame: fail just this job
+                    future.set_exception(exc)
+                    continue
+                futures[job.job_id] = future
+            if engine.in_flight == 0:
+                if self._closing.is_set() and shard.queue.empty():
+                    return
+                continue
+            try:
+                for done in engine.step():
+                    future = futures.pop(done.job_id, None)
+                    if future is not None:
+                        future.set_result(done)
+            except Exception as exc:  # engine corrupted: fail in-flight work
+                for future in futures.values():
+                    if not future.done():
+                        future.set_exception(exc)
+                futures.clear()
+                self._fail_queue(shard, exc)
+                raise
+
+    @staticmethod
+    def _fail_queue(shard: _Shard, exc: Exception) -> None:
+        while True:
+            try:
+                _job, future = shard.queue.get_nowait()
+            except queue.Empty:
+                return
+            if future.set_running_or_notify_cancel():
+                future.set_exception(exc)

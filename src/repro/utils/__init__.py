@@ -8,9 +8,11 @@ from repro.utils.bitops import (
     parity,
 )
 from repro.utils.rng import as_generator
+from repro.utils.stats import RollingReservoir
 from repro.utils.tables import render_table
 
 __all__ = [
+    "RollingReservoir",
     "hard_decision",
     "hamming_distance",
     "int_to_bits",

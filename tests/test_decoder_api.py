@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.decoder import decode
+from repro.decoder import BatchDecodeResult, decode, decode_many
 from repro.errors import DecodingError
 from tests.conftest import noisy_frame
 
@@ -49,3 +49,29 @@ class TestDecodeApi:
         _cw, llrs = noisy_frame(small_code, ebno_db=0.0, seed=5)
         result = decode(small_code, llrs, max_iterations=3)
         assert result.iterations <= 3
+
+
+class TestDecodeManyApi:
+    """decode_many shares decode's dispatch; kernel bit-exactness is
+    covered in depth by tests/test_serve_batch.py."""
+
+    def test_batched_default_matches_decode(self, small_code):
+        frames = [noisy_frame(small_code, ebno_db=5.0, seed=s)[1] for s in (0, 1)]
+        many = decode_many(small_code, np.stack(frames))
+        assert isinstance(many, BatchDecodeResult)
+        for i, llrs in enumerate(frames):
+            single = decode(small_code, llrs)
+            np.testing.assert_array_equal(many.bits[i], single.bits)
+            assert int(many.iterations[i]) == single.iterations
+
+    def test_same_validation_as_decode(self, small_code):
+        llrs = np.zeros((1, small_code.n))
+        with pytest.raises(DecodingError):
+            decode_many(small_code, llrs, algorithm="turbo")
+        with pytest.raises(DecodingError):
+            decode_many(small_code, llrs, algorithm="flooding-min-sum", fixed=True)
+
+    def test_fixed_mode_batch(self, small_code):
+        cw, llrs = noisy_frame(small_code, ebno_db=6.0, seed=8)
+        many = decode_many(small_code, llrs[None, :], fixed=True)
+        np.testing.assert_array_equal(many.bits[0], cw)

@@ -63,3 +63,9 @@ class TestExamples:
     def test_multirate_wimax(self):
         out = run_example("multirate_wimax.py")
         assert "12 frames decoded" in out
+
+    @pytest.mark.serve
+    def test_decode_service(self):
+        out = run_example("decode_service.py", "--frames", "6", "--ebno", "3.5")
+        assert "12 frames decoded across 2 rate shards" in out
+        assert "mean batch occupancy" in out

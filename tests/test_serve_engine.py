@@ -1,0 +1,129 @@
+"""Continuous-batching engine: slot reuse, retirement, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.decoder import LayeredMinSumDecoder
+from repro.errors import DecodingError, EngineFullError
+from repro.serve import ContinuousBatchingEngine, DecodeJob, ServeMetrics
+from tests.test_serve_batch import traffic
+
+pytestmark = pytest.mark.serve
+
+
+class TestEngineBasics:
+    def test_run_empty_job_list(self, wimax_short):
+        engine = ContinuousBatchingEngine(wimax_short, batch_size=4)
+        assert engine.run([]) == []
+        assert engine.in_flight == 0
+        assert engine.metrics.snapshot().frames_in == 0
+
+    def test_step_with_no_frames_is_noop(self, wimax_short):
+        engine = ContinuousBatchingEngine(wimax_short, batch_size=4)
+        assert engine.step() == []
+        assert engine.metrics.snapshot().engine_steps == 0
+
+    def test_single_slot_engine(self, wimax_short):
+        frames = traffic(wimax_short, 3, seed=21, ebno_range=(3.0, 4.0))
+        engine = ContinuousBatchingEngine(wimax_short, batch_size=1)
+        done = engine.run([DecodeJob(llrs=f) for f in frames])
+        assert len(done) == 3
+        for d, f in zip(done, frames):
+            ref = LayeredMinSumDecoder(wimax_short).decode(f)
+            np.testing.assert_array_equal(d.result.bits, ref.bits)
+            assert d.result.iterations == ref.iterations
+
+    def test_results_in_submission_order(self, wimax_short):
+        frames = traffic(wimax_short, 10, seed=22)
+        jobs = [DecodeJob(llrs=f) for f in frames]
+        engine = ContinuousBatchingEngine(wimax_short, batch_size=3)
+        done = engine.run(jobs)
+        assert [d.job_id for d in done] == [j.job_id for j in jobs]
+
+    def test_accepts_raw_arrays(self, wimax_short):
+        frames = traffic(wimax_short, 2, seed=23)
+        done = ContinuousBatchingEngine(wimax_short, batch_size=2).run(frames)
+        assert len(done) == 2
+
+
+class TestEngineEdgeCases:
+    def test_all_frames_undecodable_hit_budget(self, wimax_short):
+        """Hopeless frames retire at max_iterations, not never."""
+        frames = traffic(wimax_short, 5, seed=24, ebno_range=(-6.0, -5.0))
+        engine = ContinuousBatchingEngine(
+            wimax_short, batch_size=2, max_iterations=3
+        )
+        done = engine.run([DecodeJob(llrs=f) for f in frames])
+        assert len(done) == 5
+        assert all(not d.result.converged for d in done)
+        assert all(d.result.iterations == 3 for d in done)
+        assert all(d.result.syndrome_weight > 0 for d in done)
+        snap = engine.metrics.snapshot()
+        assert snap.frames_failed == 5
+        assert snap.iterations_saved == 0
+
+    def test_admit_beyond_capacity_raises(self, wimax_short):
+        frames = traffic(wimax_short, 3, seed=25)
+        engine = ContinuousBatchingEngine(wimax_short, batch_size=2)
+        engine.admit(DecodeJob(llrs=frames[0]))
+        engine.admit(DecodeJob(llrs=frames[1]))
+        assert engine.free_slots == 0
+        with pytest.raises(EngineFullError):
+            engine.admit(DecodeJob(llrs=frames[2]))
+        engine.drain()
+        assert engine.free_slots == 2
+
+    def test_bad_frame_length_rejected(self, wimax_short):
+        engine = ContinuousBatchingEngine(wimax_short, batch_size=2)
+        with pytest.raises(DecodingError):
+            engine.admit(DecodeJob(llrs=np.zeros(wimax_short.n + 1)))
+        assert engine.in_flight == 0
+
+    def test_invalid_batch_size_rejected(self, wimax_short):
+        with pytest.raises(DecodingError):
+            ContinuousBatchingEngine(wimax_short, batch_size=0)
+
+    def test_slot_reuse_after_retirement(self, wimax_short):
+        """A retired slot must be reusable with fully reset state."""
+        clean = traffic(wimax_short, 1, seed=26, ebno_range=(5.0, 5.0))[0]
+        engine = ContinuousBatchingEngine(wimax_short, batch_size=1)
+        first = engine.run([DecodeJob(llrs=clean)])[0]
+        assert first.result.converged
+        # same frame again through the same (now stale) slot
+        second = engine.run([DecodeJob(llrs=clean)])[0]
+        np.testing.assert_array_equal(first.result.bits, second.result.bits)
+        assert first.result.iterations == second.result.iterations
+
+
+class TestEngineMetrics:
+    def test_counts_and_occupancy(self, wimax_short):
+        frames = traffic(wimax_short, 12, seed=27, ebno_range=(2.5, 4.0))
+        metrics = ServeMetrics()
+        engine = ContinuousBatchingEngine(
+            wimax_short, batch_size=4, metrics=metrics
+        )
+        done = engine.run([DecodeJob(llrs=f) for f in frames])
+        snap = metrics.snapshot()
+        assert snap.frames_in == 12
+        assert snap.frames_out == 12
+        assert snap.frames_converged == sum(d.result.converged for d in done)
+        assert snap.engine_steps > 0
+        assert 0.0 < snap.mean_occupancy <= 1.0
+        assert snap.slot_iterations == sum(d.result.iterations for d in done)
+        assert snap.p99_latency_s >= snap.p50_latency_s >= 0.0
+        assert snap.throughput_fps > 0
+
+    def test_early_retirement_saves_iterations(self, wimax_short):
+        frames = traffic(wimax_short, 8, seed=28, ebno_range=(4.5, 5.0))
+        engine = ContinuousBatchingEngine(wimax_short, batch_size=4)
+        engine.run([DecodeJob(llrs=f) for f in frames])
+        snap = engine.metrics.snapshot()
+        assert snap.frames_converged == 8
+        assert snap.iterations_saved > 0
+
+    def test_report_renders(self, wimax_short):
+        engine = ContinuousBatchingEngine(wimax_short, batch_size=2)
+        engine.run(traffic(wimax_short, 2, seed=29))
+        text = engine.metrics.report()
+        assert "frames in / out" in text
+        assert "mean batch occupancy" in text

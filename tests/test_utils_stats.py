@@ -1,0 +1,38 @@
+"""Tests for the streaming statistics helpers."""
+
+import pytest
+
+from repro.utils.stats import RollingReservoir
+
+
+class TestRollingReservoir:
+    def test_empty(self):
+        r = RollingReservoir()
+        assert r.count == 0
+        assert r.mean == 0.0
+        assert r.percentile(50.0) == 0.0
+        assert r.max() is None
+
+    def test_mean_and_count_cover_whole_stream(self):
+        r = RollingReservoir(capacity=4)
+        for v in range(10):  # window keeps only the last 4
+            r.observe(v)
+        assert r.count == 10
+        assert r.mean == pytest.approx(4.5)
+        assert r.max() == 9.0
+
+    def test_percentiles_over_window(self):
+        r = RollingReservoir(capacity=100)
+        for v in range(1, 101):
+            r.observe(float(v))
+        assert r.percentile(0.0) == 1.0
+        assert r.percentile(100.0) == 100.0
+        assert 45.0 <= r.percentile(50.0) <= 55.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            RollingReservoir(capacity=0)
+        r = RollingReservoir()
+        r.observe(1.0)
+        with pytest.raises(ValueError):
+            r.percentile(101.0)
