@@ -1,0 +1,67 @@
+"""Root pytest configuration: a minimal fallback for ``pytest-timeout``.
+
+The resilience tests exercise worker crashes and blocking futures, where
+the failure mode of a regression is a *hang*, not an assertion — so
+every test gets a wall-clock limit (the ``timeout`` ini option, or a
+``@pytest.mark.timeout(seconds)`` override).  When the real
+``pytest-timeout`` plugin is installed it takes over; otherwise this
+SIGALRM-based shim enforces the limit on POSIX main threads, which is
+exactly where this suite runs.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+import pytest
+
+try:
+    import pytest_timeout  # noqa: F401  (the real plugin handles everything)
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+
+def pytest_addoption(parser):
+    if _HAVE_PYTEST_TIMEOUT:
+        return  # the plugin registers the ini option itself
+    parser.addini(
+        "timeout",
+        "fallback per-test timeout in seconds (0 disables)",
+        default="0",
+    )
+
+
+def _timeout_seconds(item):
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    try:
+        return float(item.config.getini("timeout") or 0)
+    except (TypeError, ValueError):
+        return 0.0
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    seconds = 0.0 if _HAVE_PYTEST_TIMEOUT else _timeout_seconds(item)
+    if (
+        seconds <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(f"test exceeded {seconds:g}s wall-clock limit")
+
+    old_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old_handler)

@@ -7,6 +7,8 @@ Commands:
 * ``experiments [IDS...]`` — regenerate paper tables/figures;
 * ``serve-bench`` — compare per-frame, batch, and continuous-batching
   decode throughput on generated traffic;
+* ``faults-bench`` — sweep fault rate x injection site and report
+  residual FER, silent-corruption rate, and parity detection rate;
 * ``synth`` — compile a decoder program and print the synthesis report;
 * ``verilog`` — compile and emit structural Verilog;
 * ``alist`` — export a code's parity-check matrix in alist format.
@@ -173,6 +175,34 @@ def cmd_serve_bench(args) -> int:
     return 0 if agree else 1
 
 
+def cmd_faults_bench(args) -> int:
+    from repro.faults import ALL_SITES, FaultCampaign
+
+    if args.frames < 1:
+        print("faults-bench: --frames must be >= 1", file=sys.stderr)
+        return 2
+    sites = tuple(args.sites) if args.sites else ("p_mem", "r_mem", "llr")
+    unknown = [s for s in sites if s not in ALL_SITES]
+    if unknown:
+        print(
+            f"faults-bench: unknown sites {unknown}; choose from {ALL_SITES}",
+            file=sys.stderr,
+        )
+        return 2
+    campaign = FaultCampaign(
+        _build_code(args),
+        sites=sites,
+        rates=tuple(args.rates),
+        frames_per_cell=args.frames,
+        ebno_db=args.ebno,
+        seed=args.seed,
+        max_iterations=args.iterations,
+    )
+    result = campaign.run()
+    print(result.report())
+    return 0
+
+
 def cmd_experiments(args) -> int:
     from repro.eval.__main__ import main as eval_main
 
@@ -259,6 +289,23 @@ def build_parser() -> argparse.ArgumentParser:
     sb.add_argument("--seed", type=int, default=0)
     sb.add_argument("--fixed", action="store_true", help="8-bit datapath")
 
+    fb = sub.add_parser(
+        "faults-bench", help="fault-injection campaign (FER/silent/detect)"
+    )
+    _add_code_args(fb)
+    fb.add_argument("--ebno", type=float, default=5.0)
+    fb.add_argument("--frames", type=int, default=20, help="frames per cell")
+    fb.add_argument("--iterations", type=int, default=10)
+    fb.add_argument("--seed", type=int, default=0)
+    fb.add_argument(
+        "--sites", nargs="*", default=None,
+        help="injection sites (default: p_mem r_mem llr)",
+    )
+    fb.add_argument(
+        "--rates", nargs="*", type=float, default=(1e-4, 1e-3, 1e-2),
+        help="per-access fault probabilities",
+    )
+
     for name, helptext in (
         ("synth", "print the synthesis report"),
         ("verilog", "emit structural Verilog"),
@@ -287,6 +334,7 @@ def main(argv=None) -> int:
         "demo": cmd_demo,
         "experiments": cmd_experiments,
         "serve-bench": cmd_serve_bench,
+        "faults-bench": cmd_faults_bench,
         "synth": cmd_synth,
         "verilog": cmd_verilog,
         "alist": cmd_alist,

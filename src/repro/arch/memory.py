@@ -1,9 +1,16 @@
-"""Storage models with access statistics.
+"""Storage models with access statistics and fault-injection hooks.
 
 Each model wraps a numpy backing store and counts reads/writes; the
 power model converts access counts into SRAM energy and the tests use
 them to verify the architecture touches memory exactly as the paper's
 block diagrams say (one P word and one R word per column per core).
+
+Every model also accepts a fault injector (``attach_fault``): an object
+with ``on_read(word)`` / ``on_write(word)`` hooks that every access is
+routed through.  :mod:`repro.faults` uses this to model soft errors in
+the low-voltage SRAM regime the paper's power argument targets — the
+storage model stays oblivious to fault semantics, it just offers the
+access stream.
 """
 
 from __future__ import annotations
@@ -50,6 +57,11 @@ class SramModel(object):
         self.lanes = lanes
         self.data = np.zeros((words, lanes), dtype=np.int32)
         self.stats = MemoryStats()
+        self.fault_injector = None
+
+    def attach_fault(self, injector) -> None:
+        """Route every subsequent read/write through ``injector``."""
+        self.fault_injector = injector
 
     @property
     def bits(self, lane_bits: int = 8) -> int:
@@ -60,7 +72,10 @@ class SramModel(object):
         """Read one word (returns a copy)."""
         self._check(address)
         self.stats.reads += 1
-        return self.data[address].copy()
+        word = self.data[address].copy()
+        if self.fault_injector is not None:
+            word = self.fault_injector.on_read(word)
+        return word
 
     def write(self, address: int, word: np.ndarray) -> None:
         """Write one word."""
@@ -69,6 +84,10 @@ class SramModel(object):
         if word.shape != (self.lanes,):
             raise ArchitectureError(
                 f"{self.name}: word shape {word.shape} != ({self.lanes},)"
+            )
+        if self.fault_injector is not None:
+            word = np.asarray(
+                self.fault_injector.on_write(word), dtype=np.int32
             )
         self.stats.writes += 1
         self.data[address] = word
@@ -175,6 +194,11 @@ class RegArrayModel(object):
         if init is not None:
             self.data[:] = init
         self.stats = MemoryStats()
+        self.fault_injector = None
+
+    def attach_fault(self, injector) -> None:
+        """Route every subsequent write through ``injector``."""
+        self.fault_injector = injector
 
     def reset(self) -> None:
         """Restore the initialization value (start of a layer)."""
@@ -191,6 +215,10 @@ class RegArrayModel(object):
         if values.shape != (self.lanes,):
             raise ArchitectureError(
                 f"{self.name}: shape {values.shape} != ({self.lanes},)"
+            )
+        if self.fault_injector is not None:
+            values = np.asarray(
+                self.fault_injector.on_write(values), dtype=np.int32
             )
         self.stats.writes += 1
         self.data = values.copy()

@@ -11,7 +11,7 @@ last write commits.  Cores are therefore busy at most ~50% of the time
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Mapping, Optional
 
 import numpy as np
 
@@ -27,11 +27,26 @@ from repro.utils.bitops import hard_decision
 
 
 class PerLayerArch(object):
-    """Cycle-accurate per-layer decoder (architecture 1 of the paper)."""
+    """Cycle-accurate per-layer decoder (architecture 1 of the paper).
+
+    ``faults`` optionally maps injection-site names to fault injectors
+    (see :data:`FAULT_SITES` and :mod:`repro.faults`), wiring soft-error
+    models into the datapath the paper's low-power argument puts at
+    risk: the P/R SRAMs, the barrel shifter, and the min-search
+    compare-tree registers.
+    """
 
     name = "per-layer"
 
-    def __init__(self, config: ArchConfig, fmt: FixedPointFormat = MESSAGE_8BIT) -> None:
+    #: Injection sites this architecture exposes to :mod:`repro.faults`.
+    FAULT_SITES = ("p_mem", "r_mem", "shifter", "minsearch")
+
+    def __init__(
+        self,
+        config: ArchConfig,
+        fmt: FixedPointFormat = MESSAGE_8BIT,
+        faults: Optional[Mapping[str, object]] = None,
+    ) -> None:
         self.config = config
         self.fmt = fmt
         code = config.code
@@ -46,6 +61,28 @@ class PerLayerArch(object):
             ],
         )
         self.engine = LayerEngine(code, self.p_mem, self.r_mem, fmt)
+        if faults:
+            self.attach_faults(faults)
+
+    def attach_faults(self, faults: Mapping[str, object]) -> None:
+        """Attach fault injectors by site name (see :data:`FAULT_SITES`)."""
+        for site, injector in faults.items():
+            if site == "p_mem":
+                self.p_mem.attach_fault(injector)
+            elif site == "r_mem":
+                self.r_mem.attach_fault(injector)
+            elif site == "shifter":
+                self.engine.shifter.attach_fault(injector)
+            elif site == "minsearch":
+                # the compare tree's outputs are latched into the
+                # min1/min2 register arrays; corrupting those writes is
+                # an upset anywhere in the tree
+                self.engine.min1.attach_fault(injector)
+                self.engine.min2.attach_fault(injector)
+            else:
+                raise ArchitectureError(
+                    f"unknown fault site {site!r}; have {self.FAULT_SITES}"
+                )
 
     # ------------------------------------------------------------------
     # decoding

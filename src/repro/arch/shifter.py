@@ -27,6 +27,15 @@ class BarrelShifter(object):
             raise ArchitectureError(f"z must be >= 1, got {z}")
         self.z = z
         self.rotations = 0
+        self.fault_injector = None
+
+    def attach_fault(self, injector) -> None:
+        """Route every rotation output through ``injector`` (as a read).
+
+        Models upsets in the shifter's mux tree: the rotated word is
+        corrupted combinationally, the P memory itself stays clean.
+        """
+        self.fault_injector = injector
 
     @property
     def stages(self) -> int:
@@ -41,7 +50,10 @@ class BarrelShifter(object):
                 f"word shape {word.shape} != ({self.z},)"
             )
         self.rotations += 1
-        return np.roll(word, -(shift % self.z))
+        out = np.roll(word, -(shift % self.z))
+        if self.fault_injector is not None:
+            out = self.fault_injector.on_read(out)
+        return out
 
     def rotate_back(self, word: np.ndarray, shift: int) -> np.ndarray:
         """Inverse alignment: check-row order back to natural order."""
@@ -51,4 +63,7 @@ class BarrelShifter(object):
                 f"word shape {word.shape} != ({self.z},)"
             )
         self.rotations += 1
-        return np.roll(word, shift % self.z)
+        out = np.roll(word, shift % self.z)
+        if self.fault_injector is not None:
+            out = self.fault_injector.on_read(out)
+        return out

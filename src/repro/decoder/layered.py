@@ -25,7 +25,7 @@ Two arithmetic modes are provided:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -74,6 +74,14 @@ class LayeredMinSumDecoder(object):
     offset_beta:
         Offset in LLR units (float mode) / integer codes (fixed mode);
         only used by the offset variant.
+    iteration_hook:
+        Optional callback ``hook(iteration_index, p)`` invoked at the
+        start of every iteration with the working a-posteriori state —
+        float LLRs in float mode, integer codes in fixed mode — which it
+        may mutate in place.  The fault-injection subsystem
+        (:mod:`repro.faults`) uses this to model message perturbation;
+        instrumentation and annealed-schedule experiments fit the same
+        seam.
     """
 
     def __init__(
@@ -87,6 +95,7 @@ class LayeredMinSumDecoder(object):
         layer_order: Optional[Sequence[int]] = None,
         variant: str = "scaled",
         offset_beta: float = 0.3,
+        iteration_hook: Optional[Callable[[int, np.ndarray], None]] = None,
     ) -> None:
         if max_iterations < 1:
             raise DecodingError(f"max_iterations must be >= 1, got {max_iterations}")
@@ -102,6 +111,7 @@ class LayeredMinSumDecoder(object):
             raise DecodingError(f"offset_beta must be >= 0, got {offset_beta}")
         self.variant = variant
         self.offset_beta = offset_beta
+        self.iteration_hook = iteration_hook
         self.code = code
         self.max_iterations = max_iterations
         self.scaling_factor = scaling_factor
@@ -150,7 +160,9 @@ class LayeredMinSumDecoder(object):
 
         iteration_syndromes: List[int] = []
         iterations = 0
-        for _ in range(self.max_iterations):
+        for it in range(self.max_iterations):
+            if self.iteration_hook is not None:
+                self.iteration_hook(it, p)
             for l in self.layer_order:
                 layer = code.layer(l)
                 idx = layer.var_idx
@@ -202,7 +214,9 @@ class LayeredMinSumDecoder(object):
 
         iteration_syndromes: List[int] = []
         iterations = 0
-        for _ in range(self.max_iterations):
+        for it in range(self.max_iterations):
+            if self.iteration_hook is not None:
+                self.iteration_hook(it, p)
             for l in self.layer_order:
                 layer = code.layer(l)
                 idx = layer.var_idx

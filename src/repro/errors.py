@@ -17,6 +17,15 @@ class DecodingError(ReproError):
     """Decoder misuse (bad shapes, invalid parameters)."""
 
 
+class TransientDecodeError(DecodingError):
+    """A decode failed for a transient cause (e.g. an injected fault or a
+    corrupted engine state) and may succeed if retried on fresh state."""
+
+
+class FaultConfigError(ReproError):
+    """Fault-injection misuse (unknown site, bad rate, bad bit index)."""
+
+
 class HlsError(ReproError):
     """High-level-synthesis front-end or scheduling failure."""
 
@@ -51,3 +60,12 @@ class ServeTimeoutError(ServeError):
 
 class ServiceClosedError(ServeError):
     """A frame was submitted to a service that is shutting down or closed."""
+
+
+class ShardDeadError(ServeError):
+    """A frame was submitted to a shard whose worker has died (crashed out
+    of its restart budget, or its thread is gone); nothing will drain it."""
+
+
+class DeadlineExceededError(ServeTimeoutError):
+    """A job's deadline expired while it was still waiting in a queue."""

@@ -1,0 +1,62 @@
+"""Fault injection and resilience measurement (``repro.faults``).
+
+The paper's whole pitch is *low power* — clock gating, small memories,
+voltage headroom — and aggressive low-power operation is exactly the
+regime where soft errors in the P/R memories and datapath become real.
+This package asks the question the paper leaves open: how much of that
+corruption does layered min-sum decoding absorb for free, and where
+does it collapse?
+
+Three layers:
+
+* :mod:`~repro.faults.models` — *what* a corruption looks like:
+  transient SEU bit flips, stuck-at bits, LLR-domain perturbation;
+* :mod:`~repro.faults.injectors` — *where/when*: a seeded
+  :class:`FaultInjector` attaches to the architecture model's P/R
+  SRAMs, barrel shifter, or min-search registers (``attach_fault``), or
+  rides the numpy decoders' ``iteration_hook``;
+* :mod:`~repro.faults.campaign` — *measurement*: a deterministic
+  :class:`FaultCampaign` sweeps fault rate x site and reports residual
+  FER, silent-corruption rate, and parity-detector coverage.
+
+Quickstart::
+
+    from repro.codes import wimax_code
+    from repro.faults import FaultCampaign
+
+    campaign = FaultCampaign(
+        wimax_code("1/2", 576),
+        sites=("p_mem", "r_mem", "minsearch"),
+        rates=(1e-4, 1e-3, 1e-2),
+        seed=0,
+    )
+    print(campaign.run().report())
+"""
+
+from repro.faults.campaign import CampaignCell, CampaignResult, FaultCampaign
+from repro.faults.injectors import (
+    ALL_SITES,
+    ARCH_SITES,
+    LLR_SITE,
+    FaultInjector,
+)
+from repro.faults.models import (
+    FaultModel,
+    LLRPerturbation,
+    StuckAt,
+    TransientBitFlip,
+)
+
+__all__ = [
+    "ALL_SITES",
+    "ARCH_SITES",
+    "LLR_SITE",
+    "CampaignCell",
+    "CampaignResult",
+    "FaultCampaign",
+    "FaultInjector",
+    "FaultModel",
+    "LLRPerturbation",
+    "StuckAt",
+    "TransientBitFlip",
+]

@@ -1,0 +1,313 @@
+"""Seeded fault-injection campaigns: sweep fault rate x injection site.
+
+A :class:`FaultCampaign` answers the question the paper's low-power
+pitch raises but never measures: *how much corruption can the layered
+min-sum decoder absorb before it stops working?*  Aggressive voltage
+scaling and clock gating buy the power savings of Section V at the cost
+of soft-error headroom in the P/R SRAMs and datapath — and the
+algorithm's inherent message resilience (the property flexible-decoder
+designs like Condo & Masera's NoC decoder lean on) is what determines
+whether that trade is safe.
+
+For every (site, rate) cell the campaign decodes the *same* noisy
+frames (frame RNG is keyed by ``(seed, frame)``, independent of the
+cell, so penalties are apples-to-apples against the fault-free
+baseline) with a freshly seeded injector, then classifies each frame:
+
+* **frame error** — decoded bits differ from the true codeword
+  (residual FER);
+* **detected** — the built-in detector (the parity / syndrome check
+  that hardware gets for free) flagged the frame as failed;
+* **silent corruption** — the dangerous cell: parity passed, frame
+  wrong (an undetected error delivered to the user).
+
+Everything is deterministic under a fixed seed: same seed, same
+campaign, bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.config import ArchConfig
+from repro.arch.perlayer import PerLayerArch
+from repro.channel import AwgnChannel
+from repro.codes.qc import QCLDPCCode
+from repro.decoder.layered import DEFAULT_MAX_ITERATIONS, LayeredMinSumDecoder
+from repro.encoder import RuEncoder
+from repro.errors import FaultConfigError
+from repro.faults.injectors import ALL_SITES, ARCH_SITES, LLR_SITE, FaultInjector
+from repro.faults.models import FaultModel, LLRPerturbation, TransientBitFlip
+from repro.utils.tables import render_table
+
+__all__ = ["CampaignCell", "CampaignResult", "FaultCampaign"]
+
+#: Fault-free reference rows use this pseudo-site name.
+BASELINE_SITE = "none"
+
+
+def default_model_factory(site: str, rate: float) -> FaultModel:
+    """The built-in model per site: SEU bit flips in hardware state,
+    sign-flip perturbation in the numpy decoder's LLR domain."""
+    if site == LLR_SITE:
+        return LLRPerturbation(rate, mode="flip-sign")
+    return TransientBitFlip(rate)
+
+
+@dataclass(frozen=True)
+class CampaignCell(object):
+    """Outcome of one (site, rate) sweep point."""
+
+    site: str
+    rate: float
+    frames: int
+    frame_errors: int
+    detected_errors: int
+    silent_errors: int
+    injections: int
+    mean_iterations: float
+
+    @property
+    def fer(self) -> float:
+        """Residual frame error rate under injection."""
+        return self.frame_errors / self.frames if self.frames else 0.0
+
+    @property
+    def silent_rate(self) -> float:
+        """Fraction of frames delivered wrong with parity passing."""
+        return self.silent_errors / self.frames if self.frames else 0.0
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of erroneous frames the parity detector flagged."""
+        if self.frame_errors == 0:
+            return 1.0
+        return self.detected_errors / self.frame_errors
+
+
+@dataclass
+class CampaignResult(object):
+    """All cells of a campaign plus its provenance."""
+
+    code_name: str
+    ebno_db: float
+    seed: int
+    frames_per_cell: int
+    max_iterations: int
+    baselines: List[CampaignCell] = field(default_factory=list)
+    cells: List[CampaignCell] = field(default_factory=list)
+
+    def cell(self, site: str, rate: float) -> CampaignCell:
+        """Look up one sweep point."""
+        for c in self.cells:
+            if c.site == site and c.rate == rate:
+                return c
+        raise KeyError(f"no cell for site={site!r}, rate={rate}")
+
+    def baseline(self, site: str) -> CampaignCell:
+        """The fault-free reference for ``site``'s decode backend."""
+        backend = "llr" if site == LLR_SITE else "arch"
+        for c in self.baselines:
+            if c.site == f"{BASELINE_SITE}/{backend}":
+                return c
+        raise KeyError(f"no baseline for site={site!r}")
+
+    def report(self, title: str = "") -> str:
+        """Aligned text table in the evaluation-harness house style."""
+        rows = []
+        for c in self.baselines + self.cells:
+            rows.append(
+                [
+                    c.site,
+                    f"{c.rate:.0e}" if c.rate else "0",
+                    c.frames,
+                    f"{c.fer:.3f}",
+                    f"{c.silent_rate:.3f}",
+                    f"{c.detection_rate:.2f}",
+                    c.injections,
+                    f"{c.mean_iterations:.1f}",
+                ]
+            )
+        return render_table(
+            ["site", "rate", "frames", "FER", "silent", "detect", "flips",
+             "iters"],
+            rows,
+            title=title
+            or (
+                f"Fault campaign: {self.code_name}, Eb/N0 = {self.ebno_db} dB, "
+                f"{self.frames_per_cell} frames/cell, seed {self.seed}"
+            ),
+        )
+
+
+class FaultCampaign(object):
+    """Sweep fault rate x injection site over a fixed traffic sample.
+
+    Parameters
+    ----------
+    code:
+        The QC-LDPC code under test.
+    sites:
+        Injection sites: any of ``("p_mem", "r_mem", "shifter",
+        "minsearch")`` (cycle-accurate architecture backend) and/or
+        ``"llr"`` (float numpy decoder, perturbed between iterations).
+    rates:
+        Per-lane / per-element fault probabilities to sweep.
+    frames_per_cell:
+        Decodes per (site, rate) cell.
+    ebno_db:
+        Channel operating point; pick a high value so the channel alone
+        rarely fails and the fault contribution dominates.
+    seed:
+        Master seed; frame content is keyed by ``(seed, frame)`` and
+        injector streams by ``(seed, site, rate)``, so every cell sees
+        identical traffic and the whole campaign replays exactly.
+    max_iterations:
+        Decoder iteration budget (paper: 10).
+    model_factory:
+        ``factory(site, rate) -> FaultModel`` override; the default uses
+        SEU bit flips for hardware sites and sign-flip LLR perturbation
+        for the numpy decoder.
+    """
+
+    def __init__(
+        self,
+        code: QCLDPCCode,
+        sites: Sequence[str] = ARCH_SITES,
+        rates: Sequence[float] = (1e-4, 1e-3, 1e-2),
+        frames_per_cell: int = 20,
+        ebno_db: float = 5.0,
+        seed: int = 0,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        model_factory: Optional[Callable[[str, float], FaultModel]] = None,
+    ) -> None:
+        bad = [s for s in sites if s not in ALL_SITES]
+        if bad:
+            raise FaultConfigError(f"unknown sites {bad}; have {list(ALL_SITES)}")
+        if not sites:
+            raise FaultConfigError("need at least one injection site")
+        if not rates:
+            raise FaultConfigError("need at least one fault rate")
+        if frames_per_cell < 1:
+            raise FaultConfigError(
+                f"frames_per_cell must be >= 1, got {frames_per_cell}"
+            )
+        self.code = code
+        self.sites = list(sites)
+        self.rates = [float(r) for r in rates]
+        self.frames_per_cell = frames_per_cell
+        self.ebno_db = ebno_db
+        self.seed = seed
+        self.max_iterations = max_iterations
+        self.model_factory = model_factory or default_model_factory
+
+    # ------------------------------------------------------------------
+    # traffic
+    # ------------------------------------------------------------------
+    def _frames(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """The shared (codeword, llrs) sample every cell decodes."""
+        encoder = RuEncoder(self.code)
+        frames = []
+        for i in range(self.frames_per_cell):
+            rng = np.random.default_rng([self.seed, i])
+            message = rng.integers(0, 2, encoder.k).astype(np.uint8)
+            codeword = encoder.encode(message)
+            channel = AwgnChannel.from_ebno(self.ebno_db, self.code.rate, seed=rng)
+            frames.append((codeword, channel.llrs(codeword)))
+        return frames
+
+    # ------------------------------------------------------------------
+    # decode backends
+    # ------------------------------------------------------------------
+    def _decode_arch(self, site, rate, injector, frames) -> CampaignCell:
+        config = ArchConfig(self.code, max_iterations=self.max_iterations)
+        faults = {site: injector} if injector is not None else None
+        arch = PerLayerArch(config, faults=faults)
+        return self._classify(
+            site,
+            rate,
+            injector,
+            frames,
+            lambda llrs: arch.decode(llrs).decode,
+        )
+
+    def _decode_llr(self, site, rate, injector, frames) -> CampaignCell:
+        hook = injector.iteration_hook if injector is not None else None
+        decoder = LayeredMinSumDecoder(
+            self.code, max_iterations=self.max_iterations, iteration_hook=hook
+        )
+        return self._classify(site, rate, injector, frames, decoder.decode)
+
+    def _classify(self, site, rate, injector, frames, decode) -> CampaignCell:
+        frame_errors = detected = silent = 0
+        iterations = 0
+        for codeword, llrs in frames:
+            result = decode(llrs)
+            iterations += result.iterations
+            wrong = bool(np.any(result.bits != codeword))
+            if wrong:
+                frame_errors += 1
+                if result.converged:
+                    silent += 1  # parity passed, payload wrong: undetected
+                else:
+                    detected += 1
+        return CampaignCell(
+            site=site,
+            rate=rate,
+            frames=len(frames),
+            frame_errors=frame_errors,
+            detected_errors=detected,
+            silent_errors=silent,
+            injections=injector.injections if injector is not None else 0,
+            mean_iterations=iterations / len(frames),
+        )
+
+    # ------------------------------------------------------------------
+    # the sweep
+    # ------------------------------------------------------------------
+    def run(self) -> CampaignResult:
+        """Execute the full site x rate sweep and return all cells."""
+        frames = self._frames()
+        result = CampaignResult(
+            code_name=self.code.name or f"({self.code.n})",
+            ebno_db=self.ebno_db,
+            seed=self.seed,
+            frames_per_cell=self.frames_per_cell,
+            max_iterations=self.max_iterations,
+        )
+
+        backends_used = []
+        for site in self.sites:
+            backend = "llr" if site == LLR_SITE else "arch"
+            if backend not in backends_used:
+                backends_used.append(backend)
+        for backend in backends_used:
+            runner = self._decode_llr if backend == "llr" else self._decode_arch
+            result.baselines.append(
+                runner(f"{BASELINE_SITE}/{backend}", 0.0, None, frames)
+            )
+
+        for site in self.sites:
+            for rate in self.rates:
+                # key the injector stream by the site/rate *identity*
+                # (not sweep position) so a cell replays bit-identically
+                # regardless of which other cells the campaign contains
+                site_key = ALL_SITES.index(site)
+                rate_key = int(np.float64(rate).view(np.uint64))
+                injector = FaultInjector(
+                    self.model_factory(site, rate),
+                    seed=np.random.default_rng(
+                        [self.seed, 7919, site_key, rate_key]
+                    ),
+                    # min-search registers are corrupted at their write
+                    # port; memories/shifter on the read path
+                    on=("read", "write") if site == "minsearch" else ("read",),
+                )
+                runner = (
+                    self._decode_llr if site == LLR_SITE else self._decode_arch
+                )
+                result.cells.append(runner(site, rate, injector, frames))
+        return result

@@ -1,0 +1,197 @@
+"""Composable fault models: what a single corruption event looks like.
+
+A fault model describes *how* state is corrupted; it is deliberately
+ignorant of *where* and *when* — that is the
+:class:`~repro.faults.injectors.FaultInjector`'s job.  Two value domains
+are covered, matching the two decoder substrates:
+
+* **integer lane words** — the z-lane int32 vectors flowing through the
+  architecture model's P/R SRAMs, barrel shifter, and min-search
+  registers.  Values are interpreted as ``bit_width``-bit two's
+  complement (the paper's 8-bit message format), so flipping the top
+  bit really flips the hardware sign bit;
+* **float LLR vectors** — the numpy decoders' working state, perturbed
+  directly in LLR space.
+
+All randomness comes from the generator the caller passes in, so a
+seeded campaign replays bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FaultConfigError
+
+__all__ = ["FaultModel", "TransientBitFlip", "StuckAt", "LLRPerturbation"]
+
+
+def _to_twos_complement(word: np.ndarray, bit_width: int) -> np.ndarray:
+    """Signed lane values -> unsigned ``bit_width``-bit patterns."""
+    mask = (1 << bit_width) - 1
+    return word.astype(np.int64) & mask
+
+
+def _from_twos_complement(pattern: np.ndarray, bit_width: int) -> np.ndarray:
+    """Unsigned ``bit_width``-bit patterns -> signed lane values."""
+    sign_bit = 1 << (bit_width - 1)
+    pattern = pattern.astype(np.int64)
+    return np.where(pattern >= sign_bit, pattern - (1 << bit_width), pattern)
+
+
+class FaultModel(object):
+    """Base class: corrupt integer lane words and/or float LLR vectors.
+
+    Subclasses override one or both hooks; the default is a no-op, so a
+    model targeting only one domain composes safely with any site.
+    """
+
+    def corrupt_word(
+        self, word: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Return a (possibly) corrupted copy of an integer lane word."""
+        return word
+
+    def corrupt_llrs(
+        self, llrs: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Return a (possibly) corrupted copy of a float LLR vector."""
+        return llrs
+
+
+class TransientBitFlip(FaultModel):
+    """Single-event upsets: each lane flips one random bit with ``rate``.
+
+    ``rate`` is the per-lane per-access upset probability; an upset
+    flips one uniformly chosen bit of the lane's ``bit_width``-bit
+    two's-complement pattern.  This is the classic SEU model for the
+    low-voltage SRAM regime the paper's power argument targets.
+    """
+
+    def __init__(self, rate: float, bit_width: int = 8) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise FaultConfigError(f"bit-flip rate must be in [0, 1], got {rate}")
+        if bit_width < 2:
+            raise FaultConfigError(f"bit_width must be >= 2, got {bit_width}")
+        self.rate = rate
+        self.bit_width = bit_width
+
+    def corrupt_word(
+        self, word: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        if self.rate == 0.0:
+            return word
+        word = np.asarray(word)
+        hit = rng.random(word.shape) < self.rate
+        if not hit.any():
+            return word
+        bits = rng.integers(0, self.bit_width, size=word.shape)
+        pattern = _to_twos_complement(word, self.bit_width)
+        pattern = np.where(hit, pattern ^ (1 << bits), pattern)
+        return _from_twos_complement(pattern, self.bit_width).astype(word.dtype)
+
+    def __repr__(self) -> str:
+        return f"TransientBitFlip(rate={self.rate}, bit_width={self.bit_width})"
+
+
+class StuckAt(FaultModel):
+    """A hard defect: one bit of selected lanes reads as a constant.
+
+    Parameters
+    ----------
+    bit:
+        Bit position of the ``bit_width``-bit pattern that is stuck.
+    stuck_to:
+        0 or 1 — the value the bit is stuck at.
+    lanes:
+        Lane indices affected (default: lane 0 only).  A stuck-at fault
+        is a manufacturing/wear defect, so the set is fixed, not random.
+    """
+
+    def __init__(
+        self,
+        bit: int,
+        stuck_to: int = 1,
+        lanes=(0,),
+        bit_width: int = 8,
+    ) -> None:
+        if not 0 <= bit < bit_width:
+            raise FaultConfigError(
+                f"bit {bit} out of range for {bit_width}-bit words"
+            )
+        if stuck_to not in (0, 1):
+            raise FaultConfigError(f"stuck_to must be 0 or 1, got {stuck_to}")
+        self.bit = bit
+        self.stuck_to = stuck_to
+        self.lanes = tuple(int(l) for l in lanes)
+        self.bit_width = bit_width
+
+    def corrupt_word(
+        self, word: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        word = np.asarray(word)
+        lanes = [l for l in self.lanes if 0 <= l < word.shape[-1]]
+        if not lanes:
+            return word
+        pattern = _to_twos_complement(word, self.bit_width)
+        mask = 1 << self.bit
+        if self.stuck_to:
+            pattern[..., lanes] |= mask
+        else:
+            pattern[..., lanes] &= ~mask
+        return _from_twos_complement(pattern, self.bit_width).astype(word.dtype)
+
+    def __repr__(self) -> str:
+        return (
+            f"StuckAt(bit={self.bit}, stuck_to={self.stuck_to}, "
+            f"lanes={self.lanes})"
+        )
+
+
+class LLRPerturbation(FaultModel):
+    """Message perturbation for the numpy decoders, in LLR space.
+
+    Each element is hit with probability ``rate``; a hit applies one of:
+
+    * ``"flip-sign"`` — negate the LLR (the worst-case single upset: a
+      confident decision inverts);
+    * ``"gauss"`` — add zero-mean Gaussian noise of stddev ``magnitude``;
+    * ``"erase"`` — zero the LLR (erasure: all confidence lost).
+    """
+
+    MODES = ("flip-sign", "gauss", "erase")
+
+    def __init__(self, rate: float, mode: str = "flip-sign", magnitude: float = 4.0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise FaultConfigError(f"perturbation rate must be in [0, 1], got {rate}")
+        if mode not in self.MODES:
+            raise FaultConfigError(f"mode must be one of {self.MODES}, got {mode!r}")
+        if magnitude < 0:
+            raise FaultConfigError(f"magnitude must be >= 0, got {magnitude}")
+        self.rate = rate
+        self.mode = mode
+        self.magnitude = magnitude
+
+    def corrupt_llrs(
+        self, llrs: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        if self.rate == 0.0:
+            return llrs
+        llrs = np.asarray(llrs, dtype=np.float64)
+        hit = rng.random(llrs.shape) < self.rate
+        if not hit.any():
+            return llrs
+        out = llrs.copy()
+        if self.mode == "flip-sign":
+            out[hit] = -out[hit]
+        elif self.mode == "gauss":
+            out[hit] += rng.normal(0.0, self.magnitude, size=int(hit.sum()))
+        else:  # erase
+            out[hit] = 0.0
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"LLRPerturbation(rate={self.rate}, mode={self.mode!r}, "
+            f"magnitude={self.magnitude})"
+        )

@@ -11,9 +11,15 @@ saturated across *frames*:
 * :class:`ContinuousBatchingEngine` — slot reuse: retired frames free
   slots that new frames fill mid-flight, so the batch never drains;
 * :class:`DecodeService` — worker pool with per-rate sharding, bounded
-  queues (typed backpressure errors), and futures-based submission;
+  queues (typed backpressure errors), futures-based submission, and
+  self-healing: supervised workers restart after crashes with capped
+  backoff, every pending future fails fast with a typed error (nothing
+  hangs), transient faults trigger bounded retries, per-job deadlines
+  expire stale work, and a load-shedding policy trades iteration budget
+  for availability under overload — see :meth:`DecodeService.health`;
 * :class:`ServeMetrics` / :class:`MetricsSnapshot` — counters and
-  latency/occupancy statistics with a text report.
+  latency/occupancy statistics with a text report;
+* :class:`LoadShedPolicy` and friends — the overload-degradation knob.
 
 Quickstart::
 
@@ -28,7 +34,8 @@ from repro.serve.batch import BatchLayeredMinSumDecoder
 from repro.serve.engine import ContinuousBatchingEngine
 from repro.serve.jobs import CompletedJob, DecodeJob
 from repro.serve.metrics import MetricsSnapshot, ServeMetrics
-from repro.serve.pool import DecodeService
+from repro.serve.pool import DecodeService, ServiceHealth, ShardHealth
+from repro.serve.shedding import LoadShedPolicy, NoShedPolicy, StepShedPolicy
 
 __all__ = [
     "BatchLayeredMinSumDecoder",
@@ -36,6 +43,11 @@ __all__ = [
     "CompletedJob",
     "DecodeJob",
     "DecodeService",
+    "LoadShedPolicy",
     "MetricsSnapshot",
+    "NoShedPolicy",
     "ServeMetrics",
+    "ServiceHealth",
+    "ShardHealth",
+    "StepShedPolicy",
 ]

@@ -79,6 +79,7 @@ class ContinuousBatchingEngine(object):
         self._r = self.kernel.new_r_state(batch_size)
         self._occupied = np.zeros(batch_size, dtype=bool)
         self._iters = np.zeros(batch_size, dtype=np.int64)
+        self._budgets = np.full(batch_size, max_iterations, dtype=np.int64)
         self._jobs: List[Optional[DecodeJob]] = [None] * batch_size
         self._syndromes: List[List[int]] = [[] for _ in range(batch_size)]
 
@@ -121,6 +122,11 @@ class ContinuousBatchingEngine(object):
             rl[slot] = 0
         self._occupied[slot] = True
         self._iters[slot] = 0
+        # per-job budget (load shedding lowers it); clamp to [1, engine max]
+        budget = job.iteration_budget
+        if budget is None:
+            budget = self.max_iterations
+        self._budgets[slot] = min(max(1, int(budget)), self.max_iterations)
         self._jobs[slot] = job
         self._syndromes[slot] = []
         self.metrics.frame_admitted()
@@ -156,7 +162,7 @@ class ContinuousBatchingEngine(object):
             weight = int(weights[j])
             self._syndromes[slot].append(weight)
             converged = weight == 0
-            if not converged and self._iters[slot] < self.max_iterations:
+            if not converged and self._iters[slot] < self._budgets[slot]:
                 continue
             job = self._jobs[slot]
             result = DecodeResult(
@@ -171,7 +177,7 @@ class ContinuousBatchingEngine(object):
             self.metrics.frame_retired(
                 converged=converged,
                 iterations=result.iterations,
-                max_iterations=self.max_iterations,
+                max_iterations=int(self._budgets[slot]),
                 latency_s=done.latency_s,
             )
             self._occupied[slot] = False

@@ -40,12 +40,35 @@ class DecodeJob(object):
     enqueued_at:
         ``time.monotonic()`` timestamp taken at construction, the start
         of the latency clock.
+    deadline:
+        Optional ``time.monotonic()`` instant after which the job is no
+        longer worth decoding; a worker that dequeues an expired job
+        fails it with :class:`~repro.errors.DeadlineExceededError`
+        instead of spending decoder slots on it.
+    max_retries:
+        How many times the job may be re-admitted after a transient
+        engine failure (:class:`~repro.errors.TransientDecodeError`).
+    attempts:
+        Re-admissions consumed so far (mutated by the worker).
+    iteration_budget:
+        Optional per-job iteration cap; ``None`` means the engine's
+        configured budget.  The load-shedding policy lowers this under
+        overload so the service degrades accuracy before availability.
     """
 
     llrs: np.ndarray
     job_id: int = field(default_factory=_next_job_id)
     code_key: Optional[str] = None
     enqueued_at: float = field(default_factory=time.monotonic)
+    deadline: Optional[float] = None
+    max_retries: int = 0
+    attempts: int = 0
+    iteration_budget: Optional[int] = None
+
+    @property
+    def expired(self) -> bool:
+        """True once the deadline (if any) has passed."""
+        return self.deadline is not None and time.monotonic() > self.deadline
 
 
 @dataclass

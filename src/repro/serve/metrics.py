@@ -32,6 +32,21 @@ class MetricsSnapshot(object):
         Retired frames whose parity checks passed / did not pass.
     frames_rejected:
         Frames refused by backpressure (queue full or service closed).
+    frames_errored:
+        Frames whose future completed exceptionally (bad input, worker
+        crash, dead shard) — distinct from ``frames_failed``, which are
+        decoded-but-unconverged frames that still produced a result.
+    frames_retried:
+        Re-admissions after a transient engine failure (a frame retried
+        twice counts twice).
+    frames_expired:
+        Frames dropped at dequeue because their deadline had passed.
+    frames_shed:
+        Frames admitted with a reduced iteration budget by the
+        load-shedding policy.
+    worker_crashes / worker_restarts:
+        Shard worker loops that died with an unexpected exception / that
+        were restarted by the supervisor after backoff.
     engine_steps:
         Decode iterations executed across all engines (each step runs
         one full layered iteration over the occupied slots).
@@ -55,6 +70,12 @@ class MetricsSnapshot(object):
     frames_converged: int
     frames_failed: int
     frames_rejected: int
+    frames_errored: int
+    frames_retried: int
+    frames_expired: int
+    frames_shed: int
+    worker_crashes: int
+    worker_restarts: int
     engine_steps: int
     slot_iterations: int
     iterations_saved: int
@@ -82,6 +103,12 @@ class ServeMetrics(object):
             self._frames_converged = 0
             self._frames_failed = 0
             self._frames_rejected = 0
+            self._frames_errored = 0
+            self._frames_retried = 0
+            self._frames_expired = 0
+            self._frames_shed = 0
+            self._worker_crashes = 0
+            self._worker_restarts = 0
             self._engine_steps = 0
             self._slot_iterations = 0
             self._iterations_saved = 0
@@ -99,6 +126,34 @@ class ServeMetrics(object):
     def frame_rejected(self, count: int = 1) -> None:
         with self._lock:
             self._frames_rejected += count
+
+    def frame_errored(self, count: int = 1) -> None:
+        """A frame's future completed with an exception."""
+        with self._lock:
+            self._frames_errored += count
+
+    def frame_retried(self, count: int = 1) -> None:
+        """A frame was re-admitted after a transient engine failure."""
+        with self._lock:
+            self._frames_retried += count
+
+    def frame_expired(self, count: int = 1) -> None:
+        """A frame's deadline passed before it reached a decoder slot."""
+        with self._lock:
+            self._frames_expired += count
+
+    def frame_shed(self, count: int = 1) -> None:
+        """A frame was admitted with a shed (reduced) iteration budget."""
+        with self._lock:
+            self._frames_shed += count
+
+    def worker_crashed(self) -> None:
+        with self._lock:
+            self._worker_crashes += 1
+
+    def worker_restarted(self) -> None:
+        with self._lock:
+            self._worker_restarts += 1
 
     def step_recorded(self, busy_slots: int, capacity: int) -> None:
         """One engine step over ``busy_slots`` of ``capacity`` slots."""
@@ -138,6 +193,12 @@ class ServeMetrics(object):
                 frames_converged=self._frames_converged,
                 frames_failed=self._frames_failed,
                 frames_rejected=self._frames_rejected,
+                frames_errored=self._frames_errored,
+                frames_retried=self._frames_retried,
+                frames_expired=self._frames_expired,
+                frames_shed=self._frames_shed,
+                worker_crashes=self._worker_crashes,
+                worker_restarts=self._worker_restarts,
                 engine_steps=self._engine_steps,
                 slot_iterations=self._slot_iterations,
                 iterations_saved=self._iterations_saved,
@@ -154,8 +215,15 @@ class ServeMetrics(object):
         snap = self.snapshot()
         rows = [
             ["frames in / out", f"{snap.frames_in} / {snap.frames_out}"],
-            ["converged / failed", f"{snap.frames_converged} / {snap.frames_failed}"],
+            ["converged / failed (unconverged)",
+             f"{snap.frames_converged} / {snap.frames_failed}"],
             ["rejected (backpressure)", str(snap.frames_rejected)],
+            ["errored (exception)", str(snap.frames_errored)],
+            ["retried (transient fault)", str(snap.frames_retried)],
+            ["expired (deadline)", str(snap.frames_expired)],
+            ["shed (reduced budget)", str(snap.frames_shed)],
+            ["worker crashes / restarts",
+             f"{snap.worker_crashes} / {snap.worker_restarts}"],
             ["engine steps", str(snap.engine_steps)],
             ["slot iterations", str(snap.slot_iterations)],
             ["iterations saved (early retire)", str(snap.iterations_saved)],

@@ -15,6 +15,19 @@ Design points:
   immediately (:class:`~repro.errors.QueueFullError`) or waits up to a
   timeout (:class:`~repro.errors.ServeTimeoutError`), so overload is an
   explicit, typed signal rather than unbounded memory growth.
+* **Supervision.**  Worker crashes fail every pending future fast with
+  a typed error — nothing ever hangs — then the supervisor rebuilds the
+  engine and restarts the loop under capped exponential backoff.  A
+  shard that crashes ``max_strikes`` times without making progress is
+  taken out of service: further submissions raise
+  :class:`~repro.errors.ShardDeadError`.
+* **Graceful degradation.**  A transient engine failure
+  (:class:`~repro.errors.TransientDecodeError`, e.g. an injected fault)
+  re-admits in-flight frames within their per-job retry budget instead
+  of failing them; under overload the load-shedding policy lowers the
+  iteration budget of newly admitted frames before backpressure starts
+  rejecting outright; per-job deadlines stop the service from decoding
+  frames nobody is waiting for anymore.
 * **Threads, not processes.**  The hot loop is numpy over large arrays,
   which releases the GIL; threads keep results zero-copy and the
   service embeddable.  One engine per worker means no shared mutable
@@ -25,46 +38,95 @@ from __future__ import annotations
 
 import queue
 import threading
-from concurrent.futures import Future
+import time
+from concurrent.futures import Future, InvalidStateError
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from typing import Dict, List, Mapping, Optional, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.codes.qc import QCLDPCCode
 from repro.decoder.layered import DEFAULT_MAX_ITERATIONS
 from repro.errors import (
+    DeadlineExceededError,
     QueueFullError,
     ServeError,
     ServeTimeoutError,
     ServiceClosedError,
+    ShardDeadError,
+    TransientDecodeError,
 )
 from repro.serve.engine import ContinuousBatchingEngine
 from repro.serve.jobs import CompletedJob, DecodeJob
 from repro.serve.metrics import ServeMetrics
+from repro.serve.shedding import LoadShedPolicy, StepShedPolicy
 
-__all__ = ["DecodeService"]
+__all__ = ["DecodeService", "ServiceHealth", "ShardHealth"]
 
 _POLL_S = 0.05
 
+_Item = Tuple[DecodeJob, "Future[CompletedJob]"]
+
+
+@dataclass(frozen=True)
+class ShardHealth(object):
+    """Point-in-time health of one shard."""
+
+    key: str
+    alive: bool
+    healthy: bool
+    queue_depth: int
+    queue_capacity: int
+    in_flight: int
+    restarts: int
+    strikes: int
+    last_error: Optional[str]
+
+
+@dataclass(frozen=True)
+class ServiceHealth(object):
+    """Point-in-time health of the whole service."""
+
+    closed: bool
+    shards: Dict[str, ShardHealth]
+
+    @property
+    def status(self) -> str:
+        """``"ok"``, ``"degraded"`` (some shard down or striking), or
+        ``"dead"`` (no shard can accept work)."""
+        down = [s for s in self.shards.values() if not s.healthy]
+        if len(down) == len(self.shards):
+            return "dead"
+        if down or any(s.strikes > 0 for s in self.shards.values()):
+            return "degraded"
+        return "ok"
+
 
 class _Shard(object):
-    """One code's queue + engine + worker thread."""
+    """One code's queue + engine + supervised worker thread."""
 
     def __init__(
         self,
         key: str,
-        engine: ContinuousBatchingEngine,
+        make_engine: Callable[[], ContinuousBatchingEngine],
         capacity: int,
     ) -> None:
         self.key = key
-        self.engine = engine
-        self.queue: "queue.Queue" = queue.Queue(maxsize=capacity)
+        self.make_engine = make_engine
+        self.engine = make_engine()
+        self.queue: "queue.Queue[_Item]" = queue.Queue(maxsize=capacity)
         self.thread: Optional[threading.Thread] = None
+        # in-flight work, owned by the worker/supervisor thread
+        self.futures: Dict[int, _Item] = {}
+        self.healthy = True
+        self.restarts = 0
+        self.strikes = 0
+        self.last_error: Optional[BaseException] = None
 
 
 class DecodeService(object):
-    """Threaded decode service with per-rate sharding and backpressure.
+    """Threaded decode service with sharding, backpressure, and self-healing.
 
     Parameters
     ----------
@@ -84,6 +146,22 @@ class DecodeService(object):
         Start worker threads immediately; with ``False`` the service
         accepts submissions (until queues fill) but decodes nothing
         until :meth:`start` — useful for tests and staged warm-up.
+    shed_policy:
+        Load-shedding policy mapping queue fill to iteration budget
+        (default: :class:`~repro.serve.shedding.StepShedPolicy`, which
+        sheds only above 75 % fill; pass
+        :class:`~repro.serve.shedding.NoShedPolicy` to disable).
+    default_max_retries:
+        Retry budget given to jobs whose ``submit`` call does not
+        specify one: how many times a frame is re-admitted after a
+        transient engine failure before its future fails.
+    max_strikes:
+        Consecutive worker crashes (without a successful engine step in
+        between) before a shard is marked unhealthy and taken out of
+        service.
+    restart_backoff_s / restart_backoff_cap_s:
+        Initial and maximum supervisor backoff between worker restarts
+        (doubled per consecutive crash).
     """
 
     def __init__(
@@ -95,43 +173,79 @@ class DecodeService(object):
         queue_capacity: int = 256,
         metrics: Optional[ServeMetrics] = None,
         autostart: bool = True,
+        shed_policy: Optional[LoadShedPolicy] = None,
+        default_max_retries: int = 1,
+        max_strikes: int = 3,
+        restart_backoff_s: float = 0.1,
+        restart_backoff_cap_s: float = 2.0,
     ) -> None:
         if queue_capacity < 1:
             raise ServeError(f"queue_capacity must be >= 1, got {queue_capacity}")
+        if default_max_retries < 0:
+            raise ServeError(
+                f"default_max_retries must be >= 0, got {default_max_retries}"
+            )
+        if max_strikes < 1:
+            raise ServeError(f"max_strikes must be >= 1, got {max_strikes}")
+        if restart_backoff_s <= 0 or restart_backoff_cap_s < restart_backoff_s:
+            raise ServeError(
+                "need 0 < restart_backoff_s <= restart_backoff_cap_s, got "
+                f"{restart_backoff_s} / {restart_backoff_cap_s}"
+            )
         if isinstance(codes, QCLDPCCode):
             codes = {codes.name or "default": codes}
         if not codes:
             raise ServeError("DecodeService needs at least one code")
         self.metrics = metrics if metrics is not None else ServeMetrics()
+        self.max_iterations = max_iterations
+        self.shed_policy = shed_policy if shed_policy is not None else StepShedPolicy()
+        self.default_max_retries = default_max_retries
+        self.max_strikes = max_strikes
+        self.restart_backoff_s = restart_backoff_s
+        self.restart_backoff_cap_s = restart_backoff_cap_s
         self._shards: Dict[str, _Shard] = {}
         self._length_index: Dict[int, List[str]] = {}
         for key, code in codes.items():
-            engine = ContinuousBatchingEngine(
-                code,
-                batch_size=batch_size,
-                max_iterations=max_iterations,
-                fixed=fixed,
-                metrics=self.metrics,
+            make_engine = self._engine_factory(
+                code, batch_size, max_iterations, fixed
             )
-            self._shards[key] = _Shard(key, engine, queue_capacity)
+            self._shards[key] = _Shard(key, make_engine, queue_capacity)
             self._length_index.setdefault(code.n, []).append(key)
         self._closing = threading.Event()
         self._started = False
         if autostart:
             self.start()
 
+    def _engine_factory(
+        self,
+        code: QCLDPCCode,
+        batch_size: int,
+        max_iterations: int,
+        fixed: bool,
+    ) -> Callable[[], ContinuousBatchingEngine]:
+        def make() -> ContinuousBatchingEngine:
+            return ContinuousBatchingEngine(
+                code,
+                batch_size=batch_size,
+                max_iterations=max_iterations,
+                fixed=fixed,
+                metrics=self.metrics,
+            )
+
+        return make
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Start one worker thread per shard (idempotent)."""
+        """Start one supervised worker thread per shard (idempotent)."""
         if self._closing.is_set():
             raise ServiceClosedError("cannot start a closed service")
         if self._started:
             return
         for shard in self._shards.values():
             thread = threading.Thread(
-                target=self._worker,
+                target=self._supervise,
                 args=(shard,),
                 name=f"decode-worker-{shard.key}",
                 daemon=True,
@@ -144,7 +258,10 @@ class DecodeService(object):
         """Stop accepting frames; drain queued and in-flight work.
 
         With ``wait=True`` blocks until every worker has retired its
-        remaining frames and exited.
+        remaining frames and exited; with ``wait=False`` returns
+        immediately while the daemon workers finish draining in the
+        background (their futures still resolve).  Safe to call more
+        than once.
         """
         self._closing.set()
         if not self._started:
@@ -172,6 +289,25 @@ class DecodeService(object):
         """Configured shard keys, in insertion order."""
         return list(self._shards)
 
+    def health(self) -> ServiceHealth:
+        """Snapshot of every shard's liveness, load, and crash history."""
+        shards = {}
+        for shard in self._shards.values():
+            thread = shard.thread
+            alive = thread is not None and thread.is_alive()
+            shards[shard.key] = ShardHealth(
+                key=shard.key,
+                alive=alive,
+                healthy=shard.healthy and (alive or not self._started),
+                queue_depth=shard.queue.qsize(),
+                queue_capacity=shard.queue.maxsize,
+                in_flight=shard.engine.in_flight,
+                restarts=shard.restarts,
+                strikes=shard.strikes,
+                last_error=repr(shard.last_error) if shard.last_error else None,
+            )
+        return ServiceHealth(closed=self.closed, shards=shards)
+
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
@@ -179,7 +315,9 @@ class DecodeService(object):
         self,
         llrs: np.ndarray,
         code_key: Optional[str] = None,
-        timeout: float = 0.0,
+        timeout: Optional[float] = 0.0,
+        deadline_s: Optional[float] = None,
+        max_retries: Optional[int] = None,
     ) -> "Future[CompletedJob]":
         """Enqueue one frame; returns a future of :class:`CompletedJob`.
 
@@ -194,24 +332,44 @@ class DecodeService(object):
             Seconds to wait for queue space.  ``0`` rejects immediately
             with :class:`QueueFullError` when the shard queue is full; a
             positive value waits and raises :class:`ServeTimeoutError`
-            on expiry.
+            on expiry; ``None`` blocks until space is available.
+        deadline_s:
+            Optional per-job deadline, in seconds from now: if the frame
+            is still queued when it expires, its future fails with
+            :class:`DeadlineExceededError` instead of occupying a slot.
+        max_retries:
+            Override of the service's ``default_max_retries`` transient
+            retry budget for this job.
         """
         if self._closing.is_set():
             self.metrics.frame_rejected()
             raise ServiceClosedError("service is closed to new frames")
         llrs = np.asarray(llrs, dtype=np.float64)
         shard = self._route(llrs, code_key)
-        job = DecodeJob(llrs=llrs, code_key=shard.key)
+        self._check_shard_alive(shard)
+        job = DecodeJob(
+            llrs=llrs,
+            code_key=shard.key,
+            deadline=(
+                time.monotonic() + deadline_s if deadline_s is not None else None
+            ),
+            max_retries=(
+                self.default_max_retries if max_retries is None else max_retries
+            ),
+            iteration_budget=self._shed_budget(shard),
+        )
         future: "Future[CompletedJob]" = Future()
         item = (job, future)
         try:
-            if timeout > 0:
+            if timeout is None:
+                shard.queue.put(item)
+            elif timeout > 0:
                 shard.queue.put(item, timeout=timeout)
             else:
                 shard.queue.put_nowait(item)
         except queue.Full:
             self.metrics.frame_rejected()
-            if timeout > 0:
+            if timeout:
                 raise ServeTimeoutError(
                     f"shard {shard.key!r}: no queue space within {timeout}s"
                 ) from None
@@ -219,6 +377,14 @@ class DecodeService(object):
                 f"shard {shard.key!r}: queue full "
                 f"({shard.queue.maxsize} frames waiting)"
             ) from None
+        if not shard.healthy:
+            # the shard died between the liveness check and the enqueue;
+            # its final drain may have missed this item, so fail it here
+            # (first resolution wins — double handling is harmless)
+            self._fail_future(
+                future, ShardDeadError(f"shard {shard.key!r} is out of service")
+            )
+            raise ShardDeadError(f"shard {shard.key!r} is out of service")
         return future
 
     def decode(
@@ -227,14 +393,45 @@ class DecodeService(object):
         code_key: Optional[str] = None,
         timeout: Optional[float] = None,
     ) -> CompletedJob:
-        """Synchronous convenience: submit and wait for the result."""
-        future = self.submit(llrs, code_key=code_key, timeout=timeout or 0.0)
+        """Synchronous convenience: submit and wait for the result.
+
+        ``timeout=None`` (the default) means *wait as long as it takes*:
+        block for queue space under backpressure, then block until the
+        result arrives.  A positive timeout bounds each stage and raises
+        :class:`ServeTimeoutError` on expiry.
+        """
+        future = self.submit(llrs, code_key=code_key, timeout=timeout)
         try:
             return future.result(timeout=timeout)
         except (FutureTimeoutError, TimeoutError):
+            future.cancel()
             raise ServeTimeoutError(
                 f"decode did not complete within {timeout}s"
             ) from None
+
+    def _check_shard_alive(self, shard: _Shard) -> None:
+        if not shard.healthy:
+            raise ShardDeadError(
+                f"shard {shard.key!r} is out of service after "
+                f"{shard.strikes} crashes (last: {shard.last_error!r})"
+            )
+        if self._started and (
+            shard.thread is None or not shard.thread.is_alive()
+        ):
+            raise ShardDeadError(
+                f"shard {shard.key!r}: worker thread is dead; "
+                "nothing will ever drain this queue"
+            )
+
+    def _shed_budget(self, shard: _Shard) -> Optional[int]:
+        """Iteration budget under the shed policy (None = full budget)."""
+        capacity = shard.queue.maxsize
+        fill = shard.queue.qsize() / capacity if capacity > 0 else 0.0
+        budget = self.shed_policy.budget(fill, self.max_iterations)
+        if budget >= self.max_iterations:
+            return None
+        self.metrics.frame_shed()
+        return budget
 
     def _route(self, llrs: np.ndarray, code_key: Optional[str]) -> _Shard:
         if code_key is not None:
@@ -255,12 +452,46 @@ class DecodeService(object):
         return self._shards[keys[0]]
 
     # ------------------------------------------------------------------
-    # worker loop
+    # worker loop + supervision
     # ------------------------------------------------------------------
-    def _worker(self, shard: _Shard) -> None:
-        engine = shard.engine
-        futures: Dict[int, Future] = {}
+    def _supervise(self, shard: _Shard) -> None:
+        """Run the worker loop, restarting it on crashes with backoff."""
+        backoff = self.restart_backoff_s
         while True:
+            try:
+                self._worker_loop(shard)
+                return  # clean exit: service closed and shard drained
+            except Exception as exc:  # worker crash
+                shard.strikes += 1
+                shard.last_error = exc
+                self.metrics.worker_crashed()
+                # fail-fast: every pending future resolves *now* with a
+                # typed error instead of hanging on a dead worker
+                self._fail_in_flight(shard, exc)
+                self._fail_queue(shard, exc)
+                shard.engine = shard.make_engine()
+                if shard.strikes >= self.max_strikes:
+                    shard.healthy = False
+                    # final drain: catch items that raced the flag flip
+                    self._fail_queue(
+                        shard,
+                        ShardDeadError(
+                            f"shard {shard.key!r} disabled after "
+                            f"{shard.strikes} consecutive crashes"
+                        ),
+                    )
+                    return
+                if self._closing.wait(backoff):
+                    # closing: skip the rest of the backoff and make one
+                    # final drain pass so close(wait=True) never hangs
+                    pass
+                backoff = min(backoff * 2.0, self.restart_backoff_cap_s)
+                shard.restarts += 1
+                self.metrics.worker_restarted()
+
+    def _worker_loop(self, shard: _Shard) -> None:
+        while True:
+            engine = shard.engine
             # admit as much queued work as fits into free slots
             while engine.free_slots > 0:
                 block = engine.in_flight == 0
@@ -272,35 +503,80 @@ class DecodeService(object):
                     break
                 if not future.set_running_or_notify_cancel():
                     continue  # caller cancelled while queued
+                if job.expired:
+                    self.metrics.frame_expired()
+                    self.metrics.frame_errored()
+                    future.set_exception(
+                        DeadlineExceededError(
+                            f"job {job.job_id}: deadline passed after "
+                            f"{time.monotonic() - job.enqueued_at:.3f}s in queue"
+                        )
+                    )
+                    continue
                 try:
                     engine.admit(job)
                 except Exception as exc:  # bad frame: fail just this job
+                    self.metrics.frame_errored()
                     future.set_exception(exc)
                     continue
-                futures[job.job_id] = future
+                shard.futures[job.job_id] = (job, future)
             if engine.in_flight == 0:
                 if self._closing.is_set() and shard.queue.empty():
                     return
                 continue
             try:
                 for done in engine.step():
-                    future = futures.pop(done.job_id, None)
-                    if future is not None:
-                        future.set_result(done)
-            except Exception as exc:  # engine corrupted: fail in-flight work
-                for future in futures.values():
-                    if not future.done():
-                        future.set_exception(exc)
-                futures.clear()
-                self._fail_queue(shard, exc)
-                raise
+                    item = shard.futures.pop(done.job_id, None)
+                    if item is not None:
+                        item[1].set_result(done)
+                # forward progress: clear the consecutive-crash counter
+                shard.strikes = 0
+            except TransientDecodeError as exc:
+                # recoverable corruption: rebuild the engine and retry
+                # in-flight frames within their budget
+                self._recover_transient(shard, exc)
 
-    @staticmethod
-    def _fail_queue(shard: _Shard, exc: Exception) -> None:
+    def _recover_transient(self, shard: _Shard, exc: Exception) -> None:
+        shard.last_error = exc
+        shard.engine = shard.make_engine()
+        survivors: Dict[int, _Item] = {}
+        for job_id, (job, future) in shard.futures.items():
+            if job.attempts < job.max_retries and not job.expired:
+                job.attempts += 1
+                self.metrics.frame_retried()
+                try:
+                    shard.engine.admit(job)
+                except Exception as admit_exc:
+                    self.metrics.frame_errored()
+                    future.set_exception(admit_exc)
+                else:
+                    survivors[job_id] = (job, future)
+            else:
+                self.metrics.frame_errored()
+                future.set_exception(exc)
+        shard.futures = survivors
+
+    def _fail_in_flight(self, shard: _Shard, exc: Exception) -> None:
+        for _job, future in shard.futures.values():
+            try:
+                future.set_exception(exc)
+                self.metrics.frame_errored()
+            except InvalidStateError:
+                pass  # already resolved
+        shard.futures.clear()
+
+    def _fail_queue(self, shard: _Shard, exc: Exception) -> None:
         while True:
             try:
                 _job, future = shard.queue.get_nowait()
             except queue.Empty:
                 return
+            self._fail_future(future, exc)
+
+    def _fail_future(self, future: "Future", exc: Exception) -> None:
+        try:
             if future.set_running_or_notify_cancel():
                 future.set_exception(exc)
+                self.metrics.frame_errored()
+        except InvalidStateError:
+            pass  # resolved elsewhere; first resolution wins

@@ -1,0 +1,90 @@
+"""Load shedding: degrade iteration budget before rejecting frames.
+
+Under overload a decode service has three options, in order of
+preference: work faster, work worse, or refuse work.  The iteration
+budget is the knob that makes "work worse" cheap and graceful for an
+LDPC decoder — most frames converge in a few iterations, so capping the
+budget trims only the tail (the hardest frames lose a little coding
+gain) while multiplying worst-case throughput.  This mirrors the
+paper's own early-termination argument: iterations beyond convergence
+are pure cost.
+
+A policy maps queue fill fraction -> iteration budget.  The service
+evaluates it at submit time, so the budget a frame gets reflects the
+overload level *when it joined the queue*, and the metrics layer counts
+every shed frame.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import ServeError
+
+__all__ = ["LoadShedPolicy", "NoShedPolicy", "StepShedPolicy"]
+
+
+class LoadShedPolicy(object):
+    """Maps queue pressure to a per-job iteration budget."""
+
+    def budget(self, fill: float, max_iterations: int) -> int:
+        """Iteration budget for a job arriving at queue fill ``fill`` (0..1)."""
+        raise NotImplementedError
+
+
+class NoShedPolicy(LoadShedPolicy):
+    """Never shed: every frame gets the full budget."""
+
+    def budget(self, fill: float, max_iterations: int) -> int:
+        return max_iterations
+
+
+class StepShedPolicy(LoadShedPolicy):
+    """Piecewise-constant shedding: budget fraction steps down with fill.
+
+    Parameters
+    ----------
+    steps:
+        ``(fill_threshold, budget_fraction)`` pairs; the first pair
+        whose threshold is >= the observed fill supplies the fraction.
+        Thresholds must be ascending and end at 1.0.  The default keeps
+        the full budget below 75 % fill, drops to 75 % of it below 90 %,
+        and to half when the queue is nearly full.
+    floor_iterations:
+        Never shed below this many iterations (a frame that gets a slot
+        deserves a real decode attempt).
+    """
+
+    def __init__(
+        self,
+        steps: Sequence[Tuple[float, float]] = (
+            (0.75, 1.0),
+            (0.90, 0.75),
+            (1.00, 0.50),
+        ),
+        floor_iterations: int = 2,
+    ) -> None:
+        steps = [(float(t), float(f)) for t, f in steps]
+        if not steps:
+            raise ServeError("StepShedPolicy needs at least one step")
+        thresholds = [t for t, _ in steps]
+        if thresholds != sorted(thresholds) or thresholds[-1] < 1.0:
+            raise ServeError(
+                "shed steps must have ascending thresholds ending at >= 1.0"
+            )
+        for t, f in steps:
+            if not 0.0 < f <= 1.0:
+                raise ServeError(f"budget fraction must be in (0, 1], got {f}")
+        if floor_iterations < 1:
+            raise ServeError(
+                f"floor_iterations must be >= 1, got {floor_iterations}"
+            )
+        self.steps = steps
+        self.floor_iterations = floor_iterations
+
+    def budget(self, fill: float, max_iterations: int) -> int:
+        for threshold, fraction in self.steps:
+            if fill <= threshold:
+                budget = int(max_iterations * fraction)
+                return max(min(self.floor_iterations, max_iterations), budget)
+        return max_iterations

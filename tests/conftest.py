@@ -2,6 +2,10 @@
 
 Session-scoped where construction is expensive (expanded H matrices,
 HLS compiles) so the suite stays fast without sacrificing coverage.
+
+Wall-clock limits (important for the serve/faults resilience tests,
+whose regression mode is a hang) come from ``pytest-timeout`` or the
+SIGALRM fallback shim in the repository-root ``conftest.py``.
 """
 
 from __future__ import annotations

@@ -62,3 +62,26 @@ class TestCommands:
         rc = main(["demo", "--family", "wifi", "--length", "648",
                    "--ebno", "4.0"])
         assert rc == 0
+
+    def test_faults_bench(self, capsys):
+        rc = main([
+            "faults-bench", "--length", "576", "--frames", "3",
+            "--sites", "p_mem", "llr", "--rates", "1e-4", "1e-2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Fault campaign" in out
+        assert "p_mem" in out and "llr" in out and "none/arch" in out
+        assert "FER" in out and "silent" in out and "detect" in out
+
+    def test_faults_bench_rejects_unknown_site(self, capsys):
+        rc = main([
+            "faults-bench", "--length", "576", "--frames", "2",
+            "--sites", "cache",
+        ])
+        assert rc == 2
+        assert "unknown sites" in capsys.readouterr().err
+
+    def test_faults_bench_rejects_bad_frames(self, capsys):
+        rc = main(["faults-bench", "--length", "576", "--frames", "0"])
+        assert rc == 2

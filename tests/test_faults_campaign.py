@@ -1,0 +1,176 @@
+"""Fault campaigns end to end: determinism, classification, wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.config import ArchConfig
+from repro.arch.perlayer import PerLayerArch
+from repro.decoder import LayeredMinSumDecoder
+from repro.errors import ArchitectureError, FaultConfigError
+from repro.faults import (
+    FaultCampaign,
+    FaultInjector,
+    LLRPerturbation,
+    TransientBitFlip,
+)
+from repro.faults.campaign import default_model_factory
+from tests.conftest import noisy_frame
+
+pytestmark = pytest.mark.faults
+
+
+def _small_campaign(code, **overrides):
+    kwargs = dict(
+        sites=("p_mem", "llr"),
+        rates=(1e-4, 5e-2),
+        frames_per_cell=4,
+        ebno_db=5.0,
+        seed=9,
+        max_iterations=8,
+    )
+    kwargs.update(overrides)
+    return FaultCampaign(code, **kwargs)
+
+
+class TestCampaignDeterminism:
+    def test_same_seed_bit_identical(self, wimax_short):
+        a = _small_campaign(wimax_short).run()
+        b = _small_campaign(wimax_short).run()
+        assert a.cells == b.cells
+        assert a.baselines == b.baselines
+
+    def test_cell_stable_across_sweep_shapes(self, wimax_short):
+        full = _small_campaign(wimax_short).run()
+        solo = _small_campaign(wimax_short, sites=("llr",)).run()
+        assert full.cell("llr", 5e-2) == solo.cell("llr", 5e-2)
+
+    def test_different_seed_different_injections(self, wimax_short):
+        a = _small_campaign(wimax_short).run()
+        b = _small_campaign(wimax_short, seed=10).run()
+        assert a.cells != b.cells
+
+
+class TestCampaignResult:
+    def test_report_contains_all_cells(self, wimax_short):
+        result = _small_campaign(wimax_short).run()
+        report = result.report()
+        for token in ("p_mem", "llr", "none/arch", "none/llr", "FER",
+                      "silent", "detect"):
+            assert token in report
+        assert "1e-04" in report and "5e-02" in report
+
+    def test_baseline_is_fault_free(self, wimax_short):
+        result = _small_campaign(wimax_short).run()
+        for site in ("p_mem", "llr"):
+            assert result.baseline(site).injections == 0
+        # Eb/N0 = 5 dB: the channel alone essentially never fails
+        assert result.baseline("p_mem").fer == 0.0
+
+    def test_high_rate_degrades(self, wimax_short):
+        result = _small_campaign(wimax_short).run()
+        cell = result.cell("llr", 5e-2)
+        assert cell.injections > 0
+        assert cell.fer >= result.baseline("llr").fer
+
+    def test_cell_lookup_raises_on_unknown(self, wimax_short):
+        result = _small_campaign(wimax_short).run()
+        with pytest.raises(KeyError):
+            result.cell("p_mem", 0.123)
+        # shifter shares the arch backend, so its baseline resolves
+        result.baseline("shifter")
+        llr_only = _small_campaign(wimax_short, sites=("llr",)).run()
+        with pytest.raises(KeyError):
+            llr_only.baseline("p_mem")  # arch backend never ran
+
+    def test_detection_rate_edge_cases(self, wimax_short):
+        result = _small_campaign(wimax_short).run()
+        base = result.baseline("p_mem")
+        assert base.frame_errors == 0 and base.detection_rate == 1.0
+
+
+class TestCampaignValidation:
+    def test_unknown_site(self, wimax_short):
+        with pytest.raises(FaultConfigError):
+            FaultCampaign(wimax_short, sites=("cache",))
+
+    def test_empty_sites_and_rates(self, wimax_short):
+        with pytest.raises(FaultConfigError):
+            FaultCampaign(wimax_short, sites=())
+        with pytest.raises(FaultConfigError):
+            FaultCampaign(wimax_short, rates=())
+
+    def test_bad_frames_per_cell(self, wimax_short):
+        with pytest.raises(FaultConfigError):
+            FaultCampaign(wimax_short, frames_per_cell=0)
+
+    def test_default_model_factory(self):
+        assert isinstance(default_model_factory("llr", 0.1), LLRPerturbation)
+        assert isinstance(default_model_factory("p_mem", 0.1), TransientBitFlip)
+
+
+class TestArchWiring:
+    def test_unknown_arch_site_rejected(self, wimax_short):
+        config = ArchConfig(wimax_short, max_iterations=4)
+        injector = FaultInjector(TransientBitFlip(0.5), seed=0)
+        with pytest.raises(ArchitectureError):
+            PerLayerArch(config, faults={"cache": injector})
+
+    def test_zero_fault_injector_leaves_decode_unchanged(self, wimax_short):
+        codeword, llrs = noisy_frame(wimax_short, ebno_db=4.0, seed=2)
+        config = ArchConfig(wimax_short, max_iterations=8)
+        clean = PerLayerArch(config).decode(llrs).decode
+        injector = FaultInjector(TransientBitFlip(0.0), seed=0)
+        faulted = PerLayerArch(
+            config, faults={"p_mem": injector}
+        ).decode(llrs).decode
+        np.testing.assert_array_equal(clean.bits, faulted.bits)
+        assert clean.iterations == faulted.iterations
+        assert injector.injections == 0
+        assert injector.accesses > 0  # the hook really is on the path
+
+    @pytest.mark.parametrize("site", ["p_mem", "r_mem", "shifter"])
+    def test_saturating_faults_break_decode(self, wimax_short, site):
+        codeword, llrs = noisy_frame(wimax_short, ebno_db=6.0, seed=3)
+        config = ArchConfig(wimax_short, max_iterations=6)
+        injector = FaultInjector(TransientBitFlip(0.9), seed=1)
+        result = PerLayerArch(
+            config, faults={site: injector}
+        ).decode(llrs).decode
+        assert injector.injections > 0
+        assert not result.converged or np.any(result.bits != codeword)
+
+    def test_minsearch_faults_hit_write_port(self, wimax_short):
+        codeword, llrs = noisy_frame(wimax_short, ebno_db=6.0, seed=3)
+        config = ArchConfig(wimax_short, max_iterations=4)
+        injector = FaultInjector(
+            TransientBitFlip(0.9), seed=1, on=("read", "write")
+        )
+        PerLayerArch(config, faults={"minsearch": injector}).decode(llrs)
+        assert injector.injections > 0
+
+
+class TestLLRHook:
+    def test_iteration_hook_called_each_iteration(self, wimax_short):
+        _, llrs = noisy_frame(wimax_short, ebno_db=5.0, seed=4)
+        calls = []
+        decoder = LayeredMinSumDecoder(
+            wimax_short,
+            max_iterations=5,
+            iteration_hook=lambda it, p: calls.append(it),
+        )
+        result = decoder.decode(llrs)
+        assert calls == list(range(result.iterations))
+
+    def test_erasing_hook_prevents_convergence(self, wimax_short):
+        codeword, llrs = noisy_frame(wimax_short, ebno_db=6.0, seed=4)
+        injector = FaultInjector(LLRPerturbation(1.0, mode="erase"), seed=0)
+        decoder = LayeredMinSumDecoder(
+            wimax_short,
+            max_iterations=4,
+            iteration_hook=injector.iteration_hook,
+        )
+        result = decoder.decode(llrs)
+        assert injector.injections > 0
+        assert not result.converged or np.any(result.bits != codeword)

@@ -1,0 +1,217 @@
+"""Fault models and injectors: corruption semantics and determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultConfigError
+from repro.faults import (
+    ALL_SITES,
+    ARCH_SITES,
+    LLR_SITE,
+    FaultInjector,
+    FaultModel,
+    LLRPerturbation,
+    StuckAt,
+    TransientBitFlip,
+)
+
+pytestmark = pytest.mark.faults
+
+
+class TestTransientBitFlip:
+    def test_zero_rate_is_identity(self):
+        model = TransientBitFlip(0.0)
+        word = np.arange(-8, 8, dtype=np.int32)
+        out = model.corrupt_word(word, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, word)
+
+    def test_rate_one_flips_exactly_one_bit_per_lane(self):
+        model = TransientBitFlip(1.0, bit_width=8)
+        word = np.zeros(64, dtype=np.int32)
+        out = model.corrupt_word(word, np.random.default_rng(1))
+        assert out.shape == word.shape
+        # every lane upset; a flip of bit b on 0 yields +/- 2^b in
+        # two's complement (bit 7 -> -128)
+        assert np.all(out != 0)
+        allowed = {1 << b for b in range(7)} | {-128}
+        assert set(np.unique(out)).issubset(allowed)
+
+    def test_sign_extension_roundtrip(self):
+        # flipping the sign bit of +1 (0000_0001) gives 1000_0001 = -127
+        model = TransientBitFlip(1.0, bit_width=8)
+
+        class TopBitRng:
+            def random(self, shape):
+                return np.zeros(shape)  # always hit
+
+            def integers(self, low, high, size):
+                return np.full(size, 7)  # always the sign bit
+
+        out = model.corrupt_word(np.array([1], dtype=np.int32), TopBitRng())
+        assert out[0] == -127
+
+    def test_deterministic_under_seed(self):
+        model = TransientBitFlip(0.3)
+        word = np.arange(32, dtype=np.int32)
+        a = model.corrupt_word(word, np.random.default_rng(42))
+        b = model.corrupt_word(word, np.random.default_rng(42))
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(FaultConfigError):
+            TransientBitFlip(1.5)
+        with pytest.raises(FaultConfigError):
+            TransientBitFlip(-0.1)
+        with pytest.raises(FaultConfigError):
+            TransientBitFlip(0.1, bit_width=1)
+
+
+class TestStuckAt:
+    def test_stuck_at_one_sets_bit(self):
+        model = StuckAt(bit=0, stuck_to=1, lanes=(0, 2))
+        word = np.zeros(4, dtype=np.int32)
+        out = model.corrupt_word(word, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, [1, 0, 1, 0])
+
+    def test_stuck_at_zero_clears_bit(self):
+        model = StuckAt(bit=1, stuck_to=0, lanes=(0,))
+        word = np.full(3, 3, dtype=np.int32)  # 0b11
+        out = model.corrupt_word(word, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, [1, 3, 3])
+
+    def test_idempotent(self):
+        model = StuckAt(bit=7, stuck_to=1, lanes=(1,))
+        word = np.arange(4, dtype=np.int32)
+        rng = np.random.default_rng(0)
+        once = model.corrupt_word(word, rng)
+        twice = model.corrupt_word(once, rng)
+        np.testing.assert_array_equal(once, twice)
+
+    def test_sign_bit_stuck_drives_negative(self):
+        model = StuckAt(bit=7, stuck_to=1, lanes=(0,), bit_width=8)
+        out = model.corrupt_word(
+            np.array([5], dtype=np.int32), np.random.default_rng(0)
+        )
+        assert out[0] == 5 - 128
+
+    def test_out_of_range_lanes_ignored(self):
+        model = StuckAt(bit=0, stuck_to=1, lanes=(99,))
+        word = np.zeros(4, dtype=np.int32)
+        out = model.corrupt_word(word, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, word)
+
+    def test_validation(self):
+        with pytest.raises(FaultConfigError):
+            StuckAt(bit=8, bit_width=8)
+        with pytest.raises(FaultConfigError):
+            StuckAt(bit=0, stuck_to=2)
+
+
+class TestLLRPerturbation:
+    def test_flip_sign(self):
+        model = LLRPerturbation(1.0, mode="flip-sign")
+        llrs = np.array([1.0, -2.0, 3.0])
+        out = model.corrupt_llrs(llrs, np.random.default_rng(0))
+        np.testing.assert_allclose(out, -llrs)
+
+    def test_erase(self):
+        model = LLRPerturbation(1.0, mode="erase")
+        out = model.corrupt_llrs(
+            np.array([4.0, -4.0]), np.random.default_rng(0)
+        )
+        np.testing.assert_array_equal(out, [0.0, 0.0])
+
+    def test_gauss_changes_values_deterministically(self):
+        model = LLRPerturbation(1.0, mode="gauss", magnitude=2.0)
+        llrs = np.ones(16)
+        a = model.corrupt_llrs(llrs, np.random.default_rng(3))
+        b = model.corrupt_llrs(llrs, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+        assert np.any(a != llrs)
+
+    def test_zero_rate_is_identity(self):
+        model = LLRPerturbation(0.0)
+        llrs = np.array([1.0, 2.0])
+        out = model.corrupt_llrs(llrs, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, llrs)
+
+    def test_does_not_mutate_input(self):
+        model = LLRPerturbation(1.0, mode="erase")
+        llrs = np.array([1.0, 2.0])
+        model.corrupt_llrs(llrs, np.random.default_rng(0))
+        np.testing.assert_array_equal(llrs, [1.0, 2.0])
+
+    def test_validation(self):
+        with pytest.raises(FaultConfigError):
+            LLRPerturbation(2.0)
+        with pytest.raises(FaultConfigError):
+            LLRPerturbation(0.1, mode="bogus")
+        with pytest.raises(FaultConfigError):
+            LLRPerturbation(0.1, magnitude=-1.0)
+
+
+class TestFaultInjector:
+    def test_counts_accesses_and_injections(self):
+        inj = FaultInjector(TransientBitFlip(1.0), seed=0)
+        word = np.zeros(8, dtype=np.int32)
+        out = inj.on_read(word)
+        assert inj.accesses == 1
+        assert inj.injections == 8
+        assert np.all(out != 0)
+
+    def test_kind_filter(self):
+        inj = FaultInjector(TransientBitFlip(1.0), seed=0, on=("write",))
+        word = np.zeros(8, dtype=np.int32)
+        np.testing.assert_array_equal(inj.on_read(word), word)
+        assert inj.accesses == 0
+        assert np.any(inj.on_write(word) != 0)
+        assert inj.accesses == 1
+
+    def test_disabled_injector_is_transparent(self):
+        inj = FaultInjector(TransientBitFlip(1.0), seed=0)
+        inj.enabled = False
+        word = np.zeros(8, dtype=np.int32)
+        np.testing.assert_array_equal(inj.on_read(word), word)
+        assert inj.accesses == 0 and inj.injections == 0
+
+    def test_iteration_hook_mutates_float_state_in_place(self):
+        inj = FaultInjector(LLRPerturbation(1.0, mode="erase"), seed=0)
+        p = np.array([3.0, -3.0])
+        inj.iteration_hook(0, p)
+        np.testing.assert_array_equal(p, [0.0, 0.0])
+        assert inj.injections == 2
+
+    def test_iteration_hook_routes_integer_state_to_word_path(self):
+        inj = FaultInjector(StuckAt(bit=0, stuck_to=1, lanes=(0,)), seed=0)
+        p = np.zeros(4, dtype=np.int32)
+        inj.iteration_hook(0, p)
+        assert p[0] == 1
+
+    def test_reset_keeps_rng_stream(self):
+        inj = FaultInjector(TransientBitFlip(0.5), seed=0)
+        inj.on_read(np.zeros(16, dtype=np.int32))
+        inj.reset()
+        assert inj.accesses == 0 and inj.injections == 0
+
+    def test_same_seed_same_stream(self):
+        word = np.arange(32, dtype=np.int32)
+        outs = []
+        for _ in range(2):
+            inj = FaultInjector(TransientBitFlip(0.25), seed=11)
+            outs.append([inj.on_read(word).copy() for _ in range(5)])
+        for a, b in zip(*outs):
+            np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(FaultConfigError):
+            FaultInjector(FaultModel(), on=())
+        with pytest.raises(FaultConfigError):
+            FaultInjector(FaultModel(), on=("read", "refresh"))
+
+
+def test_site_constants():
+    assert set(ARCH_SITES) == {"p_mem", "r_mem", "shifter", "minsearch"}
+    assert LLR_SITE == "llr"
+    assert ALL_SITES == ARCH_SITES + (LLR_SITE,)
