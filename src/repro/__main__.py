@@ -6,9 +6,14 @@ Commands:
 * ``demo`` — encode/transmit/decode one frame and print the outcome;
 * ``experiments [IDS...]`` — regenerate paper tables/figures;
 * ``serve-bench`` — compare per-frame, batch, and continuous-batching
-  decode throughput on generated traffic;
+  decode throughput on generated traffic (``--json`` for the metrics
+  registry snapshot instead of tables);
 * ``faults-bench`` — sweep fault rate x injection site and report
-  residual FER, silent-corruption rate, and parity detection rate;
+  residual FER, silent-corruption rate, and parity detection rate
+  (``--json`` for the registry snapshot);
+* ``obs-report`` — run traced serve traffic and render the span
+  summary, per-layer profile, and metrics (text/json/prometheus;
+  ``--chrome-out`` dumps an ``about:tracing`` timeline);
 * ``synth`` — compile a decoder program and print the synthesis report;
 * ``verilog`` — compile and emit structural Verilog;
 * ``alist`` — export a code's parity-check matrix in alist format.
@@ -146,6 +151,35 @@ def cmd_serve_bench(args) -> int:
     t_engine = time.perf_counter() - t0
     engine_converged = sum(d.result.converged for d in engine_results)
 
+    agree = loop_converged == batch_converged == engine_converged
+    if args.json:
+        import json
+
+        modes = [
+            {"mode": "frame-at-a-time", "time_s": t_loop,
+             "frames_per_s": args.frames / t_loop, "converged": loop_converged},
+            {"mode": f"static batch-{args.batch}", "time_s": t_batch,
+             "frames_per_s": args.frames / t_batch,
+             "converged": batch_converged},
+            {"mode": f"continuous batch-{args.batch}", "time_s": t_engine,
+             "frames_per_s": args.frames / t_engine,
+             "converged": engine_converged},
+        ]
+        print(
+            json.dumps(
+                {
+                    "code": code.name,
+                    "ebno_db": args.ebno,
+                    "frames": args.frames,
+                    "modes": modes,
+                    "metrics": metrics.registry.to_dict(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0 if agree else 1
+
     rows = [
         ["frame-at-a-time", args.frames, f"{t_loop:.3f}",
          f"{args.frames / t_loop:.1f}", "1.00x", loop_converged],
@@ -169,7 +203,6 @@ def cmd_serve_bench(args) -> int:
     )
     print()
     print(metrics.report(title="continuous-batching metrics"))
-    agree = loop_converged == batch_converged == engine_converged
     if not agree:
         print("WARNING: modes disagree on converged frame count")
     return 0 if agree else 1
@@ -189,6 +222,11 @@ def cmd_faults_bench(args) -> int:
             file=sys.stderr,
         )
         return 2
+    registry = None
+    if args.json:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
     campaign = FaultCampaign(
         _build_code(args),
         sites=sites,
@@ -197,9 +235,117 @@ def cmd_faults_bench(args) -> int:
         ebno_db=args.ebno,
         seed=args.seed,
         max_iterations=args.iterations,
+        registry=registry,
     )
     result = campaign.run()
+    if args.json:
+        import json
+
+        cells = [
+            {
+                "site": c.site,
+                "rate": c.rate,
+                "frames": c.frames,
+                "frame_errors": c.frame_errors,
+                "detected_errors": c.detected_errors,
+                "silent_errors": c.silent_errors,
+                "injections": c.injections,
+                "fer": c.fer,
+                "silent_rate": c.silent_rate,
+                "detection_rate": c.detection_rate,
+                "mean_iterations": c.mean_iterations,
+            }
+            for c in result.baselines + result.cells
+        ]
+        print(
+            json.dumps(
+                {
+                    "code": result.code_name,
+                    "ebno_db": result.ebno_db,
+                    "seed": result.seed,
+                    "frames_per_cell": result.frames_per_cell,
+                    "cells": cells,
+                    "metrics": registry.to_dict(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
     print(result.report())
+    return 0
+
+
+def cmd_obs_report(args) -> int:
+    from repro.channel import AwgnChannel
+    from repro.encoder import RuEncoder
+    from repro.obs import TraceRecorder, layer_profile_report
+    from repro.serve import ContinuousBatchingEngine, DecodeJob, ServeMetrics
+
+    if args.frames < 1:
+        print("obs-report: --frames must be >= 1", file=sys.stderr)
+        return 2
+    if args.batch < 1:
+        print("obs-report: --batch must be >= 1", file=sys.stderr)
+        return 2
+
+    code = _build_code(args)
+    rng = np.random.default_rng(args.seed)
+    encoder = RuEncoder(code)
+    jobs = []
+    for _ in range(args.frames):
+        message = rng.integers(0, 2, encoder.k).astype(np.uint8)
+        codeword = encoder.encode(message)
+        channel = AwgnChannel.from_ebno(args.ebno, code.rate, seed=rng)
+        jobs.append(DecodeJob(llrs=channel.llrs(codeword)))
+
+    recorder = TraceRecorder()
+    metrics = ServeMetrics()
+    engine = ContinuousBatchingEngine(
+        code,
+        batch_size=args.batch,
+        max_iterations=args.iterations,
+        fixed=args.fixed,
+        metrics=metrics,
+        recorder=recorder,
+    )
+    engine.run(jobs)
+
+    if args.chrome_out:
+        recorder.write_chrome_trace(args.chrome_out)
+        print(f"wrote Chrome trace to {args.chrome_out}", file=sys.stderr)
+
+    registry = metrics.registry
+    if args.format == "json":
+        import json
+
+        print(
+            json.dumps(
+                {"spans": recorder.summary(), "metrics": registry.to_dict()},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    elif args.format == "prometheus":
+        print(registry.render_prometheus(), end="")
+    else:
+        print(
+            recorder.report(
+                title=(
+                    f"obs-report: {code.name}, {args.frames} frames, "
+                    f"batch {args.batch}"
+                )
+            )
+        )
+        print()
+        print(
+            layer_profile_report(
+                recorder, span_name="batch.layer",
+                title="per-layer wall time (batch.layer)",
+            )
+        )
+        print()
+        print(registry.render_text(title="serve metrics"))
     return 0
 
 
@@ -288,6 +434,10 @@ def build_parser() -> argparse.ArgumentParser:
     sb.add_argument("--iterations", type=int, default=10)
     sb.add_argument("--seed", type=int, default=0)
     sb.add_argument("--fixed", action="store_true", help="8-bit datapath")
+    sb.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable JSON report (metrics registry snapshot)",
+    )
 
     fb = sub.add_parser(
         "faults-bench", help="fault-injection campaign (FER/silent/detect)"
@@ -304,6 +454,30 @@ def build_parser() -> argparse.ArgumentParser:
     fb.add_argument(
         "--rates", nargs="*", type=float, default=(1e-4, 1e-3, 1e-2),
         help="per-access fault probabilities",
+    )
+    fb.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable JSON report (metrics registry snapshot)",
+    )
+
+    ob = sub.add_parser(
+        "obs-report",
+        help="traced serve run: span summary, layer profile, metrics",
+    )
+    _add_code_args(ob)
+    ob.add_argument("--ebno", type=float, default=2.5)
+    ob.add_argument("--frames", type=int, default=32, help="traffic size")
+    ob.add_argument("--batch", type=int, default=8, help="decoder slots")
+    ob.add_argument("--iterations", type=int, default=10)
+    ob.add_argument("--seed", type=int, default=0)
+    ob.add_argument("--fixed", action="store_true", help="8-bit datapath")
+    ob.add_argument(
+        "--format", choices=("text", "json", "prometheus"), default="text",
+        help="metrics output format",
+    )
+    ob.add_argument(
+        "--chrome-out", default="",
+        help="also write the trace as Chrome-trace JSON to this path",
     )
 
     for name, helptext in (
@@ -335,6 +509,7 @@ def main(argv=None) -> int:
         "experiments": cmd_experiments,
         "serve-bench": cmd_serve_bench,
         "faults-bench": cmd_faults_bench,
+        "obs-report": cmd_obs_report,
         "synth": cmd_synth,
         "verilog": cmd_verilog,
         "alist": cmd_alist,

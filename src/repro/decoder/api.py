@@ -11,6 +11,8 @@ per-frame loop, and both paths share one algorithm dispatch.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 import numpy as np
 
 from repro.codes.qc import QCLDPCCode
@@ -19,6 +21,9 @@ from repro.decoder.layered import DEFAULT_MAX_ITERATIONS, LayeredMinSumDecoder
 from repro.decoder.layered_spa import LayeredSumProductDecoder
 from repro.decoder.result import BatchDecodeResult, DecodeResult
 from repro.errors import DecodingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import TraceRecorder
 
 _ALGORITHMS = (
     "layered-min-sum",
@@ -33,11 +38,14 @@ def _make_decoder(
     algorithm: str,
     max_iterations: int,
     fixed: bool,
+    recorder: "Optional[TraceRecorder]" = None,
 ):
     """Validate ``algorithm``/``fixed`` and build the per-frame decoder.
 
     The single dispatch point shared by :func:`decode` and
-    :func:`decode_many`.
+    :func:`decode_many`.  The trace recorder reaches the layered
+    min-sum path only (the instrumented kernel); other algorithms
+    accept but ignore it.
     """
     if algorithm not in _ALGORITHMS:
         raise DecodingError(
@@ -46,7 +54,9 @@ def _make_decoder(
     if fixed and algorithm != "layered-min-sum":
         raise DecodingError("fixed-point mode is only available for layered-min-sum")
     if algorithm == "layered-min-sum":
-        return LayeredMinSumDecoder(code, max_iterations=max_iterations, fixed=fixed)
+        return LayeredMinSumDecoder(
+            code, max_iterations=max_iterations, fixed=fixed, recorder=recorder
+        )
     if algorithm == "layered-sum-product":
         return LayeredSumProductDecoder(code, max_iterations=max_iterations)
     check_rule = "min-sum" if algorithm == "flooding-min-sum" else "sum-product"
@@ -59,6 +69,7 @@ def decode(
     algorithm: str = "layered-min-sum",
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
     fixed: bool = False,
+    recorder: "Optional[TraceRecorder]" = None,
 ) -> DecodeResult:
     """Decode one frame with a named algorithm.
 
@@ -76,8 +87,14 @@ def decode(
         Full-iteration budget.
     fixed:
         Bit-accurate 8-bit arithmetic (layered only).
+    recorder:
+        Optional :class:`~repro.obs.trace.TraceRecorder` receiving
+        per-iteration/per-layer wall-time spans (layered min-sum only;
+        results are identical with or without it).
     """
-    return _make_decoder(code, algorithm, max_iterations, fixed).decode(channel_llrs)
+    return _make_decoder(
+        code, algorithm, max_iterations, fixed, recorder
+    ).decode(channel_llrs)
 
 
 def decode_many(
@@ -86,26 +103,29 @@ def decode_many(
     algorithm: str = "layered-min-sum",
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
     fixed: bool = False,
+    recorder: "Optional[TraceRecorder]" = None,
 ) -> BatchDecodeResult:
     """Decode a ``(B, n)`` LLR matrix; rows are independent frames.
 
     The default algorithm runs through the vectorized batch kernel
     (bit-exact with :func:`decode` frame by frame, converged frames
     retired early); the other algorithms decode row by row and are
-    repackaged into the same :class:`BatchDecodeResult`.
+    repackaged into the same :class:`BatchDecodeResult`.  ``recorder``
+    reaches the layered batch kernel's ``batch.iteration`` /
+    ``batch.layer`` spans.
     """
     llrs = np.asarray(channel_llrs, dtype=np.float64)
     if llrs.ndim != 2 or llrs.shape[1] != code.n:
         raise DecodingError(f"LLR matrix shape {llrs.shape} != (B, {code.n})")
     # Validate algorithm/fixed exactly as decode() does, for every path.
-    decoder = _make_decoder(code, algorithm, max_iterations, fixed)
+    decoder = _make_decoder(code, algorithm, max_iterations, fixed, recorder)
 
     if algorithm == "layered-min-sum":
         # Imported here: repro.serve imports repro.decoder at load time.
         from repro.serve.batch import BatchLayeredMinSumDecoder
 
         return BatchLayeredMinSumDecoder(
-            code, max_iterations=max_iterations, fixed=fixed
+            code, max_iterations=max_iterations, fixed=fixed, recorder=recorder
         ).decode(llrs)
 
     results = [decoder.decode(row) for row in llrs]

@@ -25,7 +25,8 @@ Two arithmetic modes are provided:
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+import time
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -41,6 +42,9 @@ from repro.decoder.minsum import (
 from repro.decoder.result import DecodeResult
 from repro.errors import DecodingError
 from repro.utils.bitops import hard_decision
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.obs.trace import TraceRecorder
 
 DEFAULT_MAX_ITERATIONS = 10
 
@@ -82,6 +86,14 @@ class LayeredMinSumDecoder(object):
         (:mod:`repro.faults`) uses this to model message perturbation;
         instrumentation and annealed-schedule experiments fit the same
         seam.
+    recorder:
+        Optional :class:`~repro.obs.trace.TraceRecorder`.  When attached
+        (and enabled) every decode emits nested ``decode.frame`` /
+        ``decode.iteration`` / ``decode.layer`` spans attributing wall
+        time per layer and iteration.  Tracing never touches the
+        working arrays, so results are bit-identical with and without
+        it; a ``None`` or disabled recorder costs one branch per
+        layer.
     """
 
     def __init__(
@@ -96,6 +108,7 @@ class LayeredMinSumDecoder(object):
         variant: str = "scaled",
         offset_beta: float = 0.3,
         iteration_hook: Optional[Callable[[int, np.ndarray], None]] = None,
+        recorder: "Optional[TraceRecorder]" = None,
     ) -> None:
         if max_iterations < 1:
             raise DecodingError(f"max_iterations must be >= 1, got {max_iterations}")
@@ -112,6 +125,7 @@ class LayeredMinSumDecoder(object):
         self.variant = variant
         self.offset_beta = offset_beta
         self.iteration_hook = iteration_hook
+        self.recorder = recorder
         self.code = code
         self.max_iterations = max_iterations
         self.scaling_factor = scaling_factor
@@ -155,15 +169,21 @@ class LayeredMinSumDecoder(object):
     # ------------------------------------------------------------------
     def _decode_float(self, llrs: np.ndarray) -> DecodeResult:
         code = self.code
+        rec = self.recorder
+        tracing = rec is not None and rec.enabled
         p = llrs.copy()
         r = [np.zeros((layer.degree, code.z)) for layer in code.layers]
 
         iteration_syndromes: List[int] = []
         iterations = 0
+        frame_t0 = time.perf_counter() if tracing else 0.0
         for it in range(self.max_iterations):
             if self.iteration_hook is not None:
                 self.iteration_hook(it, p)
+            it_t0 = time.perf_counter() if tracing else 0.0
             for l in self.layer_order:
+                if tracing:
+                    layer_t0 = time.perf_counter()
                 layer = code.layer(l)
                 idx = layer.var_idx
                 q = p[idx] - r[l]
@@ -180,11 +200,20 @@ class LayeredMinSumDecoder(object):
                 r_new = (total_sign[None, :] * signs) * shaped
                 p[idx] = q + r_new
                 r[l] = r_new
+                if tracing:
+                    rec.complete("decode.layer", layer_t0, layer=l,
+                                 iteration=it, mode="float")
             iterations += 1
             weight = int(self.code.syndrome(hard_decision(p)).sum())
             iteration_syndromes.append(weight)
+            if tracing:
+                rec.complete("decode.iteration", it_t0, iteration=it,
+                             syndrome=weight, mode="float")
             if self.early_termination and weight == 0:
                 break
+        if tracing:
+            rec.complete("decode.frame", frame_t0, iterations=iterations,
+                         mode="float")
 
         bits = hard_decision(p)
         weight = iteration_syndromes[-1]
@@ -206,6 +235,8 @@ class LayeredMinSumDecoder(object):
     def _run_fixed(self, p_codes: np.ndarray) -> DecodeResult:
         code = self.code
         fmt = self.fmt
+        rec = self.recorder
+        tracing = rec is not None and rec.enabled
         p = p_codes.astype(np.int32)
         r = [
             np.zeros((layer.degree, code.z), dtype=np.int32)
@@ -214,10 +245,14 @@ class LayeredMinSumDecoder(object):
 
         iteration_syndromes: List[int] = []
         iterations = 0
+        frame_t0 = time.perf_counter() if tracing else 0.0
         for it in range(self.max_iterations):
             if self.iteration_hook is not None:
                 self.iteration_hook(it, p)
+            it_t0 = time.perf_counter() if tracing else 0.0
             for l in self.layer_order:
+                if tracing:
+                    layer_t0 = time.perf_counter()
                 layer = code.layer(l)
                 idx = layer.var_idx
                 q = fmt.saturate(p[idx].astype(np.int64) - r[l])
@@ -236,11 +271,20 @@ class LayeredMinSumDecoder(object):
                 r_new = fmt.saturate(r_new)
                 p[idx] = fmt.saturate(q.astype(np.int64) + r_new)
                 r[l] = r_new
+                if tracing:
+                    rec.complete("decode.layer", layer_t0, layer=l,
+                                 iteration=it, mode="fixed")
             iterations += 1
             weight = int(self.code.syndrome(hard_decision(p)).sum())
             iteration_syndromes.append(weight)
+            if tracing:
+                rec.complete("decode.iteration", it_t0, iteration=it,
+                             syndrome=weight, mode="fixed")
             if self.early_termination and weight == 0:
                 break
+        if tracing:
+            rec.complete("decode.frame", frame_t0, iterations=iterations,
+                         mode="fixed")
 
         bits = hard_decision(p)
         weight = iteration_syndromes[-1]

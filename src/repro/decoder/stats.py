@@ -10,7 +10,7 @@ statistics collection.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import TYPE_CHECKING, List
 
 import numpy as np
 
@@ -24,6 +24,9 @@ from repro.decoder.minsum import (
 from repro.decoder.result import DecodeResult
 from repro.errors import DecodingError
 from repro.utils.bitops import hard_decision
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -49,6 +52,34 @@ class MessageStats(object):
     def final_p_saturation(self) -> float:
         """P saturation at exit (the headline tuning number)."""
         return self.p_saturation[-1] if self.p_saturation else 0.0
+
+    def publish(self, registry: "MetricsRegistry") -> None:
+        """Export the per-iteration series as labelled registry gauges.
+
+        Gauges ``decode_p_saturation`` / ``decode_q_saturation`` /
+        ``decode_p_mean_magnitude`` are keyed by iteration index, and
+        ``decode_stats_frames`` counts how many decodes were published,
+        so message-format studies render through the same text / JSON /
+        Prometheus pipeline as the serving and fault metrics.
+        """
+        series = (
+            ("decode_p_saturation",
+             "fraction of P entries at +/-max after an iteration",
+             self.p_saturation),
+            ("decode_q_saturation",
+             "fraction of Q messages clipped during an iteration",
+             self.q_saturation),
+            ("decode_p_mean_magnitude",
+             "mean |P| in integer codes after an iteration",
+             self.p_mean_magnitude),
+        )
+        for name, help_text, values in series:
+            gauge = registry.gauge(name, help_text, ("iteration",))
+            for it, value in enumerate(values):
+                gauge.set(float(value), iteration=str(it))
+        registry.counter(
+            "decode_stats_frames", "instrumented decodes published"
+        ).inc()
 
 
 def instrumented_decode(

@@ -27,8 +27,9 @@ campaign, bit for bit.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,6 +43,10 @@ from repro.errors import FaultConfigError
 from repro.faults.injectors import ALL_SITES, ARCH_SITES, LLR_SITE, FaultInjector
 from repro.faults.models import FaultModel, LLRPerturbation, TransientBitFlip
 from repro.utils.tables import render_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import TraceRecorder
 
 __all__ = ["CampaignCell", "CampaignResult", "FaultCampaign"]
 
@@ -171,6 +176,16 @@ class FaultCampaign(object):
         ``factory(site, rate) -> FaultModel`` override; the default uses
         SEU bit flips for hardware sites and sign-flip LLR perturbation
         for the numpy decoder.
+    recorder:
+        Optional :class:`~repro.obs.trace.TraceRecorder`; every cell
+        gets a ``campaign.cell`` span and its injector emits
+        ``fault.inject`` events labelled with the site.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`;
+        :meth:`run` publishes per-cell ``faults_*`` counters labelled
+        by ``site``/``rate`` (frames, frame errors, detected, silent,
+        injections) so campaign outcomes export alongside serve and
+        decode metrics.
     """
 
     def __init__(
@@ -183,6 +198,8 @@ class FaultCampaign(object):
         seed: int = 0,
         max_iterations: int = DEFAULT_MAX_ITERATIONS,
         model_factory: Optional[Callable[[str, float], FaultModel]] = None,
+        recorder: "Optional[TraceRecorder]" = None,
+        registry: "Optional[MetricsRegistry]" = None,
     ) -> None:
         bad = [s for s in sites if s not in ALL_SITES]
         if bad:
@@ -203,6 +220,8 @@ class FaultCampaign(object):
         self.seed = seed
         self.max_iterations = max_iterations
         self.model_factory = model_factory or default_model_factory
+        self.recorder = recorder
+        self.registry = registry
 
     # ------------------------------------------------------------------
     # traffic
@@ -266,6 +285,28 @@ class FaultCampaign(object):
         )
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _publish(self, cell: CampaignCell) -> None:
+        """Mirror one cell's counts onto the registry's labeled counters."""
+        reg = self.registry
+        if reg is None:
+            return
+        labels = {"site": cell.site, "rate": f"{cell.rate:g}"}
+        label_names = ("site", "rate")
+        pairs = (
+            ("faults_frames", "frames decoded in a campaign cell", cell.frames),
+            ("faults_frame_errors", "frames decoded wrong", cell.frame_errors),
+            ("faults_detected", "wrong frames flagged by parity",
+             cell.detected_errors),
+            ("faults_silent", "wrong frames with parity passing",
+             cell.silent_errors),
+            ("faults_injections", "corrupted lanes injected", cell.injections),
+        )
+        for name, help_text, value in pairs:
+            reg.counter(name, help_text, label_names).inc(value, **labels)
+
+    # ------------------------------------------------------------------
     # the sweep
     # ------------------------------------------------------------------
     def run(self) -> CampaignResult:
@@ -286,10 +327,12 @@ class FaultCampaign(object):
                 backends_used.append(backend)
         for backend in backends_used:
             runner = self._decode_llr if backend == "llr" else self._decode_arch
-            result.baselines.append(
-                runner(f"{BASELINE_SITE}/{backend}", 0.0, None, frames)
-            )
+            cell = runner(f"{BASELINE_SITE}/{backend}", 0.0, None, frames)
+            result.baselines.append(cell)
+            self._publish(cell)
 
+        rec = self.recorder
+        tracing = rec is not None and rec.enabled
         for site in self.sites:
             for rate in self.rates:
                 # key the injector stream by the site/rate *identity*
@@ -305,9 +348,19 @@ class FaultCampaign(object):
                     # min-search registers are corrupted at their write
                     # port; memories/shifter on the read path
                     on=("read", "write") if site == "minsearch" else ("read",),
+                    recorder=rec,
+                    site=site,
                 )
                 runner = (
                     self._decode_llr if site == LLR_SITE else self._decode_arch
                 )
-                result.cells.append(runner(site, rate, injector, frames))
+                cell_t0 = time.perf_counter() if tracing else 0.0
+                cell = runner(site, rate, injector, frames)
+                if tracing:
+                    rec.complete(
+                        "campaign.cell", cell_t0, site=site, rate=rate,
+                        frames=cell.frames,
+                    )
+                result.cells.append(cell)
+                self._publish(cell)
         return result

@@ -17,13 +17,16 @@ decoders take one as an ``iteration_hook``.  The injector
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable, Optional
 
 import numpy as np
 
 from repro.errors import FaultConfigError
 from repro.faults.models import FaultModel
 from repro.utils.rng import SeedLike, as_generator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import TraceRecorder
 
 __all__ = ["FaultInjector", "ARCH_SITES", "LLR_SITE", "ALL_SITES"]
 
@@ -51,6 +54,15 @@ class FaultInjector(object):
         Access kinds that trigger injection (default: reads only — the
         transient read-disturb case; pass ``("read", "write")`` for a
         cell defect visible on both paths).
+    recorder:
+        Optional :class:`~repro.obs.trace.TraceRecorder`; every actual
+        corruption (not every access) emits a ``fault.inject`` event
+        labelled with ``site``, the access kind, and the number of
+        lanes flipped, so injection hits line up with decode spans on
+        one timeline.
+    site:
+        Label attached to the ``fault.inject`` events (the injection
+        site name; informational only).
     """
 
     def __init__(
@@ -58,6 +70,8 @@ class FaultInjector(object):
         model: FaultModel,
         seed: SeedLike = None,
         on: Iterable[str] = ("read",),
+        recorder: "Optional[TraceRecorder]" = None,
+        site: str = "",
     ) -> None:
         on = frozenset(on)
         if not on or not on <= _KINDS:
@@ -67,6 +81,8 @@ class FaultInjector(object):
         self.model = model
         self.rng = as_generator(seed)
         self.on = on
+        self.recorder = recorder
+        self.site = site
         self.enabled = True
         self.accesses = 0
         self.injections = 0
@@ -88,7 +104,12 @@ class FaultInjector(object):
         self.accesses += 1
         corrupted = self.model.corrupt_word(word, self.rng)
         if corrupted is not word:
-            self.injections += int(np.count_nonzero(corrupted != word))
+            flips = int(np.count_nonzero(corrupted != word))
+            self.injections += flips
+            if flips and self.recorder is not None:
+                self.recorder.event(
+                    "fault.inject", site=self.site, kind=kind, lanes=flips
+                )
         return corrupted
 
     # ------------------------------------------------------------------
@@ -108,7 +129,16 @@ class FaultInjector(object):
         else:
             corrupted = self.model.corrupt_llrs(p, self.rng)
         if corrupted is not p:
-            self.injections += int(np.count_nonzero(corrupted != p))
+            flips = int(np.count_nonzero(corrupted != p))
+            self.injections += flips
+            if flips and self.recorder is not None:
+                self.recorder.event(
+                    "fault.inject",
+                    site=self.site,
+                    kind="iteration",
+                    iteration=iteration,
+                    lanes=flips,
+                )
             p[...] = corrupted
 
     def reset(self) -> None:

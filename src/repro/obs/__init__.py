@@ -1,0 +1,64 @@
+"""Unified observability: tracing, metrics, and profiling.
+
+The software analogue of the paper's activity-based evaluation — where
+the hardware flow counts per-block toggles to attribute power (Table I)
+and reads per-stage schedules to attribute cycles (Fig 4/6), this
+package gives every runtime subsystem one instrumentation spine:
+
+* :class:`TraceRecorder` — ring-buffered nested spans and events
+  (decode iterations/layers, engine slot fill/retire, pool
+  enqueue/dispatch/crash/restart, fault-injection hits) with a
+  Chrome-trace JSON exporter; near-zero overhead when disabled;
+* :class:`MetricsRegistry` — labelled counters/gauges/histograms with
+  text, JSON, and Prometheus-exposition renderers; the backing store of
+  :class:`~repro.serve.metrics.ServeMetrics` and the fault-campaign
+  accounting;
+* :mod:`repro.obs.profile` — per-layer wall-time attribution for the
+  numpy decoders and the core1/core2/stall decomposition (plus
+  Chrome-trace export) for the cycle-accurate architecture models.
+
+Quickstart::
+
+    from repro.obs import TraceRecorder, MetricsRegistry
+    from repro.decoder import LayeredMinSumDecoder
+
+    rec = TraceRecorder()
+    decoder = LayeredMinSumDecoder(code, recorder=rec)
+    decoder.decode(llrs)
+    print(rec.report())                  # span aggregate
+    rec.write_chrome_trace("decode.json")  # open in about:tracing
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+)
+from repro.obs.profile import (
+    arch_chrome_trace,
+    layer_profile,
+    layer_profile_report,
+    stage_profile,
+    write_chrome_trace,
+)
+from repro.obs.trace import NULL_SPAN, SpanRecord, TraceRecorder
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "SpanRecord",
+    "TraceRecorder",
+    "arch_chrome_trace",
+    "layer_profile",
+    "layer_profile_report",
+    "stage_profile",
+    "write_chrome_trace",
+]

@@ -21,7 +21,8 @@ freed rows with new frames instead of shrinking the batch.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+import time
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,6 +33,9 @@ from repro.decoder.minsum import SCALING_FACTOR, scale_magnitude_fixed
 from repro.decoder.result import BatchDecodeResult
 from repro.errors import DecodingError
 from repro.utils.bitops import hard_decision
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import TraceRecorder
 
 __all__ = ["BatchLayeredMinSumDecoder"]
 
@@ -56,6 +60,12 @@ class BatchLayeredMinSumDecoder(object):
         iteration boundary (per-frame early exit, as in the paper).
     layer_order:
         Optional permutation of layer indices per iteration.
+    recorder:
+        Optional :class:`~repro.obs.trace.TraceRecorder`; when enabled,
+        every layer sweep emits a ``batch.layer`` span (labelled with
+        the layer index and live batch size) and every full iteration a
+        ``batch.iteration`` span.  Tracing never touches the working
+        arrays, so batch results stay bit-exact with and without it.
     """
 
     def __init__(
@@ -67,6 +77,7 @@ class BatchLayeredMinSumDecoder(object):
         fmt: FixedPointFormat = MESSAGE_8BIT,
         early_termination: bool = True,
         layer_order: Optional[Sequence[int]] = None,
+        recorder: "Optional[TraceRecorder]" = None,
     ) -> None:
         if max_iterations < 1:
             raise DecodingError(f"max_iterations must be >= 1, got {max_iterations}")
@@ -80,6 +91,7 @@ class BatchLayeredMinSumDecoder(object):
         self.fixed = fixed
         self.fmt = fmt
         self.early_termination = early_termination
+        self.recorder = recorder
         if layer_order is None:
             self.layer_order = list(range(code.num_layers))
         else:
@@ -163,10 +175,16 @@ class BatchLayeredMinSumDecoder(object):
 
         r = self.new_r_state(batch)
         active = np.arange(batch)
+        rec = self.recorder
+        tracing = rec is not None and rec.enabled
 
         for it in range(self.max_iterations):
+            it_t0 = time.perf_counter() if tracing else 0.0
             self.iterate_once(p, r)
             weights = self.syndrome_weights(p)
+            if tracing:
+                rec.complete("batch.iteration", it_t0, iteration=it,
+                             active=int(len(active)))
             for j, frame in enumerate(active):
                 out_syndromes[frame].append(int(weights[j]))
 
@@ -250,7 +268,11 @@ class BatchLayeredMinSumDecoder(object):
 
     def _iterate_float(self, p: np.ndarray, r: List[np.ndarray]) -> None:
         code = self.code
+        rec = self.recorder
+        tracing = rec is not None and rec.enabled
         for l in self.layer_order:
+            if tracing:
+                layer_t0 = time.perf_counter()
             layer = code.layer(l)
             idx = layer.var_idx
             q = p[:, idx] - r[l]
@@ -259,11 +281,18 @@ class BatchLayeredMinSumDecoder(object):
             r_new = np.where(r_negative, -shaped, shaped)
             p[:, idx] = q + r_new
             r[l] = r_new
+            if tracing:
+                rec.complete("batch.layer", layer_t0, layer=l,
+                             batch=int(p.shape[0]), mode="float")
 
     def _iterate_fixed(self, p: np.ndarray, r: List[np.ndarray]) -> None:
         code = self.code
         fmt = self.fmt
+        rec = self.recorder
+        tracing = rec is not None and rec.enabled
         for l in self.layer_order:
+            if tracing:
+                layer_t0 = time.perf_counter()
             layer = code.layer(l)
             idx = layer.var_idx
             q = fmt.saturate(p[:, idx].astype(np.int64) - r[l])
@@ -272,3 +301,6 @@ class BatchLayeredMinSumDecoder(object):
             r_new = fmt.saturate(np.where(r_negative, -shaped, shaped))
             p[:, idx] = fmt.saturate(q.astype(np.int64) + r_new)
             r[l] = r_new
+            if tracing:
+                rec.complete("batch.layer", layer_t0, layer=l,
+                             batch=int(p.shape[0]), mode="fixed")

@@ -16,8 +16,9 @@ mixed-rate traffic is sharded across engines by the worker pool in
 
 from __future__ import annotations
 
+import time
 from collections import deque
-from typing import Iterable, List, Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional
 
 import numpy as np
 
@@ -31,6 +32,9 @@ from repro.serve.batch import BatchLayeredMinSumDecoder
 from repro.serve.jobs import CompletedJob, DecodeJob
 from repro.serve.metrics import ServeMetrics
 from repro.utils.bitops import hard_decision
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import TraceRecorder
 
 __all__ = ["ContinuousBatchingEngine"]
 
@@ -49,6 +53,12 @@ class ContinuousBatchingEngine(object):
     metrics:
         Optional shared :class:`ServeMetrics`; a private instance is
         created when omitted.
+    recorder:
+        Optional :class:`~repro.obs.trace.TraceRecorder`; when enabled
+        the engine emits ``engine.admit`` / ``engine.retire`` events per
+        slot fill/free and an ``engine.step`` span per layered
+        iteration, and forwards the recorder to the batch kernel for
+        ``batch.layer`` attribution.
     """
 
     def __init__(
@@ -60,6 +70,7 @@ class ContinuousBatchingEngine(object):
         fixed: bool = False,
         fmt: FixedPointFormat = MESSAGE_8BIT,
         metrics: Optional[ServeMetrics] = None,
+        recorder: "Optional[TraceRecorder]" = None,
     ) -> None:
         if batch_size < 1:
             raise DecodingError(f"batch_size must be >= 1, got {batch_size}")
@@ -67,6 +78,7 @@ class ContinuousBatchingEngine(object):
         self.batch_size = batch_size
         self.max_iterations = max_iterations
         self.metrics = metrics if metrics is not None else ServeMetrics()
+        self.recorder = recorder
         self.kernel = BatchLayeredMinSumDecoder(
             code,
             max_iterations=max_iterations,
@@ -74,6 +86,7 @@ class ContinuousBatchingEngine(object):
             fixed=fixed,
             fmt=fmt,
             early_termination=True,
+            recorder=recorder,
         )
         self._p = self.kernel.prepare(np.zeros((batch_size, code.n)))
         self._r = self.kernel.new_r_state(batch_size)
@@ -130,6 +143,8 @@ class ContinuousBatchingEngine(object):
         self._jobs[slot] = job
         self._syndromes[slot] = []
         self.metrics.frame_admitted()
+        if self.recorder is not None:
+            self.recorder.event("engine.admit", slot=slot, job=job.job_id)
         return slot
 
     # ------------------------------------------------------------------
@@ -145,6 +160,9 @@ class ContinuousBatchingEngine(object):
         act = np.flatnonzero(self._occupied)
         if act.size == 0:
             return []
+        rec = self.recorder
+        tracing = rec is not None and rec.enabled
+        step_t0 = time.perf_counter() if tracing else 0.0
 
         # Iterate the full slot arrays: free slots decode stale/zero
         # state (cheap, harmless) and in exchange the hot path never
@@ -155,6 +173,9 @@ class ContinuousBatchingEngine(object):
         self._iters[act] += 1
         weights = self.kernel.syndrome_weights(p[act])
         self.metrics.step_recorded(int(act.size), self.batch_size)
+        if tracing:
+            rec.complete("engine.step", step_t0, busy=int(act.size),
+                         capacity=self.batch_size)
 
         completed: List[CompletedJob] = []
         for j, slot in enumerate(act):
@@ -183,6 +204,11 @@ class ContinuousBatchingEngine(object):
             self._occupied[slot] = False
             self._jobs[slot] = None
             completed.append(done)
+            if self.recorder is not None:
+                self.recorder.event(
+                    "engine.retire", slot=slot, job=done.job_id,
+                    converged=converged, iterations=result.iterations,
+                )
         return completed
 
     def drain(self) -> List[CompletedJob]:

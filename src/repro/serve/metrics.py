@@ -1,23 +1,39 @@
 """Counters and latency/occupancy statistics for the serving runtime.
 
 One :class:`ServeMetrics` instance can be shared by every engine and
-worker of a service — all mutators take an internal lock — and exposes
-its state two ways: :meth:`snapshot` returns an immutable
-:class:`MetricsSnapshot` dataclass for programmatic use, and
-:meth:`report` renders the snapshot as an aligned text table in the
-house style of the evaluation harness.
+worker of a service and exposes its state several ways:
+:meth:`snapshot` returns an immutable :class:`MetricsSnapshot` dataclass
+for programmatic use, :meth:`report` renders the snapshot as an aligned
+text table in the house style of the evaluation harness, and the
+backing :class:`~repro.obs.metrics.MetricsRegistry` (the ``registry``
+attribute) renders the same series as JSON or Prometheus exposition
+text for machine consumers.
+
+Since the observability refactor every counter and histogram lives in
+the registry (instrument names are prefixed ``serve_``); this class is
+the serving-specific facade — stable recording hooks, the snapshot
+shape the tests and benchmarks rely on — over those instruments, and
+the values it reports are by construction identical to what the
+registry exposes.
 """
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass
+from typing import Optional
 
-from repro.utils.stats import RollingReservoir
+from repro.obs.metrics import MetricsRegistry
 from repro.utils.tables import render_table
 
 __all__ = ["MetricsSnapshot", "ServeMetrics"]
+
+#: Occupancy is a fraction in [0, 1]; latency buckets suit ms-scale decodes.
+_OCCUPANCY_BUCKETS = tuple(i / 10 for i in range(1, 11))
+_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0,
+)
 
 
 @dataclass(frozen=True)
@@ -88,80 +104,113 @@ class MetricsSnapshot(object):
 
 
 class ServeMetrics(object):
-    """Thread-safe counters + histograms for the decode service."""
+    """Thread-safe counters + histograms for the decode service.
 
-    def __init__(self, latency_window: int = 8192) -> None:
-        self._lock = threading.Lock()
+    Parameters
+    ----------
+    latency_window:
+        Sliding-window size (samples) for latency/occupancy percentiles.
+    registry:
+        Optional shared :class:`~repro.obs.metrics.MetricsRegistry` to
+        publish into; a private registry is created when omitted.  All
+        instruments are named ``serve_*``, so one registry can also
+        carry fault-campaign or application metrics.
+    """
+
+    def __init__(
+        self,
+        latency_window: int = 8192,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._latency_window = latency_window
-        self.reset()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._frames_in = reg.counter(
+            "serve_frames_in", "frames admitted to an engine slot")
+        self._frames_out = reg.counter(
+            "serve_frames_out", "frames retired with a result")
+        self._frames_converged = reg.counter(
+            "serve_frames_converged", "retired frames with parity passing")
+        self._frames_failed = reg.counter(
+            "serve_frames_failed", "retired frames still failing parity")
+        self._frames_rejected = reg.counter(
+            "serve_frames_rejected", "frames refused by backpressure")
+        self._frames_errored = reg.counter(
+            "serve_frames_errored", "frame futures completed exceptionally")
+        self._frames_retried = reg.counter(
+            "serve_frames_retried", "re-admissions after transient faults")
+        self._frames_expired = reg.counter(
+            "serve_frames_expired", "frames dropped past their deadline")
+        self._frames_shed = reg.counter(
+            "serve_frames_shed", "frames admitted with a shed budget")
+        self._worker_crashes = reg.counter(
+            "serve_worker_crashes", "worker loops died unexpectedly")
+        self._worker_restarts = reg.counter(
+            "serve_worker_restarts", "worker loops restarted by supervisor")
+        self._engine_steps = reg.counter(
+            "serve_engine_steps", "layered iterations over occupied slots")
+        self._slot_iterations = reg.counter(
+            "serve_slot_iterations", "frame-iterations executed")
+        self._iterations_saved = reg.counter(
+            "serve_iterations_saved", "frame-iterations avoided by early retire")
+        self._occupancy = reg.histogram(
+            "serve_occupancy_ratio", "busy slot fraction per engine step",
+            buckets=_OCCUPANCY_BUCKETS, window=latency_window)
+        self._latency = reg.histogram(
+            "serve_latency_seconds", "submit-to-retire latency",
+            buckets=_LATENCY_BUCKETS, window=latency_window)
+        self._started_at = time.monotonic()
 
     def reset(self) -> None:
-        """Zero every counter and drop retained samples."""
-        with self._lock:
-            self._frames_in = 0
-            self._frames_out = 0
-            self._frames_converged = 0
-            self._frames_failed = 0
-            self._frames_rejected = 0
-            self._frames_errored = 0
-            self._frames_retried = 0
-            self._frames_expired = 0
-            self._frames_shed = 0
-            self._worker_crashes = 0
-            self._worker_restarts = 0
-            self._engine_steps = 0
-            self._slot_iterations = 0
-            self._iterations_saved = 0
-            self._occupancy = RollingReservoir(self._latency_window)
-            self._latency = RollingReservoir(self._latency_window)
-            self._started_at = time.monotonic()
+        """Zero every serving instrument and drop retained samples."""
+        for inst in (
+            self._frames_in, self._frames_out, self._frames_converged,
+            self._frames_failed, self._frames_rejected, self._frames_errored,
+            self._frames_retried, self._frames_expired, self._frames_shed,
+            self._worker_crashes, self._worker_restarts, self._engine_steps,
+            self._slot_iterations, self._iterations_saved,
+            self._occupancy, self._latency,
+        ):
+            inst.reset()
+        self._started_at = time.monotonic()
 
     # ------------------------------------------------------------------
     # recording hooks (called by engines / services)
     # ------------------------------------------------------------------
     def frame_admitted(self, count: int = 1) -> None:
-        with self._lock:
-            self._frames_in += count
+        self._frames_in.inc(count)
 
     def frame_rejected(self, count: int = 1) -> None:
-        with self._lock:
-            self._frames_rejected += count
+        self._frames_rejected.inc(count)
 
     def frame_errored(self, count: int = 1) -> None:
         """A frame's future completed with an exception."""
-        with self._lock:
-            self._frames_errored += count
+        self._frames_errored.inc(count)
 
     def frame_retried(self, count: int = 1) -> None:
         """A frame was re-admitted after a transient engine failure."""
-        with self._lock:
-            self._frames_retried += count
+        self._frames_retried.inc(count)
 
     def frame_expired(self, count: int = 1) -> None:
         """A frame's deadline passed before it reached a decoder slot."""
-        with self._lock:
-            self._frames_expired += count
+        self._frames_expired.inc(count)
 
     def frame_shed(self, count: int = 1) -> None:
         """A frame was admitted with a shed (reduced) iteration budget."""
-        with self._lock:
-            self._frames_shed += count
+        self._frames_shed.inc(count)
 
     def worker_crashed(self) -> None:
-        with self._lock:
-            self._worker_crashes += 1
+        self._worker_crashes.inc()
 
     def worker_restarted(self) -> None:
-        with self._lock:
-            self._worker_restarts += 1
+        self._worker_restarts.inc()
 
     def step_recorded(self, busy_slots: int, capacity: int) -> None:
         """One engine step over ``busy_slots`` of ``capacity`` slots."""
-        with self._lock:
-            self._engine_steps += 1
-            self._slot_iterations += busy_slots
-            if capacity > 0:
-                self._occupancy.observe(busy_slots / capacity)
+        self._engine_steps.inc()
+        self._slot_iterations.inc(busy_slots)
+        if capacity > 0:
+            self._occupancy.observe(busy_slots / capacity)
 
     def frame_retired(
         self,
@@ -170,45 +219,44 @@ class ServeMetrics(object):
         max_iterations: int,
         latency_s: float,
     ) -> None:
-        with self._lock:
-            self._frames_out += 1
-            if converged:
-                self._frames_converged += 1
-                self._iterations_saved += max(0, max_iterations - iterations)
-            else:
-                self._frames_failed += 1
-            self._latency.observe(latency_s)
+        self._frames_out.inc()
+        if converged:
+            self._frames_converged.inc()
+            self._iterations_saved.inc(max(0, max_iterations - iterations))
+        else:
+            self._frames_failed.inc()
+        self._latency.observe(latency_s)
 
     # ------------------------------------------------------------------
     # export
     # ------------------------------------------------------------------
     def snapshot(self) -> MetricsSnapshot:
-        """Consistent immutable view of all counters and histograms."""
-        with self._lock:
-            elapsed = max(0.0, time.monotonic() - self._started_at)
-            fps = self._frames_out / elapsed if elapsed > 0 else 0.0
-            return MetricsSnapshot(
-                frames_in=self._frames_in,
-                frames_out=self._frames_out,
-                frames_converged=self._frames_converged,
-                frames_failed=self._frames_failed,
-                frames_rejected=self._frames_rejected,
-                frames_errored=self._frames_errored,
-                frames_retried=self._frames_retried,
-                frames_expired=self._frames_expired,
-                frames_shed=self._frames_shed,
-                worker_crashes=self._worker_crashes,
-                worker_restarts=self._worker_restarts,
-                engine_steps=self._engine_steps,
-                slot_iterations=self._slot_iterations,
-                iterations_saved=self._iterations_saved,
-                mean_occupancy=self._occupancy.mean,
-                p50_latency_s=self._latency.percentile(50.0),
-                p99_latency_s=self._latency.percentile(99.0),
-                mean_latency_s=self._latency.mean,
-                elapsed_s=elapsed,
-                throughput_fps=fps,
-            )
+        """Immutable view of all counters and histograms."""
+        elapsed = max(0.0, time.monotonic() - self._started_at)
+        frames_out = int(self._frames_out.value())
+        fps = frames_out / elapsed if elapsed > 0 else 0.0
+        return MetricsSnapshot(
+            frames_in=int(self._frames_in.value()),
+            frames_out=frames_out,
+            frames_converged=int(self._frames_converged.value()),
+            frames_failed=int(self._frames_failed.value()),
+            frames_rejected=int(self._frames_rejected.value()),
+            frames_errored=int(self._frames_errored.value()),
+            frames_retried=int(self._frames_retried.value()),
+            frames_expired=int(self._frames_expired.value()),
+            frames_shed=int(self._frames_shed.value()),
+            worker_crashes=int(self._worker_crashes.value()),
+            worker_restarts=int(self._worker_restarts.value()),
+            engine_steps=int(self._engine_steps.value()),
+            slot_iterations=int(self._slot_iterations.value()),
+            iterations_saved=int(self._iterations_saved.value()),
+            mean_occupancy=self._occupancy.mean(),
+            p50_latency_s=self._latency.percentile(50.0),
+            p99_latency_s=self._latency.percentile(99.0),
+            mean_latency_s=self._latency.mean(),
+            elapsed_s=elapsed,
+            throughput_fps=fps,
+        )
 
     def report(self, title: str = "serving metrics") -> str:
         """The snapshot as an aligned two-column text table."""

@@ -42,7 +42,16 @@ import time
 from concurrent.futures import Future, InvalidStateError
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -61,6 +70,9 @@ from repro.serve.engine import ContinuousBatchingEngine
 from repro.serve.jobs import CompletedJob, DecodeJob
 from repro.serve.metrics import ServeMetrics
 from repro.serve.shedding import LoadShedPolicy, StepShedPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import TraceRecorder
 
 __all__ = ["DecodeService", "ServiceHealth", "ShardHealth"]
 
@@ -162,6 +174,13 @@ class DecodeService(object):
     restart_backoff_s / restart_backoff_cap_s:
         Initial and maximum supervisor backoff between worker restarts
         (doubled per consecutive crash).
+    recorder:
+        Optional :class:`~repro.obs.trace.TraceRecorder` shared by the
+        service and every shard engine: the pool emits
+        ``pool.enqueue`` / ``pool.dispatch`` / ``pool.expire`` /
+        ``pool.crash`` / ``pool.restart`` / ``pool.shard_dead`` events
+        and the engines their slot-level spans/events, giving one
+        timeline for the whole service.
     """
 
     def __init__(
@@ -178,6 +197,7 @@ class DecodeService(object):
         max_strikes: int = 3,
         restart_backoff_s: float = 0.1,
         restart_backoff_cap_s: float = 2.0,
+        recorder: "Optional[TraceRecorder]" = None,
     ) -> None:
         if queue_capacity < 1:
             raise ServeError(f"queue_capacity must be >= 1, got {queue_capacity}")
@@ -197,6 +217,7 @@ class DecodeService(object):
         if not codes:
             raise ServeError("DecodeService needs at least one code")
         self.metrics = metrics if metrics is not None else ServeMetrics()
+        self.recorder = recorder
         self.max_iterations = max_iterations
         self.shed_policy = shed_policy if shed_policy is not None else StepShedPolicy()
         self.default_max_retries = default_max_retries
@@ -230,6 +251,7 @@ class DecodeService(object):
                 max_iterations=max_iterations,
                 fixed=fixed,
                 metrics=self.metrics,
+                recorder=self.recorder,
             )
 
         return make
@@ -377,6 +399,7 @@ class DecodeService(object):
                 f"shard {shard.key!r}: queue full "
                 f"({shard.queue.maxsize} frames waiting)"
             ) from None
+        self._event("pool.enqueue", shard=shard.key, job=job.job_id)
         if not shard.healthy:
             # the shard died between the liveness check and the enqueue;
             # its final drain may have missed this item, so fail it here
@@ -408,6 +431,10 @@ class DecodeService(object):
             raise ServeTimeoutError(
                 f"decode did not complete within {timeout}s"
             ) from None
+
+    def _event(self, name: str, **labels: object) -> None:
+        if self.recorder is not None:
+            self.recorder.event(name, **labels)
 
     def _check_shard_alive(self, shard: _Shard) -> None:
         if not shard.healthy:
@@ -465,6 +492,8 @@ class DecodeService(object):
                 shard.strikes += 1
                 shard.last_error = exc
                 self.metrics.worker_crashed()
+                self._event("pool.crash", shard=shard.key, error=repr(exc),
+                            strikes=shard.strikes)
                 # fail-fast: every pending future resolves *now* with a
                 # typed error instead of hanging on a dead worker
                 self._fail_in_flight(shard, exc)
@@ -472,6 +501,8 @@ class DecodeService(object):
                 shard.engine = shard.make_engine()
                 if shard.strikes >= self.max_strikes:
                     shard.healthy = False
+                    self._event("pool.shard_dead", shard=shard.key,
+                                strikes=shard.strikes)
                     # final drain: catch items that raced the flag flip
                     self._fail_queue(
                         shard,
@@ -488,6 +519,8 @@ class DecodeService(object):
                 backoff = min(backoff * 2.0, self.restart_backoff_cap_s)
                 shard.restarts += 1
                 self.metrics.worker_restarted()
+                self._event("pool.restart", shard=shard.key,
+                            restarts=shard.restarts)
 
     def _worker_loop(self, shard: _Shard) -> None:
         while True:
@@ -506,6 +539,8 @@ class DecodeService(object):
                 if job.expired:
                     self.metrics.frame_expired()
                     self.metrics.frame_errored()
+                    self._event("pool.expire", shard=shard.key,
+                                job=job.job_id)
                     future.set_exception(
                         DeadlineExceededError(
                             f"job {job.job_id}: deadline passed after "
@@ -519,6 +554,7 @@ class DecodeService(object):
                     self.metrics.frame_errored()
                     future.set_exception(exc)
                     continue
+                self._event("pool.dispatch", shard=shard.key, job=job.job_id)
                 shard.futures[job.job_id] = (job, future)
             if engine.in_flight == 0:
                 if self._closing.is_set() and shard.queue.empty():
@@ -538,6 +574,7 @@ class DecodeService(object):
 
     def _recover_transient(self, shard: _Shard, exc: Exception) -> None:
         shard.last_error = exc
+        self._event("pool.transient", shard=shard.key, error=repr(exc))
         shard.engine = shard.make_engine()
         survivors: Dict[int, _Item] = {}
         for job_id, (job, future) in shard.futures.items():

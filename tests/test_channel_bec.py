@@ -1,0 +1,87 @@
+"""Unit tests for the binary erasure channel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.bec import _KNOWN_LLR, ErasureChannel
+from repro.decoder import LayeredMinSumDecoder
+from repro.encoder import RuEncoder
+
+
+class TestValidation(object):
+    @pytest.mark.parametrize("eps", [-0.1, 1.1])
+    def test_epsilon_outside_unit_interval_rejected(self, eps):
+        with pytest.raises(ValueError):
+            ErasureChannel(eps)
+
+    @pytest.mark.parametrize("eps", [0.0, 0.5, 1.0])
+    def test_boundary_epsilons_accepted(self, eps):
+        assert ErasureChannel(eps).epsilon == eps
+
+
+class TestLlrs(object):
+    def test_epsilon_zero_transmits_everything(self):
+        bits = np.array([0, 1, 0, 1, 1], dtype=np.uint8)
+        llrs = ErasureChannel(0.0, seed=1).llrs(bits)
+        expected = np.where(bits == 0, _KNOWN_LLR, -_KNOWN_LLR)
+        np.testing.assert_array_equal(llrs, expected)
+
+    def test_epsilon_one_erases_everything(self):
+        bits = np.ones(16, dtype=np.uint8)
+        llrs = ErasureChannel(1.0, seed=1).llrs(bits)
+        np.testing.assert_array_equal(llrs, np.zeros(16))
+
+    def test_only_values_are_zero_or_known(self):
+        bits = np.zeros(512, dtype=np.uint8)
+        bits[::3] = 1
+        llrs = ErasureChannel(0.4, seed=9).llrs(bits)
+        assert set(np.unique(llrs)) <= {-_KNOWN_LLR, 0.0, _KNOWN_LLR}
+
+    def test_surviving_bits_keep_correct_sign(self):
+        bits = np.array([0, 1] * 64, dtype=np.uint8)
+        llrs = ErasureChannel(0.3, seed=4).llrs(bits)
+        kept = llrs != 0.0
+        np.testing.assert_array_equal(
+            llrs[kept] < 0, bits[kept].astype(bool)
+        )
+
+    def test_seed_makes_channel_deterministic(self):
+        bits = np.zeros(256, dtype=np.uint8)
+        a = ErasureChannel(0.25, seed=11).llrs(bits)
+        b = ErasureChannel(0.25, seed=11).llrs(bits)
+        np.testing.assert_array_equal(a, b)
+
+    def test_erasure_fraction_near_epsilon(self):
+        bits = np.zeros(20000, dtype=np.uint8)
+        llrs = ErasureChannel(0.3, seed=2).llrs(bits)
+        observed = float(np.mean(llrs == 0.0))
+        assert observed == pytest.approx(0.3, abs=0.02)
+
+
+class TestEraseMask(object):
+    def test_mask_shape_and_dtype(self):
+        mask = ErasureChannel(0.5, seed=3).erase_mask(100)
+        assert mask.shape == (100,)
+        assert mask.dtype == bool
+
+    def test_mask_stream_advances(self):
+        ch = ErasureChannel(0.5, seed=3)
+        a = ch.erase_mask(64)
+        b = ch.erase_mask(64)
+        assert not np.array_equal(a, b)
+
+
+class TestDecoderIntegration(object):
+    def test_min_sum_recovers_from_moderate_erasures(self, small_code):
+        """Erased zeros contribute a zero minimum until neighbours
+        resolve them — the decoder must fill them back in."""
+        rng = np.random.default_rng(5)
+        encoder = RuEncoder(small_code)
+        message = rng.integers(0, 2, encoder.k).astype(np.uint8)
+        codeword = encoder.encode(message)
+        llrs = ErasureChannel(0.1, seed=6).llrs(codeword)
+        result = LayeredMinSumDecoder(small_code).decode(llrs)
+        assert result.converged
+        np.testing.assert_array_equal(result.bits, codeword)

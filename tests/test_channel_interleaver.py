@@ -1,0 +1,98 @@
+"""Unit tests for the row-column block interleaver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.interleaver import BlockInterleaver
+from repro.errors import ReproError
+
+
+class TestConstruction(object):
+    def test_shape_and_length(self):
+        il = BlockInterleaver(4, 6)
+        assert (il.rows, il.cols, il.length) == (4, 6, 24)
+
+    @pytest.mark.parametrize("rows,cols", [(0, 4), (4, 0), (-1, 2)])
+    def test_bad_shapes_rejected(self, rows, cols):
+        with pytest.raises(ReproError):
+            BlockInterleaver(rows, cols)
+
+    def test_for_length_picks_largest_divisor(self):
+        il = BlockInterleaver.for_length(576, depth=32)
+        assert il.rows == 32
+        assert il.rows * il.cols == 576
+
+    def test_for_length_non_divisible_depth(self):
+        il = BlockInterleaver.for_length(100, depth=32)
+        assert il.rows == 25  # largest divisor of 100 at most 32
+        assert il.length == 100
+
+    def test_for_length_prime_falls_back_to_one_row(self):
+        il = BlockInterleaver.for_length(97, depth=32)
+        assert il.rows == 1
+        assert il.cols == 97
+
+
+class TestPermutation(object):
+    def test_round_trip_identity(self):
+        il = BlockInterleaver(8, 9)
+        values = np.random.default_rng(0).normal(size=72)
+        np.testing.assert_array_equal(
+            il.deinterleave(il.interleave(values)), values
+        )
+        np.testing.assert_array_equal(
+            il.interleave(il.deinterleave(values)), values
+        )
+
+    def test_interleave_is_a_permutation(self):
+        il = BlockInterleaver(5, 7)
+        out = il.interleave(np.arange(35))
+        assert sorted(out.tolist()) == list(range(35))
+
+    def test_known_small_example(self):
+        # write [0..5] row-wise into 2x3, read column-wise
+        il = BlockInterleaver(2, 3)
+        np.testing.assert_array_equal(
+            il.interleave(np.arange(6)), [0, 3, 1, 4, 2, 5]
+        )
+
+    def test_wrong_length_rejected(self):
+        il = BlockInterleaver(2, 3)
+        with pytest.raises(ReproError):
+            il.interleave(np.arange(5))
+        with pytest.raises(ReproError):
+            il.deinterleave(np.arange(7))
+
+    def test_preserves_dtype_values(self):
+        il = BlockInterleaver(3, 4)
+        bits = np.array([1, 0] * 6, dtype=np.uint8)
+        out = il.interleave(bits)
+        assert out.dtype == np.uint8
+        assert out.sum() == bits.sum()
+
+
+class TestBurstSpreading(object):
+    def test_spread_equals_rows(self):
+        assert BlockInterleaver(16, 9).spread() == 16
+
+    def test_adjacent_inputs_land_spread_apart(self):
+        il = BlockInterleaver(6, 8)
+        positions = np.empty(il.length, dtype=np.int64)
+        out = il.interleave(np.arange(il.length))
+        positions[out] = np.arange(il.length)
+        gaps = np.abs(np.diff(positions[: il.cols * il.rows : 1]))
+        # consecutive input bits within one row are `rows` apart at output
+        row = positions[:8]
+        assert np.all(np.diff(row) == il.rows)
+
+    def test_burst_erasure_disperses(self):
+        """A contiguous erased burst maps to isolated output positions."""
+        il = BlockInterleaver(8, 8)
+        burst = np.zeros(64, dtype=bool)
+        burst[10:14] = True  # a 4-bit burst (< rows)
+        scattered = il.deinterleave(burst)
+        hit = np.flatnonzero(scattered)
+        assert len(hit) == 4
+        assert np.min(np.diff(hit)) >= il.cols - 1

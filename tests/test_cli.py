@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -85,3 +87,75 @@ class TestCommands:
     def test_faults_bench_rejects_bad_frames(self, capsys):
         rc = main(["faults-bench", "--length", "576", "--frames", "0"])
         assert rc == 2
+
+    def test_faults_bench_json(self, capsys):
+        rc = main([
+            "faults-bench", "--length", "576", "--frames", "2",
+            "--sites", "llr", "--rates", "1e-3", "--json",
+        ])
+        assert rc == 0
+        obj = json.loads(capsys.readouterr().out)
+        sites = {c["site"] for c in obj["cells"]}
+        assert sites == {"none/llr", "llr"}
+        assert "faults_frames" in obj["metrics"]
+
+    def test_serve_bench_json(self, capsys):
+        rc = main([
+            "serve-bench", "--length", "576", "--frames", "6",
+            "--batch", "3", "--json",
+        ])
+        assert rc == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert len(obj["modes"]) == 3
+        frames_in = obj["metrics"]["serve_frames_in"]["series"][0]["value"]
+        assert frames_in == 6
+
+
+class TestObsReport:
+    def test_text_report(self, capsys):
+        rc = main([
+            "obs-report", "--length", "576", "--frames", "6", "--batch", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "engine.step" in out and "batch.layer" in out
+        assert "per-layer wall time" in out
+        assert "serve_frames_in" in out
+
+    def test_json_format(self, capsys):
+        rc = main([
+            "obs-report", "--length", "576", "--frames", "4", "--batch", "2",
+            "--format", "json",
+        ])
+        assert rc == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert "engine.step" in obj["spans"]
+        assert obj["metrics"]["serve_frames_in"]["series"][0]["value"] == 4
+
+    def test_prometheus_format(self, capsys):
+        rc = main([
+            "obs-report", "--length", "576", "--frames", "4", "--batch", "2",
+            "--format", "prometheus",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# TYPE serve_frames_in counter" in out
+        assert "serve_frames_in_total 4" in out
+        assert 'serve_latency_seconds_bucket{le="+Inf"} 4' in out
+
+    def test_chrome_trace_output(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        rc = main([
+            "obs-report", "--length", "576", "--frames", "4", "--batch", "2",
+            "--chrome-out", str(path),
+        ])
+        assert rc == 0
+        obj = json.loads(path.read_text())
+        names = {e["name"] for e in obj["traceEvents"]}
+        assert "engine.step" in names and "batch.layer" in names
+
+    def test_rejects_bad_frames(self, capsys):
+        assert main(["obs-report", "--length", "576", "--frames", "0"]) == 2
+        assert main([
+            "obs-report", "--length", "576", "--batch", "0",
+        ]) == 2

@@ -1,0 +1,109 @@
+"""Randomized differential sweep: batch kernel vs per-frame decoder.
+
+The batch decoder's bit-exactness with the per-frame reference is the
+load-bearing guarantee of the serving stack (the engine retires frames
+on the batch path, the tests compare against the per-frame path).  The
+dedicated equality tests pin hand-picked cases; this sweep drives the
+comparison across randomly drawn code shapes (z sizes via random QC
+codes and WiMax lengths), rate classes, noise levels, batch sizes, and
+both arithmetic modes — all seeded, so a failure replays exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel import AwgnChannel
+from repro.codes import random_qc_code, wimax_code
+from repro.decoder import LayeredMinSumDecoder, decode_many
+from repro.encoder import RuEncoder
+from repro.serve import BatchLayeredMinSumDecoder
+
+WIMAX_RATES = ("1/2", "2/3A", "3/4A", "5/6")
+WIMAX_LENGTHS = (576, 672, 768, 960)
+
+
+def _random_traffic(code, batch, ebno_db, rng):
+    encoder = RuEncoder(code)
+    frames = []
+    for _ in range(batch):
+        message = rng.integers(0, 2, encoder.k).astype(np.uint8)
+        codeword = encoder.encode(message)
+        channel = AwgnChannel.from_ebno(ebno_db, code.rate, seed=rng)
+        frames.append(channel.llrs(codeword))
+    return np.stack(frames)
+
+
+def _assert_batch_matches_per_frame(code, llrs_2d, fixed, max_iterations=10):
+    reference = LayeredMinSumDecoder(
+        code, max_iterations=max_iterations, fixed=fixed
+    )
+    batch = BatchLayeredMinSumDecoder(
+        code, max_iterations=max_iterations, fixed=fixed
+    ).decode(llrs_2d)
+    for i, row in enumerate(llrs_2d):
+        ref = reference.decode(row)
+        np.testing.assert_array_equal(batch.bits[i], ref.bits)
+        np.testing.assert_array_equal(batch.llrs[i], ref.llrs)
+        assert batch.iterations[i] == ref.iterations
+        assert bool(batch.converged[i]) == ref.converged
+        assert batch.syndrome_weights[i] == ref.syndrome_weight
+        assert batch.iteration_syndromes[i] == ref.iteration_syndromes
+
+
+@pytest.mark.parametrize("sweep_seed", range(4))
+@pytest.mark.parametrize("fixed", [False, True])
+def test_random_qc_codes_random_z(sweep_seed, fixed):
+    """Random QC codes with randomly drawn expansion factors."""
+    rng = np.random.default_rng([2026, sweep_seed])
+    z = int(rng.choice([4, 8, 12, 16, 24]))
+    mb = int(rng.integers(3, 6))
+    nb = mb * 2
+    # row_degree must exceed the dual-diagonal parity degree (up to 3)
+    # and leave at most kb=mb data edges per row, so [4, 5] is the
+    # feasible band for these shapes
+    code = random_qc_code(
+        mb=mb, nb=nb, z=z, row_degree=int(rng.integers(4, 6)),
+        seed=int(rng.integers(1 << 16)),
+    )
+    ebno_db = float(rng.uniform(1.0, 4.0))
+    batch = int(rng.integers(2, 7))
+    llrs_2d = _random_traffic(code, batch, ebno_db, rng)
+    _assert_batch_matches_per_frame(code, llrs_2d, fixed)
+
+
+@pytest.mark.parametrize("sweep_seed", range(3))
+@pytest.mark.parametrize("fixed", [False, True])
+def test_wimax_random_rate_and_length(sweep_seed, fixed):
+    """WiMax codes across rate classes and block lengths (z = n/24)."""
+    rng = np.random.default_rng([2027, sweep_seed])
+    rate = str(rng.choice(WIMAX_RATES))
+    length = int(rng.choice(WIMAX_LENGTHS))
+    code = wimax_code(rate, length)
+    ebno_db = float(rng.uniform(2.0, 4.5))
+    batch = int(rng.integers(2, 6))
+    llrs_2d = _random_traffic(code, batch, ebno_db, rng)
+    _assert_batch_matches_per_frame(code, llrs_2d, fixed)
+
+
+@pytest.mark.parametrize("fixed", [False, True])
+def test_decode_many_matches_per_frame(wimax_short, fixed):
+    """The high-level decode_many() API inherits the equivalence."""
+    rng = np.random.default_rng(77)
+    llrs_2d = _random_traffic(wimax_short, 5, 2.5, rng)
+    reference = LayeredMinSumDecoder(wimax_short, fixed=fixed)
+    many = decode_many(wimax_short, llrs_2d, fixed=fixed)
+    for i, row in enumerate(llrs_2d):
+        ref = reference.decode(row)
+        np.testing.assert_array_equal(many.bits[i], ref.bits)
+        assert many.iterations[i] == ref.iterations
+
+
+def test_sweep_is_deterministic():
+    """The same sweep seed draws the same traffic (replayable failures)."""
+    rng_a = np.random.default_rng([2026, 0])
+    rng_b = np.random.default_rng([2026, 0])
+    assert int(rng_a.choice([4, 8, 12, 16, 24])) == int(
+        rng_b.choice([4, 8, 12, 16, 24])
+    )

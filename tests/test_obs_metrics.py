@@ -1,0 +1,185 @@
+"""Unit tests for the metrics registry and its renderers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import MetricsError, MetricsRegistry
+
+
+class TestCounter(object):
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits", "help text")
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+        assert c.total() == 5
+
+    def test_labels_key_series(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits", label_names=("site",))
+        c.inc(2, site="a")
+        c.inc(3, site="b")
+        assert c.value(site="a") == 2
+        assert c.value(site="b") == 3
+        assert c.total() == 5
+
+    def test_negative_rejected(self):
+        c = MetricsRegistry().counter("hits")
+        with pytest.raises(MetricsError):
+            c.inc(-1)
+
+    def test_wrong_labels_rejected(self):
+        c = MetricsRegistry().counter("hits", label_names=("site",))
+        with pytest.raises(MetricsError):
+            c.inc(1, wrong="x")
+        with pytest.raises(MetricsError):
+            c.inc(1)
+
+
+class TestGauge(object):
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value() == 13
+
+    def test_reset(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(3)
+        g.reset()
+        assert g.value() == 0
+
+
+class TestHistogram(object):
+    def test_count_sum_mean(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 3.0):
+            h.observe(v)
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(5.0)
+        assert h.mean() == pytest.approx(5.0 / 3)
+
+    def test_cumulative_buckets(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0))
+        for v in (0.5, 0.7, 1.5, 3.0):
+            h.observe(v)
+        assert h.cumulative_buckets() == [(1.0, 2), (2.0, 3)]
+
+    def test_percentile_uses_window(self):
+        h = MetricsRegistry().histogram("lat", buckets=(10.0,), window=100)
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(50) == pytest.approx(50.5)
+
+    def test_empty_queries(self):
+        h = MetricsRegistry().histogram("lat")
+        assert h.count() == 0
+        assert h.mean() == 0.0
+        assert h.percentile(99) == 0.0
+
+    def test_needs_buckets(self):
+        with pytest.raises(MetricsError):
+            MetricsRegistry().histogram("lat", buckets=())
+
+
+class TestRegistry(object):
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits", "h", ("site",))
+        b = reg.counter("hits", "ignored", ("site",))
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(MetricsError):
+            reg.gauge("x")
+        with pytest.raises(MetricsError):
+            reg.histogram("x")
+
+    def test_label_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x", label_names=("a",))
+        with pytest.raises(MetricsError):
+            reg.counter("x", label_names=("b",))
+
+    def test_reset_keeps_registration(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits")
+        c.inc(7)
+        reg.reset()
+        assert reg.get("hits") is c
+        assert c.value() == 0
+
+
+class TestRenderers(object):
+    def _populated(self):
+        reg = MetricsRegistry(namespace="repro")
+        reg.counter("frames.in", "frames admitted").inc(3)
+        reg.gauge("depth", "queue depth", ("shard",)).set(2, shard="s0")
+        h = reg.histogram("latency", "seconds", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        return reg
+
+    def test_to_dict_round_trips_json(self):
+        reg = self._populated()
+        obj = json.loads(reg.render_json())
+        assert obj["frames.in"]["type"] == "counter"
+        assert obj["frames.in"]["series"][0]["value"] == 3
+        assert obj["depth"]["series"][0]["labels"] == {"shard": "s0"}
+        hist = obj["latency"]["series"][0]
+        assert hist["count"] == 2
+        assert hist["buckets"] == [
+            {"le": 0.1, "count": 1},
+            {"le": 1.0, "count": 2},
+        ]
+
+    def test_render_text_lists_series(self):
+        text = self._populated().render_text()
+        assert "frames.in" in text
+        assert "shard=s0" in text
+        assert "count=2" in text
+
+    def test_render_text_empty(self):
+        assert "(no series)" in MetricsRegistry().render_text()
+
+    def test_prometheus_counter_gets_total_suffix(self):
+        out = self._populated().render_prometheus()
+        assert "# TYPE repro_frames_in counter" in out
+        assert "repro_frames_in_total 3" in out
+
+    def test_prometheus_histogram_buckets(self):
+        out = self._populated().render_prometheus()
+        assert 'repro_latency_bucket{le="0.1"} 1' in out
+        assert 'repro_latency_bucket{le="1"} 2' in out
+        assert 'repro_latency_bucket{le="+Inf"} 2' in out
+        assert "repro_latency_count 2" in out
+
+    def test_prometheus_gauge_labels(self):
+        out = self._populated().render_prometheus()
+        assert 'repro_depth{shard="s0"} 2' in out
+
+    def test_prometheus_escapes_label_values(self):
+        reg = MetricsRegistry()
+        reg.counter("c", label_names=("msg",)).inc(1, msg='a"b\\c\nd')
+        out = reg.render_prometheus()
+        assert 'msg="a\\"b\\\\c\\nd"' in out
+
+    def test_prometheus_sanitizes_names(self):
+        reg = MetricsRegistry()
+        reg.counter("weird-name.x").inc()
+        out = reg.render_prometheus()
+        assert "weird_name_x_total 1" in out
+
+    def test_counter_already_total_not_doubled(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total").inc()
+        out = reg.render_prometheus()
+        assert "hits_total 1" in out
+        assert "hits_total_total" not in out
