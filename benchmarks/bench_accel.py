@@ -1,0 +1,90 @@
+"""EXP-ACCEL — fused-kernel and shard-backend decode throughput.
+
+Not a paper table: the software-acceleration counterpart of the paper's
+throughput scaling argument.  The hardware gains its throughput from a
+z-way parallel datapath fed by precomputed message routing; the
+software gains its own from the :mod:`repro.accel` stack — memoized
+:class:`~repro.accel.plan.CodePlan` routing tables, the fused
+transposed-state batch kernel, and the pluggable thread/process shard
+backends.  Five paths over the same traffic on the paper's
+(2304, rate-1/2) case-study code at Eb/N0 = 2.5 dB, 8-bit fixed
+arithmetic (the paper's datapath):
+
+* ``per-frame``    — one ``decode()`` per frame (scalar baseline);
+* ``batch``        — the original static-batch kernel;
+* ``fused-batch``  — the fused kernel on identical batches;
+* ``thread-pool``  — ``DecodeService`` (thread backend, fused kernel);
+* ``process-pool`` — ``DecodeService`` (worker-process backend).
+
+Every row is cross-checked bit-exact against the per-frame reference
+(``mismatches`` must be 0), so the speedups cannot come from a
+different answer.  The acceptance bar is >= 2x frames/s for the fused
+batch path over the original batch path.  The process row pays one
+child-process spawn plus per-frame IPC inside its measurement window —
+on a single-core host it documents the isolation overhead rather than
+a speedup (see docs/PERFORMANCE.md).
+"""
+
+from benchmarks.conftest import publish
+from repro.accel.bench import run_accel_bench
+from repro.utils.tables import render_table
+
+FRAMES = 128
+BATCH = 64
+MAX_ITERATIONS = 10
+EBNO_DB = 2.5
+
+
+def test_accel_throughput(benchmark):
+    report, = benchmark.pedantic(
+        lambda: (
+            run_accel_bench(
+                frames=FRAMES,
+                batch=BATCH,
+                ebno_db=EBNO_DB,
+                iterations=MAX_ITERATIONS,
+                fixed=True,
+                seed=5,
+            ),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        [
+            r["mode"],
+            f"{r['frames_per_s']:.1f}",
+            f"{r['per_layer_ns']:.0f}",
+            f"{r['speedup_vs_per_frame']:.2f}x",
+            (
+                f"{r['speedup_vs_batch']:.2f}x"
+                if r["speedup_vs_batch"] is not None
+                else "-"
+            ),
+            r["converged"],
+            r["mismatches"],
+        ]
+        for r in report["rows"]
+    ]
+    text = render_table(
+        ["mode", "frames/s", "per-layer ns", "vs per-frame", "vs batch",
+         "converged", "mismatches"],
+        rows,
+        title=(
+            f"Accel throughput ({report['code']}, Eb/N0 = {EBNO_DB} dB, "
+            f"{FRAMES} frames, batch {BATCH}, "
+            f"{MAX_ITERATIONS} iterations max, fixed)"
+        ),
+    )
+    publish("EXP-ACCEL_throughput", text, benchmark)
+
+    by_mode = {r["mode"]: r for r in report["rows"]}
+    # the exactness contract: no mode may disagree with the per-frame
+    # decoder on a single frame
+    for r in report["rows"]:
+        assert r["mismatches"] == 0, text
+    # the tentpole bar: the fused kernel >= 2x the original batch path
+    assert by_mode["fused-batch"]["speedup_vs_batch"] >= 2.0, text
+    # and the batch paths must still dominate the scalar loop
+    assert by_mode["fused-batch"]["speedup_vs_per_frame"] >= 2.0, text

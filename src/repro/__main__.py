@@ -8,6 +8,10 @@ Commands:
 * ``serve-bench`` — compare per-frame, batch, and continuous-batching
   decode throughput on generated traffic (``--json`` for the metrics
   registry snapshot instead of tables);
+* ``accel-bench`` — frames/s and per-layer ns for every decode path
+  (per-frame, batch, fused-batch, thread-pool, process-pool) with a
+  built-in bit-exactness cross-check (``--json`` emits the
+  ``BENCH_accel.json`` document; see docs/PERFORMANCE.md);
 * ``faults-bench`` — sweep fault rate x injection site and report
   residual FER, silent-corruption rate, and parity detection rate
   (``--json`` for the registry snapshot);
@@ -206,6 +210,82 @@ def cmd_serve_bench(args) -> int:
     if not agree:
         print("WARNING: modes disagree on converged frame count")
     return 0 if agree else 1
+
+
+def cmd_accel_bench(args) -> int:
+    from repro.accel.bench import DEFAULT_MODES, run_accel_bench
+    from repro.utils.tables import render_table
+
+    if args.frames < 1:
+        print("accel-bench: --frames must be >= 1", file=sys.stderr)
+        return 2
+    if args.batch < 1:
+        print("accel-bench: --batch must be >= 1", file=sys.stderr)
+        return 2
+    modes = tuple(args.modes) if args.modes else DEFAULT_MODES
+    unknown = [m for m in modes if m not in DEFAULT_MODES]
+    if unknown:
+        print(
+            f"accel-bench: unknown modes {unknown}; choose from "
+            f"{list(DEFAULT_MODES)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    report = run_accel_bench(
+        code=_build_code(args),
+        frames=args.frames,
+        batch=args.batch,
+        ebno_db=args.ebno,
+        iterations=args.iterations,
+        fixed=not args.float,
+        seed=args.seed,
+        modes=modes,
+    )
+    exact = all(r["mismatches"] == 0 for r in report["rows"])
+    if args.json:
+        import json
+
+        text = json.dumps(report, indent=2, sort_keys=True)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.output}", file=sys.stderr)
+        else:
+            print(text)
+        return 0 if exact else 1
+
+    rows = [
+        [
+            r["mode"],
+            f"{r['frames_per_s']:.1f}",
+            f"{r['per_layer_ns']:.0f}",
+            f"{r['speedup_vs_per_frame']:.2f}x",
+            (
+                f"{r['speedup_vs_batch']:.2f}x"
+                if r["speedup_vs_batch"] is not None
+                else "-"
+            ),
+            r["converged"],
+            r["mismatches"],
+        ]
+        for r in report["rows"]
+    ]
+    print(
+        render_table(
+            ["mode", "frames/s", "per-layer ns", "vs per-frame", "vs batch",
+             "converged", "mismatches"],
+            rows,
+            title=(
+                f"accel-bench: {report['code']}, Eb/N0={report['ebno_db']} dB, "
+                f"{report['arithmetic']}, {report['frames']} frames, "
+                f"batch {report['batch']}"
+            ),
+        )
+    )
+    if not exact:
+        print("WARNING: some mode disagrees with the per-frame decoder")
+    return 0 if exact else 1
 
 
 def cmd_faults_bench(args) -> int:
@@ -439,6 +519,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit a machine-readable JSON report (metrics registry snapshot)",
     )
 
+    ab = sub.add_parser(
+        "accel-bench",
+        help="frames/s + per-layer ns across all decode paths",
+    )
+    _add_code_args(ab)
+    ab.add_argument("--ebno", type=float, default=2.5)
+    ab.add_argument("--frames", type=int, default=128, help="traffic size")
+    ab.add_argument("--batch", type=int, default=64, help="decoder slots")
+    ab.add_argument("--iterations", type=int, default=10)
+    ab.add_argument("--seed", type=int, default=5)
+    ab.add_argument(
+        "--float", action="store_true",
+        help="float datapath (default: the paper's 8-bit fixed datapath)",
+    )
+    ab.add_argument(
+        "--modes", nargs="*", default=None,
+        help="subset of modes to run (default: all five)",
+    )
+    ab.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable BENCH_accel.json document",
+    )
+    ab.add_argument(
+        "--output", "-o", default="",
+        help="with --json, write the document to this path",
+    )
+
     fb = sub.add_parser(
         "faults-bench", help="fault-injection campaign (FER/silent/detect)"
     )
@@ -508,6 +615,7 @@ def main(argv=None) -> int:
         "demo": cmd_demo,
         "experiments": cmd_experiments,
         "serve-bench": cmd_serve_bench,
+        "accel-bench": cmd_accel_bench,
         "faults-bench": cmd_faults_bench,
         "obs-report": cmd_obs_report,
         "synth": cmd_synth,

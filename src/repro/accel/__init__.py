@@ -1,0 +1,87 @@
+"""Acceleration layer: cached code-plans, fused kernels, process sharding.
+
+Where the paper scales throughput by widening the hardware datapath
+(Fig 3's unroll sweep), this package scales the *software* datapath
+along three axes:
+
+* :mod:`repro.accel.plan` — :class:`CodePlan` / :class:`CodePlanCache`:
+  per-code precomputed gather/scatter index arrays, shift tables, and
+  check-adjacency layouts, built once per code structure and memoized
+  (thread-safe, explicitly invalidatable).  Both numpy decoders consume
+  plans, so layer indexing is never re-derived inside an iteration loop.
+* :mod:`repro.accel.fused` — :class:`FusedBatchLayeredMinSumDecoder`:
+  the batched layered min-sum update in a minimal number of NumPy
+  passes over check-major ``(B, z, degree)`` views, bit-exact with the
+  reference kernels in float and fixed-point modes.
+* :mod:`repro.accel.procpool` — :class:`ProcessEngineProxy`: the
+  multiprocess shard backend of
+  :class:`~repro.serve.pool.DecodeService` (``backend="process"``): one
+  decode process per rate-shard fed through shared-memory LLR buffers,
+  with the same supervised-restart/backoff semantics as the threaded
+  pool.
+
+Quickstart::
+
+    from repro.accel import FusedBatchLayeredMinSumDecoder, get_plan
+
+    plan = get_plan(code)                      # built once, cached
+    decoder = FusedBatchLayeredMinSumDecoder(code, plan=plan)
+    result = decoder.decode(llrs_2d)           # bit-exact, fewer passes
+
+    from repro.serve import DecodeService
+    service = DecodeService(code, backend="process", kernel="fused")
+
+Benchmarks: ``python -m repro accel-bench`` (see ``docs/PERFORMANCE.md``).
+"""
+
+from typing import TYPE_CHECKING
+
+from repro.accel.plan import (
+    CodePlan,
+    CodePlanCache,
+    LayerPlan,
+    default_plan_cache,
+    get_plan,
+    instrument_default_cache,
+    plan_key,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - static-analysis imports only
+    from repro.accel.fused import FusedBatchLayeredMinSumDecoder
+    from repro.accel.procpool import ProcessEngineProxy
+
+__all__ = [
+    "CodePlan",
+    "CodePlanCache",
+    "FusedBatchLayeredMinSumDecoder",
+    "LayerPlan",
+    "ProcessEngineProxy",
+    "default_plan_cache",
+    "get_plan",
+    "instrument_default_cache",
+    "plan_key",
+]
+
+#: Lazily imported attributes (PEP 562).  ``repro.accel.fused`` imports
+#: the batch kernel, which imports the per-frame decoder, which imports
+#: this package for its plan cache — resolving the kernel classes on
+#: first attribute access instead of at package import breaks the cycle.
+_LAZY_ATTRS = {
+    "FusedBatchLayeredMinSumDecoder": ("repro.accel.fused",),
+    "ProcessEngineProxy": ("repro.accel.procpool",),
+}
+
+
+def __getattr__(name):
+    if name in _LAZY_ATTRS:
+        import importlib
+
+        module = importlib.import_module(_LAZY_ATTRS[name][0])
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_ATTRS))

@@ -1,0 +1,419 @@
+"""Multiprocess shard backend: a decode engine behind a worker process.
+
+:class:`ProcessEngineProxy` presents the same surface a
+:class:`~repro.serve.pool.DecodeService` worker expects from a
+:class:`~repro.serve.engine.ContinuousBatchingEngine` — ``free_slots``,
+``in_flight``, ``admit``, ``step`` — but runs the actual engine in a
+child process, so a shard's decode arithmetic escapes the parent's GIL
+and (on multi-core hosts) shards decode genuinely in parallel.
+
+Data path
+---------
+LLRs never travel through pickles.  The proxy allocates three
+shared-memory slabs per shard (``multiprocessing.RawArray``):
+
+* ``in_llrs``  — ``(batch_size, n)`` float64, parent-written channel LLRs
+* ``out_llrs`` — ``(batch_size, n)`` float64, child-written posterior LLRs
+* ``out_bits`` — ``(batch_size, n)`` uint8, child-written hard decisions
+
+Only tiny job descriptors ``(slot, job_id, iteration_budget)`` and
+result tuples (slot, convergence metadata, per-iteration syndromes)
+cross the process queues.  A slot index is a ticket for one lane of all
+three slabs; the parent recycles it when the result is read back.
+
+Failure model
+-------------
+The child is assumed killable at any instant (that is the point of the
+process boundary: a segfaulting or OOM-killed decode takes down one
+shard process, not the service).  :meth:`step` watches child liveness
+and raises :class:`~repro.errors.WorkerProcessError` when the child
+died, which the pool supervisor treats exactly like an in-process worker
+crash: in-flight futures fail fast, the proxy is rebuilt (respawning a
+fresh child), and repeated deaths strike the shard out.
+
+Spawn, not fork: a spawned child starts from a clean interpreter, which
+keeps the decoder state of a crashed predecessor from leaking into the
+replacement and works on every platform.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import multiprocessing
+import queue
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.channel.quantize import MESSAGE_8BIT, FixedPointFormat
+from repro.codes.qc import QCLDPCCode
+from repro.decoder.layered import DEFAULT_MAX_ITERATIONS
+from repro.decoder.minsum import SCALING_FACTOR
+from repro.decoder.result import DecodeResult
+from repro.errors import DecodingError, EngineFullError, WorkerProcessError
+from repro.serve.jobs import CompletedJob, DecodeJob
+from repro.serve.metrics import ServeMetrics
+
+__all__ = ["ProcessEngineProxy"]
+
+#: Parent poll granularity for child results; also the child's idle poll.
+_POLL_S = 0.05
+
+#: Grace period for a clean child exit before escalating to terminate().
+_JOIN_S = 5.0
+
+
+def _child_main(
+    code: QCLDPCCode,
+    batch_size: int,
+    max_iterations: int,
+    scaling_factor: float,
+    fixed: bool,
+    fmt: FixedPointFormat,
+    kernel: str,
+    in_buf: "ctypes.Array",
+    out_llr_buf: "ctypes.Array",
+    out_bits_buf: "ctypes.Array",
+    job_q: "multiprocessing.Queue",
+    result_q: "multiprocessing.Queue",
+) -> None:
+    """Child entry point: drive a private engine from the job queue.
+
+    Runs until the stop sentinel (``None``) arrives, finishing any
+    in-flight frames first so a graceful shutdown loses nothing.  On an
+    internal error the exception is reported through the result queue
+    (best effort) and re-raised, killing the process — the parent's
+    liveness watch does the rest.
+    """
+    from repro.serve.engine import ContinuousBatchingEngine
+
+    try:
+        engine = ContinuousBatchingEngine(
+            code,
+            batch_size=batch_size,
+            max_iterations=max_iterations,
+            scaling_factor=scaling_factor,
+            fixed=fixed,
+            fmt=fmt,
+            kernel=kernel,
+        )
+        n = code.n
+        in_llrs = np.frombuffer(in_buf, dtype=np.float64).reshape(batch_size, n)
+        out_llrs = np.frombuffer(out_llr_buf, dtype=np.float64).reshape(
+            batch_size, n
+        )
+        out_bits = np.frombuffer(out_bits_buf, dtype=np.uint8).reshape(
+            batch_size, n
+        )
+        # child-local engine job id -> (parent slot, parent job id)
+        ticket: Dict[int, Tuple[int, int]] = {}
+        stopping = False
+        while True:
+            while not stopping and engine.free_slots > 0:
+                try:
+                    if engine.in_flight == 0:
+                        msg = job_q.get(timeout=_POLL_S)
+                    else:
+                        msg = job_q.get_nowait()
+                except queue.Empty:
+                    break
+                if msg is None:
+                    stopping = True
+                    break
+                slot, job_id, budget = msg
+                job = DecodeJob(
+                    llrs=in_llrs[slot].copy(), iteration_budget=budget
+                )
+                engine.admit(job)
+                ticket[job.job_id] = (slot, job_id)
+            if engine.in_flight == 0:
+                if stopping:
+                    return
+                continue
+            for done in engine.step():
+                slot, job_id = ticket.pop(done.job_id)
+                res = done.result
+                out_llrs[slot] = res.llrs
+                out_bits[slot] = res.bits
+                result_q.put(
+                    (
+                        "done",
+                        slot,
+                        job_id,
+                        bool(res.converged),
+                        int(res.iterations),
+                        int(res.syndrome_weight),
+                        [int(w) for w in res.iteration_syndromes],
+                    )
+                )
+    except Exception as exc:  # pragma: no cover - crash path timing
+        try:
+            result_q.put(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+        raise
+
+
+class ProcessEngineProxy(object):
+    """Engine-shaped front for a decode worker process.
+
+    Drop-in replacement for
+    :class:`~repro.serve.engine.ContinuousBatchingEngine` inside a
+    :class:`~repro.serve.pool.DecodeService` shard
+    (``DecodeService(..., backend="process")`` builds these): same
+    ``free_slots`` / ``in_flight`` / ``admit`` / ``step`` contract, same
+    bit-exact results, but the layered min-sum runs in a child process
+    fed through shared-memory LLR slots.
+
+    Parameters
+    ----------
+    code / batch_size / max_iterations / scaling_factor / fixed / fmt:
+        Decoder configuration, forwarded verbatim to the child engine.
+    kernel:
+        ``"batch"`` or ``"fused"`` — which batch kernel the child runs.
+    metrics:
+        Optional shared :class:`ServeMetrics`; admissions and
+        retirements are recorded parent-side so one registry aggregates
+        thread- and process-backed shards alike.
+    poll_s:
+        How long one :meth:`step` call waits for a child result before
+        returning empty (bounds the pool worker's reaction latency to
+        close/crash signals).
+
+    Notes
+    -----
+    The child is spawned lazily on the first :meth:`admit`, so
+    constructing a proxy (e.g. a supervisor pre-building a replacement
+    engine) costs no process until work actually arrives.  A proxy whose
+    child died raises :class:`WorkerProcessError` from :meth:`step`;
+    it does not respawn itself — recovery policy (restart budget,
+    backoff, strike-out) belongs to the pool supervisor.
+    """
+
+    def __init__(
+        self,
+        code: QCLDPCCode,
+        batch_size: int = 16,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        scaling_factor: float = SCALING_FACTOR,
+        fixed: bool = False,
+        fmt: FixedPointFormat = MESSAGE_8BIT,
+        kernel: str = "batch",
+        metrics: Optional[ServeMetrics] = None,
+        poll_s: float = _POLL_S,
+    ) -> None:
+        if batch_size < 1:
+            raise DecodingError(f"batch_size must be >= 1, got {batch_size}")
+        if kernel not in ("batch", "fused"):
+            raise DecodingError(
+                f"kernel must be 'batch' or 'fused', got {kernel!r}"
+            )
+        self.code = code
+        self.batch_size = batch_size
+        self.max_iterations = max_iterations
+        self.scaling_factor = scaling_factor
+        self.fixed = fixed
+        self.fmt = fmt
+        self.kernel_name = kernel
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self.poll_s = poll_s
+
+        self._ctx = multiprocessing.get_context("spawn")
+        n = code.n
+        self._in_buf = self._ctx.RawArray(ctypes.c_double, batch_size * n)
+        self._out_llr_buf = self._ctx.RawArray(ctypes.c_double, batch_size * n)
+        self._out_bits_buf = self._ctx.RawArray(ctypes.c_uint8, batch_size * n)
+        self._in = np.frombuffer(self._in_buf, dtype=np.float64).reshape(
+            batch_size, n
+        )
+        self._out_llrs = np.frombuffer(
+            self._out_llr_buf, dtype=np.float64
+        ).reshape(batch_size, n)
+        self._out_bits = np.frombuffer(
+            self._out_bits_buf, dtype=np.uint8
+        ).reshape(batch_size, n)
+        self._job_q: "multiprocessing.Queue" = self._ctx.Queue()
+        self._result_q: "multiprocessing.Queue" = self._ctx.Queue()
+        self._proc: Optional[multiprocessing.process.BaseProcess] = None
+        self._free: List[int] = list(range(batch_size))
+        # parent job id -> (slot ticket, original job)
+        self._jobs: Dict[int, Tuple[int, DecodeJob]] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # engine surface
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Frames handed to the child and not yet retired."""
+        return len(self._jobs)
+
+    @property
+    def free_slots(self) -> int:
+        """Shared-memory slots available for :meth:`admit`."""
+        return len(self._free)
+
+    @property
+    def process_alive(self) -> bool:
+        """True while the child process exists and runs."""
+        return self._proc is not None and self._proc.is_alive()
+
+    def _ensure_started(self) -> None:
+        if self._proc is not None or self._closed:
+            return
+        proc = self._ctx.Process(
+            target=_child_main,
+            args=(
+                self.code,
+                self.batch_size,
+                self.max_iterations,
+                self.scaling_factor,
+                self.fixed,
+                self.fmt,
+                self.kernel_name,
+                self._in_buf,
+                self._out_llr_buf,
+                self._out_bits_buf,
+                self._job_q,
+                self._result_q,
+            ),
+            name=f"decode-proc-{self.code.name or 'shard'}",
+            daemon=True,
+        )
+        proc.start()
+        self._proc = proc
+
+    def admit(self, job: DecodeJob) -> int:
+        """Write the job's LLRs into a free slot and notify the child.
+
+        Raises
+        ------
+        EngineFullError
+            If every shared-memory slot is occupied.
+        DecodingError
+            If the job's LLR vector has the wrong length.
+        WorkerProcessError
+            If the proxy has been shut down.
+        """
+        if self._closed:
+            raise WorkerProcessError("proxy is shut down")
+        if not self._free:
+            raise EngineFullError(
+                f"all {self.batch_size} slots occupied; step() before admitting"
+            )
+        llrs = np.asarray(job.llrs, dtype=np.float64)
+        if llrs.shape != (self.code.n,):
+            raise DecodingError(
+                f"job {job.job_id}: LLR length {llrs.shape} != ({self.code.n},)"
+            )
+        self._ensure_started()
+        slot = self._free.pop()
+        self._in[slot] = llrs
+        self._jobs[job.job_id] = (slot, job)
+        # the queue put happens-after the shared-memory write, so the
+        # child observes a fully written LLR lane when the ticket arrives
+        self._job_q.put((slot, job.job_id, job.iteration_budget))
+        self.metrics.frame_admitted()
+        return slot
+
+    def step(self) -> List[CompletedJob]:
+        """Collect finished frames from the child (bounded wait).
+
+        Waits up to ``poll_s`` for the first result, then drains every
+        result already queued.  Returns an empty list when the child is
+        still computing — the caller keeps polling, exactly like an
+        in-process engine mid-decode.
+
+        Raises
+        ------
+        WorkerProcessError
+            If the child process has died (killed, crashed) or reported
+            an internal error; the pool supervisor maps this onto its
+            crash/restart/strike-out path.
+        """
+        if not self._jobs:
+            return []
+        completed: List[CompletedJob] = []
+        try:
+            msg = self._result_q.get(timeout=self.poll_s)
+        except queue.Empty:
+            self._check_alive()
+            return completed
+        while True:
+            completed.append(self._retire(msg))
+            try:
+                msg = self._result_q.get_nowait()
+            except queue.Empty:
+                return completed
+
+    def _check_alive(self) -> None:
+        proc = self._proc
+        if proc is not None and not proc.is_alive():
+            raise WorkerProcessError(
+                f"decode worker process for {self.code.name or 'shard'!s} "
+                f"died (exit code {proc.exitcode}) with "
+                f"{len(self._jobs)} frame(s) in flight"
+            )
+
+    def _retire(self, msg: tuple) -> CompletedJob:
+        if msg[0] == "error":
+            raise WorkerProcessError(f"decode worker reported: {msg[1]}")
+        _tag, slot, job_id, converged, iterations, weight, syndromes = msg
+        entry = self._jobs.pop(job_id, None)
+        if entry is None:  # pragma: no cover - protocol violation
+            raise WorkerProcessError(
+                f"decode worker returned unknown job id {job_id}"
+            )
+        _slot, job = entry
+        result = DecodeResult(
+            bits=self._out_bits[slot].copy(),
+            converged=converged,
+            iterations=iterations,
+            llrs=self._out_llrs[slot].copy(),
+            syndrome_weight=weight,
+            iteration_syndromes=list(syndromes),
+        )
+        self._free.append(slot)
+        done = CompletedJob(job=job, result=result)
+        budget = job.iteration_budget
+        if budget is None:
+            budget = self.max_iterations
+        self.metrics.frame_retired(
+            converged=converged,
+            iterations=iterations,
+            max_iterations=min(max(1, int(budget)), self.max_iterations),
+            latency_s=done.latency_s,
+        )
+        return done
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self, timeout_s: float = _JOIN_S) -> None:
+        """Stop the child and release the queues (idempotent).
+
+        Sends the stop sentinel and waits up to ``timeout_s`` for a
+        graceful exit (the child finishes in-flight frames first), then
+        escalates to ``terminate()``.  Safe on a proxy whose child was
+        never spawned or already died.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        proc = self._proc
+        self._proc = None
+        if proc is not None:
+            try:
+                self._job_q.put(None)
+            except Exception:
+                pass
+            proc.join(timeout_s)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(1.0)
+        for q in (self._job_q, self._result_q):
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except Exception:
+                pass

@@ -104,6 +104,7 @@ def decode_many(
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
     fixed: bool = False,
     recorder: "Optional[TraceRecorder]" = None,
+    kernel: str = "batch",
 ) -> BatchDecodeResult:
     """Decode a ``(B, n)`` LLR matrix; rows are independent frames.
 
@@ -112,8 +113,15 @@ def decode_many(
     retired early); the other algorithms decode row by row and are
     repackaged into the same :class:`BatchDecodeResult`.  ``recorder``
     reaches the layered batch kernel's ``batch.iteration`` /
-    ``batch.layer`` spans.
+    ``batch.layer`` spans.  ``kernel`` selects the layered batch
+    implementation: ``"batch"`` (default) or ``"fused"`` — the fused
+    transposed-state kernel from :mod:`repro.accel.fused`, fastest for
+    large batches and equally bit-exact.
     """
+    if kernel not in ("batch", "fused"):
+        raise DecodingError(
+            f"kernel must be 'batch' or 'fused', got {kernel!r}"
+        )
     llrs = np.asarray(channel_llrs, dtype=np.float64)
     if llrs.ndim != 2 or llrs.shape[1] != code.n:
         raise DecodingError(f"LLR matrix shape {llrs.shape} != (B, {code.n})")
@@ -122,9 +130,15 @@ def decode_many(
 
     if algorithm == "layered-min-sum":
         # Imported here: repro.serve imports repro.decoder at load time.
-        from repro.serve.batch import BatchLayeredMinSumDecoder
+        if kernel == "fused":
+            from repro.accel.fused import FusedBatchLayeredMinSumDecoder
 
-        return BatchLayeredMinSumDecoder(
+            batch_cls = FusedBatchLayeredMinSumDecoder
+        else:
+            from repro.serve.batch import BatchLayeredMinSumDecoder
+
+            batch_cls = BatchLayeredMinSumDecoder
+        return batch_cls(
             code, max_iterations=max_iterations, fixed=fixed, recorder=recorder
         ).decode(llrs)
 

@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.accel.plan import get_plan
 from repro.channel.quantize import MESSAGE_8BIT, FixedPointFormat
 from repro.codes.qc import QCLDPCCode
 from repro.decoder.minsum import (
@@ -132,6 +133,9 @@ class LayeredMinSumDecoder(object):
         self.fixed = fixed
         self.fmt = fmt
         self.early_termination = early_termination
+        # Cached routing tables (gather indices, argmin comparison
+        # columns) shared by every decoder of this code structure.
+        self.plan = get_plan(code)
         if layer_order is None:
             self.layer_order = list(range(code.num_layers))
         else:
@@ -184,15 +188,13 @@ class LayeredMinSumDecoder(object):
             for l in self.layer_order:
                 if tracing:
                     layer_t0 = time.perf_counter()
-                layer = code.layer(l)
-                idx = layer.var_idx
+                lp = self.plan.layers[l]
+                idx = lp.var_idx
                 q = p[idx] - r[l]
                 signs = sign_with_zero_positive(q)
                 min1, min2, pos1 = min1_min2(np.abs(q))
                 total_sign = np.prod(signs, axis=0, dtype=np.int64)
-                mags = np.where(
-                    np.arange(layer.degree)[:, None] == pos1[None, :], min2, min1
-                )
+                mags = np.where(lp.degree_col == pos1[None, :], min2, min1)
                 if self.variant == "offset":
                     shaped = np.maximum(mags - self.offset_beta, 0.0)
                 else:
@@ -253,15 +255,13 @@ class LayeredMinSumDecoder(object):
             for l in self.layer_order:
                 if tracing:
                     layer_t0 = time.perf_counter()
-                layer = code.layer(l)
-                idx = layer.var_idx
+                lp = self.plan.layers[l]
+                idx = lp.var_idx
                 q = fmt.saturate(p[idx].astype(np.int64) - r[l])
                 signs = sign_with_zero_positive(q)
                 min1, min2, pos1 = min1_min2(np.abs(q))
                 total_sign = np.prod(signs, axis=0, dtype=np.int64)
-                mags = np.where(
-                    np.arange(layer.degree)[:, None] == pos1[None, :], min2, min1
-                )
+                mags = np.where(lp.degree_col == pos1[None, :], min2, min1)
                 if self.variant == "offset":
                     beta_codes = int(round(self.offset_beta / fmt.scale))
                     shaped = offset_magnitude_fixed(mags, beta=beta_codes)

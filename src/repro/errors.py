@@ -69,3 +69,9 @@ class ShardDeadError(ServeError):
 
 class DeadlineExceededError(ServeTimeoutError):
     """A job's deadline expired while it was still waiting in a queue."""
+
+
+class WorkerProcessError(ServeError):
+    """A decode worker process died or misbehaved (killed, crashed, or
+    returned a malformed result); the supervisor treats it like a worker
+    crash: in-flight futures fail fast and the process is respawned."""

@@ -79,6 +79,7 @@ class TransientBitFlip(FaultModel):
     def corrupt_word(
         self, word: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
+        """Flip one random bit in each lane that draws an upset."""
         if self.rate == 0.0:
             return word
         word = np.asarray(word)
@@ -129,6 +130,7 @@ class StuckAt(FaultModel):
     def corrupt_word(
         self, word: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
+        """Force the stuck bit in the configured lanes (deterministic)."""
         word = np.asarray(word)
         lanes = [l for l in self.lanes if 0 <= l < word.shape[-1]]
         if not lanes:
@@ -175,6 +177,7 @@ class LLRPerturbation(FaultModel):
     def corrupt_llrs(
         self, llrs: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
+        """Perturb (or zero/flip) each LLR that draws a fault."""
         if self.rate == 0.0:
             return llrs
         llrs = np.asarray(llrs, dtype=np.float64)

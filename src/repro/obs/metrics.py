@@ -87,6 +87,7 @@ class _Instrument(object):
             return list(self._series.items())
 
     def label_dicts(self) -> List[Dict[str, Any]]:
+        """Each series' labels as a ``{name: value}`` dict, in order."""
         return [
             dict(zip(self.label_names, key)) for key, _ in self.series()
         ]
@@ -98,6 +99,7 @@ class Counter(_Instrument):
     kind = "counter"
 
     def inc(self, value: float = 1, **labels: Any) -> None:
+        """Add ``value`` (>= 0) to the labelled series."""
         if value < 0:
             raise MetricsError(f"{self.name}: counters only go up, got {value}")
         key = self._key(labels)
@@ -105,6 +107,7 @@ class Counter(_Instrument):
             self._series[key] = self._series.get(key, 0) + value
 
     def value(self, **labels: Any) -> float:
+        """Current count of the labelled series (0 if never incremented)."""
         key = self._key(labels)
         with self._lock:
             return self._series.get(key, 0)
@@ -115,6 +118,7 @@ class Counter(_Instrument):
             return sum(self._series.values())
 
     def reset(self) -> None:
+        """Drop every series (counts restart at zero)."""
         with self._lock:
             self._series.clear()
 
@@ -125,24 +129,29 @@ class Gauge(_Instrument):
     kind = "gauge"
 
     def set(self, value: float, **labels: Any) -> None:
+        """Set the labelled series to ``value``."""
         key = self._key(labels)
         with self._lock:
             self._series[key] = value
 
     def inc(self, value: float = 1, **labels: Any) -> None:
+        """Add ``value`` (may be negative) to the labelled series."""
         key = self._key(labels)
         with self._lock:
             self._series[key] = self._series.get(key, 0) + value
 
     def dec(self, value: float = 1, **labels: Any) -> None:
+        """Subtract ``value`` from the labelled series."""
         self.inc(-value, **labels)
 
     def value(self, **labels: Any) -> float:
+        """Current value of the labelled series (0 if never set)."""
         key = self._key(labels)
         with self._lock:
             return self._series.get(key, 0)
 
     def reset(self) -> None:
+        """Drop every series (values restart at zero)."""
         with self._lock:
             self._series.clear()
 
@@ -195,6 +204,7 @@ class Histogram(_Instrument):
         return state
 
     def observe(self, value: float, **labels: Any) -> None:
+        """Record one sample into the labelled series' buckets/reservoir."""
         value = float(value)
         key = self._key(labels)
         with self._lock:
@@ -208,18 +218,21 @@ class Histogram(_Instrument):
 
     # -- queries -------------------------------------------------------
     def count(self, **labels: Any) -> int:
+        """Number of samples observed by the labelled series."""
         key = self._key(labels)
         with self._lock:
             state = self._series.get(key)
             return state.count if state is not None else 0
 
     def sum(self, **labels: Any) -> float:
+        """Sum of all samples observed by the labelled series."""
         key = self._key(labels)
         with self._lock:
             state = self._series.get(key)
             return state.total if state is not None else 0.0
 
     def mean(self, **labels: Any) -> float:
+        """Mean sample value (0.0 when the series is empty)."""
         key = self._key(labels)
         with self._lock:
             state = self._series.get(key)
@@ -252,6 +265,7 @@ class Histogram(_Instrument):
         return out
 
     def reset(self) -> None:
+        """Drop every series (buckets and reservoirs restart empty)."""
         with self._lock:
             self._series.clear()
 
@@ -270,11 +284,13 @@ class MetricsRegistry(object):
     def counter(
         self, name: str, help: str = "", label_names: Sequence[str] = ()
     ) -> Counter:
+        """Get or create the :class:`Counter` named ``name``."""
         return self._register(Counter, name, help, label_names)
 
     def gauge(
         self, name: str, help: str = "", label_names: Sequence[str] = ()
     ) -> Gauge:
+        """Get or create the :class:`Gauge` named ``name``."""
         return self._register(Gauge, name, help, label_names)
 
     def histogram(
@@ -285,6 +301,7 @@ class MetricsRegistry(object):
         buckets: Sequence[float] = DEFAULT_BUCKETS,
         window: int = 8192,
     ) -> Histogram:
+        """Get or create the :class:`Histogram` named ``name``."""
         with self._lock:
             existing = self._instruments.get(name)
             if existing is not None:
@@ -324,10 +341,12 @@ class MetricsRegistry(object):
     # access
     # ------------------------------------------------------------------
     def get(self, name: str) -> Optional[_Instrument]:
+        """The instrument named ``name``, or None if unregistered."""
         with self._lock:
             return self._instruments.get(name)
 
     def instruments(self) -> List[_Instrument]:
+        """Every registered instrument, in registration order."""
         with self._lock:
             return list(self._instruments.values())
 
@@ -375,6 +394,7 @@ class MetricsRegistry(object):
         return out
 
     def render_json(self, indent: Optional[int] = None) -> str:
+        """:meth:`to_dict` serialized as a JSON string."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def render_text(self, title: str = "metrics") -> str:

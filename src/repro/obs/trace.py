@@ -81,6 +81,7 @@ class SpanRecord(object):
 
     @property
     def label_dict(self) -> Dict[str, Any]:
+        """The span's labels as a plain ``{name: value}`` dict."""
         return dict(self.labels)
 
 
@@ -234,9 +235,11 @@ class TraceRecorder(object):
     # lifecycle
     # ------------------------------------------------------------------
     def enable(self) -> None:
+        """Resume recording (spans/events append to the ring buffer)."""
         self.enabled = True
 
     def disable(self) -> None:
+        """Stop recording; span() returns the shared no-op span."""
         self.enabled = False
 
     def clear(self) -> None:

@@ -16,7 +16,11 @@ saturated across *frames*:
   backoff, every pending future fails fast with a typed error (nothing
   hangs), transient faults trigger bounded retries, per-job deadlines
   expire stale work, and a load-shedding policy trades iteration budget
-  for availability under overload — see :meth:`DecodeService.health`;
+  for availability under overload — see :meth:`DecodeService.health`.
+  ``kernel="fused"`` swaps in the faster fused batch kernel
+  (:mod:`repro.accel.fused`) and ``backend="process"`` isolates each
+  shard's engine in a supervised child process
+  (:mod:`repro.accel.procpool`), both bit-exact;
 * :class:`ServeMetrics` / :class:`MetricsSnapshot` — counters and
   latency/occupancy statistics with a text report;
 * :class:`LoadShedPolicy` and friends — the overload-degradation knob.

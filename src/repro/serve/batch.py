@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.accel.plan import get_plan
 from repro.channel.quantize import MESSAGE_8BIT, FixedPointFormat
 from repro.codes.qc import QCLDPCCode
 from repro.decoder.layered import DEFAULT_MAX_ITERATIONS
@@ -92,6 +93,9 @@ class BatchLayeredMinSumDecoder(object):
         self.fmt = fmt
         self.early_termination = early_termination
         self.recorder = recorder
+        # Cached routing tables (gather indices, lane columns) shared by
+        # every decoder of this code structure.
+        self.plan = get_plan(code)
         if layer_order is None:
             self.layer_order = list(range(code.num_layers))
         else:
@@ -130,11 +134,17 @@ class BatchLayeredMinSumDecoder(object):
         else:
             self._iterate_float(p, r)
 
-    def syndrome_weights(self, p: np.ndarray) -> np.ndarray:
-        """Unsatisfied-check count per frame of an ``(A, n)`` P state."""
+    def syndrome_weights(self, p: np.ndarray, frames=None) -> np.ndarray:
+        """Unsatisfied-check count per frame of an ``(A, n)`` P state.
+
+        ``frames`` optionally restricts the computation to a subset of
+        frames (an index array), in kernel state layout.
+        """
+        if frames is not None:
+            p = p[frames]
         bits = hard_decision(p)
         weights = np.zeros(p.shape[0], dtype=np.int64)
-        for layer in self.code.layers:
+        for layer in self.plan.layers:
             vals = bits[:, layer.var_idx]  # (A, degree, z)
             weights += np.count_nonzero(
                 np.bitwise_xor.reduce(vals, axis=1), axis=1
@@ -148,12 +158,59 @@ class BatchLayeredMinSumDecoder(object):
         return np.asarray(p, dtype=np.float64)
 
     # ------------------------------------------------------------------
+    # state-layout accessors
+    #
+    # The batch driver below and the continuous-batching engine touch
+    # kernel state only through these methods, so a subclass is free to
+    # store P/R in a different memory layout (the fused kernel keeps
+    # the batch axis innermost) by overriding them consistently.
+    # ------------------------------------------------------------------
+    def batch_of(self, p: np.ndarray) -> int:
+        """Number of frames held by P state ``p``."""
+        return int(p.shape[0])
+
+    def load_slot(
+        self, p: np.ndarray, r: List[np.ndarray], slot: int, llrs: np.ndarray
+    ) -> None:
+        """Overwrite slot ``slot`` with a fresh frame's initial state."""
+        p[slot] = self.prepare(llrs[None, :])[0]
+        for rl in r:
+            rl[slot] = 0
+
+    def frame_bits(self, p: np.ndarray, frame: int) -> np.ndarray:
+        """Hard-decision bits of one frame of P state."""
+        return hard_decision(p[frame])
+
+    def frame_llrs(self, p: np.ndarray, frame: int) -> np.ndarray:
+        """Finalized a-posteriori LLRs of one frame of P state.
+
+        Always a copy: the caller holds the result beyond the slot's
+        lifetime, while ``finalize_llrs`` may return a view in float
+        mode.
+        """
+        return self.finalize_llrs(p[frame : frame + 1])[0].copy()
+
+    def frames_bits(self, p: np.ndarray, sel) -> np.ndarray:
+        """Hard-decision bits ``(K, n)`` of the selected frames."""
+        return hard_decision(p[sel])
+
+    def frames_llrs(self, p: np.ndarray, sel) -> np.ndarray:
+        """Finalized LLRs ``(K, n)`` of the selected frames."""
+        return self.finalize_llrs(p[sel])
+
+    def compact(
+        self, p: np.ndarray, r: List[np.ndarray], keep: np.ndarray
+    ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Drop retired frames from the working state (boolean mask)."""
+        return p[keep], [rl[keep] for rl in r]
+
+    # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def decode(self, llrs_2d: np.ndarray) -> BatchDecodeResult:
         """Decode a ``(B, n)`` LLR matrix; rows are independent frames."""
         p = self.prepare(llrs_2d)
-        batch = p.shape[0]
+        batch = self.batch_of(p)
 
         out_bits = np.zeros((batch, self.code.n), dtype=np.uint8)
         out_llrs = np.zeros((batch, self.code.n), dtype=np.float64)
@@ -197,8 +254,8 @@ class BatchLayeredMinSumDecoder(object):
 
             if done.any():
                 retired = active[done]
-                out_bits[retired] = hard_decision(p[done])
-                out_llrs[retired] = self.finalize_llrs(p[done])
+                out_bits[retired] = self.frames_bits(p, done)
+                out_llrs[retired] = self.frames_llrs(p, done)
                 out_converged[retired] = weights[done] == 0
                 out_iterations[retired] = it + 1
                 out_weights[retired] = weights[done]
@@ -206,8 +263,7 @@ class BatchLayeredMinSumDecoder(object):
                 keep = ~done
                 if not keep.any():
                     break
-                p = p[keep]
-                r = [rl[keep] for rl in r]
+                p, r = self.compact(p, r, keep)
                 active = active[keep]
 
         return BatchDecodeResult(
@@ -251,7 +307,7 @@ class BatchLayeredMinSumDecoder(object):
         magnitudes = np.abs(q)
         pos1 = magnitudes.argmin(axis=1)  # (A, z), first index on ties
         rows = np.arange(batch)[:, None]
-        cols = np.arange(z)[None, :]
+        cols = self.plan.lane_idx[None, :]
         min1 = magnitudes[rows, pos1, cols]
         if degree == 1:
             min2 = min1
@@ -267,14 +323,12 @@ class BatchLayeredMinSumDecoder(object):
         return mags, r_negative
 
     def _iterate_float(self, p: np.ndarray, r: List[np.ndarray]) -> None:
-        code = self.code
         rec = self.recorder
         tracing = rec is not None and rec.enabled
         for l in self.layer_order:
             if tracing:
                 layer_t0 = time.perf_counter()
-            layer = code.layer(l)
-            idx = layer.var_idx
+            idx = self.plan.layers[l].var_idx
             q = p[:, idx] - r[l]
             mags, r_negative = self._layer_minsum(q)
             shaped = self.scaling_factor * mags
@@ -286,15 +340,13 @@ class BatchLayeredMinSumDecoder(object):
                              batch=int(p.shape[0]), mode="float")
 
     def _iterate_fixed(self, p: np.ndarray, r: List[np.ndarray]) -> None:
-        code = self.code
         fmt = self.fmt
         rec = self.recorder
         tracing = rec is not None and rec.enabled
         for l in self.layer_order:
             if tracing:
                 layer_t0 = time.perf_counter()
-            layer = code.layer(l)
-            idx = layer.var_idx
+            idx = self.plan.layers[l].var_idx
             q = fmt.saturate(p[:, idx].astype(np.int64) - r[l])
             mags, r_negative = self._layer_minsum(q)
             shaped = scale_magnitude_fixed(mags)

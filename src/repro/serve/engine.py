@@ -31,7 +31,6 @@ from repro.errors import DecodingError, EngineFullError
 from repro.serve.batch import BatchLayeredMinSumDecoder
 from repro.serve.jobs import CompletedJob, DecodeJob
 from repro.serve.metrics import ServeMetrics
-from repro.utils.bitops import hard_decision
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.trace import TraceRecorder
@@ -50,6 +49,10 @@ class ContinuousBatchingEngine(object):
         Number of decoder slots (B).
     max_iterations / scaling_factor / fixed / fmt:
         Forwarded to the underlying batch kernel.
+    kernel:
+        ``"batch"`` (the reference batch kernel) or ``"fused"`` (the
+        fused transposed-state kernel from :mod:`repro.accel.fused`);
+        both are bit-exact with the per-frame decoder.
     metrics:
         Optional shared :class:`ServeMetrics`; a private instance is
         created when omitted.
@@ -71,15 +74,26 @@ class ContinuousBatchingEngine(object):
         fmt: FixedPointFormat = MESSAGE_8BIT,
         metrics: Optional[ServeMetrics] = None,
         recorder: "Optional[TraceRecorder]" = None,
+        kernel: str = "batch",
     ) -> None:
         if batch_size < 1:
             raise DecodingError(f"batch_size must be >= 1, got {batch_size}")
+        if kernel not in ("batch", "fused"):
+            raise DecodingError(
+                f"kernel must be 'batch' or 'fused', got {kernel!r}"
+            )
         self.code = code
         self.batch_size = batch_size
         self.max_iterations = max_iterations
         self.metrics = metrics if metrics is not None else ServeMetrics()
         self.recorder = recorder
-        self.kernel = BatchLayeredMinSumDecoder(
+        if kernel == "fused":
+            from repro.accel.fused import FusedBatchLayeredMinSumDecoder
+
+            kernel_cls = FusedBatchLayeredMinSumDecoder
+        else:
+            kernel_cls = BatchLayeredMinSumDecoder
+        self.kernel = kernel_cls(
             code,
             max_iterations=max_iterations,
             scaling_factor=scaling_factor,
@@ -130,9 +144,7 @@ class ContinuousBatchingEngine(object):
                 f"job {job.job_id}: LLR length {llrs.shape} != ({self.code.n},)"
             )
         slot = int(free[0])
-        self._p[slot] = self.kernel.prepare(llrs[None, :])[0]
-        for rl in self._r:
-            rl[slot] = 0
+        self.kernel.load_slot(self._p, self._r, slot, llrs)
         self._occupied[slot] = True
         self._iters[slot] = 0
         # per-job budget (load shedding lowers it); clamp to [1, engine max]
@@ -171,7 +183,7 @@ class ContinuousBatchingEngine(object):
         p = self._p
 
         self._iters[act] += 1
-        weights = self.kernel.syndrome_weights(p[act])
+        weights = self.kernel.syndrome_weights(p, frames=act)
         self.metrics.step_recorded(int(act.size), self.batch_size)
         if tracing:
             rec.complete("engine.step", step_t0, busy=int(act.size),
@@ -187,10 +199,10 @@ class ContinuousBatchingEngine(object):
                 continue
             job = self._jobs[slot]
             result = DecodeResult(
-                bits=hard_decision(p[slot]),
+                bits=self.kernel.frame_bits(p, slot),
                 converged=converged,
                 iterations=int(self._iters[slot]),
-                llrs=self.kernel.finalize_llrs(p[slot : slot + 1])[0],
+                llrs=self.kernel.frame_llrs(p, slot),
                 syndrome_weight=weight,
                 iteration_syndromes=list(self._syndromes[slot]),
             )

@@ -91,6 +91,7 @@ class CompletedJob(object):
 
     @property
     def job_id(self) -> int:
+        """The originating :class:`DecodeJob`'s id."""
         return self.job.job_id
 
     @property

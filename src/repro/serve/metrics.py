@@ -178,9 +178,11 @@ class ServeMetrics(object):
     # recording hooks (called by engines / services)
     # ------------------------------------------------------------------
     def frame_admitted(self, count: int = 1) -> None:
+        """``count`` frames entered a decoder (queue or engine slot)."""
         self._frames_in.inc(count)
 
     def frame_rejected(self, count: int = 1) -> None:
+        """``count`` frames were refused admission (backpressure)."""
         self._frames_rejected.inc(count)
 
     def frame_errored(self, count: int = 1) -> None:
@@ -200,9 +202,11 @@ class ServeMetrics(object):
         self._frames_shed.inc(count)
 
     def worker_crashed(self) -> None:
+        """A shard worker (thread or child process) died."""
         self._worker_crashes.inc()
 
     def worker_restarted(self) -> None:
+        """A crashed shard worker was rebuilt and restarted."""
         self._worker_restarts.inc()
 
     def step_recorded(self, busy_slots: int, capacity: int) -> None:
@@ -219,6 +223,8 @@ class ServeMetrics(object):
         max_iterations: int,
         latency_s: float,
     ) -> None:
+        """A frame finished decoding; records convergence, the
+        early-termination saving vs ``max_iterations``, and latency."""
         self._frames_out.inc()
         if converged:
             self._frames_converged.inc()

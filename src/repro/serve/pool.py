@@ -28,10 +28,17 @@ Design points:
   iteration budget of newly admitted frames before backpressure starts
   rejecting outright; per-job deadlines stop the service from decoding
   frames nobody is waiting for anymore.
-* **Threads, not processes.**  The hot loop is numpy over large arrays,
-  which releases the GIL; threads keep results zero-copy and the
-  service embeddable.  One engine per worker means no shared mutable
-  decode state.
+* **Threads by default, processes on request.**  The hot loop is numpy
+  over large arrays, which releases the GIL; threads keep results
+  zero-copy and the service embeddable, and one engine per worker means
+  no shared mutable decode state.  ``backend="process"`` instead puts
+  each shard's engine behind a worker process
+  (:class:`~repro.accel.procpool.ProcessEngineProxy`, shared-memory LLR
+  slots), trading per-frame IPC latency for hard fault isolation and —
+  on multi-core hosts — true shard parallelism; supervision semantics
+  (fail-fast futures, capped-backoff restarts, strike-out) are
+  identical, with a killed worker process surfacing as
+  :class:`~repro.errors.WorkerProcessError`.
 """
 
 from __future__ import annotations
@@ -150,6 +157,16 @@ class DecodeService(object):
         Slots per shard engine.
     max_iterations / fixed:
         Decoder configuration, shared by every shard.
+    backend:
+        ``"thread"`` (default) runs each shard's engine in-process on
+        the worker thread; ``"process"`` puts it behind a spawned worker
+        process (:class:`~repro.accel.procpool.ProcessEngineProxy`) with
+        shared-memory LLR slots — same bit-exact results and the same
+        supervision semantics, plus hard fault isolation.
+    kernel:
+        ``"batch"`` or ``"fused"`` — which batch kernel the shard
+        engines run (both bit-exact with the per-frame decoder; see
+        :mod:`repro.accel.fused`).
     queue_capacity:
         Bound of each shard's admission queue (the backpressure knob).
     metrics:
@@ -189,6 +206,8 @@ class DecodeService(object):
         batch_size: int = 16,
         max_iterations: int = DEFAULT_MAX_ITERATIONS,
         fixed: bool = False,
+        backend: str = "thread",
+        kernel: str = "batch",
         queue_capacity: int = 256,
         metrics: Optional[ServeMetrics] = None,
         autostart: bool = True,
@@ -199,6 +218,14 @@ class DecodeService(object):
         restart_backoff_cap_s: float = 2.0,
         recorder: "Optional[TraceRecorder]" = None,
     ) -> None:
+        if backend not in ("thread", "process"):
+            raise ServeError(
+                f"backend must be 'thread' or 'process', got {backend!r}"
+            )
+        if kernel not in ("batch", "fused"):
+            raise ServeError(
+                f"kernel must be 'batch' or 'fused', got {kernel!r}"
+            )
         if queue_capacity < 1:
             raise ServeError(f"queue_capacity must be >= 1, got {queue_capacity}")
         if default_max_retries < 0:
@@ -218,6 +245,8 @@ class DecodeService(object):
             raise ServeError("DecodeService needs at least one code")
         self.metrics = metrics if metrics is not None else ServeMetrics()
         self.recorder = recorder
+        self.backend = backend
+        self.kernel = kernel
         self.max_iterations = max_iterations
         self.shed_policy = shed_policy if shed_policy is not None else StepShedPolicy()
         self.default_max_retries = default_max_retries
@@ -244,17 +273,47 @@ class DecodeService(object):
         max_iterations: int,
         fixed: bool,
     ) -> Callable[[], ContinuousBatchingEngine]:
-        def make() -> ContinuousBatchingEngine:
-            return ContinuousBatchingEngine(
-                code,
-                batch_size=batch_size,
-                max_iterations=max_iterations,
-                fixed=fixed,
-                metrics=self.metrics,
-                recorder=self.recorder,
-            )
+        if self.backend == "process":
+            def make() -> ContinuousBatchingEngine:
+                from repro.accel.procpool import ProcessEngineProxy
+
+                return ProcessEngineProxy(
+                    code,
+                    batch_size=batch_size,
+                    max_iterations=max_iterations,
+                    fixed=fixed,
+                    kernel=self.kernel,
+                    metrics=self.metrics,
+                )
+        else:
+            def make() -> ContinuousBatchingEngine:
+                return ContinuousBatchingEngine(
+                    code,
+                    batch_size=batch_size,
+                    max_iterations=max_iterations,
+                    fixed=fixed,
+                    kernel=self.kernel,
+                    metrics=self.metrics,
+                    recorder=self.recorder,
+                )
 
         return make
+
+    @staticmethod
+    def _close_engine(engine: object) -> None:
+        """Release engine-held resources, if the backend holds any.
+
+        Thread-backend engines are plain objects (nothing to do);
+        process-backend proxies own a child process and two queues that
+        must be torn down whenever an engine is discarded — on clean
+        worker exit, before a crash rebuild, and at shard strike-out.
+        """
+        shutdown = getattr(engine, "shutdown", None)
+        if shutdown is not None:
+            try:
+                shutdown()
+            except Exception:
+                pass
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -290,6 +349,7 @@ class DecodeService(object):
             # no worker will ever drain these; fail them explicitly
             for shard in self._shards.values():
                 self._fail_queue(shard, ServiceClosedError("service closed"))
+                self._close_engine(shard.engine)
             return
         if wait:
             for shard in self._shards.values():
@@ -304,6 +364,7 @@ class DecodeService(object):
 
     @property
     def closed(self) -> bool:
+        """True once :meth:`close` has begun; submissions are refused."""
         return self._closing.is_set()
 
     @property
@@ -487,6 +548,7 @@ class DecodeService(object):
         while True:
             try:
                 self._worker_loop(shard)
+                self._close_engine(shard.engine)
                 return  # clean exit: service closed and shard drained
             except Exception as exc:  # worker crash
                 shard.strikes += 1
@@ -498,6 +560,7 @@ class DecodeService(object):
                 # typed error instead of hanging on a dead worker
                 self._fail_in_flight(shard, exc)
                 self._fail_queue(shard, exc)
+                self._close_engine(shard.engine)
                 shard.engine = shard.make_engine()
                 if shard.strikes >= self.max_strikes:
                     shard.healthy = False
@@ -511,6 +574,7 @@ class DecodeService(object):
                             f"{shard.strikes} consecutive crashes"
                         ),
                     )
+                    self._close_engine(shard.engine)
                     return
                 if self._closing.wait(backoff):
                     # closing: skip the rest of the backoff and make one
@@ -561,12 +625,18 @@ class DecodeService(object):
                     return
                 continue
             try:
-                for done in engine.step():
+                completed = engine.step()
+                for done in completed:
                     item = shard.futures.pop(done.job_id, None)
                     if item is not None:
                         item[1].set_result(done)
-                # forward progress: clear the consecutive-crash counter
-                shard.strikes = 0
+                if completed:
+                    # forward progress (frames actually retired): clear
+                    # the consecutive-crash counter.  Empty steps don't
+                    # count — a process backend polls emptily while its
+                    # child computes (or is dead), and resetting there
+                    # would defeat the strike-out.
+                    shard.strikes = 0
             except TransientDecodeError as exc:
                 # recoverable corruption: rebuild the engine and retry
                 # in-flight frames within their budget
@@ -575,6 +645,7 @@ class DecodeService(object):
     def _recover_transient(self, shard: _Shard, exc: Exception) -> None:
         shard.last_error = exc
         self._event("pool.transient", shard=shard.key, error=repr(exc))
+        self._close_engine(shard.engine)
         shard.engine = shard.make_engine()
         survivors: Dict[int, _Item] = {}
         for job_id, (job, future) in shard.futures.items():

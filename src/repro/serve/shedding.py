@@ -36,6 +36,7 @@ class NoShedPolicy(LoadShedPolicy):
     """Never shed: every frame gets the full budget."""
 
     def budget(self, fill: float, max_iterations: int) -> int:
+        """Always the full ``max_iterations`` budget."""
         return max_iterations
 
 
@@ -83,6 +84,8 @@ class StepShedPolicy(LoadShedPolicy):
         self.floor_iterations = floor_iterations
 
     def budget(self, fill: float, max_iterations: int) -> int:
+        """Budget from the first step whose fill threshold covers ``fill``,
+        floored at ``floor_iterations``."""
         for threshold, fraction in self.steps:
             if fill <= threshold:
                 budget = int(max_iterations * fraction)

@@ -1,0 +1,133 @@
+"""Fused batch kernel: bit-exactness against the per-frame decoder.
+
+The fused kernel re-lays out the decode state (frame-minor P, per-layer
+R stacks), replaces argmin-based two-min search with a tie-counted
+masked reduction, and carries signs via ``copysign`` — every one of
+those transforms must be *exactly* value-preserving, because the serve
+stack's correctness story is "batched output == per-frame output, bit
+for bit".  This sweep drives the comparison across random QC code
+shapes, WiMax rate classes, noise levels, batch sizes, and both
+arithmetic modes, all seeded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel.fused import FusedBatchLayeredMinSumDecoder
+from repro.channel import AwgnChannel
+from repro.codes import random_qc_code, wimax_code
+from repro.decoder import LayeredMinSumDecoder
+from repro.encoder import RuEncoder
+from repro.serve import ContinuousBatchingEngine, DecodeJob
+
+pytestmark = pytest.mark.accel
+
+WIMAX_CASES = (("1/2", 576), ("2/3A", 672), ("3/4A", 1152), ("5/6", 576))
+
+
+def _random_traffic(code, batch, ebno_db, rng):
+    encoder = RuEncoder(code)
+    frames = []
+    for _ in range(batch):
+        message = rng.integers(0, 2, encoder.k).astype(np.uint8)
+        codeword = encoder.encode(message)
+        channel = AwgnChannel.from_ebno(ebno_db, code.rate, seed=rng)
+        frames.append(channel.llrs(codeword))
+    return np.stack(frames)
+
+
+def _assert_fused_matches_per_frame(code, llrs_2d, fixed, max_iterations=10):
+    reference = LayeredMinSumDecoder(
+        code, max_iterations=max_iterations, fixed=fixed
+    )
+    fused = FusedBatchLayeredMinSumDecoder(
+        code, max_iterations=max_iterations, fixed=fixed
+    ).decode(llrs_2d)
+    for i, row in enumerate(llrs_2d):
+        ref = reference.decode(row)
+        np.testing.assert_array_equal(fused.bits[i], ref.bits)
+        np.testing.assert_array_equal(fused.llrs[i], ref.llrs)
+        assert fused.iterations[i] == ref.iterations
+        assert bool(fused.converged[i]) == ref.converged
+        assert fused.syndrome_weights[i] == ref.syndrome_weight
+        assert fused.iteration_syndromes[i] == ref.iteration_syndromes
+
+
+@pytest.mark.parametrize("sweep_seed", range(4))
+@pytest.mark.parametrize("fixed", [False, True])
+def test_random_qc_codes(sweep_seed, fixed):
+    """Random QC codes with randomly drawn shapes and noise levels."""
+    rng = np.random.default_rng([2026, 8, sweep_seed])
+    z = int(rng.choice([4, 8, 12, 16, 24]))
+    mb = int(rng.integers(3, 6))
+    nb = mb * 2
+    # row_degree must exceed the dual-diagonal parity degree (up to 3)
+    # and leave at most kb=mb data edges per row -> [4, 5] is feasible
+    code = random_qc_code(
+        mb=mb, nb=nb, z=z, row_degree=int(rng.integers(4, 6)),
+        seed=int(rng.integers(1 << 16)),
+    )
+    batch = int(rng.integers(1, 9))
+    ebno = float(rng.uniform(0.5, 4.0))
+    llrs_2d = _random_traffic(code, batch, ebno, rng)
+    _assert_fused_matches_per_frame(code, llrs_2d, fixed)
+
+
+@pytest.mark.parametrize("rate,length", WIMAX_CASES)
+@pytest.mark.parametrize("fixed", [False, True])
+def test_wimax_codes(rate, length, fixed):
+    """Standard-derived codes across rate classes, mixed-SNR batches."""
+    code = wimax_code(rate, length)
+    rng = np.random.default_rng([hash(rate) & 0xFFFF, length, fixed])
+    llrs_2d = _random_traffic(code, 5, float(rng.uniform(1.5, 3.0)), rng)
+    _assert_fused_matches_per_frame(code, llrs_2d, fixed)
+
+
+@pytest.mark.parametrize("fixed", [False, True])
+def test_state_reuse_across_decodes(wimax_short, fixed):
+    """Scratch buffers persist across decode() calls without bleed-through."""
+    rng = np.random.default_rng(77)
+    decoder = FusedBatchLayeredMinSumDecoder(
+        code=wimax_short, max_iterations=10, fixed=fixed
+    )
+    first_traffic = _random_traffic(wimax_short, 4, 2.0, rng)
+    second_traffic = _random_traffic(wimax_short, 4, 2.5, rng)
+    decoder.decode(first_traffic)  # warm the scratch buffers
+    _assert_fused_matches_per_frame(wimax_short, second_traffic, fixed)
+    again = decoder.decode(second_traffic)
+    reference = decoder.decode(second_traffic)
+    np.testing.assert_array_equal(again.bits, reference.bits)
+    np.testing.assert_array_equal(again.llrs, reference.llrs)
+
+
+@pytest.mark.parametrize("fixed", [False, True])
+def test_engine_fused_kernel_matches_batch_kernel(wimax_short, fixed):
+    """The continuous-batching engine is kernel-agnostic, bit for bit."""
+    rng = np.random.default_rng(101)
+    llrs_2d = _random_traffic(wimax_short, 12, 2.0, rng)
+    results = {}
+    for kernel in ("batch", "fused"):
+        engine = ContinuousBatchingEngine(
+            wimax_short, batch_size=4, max_iterations=10, fixed=fixed,
+            kernel=kernel,
+        )
+        done = engine.run([DecodeJob(llrs=f) for f in llrs_2d])
+        results[kernel] = done
+    for a, b in zip(results["batch"], results["fused"]):
+        np.testing.assert_array_equal(a.result.bits, b.result.bits)
+        np.testing.assert_array_equal(a.result.llrs, b.result.llrs)
+        assert a.result.iterations == b.result.iterations
+        assert a.result.converged == b.result.converged
+        assert a.result.iteration_syndromes == b.result.iteration_syndromes
+
+
+def test_negative_zero_llrs_are_handled_exactly():
+    """-0.0 inputs cannot flip copysign-carried signs vs the reference."""
+    code = wimax_code("1/2", 576)
+    rng = np.random.default_rng(55)
+    llrs_2d = _random_traffic(code, 3, 2.0, rng)
+    llrs_2d[0, :7] = -0.0
+    llrs_2d[1, 100:110] = 0.0
+    _assert_fused_matches_per_frame(code, llrs_2d, fixed=False)

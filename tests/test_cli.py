@@ -99,6 +99,50 @@ class TestCommands:
         assert sites == {"none/llr", "llr"}
         assert "faults_frames" in obj["metrics"]
 
+    def test_accel_bench_table(self, capsys):
+        rc = main([
+            "accel-bench", "--length", "576", "--frames", "6", "--batch", "3",
+            "--modes", "per-frame", "batch", "fused-batch",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "accel-bench" in out and "fused-batch" in out
+        assert "per-layer ns" in out
+
+    def test_accel_bench_json(self, capsys):
+        rc = main([
+            "accel-bench", "--length", "576", "--frames", "6", "--batch", "3",
+            "--modes", "per-frame", "batch", "fused-batch", "--json",
+        ])
+        assert rc == 0
+        obj = json.loads(capsys.readouterr().out)
+        modes = [r["mode"] for r in obj["rows"]]
+        assert modes == ["per-frame", "batch", "fused-batch"]
+        assert all(r["mismatches"] == 0 for r in obj["rows"])
+        assert obj["arithmetic"] == "fixed"
+
+    def test_accel_bench_json_to_file(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_accel.json"
+        rc = main([
+            "accel-bench", "--length", "576", "--frames", "4", "--batch", "2",
+            "--modes", "per-frame", "batch", "--float", "--json",
+            "-o", str(out),
+        ])
+        assert rc == 0
+        obj = json.loads(out.read_text())
+        assert obj["arithmetic"] == "float"
+        assert len(obj["rows"]) == 2
+
+    def test_accel_bench_rejects_unknown_mode(self, capsys):
+        rc = main([
+            "accel-bench", "--length", "576", "--modes", "gpu",
+        ])
+        assert rc == 2
+        assert "unknown modes" in capsys.readouterr().err
+
+    def test_accel_bench_rejects_bad_frames(self, capsys):
+        assert main(["accel-bench", "--frames", "0"]) == 2
+
     def test_serve_bench_json(self, capsys):
         rc = main([
             "serve-bench", "--length", "576", "--frames", "6",

@@ -75,3 +75,17 @@ class TestDecodeManyApi:
         cw, llrs = noisy_frame(small_code, ebno_db=6.0, seed=8)
         many = decode_many(small_code, llrs[None, :], fixed=True)
         np.testing.assert_array_equal(many.bits[0], cw)
+
+    def test_fused_kernel_matches_batch_kernel(self, small_code):
+        frames = [noisy_frame(small_code, ebno_db=5.0, seed=s)[1] for s in (2, 3)]
+        llrs_2d = np.stack(frames)
+        for fixed in (False, True):
+            batch = decode_many(small_code, llrs_2d, fixed=fixed)
+            fused = decode_many(small_code, llrs_2d, fixed=fixed, kernel="fused")
+            np.testing.assert_array_equal(fused.bits, batch.bits)
+            np.testing.assert_array_equal(fused.llrs, batch.llrs)
+            np.testing.assert_array_equal(fused.iterations, batch.iterations)
+
+    def test_unknown_kernel_rejected(self, small_code):
+        with pytest.raises(DecodingError, match="kernel"):
+            decode_many(small_code, np.zeros((1, small_code.n)), kernel="gpu")

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Check that relative links in the repo's markdown files resolve.
+
+Scans every tracked ``*.md`` file for inline markdown links
+(``[text](target)``) and verifies that each relative target exists on
+disk (anchors and external ``http(s)``/``mailto`` targets are skipped).
+Exits non-zero listing every dangling link.  Used by the CI docs job;
+runnable locally from the repo root::
+
+    python tools/check_md_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links only; reference-style links are not used in this repo.
+# Stops at the first ')' or '#' so anchors are dropped from the target.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)#\s]+)[^)]*\)")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def iter_markdown(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        parts = path.relative_to(root).parts
+        if any(p.startswith(".") or p in ("node_modules",) for p in parts[:-1]):
+            continue
+        yield path
+
+
+def check(root: Path) -> int:
+    dangling = []
+    for md in iter_markdown(root):
+        text = md.read_text(encoding="utf-8")
+        # Ignore links inside fenced code blocks.
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            resolved = (md.parent / target).resolve()
+            if not resolved.exists():
+                dangling.append(f"{md.relative_to(root)}: {target}")
+    if dangling:
+        print("dangling markdown links:", file=sys.stderr)
+        for line in dangling:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("all markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(check(Path(__file__).resolve().parent.parent))
