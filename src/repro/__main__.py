@@ -17,7 +17,14 @@ Commands:
   (``--json`` for the registry snapshot);
 * ``obs-report`` — run traced serve traffic and render the span
   summary, per-layer profile, and metrics (text/json/prometheus;
-  ``--chrome-out`` dumps an ``about:tracing`` timeline);
+  ``--chrome-out`` dumps an ``about:tracing`` timeline; ``--backend
+  thread|process`` traces a full DecodeService instead of the bare
+  engine, adding SLO verdicts and merged worker-process spans);
+* ``logs`` — pretty-print / filter a structured event log written by
+  ``obs-report --log-out`` (or any :class:`repro.obs.EventLog` sink);
+* ``perf-gate`` — re-run the committed ``BENCH_*.json`` baselines and
+  exit non-zero when throughput regresses beyond tolerance (see
+  docs/OBSERVABILITY.md);
 * ``synth`` — compile a decoder program and print the synthesis report;
 * ``verilog`` — compile and emit structural Verilog;
 * ``alist`` — export a code's parity-check matrix in alist format.
@@ -85,17 +92,7 @@ def cmd_demo(args) -> int:
 
 
 def cmd_serve_bench(args) -> int:
-    import time
-
-    from repro.channel import AwgnChannel
-    from repro.decoder import LayeredMinSumDecoder
-    from repro.encoder import RuEncoder
-    from repro.serve import (
-        BatchLayeredMinSumDecoder,
-        ContinuousBatchingEngine,
-        DecodeJob,
-        ServeMetrics,
-    )
+    from repro.serve.bench import run_serve_bench
     from repro.utils.tables import render_table
 
     if args.frames < 1:
@@ -108,105 +105,51 @@ def cmd_serve_bench(args) -> int:
         print("serve-bench: --iterations must be >= 1", file=sys.stderr)
         return 2
 
-    code = _build_code(args)
-    rng = np.random.default_rng(args.seed)
-    encoder = RuEncoder(code)
-    frames = []
-    for _ in range(args.frames):
-        message = rng.integers(0, 2, encoder.k).astype(np.uint8)
-        codeword = encoder.encode(message)
-        channel = AwgnChannel.from_ebno(args.ebno, code.rate, seed=rng)
-        frames.append(channel.llrs(codeword))
-    llrs_2d = np.stack(frames)
-
-    # mode 1: the pre-serve baseline, one decode() call per frame
-    loop_decoder = LayeredMinSumDecoder(
-        code, max_iterations=args.iterations, fixed=args.fixed
-    )
-    t0 = time.perf_counter()
-    loop_results = [loop_decoder.decode(f) for f in frames]
-    t_loop = time.perf_counter() - t0
-    loop_converged = sum(r.converged for r in loop_results)
-
-    # mode 2: static batches of --batch frames through the batch kernel
-    batch_decoder = BatchLayeredMinSumDecoder(
-        code, max_iterations=args.iterations, fixed=args.fixed
-    )
-    t0 = time.perf_counter()
-    batch_converged = 0
-    for start in range(0, args.frames, args.batch):
-        batch_converged += batch_decoder.decode(
-            llrs_2d[start : start + args.batch]
-        ).num_converged
-    t_batch = time.perf_counter() - t0
-
-    # mode 3: continuous batching (retired slots refilled mid-flight)
-    metrics = ServeMetrics()
-    engine = ContinuousBatchingEngine(
-        code,
-        batch_size=args.batch,
-        max_iterations=args.iterations,
+    report = run_serve_bench(
+        code=_build_code(args),
+        frames=args.frames,
+        batch=args.batch,
+        ebno_db=args.ebno,
+        iterations=args.iterations,
         fixed=args.fixed,
-        metrics=metrics,
+        seed=args.seed,
+        backend=args.backend or None,
     )
-    jobs = [DecodeJob(llrs=f) for f in frames]
-    t0 = time.perf_counter()
-    engine_results = engine.run(jobs)
-    t_engine = time.perf_counter() - t0
-    engine_converged = sum(d.result.converged for d in engine_results)
-
-    agree = loop_converged == batch_converged == engine_converged
+    agree = report["agree"]
     if args.json:
         import json
 
-        modes = [
-            {"mode": "frame-at-a-time", "time_s": t_loop,
-             "frames_per_s": args.frames / t_loop, "converged": loop_converged},
-            {"mode": f"static batch-{args.batch}", "time_s": t_batch,
-             "frames_per_s": args.frames / t_batch,
-             "converged": batch_converged},
-            {"mode": f"continuous batch-{args.batch}", "time_s": t_engine,
-             "frames_per_s": args.frames / t_engine,
-             "converged": engine_converged},
-        ]
-        print(
-            json.dumps(
-                {
-                    "code": code.name,
-                    "ebno_db": args.ebno,
-                    "frames": args.frames,
-                    "modes": modes,
-                    "metrics": metrics.registry.to_dict(),
-                },
-                indent=2,
-                sort_keys=True,
-            )
-        )
+        text = json.dumps(report, indent=2, sort_keys=True)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.output}", file=sys.stderr)
+        else:
+            print(text)
         return 0 if agree else 1
 
     rows = [
-        ["frame-at-a-time", args.frames, f"{t_loop:.3f}",
-         f"{args.frames / t_loop:.1f}", "1.00x", loop_converged],
-        [f"static batch-{args.batch}", args.frames, f"{t_batch:.3f}",
-         f"{args.frames / t_batch:.1f}", f"{t_loop / t_batch:.2f}x",
-         batch_converged],
-        [f"continuous batch-{args.batch}", args.frames, f"{t_engine:.3f}",
-         f"{args.frames / t_engine:.1f}", f"{t_loop / t_engine:.2f}x",
-         engine_converged],
+        [
+            m["mode"],
+            report["frames"],
+            f"{m['time_s']:.3f}",
+            f"{m['frames_per_s']:.1f}",
+            f"{m['speedup_vs_per_frame']:.2f}x",
+            m["converged"],
+        ]
+        for m in report["modes"]
     ]
     print(
         render_table(
             ["mode", "frames", "time s", "frames/s", "speedup", "converged"],
             rows,
             title=(
-                f"serve-bench: {code.name}, Eb/N0={args.ebno} dB, "
-                f"{'fixed' if args.fixed else 'float'}, "
+                f"serve-bench: {report['code']}, Eb/N0={args.ebno} dB, "
+                f"{report['arithmetic']}, "
                 f"{args.iterations} iterations max"
             ),
         )
     )
-    print()
-    print(metrics.report(title="continuous-batching metrics"))
     if not agree:
         print("WARNING: modes disagree on converged frame count")
     return 0 if agree else 1
@@ -321,6 +264,8 @@ def cmd_faults_bench(args) -> int:
     if args.json:
         import json
 
+        from repro.utils.provenance import bench_meta
+
         cells = [
             {
                 "site": c.site,
@@ -337,16 +282,20 @@ def cmd_faults_bench(args) -> int:
             }
             for c in result.baselines + result.cells
         ]
+        doc = bench_meta("faults")
+        doc.update(
+            {
+                "code": result.code_name,
+                "ebno_db": result.ebno_db,
+                "seed": result.seed,
+                "frames_per_cell": result.frames_per_cell,
+                "cells": cells,
+                "metrics": registry.to_dict(),
+            }
+        )
         print(
             json.dumps(
-                {
-                    "code": result.code_name,
-                    "ebno_db": result.ebno_db,
-                    "seed": result.seed,
-                    "frames_per_cell": result.frames_per_cell,
-                    "cells": cells,
-                    "metrics": registry.to_dict(),
-                },
+                doc,
                 indent=2,
                 sort_keys=True,
             )
@@ -357,10 +306,11 @@ def cmd_faults_bench(args) -> int:
 
 
 def cmd_obs_report(args) -> int:
-    from repro.channel import AwgnChannel
-    from repro.encoder import RuEncoder
-    from repro.obs import TraceRecorder, layer_profile_report
+    from repro.obs import EventLog, TraceRecorder, layer_profile_report
+    from repro.obs.slo import default_serve_slos
     from repro.serve import ContinuousBatchingEngine, DecodeJob, ServeMetrics
+    from repro.serve.bench import generate_serve_traffic
+    from repro.serve.pool import DecodeService
 
     if args.frames < 1:
         print("obs-report: --frames must be >= 1", file=sys.stderr)
@@ -370,42 +320,60 @@ def cmd_obs_report(args) -> int:
         return 2
 
     code = _build_code(args)
-    rng = np.random.default_rng(args.seed)
-    encoder = RuEncoder(code)
-    jobs = []
-    for _ in range(args.frames):
-        message = rng.integers(0, 2, encoder.k).astype(np.uint8)
-        codeword = encoder.encode(message)
-        channel = AwgnChannel.from_ebno(args.ebno, code.rate, seed=rng)
-        jobs.append(DecodeJob(llrs=channel.llrs(codeword)))
+    traffic = generate_serve_traffic(code, args.frames, args.ebno, args.seed)
 
     recorder = TraceRecorder()
     metrics = ServeMetrics()
-    engine = ContinuousBatchingEngine(
-        code,
-        batch_size=args.batch,
-        max_iterations=args.iterations,
-        fixed=args.fixed,
-        metrics=metrics,
-        recorder=recorder,
-    )
-    engine.run(jobs)
+    log = EventLog(path=args.log_out or None, recorder=recorder)
+    slo_report = None
+    if args.backend == "engine":
+        engine = ContinuousBatchingEngine(
+            code,
+            batch_size=args.batch,
+            max_iterations=args.iterations,
+            fixed=args.fixed,
+            metrics=metrics,
+            recorder=recorder,
+        )
+        engine.run([DecodeJob(llrs=f) for f in traffic])
+    else:
+        # full service: pool events, structured log, SLO verdicts, and
+        # (for the process backend) merged cross-process worker spans
+        monitor = default_serve_slos()
+        service = DecodeService(
+            code,
+            batch_size=args.batch,
+            max_iterations=args.iterations,
+            fixed=args.fixed,
+            backend=args.backend,
+            metrics=metrics,
+            recorder=recorder,
+            log=log,
+            slo=monitor,
+        )
+        try:
+            futures = [service.submit(f, timeout=None) for f in traffic]
+            for future in futures:
+                future.result()
+            slo_report = service.health().slo
+        finally:
+            service.close()
+    log.close()
 
     if args.chrome_out:
         recorder.write_chrome_trace(args.chrome_out)
         print(f"wrote Chrome trace to {args.chrome_out}", file=sys.stderr)
+    if args.log_out:
+        print(f"wrote event log to {args.log_out}", file=sys.stderr)
 
     registry = metrics.registry
     if args.format == "json":
         import json
 
-        print(
-            json.dumps(
-                {"spans": recorder.summary(), "metrics": registry.to_dict()},
-                indent=2,
-                sort_keys=True,
-            )
-        )
+        doc = {"spans": recorder.summary(), "metrics": registry.to_dict()}
+        if slo_report is not None:
+            doc["slo"] = slo_report.to_dict()
+        print(json.dumps(doc, indent=2, sort_keys=True))
     elif args.format == "prometheus":
         print(registry.render_prometheus(), end="")
     else:
@@ -413,7 +381,7 @@ def cmd_obs_report(args) -> int:
             recorder.report(
                 title=(
                     f"obs-report: {code.name}, {args.frames} frames, "
-                    f"batch {args.batch}"
+                    f"batch {args.batch}, backend {args.backend}"
                 )
             )
         )
@@ -426,7 +394,71 @@ def cmd_obs_report(args) -> int:
         )
         print()
         print(registry.render_text(title="serve metrics"))
+        if slo_report is not None:
+            print()
+            print(slo_report.report())
     return 0
+
+
+def cmd_logs(args) -> int:
+    from repro.obs.log import format_records, read_log
+
+    try:
+        records = read_log(args.file, level=args.level or None,
+                           event=args.event or None)
+    except OSError as exc:
+        print(f"logs: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"logs: {exc}", file=sys.stderr)
+        return 2
+    if args.tail > 0:
+        records = records[-args.tail:]
+    if args.json:
+        import json
+
+        for record in records:
+            print(json.dumps(record.to_dict(), sort_keys=True))
+    elif records:
+        print(format_records(records))
+    return 0
+
+
+def cmd_perf_gate(args) -> int:
+    import os
+
+    from repro.obs.perfgate import PerfGateError, run_perf_gate
+
+    baselines = args.baseline or [
+        name
+        for name in ("BENCH_accel.json", "BENCH_serve.json")
+        if os.path.exists(name)
+    ]
+    if not baselines:
+        print(
+            "perf-gate: no baselines found (pass --baseline or run from "
+            "the repository root)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = run_perf_gate(
+            baselines,
+            k=args.k,
+            tolerance=args.tolerance,
+            modes=args.modes,
+            history_path=args.history or None,
+        )
+    except PerfGateError as exc:
+        print(f"perf-gate: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.report())
+    return 0 if report.ok else 1
 
 
 def cmd_experiments(args) -> int:
@@ -515,8 +547,16 @@ def build_parser() -> argparse.ArgumentParser:
     sb.add_argument("--seed", type=int, default=0)
     sb.add_argument("--fixed", action="store_true", help="8-bit datapath")
     sb.add_argument(
+        "--backend", choices=("thread", "process"), default="",
+        help="also bench a full DecodeService with this worker backend",
+    )
+    sb.add_argument(
         "--json", action="store_true",
         help="emit a machine-readable JSON report (metrics registry snapshot)",
+    )
+    sb.add_argument(
+        "--output", "-o", default="",
+        help="with --json, write the document to this path",
     )
 
     ab = sub.add_parser(
@@ -586,6 +626,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--chrome-out", default="",
         help="also write the trace as Chrome-trace JSON to this path",
     )
+    ob.add_argument(
+        "--backend", choices=("engine", "thread", "process"),
+        default="engine",
+        help="decode surface to trace: bare continuous engine (default) "
+             "or a full DecodeService with the given worker backend "
+             "(adds pool events, SLO verdicts, and — for process — "
+             "merged worker-process spans)",
+    )
+    ob.add_argument(
+        "--log-out", default="",
+        help="also write the structured event log (JSONL) to this path",
+    )
+
+    lg = sub.add_parser(
+        "logs", help="pretty-print / filter a structured event log (JSONL)"
+    )
+    lg.add_argument("file", help="event log path (see obs-report --log-out)")
+    lg.add_argument(
+        "--level", default="",
+        help="minimum severity (debug/info/warning/error)",
+    )
+    lg.add_argument("--event", default="", help="exact event name filter")
+    lg.add_argument(
+        "--tail", type=int, default=0, metavar="N",
+        help="only the last N matching records",
+    )
+    lg.add_argument(
+        "--json", action="store_true",
+        help="re-emit matching records as JSON lines",
+    )
+
+    pg = sub.add_parser(
+        "perf-gate",
+        help="re-run committed BENCH_*.json baselines and fail on regression",
+    )
+    pg.add_argument(
+        "--baseline", action="append", default=[],
+        help="bench JSON baseline to gate (repeatable; default: the "
+             "committed BENCH_accel.json and BENCH_serve.json)",
+    )
+    pg.add_argument(
+        "--k", type=int, default=3,
+        help="re-runs per baseline (the median is compared)",
+    )
+    pg.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed relative slowdown (0.30 = 30%% below baseline fails)",
+    )
+    pg.add_argument(
+        "--modes", nargs="*", default=None,
+        help="restrict the gate to these mode names",
+    )
+    pg.add_argument(
+        "--history", default="BENCH_history.jsonl",
+        help="bench history JSONL to append to ('' disables)",
+    )
+    pg.add_argument(
+        "--json", action="store_true",
+        help="emit the gate report as JSON",
+    )
 
     for name, helptext in (
         ("synth", "print the synthesis report"),
@@ -618,6 +718,8 @@ def main(argv=None) -> int:
         "accel-bench": cmd_accel_bench,
         "faults-bench": cmd_faults_bench,
         "obs-report": cmd_obs_report,
+        "logs": cmd_logs,
+        "perf-gate": cmd_perf_gate,
         "synth": cmd_synth,
         "verilog": cmd_verilog,
         "alist": cmd_alist,

@@ -41,6 +41,7 @@ from repro.codes import wimax_code
 from repro.codes.qc import QCLDPCCode
 from repro.decoder.layered import LayeredMinSumDecoder
 from repro.encoder import RuEncoder
+from repro.utils.provenance import bench_meta
 
 __all__ = ["DEFAULT_MODES", "generate_traffic", "run_accel_bench"]
 
@@ -210,18 +211,22 @@ def run_accel_bench(
             t_batch / r["time_s"] if t_batch is not None else None
         )
 
-    return {
-        "code": code.name,
-        "n": code.n,
-        "z": code.z,
-        "num_layers": num_layers,
-        "ebno_db": ebno_db,
-        "frames": frames,
-        "batch": batch,
-        "max_iterations": iterations,
-        "arithmetic": "fixed" if fixed else "float",
-        "seed": seed,
-        "total_layer_updates": total_layer_updates,
-        "numpy": np.__version__,
-        "rows": rows,
-    }
+    report = bench_meta("accel")
+    report.update(
+        {
+            "code": code.name,
+            "n": code.n,
+            "z": code.z,
+            "num_layers": num_layers,
+            "ebno_db": ebno_db,
+            "frames": frames,
+            "batch": batch,
+            "max_iterations": iterations,
+            "arithmetic": "fixed" if fixed else "float",
+            "seed": seed,
+            "total_layer_updates": total_layer_updates,
+            "numpy": np.__version__,
+            "rows": rows,
+        }
+    )
+    return report

@@ -266,7 +266,7 @@ class FusedBatchLayeredMinSumDecoder(BatchLayeredMinSumDecoder):
             np.add(q, rl, out=q)                      # P' = Q + R'
             p[idx] = q                                # scatter write-back
             if tracing:
-                rec.complete("fused.layer", layer_t0, layer=l,
+                rec.complete("batch.layer", layer_t0, layer=l,
                              batch=batch, mode="float")
 
     def _iterate_fixed(self, p: np.ndarray, r: List[np.ndarray]) -> None:
@@ -307,5 +307,5 @@ class FusedBatchLayeredMinSumDecoder(BatchLayeredMinSumDecoder):
             np.clip(q, lo, hi, out=q)        # saturate P'
             p[idx] = q
             if tracing:
-                rec.complete("fused.layer", layer_t0, layer=l,
+                rec.complete("batch.layer", layer_t0, layer=l,
                              batch=batch, mode="fixed")

@@ -40,8 +40,10 @@ from __future__ import annotations
 
 import ctypes
 import multiprocessing
+import os
 import queue
-from typing import Dict, List, Optional, Tuple
+import time
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -51,6 +53,8 @@ from repro.decoder.layered import DEFAULT_MAX_ITERATIONS
 from repro.decoder.minsum import SCALING_FACTOR
 from repro.decoder.result import DecodeResult
 from repro.errors import DecodingError, EngineFullError, WorkerProcessError
+from repro.obs.log import EventLog, LogRecord
+from repro.obs.trace import TraceRecorder, records_from_wire, records_to_wire
 from repro.serve.jobs import CompletedJob, DecodeJob
 from repro.serve.metrics import ServeMetrics
 
@@ -62,6 +66,9 @@ _POLL_S = 0.05
 #: Grace period for a clean child exit before escalating to terminate().
 _JOIN_S = 5.0
 
+#: Child-side span count that triggers a telemetry flush mid-burst.
+_FLUSH_SPANS = 256
+
 
 def _child_main(
     code: QCLDPCCode,
@@ -71,6 +78,7 @@ def _child_main(
     fixed: bool,
     fmt: FixedPointFormat,
     kernel: str,
+    trace_enabled: bool,
     in_buf: "ctypes.Array",
     out_llr_buf: "ctypes.Array",
     out_bits_buf: "ctypes.Array",
@@ -84,8 +92,51 @@ def _child_main(
     internal error the exception is reported through the result queue
     (best effort) and re-raised, killing the process — the parent's
     liveness watch does the rest.
+
+    The child carries its own :class:`TraceRecorder` and
+    :class:`ServeMetrics` (recorder/registry objects hold locks and
+    cannot cross the spawn boundary) and periodically ships
+    ``("telemetry", payload)`` messages on the result queue: drained
+    span batches in wire form, engine-step/slot-iteration deltas, and
+    any structured log records, all stamped with the child's wall-clock
+    epoch so the parent can correct for the ``perf_counter`` offset.
     """
     from repro.serve.engine import ContinuousBatchingEngine
+
+    recorder = TraceRecorder(enabled=trace_enabled)
+    child_metrics = ServeMetrics()
+    pid = os.getpid()
+    pending_logs: List[Dict[str, Any]] = [
+        LogRecord(
+            level="info",
+            event="procpool.child_start",
+            wall_time=time.time(),
+            monotonic_s=time.monotonic(),
+            fields={"pid": pid, "kernel": kernel, "fixed": fixed},
+        ).to_dict()
+    ]
+    sent = {"steps": 0, "slots": 0}
+
+    def flush_telemetry() -> None:
+        spans = recorder.drain()
+        snap = child_metrics.snapshot()
+        d_steps = int(snap.engine_steps) - sent["steps"]
+        d_slots = int(snap.slot_iterations) - sent["slots"]
+        if not spans and d_steps == 0 and not pending_logs:
+            return
+        sent["steps"] += d_steps
+        sent["slots"] += d_slots
+        payload = {
+            "pid": pid,
+            "wall_epoch": recorder.wall_epoch(),
+            "spans": records_to_wire(spans),
+            "steps": d_steps,
+            "slot_iterations": d_slots,
+            "dropped": recorder.dropped,
+            "logs": list(pending_logs),
+        }
+        del pending_logs[:]
+        result_q.put(("telemetry", payload))
 
     try:
         engine = ContinuousBatchingEngine(
@@ -96,6 +147,8 @@ def _child_main(
             fixed=fixed,
             fmt=fmt,
             kernel=kernel,
+            metrics=child_metrics,
+            recorder=recorder,
         )
         n = code.n
         in_llrs = np.frombuffer(in_buf, dtype=np.float64).reshape(batch_size, n)
@@ -127,6 +180,8 @@ def _child_main(
                 engine.admit(job)
                 ticket[job.job_id] = (slot, job_id)
             if engine.in_flight == 0:
+                # drained (or idle): ship whatever telemetry accumulated
+                flush_telemetry()
                 if stopping:
                     return
                 continue
@@ -146,6 +201,8 @@ def _child_main(
                         [int(w) for w in res.iteration_syndromes],
                     )
                 )
+            if len(recorder) >= _FLUSH_SPANS:
+                flush_telemetry()
     except Exception as exc:  # pragma: no cover - crash path timing
         try:
             result_q.put(("error", f"{type(exc).__name__}: {exc}"))
@@ -173,8 +230,23 @@ class ProcessEngineProxy(object):
         ``"batch"`` or ``"fused"`` — which batch kernel the child runs.
     metrics:
         Optional shared :class:`ServeMetrics`; admissions and
-        retirements are recorded parent-side so one registry aggregates
-        thread- and process-backed shards alike.
+        retirements are recorded parent-side, and the child's
+        engine-step/slot-iteration deltas are folded in as telemetry
+        arrives, so one registry aggregates thread- and process-backed
+        shards alike.
+    recorder:
+        Optional parent :class:`~repro.obs.trace.TraceRecorder`; when
+        given (and enabled at spawn time), the child records its own
+        spans and the proxy merges shipped batches into this recorder
+        with ``shard``/``backend`` labels, the child's pid, and a
+        wall-clock offset correction — ``to_chrome_trace`` then shows
+        the worker as its own process row on the parent timeline.
+    log:
+        Optional :class:`~repro.obs.log.EventLog`; spawn/shutdown/death
+        lifecycle and child-shipped records are published into it.
+    label:
+        Shard key used in merged span labels and log fields (defaults
+        to the code name).
     poll_s:
         How long one :meth:`step` call waits for a child result before
         returning empty (bounds the pool worker's reaction latency to
@@ -200,6 +272,9 @@ class ProcessEngineProxy(object):
         fmt: FixedPointFormat = MESSAGE_8BIT,
         kernel: str = "batch",
         metrics: Optional[ServeMetrics] = None,
+        recorder: Optional[TraceRecorder] = None,
+        log: Optional[EventLog] = None,
+        label: str = "",
         poll_s: float = _POLL_S,
     ) -> None:
         if batch_size < 1:
@@ -216,6 +291,9 @@ class ProcessEngineProxy(object):
         self.fmt = fmt
         self.kernel_name = kernel
         self.metrics = metrics if metrics is not None else ServeMetrics()
+        self.recorder = recorder
+        self.log = log
+        self.label = label
         self.poll_s = poll_s
 
         self._ctx = multiprocessing.get_context("spawn")
@@ -258,9 +336,14 @@ class ProcessEngineProxy(object):
         """True while the child process exists and runs."""
         return self._proc is not None and self._proc.is_alive()
 
+    @property
+    def _shard_label(self) -> str:
+        return self.label or (self.code.name or "shard")
+
     def _ensure_started(self) -> None:
         if self._proc is not None or self._closed:
             return
+        trace_enabled = self.recorder is not None and self.recorder.enabled
         proc = self._ctx.Process(
             target=_child_main,
             args=(
@@ -271,6 +354,7 @@ class ProcessEngineProxy(object):
                 self.fixed,
                 self.fmt,
                 self.kernel_name,
+                trace_enabled,
                 self._in_buf,
                 self._out_llr_buf,
                 self._out_bits_buf,
@@ -282,6 +366,11 @@ class ProcessEngineProxy(object):
         )
         proc.start()
         self._proc = proc
+        if self.log is not None:
+            self.log.info(
+                "procpool.spawn", shard=self._shard_label, pid=proc.pid,
+                kernel=self.kernel_name,
+            )
 
     def admit(self, job: DecodeJob) -> int:
         """Write the job's LLRs into a free slot and notify the child.
@@ -340,15 +429,89 @@ class ProcessEngineProxy(object):
             self._check_alive()
             return completed
         while True:
-            completed.append(self._retire(msg))
+            self._handle(msg, completed)
             try:
                 msg = self._result_q.get_nowait()
             except queue.Empty:
-                return completed
+                break
+        if not completed:
+            # a telemetry-only wake must not mask a stalled/dead child
+            self._check_alive()
+        return completed
+
+    def _handle(self, msg: tuple, completed: List[CompletedJob]) -> None:
+        if msg[0] == "telemetry":
+            self._merge_telemetry(msg[1])
+        else:
+            completed.append(self._retire(msg))
+
+    def _merge_telemetry(self, payload: Dict[str, Any]) -> None:
+        """Fold one child telemetry batch into the parent observers.
+
+        Span times are shifted by the difference of the two recorders'
+        wall-clock epochs (both processes share the machine wall clock,
+        while their ``perf_counter`` epochs are unrelated), labelled
+        with the shard key and backend, and tagged with the child pid so
+        the Chrome trace renders the worker as its own process row.
+        """
+        spans = payload.get("spans") or []
+        if self.recorder is not None and spans:
+            offset = float(payload["wall_epoch"]) - self.recorder.wall_epoch()
+            self.recorder.merge(
+                records_from_wire(spans),
+                time_offset_s=offset,
+                extra_labels={
+                    "shard": self._shard_label, "backend": "process",
+                },
+                process_id=int(payload.get("pid", 0)),
+            )
+        self.metrics.absorb_worker_steps(
+            int(payload.get("steps", 0)),
+            int(payload.get("slot_iterations", 0)),
+            self.batch_size,
+        )
+        if self.log is not None:
+            for obj in payload.get("logs") or ():
+                rec = LogRecord.from_dict(obj)
+                fields = dict(rec.fields)
+                fields.setdefault("shard", self._shard_label)
+                self.log.append(
+                    LogRecord(
+                        level=rec.level,
+                        event=rec.event,
+                        wall_time=rec.wall_time,
+                        monotonic_s=rec.monotonic_s,
+                        span_id=rec.span_id,
+                        fields=fields,
+                    )
+                )
+
+    def _drain_telemetry(self) -> None:
+        """Absorb queued telemetry without blocking (shutdown path).
+
+        Non-telemetry stragglers are discarded: by the time this runs
+        the child is gone and any unretired result has already been
+        failed by the supervisor.
+        """
+        while True:
+            try:
+                msg = self._result_q.get_nowait()
+            except (queue.Empty, OSError, ValueError):
+                return
+            if msg is not None and msg[0] == "telemetry":
+                self._merge_telemetry(msg[1])
 
     def _check_alive(self) -> None:
         proc = self._proc
         if proc is not None and not proc.is_alive():
+            if self.log is not None:
+                self.log.error(
+                    "procpool.child_died",
+                    shard=self._shard_label,
+                    pid=proc.pid,
+                    exit_code=proc.exitcode,
+                    in_flight=len(self._jobs),
+                )
             raise WorkerProcessError(
                 f"decode worker process for {self.code.name or 'shard'!s} "
                 f"died (exit code {proc.exitcode}) with "
@@ -411,6 +574,11 @@ class ProcessEngineProxy(object):
             if proc.is_alive():
                 proc.terminate()
                 proc.join(1.0)
+        # the child flushes telemetry right before a graceful exit;
+        # absorb those final batches before the queues close
+        self._drain_telemetry()
+        if self.log is not None and proc is not None:
+            self.log.info("procpool.shutdown", shard=self._shard_label)
         for q in (self._job_q, self._result_q):
             try:
                 q.cancel_join_thread()

@@ -26,6 +26,7 @@ from repro.faults.models import FaultModel
 from repro.utils.rng import SeedLike, as_generator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.log import EventLog
     from repro.obs.trace import TraceRecorder
 
 __all__ = ["FaultInjector", "ARCH_SITES", "LLR_SITE", "ALL_SITES"]
@@ -60,6 +61,11 @@ class FaultInjector(object):
         labelled with ``site``, the access kind, and the number of
         lanes flipped, so injection hits line up with decode spans on
         one timeline.
+    log:
+        Optional :class:`~repro.obs.log.EventLog`; the same corruptions
+        are also written as ``warning``-level ``fault.inject`` records
+        (site/kind/lanes fields), so injection campaigns leave a
+        grep-able structured trail alongside the trace events.
     site:
         Label attached to the ``fault.inject`` events (the injection
         site name; informational only).
@@ -71,6 +77,7 @@ class FaultInjector(object):
         seed: SeedLike = None,
         on: Iterable[str] = ("read",),
         recorder: "Optional[TraceRecorder]" = None,
+        log: "Optional[EventLog]" = None,
         site: str = "",
     ) -> None:
         on = frozenset(on)
@@ -82,6 +89,7 @@ class FaultInjector(object):
         self.rng = as_generator(seed)
         self.on = on
         self.recorder = recorder
+        self.log = log
         self.site = site
         self.enabled = True
         self.accesses = 0
@@ -110,6 +118,10 @@ class FaultInjector(object):
                 self.recorder.event(
                     "fault.inject", site=self.site, kind=kind, lanes=flips
                 )
+            if flips and self.log is not None:
+                self.log.warning(
+                    "fault.inject", site=self.site, kind=kind, lanes=flips
+                )
         return corrupted
 
     # ------------------------------------------------------------------
@@ -133,6 +145,14 @@ class FaultInjector(object):
             self.injections += flips
             if flips and self.recorder is not None:
                 self.recorder.event(
+                    "fault.inject",
+                    site=self.site,
+                    kind="iteration",
+                    iteration=iteration,
+                    lanes=flips,
+                )
+            if flips and self.log is not None:
+                self.log.warning(
                     "fault.inject",
                     site=self.site,
                     kind="iteration",

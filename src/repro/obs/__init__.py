@@ -15,7 +15,16 @@ package gives every runtime subsystem one instrumentation spine:
   accounting;
 * :mod:`repro.obs.profile` — per-layer wall-time attribution for the
   numpy decoders and the core1/core2/stall decomposition (plus
-  Chrome-trace export) for the cycle-accurate architecture models.
+  Chrome-trace export) for the cycle-accurate architecture models;
+* :class:`EventLog` — levelled, trace-correlated JSON-lines structured
+  logging for runtime incidents (crashes, restarts, sheds, injected
+  faults, worker-process lifecycle), tailed by ``repro logs``;
+* :class:`SloMonitor` — declarative service-level objectives evaluated
+  against a registry snapshot, surfaced in ``DecodeService.health()``
+  and ``repro obs-report``;
+* :mod:`repro.obs.perfgate` — the benchmark regression gate behind
+  ``repro perf-gate``: re-runs committed ``BENCH_*.json`` baselines
+  median-of-k and fails on relative throughput regressions.
 
 Quickstart::
 
@@ -29,6 +38,14 @@ Quickstart::
     rec.write_chrome_trace("decode.json")  # open in about:tracing
 """
 
+from repro.obs.log import (
+    LEVELS,
+    EventLog,
+    LogRecord,
+    format_record,
+    format_records,
+    read_log,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -44,21 +61,49 @@ from repro.obs.profile import (
     stage_profile,
     write_chrome_trace,
 )
-from repro.obs.trace import NULL_SPAN, SpanRecord, TraceRecorder
+from repro.obs.slo import (
+    SloConfigError,
+    SloMonitor,
+    SloReport,
+    SloRule,
+    SloVerdict,
+    default_serve_slos,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    SpanRecord,
+    TraceRecorder,
+    records_from_wire,
+    records_to_wire,
+)
 
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "EventLog",
     "Gauge",
     "Histogram",
+    "LEVELS",
+    "LogRecord",
     "MetricsError",
     "MetricsRegistry",
     "NULL_SPAN",
+    "SloConfigError",
+    "SloMonitor",
+    "SloReport",
+    "SloRule",
+    "SloVerdict",
     "SpanRecord",
     "TraceRecorder",
     "arch_chrome_trace",
+    "default_serve_slos",
+    "format_record",
+    "format_records",
     "layer_profile",
     "layer_profile_report",
+    "read_log",
+    "records_from_wire",
+    "records_to_wire",
     "stage_profile",
     "write_chrome_trace",
 ]

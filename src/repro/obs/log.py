@@ -1,0 +1,313 @@
+"""Structured event log: levelled, trace-correlated JSON-lines records.
+
+Where :class:`~repro.obs.trace.TraceRecorder` answers *how long did it
+take* and :class:`~repro.obs.metrics.MetricsRegistry` answers *how much
+of it happened*, :class:`EventLog` answers *what happened, when, and
+why* — every notable runtime incident (a shard crash, a restart, an
+expired deadline, a shed frame, an injected fault, a worker-process
+spawn) becomes one machine-parseable record instead of an ad-hoc
+trace-event breadcrumb:
+
+* **levels** — ``debug`` / ``info`` / ``warning`` / ``error`` with a
+  configurable floor, so a production service can keep only warnings
+  while a debug run keeps the enqueue/dispatch chatter;
+* **double timestamps** — a wall-clock time (for humans and cross-run
+  correlation) and a monotonic time (for intervals, immune to clock
+  steps);
+* **trace correlation** — when a :class:`TraceRecorder` is attached,
+  each record carries the id of the enclosing span, so a grep hit in
+  the log pins the exact span in the Chrome timeline;
+* **JSON-lines sink** — one JSON object per line, appended and flushed
+  per record, so ``tail -f`` / ``grep`` / ``repro logs`` all work on a
+  live file; an in-memory ring of recent records backs tests and
+  embedded use without any file at all.
+
+The pool (:mod:`repro.serve.pool`), the fault injectors
+(:mod:`repro.faults.injectors`), and the process shard backend
+(:mod:`repro.accel.procpool`) accept an ``EventLog`` and publish their
+lifecycle into it; ``python -m repro logs FILE`` tails/filters/pretty-
+prints the result.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import TraceRecorder
+
+__all__ = [
+    "LEVELS",
+    "EventLog",
+    "LogRecord",
+    "format_record",
+    "format_records",
+    "read_log",
+]
+
+#: Level name -> severity rank (log4j-style ordering).
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+def _level_rank(level: str) -> int:
+    try:
+        return LEVELS[level]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from {sorted(LEVELS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class LogRecord(object):
+    """One structured log record.
+
+    Attributes
+    ----------
+    level:
+        ``"debug"`` / ``"info"`` / ``"warning"`` / ``"error"``.
+    event:
+        Dotted event name, e.g. ``"pool.crash"`` or ``"fault.inject"``.
+    wall_time:
+        ``time.time()`` at record time (seconds since the epoch).
+    monotonic_s:
+        ``time.monotonic()`` at record time (interval arithmetic).
+    span_id:
+        Id of the enclosing trace span when a recorder was attached and
+        a span was open, else None.
+    fields:
+        Free-form structured payload (shard keys, job ids, error text).
+    """
+
+    level: str
+    event: str
+    wall_time: float
+    monotonic_s: float
+    span_id: Optional[int] = None
+    fields: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The record as one flat JSON-ready dict (``ts``/``mono`` keys)."""
+        out: Dict[str, Any] = {
+            "ts": self.wall_time,
+            "mono": self.monotonic_s,
+            "level": self.level,
+            "event": self.event,
+        }
+        if self.span_id is not None:
+            out["span_id"] = self.span_id
+        if self.fields:
+            out["fields"] = dict(self.fields)
+        return out
+
+    @classmethod
+    def from_dict(cls, obj: Mapping[str, Any]) -> "LogRecord":
+        """Inverse of :meth:`to_dict` (tolerant of missing keys)."""
+        return cls(
+            level=str(obj.get("level", "info")),
+            event=str(obj.get("event", "")),
+            wall_time=float(obj.get("ts", 0.0)),
+            monotonic_s=float(obj.get("mono", 0.0)),
+            span_id=obj.get("span_id"),
+            fields=dict(obj.get("fields", {})),
+        )
+
+
+class EventLog(object):
+    """Thread-safe structured logger with a JSONL sink and a ring buffer.
+
+    Parameters
+    ----------
+    path:
+        Optional JSON-lines file to append to (opened lazily on the
+        first record, flushed per record so the file is tailable).
+    capacity:
+        In-memory ring size; the most recent ``capacity`` records stay
+        queryable via :meth:`records` regardless of any file sink.
+    min_level:
+        Severity floor; records below it are dropped entirely.
+    recorder:
+        Optional :class:`~repro.obs.trace.TraceRecorder`; when given,
+        each record is stamped with the enclosing span id.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        capacity: int = 4096,
+        min_level: str = "debug",
+        recorder: "Optional[TraceRecorder]" = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.path = path
+        self.capacity = capacity
+        self.min_rank = _level_rank(min_level)
+        self.recorder = recorder
+        self.dropped = 0
+        self.emitted = 0
+        self._lock = threading.Lock()
+        self._buffer: "deque[LogRecord]" = deque(maxlen=capacity)
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def log(self, level: str, event: str, **fields: Any) -> Optional[LogRecord]:
+        """Record one event at ``level``; returns the record (or None if
+        filtered by the severity floor)."""
+        if _level_rank(level) < self.min_rank:
+            return None
+        span_id = (
+            self.recorder.current_span_id() if self.recorder is not None else None
+        )
+        record = LogRecord(
+            level=level,
+            event=event,
+            wall_time=time.time(),
+            monotonic_s=time.monotonic(),
+            span_id=span_id,
+            fields=fields,
+        )
+        self.append(record)
+        return record
+
+    def debug(self, event: str, **fields: Any) -> Optional[LogRecord]:
+        """Record a ``debug`` event."""
+        return self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> Optional[LogRecord]:
+        """Record an ``info`` event."""
+        return self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> Optional[LogRecord]:
+        """Record a ``warning`` event."""
+        return self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> Optional[LogRecord]:
+        """Record an ``error`` event."""
+        return self.log("error", event, **fields)
+
+    def append(self, record: LogRecord) -> None:
+        """Append a pre-built record (e.g. one shipped from a worker
+        process) to the ring and the file sink, bypassing the floor."""
+        with self._lock:
+            if len(self._buffer) == self.capacity:
+                self.dropped += 1
+            self._buffer.append(record)
+            self.emitted += 1
+            if self.path is not None:
+                if self._handle is None:
+                    self._handle = open(self.path, "a")
+                json.dump(record.to_dict(), self._handle, sort_keys=True)
+                self._handle.write("\n")
+                self._handle.flush()
+
+    # ------------------------------------------------------------------
+    # access / lifecycle
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def records(
+        self,
+        level: Optional[str] = None,
+        event: Optional[str] = None,
+    ) -> List[LogRecord]:
+        """Retained records, oldest first, optionally filtered.
+
+        ``level`` keeps records at or above that severity; ``event``
+        keeps records whose event name contains the substring.
+        """
+        with self._lock:
+            out = list(self._buffer)
+        if level is not None:
+            rank = _level_rank(level)
+            out = [r for r in out if _level_rank(r.level) >= rank]
+        if event is not None:
+            out = [r for r in out if event in r.event]
+        return out
+
+    def close(self) -> None:
+        """Flush and close the file sink (idempotent; ring retained)."""
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                finally:
+                    self._handle = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# reading / rendering (the `repro logs` surface)
+# ----------------------------------------------------------------------
+def read_log(
+    path: str,
+    level: Optional[str] = None,
+    event: Optional[str] = None,
+) -> List[LogRecord]:
+    """Parse a JSON-lines event-log file, oldest first.
+
+    ``level`` keeps records at or above that severity; ``event`` keeps
+    records whose event name contains the substring.  Blank and
+    non-JSON lines are skipped (a live file may have a torn last line).
+    """
+    rank = _level_rank(level) if level is not None else None
+    out: List[LogRecord] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except ValueError:
+                continue
+            record = LogRecord.from_dict(obj)
+            if rank is not None and _level_rank(record.level) < rank:
+                continue
+            if event is not None and event not in record.event:
+                continue
+            out.append(record)
+    return out
+
+
+def format_record(record: LogRecord) -> str:
+    """One record as a grep-friendly single line.
+
+    ``<iso-time> <LEVEL> <event> [span=<id>] k=v k=v``
+    """
+    stamp = time.strftime(
+        "%Y-%m-%dT%H:%M:%S", time.localtime(record.wall_time)
+    )
+    frac = f"{record.wall_time % 1:.3f}"[1:]
+    parts = [f"{stamp}{frac}", record.level.upper().ljust(7), record.event]
+    if record.span_id is not None:
+        parts.append(f"span={record.span_id}")
+    for key, value in record.fields.items():
+        parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def format_records(records: Iterable[LogRecord]) -> str:
+    """Many records, one :func:`format_record` line each."""
+    return "\n".join(format_record(r) for r in records)

@@ -1,0 +1,380 @@
+"""Declarative SLO rules evaluated against a metrics registry.
+
+A service is only trustworthy if its objectives are *checked*, not just
+graphed.  :class:`SloMonitor` holds a set of :class:`SloRule` objects —
+"p99 serve latency below 50 ms", "crash rate below 1%", "FER at most
+1e-3" — and evaluates them against a
+:class:`~repro.obs.metrics.MetricsRegistry` snapshot, producing typed
+:class:`SloVerdict` results that
+:meth:`repro.serve.pool.DecodeService.health` embeds and ``repro
+obs-report`` renders.
+
+Rule shapes
+-----------
+A rule reads one statistic from one instrument:
+
+* counters/gauges — ``stat="total"`` (sum over label series) or
+  ``stat="value"`` (one labelled series);
+* histograms — ``stat`` in ``{"count", "sum", "mean", "p50", "p90",
+  "p95", "p99", "p999"}``;
+* ratios — ``per="other_counter"`` divides the rule metric's total by
+  the other counter's total (e.g. ``serve_worker_crashes`` per
+  ``serve_frames_out`` = crash rate); a zero denominator yields an
+  ``unknown`` verdict rather than a fake pass.
+
+Rules can also be written as strings and :meth:`SloRule.parse`\\ d::
+
+    serve_latency_seconds:p99 < 0.05
+    serve_worker_crashes / serve_frames_out < 0.01
+    serve_frames_rejected:total <= 0
+
+An unknown metric evaluates to ``unknown``, never ``pass`` — an SLO
+that cannot be measured must not look healthy.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.utils.tables import render_table
+
+__all__ = [
+    "SloConfigError",
+    "SloMonitor",
+    "SloReport",
+    "SloRule",
+    "SloVerdict",
+    "default_serve_slos",
+]
+
+
+class SloConfigError(ReproError):
+    """Malformed SLO rule: bad operator, stat, or spec string."""
+
+
+_OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_HIST_STATS = ("count", "sum", "mean", "p50", "p90", "p95", "p99", "p999")
+
+_PERCENTILES = {"p50": 50.0, "p90": 90.0, "p95": 95.0, "p99": 99.0,
+                "p999": 99.9}
+
+_SPEC_RE = re.compile(
+    r"^\s*(?P<metric>[\w.]+)"
+    r"(?::(?P<stat>\w+))?"
+    r"(?:\s*/\s*(?P<per>[\w.]+))?"
+    r"\s*(?P<op><=|>=|<|>)\s*"
+    r"(?P<threshold>[-+0-9.eE]+)\s*$"
+)
+
+
+@dataclass(frozen=True)
+class SloRule(object):
+    """One objective: ``metric[:stat][/per] op threshold``.
+
+    Attributes
+    ----------
+    name:
+        Human label for reports (defaults to the spec-ish string).
+    metric:
+        Instrument name in the registry.
+    op / threshold:
+        Comparison (``<``, ``<=``, ``>``, ``>=``) against the observed
+        statistic; the rule passes when the comparison holds.
+    stat:
+        Statistic to read (``"total"``, ``"value"``, or a histogram
+        stat); defaults to ``"total"`` for counters/gauges and is
+        required meaningfully for histograms.
+    labels:
+        Label values selecting one series when ``stat="value"`` or for
+        histogram stats on a labelled instrument.
+    per:
+        Optional denominator instrument (totals ratio).
+    """
+
+    metric: str
+    op: str
+    threshold: float
+    stat: str = "total"
+    labels: Tuple[Tuple[str, Any], ...] = ()
+    per: Optional[str] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise SloConfigError(
+                f"unknown operator {self.op!r}; choose from {sorted(_OPS)}"
+            )
+        if self.stat not in ("total", "value") + _HIST_STATS:
+            raise SloConfigError(
+                f"unknown stat {self.stat!r}; choose from "
+                f"{('total', 'value') + _HIST_STATS}"
+            )
+        if not self.name:
+            object.__setattr__(self, "name", self.describe())
+
+    def describe(self) -> str:
+        """The rule as a compact ``metric:stat op threshold`` string."""
+        lhs = self.metric
+        if self.stat not in ("total",):
+            lhs += f":{self.stat}"
+        if self.per:
+            lhs += f"/{self.per}"
+        return f"{lhs} {self.op} {self.threshold:g}"
+
+    @classmethod
+    def parse(cls, spec: str, name: str = "") -> "SloRule":
+        """Build a rule from a spec string.
+
+        Examples: ``"serve_latency_seconds:p99 < 0.05"``,
+        ``"serve_worker_crashes / serve_frames_out < 0.01"``,
+        ``"serve_frames_rejected <= 0"``.
+        """
+        match = _SPEC_RE.match(spec)
+        if match is None:
+            raise SloConfigError(f"cannot parse SLO spec {spec!r}")
+        stat = match.group("stat") or "total"
+        try:
+            threshold = float(match.group("threshold"))
+        except ValueError:
+            raise SloConfigError(
+                f"bad threshold in SLO spec {spec!r}"
+            ) from None
+        return cls(
+            metric=match.group("metric"),
+            stat=stat,
+            per=match.group("per"),
+            op=match.group("op"),
+            threshold=threshold,
+            name=name,
+        )
+
+
+@dataclass(frozen=True)
+class SloVerdict(object):
+    """Outcome of one rule evaluation.
+
+    ``status`` is ``"pass"``, ``"fail"``, or ``"unknown"`` (metric
+    missing or ratio denominator zero); ``observed`` is None exactly
+    when the status is unknown.
+    """
+
+    rule: SloRule
+    status: str
+    observed: Optional[float] = None
+    reason: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True only for a passing verdict (unknown is not ok)."""
+        return self.status == "pass"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary of the verdict."""
+        return {
+            "rule": self.rule.name,
+            "metric": self.rule.metric,
+            "stat": self.rule.stat,
+            "op": self.rule.op,
+            "threshold": self.rule.threshold,
+            "observed": self.observed,
+            "status": self.status,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class SloReport(object):
+    """All verdicts of one monitor evaluation."""
+
+    verdicts: Tuple[SloVerdict, ...] = ()
+
+    @property
+    def status(self) -> str:
+        """``"fail"`` if any rule failed, else ``"unknown"`` if any rule
+        could not be measured, else ``"pass"``."""
+        statuses = {v.status for v in self.verdicts}
+        if "fail" in statuses:
+            return "fail"
+        if "unknown" in statuses:
+            return "unknown"
+        return "pass"
+
+    @property
+    def ok(self) -> bool:
+        """True when every rule passed."""
+        return self.status == "pass"
+
+    def failed(self) -> List[SloVerdict]:
+        """The failing verdicts only."""
+        return [v for v in self.verdicts if v.status == "fail"]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready report (status + per-rule verdicts)."""
+        return {
+            "status": self.status,
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
+
+    def report(self, title: str = "SLO report") -> str:
+        """Aligned text table of every verdict."""
+        if not self.verdicts:
+            return f"{title}: (no rules)"
+        rows = [
+            [
+                v.rule.name,
+                "-" if v.observed is None else f"{v.observed:.6g}",
+                f"{v.rule.op} {v.rule.threshold:g}",
+                v.status.upper(),
+            ]
+            for v in self.verdicts
+        ]
+        return render_table(
+            ["rule", "observed", "objective", "status"], rows,
+            title=f"{title} [{self.status.upper()}]",
+        )
+
+
+class SloMonitor(object):
+    """A set of rules plus the machinery to evaluate them.
+
+    Accepts :class:`SloRule` objects or spec strings (parsed on the
+    spot); :meth:`evaluate` is read-only with respect to the registry.
+    """
+
+    def __init__(self, rules: Sequence[Any] = ()) -> None:
+        self.rules: List[SloRule] = []
+        for rule in rules:
+            self.add(rule)
+
+    def add(self, rule: Any) -> SloRule:
+        """Add a rule (an :class:`SloRule` or a spec string)."""
+        if isinstance(rule, str):
+            rule = SloRule.parse(rule)
+        if not isinstance(rule, SloRule):
+            raise SloConfigError(
+                f"expected SloRule or spec string, got {type(rule).__name__}"
+            )
+        self.rules.append(rule)
+        return rule
+
+    def evaluate(self, registry: MetricsRegistry) -> SloReport:
+        """Evaluate every rule against the registry's current state."""
+        return SloReport(
+            verdicts=tuple(self._evaluate_rule(r, registry) for r in self.rules)
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _evaluate_rule(
+        self, rule: SloRule, registry: MetricsRegistry
+    ) -> SloVerdict:
+        observed, reason = self._observe(rule, registry)
+        if observed is None:
+            return SloVerdict(rule=rule, status="unknown", reason=reason)
+        ok = _OPS[rule.op](observed, rule.threshold)
+        return SloVerdict(
+            rule=rule,
+            status="pass" if ok else "fail",
+            observed=observed,
+            reason="" if ok else (
+                f"observed {observed:.6g} violates "
+                f"{rule.op} {rule.threshold:g}"
+            ),
+        )
+
+    def _observe(
+        self, rule: SloRule, registry: MetricsRegistry
+    ) -> Tuple[Optional[float], str]:
+        inst = registry.get(rule.metric)
+        if inst is None:
+            return None, f"metric {rule.metric!r} not registered"
+        labels = dict(rule.labels)
+        if rule.per is not None:
+            den_inst = registry.get(rule.per)
+            if den_inst is None:
+                return None, f"denominator {rule.per!r} not registered"
+            num = self._scalar(inst, "total", labels)
+            den = self._scalar(den_inst, "total", labels)
+            if num is None or den is None:
+                return None, "ratio endpoints must be counters/gauges"
+            if den == 0:
+                return None, f"denominator {rule.per!r} is zero"
+            return num / den, ""
+        if (
+            isinstance(inst, Histogram)
+            and (rule.stat in _PERCENTILES or rule.stat == "mean")
+            and inst.count(**labels) == 0
+        ):
+            # an empty histogram's percentile is 0.0, which would let an
+            # unmeasured latency objective masquerade as healthy
+            return None, f"histogram {rule.metric!r} has no observations"
+        value = self._scalar(inst, rule.stat, labels)
+        if value is None:
+            return None, (
+                f"stat {rule.stat!r} not supported by "
+                f"{inst.kind} {rule.metric!r}"
+            )
+        return value, ""
+
+    @staticmethod
+    def _scalar(
+        inst: Any, stat: str, labels: Mapping[str, Any]
+    ) -> Optional[float]:
+        if isinstance(inst, Histogram):
+            if stat in _PERCENTILES:
+                return float(inst.percentile(_PERCENTILES[stat], **labels))
+            if stat == "count":
+                return float(inst.count(**labels))
+            if stat == "sum":
+                return float(inst.sum(**labels))
+            if stat == "mean":
+                return float(inst.mean(**labels))
+            return None
+        if isinstance(inst, (Counter, Gauge)):
+            if stat == "value":
+                return float(inst.value(**labels))
+            if stat == "total":
+                if isinstance(inst, Counter):
+                    return float(inst.total())
+                return float(sum(v for _k, v in inst.series()))
+            return None
+        return None
+
+
+def default_serve_slos(
+    p99_latency_s: float = 0.5,
+    crash_rate: float = 0.01,
+    error_rate: float = 0.05,
+) -> SloMonitor:
+    """The stock serving objectives: latency, crashes, errors.
+
+    Crash/error rates are per retired frame; thresholds are deliberately
+    loose defaults — production deployments should supply their own.
+    """
+    return SloMonitor(
+        [
+            SloRule(
+                metric="serve_latency_seconds", stat="p99", op="<",
+                threshold=p99_latency_s, name="serve_latency_p99",
+            ),
+            SloRule(
+                metric="serve_worker_crashes", per="serve_frames_out",
+                op="<", threshold=crash_rate, name="serve_crash_rate",
+            ),
+            SloRule(
+                metric="serve_frames_errored", per="serve_frames_in",
+                op="<", threshold=error_rate, name="serve_error_rate",
+            ),
+        ]
+    )

@@ -1,0 +1,223 @@
+"""EXP-SERVE harness: serving throughput across decode surfaces.
+
+:func:`run_serve_bench` is the library form of ``repro serve-bench``:
+generate reproducible traffic, decode it frame-at-a-time, in static
+batches, through the continuous-batching engine, and (optionally)
+through a full :class:`~repro.serve.pool.DecodeService` with a chosen
+backend, and return one JSON-ready report.  The CLI renders it; the
+perf gate (:mod:`repro.obs.perfgate`) re-runs it against committed
+``BENCH_serve.json`` baselines.
+
+All modes decode the same frames with the same budgets, so converged
+counts must agree — the report carries an ``agree`` flag the callers
+turn into an exit code.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.channel import AwgnChannel
+from repro.codes.qc import QCLDPCCode
+from repro.decoder.layered import LayeredMinSumDecoder
+from repro.encoder import RuEncoder
+from repro.errors import ServeError
+from repro.serve.batch import BatchLayeredMinSumDecoder
+from repro.serve.engine import ContinuousBatchingEngine
+from repro.serve.jobs import DecodeJob
+from repro.serve.metrics import ServeMetrics
+from repro.serve.pool import DecodeService
+from repro.utils.provenance import bench_meta
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.log import EventLog
+    from repro.obs.slo import SloMonitor
+    from repro.obs.trace import TraceRecorder
+
+__all__ = ["generate_serve_traffic", "run_serve_bench"]
+
+
+def generate_serve_traffic(
+    code: QCLDPCCode, frames: int, ebno_db: float, seed: int
+) -> List[np.ndarray]:
+    """Encoded random-payload AWGN LLR frames, reproducible per seed."""
+    rng = np.random.default_rng(seed)
+    encoder = RuEncoder(code)
+    out: List[np.ndarray] = []
+    for _ in range(frames):
+        message = rng.integers(0, 2, encoder.k).astype(np.uint8)
+        codeword = encoder.encode(message)
+        channel = AwgnChannel.from_ebno(ebno_db, code.rate, seed=rng)
+        out.append(channel.llrs(codeword))
+    return out
+
+
+def run_serve_bench(
+    code: QCLDPCCode,
+    frames: int = 64,
+    batch: int = 16,
+    ebno_db: float = 2.5,
+    iterations: int = 10,
+    fixed: bool = False,
+    seed: int = 0,
+    backend: Optional[str] = None,
+    recorder: "Optional[TraceRecorder]" = None,
+    log: "Optional[EventLog]" = None,
+    slo: "Optional[SloMonitor]" = None,
+) -> Dict[str, Any]:
+    """Run the serving benchmark and return the report document.
+
+    Parameters
+    ----------
+    code / frames / batch / ebno_db / iterations / fixed / seed:
+        Traffic and decoder configuration (one traffic set is decoded
+        by every mode).
+    backend:
+        ``None`` runs the three classic modes (per-frame loop, static
+        batches, continuous batching).  ``"thread"`` or ``"process"``
+        adds a fourth mode decoding the same traffic through a
+        :class:`DecodeService` with that backend — the only mode that
+        exercises queues, workers, and (for processes) the shared-memory
+        IPC path.
+    recorder / log / slo:
+        Optional observability hooks, attached to the continuous
+        engine and the service mode (this is how ``repro obs-report
+        --backend process`` obtains a cross-process timeline).
+
+    Returns
+    -------
+    dict
+        Provenance header (``schema_version`` / ``bench`` / ``commit``),
+        the run configuration, a ``modes`` list (name, time, frames/s,
+        converged count, speedup vs the per-frame loop), the metrics
+        registry snapshot, and the cross-mode ``agree`` flag.
+    """
+    if frames < 1:
+        raise ServeError(f"frames must be >= 1, got {frames}")
+    if batch < 1:
+        raise ServeError(f"batch must be >= 1, got {batch}")
+    if iterations < 1:
+        raise ServeError(f"iterations must be >= 1, got {iterations}")
+    if backend not in (None, "thread", "process"):
+        raise ServeError(
+            f"backend must be None, 'thread' or 'process', got {backend!r}"
+        )
+
+    traffic = generate_serve_traffic(code, frames, ebno_db, seed)
+    llrs_2d = np.stack(traffic)
+    modes: List[Dict[str, Any]] = []
+
+    # mode 1: the pre-serve baseline, one decode() call per frame
+    loop_decoder = LayeredMinSumDecoder(
+        code, max_iterations=iterations, fixed=fixed
+    )
+    t0 = time.perf_counter()
+    loop_results = [loop_decoder.decode(f) for f in traffic]
+    t_loop = time.perf_counter() - t0
+    loop_converged = int(sum(r.converged for r in loop_results))
+    modes.append(_mode("frame-at-a-time", frames, t_loop, loop_converged, t_loop))
+
+    # mode 2: static batches of `batch` frames through the batch kernel
+    batch_decoder = BatchLayeredMinSumDecoder(
+        code, max_iterations=iterations, fixed=fixed
+    )
+    t0 = time.perf_counter()
+    batch_converged = 0
+    for start in range(0, frames, batch):
+        batch_converged += batch_decoder.decode(
+            llrs_2d[start : start + batch]
+        ).num_converged
+    t_batch = time.perf_counter() - t0
+    modes.append(
+        _mode(f"static batch-{batch}", frames, t_batch, batch_converged, t_loop)
+    )
+
+    # mode 3: continuous batching (retired slots refilled mid-flight)
+    metrics = ServeMetrics()
+    engine = ContinuousBatchingEngine(
+        code,
+        batch_size=batch,
+        max_iterations=iterations,
+        fixed=fixed,
+        metrics=metrics,
+        recorder=recorder,
+    )
+    jobs = [DecodeJob(llrs=f) for f in traffic]
+    t0 = time.perf_counter()
+    engine_results = engine.run(jobs)
+    t_engine = time.perf_counter() - t0
+    engine_converged = int(sum(d.result.converged for d in engine_results))
+    modes.append(
+        _mode(
+            f"continuous batch-{batch}", frames, t_engine, engine_converged,
+            t_loop,
+        )
+    )
+
+    converged_counts = {loop_converged, batch_converged, engine_converged}
+
+    # mode 4 (optional): the full service with the requested backend
+    if backend is not None:
+        service = DecodeService(
+            code,
+            batch_size=batch,
+            max_iterations=iterations,
+            fixed=fixed,
+            backend=backend,
+            metrics=metrics,
+            recorder=recorder,
+            log=log,
+            slo=slo,
+        )
+        t0 = time.perf_counter()
+        try:
+            futures = [service.submit(f, timeout=None) for f in traffic]
+            service_converged = int(
+                sum(f.result().result.converged for f in futures)
+            )
+        finally:
+            service.close()
+        t_service = time.perf_counter() - t0
+        modes.append(
+            _mode(
+                f"service-{backend}", frames, t_service, service_converged,
+                t_loop,
+            )
+        )
+        converged_counts.add(service_converged)
+
+    report = bench_meta("serve")
+    report.update(
+        {
+            "code": code.name,
+            "n": code.n,
+            "z": code.z,
+            "ebno_db": ebno_db,
+            "frames": frames,
+            "batch": batch,
+            "max_iterations": iterations,
+            "arithmetic": "fixed" if fixed else "float",
+            "seed": seed,
+            "backend": backend or "",
+            "numpy": np.__version__,
+            "modes": modes,
+            "metrics": metrics.registry.to_dict(),
+            "agree": len(converged_counts) == 1,
+        }
+    )
+    return report
+
+
+def _mode(
+    name: str, frames: int, time_s: float, converged: int, t_loop: float
+) -> Dict[str, Any]:
+    return {
+        "mode": name,
+        "time_s": time_s,
+        "frames_per_s": frames / time_s if time_s > 0 else 0.0,
+        "converged": converged,
+        "speedup_vs_per_frame": t_loop / time_s if time_s > 0 else 0.0,
+    }

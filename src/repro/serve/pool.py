@@ -79,6 +79,8 @@ from repro.serve.metrics import ServeMetrics
 from repro.serve.shedding import LoadShedPolicy, StepShedPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.log import EventLog
+    from repro.obs.slo import SloMonitor, SloReport
     from repro.obs.trace import TraceRecorder
 
 __all__ = ["DecodeService", "ServiceHealth", "ShardHealth"]
@@ -86,6 +88,18 @@ __all__ = ["DecodeService", "ServiceHealth", "ShardHealth"]
 _POLL_S = 0.05
 
 _Item = Tuple[DecodeJob, "Future[CompletedJob]"]
+
+#: Severity assigned to each pool lifecycle event in the structured log.
+_EVENT_LEVELS = {
+    "pool.crash": "error",
+    "pool.shard_dead": "error",
+    "pool.restart": "warning",
+    "pool.transient": "warning",
+    "pool.expire": "warning",
+    "pool.shed": "warning",
+    "pool.enqueue": "debug",
+    "pool.dispatch": "debug",
+}
 
 
 @dataclass(frozen=True)
@@ -105,10 +119,18 @@ class ShardHealth(object):
 
 @dataclass(frozen=True)
 class ServiceHealth(object):
-    """Point-in-time health of the whole service."""
+    """Point-in-time health of the whole service.
+
+    ``slo`` carries the :class:`~repro.obs.slo.SloReport` of the
+    service's SLO monitor evaluated at snapshot time (None when the
+    service was built without one); ``status`` reflects shard liveness
+    only, so an SLO breach degrades the report without flapping the
+    routing-level health signal.
+    """
 
     closed: bool
     shards: Dict[str, ShardHealth]
+    slo: "Optional[SloReport]" = None
 
     @property
     def status(self) -> str:
@@ -195,9 +217,24 @@ class DecodeService(object):
         Optional :class:`~repro.obs.trace.TraceRecorder` shared by the
         service and every shard engine: the pool emits
         ``pool.enqueue`` / ``pool.dispatch`` / ``pool.expire`` /
-        ``pool.crash`` / ``pool.restart`` / ``pool.shard_dead`` events
-        and the engines their slot-level spans/events, giving one
-        timeline for the whole service.
+        ``pool.shed`` / ``pool.crash`` / ``pool.restart`` /
+        ``pool.shard_dead`` events and the engines their slot-level
+        spans/events, giving one timeline for the whole service.  With
+        ``backend="process"`` the recorder is handed to each shard
+        proxy, which merges the child's spans back in shard-labelled
+        and clock-offset-corrected, so the timeline stays coherent
+        across the process boundary.
+    log:
+        Optional :class:`~repro.obs.log.EventLog`: every pool lifecycle
+        event is also written as a levelled structured record (crashes
+        and strike-outs at ``error``, restarts/expiries/sheds at
+        ``warning``, enqueue/dispatch chatter at ``debug``), and
+        process-backend shards publish their spawn/shutdown/death
+        lifecycle plus child-shipped records into it.
+    slo:
+        Optional :class:`~repro.obs.slo.SloMonitor`; when given,
+        :meth:`health` evaluates it against the service's metrics
+        registry and attaches the report to :class:`ServiceHealth`.
     """
 
     def __init__(
@@ -217,6 +254,8 @@ class DecodeService(object):
         restart_backoff_s: float = 0.1,
         restart_backoff_cap_s: float = 2.0,
         recorder: "Optional[TraceRecorder]" = None,
+        log: "Optional[EventLog]" = None,
+        slo: "Optional[SloMonitor]" = None,
     ) -> None:
         if backend not in ("thread", "process"):
             raise ServeError(
@@ -245,6 +284,8 @@ class DecodeService(object):
             raise ServeError("DecodeService needs at least one code")
         self.metrics = metrics if metrics is not None else ServeMetrics()
         self.recorder = recorder
+        self.log = log
+        self.slo = slo
         self.backend = backend
         self.kernel = kernel
         self.max_iterations = max_iterations
@@ -257,7 +298,7 @@ class DecodeService(object):
         self._length_index: Dict[int, List[str]] = {}
         for key, code in codes.items():
             make_engine = self._engine_factory(
-                code, batch_size, max_iterations, fixed
+                key, code, batch_size, max_iterations, fixed
             )
             self._shards[key] = _Shard(key, make_engine, queue_capacity)
             self._length_index.setdefault(code.n, []).append(key)
@@ -268,6 +309,7 @@ class DecodeService(object):
 
     def _engine_factory(
         self,
+        key: str,
         code: QCLDPCCode,
         batch_size: int,
         max_iterations: int,
@@ -284,6 +326,9 @@ class DecodeService(object):
                     fixed=fixed,
                     kernel=self.kernel,
                     metrics=self.metrics,
+                    recorder=self.recorder,
+                    log=self.log,
+                    label=key,
                 )
         else:
             def make() -> ContinuousBatchingEngine:
@@ -389,7 +434,11 @@ class DecodeService(object):
                 strikes=shard.strikes,
                 last_error=repr(shard.last_error) if shard.last_error else None,
             )
-        return ServiceHealth(closed=self.closed, shards=shards)
+        slo_report = (
+            self.slo.evaluate(self.metrics.registry)
+            if self.slo is not None else None
+        )
+        return ServiceHealth(closed=self.closed, shards=shards, slo=slo_report)
 
     # ------------------------------------------------------------------
     # submission
@@ -496,6 +545,8 @@ class DecodeService(object):
     def _event(self, name: str, **labels: object) -> None:
         if self.recorder is not None:
             self.recorder.event(name, **labels)
+        if self.log is not None:
+            self.log.log(_EVENT_LEVELS.get(name, "info"), name, **labels)
 
     def _check_shard_alive(self, shard: _Shard) -> None:
         if not shard.healthy:
@@ -519,6 +570,8 @@ class DecodeService(object):
         if budget >= self.max_iterations:
             return None
         self.metrics.frame_shed()
+        self._event("pool.shed", shard=shard.key, budget=budget,
+                    fill=round(fill, 3))
         return budget
 
     def _route(self, llrs: np.ndarray, code_key: Optional[str]) -> _Shard:

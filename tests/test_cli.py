@@ -153,6 +153,40 @@ class TestCommands:
         assert len(obj["modes"]) == 3
         frames_in = obj["metrics"]["serve_frames_in"]["series"][0]["value"]
         assert frames_in == 6
+        assert obj["schema_version"] == 1
+        assert obj["bench"] == "serve"
+        assert obj["commit"]
+
+    def test_serve_bench_backend_mode(self, capsys):
+        rc = main([
+            "serve-bench", "--length", "576", "--frames", "6",
+            "--batch", "3", "--backend", "thread", "--json",
+        ])
+        assert rc == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert [m["mode"] for m in obj["modes"]][-1] == "service-thread"
+        assert obj["backend"] == "thread"
+
+    def test_serve_bench_json_to_file(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serve.json"
+        rc = main([
+            "serve-bench", "--length", "576", "--frames", "4",
+            "--batch", "2", "--json", "-o", str(out),
+        ])
+        assert rc == 0
+        obj = json.loads(out.read_text())
+        assert len(obj["modes"]) == 3
+
+    def test_faults_bench_json_provenance(self, capsys):
+        rc = main([
+            "faults-bench", "--length", "576", "--frames", "2",
+            "--sites", "llr", "--rates", "1e-3", "--json",
+        ])
+        assert rc == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["schema_version"] == 1
+        assert obj["bench"] == "faults"
+        assert obj["commit"]
 
 
 class TestObsReport:
@@ -203,3 +237,108 @@ class TestObsReport:
         assert main([
             "obs-report", "--length", "576", "--batch", "0",
         ]) == 2
+
+    @pytest.mark.obs
+    def test_thread_backend_renders_slo(self, capsys):
+        rc = main([
+            "obs-report", "--length", "576", "--frames", "6", "--batch", "3",
+            "--backend", "thread",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SLO report" in out
+        assert "serve_latency_p99" in out
+        assert "backend thread" in out
+
+    @pytest.mark.obs
+    @pytest.mark.accel
+    def test_process_backend_chrome_trace_has_worker_row(
+        self, tmp_path, capsys
+    ):
+        trace = tmp_path / "trace.json"
+        rc = main([
+            "obs-report", "--length", "576", "--frames", "6", "--batch", "3",
+            "--backend", "process", "--format", "json",
+            "--chrome-out", str(trace),
+        ])
+        assert rc == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["slo"]["status"] in ("pass", "unknown")
+        assert "engine.step" in obj["spans"]
+        doc = json.loads(trace.read_text())
+        rows = {
+            ev["pid"]: ev["args"]["name"]
+            for ev in doc["traceEvents"]
+            if ev.get("ph") == "M" and ev.get("name") == "process_name"
+        }
+        assert rows.get(1) == "main"
+        assert any(
+            name.startswith("worker-") for pid, name in rows.items()
+            if pid != 1
+        )
+
+    @pytest.mark.obs
+    def test_log_out_writes_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        rc = main([
+            "obs-report", "--length", "576", "--frames", "4", "--batch", "2",
+            "--backend", "thread", "--log-out", str(path),
+        ])
+        assert rc == 0
+        events = {
+            json.loads(line)["event"]
+            for line in path.read_text().splitlines()
+        }
+        assert "pool.enqueue" in events and "pool.dispatch" in events
+
+
+class TestLogsCommand:
+    def _write_log(self, tmp_path):
+        from repro.obs.log import EventLog
+
+        path = tmp_path / "events.jsonl"
+        with EventLog(path=str(path)) as log:
+            log.debug("pool.enqueue", job=1)
+            log.warning("pool.shed", budget=2)
+            log.error("pool.crash", shard="a")
+        return str(path)
+
+    def test_pretty_print(self, tmp_path, capsys):
+        rc = main(["logs", self._write_log(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pool.enqueue" in out and "pool.crash" in out
+        assert "ERROR" in out
+
+    def test_level_event_and_tail_filters(self, tmp_path, capsys):
+        path = self._write_log(tmp_path)
+        rc = main(["logs", path, "--level", "warning"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "pool.enqueue" not in out and "pool.shed" in out
+        rc = main(["logs", path, "--event", "crash"])
+        out = capsys.readouterr().out
+        assert "pool.crash" in out and "pool.shed" not in out
+        rc = main(["logs", path, "--tail", "1"])
+        out = capsys.readouterr().out
+        assert "pool.crash" in out and "pool.shed" not in out
+
+    def test_json_reemit(self, tmp_path, capsys):
+        rc = main(["logs", self._write_log(tmp_path), "--json"])
+        assert rc == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+        ]
+        assert [obj["event"] for obj in lines] == [
+            "pool.enqueue", "pool.shed", "pool.crash",
+        ]
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        rc = main(["logs", str(tmp_path / "nope.jsonl")])
+        assert rc == 2
+        assert "logs:" in capsys.readouterr().err
+
+    def test_bad_level_exits_two(self, tmp_path, capsys):
+        rc = main(["logs", self._write_log(tmp_path), "--level", "loud"])
+        assert rc == 2

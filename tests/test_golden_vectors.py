@@ -5,8 +5,8 @@ decisions plus the per-frame iteration counts for six seeded frames of
 the paper's case-study code at 2.5 dB, in both arithmetic modes.  Any
 change to the decoder arithmetic — quantization, scaling, layer order,
 syndrome checks — shows up here as a digest mismatch, and every decode
-surface (per-frame class, batch kernel, one-call API) must reproduce
-the same bytes.
+surface (per-frame class, batch kernel, fused kernel, one-call API,
+process-backend service) must reproduce the same bytes.
 
 If an *intentional* algorithm change lands, regenerate the fixture with
 the recipe in this file's ``_traffic`` helper and say so in the commit.
@@ -74,6 +74,44 @@ class TestGoldenVectors(object):
         assert result.iterations.tolist() == golden[mode]["iterations"]
         assert result.converged.tolist() == golden[mode]["converged"]
 
+    @pytest.mark.accel
+    def test_fused_kernel(self, golden, traffic, mode):
+        from repro.accel.fused import FusedBatchLayeredMinSumDecoder
+
+        code, llrs = traffic
+        result = FusedBatchLayeredMinSumDecoder(
+            code, fixed=mode == "fixed"
+        ).decode(np.stack(llrs))
+        assert _digest(result.bits) == golden[mode]["bits_sha256"]
+        assert result.iterations.tolist() == golden[mode]["iterations"]
+        assert result.converged.tolist() == golden[mode]["converged"]
+
+    @pytest.mark.serve
+    @pytest.mark.accel
+    def test_process_service(self, golden, traffic, mode):
+        from repro.serve.pool import DecodeService
+
+        code, llrs = traffic
+        service = DecodeService(
+            code,
+            batch_size=4,
+            max_iterations=golden["max_iterations"],
+            fixed=mode == "fixed",
+            backend="process",
+        )
+        try:
+            futures = [service.submit(f, timeout=None) for f in llrs]
+            done = [f.result() for f in futures]
+        finally:
+            service.close()
+        assert _digest(
+            np.stack([d.result.bits for d in done])
+        ) == golden[mode]["bits_sha256"]
+        assert [d.result.iterations for d in done] == golden[mode][
+            "iterations"
+        ]
+        assert [d.result.converged for d in done] == golden[mode]["converged"]
+
     def test_one_call_api(self, golden, traffic, mode):
         code, llrs = traffic
         fixed = mode == "fixed"
@@ -89,6 +127,10 @@ class TestGoldenVectors(object):
 def test_fixture_is_well_formed(golden):
     assert golden["code"] == {"family": "wimax", "rate": "1/2",
                               "length": 2304}
+    assert golden["surfaces"] == [
+        "per-frame", "batch-kernel", "one-call", "fused-kernel",
+        "service-process",
+    ]
     for mode in ("float", "fixed"):
         block = golden[mode]
         assert len(block["bits_sha256"]) == 64

@@ -89,6 +89,70 @@ class TestTracingIsSideEffectFree(object):
         layers = rec.by_name("decode.layer")
         assert len(layers) % wimax_short.num_layers == 0
 
+    @pytest.mark.accel
+    @pytest.mark.parametrize("fixed", [False, True])
+    def test_fused_kernel_span_parity_with_batch(self, wimax_short, fixed):
+        # the fused kernel is a drop-in for the batch kernel, so tooling
+        # keyed on span names (layer profile, obs-report) must see the
+        # same "batch.layer" spans with the same labels from both
+        from repro.accel.fused import FusedBatchLayeredMinSumDecoder
+
+        llrs = _frames(wimax_short, 4)
+        spans = {}
+        for cls in (BatchLayeredMinSumDecoder, FusedBatchLayeredMinSumDecoder):
+            rec = TraceRecorder()
+            cls(wimax_short, fixed=fixed, recorder=rec).decode(llrs)
+            layer_spans = rec.by_name("batch.layer")
+            assert layer_spans, f"{cls.__name__} emitted no batch.layer spans"
+            assert {r.name for r in rec.records()} >= {"batch.layer"}
+            spans[cls] = layer_spans
+        reference, fused = spans.values()
+        assert len(fused) == len(reference)
+        for a, b in zip(reference, fused):
+            assert set(a.label_dict) == set(b.label_dict)
+            assert a.label_dict["layer"] == b.label_dict["layer"]
+            assert a.label_dict["batch"] == b.label_dict["batch"]
+            assert a.label_dict["mode"] == b.label_dict["mode"]
+            assert a.label_dict["mode"] == ("fixed" if fixed else "float")
+
+
+def _median_overhead(baseline, candidate, reps=11, per_rep=None):
+    """Median of per-rep candidate/baseline wall-time ratios.
+
+    Each rep times both callables back to back, so machine-load drift
+    hits numerator and denominator alike; the median discards outlier
+    reps (this suite runs inside VMs with double-digit scheduler
+    jitter).
+    """
+    ratios = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        baseline()
+        t_base = time.perf_counter() - t0
+        if per_rep is not None:
+            per_rep()
+        t0 = time.perf_counter()
+        candidate()
+        ratios.append((time.perf_counter() - t0) / t_base)
+    ratios.sort()
+    return ratios[len(ratios) // 2]
+
+
+def _assert_overhead_below(baseline, candidate, bound, per_rep=None,
+                           attempts=3):
+    """Overhead bound with retry: a real regression fails every attempt,
+    a one-off load spike does not."""
+    medians = []
+    for _ in range(attempts):
+        median = _median_overhead(baseline, candidate, per_rep=per_rep)
+        if median <= bound:
+            return
+        medians.append(median)
+    raise AssertionError(
+        f"median overhead ratio exceeded {bound} in every attempt: "
+        f"{medians}"
+    )
+
 
 class TestDisabledOverhead(object):
     def test_disabled_recorder_under_five_percent(self, wimax_short):
@@ -97,20 +161,37 @@ class TestDisabledOverhead(object):
         disabled = BatchLayeredMinSumDecoder(
             wimax_short, recorder=TraceRecorder(enabled=False)
         )
-        # warm both paths, then interleave timed runs (so machine-load
-        # drift hits both equally) and compare best-of-N — scheduler
-        # noise would have to depress every plain run to fail the bound
         plain.decode(llrs)
         disabled.decode(llrs)
-        t_plain, t_disabled = [], []
-        for _ in range(9):
-            t0 = time.perf_counter()
-            plain.decode(llrs)
-            t_plain.append(time.perf_counter() - t0)
-            t0 = time.perf_counter()
-            disabled.decode(llrs)
-            t_disabled.append(time.perf_counter() - t0)
-        assert min(t_disabled) <= min(t_plain) * 1.05
+        _assert_overhead_below(
+            lambda: plain.decode(llrs), lambda: disabled.decode(llrs), 1.05
+        )
+
+    @pytest.mark.accel
+    @pytest.mark.obs
+    def test_enabled_recorder_under_ten_percent_on_fused(self, wimax_short):
+        # an *enabled* (non-exporting) recorder on the fused kernel:
+        # per-layer complete() calls are the whole cost, and the span
+        # count is batch-size independent, so a large batch amortizes
+        # them against real decode work
+        from repro.accel.fused import FusedBatchLayeredMinSumDecoder
+
+        llrs = _frames(wimax_short, 64)
+        plain = FusedBatchLayeredMinSumDecoder(wimax_short)
+        recorder = TraceRecorder(capacity=1 << 16)
+        traced = FusedBatchLayeredMinSumDecoder(
+            wimax_short, recorder=recorder
+        )
+        plain.decode(llrs)
+        traced.decode(llrs)
+        _assert_overhead_below(
+            lambda: plain.decode(llrs),
+            lambda: traced.decode(llrs),
+            1.10,
+            per_rep=recorder.clear,
+        )
+        traced.decode(llrs)
+        assert recorder.by_name("batch.layer")
 
 
 class TestEngineAndPoolEvents(object):

@@ -1,0 +1,176 @@
+"""Structured event log (repro.obs.log) unit tests.
+
+Pins the record schema (``ts``/``mono``/``level``/``event``/``span_id``
+/``fields``), the severity floor, the ring-buffer drop accounting, the
+JSONL sink round trip (including torn-line tolerance), the trace-span
+correlation, and the ``repro logs`` rendering helpers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import TraceRecorder
+from repro.obs.log import (
+    LEVELS,
+    EventLog,
+    LogRecord,
+    format_record,
+    format_records,
+    read_log,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestLogRecord(object):
+    def test_roundtrip(self):
+        rec = LogRecord(
+            level="warning", event="pool.crash", wall_time=12.5,
+            monotonic_s=3.25, span_id=7, fields={"shard": "a", "count": 2},
+        )
+        back = LogRecord.from_dict(rec.to_dict())
+        assert back == rec
+
+    def test_to_dict_omits_empty_optionals(self):
+        rec = LogRecord(
+            level="info", event="x", wall_time=1.0, monotonic_s=2.0
+        )
+        d = rec.to_dict()
+        assert "span_id" not in d and "fields" not in d
+        assert d == {"ts": 1.0, "mono": 2.0, "level": "info", "event": "x"}
+
+    def test_from_dict_tolerates_missing_keys(self):
+        rec = LogRecord.from_dict({})
+        assert rec.level == "info" and rec.event == ""
+        assert rec.span_id is None and rec.fields == {}
+
+
+class TestEventLog(object):
+    def test_levels_and_helpers(self):
+        log = EventLog()
+        assert log.debug("a") is not None
+        assert log.info("b") is not None
+        assert log.warning("c") is not None
+        assert log.error("d") is not None
+        assert [r.level for r in log.records()] == sorted(
+            LEVELS, key=LEVELS.get
+        )
+
+    def test_severity_floor_drops_and_returns_none(self):
+        log = EventLog(min_level="warning")
+        assert log.info("chatty") is None
+        assert log.warning("kept") is not None
+        assert [r.event for r in log.records()] == ["kept"]
+
+    def test_append_bypasses_floor(self):
+        log = EventLog(min_level="error")
+        shipped = LogRecord(
+            level="debug", event="worker.start", wall_time=0.0,
+            monotonic_s=0.0,
+        )
+        log.append(shipped)
+        assert [r.event for r in log.records()] == ["worker.start"]
+
+    def test_unknown_level_raises(self):
+        log = EventLog()
+        with pytest.raises(ValueError, match="unknown log level"):
+            log.log("loud", "x")
+        with pytest.raises(ValueError):
+            EventLog(min_level="noise")
+
+    def test_bad_capacity_raises(self):
+        with pytest.raises(ValueError, match="capacity"):
+            EventLog(capacity=0)
+
+    def test_ring_capacity_and_drop_accounting(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.info("e", i=i)
+        assert len(log) == 3
+        assert log.emitted == 5
+        assert log.dropped == 2
+        assert [r.fields["i"] for r in log.records()] == [2, 3, 4]
+
+    def test_records_filters(self):
+        log = EventLog()
+        log.debug("pool.enqueue")
+        log.warning("pool.shed")
+        log.error("pool.crash")
+        assert [r.event for r in log.records(level="warning")] == [
+            "pool.shed", "pool.crash",
+        ]
+        assert [r.event for r in log.records(event="crash")] == ["pool.crash"]
+
+    def test_span_correlation(self):
+        recorder = TraceRecorder()
+        log = EventLog(recorder=recorder)
+        log.info("outside")
+        with recorder.span("work"):
+            inside = log.info("inside")
+            assert inside.span_id == recorder.current_span_id()
+            assert inside.span_id is not None
+        records = log.records()
+        assert records[0].span_id is None
+        assert records[1].span_id is not None
+
+
+class TestJsonlSink(object):
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path=str(path)) as log:
+            log.info("serve.start", shard="a")
+            log.warning("pool.shed", budget=3)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["event"] == "serve.start"
+        back = read_log(str(path))
+        assert [r.event for r in back] == ["serve.start", "pool.shed"]
+        assert back[1].fields == {"budget": 3}
+
+    def test_read_log_filters_and_torn_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path=str(path)) as log:
+            log.debug("a.one")
+            log.error("b.two")
+        with open(path, "a") as handle:
+            handle.write('{"event": "torn", "le')  # crash mid-write
+        assert [r.event for r in read_log(str(path))] == ["a.one", "b.two"]
+        assert [r.event for r in read_log(str(path), level="error")] == [
+            "b.two"
+        ]
+        assert [r.event for r in read_log(str(path), event="one")] == [
+            "a.one"
+        ]
+
+    def test_close_is_idempotent(self, tmp_path):
+        log = EventLog(path=str(tmp_path / "e.jsonl"))
+        log.info("x")
+        log.close()
+        log.close()
+        assert len(log) == 1  # ring survives close
+
+
+class TestFormatting(object):
+    def test_format_record_fields(self):
+        rec = LogRecord(
+            level="warning", event="pool.shed", wall_time=1700000000.5,
+            monotonic_s=1.0, span_id=9, fields={"shard": "a"},
+        )
+        line = format_record(rec)
+        assert "WARNING" in line
+        assert "pool.shed" in line
+        assert "span=9" in line
+        assert "shard=a" in line
+
+    def test_format_records_joins_lines(self):
+        recs = [
+            LogRecord(level="info", event=f"e{i}", wall_time=0.0,
+                      monotonic_s=0.0)
+            for i in range(3)
+        ]
+        out = format_records(recs)
+        assert out.count("\n") == 2
+        assert "e0" in out and "e2" in out

@@ -145,13 +145,14 @@ class TestChromeTrace(object):
         obj = rec.to_chrome_trace()
         events = obj["traceEvents"]
         phases = sorted(e["ph"] for e in events)
-        assert phases == ["M", "X", "i"]
+        assert phases == ["M", "M", "X", "i"]  # thread_name + process_name
         span = next(e for e in events if e["ph"] == "X")
         assert span["name"] == "s"
         assert span["args"] == {"layer": 1}
         assert span["dur"] >= 0.0
-        meta = next(e for e in events if e["ph"] == "M")
-        assert meta["name"] == "thread_name"
+        meta = {e["name"]: e for e in events if e["ph"] == "M"}
+        assert set(meta) == {"thread_name", "process_name"}
+        assert meta["process_name"]["args"]["name"] == "main"
         json.dumps(obj)  # must be serializable
 
     def test_write_chrome_trace(self, tmp_path):
