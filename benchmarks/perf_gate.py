@@ -60,7 +60,7 @@ def main(argv=None) -> int:
 
     baselines = args.baseline or [
         os.path.join(_REPO_ROOT, name)
-        for name in ("BENCH_accel.json", "BENCH_serve.json")
+        for name in ("BENCH_accel.json", "BENCH_serve.json", "BENCH_net.json")
         if os.path.exists(os.path.join(_REPO_ROOT, name))
     ]
     if not baselines:

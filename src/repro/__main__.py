@@ -22,6 +22,15 @@ Commands:
   engine, adding SLO verdicts and merged worker-process spans);
 * ``logs`` — pretty-print / filter a structured event log written by
   ``obs-report --log-out`` (or any :class:`repro.obs.EventLog` sink);
+  ``--follow`` streams a live file like ``tail -f``;
+* ``net-serve`` — run the framed TCP decode gateway (multi-tenant
+  admission, optional autoscaling) in front of a DecodeService until
+  interrupted (see docs/SERVING.md);
+* ``net-soak`` — synthetic diurnal-traffic soak against a real gateway:
+  concurrent tenants, a quota-starved free tier, an injected worker
+  crash, autoscaler growth and shrink, and a bit-exactness check of
+  every decoded frame against ``decode_many`` (``--json`` emits the
+  ``BENCH_net.json`` document);
 * ``perf-gate`` — re-run the committed ``BENCH_*.json`` baselines and
   exit non-zero when throughput regresses beyond tolerance (see
   docs/OBSERVABILITY.md);
@@ -401,7 +410,41 @@ def cmd_obs_report(args) -> int:
 
 
 def cmd_logs(args) -> int:
-    from repro.obs.log import format_records, read_log
+    import json
+
+    from repro.obs.log import follow_log, format_record, format_records, read_log
+
+    def emit(record):
+        if args.json:
+            print(json.dumps(record.to_dict(), sort_keys=True), flush=True)
+        else:
+            print(format_record(record), flush=True)
+
+    if args.follow:
+        # replay the existing tail, then stream appends until Ctrl-C
+        from_start = False
+        try:
+            records = read_log(args.file, level=args.level or None,
+                               event=args.event or None)
+        except OSError:
+            # not written yet; once it appears, replay it from the top
+            records = []
+            from_start = True
+        except ValueError as exc:
+            print(f"logs: {exc}", file=sys.stderr)
+            return 2
+        if args.tail > 0:
+            records = records[-args.tail:]
+        for record in records:
+            emit(record)
+        try:
+            for record in follow_log(args.file, level=args.level or None,
+                                     event=args.event or None,
+                                     from_start=from_start):
+                emit(record)
+        except KeyboardInterrupt:
+            pass
+        return 0
 
     try:
         records = read_log(args.file, level=args.level or None,
@@ -415,13 +458,204 @@ def cmd_logs(args) -> int:
     if args.tail > 0:
         records = records[-args.tail:]
     if args.json:
-        import json
-
         for record in records:
             print(json.dumps(record.to_dict(), sort_keys=True))
     elif records:
         print(format_records(records))
     return 0
+
+
+def _parse_tenants(specs):
+    """``name:rate:burst[:priority]`` CLI specs -> TenantPolicy mapping."""
+    from repro.net.admission import BRONZE, GOLD, SILVER, TenantPolicy
+
+    classes = {"gold": GOLD, "silver": SILVER, "bronze": BRONZE}
+    tenants = {}
+    for spec in specs:
+        parts = spec.split(":")
+        if not 3 <= len(parts) <= 4:
+            raise ValueError(
+                f"bad tenant spec {spec!r}; want name:rate:burst[:priority]"
+            )
+        priority = GOLD
+        if len(parts) == 4:
+            key = parts[3].lower()
+            priority = classes[key] if key in classes else int(parts[3])
+        tenants[parts[0]] = TenantPolicy(
+            rate=float(parts[1]), burst=float(parts[2]), priority=priority
+        )
+    return tenants
+
+
+def cmd_net_serve(args) -> int:
+    import asyncio
+
+    from repro.net.admission import AdmissionController, TenantPolicy
+    from repro.net.autoscaler import Autoscaler
+    from repro.net.gateway import DecodeGateway
+    from repro.net.metrics import NetMetrics
+    from repro.obs import EventLog, TraceRecorder
+    from repro.obs.slo import default_serve_slos
+    from repro.serve import ServeMetrics
+    from repro.serve.pool import DecodeService
+
+    try:
+        tenants = _parse_tenants(args.tenant)
+    except (KeyError, ValueError) as exc:
+        print(f"net-serve: {exc}", file=sys.stderr)
+        return 2
+    # with no explicit tenants, admit anyone under a generous default
+    default_policy = None if tenants else TenantPolicy(rate=1e9, burst=1e9)
+
+    code = _build_code(args)
+    recorder = TraceRecorder()
+    metrics = ServeMetrics()
+    log = EventLog(path=args.log_out or None, recorder=recorder)
+    service = DecodeService(
+        code,
+        batch_size=args.batch,
+        max_iterations=args.iterations,
+        fixed=args.fixed,
+        backend=args.backend,
+        kernel=args.kernel,
+        queue_capacity=args.queue_capacity,
+        metrics=metrics,
+        recorder=recorder,
+        log=log,
+        slo=default_serve_slos(),
+    )
+    admission = AdmissionController(
+        tenants,
+        max_iterations=args.iterations,
+        default_policy=default_policy,
+    )
+    net_metrics = NetMetrics(registry=metrics.registry)
+    gateway = DecodeGateway(
+        service, admission, host=args.host, port=args.port,
+        metrics=net_metrics, log=log, recorder=recorder,
+    )
+    scaler = None
+    if args.max_shards > 1:
+        scaler = Autoscaler(
+            service,
+            min_shards=1,
+            max_shards=args.max_shards,
+            metrics=net_metrics,
+            log=log,
+        )
+
+    async def _run() -> None:
+        host, port = await gateway.start()
+        print(f"net-serve: listening on {host}:{port} "
+              f"(code {code.name}, backend {args.backend})", flush=True)
+        if scaler is not None:
+            scaler.start()
+        try:
+            await asyncio.Event().wait()  # until Ctrl-C cancels us
+        finally:
+            await gateway.close(drain=True)
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if scaler is not None:
+            scaler.stop()
+        service.close()
+        log.close()
+    print("net-serve: drained and closed", file=sys.stderr)
+    return 0
+
+
+def cmd_net_soak(args) -> int:
+    from repro.net.soak import SoakConfig, run_net_soak
+    from repro.utils.tables import render_table
+
+    if args.connections < 1:
+        print("net-soak: --connections must be >= 1", file=sys.stderr)
+        return 2
+    if args.frames < 1:
+        print("net-soak: --frames must be >= 1", file=sys.stderr)
+        return 2
+    phases = tuple(
+        (name, load, duration * args.duration_scale)
+        for name, load, duration in SoakConfig().phases
+    )
+    cfg = SoakConfig(
+        family=args.family,
+        rate_class=args.rate,
+        length=args.length,
+        iterations=args.iterations,
+        fixed=args.fixed,
+        backend=args.backend,
+        batch=args.batch,
+        queue_capacity=args.queue_capacity,
+        connections=args.connections,
+        peak_frames_per_conn=args.frames,
+        phases=phases,
+        ebno_db=args.ebno,
+        seed=args.seed,
+        inject_crash=not args.no_crash,
+        max_shards=args.max_shards,
+    )
+    doc = run_net_soak(
+        cfg,
+        log_path=args.log_out or None,
+        trace_path=args.trace_out or None,
+        progress=(None if args.json else
+                  (lambda msg: print(f"net-soak: {msg}", file=sys.stderr))),
+    )
+    verify = doc["verify"]
+    slo = doc["slo"] or {}
+    ok = verify["mismatches"] == 0 and slo.get("status") == "pass"
+    if args.json:
+        import json
+
+        text = json.dumps(doc, indent=2, sort_keys=True)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.output}", file=sys.stderr)
+        else:
+            print(text)
+        return 0 if ok else 1
+
+    mode = doc["modes"][0]
+    print(
+        render_table(
+            ["tenant", "ok", "quota_rejected", "retries", "failed",
+             "unconverged"],
+            [
+                [name, s["ok"], s["quota_rejected"], s["retries"],
+                 s["failed"], s["unconverged"]]
+                for name, s in sorted(doc["tenants"].items())
+            ],
+            title=(
+                f"net-soak: {doc['code']}, {args.connections} connections, "
+                f"{mode['frames_per_s']:.1f} frames/s"
+            ),
+        )
+    )
+    scale = doc["autoscaler"]
+    crash = doc["crash"]
+    print(
+        f"\nlatency p50/p99: {mode['p50_latency_s'] * 1e3:.1f} / "
+        f"{mode['p99_latency_s'] * 1e3:.1f} ms"
+        f"\nautoscaler: up={scale['up']} down={scale['down']} "
+        f"replace={scale['replace']}"
+        f"\ncrash: injected={crash['injected']} "
+        f"crashes={crash['worker_crashes']} restarts={crash['worker_restarts']}"
+        f"\nverify: {verify['checked']} frames checked, "
+        f"{verify['mismatches']} mismatches, "
+        f"{verify['unconverged']} unconverged"
+        f"\nslo: {slo.get('status', 'unknown')}"
+    )
+    if args.log_out:
+        print(f"wrote event log to {args.log_out}", file=sys.stderr)
+    if args.trace_out:
+        print(f"wrote Chrome trace to {args.trace_out}", file=sys.stderr)
+    return 0 if ok else 1
 
 
 def cmd_perf_gate(args) -> int:
@@ -431,7 +665,7 @@ def cmd_perf_gate(args) -> int:
 
     baselines = args.baseline or [
         name
-        for name in ("BENCH_accel.json", "BENCH_serve.json")
+        for name in ("BENCH_accel.json", "BENCH_serve.json", "BENCH_net.json")
         if os.path.exists(name)
     ]
     if not baselines:
@@ -656,6 +890,86 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="re-emit matching records as JSON lines",
     )
+    lg.add_argument(
+        "--follow", "-f", action="store_true",
+        help="after printing the current tail, stream new records as "
+             "they are appended (like tail -f; Ctrl-C stops)",
+    )
+
+    nsv = sub.add_parser(
+        "net-serve",
+        help="run the framed TCP decode gateway until interrupted",
+    )
+    _add_code_args(nsv)
+    nsv.add_argument("--host", default="127.0.0.1")
+    nsv.add_argument("--port", type=int, default=7207, help="0 = OS-assigned")
+    nsv.add_argument("--batch", type=int, default=16, help="decoder slots")
+    nsv.add_argument("--iterations", type=int, default=10)
+    nsv.add_argument("--fixed", action="store_true", help="8-bit datapath")
+    nsv.add_argument("--backend", choices=("thread", "process"), default="thread")
+    nsv.add_argument(
+        "--kernel", choices=("batch", "fused"), default="fused",
+        help="decode kernel for the shard engines",
+    )
+    nsv.add_argument("--queue-capacity", type=int, default=256)
+    nsv.add_argument(
+        "--tenant", action="append", default=[], metavar="NAME:RATE:BURST[:PRI]",
+        help="tenant quota spec (repeatable); PRI is gold/silver/bronze "
+             "or a number; with no specs every tenant is admitted",
+    )
+    nsv.add_argument(
+        "--max-shards", type=int, default=1,
+        help="enable SLO-driven autoscaling up to this many shards",
+    )
+    nsv.add_argument(
+        "--log-out", default="",
+        help="write the structured event log (JSONL) to this path "
+             "(tail it with `repro logs --follow`)",
+    )
+
+    ns = sub.add_parser(
+        "net-soak",
+        help="diurnal-traffic soak of the gateway with verification",
+    )
+    _add_code_args(ns)
+    ns.set_defaults(length=576)
+    ns.add_argument("--ebno", type=float, default=4.0)
+    ns.add_argument("--connections", type=int, default=60)
+    ns.add_argument(
+        "--frames", type=int, default=6,
+        help="frames per connection during the peak phase",
+    )
+    ns.add_argument(
+        "--duration-scale", type=float, default=1.0,
+        help="stretch/compress the diurnal phase durations",
+    )
+    ns.add_argument("--batch", type=int, default=8, help="decoder slots")
+    ns.add_argument("--iterations", type=int, default=10)
+    ns.add_argument("--seed", type=int, default=0)
+    ns.add_argument("--fixed", action="store_true", help="8-bit datapath")
+    ns.add_argument("--backend", choices=("thread", "process"), default="thread")
+    ns.add_argument("--queue-capacity", type=int, default=16)
+    ns.add_argument("--max-shards", type=int, default=3)
+    ns.add_argument(
+        "--no-crash", action="store_true",
+        help="skip the mid-peak worker crash injection",
+    )
+    ns.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable BENCH_net.json document",
+    )
+    ns.add_argument(
+        "--output", "-o", default="",
+        help="with --json, write the document to this path",
+    )
+    ns.add_argument(
+        "--log-out", default="",
+        help="write the structured event log (JSONL) to this path",
+    )
+    ns.add_argument(
+        "--trace-out", default="",
+        help="write the Chrome trace JSON to this path",
+    )
 
     pg = sub.add_parser(
         "perf-gate",
@@ -664,7 +978,8 @@ def build_parser() -> argparse.ArgumentParser:
     pg.add_argument(
         "--baseline", action="append", default=[],
         help="bench JSON baseline to gate (repeatable; default: the "
-             "committed BENCH_accel.json and BENCH_serve.json)",
+             "committed BENCH_accel.json, BENCH_serve.json, and "
+             "BENCH_net.json)",
     )
     pg.add_argument(
         "--k", type=int, default=3,
@@ -719,6 +1034,8 @@ def main(argv=None) -> int:
         "faults-bench": cmd_faults_bench,
         "obs-report": cmd_obs_report,
         "logs": cmd_logs,
+        "net-serve": cmd_net_serve,
+        "net-soak": cmd_net_soak,
         "perf-gate": cmd_perf_gate,
         "synth": cmd_synth,
         "verilog": cmd_verilog,

@@ -75,3 +75,29 @@ class WorkerProcessError(ServeError):
     """A decode worker process died or misbehaved (killed, crashed, or
     returned a malformed result); the supervisor treats it like a worker
     crash: in-flight futures fail fast and the process is respawned."""
+
+
+class NetProtocolError(ServeError):
+    """A network frame violated the gateway protocol (bad magic, bad
+    version, truncated or oversized payload, malformed body)."""
+
+
+class QuotaExceededError(ServeError):
+    """A tenant exceeded its admission quota (token bucket empty or the
+    tenant is unknown to the gateway); the request was refused before it
+    reached a decode queue."""
+
+
+class RemoteDecodeError(ServeError):
+    """A gateway returned an error frame whose kind has no local typed
+    equivalent; carries the remote exception name and message."""
+
+    def __init__(self, kind: str = "", message: str = "") -> None:
+        super().__init__(f"{kind}: {message}" if kind else message)
+        self.kind = kind
+        self.message = message
+
+
+class GatewayClosedError(ServeError):
+    """A request was sent to a gateway that is draining or closed, or
+    the connection dropped before a result frame arrived."""

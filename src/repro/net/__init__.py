@@ -1,0 +1,94 @@
+"""repro.net: the network face of the decode service.
+
+The paper's decoder is scaled up in three layers here: the decoder
+kernels (``repro.decoder`` / ``repro.accel``), the continuous-batching
+shard pool (``repro.serve``), and — this package — a framed asyncio TCP
+gateway with multi-tenant admission control and SLO-driven autoscaling.
+
+* :mod:`repro.net.protocol` — the length-prefixed wire format (packed
+  int8 LLR payloads, streaming result frames, typed error transport).
+* :mod:`repro.net.admission` — per-tenant token buckets plus priority
+  classes (:data:`GOLD`/:data:`SILVER`/:data:`BRONZE`) mapped onto the
+  serve layer's step-shed iteration budgets.
+* :mod:`repro.net.gateway` — :class:`DecodeGateway`, the asyncio server
+  bridging connections onto :class:`~repro.serve.pool.DecodeService`.
+* :mod:`repro.net.client` — :class:`AsyncDecodeClient` (asyncio) and
+  :class:`DecodeClient` (blocking).
+* :mod:`repro.net.autoscaler` — :class:`Autoscaler`, the control loop
+  growing/shrinking shards off ``health().slo`` and queue fill.
+* :mod:`repro.net.soak` — :func:`run_net_soak`, the self-verifying
+  diurnal-traffic soak harness behind ``repro net-soak``.
+"""
+
+from repro.net.admission import (
+    BRONZE,
+    GOLD,
+    SILVER,
+    AdmissionController,
+    AdmissionDecision,
+    TenantPolicy,
+    TokenBucket,
+)
+from repro.net.autoscaler import Autoscaler
+from repro.net.client import AsyncDecodeClient, DecodeClient, RemoteResult
+from repro.net.gateway import DecodeGateway
+from repro.net.metrics import NetMetrics
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    MAGIC,
+    VERSION,
+    ErrorFrame,
+    Ping,
+    Pong,
+    Request,
+    Result,
+    decode_frame,
+    encode_error,
+    encode_ping,
+    encode_pong,
+    encode_request,
+    encode_result,
+    pack_llrs,
+    read_frame,
+    read_raw,
+    unpack_llrs,
+    write_frame,
+)
+from repro.net.soak import SoakConfig, run_net_soak
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AsyncDecodeClient",
+    "Autoscaler",
+    "BRONZE",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "DecodeClient",
+    "DecodeGateway",
+    "ErrorFrame",
+    "GOLD",
+    "MAGIC",
+    "NetMetrics",
+    "Ping",
+    "Pong",
+    "RemoteResult",
+    "Request",
+    "Result",
+    "SILVER",
+    "SoakConfig",
+    "TenantPolicy",
+    "TokenBucket",
+    "VERSION",
+    "decode_frame",
+    "encode_error",
+    "encode_ping",
+    "encode_pong",
+    "encode_request",
+    "encode_result",
+    "pack_llrs",
+    "read_frame",
+    "read_raw",
+    "run_net_soak",
+    "unpack_llrs",
+    "write_frame",
+]

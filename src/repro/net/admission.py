@@ -1,0 +1,253 @@
+"""Multi-tenant admission: token-bucket quotas and priority classes.
+
+The gateway's front door decides, per request, one of three outcomes —
+*admit at full budget*, *admit degraded*, or *refuse* — before the frame
+touches a decode queue.  Ghanaatian et al.'s unrolled decoder makes the
+case numerically: once the kernel retires a frame in nanoseconds, the
+front door is the bottleneck, and fairness must be enforced there.
+
+Two mechanisms compose:
+
+* **Token buckets** (:class:`TokenBucket`) meter each tenant's request
+  rate against its purchased quota; an empty bucket refuses with
+  :class:`~repro.errors.QuotaExceededError` — the request never costs a
+  queue slot.
+* **Priority classes** (:data:`GOLD`/:data:`SILVER`/:data:`BRONZE`)
+  bias how early a tenant's frames are degraded under load: the
+  controller adds a per-class *fill bias* to the observed queue fill
+  before consulting the service's shared
+  :class:`~repro.serve.shedding.StepShedPolicy`, so bronze traffic
+  sees a "fuller" queue and loses iteration budget first, while gold
+  keeps the full budget until the queue is genuinely deep.  The result
+  feeds ``DecodeService.submit(iteration_budget=...)``, which takes the
+  tighter of this and the in-process shed budget.
+
+Clocks are injectable so quota behaviour is exactly testable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.decoder.layered import DEFAULT_MAX_ITERATIONS
+from repro.errors import QuotaExceededError, ServeError
+from repro.serve.shedding import LoadShedPolicy, StepShedPolicy
+
+__all__ = [
+    "BRONZE",
+    "GOLD",
+    "PRIORITY_FILL_BIAS",
+    "AdmissionController",
+    "AdmissionDecision",
+    "SILVER",
+    "TenantPolicy",
+    "TokenBucket",
+]
+
+#: Priority classes: lower is better.  The wire carries them as a u8.
+GOLD = 0
+SILVER = 1
+BRONZE = 2
+
+#: Fill bias per priority class: added to the observed queue fill before
+#: the shed policy is consulted, so lower classes degrade earlier.  With
+#: the stock :class:`StepShedPolicy` steps (0.75/0.90/1.0) bronze starts
+#: shedding at 40 % real fill, silver at 60 %, gold at the true 75 %.
+PRIORITY_FILL_BIAS: Dict[int, float] = {GOLD: 0.0, SILVER: 0.15, BRONZE: 0.35}
+
+
+class TokenBucket(object):
+    """Classic token bucket: ``rate`` tokens/s refill, ``burst`` cap.
+
+    The bucket starts full.  :meth:`try_acquire` is non-blocking —
+    admission either happens now or is refused now; the gateway never
+    parks a connection waiting for quota.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate < 0:
+            raise ServeError(f"token rate must be >= 0, got {rate}")
+        if burst <= 0:
+            raise ServeError(f"burst must be > 0, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available right now; False otherwise."""
+        with self._lock:
+            self._refill()
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    @property
+    def available(self) -> float:
+        """Tokens currently in the bucket (after refill)."""
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+
+@dataclass(frozen=True)
+class TenantPolicy(object):
+    """One tenant's contract with the gateway.
+
+    Attributes
+    ----------
+    rate / burst:
+        Token-bucket parameters: sustained requests/s and the burst the
+        tenant may front-load.
+    priority:
+        The tenant's best (lowest) priority class; per-request priority
+        can self-demote below it but never exceed it.
+    """
+
+    rate: float
+    burst: float
+    priority: int = GOLD
+
+    def __post_init__(self) -> None:
+        if self.priority < 0 or self.priority > 255:
+            raise ServeError(
+                f"priority class must fit a u8, got {self.priority}"
+            )
+
+
+@dataclass(frozen=True)
+class AdmissionDecision(object):
+    """Outcome of one admitted request.
+
+    ``iteration_budget`` is None when the frame keeps the full budget;
+    ``shed`` is True when the class bias (not raw fill alone) cost it
+    iterations.
+    """
+
+    tenant: str
+    priority: int
+    iteration_budget: Optional[int]
+    fill: float
+    biased_fill: float
+
+    @property
+    def shed(self) -> bool:
+        """True when the frame was admitted with a reduced budget."""
+        return self.iteration_budget is not None
+
+
+class AdmissionController(object):
+    """Per-tenant quota + priority gate in front of a decode service.
+
+    Parameters
+    ----------
+    tenants:
+        ``{tenant id: TenantPolicy}``.  Unknown tenants are refused
+        unless a ``default_policy`` is supplied (then they get a private
+        bucket with that policy on first sight).
+    max_iterations:
+        The service's full iteration budget (the shed policy's scale).
+    shed_policy:
+        Policy mapping (biased) fill to budget; defaults to the stock
+        :class:`StepShedPolicy`, matching the in-process service.
+    clock:
+        Injectable monotonic clock shared by every bucket.
+    """
+
+    def __init__(
+        self,
+        tenants: Mapping[str, TenantPolicy],
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        shed_policy: Optional[LoadShedPolicy] = None,
+        default_policy: Optional[TenantPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policies: Dict[str, TenantPolicy] = dict(tenants)
+        self.max_iterations = int(max_iterations)
+        self.shed_policy = (
+            shed_policy if shed_policy is not None else StepShedPolicy()
+        )
+        self.default_policy = default_policy
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, TokenBucket] = {
+            name: TokenBucket(p.rate, p.burst, clock)
+            for name, p in self.policies.items()
+        }
+
+    @property
+    def tenants(self) -> Dict[str, TenantPolicy]:
+        """Known tenant policies (a copy; includes default-admitted ones)."""
+        with self._lock:
+            return dict(self.policies)
+
+    def available(self, tenant: str) -> float:
+        """Tokens currently available to ``tenant`` (0.0 if unknown)."""
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+        return bucket.available if bucket is not None else 0.0
+
+    def _resolve(self, tenant: str) -> "tuple[TenantPolicy, TokenBucket]":
+        with self._lock:
+            policy = self.policies.get(tenant)
+            if policy is None:
+                if self.default_policy is None:
+                    raise QuotaExceededError(
+                        f"unknown tenant {tenant!r} and no default policy"
+                    )
+                policy = self.default_policy
+                self.policies[tenant] = policy
+                self._buckets[tenant] = TokenBucket(
+                    policy.rate, policy.burst, self._clock
+                )
+            return policy, self._buckets[tenant]
+
+    def admit(
+        self, tenant: str, fill: float, priority: Optional[int] = None
+    ) -> AdmissionDecision:
+        """Admit one request or raise :class:`QuotaExceededError`.
+
+        ``fill`` is the routed shard group's current queue fill (from
+        :meth:`~repro.serve.pool.DecodeService.queue_fill`);
+        ``priority`` is the request's wished class, clamped to never be
+        better than the tenant's contracted class.
+        """
+        policy, bucket = self._resolve(tenant)
+        if not bucket.try_acquire():
+            raise QuotaExceededError(
+                f"tenant {tenant!r} is out of quota "
+                f"(rate {policy.rate:g}/s, burst {policy.burst:g})"
+            )
+        effective = (
+            policy.priority if priority is None
+            else max(policy.priority, int(priority))
+        )
+        bias = PRIORITY_FILL_BIAS.get(
+            effective, max(PRIORITY_FILL_BIAS.values())
+        )
+        biased = min(1.0, max(0.0, float(fill)) + bias)
+        budget = self.shed_policy.budget(biased, self.max_iterations)
+        return AdmissionDecision(
+            tenant=tenant,
+            priority=effective,
+            iteration_budget=None if budget >= self.max_iterations else budget,
+            fill=float(fill),
+            biased_fill=biased,
+        )

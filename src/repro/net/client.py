@@ -1,0 +1,353 @@
+"""Clients for the decode gateway: asyncio-native and blocking.
+
+:class:`AsyncDecodeClient` multiplexes any number of outstanding
+requests over one connection: every request gets a connection-local job
+id, results stream back in completion order, and a background reader
+task routes each RESULT/ERROR frame to the awaiting caller.  Server
+errors re-raise as the *same* typed
+:class:`~repro.errors.ServeError` member the gateway hit (quota
+exhaustion as :class:`~repro.errors.QuotaExceededError`, backpressure
+as :class:`~repro.errors.QueueFullError`, ...), so remote and
+in-process callers handle failure identically.
+
+:class:`DecodeClient` is the blocking facade: it runs a private event
+loop on a daemon thread and forwards calls, so synchronous code (and
+``ThreadPoolExecutor`` load generators) can use the gateway without
+touching asyncio.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import GatewayClosedError, NetProtocolError, ServeTimeoutError
+from repro.net.admission import GOLD
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    ErrorFrame,
+    Pong,
+    Result,
+    encode_ping,
+    encode_request,
+    read_frame,
+)
+
+__all__ = ["AsyncDecodeClient", "DecodeClient", "RemoteResult"]
+
+
+@dataclass(frozen=True)
+class RemoteResult(object):
+    """One decoded frame as seen by a client.
+
+    ``bits`` is the full hard-decision codeword; ``latency_s`` is the
+    client-observed round trip (request write to result frame).
+    """
+
+    job_id: int
+    bits: np.ndarray
+    converged: bool
+    iterations: int
+    latency_s: float
+
+
+class AsyncDecodeClient(object):
+    """Asyncio client for one gateway connection.
+
+    Build with :meth:`connect`; close with :meth:`close` (or use it as
+    an async context manager).  Defaults (tenant, code id, priority)
+    set at connect time apply per request unless overridden.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        tenant: str = "default",
+        code_id: str = "",
+        priority: int = GOLD,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.tenant = tenant
+        self.code_id = code_id
+        self.priority = priority
+        self.max_frame_bytes = max_frame_bytes
+        self._job_seq = 0
+        self._pending: Dict[int, "asyncio.Future"] = {}
+        self._send_lock = asyncio.Lock()
+        self._closed = False
+        self._conn_error: Optional[BaseException] = None
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        tenant: str = "default",
+        code_id: str = "",
+        priority: int = GOLD,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> "AsyncDecodeClient":
+        """Open a gateway connection and start the result reader."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(
+            reader, writer,
+            tenant=tenant, code_id=code_id, priority=priority,
+            max_frame_bytes=max_frame_bytes,
+        )
+
+    async def __aenter__(self) -> "AsyncDecodeClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    @property
+    def pending(self) -> int:
+        """Requests in flight on this connection."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # requests
+    # ------------------------------------------------------------------
+    async def decode(
+        self,
+        llrs: np.ndarray,
+        code_id: Optional[str] = None,
+        priority: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> RemoteResult:
+        """Send one frame and await its result.
+
+        Raises the typed error the gateway shipped, or
+        :class:`~repro.errors.ServeTimeoutError` when ``timeout``
+        seconds pass first, or
+        :class:`~repro.errors.GatewayClosedError` when the connection
+        drops with the request unanswered.
+        """
+        if self._closed:
+            raise GatewayClosedError("client is closed")
+        if self._conn_error is not None:
+            raise GatewayClosedError(
+                f"connection is down: {self._conn_error}"
+            )
+        self._job_seq += 1
+        job_id = self._job_seq
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+        self._pending[job_id] = future
+        t0 = time.monotonic()
+        frame = encode_request(
+            job_id,
+            self.tenant,
+            self.code_id if code_id is None else code_id,
+            self.priority if priority is None else priority,
+            llrs=np.asarray(llrs, dtype=np.float64),
+        )
+        try:
+            async with self._send_lock:
+                self._writer.write(frame)
+                await self._writer.drain()
+        except (ConnectionError, RuntimeError, OSError) as exc:
+            self._pending.pop(job_id, None)
+            raise GatewayClosedError(f"send failed: {exc}") from None
+        try:
+            if timeout is not None:
+                result = await asyncio.wait_for(future, timeout)
+            else:
+                result = await future
+        except asyncio.TimeoutError:
+            self._pending.pop(job_id, None)
+            raise ServeTimeoutError(
+                f"no result for job {job_id} within {timeout}s"
+            ) from None
+        if isinstance(result, Result):
+            return RemoteResult(
+                job_id=job_id,
+                bits=result.bits,
+                converged=result.converged,
+                iterations=result.iterations,
+                latency_s=time.monotonic() - t0,
+            )
+        raise NetProtocolError(f"unexpected reply {type(result).__name__}")
+
+    async def ping(self, timeout: Optional[float] = 5.0) -> float:
+        """Round-trip a PING; returns the RTT in seconds."""
+        if self._closed:
+            raise GatewayClosedError("client is closed")
+        self._job_seq += 1
+        job_id = self._job_seq
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+        self._pending[job_id] = future
+        t0 = time.monotonic()
+        async with self._send_lock:
+            self._writer.write(encode_ping(job_id))
+            await self._writer.drain()
+        try:
+            await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            self._pending.pop(job_id, None)
+            raise ServeTimeoutError(f"no pong within {timeout}s") from None
+        return time.monotonic() - t0
+
+    async def close(self) -> None:
+        """Close the connection; unanswered requests fail fast."""
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except Exception:
+            pass
+        self._fail_pending(GatewayClosedError("client closed"))
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await read_frame(self._reader, self.max_frame_bytes)
+                if frame is None:
+                    self._conn_error = GatewayClosedError(
+                        "gateway closed the connection"
+                    )
+                    break
+                if isinstance(frame, (Result, Pong)):
+                    future = self._pending.pop(frame.job_id, None)
+                    if future is not None and not future.done():
+                        future.set_result(frame)
+                elif isinstance(frame, ErrorFrame):
+                    exc = frame.to_exception()
+                    if frame.job_id == 0:
+                        # connection-scoped error: poisons every request
+                        self._conn_error = exc
+                        break
+                    future = self._pending.pop(frame.job_id, None)
+                    if future is not None and not future.done():
+                        future.set_exception(exc)
+                # anything else (a stray Request/Ping) is ignored
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._conn_error = exc
+        finally:
+            error = self._conn_error or GatewayClosedError(
+                "connection reader exited"
+            )
+            if not isinstance(error, Exception):
+                error = GatewayClosedError(str(error))
+            self._fail_pending(error)
+
+    def _fail_pending(self, exc: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                if not isinstance(exc, GatewayClosedError):
+                    exc = GatewayClosedError(str(exc))
+                future.set_exception(exc)
+
+
+class DecodeClient(object):
+    """Blocking gateway client (private event loop on a daemon thread).
+
+    Usable as a context manager::
+
+        with DecodeClient(host, port, tenant="gold") as client:
+            result = client.decode(llrs)
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str = "default",
+        code_id: str = "",
+        priority: int = GOLD,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name=f"decode-client-{host}:{port}",
+            daemon=True,
+        )
+        self._thread.start()
+        try:
+            self._client: AsyncDecodeClient = self._call(
+                AsyncDecodeClient.connect(
+                    host, port,
+                    tenant=tenant, code_id=code_id, priority=priority,
+                ),
+                timeout=connect_timeout,
+            )
+        except BaseException:
+            self._stop_loop()
+            raise
+
+    def _call(self, coro, timeout: Optional[float] = None):
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        try:
+            return future.result(timeout)
+        except asyncio.TimeoutError:
+            future.cancel()
+            raise ServeTimeoutError(
+                f"gateway call did not finish within {timeout}s"
+            ) from None
+
+    def decode(
+        self,
+        llrs: np.ndarray,
+        code_id: Optional[str] = None,
+        priority: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> RemoteResult:
+        """Blocking :meth:`AsyncDecodeClient.decode`."""
+        slack = None if timeout is None else timeout + 5.0
+        return self._call(
+            self._client.decode(
+                llrs, code_id=code_id, priority=priority, timeout=timeout
+            ),
+            timeout=slack,
+        )
+
+    def ping(self, timeout: float = 5.0) -> float:
+        """Blocking :meth:`AsyncDecodeClient.ping`."""
+        return self._call(self._client.ping(timeout), timeout=timeout + 5.0)
+
+    def close(self) -> None:
+        """Close the connection and stop the private loop (idempotent)."""
+        if self._loop.is_closed():
+            return
+        try:
+            self._call(self._client.close(), timeout=10.0)
+        except Exception:
+            pass
+        self._stop_loop()
+
+    def _stop_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        if not self._loop.is_running():
+            self._loop.close()
+
+    def __enter__(self) -> "DecodeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,372 @@
+"""Asyncio TCP gateway bridging framed clients onto a decode service.
+
+:class:`DecodeGateway` is the network front door of the serving stack —
+the router layer of Condo & Masera's NoC-based decoder recast in
+asyncio: many concurrent connections multiplex decode requests onto the
+heterogeneous shard pool of a
+:class:`~repro.serve.pool.DecodeService`.
+
+Per connection, frames are read off the stream and each REQUEST becomes
+an independent task, so results *stream back in completion order*, not
+request order (the job id in every frame is the correlation key).  The
+bridge from asyncio to the thread-world service is
+``asyncio.wrap_future`` over the ``concurrent.futures.Future`` that
+``DecodeService.submit`` returns — the event loop never blocks on a
+decode.
+
+Admission runs before submission: the
+:class:`~repro.net.admission.AdmissionController` meters the tenant's
+token bucket and converts its priority class into an iteration budget
+(fed to ``submit(iteration_budget=...)``), so quota exhaustion and
+degradation both happen at the door.  Every failure — protocol, quota,
+backpressure, shard death — is one typed ``ServeError`` member, shipped
+as an ERROR frame and re-raised as the same type client-side.
+
+Graceful drain: :meth:`close` stops the listener, lets in-flight
+requests finish streaming their results (bounded by
+``drain_timeout_s``), refuses new requests with
+:class:`~repro.errors.GatewayClosedError`, then closes connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import TYPE_CHECKING, Optional, Set, Tuple
+
+from repro.errors import (
+    GatewayClosedError,
+    NetProtocolError,
+    QueueFullError,
+    QuotaExceededError,
+    ServeError,
+    ServiceClosedError,
+)
+from repro.net.admission import AdmissionController
+from repro.net.metrics import NetMetrics
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    Ping,
+    Request,
+    decode_frame,
+    encode_error,
+    encode_pong,
+    encode_result,
+    read_raw,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.log import EventLog
+    from repro.obs.trace import TraceRecorder
+    from repro.serve.pool import DecodeService
+
+__all__ = ["DecodeGateway"]
+
+#: Severity of each gateway lifecycle event in the structured log.
+_EVENT_LEVELS = {
+    "net.listen": "info",
+    "net.drain": "info",
+    "net.closed": "info",
+    "net.conn_open": "debug",
+    "net.conn_close": "debug",
+    "net.request": "debug",
+    "net.result": "debug",
+    "net.reject": "warning",
+    "net.error": "warning",
+    "net.protocol_error": "warning",
+}
+
+#: Rejection reasons, keyed by the typed error that caused them.
+_REJECT_REASONS = {
+    QuotaExceededError: "quota",
+    QueueFullError: "backpressure",
+    GatewayClosedError: "drain",
+    ServiceClosedError: "drain",
+}
+
+
+class DecodeGateway(object):
+    """Framed TCP server in front of a :class:`DecodeService`.
+
+    Parameters
+    ----------
+    service:
+        The (already running) decode service to bridge onto.  The
+        gateway never owns it — lifecycle stays with the caller so one
+        service can sit behind several listeners.
+    admission:
+        The tenant quota/priority gate consulted per request.
+    host / port:
+        Listen address; port 0 (default) lets the OS pick — read the
+        bound address back from :attr:`address` after :meth:`start`.
+    metrics:
+        Optional :class:`NetMetrics`; pass one built on the service's
+        registry so gateway and engine series share one snapshot/SLO
+        evaluation.  A private one is created if absent.
+    log / recorder:
+        Optional structured :class:`~repro.obs.log.EventLog` and
+        :class:`~repro.obs.trace.TraceRecorder` for lifecycle events.
+    max_frame_bytes:
+        Upper bound on accepted frame size (protocol abuse guard).
+    drain_timeout_s:
+        How long :meth:`close` waits for in-flight requests to finish
+        before force-closing connections.
+    """
+
+    def __init__(
+        self,
+        service: "DecodeService",
+        admission: AdmissionController,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: Optional[NetMetrics] = None,
+        log: "Optional[EventLog]" = None,
+        recorder: "Optional[TraceRecorder]" = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        drain_timeout_s: float = 10.0,
+    ) -> None:
+        self.service = service
+        self.admission = admission
+        self.host = host
+        self.port = port
+        self.metrics = metrics if metrics is not None else NetMetrics()
+        self.log = log
+        self.recorder = recorder
+        self.max_frame_bytes = max_frame_bytes
+        self.drain_timeout_s = drain_timeout_s
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._draining = False
+        self._closed = False
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._inflight: Set["asyncio.Task"] = set()
+        self._conn_tasks: Set["asyncio.Task"] = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``."""
+        if self._server is not None:
+            return self.address
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        self._event("net.listen", host=self.host, port=self.port)
+        return self.address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (final once :meth:`start` returned)."""
+        return self.host, self.port
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`close` has begun refusing new requests."""
+        return self._draining
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop the listener and shut connections down.
+
+        With ``drain=True`` (default) in-flight requests finish and
+        stream their results first (bounded by ``drain_timeout_s``);
+        with ``drain=False`` they are cancelled and their clients see
+        the connection drop.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._draining = True
+        self._event("net.drain", inflight=len(self._inflight), drain=drain)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain:
+            if self._inflight:
+                await asyncio.wait(
+                    list(self._inflight), timeout=self.drain_timeout_s
+                )
+        else:
+            for task in list(self._inflight):
+                task.cancel()
+        for writer in list(self._writers):
+            writer.close()
+        if self._conn_tasks:
+            await asyncio.wait(
+                list(self._conn_tasks), timeout=self.drain_timeout_s
+            )
+        self._closed = True
+        self._event("net.closed")
+
+    async def __aenter__(self) -> "DecodeGateway":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close(drain=True)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._writers.add(writer)
+        self.metrics.conn_opened()
+        peer = writer.get_extra_info("peername")
+        self._event("net.conn_open", peer=str(peer))
+        write_lock = asyncio.Lock()
+        conn_tasks: Set["asyncio.Task"] = set()
+        try:
+            while True:
+                try:
+                    payload = await read_raw(reader, self.max_frame_bytes)
+                except NetProtocolError as exc:
+                    self._event("net.protocol_error", peer=str(peer),
+                                error=str(exc))
+                    await self._send_quiet(
+                        writer, write_lock, encode_error(0, exc)
+                    )
+                    break
+                if payload is None:
+                    break  # client closed cleanly
+                self.metrics.bytes_in(len(payload) + 4)
+                try:
+                    frame = decode_frame(payload)
+                except NetProtocolError as exc:
+                    self._event("net.protocol_error", peer=str(peer),
+                                error=str(exc))
+                    await self._send_quiet(
+                        writer, write_lock, encode_error(0, exc)
+                    )
+                    break
+                if isinstance(frame, Ping):
+                    await self._send_quiet(
+                        writer, write_lock, encode_pong(frame.job_id)
+                    )
+                    continue
+                if not isinstance(frame, Request):
+                    exc = NetProtocolError(
+                        f"clients may not send {type(frame).__name__} frames"
+                    )
+                    self._event("net.protocol_error", peer=str(peer),
+                                error=str(exc))
+                    await self._send_quiet(
+                        writer, write_lock, encode_error(frame.job_id, exc)
+                    )
+                    break
+                req_task = asyncio.ensure_future(
+                    self._serve_request(frame, writer, write_lock)
+                )
+                conn_tasks.add(req_task)
+                self._inflight.add(req_task)
+                req_task.add_done_callback(conn_tasks.discard)
+                req_task.add_done_callback(self._inflight.discard)
+        finally:
+            if conn_tasks:
+                # let this connection's tail of results flush before the
+                # socket goes away (drain-on-close already bounded these)
+                await asyncio.gather(*conn_tasks, return_exceptions=True)
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+            self.metrics.conn_closed()
+            self._event("net.conn_close", peer=str(peer))
+            if task is not None:
+                self._conn_tasks.discard(task)
+
+    async def _serve_request(
+        self,
+        req: Request,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        """Admit, submit, await, and stream back one request."""
+        t0 = time.monotonic()
+        tenant = req.tenant or "anonymous"
+        code_key = req.code_id or None
+        self.metrics.request(tenant)
+        self._event("net.request", tenant=tenant, job=req.job_id,
+                    priority=req.priority)
+        try:
+            if self._draining:
+                raise GatewayClosedError("gateway is draining; resubmit elsewhere")
+            fill = self.service.queue_fill(code_key)
+            decision = self.admission.admit(tenant, fill, req.priority)
+            if decision.shed:
+                self.metrics.shed(tenant)
+            future = self.service.submit(
+                req.llrs(),
+                code_key=code_key,
+                timeout=0.0,
+                iteration_budget=decision.iteration_budget,
+            )
+            done = await asyncio.wrap_future(future)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            await self._reply_error(req, tenant, writer, write_lock, exc)
+            return
+        result = done.result
+        await self._send_quiet(
+            writer,
+            write_lock,
+            encode_result(
+                req.job_id, bool(result.converged),
+                int(result.iterations), result.bits,
+            ),
+        )
+        self.metrics.result(tenant, time.monotonic() - t0)
+        self._event("net.result", tenant=tenant, job=req.job_id,
+                    converged=bool(result.converged),
+                    iterations=int(result.iterations))
+
+    async def _reply_error(
+        self,
+        req: Request,
+        tenant: str,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        exc: BaseException,
+    ) -> None:
+        reason = _REJECT_REASONS.get(type(exc))
+        if reason is not None:
+            self.metrics.rejected(tenant, reason)
+            self._event("net.reject", tenant=tenant, job=req.job_id,
+                        reason=reason, error=str(exc))
+        else:
+            self.metrics.error(tenant, type(exc).__name__)
+            self._event("net.error", tenant=tenant, job=req.job_id,
+                        kind=type(exc).__name__, error=str(exc))
+        if not isinstance(exc, ServeError):
+            exc = ServeError(f"{type(exc).__name__}: {exc}")
+        await self._send_quiet(
+            writer, write_lock, encode_error(req.job_id, exc)
+        )
+
+    async def _send_quiet(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        data: bytes,
+    ) -> None:
+        """Write one frame; a torn connection is the client's problem."""
+        try:
+            async with write_lock:
+                writer.write(data)
+                await writer.drain()
+            self.metrics.bytes_out(len(data))
+        except (ConnectionError, RuntimeError, OSError):
+            pass
+
+    def _event(self, name: str, **fields: object) -> None:
+        if self.recorder is not None:
+            self.recorder.event(name, **fields)
+        if self.log is not None:
+            self.log.log(_EVENT_LEVELS.get(name, "info"), name, **fields)

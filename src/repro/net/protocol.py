@@ -1,0 +1,406 @@
+"""Framed wire protocol of the decode gateway.
+
+One frame = a 4-byte big-endian length prefix, a fixed 12-byte header
+(magic ``RN``, version, message type, job id), and a type-specific body:
+
+========  ====  =======================================================
+type      id    body
+========  ====  =======================================================
+REQUEST   1     u8 priority | u16-len tenant | u16-len code id |
+                f32 scale | u32 count | ``count`` int8 LLR samples
+RESULT    2     u8 converged | u16 iterations | u32 bit count |
+                packed bits (``numpy.packbits``, big-endian within byte)
+ERROR     3     u16-len error kind | u32-len message
+PING      4     (empty)
+PONG      5     (empty)
+========  ====  =======================================================
+
+Strings are UTF-8.  LLRs travel as **packed int8**: the sender computes
+``scale = max(|llr|) / 127`` and quantizes ``round(llr / scale)``; the
+receiver reconstructs ``i8 * scale``.  The dequantized vector is the
+*canonical* frame both sides agree on — the soak harness feeds exactly
+it to :func:`repro.decoder.decode_many` when checking the gateway path
+for payload mismatches, so quantization can never masquerade as a
+transport bug.
+
+Malformed input raises :class:`~repro.errors.NetProtocolError` (a
+member of the typed ``ServeError`` family); error frames round-trip the
+server-side exception *class name* so the client re-raises the same
+typed error (:data:`ERROR_TYPES`), falling back to
+:class:`~repro.errors.RemoteDecodeError` for unknown kinds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple, Type, Union
+
+import numpy as np
+
+from repro.errors import (
+    DeadlineExceededError,
+    GatewayClosedError,
+    NetProtocolError,
+    QueueFullError,
+    QuotaExceededError,
+    RemoteDecodeError,
+    ServeError,
+    ServeTimeoutError,
+    ServiceClosedError,
+    ShardDeadError,
+)
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_BYTES",
+    "ERROR_TYPES",
+    "MAGIC",
+    "MSG_ERROR",
+    "MSG_PING",
+    "MSG_PONG",
+    "MSG_REQUEST",
+    "MSG_RESULT",
+    "VERSION",
+    "ErrorFrame",
+    "Ping",
+    "Pong",
+    "Request",
+    "Result",
+    "decode_frame",
+    "encode_error",
+    "encode_ping",
+    "encode_pong",
+    "encode_request",
+    "encode_result",
+    "error_to_exception",
+    "pack_llrs",
+    "read_frame",
+    "read_raw",
+    "unpack_llrs",
+    "write_frame",
+]
+
+MAGIC = b"RN"
+VERSION = 1
+
+MSG_REQUEST = 1
+MSG_RESULT = 2
+MSG_ERROR = 3
+MSG_PING = 4
+MSG_PONG = 5
+
+#: Frames larger than this are refused outright (a 1 MiB frame holds a
+#: ~1M-sample LLR vector — far beyond any supported code length).
+DEFAULT_MAX_FRAME_BYTES = 1 << 20
+
+_HEADER = struct.Struct(">2sBBQ")  # magic, version, msg type, job id
+
+#: Error kinds a gateway may ship that re-raise as their local type.
+ERROR_TYPES: "dict[str, Type[ServeError]]" = {
+    cls.__name__: cls
+    for cls in (
+        DeadlineExceededError,
+        GatewayClosedError,
+        NetProtocolError,
+        QueueFullError,
+        QuotaExceededError,
+        ServeError,
+        ServeTimeoutError,
+        ServiceClosedError,
+        ShardDeadError,
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# frame dataclasses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Request(object):
+    """One decode request: who is asking, for which code, with what."""
+
+    job_id: int
+    tenant: str
+    code_id: str
+    priority: int
+    llrs_i8: np.ndarray
+    scale: float
+
+    def llrs(self) -> np.ndarray:
+        """The canonical dequantized LLR vector both sides agree on."""
+        return unpack_llrs(self.llrs_i8, self.scale)
+
+
+@dataclass(frozen=True)
+class Result(object):
+    """One decoded frame streaming back to the client."""
+
+    job_id: int
+    converged: bool
+    iterations: int
+    bits: np.ndarray
+
+
+@dataclass(frozen=True)
+class ErrorFrame(object):
+    """A typed failure for one job (``job_id == 0``: the connection)."""
+
+    job_id: int
+    kind: str
+    message: str
+
+    def to_exception(self) -> ServeError:
+        """The local typed exception this frame re-raises as."""
+        return error_to_exception(self.kind, self.message)
+
+
+@dataclass(frozen=True)
+class Ping(object):
+    """Liveness probe."""
+
+    job_id: int
+
+
+@dataclass(frozen=True)
+class Pong(object):
+    """Liveness probe response (echoes the ping's job id)."""
+
+    job_id: int
+
+
+Frame = Union[Request, Result, ErrorFrame, Ping, Pong]
+
+
+def error_to_exception(kind: str, message: str) -> ServeError:
+    """Map a wire error kind back onto the typed ``ServeError`` family."""
+    cls = ERROR_TYPES.get(kind)
+    if cls is RemoteDecodeError or cls is None:
+        return RemoteDecodeError(kind, message)
+    return cls(message)
+
+
+# ----------------------------------------------------------------------
+# LLR packing
+# ----------------------------------------------------------------------
+def pack_llrs(llrs: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Quantize a float LLR vector to wire int8 + scale.
+
+    ``scale`` is chosen so the largest magnitude maps to ±127; an
+    all-zero vector uses scale 1.0.  Returns ``(int8 array, scale)``.
+    """
+    llrs = np.asarray(llrs, dtype=np.float64)
+    if llrs.ndim != 1:
+        raise NetProtocolError(f"LLR vector must be 1-D, got shape {llrs.shape}")
+    peak = float(np.max(np.abs(llrs))) if llrs.size else 0.0
+    scale = peak / 127.0 if peak > 0 else 1.0
+    i8 = np.clip(np.rint(llrs / scale), -127, 127).astype(np.int8)
+    return i8, scale
+
+
+def unpack_llrs(i8: np.ndarray, scale: float) -> np.ndarray:
+    """Reconstruct the canonical float LLR vector from wire form."""
+    return np.asarray(i8, dtype=np.float64) * float(scale)
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+def _frame(msg_type: int, job_id: int, body: bytes) -> bytes:
+    payload = _HEADER.pack(MAGIC, VERSION, msg_type, job_id) + body
+    return struct.pack(">I", len(payload)) + payload
+
+
+def encode_request(
+    job_id: int,
+    tenant: str,
+    code_id: str,
+    priority: int,
+    llrs: Optional[np.ndarray] = None,
+    llrs_i8: Optional[np.ndarray] = None,
+    scale: Optional[float] = None,
+) -> bytes:
+    """Encode a REQUEST frame.
+
+    Pass either float ``llrs`` (packed here) or a pre-packed
+    ``(llrs_i8, scale)`` pair — callers that need the exact wire payload
+    for a later reference decode pack once and pass the pair.
+    """
+    if llrs_i8 is None:
+        if llrs is None:
+            raise NetProtocolError("encode_request needs llrs or llrs_i8")
+        llrs_i8, scale = pack_llrs(llrs)
+    if scale is None:
+        raise NetProtocolError("llrs_i8 requires an explicit scale")
+    if not 0 <= priority <= 255:
+        raise NetProtocolError(f"priority must fit a u8, got {priority}")
+    tenant_b = tenant.encode("utf-8")
+    code_b = code_id.encode("utf-8")
+    if len(tenant_b) > 0xFFFF or len(code_b) > 0xFFFF:
+        raise NetProtocolError("tenant/code id too long for a u16 length")
+    i8 = np.ascontiguousarray(llrs_i8, dtype=np.int8)
+    body = struct.pack(">BH", priority, len(tenant_b)) + tenant_b
+    body += struct.pack(">H", len(code_b)) + code_b
+    body += struct.pack(">fI", float(scale), i8.size) + i8.tobytes()
+    return _frame(MSG_REQUEST, job_id, body)
+
+
+def encode_result(
+    job_id: int, converged: bool, iterations: int, bits: np.ndarray
+) -> bytes:
+    """Encode a RESULT frame (bits are packed 8-per-byte)."""
+    bits = np.asarray(bits).astype(np.uint8).ravel()
+    packed = np.packbits(bits)
+    body = struct.pack(
+        ">BHI", 1 if converged else 0, iterations, bits.size
+    ) + packed.tobytes()
+    return _frame(MSG_RESULT, job_id, body)
+
+
+def encode_error(job_id: int, exc: BaseException) -> bytes:
+    """Encode an ERROR frame from an exception (kind = class name)."""
+    kind_b = type(exc).__name__.encode("utf-8")[:0xFFFF]
+    msg_b = str(exc).encode("utf-8")[: 1 << 16]
+    body = struct.pack(">H", len(kind_b)) + kind_b
+    body += struct.pack(">I", len(msg_b)) + msg_b
+    return _frame(MSG_ERROR, job_id, body)
+
+
+def encode_ping(job_id: int = 0) -> bytes:
+    """Encode a PING frame."""
+    return _frame(MSG_PING, job_id, b"")
+
+
+def encode_pong(job_id: int = 0) -> bytes:
+    """Encode a PONG frame."""
+    return _frame(MSG_PONG, job_id, b"")
+
+
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
+class _Cursor(object):
+    """Bounds-checked reader over one frame payload."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, count: int) -> bytes:
+        if self.pos + count > len(self.data):
+            raise NetProtocolError(
+                f"truncated frame body: wanted {count} bytes at offset "
+                f"{self.pos}, have {len(self.data) - self.pos}"
+            )
+        out = self.data[self.pos : self.pos + count]
+        self.pos += count
+        return out
+
+    def unpack(self, fmt: struct.Struct) -> tuple:
+        return fmt.unpack(self.take(fmt.size))
+
+
+_REQ_HEAD = struct.Struct(">BH")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_F32_U32 = struct.Struct(">fI")
+_RES_HEAD = struct.Struct(">BHI")
+
+
+def decode_frame(payload: bytes) -> Frame:
+    """Parse one frame payload (header + body, length prefix stripped)."""
+    if len(payload) < _HEADER.size:
+        raise NetProtocolError(
+            f"frame shorter than the {_HEADER.size}-byte header: "
+            f"{len(payload)} bytes"
+        )
+    magic, version, msg_type, job_id = _HEADER.unpack(payload[: _HEADER.size])
+    if magic != MAGIC:
+        raise NetProtocolError(f"bad magic {magic!r} (want {MAGIC!r})")
+    if version != VERSION:
+        raise NetProtocolError(
+            f"unsupported protocol version {version} (speak {VERSION})"
+        )
+    cur = _Cursor(payload[_HEADER.size :])
+    if msg_type == MSG_REQUEST:
+        priority, tenant_len = cur.unpack(_REQ_HEAD)
+        tenant = cur.take(tenant_len).decode("utf-8", "replace")
+        (code_len,) = cur.unpack(_U16)
+        code_id = cur.take(code_len).decode("utf-8", "replace")
+        scale, count = cur.unpack(_F32_U32)
+        i8 = np.frombuffer(cur.take(count), dtype=np.int8)
+        return Request(
+            job_id=job_id, tenant=tenant, code_id=code_id,
+            priority=priority, llrs_i8=i8, scale=scale,
+        )
+    if msg_type == MSG_RESULT:
+        converged, iterations, bit_count = cur.unpack(_RES_HEAD)
+        packed = np.frombuffer(
+            cur.take((bit_count + 7) // 8), dtype=np.uint8
+        )
+        bits = np.unpackbits(packed)[:bit_count]
+        return Result(
+            job_id=job_id, converged=bool(converged),
+            iterations=iterations, bits=bits,
+        )
+    if msg_type == MSG_ERROR:
+        (kind_len,) = cur.unpack(_U16)
+        kind = cur.take(kind_len).decode("utf-8", "replace")
+        (msg_len,) = cur.unpack(_U32)
+        message = cur.take(msg_len).decode("utf-8", "replace")
+        return ErrorFrame(job_id=job_id, kind=kind, message=message)
+    if msg_type == MSG_PING:
+        return Ping(job_id=job_id)
+    if msg_type == MSG_PONG:
+        return Pong(job_id=job_id)
+    raise NetProtocolError(f"unknown message type {msg_type}")
+
+
+# ----------------------------------------------------------------------
+# stream I/O
+# ----------------------------------------------------------------------
+async def read_raw(
+    reader: "asyncio.StreamReader",
+    max_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> Optional[bytes]:
+    """Read one frame payload off a stream; None on clean EOF.
+
+    EOF in the middle of a frame and an oversized length prefix raise
+    :class:`NetProtocolError`.  The returned payload excludes the
+    4-byte length prefix and is ready for :func:`decode_frame`.
+    """
+    try:
+        prefix = await reader.readexactly(4)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF on a frame boundary
+        raise NetProtocolError(
+            f"connection closed mid-prefix ({len(exc.partial)}/4 bytes)"
+        ) from None
+    (length,) = struct.unpack(">I", prefix)
+    if length > max_bytes:
+        raise NetProtocolError(
+            f"frame of {length} bytes exceeds the {max_bytes}-byte limit"
+        )
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise NetProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)}/{length} bytes)"
+        ) from None
+
+
+async def read_frame(
+    reader: "asyncio.StreamReader",
+    max_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> Optional[Frame]:
+    """Read and parse one frame; None on clean EOF between frames."""
+    payload = await read_raw(reader, max_bytes)
+    if payload is None:
+        return None
+    return decode_frame(payload)
+
+
+def write_frame(writer: "asyncio.StreamWriter", frame_bytes: bytes) -> None:
+    """Queue one already-encoded frame on a stream writer."""
+    writer.write(frame_bytes)

@@ -1,0 +1,533 @@
+"""Synthetic diurnal-traffic soak harness for the network gateway.
+
+One soak run is a complete, self-verifying exercise of the serving
+stack's network story: a real TCP gateway in front of a real
+:class:`~repro.serve.pool.DecodeService`, hundreds of concurrent client
+connections spread over several tenants (one of them deliberately
+under-quota'd), a load curve shaped like a day — quiet night, traffic
+peak, quiet evening — a worker crash injected mid-peak, and an
+:class:`~repro.net.autoscaler.Autoscaler` expected to both grow the
+shard pool into the peak and shrink it afterwards.
+
+The harness is *checked*, not just timed:
+
+* every successfully decoded frame's bits are re-derived with
+  :func:`repro.decoder.decode_many` on the **canonical dequantized
+  LLRs** (exactly what travelled the wire), and any mismatch on a
+  converged frame is a hard failure — the network path must be
+  bit-exact with the in-process path;
+* the run finishes with the service's SLO report attached, so a soak
+  that "worked" while quietly violating its latency/crash/error
+  objectives is visible as such;
+* the autoscaler's decision log and the per-tenant admission counters
+  are part of the report.
+
+``repro net-soak`` runs it from the CLI; ``benchmarks/bench_net.py``
+freezes its throughput as ``BENCH_net.json`` for the perf gate; the
+acceptance test in ``tests/test_net_soak.py`` runs the 500-connection
+configuration from the issue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel import AwgnChannel
+from repro.codes import wifi_code, wimax_code
+from repro.codes.qc import QCLDPCCode
+from repro.decoder import decode_many
+from repro.encoder import RuEncoder
+from repro.errors import (
+    GatewayClosedError,
+    QuotaExceededError,
+    ServeError,
+)
+from repro.net.admission import (
+    BRONZE,
+    GOLD,
+    SILVER,
+    AdmissionController,
+    TenantPolicy,
+)
+from repro.net.autoscaler import Autoscaler
+from repro.net.client import AsyncDecodeClient
+from repro.net.gateway import DecodeGateway
+from repro.net.metrics import NetMetrics
+from repro.net.protocol import pack_llrs, unpack_llrs
+from repro.obs.log import EventLog
+from repro.obs.slo import default_serve_slos
+from repro.obs.trace import TraceRecorder
+from repro.serve.metrics import ServeMetrics
+from repro.serve.pool import DecodeService
+from repro.utils.provenance import bench_meta
+
+__all__ = ["SoakConfig", "run_net_soak"]
+
+#: Default tenant mix: three paying classes plus a free tier whose tiny
+#: bucket is guaranteed to exhaust during the peak.
+DEFAULT_TENANTS: Dict[str, Dict[str, float]] = {
+    "gold": {"share": 0.4, "rate": 1e6, "burst": 1e6, "priority": GOLD},
+    "silver": {"share": 0.3, "rate": 1e6, "burst": 1e6, "priority": SILVER},
+    "bronze": {"share": 0.2, "rate": 1e6, "burst": 1e6, "priority": BRONZE},
+    "free": {"share": 0.1, "rate": 0.2, "burst": 2.0, "priority": BRONZE},
+}
+
+#: Diurnal load curve: (phase name, load fraction of peak, seconds).
+DEFAULT_PHASES: Tuple[Tuple[str, float, float], ...] = (
+    ("night", 0.15, 1.0),
+    ("peak", 1.0, 2.5),
+    ("evening", 0.08, 1.5),
+)
+
+
+@dataclass(frozen=True)
+class SoakConfig(object):
+    """Everything one soak run depends on (JSON-serializable, so the
+    perf gate can re-run a committed baseline's exact configuration)."""
+
+    family: str = "wimax"
+    rate_class: str = "1/2"
+    length: int = 576
+    iterations: int = 10
+    fixed: bool = False
+    kernel: str = "fused"
+    backend: str = "thread"
+    batch: int = 8
+    queue_capacity: int = 16
+    connections: int = 60
+    peak_frames_per_conn: int = 6
+    phases: Tuple[Tuple[str, float, float], ...] = DEFAULT_PHASES
+    tenants: Dict[str, Dict[str, float]] = field(
+        default_factory=lambda: {
+            k: dict(v) for k, v in DEFAULT_TENANTS.items()
+        }
+    )
+    ebno_db: float = 4.0
+    seed: int = 0
+    inject_crash: bool = True
+    min_shards: int = 1
+    max_shards: int = 3
+    scale_up_fill: float = 0.25
+    scale_down_fill: float = 0.05
+    autoscale_interval_s: float = 0.1
+    cooldown_s: float = 0.5
+    shrink_after: int = 3
+    shrink_wait_s: float = 10.0
+    request_timeout_s: float = 60.0
+    max_retries: int = 6
+    slo_p99_s: float = 5.0
+    slo_crash_rate: float = 0.05
+    slo_error_rate: float = 0.15
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (phases become lists)."""
+        return {
+            "family": self.family,
+            "rate_class": self.rate_class,
+            "length": self.length,
+            "iterations": self.iterations,
+            "fixed": self.fixed,
+            "kernel": self.kernel,
+            "backend": self.backend,
+            "batch": self.batch,
+            "queue_capacity": self.queue_capacity,
+            "connections": self.connections,
+            "peak_frames_per_conn": self.peak_frames_per_conn,
+            "phases": [list(p) for p in self.phases],
+            "tenants": {k: dict(v) for k, v in self.tenants.items()},
+            "ebno_db": self.ebno_db,
+            "seed": self.seed,
+            "inject_crash": self.inject_crash,
+            "min_shards": self.min_shards,
+            "max_shards": self.max_shards,
+            "scale_up_fill": self.scale_up_fill,
+            "scale_down_fill": self.scale_down_fill,
+            "autoscale_interval_s": self.autoscale_interval_s,
+            "cooldown_s": self.cooldown_s,
+            "shrink_after": self.shrink_after,
+            "shrink_wait_s": self.shrink_wait_s,
+            "request_timeout_s": self.request_timeout_s,
+            "max_retries": self.max_retries,
+            "slo_p99_s": self.slo_p99_s,
+            "slo_crash_rate": self.slo_crash_rate,
+            "slo_error_rate": self.slo_error_rate,
+        }
+
+    @classmethod
+    def from_dict(cls, obj: Dict[str, Any]) -> "SoakConfig":
+        """Inverse of :meth:`to_dict` (unknown keys are ignored)."""
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        kwargs = {k: v for k, v in obj.items() if k in known}
+        if "phases" in kwargs:
+            kwargs["phases"] = tuple(
+                (str(n), float(l), float(d)) for n, l, d in kwargs["phases"]
+            )
+        return cls(**kwargs)
+
+    def build_code(self) -> QCLDPCCode:
+        """The QC-LDPC code this soak decodes."""
+        if self.family == "wifi":
+            return wifi_code(self.rate_class, self.length)
+        return wimax_code(self.rate_class, self.length)
+
+
+class _TenantStats(object):
+    """Per-tenant client-side accounting for one soak run."""
+
+    __slots__ = ("ok", "quota_rejected", "retries", "failed", "dropped",
+                 "unconverged")
+
+    def __init__(self) -> None:
+        self.ok = 0
+        self.quota_rejected = 0
+        self.retries = 0
+        self.failed = 0
+        self.dropped = 0
+        self.unconverged = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+def _assign_tenants(cfg: SoakConfig) -> List[str]:
+    """Tenant name per connection index, honouring the share mix."""
+    names = list(cfg.tenants)
+    counts = {
+        name: int(round(cfg.tenants[name].get("share", 0.0) * cfg.connections))
+        for name in names
+    }
+    for name in names:  # every configured tenant appears at least once
+        if counts[name] == 0 and cfg.tenants[name].get("share", 0.0) > 0:
+            counts[name] = 1
+    # reconcile rounding drift by trimming the largest tenants first, so
+    # the min-one-connection guarantee survives small connection counts
+    total = sum(counts.values())
+    while total > cfg.connections:
+        biggest = max(names, key=lambda n: counts[n])
+        if counts[biggest] <= 1:
+            break
+        counts[biggest] -= 1
+        total -= 1
+    while total < cfg.connections:
+        counts[names[0]] += 1
+        total += 1
+    assignment: List[str] = []
+    for name in names:
+        assignment.extend([name] * counts[name])
+    return assignment[: cfg.connections]
+
+
+def _crash_at(cfg: SoakConfig) -> float:
+    """Seconds into the run at which the worker crash is injected:
+    the middle of the heaviest-load phase."""
+    if not cfg.phases:
+        return 0.0
+    peak_idx = max(
+        range(len(cfg.phases)), key=lambda i: cfg.phases[i][1]
+    )
+    before = sum(d for _n, _l, d in cfg.phases[:peak_idx])
+    return before + cfg.phases[peak_idx][2] * 0.5
+
+
+async def _send_one(
+    client: AsyncDecodeClient,
+    llrs: np.ndarray,
+    cfg: SoakConfig,
+    stats: _TenantStats,
+    records: List[Tuple[np.ndarray, np.ndarray, bool]],
+) -> None:
+    """One frame through the gateway, with typed-error retry."""
+    for attempt in range(cfg.max_retries + 1):
+        try:
+            result = await client.decode(llrs, timeout=cfg.request_timeout_s)
+        except QuotaExceededError:
+            stats.quota_rejected += 1
+            return
+        except GatewayClosedError:
+            stats.dropped += 1
+            return
+        except ServeError:
+            # backpressure, a crashed shard, a drained replica: all
+            # retryable — the typed family is the contract that lets a
+            # client distinguish "try again" from "stop asking"
+            stats.retries += 1
+            await asyncio.sleep(0.05 * (attempt + 1))
+            continue
+        stats.ok += 1
+        if result.converged:
+            records.append((llrs, result.bits, True))
+        else:
+            stats.unconverged += 1
+            records.append((llrs, result.bits, False))
+        return
+    stats.failed += 1
+
+
+async def _connection_task(
+    index: int,
+    tenant: str,
+    cfg: SoakConfig,
+    host: str,
+    port: int,
+    encoder: RuEncoder,
+    code: QCLDPCCode,
+    stats: _TenantStats,
+    records: List[Tuple[np.ndarray, np.ndarray, bool]],
+    latencies: List[float],
+) -> None:
+    """One client connection living through the whole diurnal curve."""
+    rng = np.random.default_rng(cfg.seed * 100003 + index)
+    priority = int(cfg.tenants[tenant].get("priority", GOLD))
+    client = await AsyncDecodeClient.connect(
+        host, port, tenant=tenant, priority=priority
+    )
+    try:
+        # stagger connection ramp-up so the accept loop is not a spike
+        await asyncio.sleep((index % 97) / 97 * 0.25)
+        for _phase, load, duration in cfg.phases:
+            frames = int(round(cfg.peak_frames_per_conn * load))
+            if frames == 0:
+                await asyncio.sleep(duration)
+                continue
+            spacing = duration / frames
+            for _ in range(frames):
+                message = rng.integers(0, 2, encoder.k).astype(np.uint8)
+                codeword = encoder.encode(message)
+                channel = AwgnChannel.from_ebno(
+                    cfg.ebno_db, code.rate, seed=rng
+                )
+                raw = channel.llrs(codeword)
+                i8, scale = pack_llrs(raw)
+                canonical = unpack_llrs(i8, scale)
+                t0 = time.monotonic()
+                await _send_one(client, canonical, cfg, stats, records)
+                latencies.append(time.monotonic() - t0)
+                await asyncio.sleep(spacing * (0.5 + rng.random() * 0.5))
+    finally:
+        await client.close()
+
+
+async def _drive(
+    cfg: SoakConfig,
+    service: DecodeService,
+    gateway: DecodeGateway,
+    scaler: Autoscaler,
+    encoder: RuEncoder,
+    code: QCLDPCCode,
+    stats: Dict[str, _TenantStats],
+    records: List[Tuple[np.ndarray, np.ndarray, bool]],
+    latencies: List[float],
+    progress: Callable[[str], None],
+) -> Dict[str, Any]:
+    host, port = await gateway.start()
+    progress(f"gateway listening on {host}:{port}")
+    scaler.start()
+    crash_info: Dict[str, Any] = {"injected": False, "shard": None}
+
+    async def _crash() -> None:
+        await asyncio.sleep(_crash_at(cfg))
+        try:
+            shard = service.inject_worker_crash()
+        except ServeError:
+            return
+        crash_info["injected"] = True
+        crash_info["shard"] = shard
+        progress(f"injected worker crash on shard {shard!r}")
+
+    crash_task = (
+        asyncio.ensure_future(_crash()) if cfg.inject_crash else None
+    )
+    assignment = _assign_tenants(cfg)
+    t_start = time.monotonic()
+    tasks = [
+        asyncio.ensure_future(
+            _connection_task(
+                i, tenant, cfg, host, port, encoder, code,
+                stats[tenant], records, latencies,
+            )
+        )
+        for i, tenant in enumerate(assignment)
+    ]
+    await asyncio.gather(*tasks)
+    traffic_s = time.monotonic() - t_start
+    progress(
+        f"traffic done in {traffic_s:.1f}s "
+        f"({sum(s.ok for s in stats.values())} frames decoded)"
+    )
+    if crash_task is not None:
+        crash_task.cancel()
+        try:
+            await crash_task
+        except (asyncio.CancelledError, Exception):
+            pass
+    # idle tail: give the autoscaler the calm it needs to scale down
+    deadline = time.monotonic() + cfg.shrink_wait_s
+    while scaler.count("down") == 0 and time.monotonic() < deadline:
+        await asyncio.sleep(0.2)
+    await gateway.close(drain=True)
+    return {"traffic_s": traffic_s, "crash": crash_info}
+
+
+def run_net_soak(
+    config: Optional[SoakConfig] = None,
+    log_path: Optional[str] = None,
+    trace_path: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run one gateway soak; returns the full JSON-ready report.
+
+    ``log_path`` tees the structured event log to a JSONL file (tail it
+    live with ``repro logs --follow``); ``trace_path`` writes the
+    Chrome trace.  The report carries the standard provenance header
+    (``bench: "net"``) plus throughput (``modes``), per-tenant
+    admission stats, the autoscaler decision log, the final SLO report,
+    and the decode-vs-reference verification outcome.
+    """
+    cfg = config if config is not None else SoakConfig()
+    note = progress if progress is not None else (lambda _msg: None)
+    code = cfg.build_code()
+    encoder = RuEncoder(code)
+    recorder = TraceRecorder()
+    registry_metrics = ServeMetrics()
+    log = EventLog(path=log_path, recorder=recorder, min_level="debug")
+    monitor = default_serve_slos(
+        p99_latency_s=cfg.slo_p99_s,
+        crash_rate=cfg.slo_crash_rate,
+        error_rate=cfg.slo_error_rate,
+    )
+    service = DecodeService(
+        code,
+        batch_size=cfg.batch,
+        max_iterations=cfg.iterations,
+        fixed=cfg.fixed,
+        backend=cfg.backend,
+        kernel=cfg.kernel,
+        queue_capacity=cfg.queue_capacity,
+        metrics=registry_metrics,
+        recorder=recorder,
+        log=log,
+        slo=monitor,
+    )
+    net_metrics = NetMetrics(registry=registry_metrics.registry)
+    admission = AdmissionController(
+        {
+            name: TenantPolicy(
+                rate=float(spec.get("rate", 1e6)),
+                burst=float(spec.get("burst", 1e6)),
+                priority=int(spec.get("priority", GOLD)),
+            )
+            for name, spec in cfg.tenants.items()
+        },
+        max_iterations=cfg.iterations,
+    )
+    gateway = DecodeGateway(
+        service, admission,
+        metrics=net_metrics, log=log, recorder=recorder,
+    )
+    scaler = Autoscaler(
+        service,
+        min_shards=cfg.min_shards,
+        max_shards=cfg.max_shards,
+        interval_s=cfg.autoscale_interval_s,
+        cooldown_s=cfg.cooldown_s,
+        shrink_after=cfg.shrink_after,
+        scale_up_fill=cfg.scale_up_fill,
+        scale_down_fill=cfg.scale_down_fill,
+        metrics=net_metrics,
+        log=log,
+    )
+    stats = {name: _TenantStats() for name in cfg.tenants}
+    records: List[Tuple[np.ndarray, np.ndarray, bool]] = []
+    latencies: List[float] = []
+    slo_report = None
+    try:
+        drive_out = asyncio.run(
+            _drive(
+                cfg, service, gateway, scaler, encoder, code,
+                stats, records, latencies, note,
+            )
+        )
+        scaler.stop()
+        slo_report = service.health().slo
+    finally:
+        scaler.stop()
+        service.close(wait=True)
+        log.close()
+    if trace_path:
+        recorder.write_chrome_trace(trace_path)
+
+    # ------------------------------------------------------------------
+    # verification: the wire path must agree with decode_many bit-exactly
+    # ------------------------------------------------------------------
+    converged_records = [r for r in records if r[2]]
+    mismatches = 0
+    if converged_records:
+        llr_matrix = np.stack([r[0] for r in converged_records])
+        reference = decode_many(
+            code, llr_matrix,
+            max_iterations=cfg.iterations, fixed=cfg.fixed,
+        )
+        for i, (_llrs, bits, _conv) in enumerate(converged_records):
+            if not np.array_equal(reference.bits[i], bits):
+                mismatches += 1
+
+    total_ok = sum(s.ok for s in stats.values())
+    traffic_s = drive_out["traffic_s"]
+    fps = total_ok / traffic_s if traffic_s > 0 else 0.0
+    lat = np.asarray(latencies, dtype=np.float64)
+    snap = registry_metrics.snapshot()
+    doc = bench_meta("net")
+    doc.update(
+        {
+            "code": code.name,
+            "n": code.n,
+            "config": cfg.to_dict(),
+            "modes": [
+                {
+                    "mode": "net-gateway",
+                    "frames_per_s": fps,
+                    "frames": total_ok,
+                    "time_s": traffic_s,
+                    "p50_latency_s": (
+                        float(np.percentile(lat, 50)) if lat.size else 0.0
+                    ),
+                    "p99_latency_s": (
+                        float(np.percentile(lat, 99)) if lat.size else 0.0
+                    ),
+                }
+            ],
+            "tenants": {name: s.to_dict() for name, s in stats.items()},
+            "verify": {
+                "decoded": total_ok,
+                "checked": len(converged_records),
+                "unconverged": sum(1 for r in records if not r[2]),
+                "mismatches": mismatches,
+            },
+            "autoscaler": {
+                "up": scaler.count("up"),
+                "down": scaler.count("down"),
+                "replace": scaler.count("replace"),
+                "decisions": [dict(d) for d in scaler.decisions],
+            },
+            "crash": {
+                "injected": bool(drive_out["crash"]["injected"]),
+                "shard": drive_out["crash"]["shard"],
+                "worker_crashes": snap.worker_crashes,
+                "worker_restarts": snap.worker_restarts,
+            },
+            "slo": slo_report.to_dict() if slo_report is not None else None,
+            "serve": {
+                "frames_in": snap.frames_in,
+                "frames_out": snap.frames_out,
+                "frames_errored": snap.frames_errored,
+                "frames_rejected": snap.frames_rejected,
+                "frames_shed": snap.frames_shed,
+            },
+        }
+    )
+    return doc

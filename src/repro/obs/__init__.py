@@ -41,6 +41,7 @@ Quickstart::
 from repro.obs.log import (
     LEVELS,
     EventLog,
+    follow_log,
     LogRecord,
     format_record,
     format_records,
@@ -98,6 +99,7 @@ __all__ = [
     "arch_chrome_trace",
     "default_serve_slos",
     "format_record",
+    "follow_log",
     "format_records",
     "layer_profile",
     "layer_profile_report",

@@ -32,6 +32,7 @@ prints the result.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from collections import deque
@@ -41,6 +42,7 @@ from typing import (
     Any,
     Dict,
     Iterable,
+    Iterator,
     List,
     Mapping,
     Optional,
@@ -53,6 +55,7 @@ __all__ = [
     "LEVELS",
     "EventLog",
     "LogRecord",
+    "follow_log",
     "format_record",
     "format_records",
     "read_log",
@@ -289,6 +292,79 @@ def read_log(
                 continue
             out.append(record)
     return out
+
+
+def follow_log(
+    path: str,
+    level: Optional[str] = None,
+    event: Optional[str] = None,
+    poll_s: float = 0.2,
+    stop: Optional[threading.Event] = None,
+    from_start: bool = False,
+) -> "Iterator[LogRecord]":
+    """Yield records appended to a live JSONL log, ``tail -f``-style.
+
+    Blocks between records, polling every ``poll_s`` seconds; a missing
+    file is waited for rather than an error (the writer may not have
+    opened its sink yet), and a truncated/rotated file is reopened from
+    the start.  ``level``/``event`` filter like :func:`read_log`.
+    ``from_start`` replays existing content before streaming; the
+    default starts at the current end of file.  Pass a
+    ``threading.Event`` as ``stop`` to end the stream from another
+    thread; Ctrl-C works as usual (``repro logs --follow`` relies on
+    both).  Torn last lines are held back until their newline arrives.
+    """
+    rank = _level_rank(level) if level is not None else None
+    should_stop = stop.is_set if stop is not None else (lambda: False)
+    handle = None
+    pending = ""
+    try:
+        while True:
+            if handle is None:
+                try:
+                    handle = open(path)
+                except OSError:
+                    if should_stop():
+                        return
+                    time.sleep(poll_s)
+                    continue
+                if not from_start:
+                    handle.seek(0, os.SEEK_END)
+                from_start = True  # a rotation reopen replays the new file
+                pending = ""
+            chunk = handle.read()
+            if chunk:
+                pending += chunk
+                while "\n" in pending:
+                    line, pending = pending.split("\n", 1)
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        obj = json.loads(line)
+                    except ValueError:
+                        continue
+                    record = LogRecord.from_dict(obj)
+                    if rank is not None and _level_rank(record.level) < rank:
+                        continue
+                    if event is not None and event not in record.event:
+                        continue
+                    yield record
+                continue
+            if should_stop():
+                return
+            try:
+                size = os.stat(path).st_size
+            except OSError:
+                size = -1
+            if size < handle.tell():
+                handle.close()
+                handle = None
+                continue
+            time.sleep(poll_s)
+    finally:
+        if handle is not None:
+            handle.close()
 
 
 def format_record(record: LogRecord) -> str:

@@ -1,8 +1,9 @@
 """Performance regression gate over committed benchmark baselines.
 
 The bench documents under version control (``BENCH_accel.json``,
-``BENCH_serve.json``) freeze the throughput story of the repo — the
-fused-kernel speedup, the process-pool scaling, the serving overhead.
+``BENCH_serve.json``, ``BENCH_net.json``) freeze the throughput story
+of the repo — the fused-kernel speedup, the process-pool scaling, the
+serving overhead, the network-gateway overhead.
 :func:`run_perf_gate` re-runs each baseline's bench with the baseline's
 own embedded configuration, compares per-mode throughput medians
 against the committed numbers, and fails when any mode regressed by
@@ -179,6 +180,12 @@ def load_baseline(path: str) -> Dict[str, Any]:
 
 
 def _bench_kind(doc: Dict[str, Any]) -> Optional[str]:
+    # provenance header first (bench_meta stamps it), shape as fallback
+    if doc.get("bench") in ("accel", "serve", "net"):
+        if isinstance(doc.get("rows"), list) or isinstance(
+            doc.get("modes"), list
+        ):
+            return str(doc["bench"])
     if isinstance(doc.get("rows"), list):
         return "accel"
     if isinstance(doc.get("modes"), list):
@@ -253,6 +260,13 @@ def rerun_baseline(
                 modes=tuple(wanted),
             )
             observed = {r["mode"]: float(r["frames_per_s"]) for r in run["rows"]}
+        elif kind == "net":
+            from repro.net.soak import SoakConfig, run_net_soak
+
+            run = run_net_soak(SoakConfig.from_dict(doc.get("config", {})))
+            observed = {
+                m["mode"]: float(m["frames_per_s"]) for m in run["modes"]
+            }
         else:
             from repro.serve.bench import run_serve_bench
 

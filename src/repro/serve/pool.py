@@ -28,6 +28,14 @@ Design points:
   iteration budget of newly admitted frames before backpressure starts
   rejecting outright; per-job deadlines stop the service from decoding
   frames nobody is waiting for anymore.
+* **Elastic shard groups.**  Every configured code seeds a *group* of
+  replica shards sharing one routing key; :meth:`DecodeService.add_shard`
+  grows a group at runtime (the new worker starts immediately) and
+  :meth:`DecodeService.remove_shard` shrinks it, draining queued and
+  in-flight frames before the worker exits.  Submissions routed by
+  group key (or by unique LLR length) land on the least-loaded healthy
+  replica, so the SLO-driven autoscaler in :mod:`repro.net.autoscaler`
+  can trade shards for latency without touching callers.
 * **Threads by default, processes on request.**  The hot loop is numpy
   over large arrays, which releases the GIL; threads keep results
   zero-copy and the service embeddable, and one engine per worker means
@@ -99,6 +107,9 @@ _EVENT_LEVELS = {
     "pool.shed": "warning",
     "pool.enqueue": "debug",
     "pool.dispatch": "debug",
+    "pool.shard_added": "info",
+    "pool.shard_removed": "info",
+    "pool.inject_crash": "warning",
 }
 
 
@@ -115,6 +126,14 @@ class ShardHealth(object):
     restarts: int
     strikes: int
     last_error: Optional[str]
+    group: str = ""
+
+    @property
+    def fill(self) -> float:
+        """Queue fill fraction (0..1) of this shard."""
+        if self.queue_capacity <= 0:
+            return 0.0
+        return min(1.0, self.queue_depth / self.queue_capacity)
 
 
 @dataclass(frozen=True)
@@ -145,15 +164,17 @@ class ServiceHealth(object):
 
 
 class _Shard(object):
-    """One code's queue + engine + supervised worker thread."""
+    """One replica's queue + engine + supervised worker thread."""
 
     def __init__(
         self,
         key: str,
         make_engine: Callable[[], ContinuousBatchingEngine],
         capacity: int,
+        group: str = "",
     ) -> None:
         self.key = key
+        self.group = group or key
         self.make_engine = make_engine
         self.engine = make_engine()
         self.queue: "queue.Queue[_Item]" = queue.Queue(maxsize=capacity)
@@ -164,6 +185,15 @@ class _Shard(object):
         self.restarts = 0
         self.strikes = 0
         self.last_error: Optional[BaseException] = None
+        # runtime removal: drained workers exit when this is set
+        self.stopping = threading.Event()
+        # chaos hook: the worker raises this at its next loop turn
+        self.crash_next: Optional[BaseException] = None
+
+    @property
+    def load(self) -> int:
+        """Queued + in-flight frames (the replica-routing load signal)."""
+        return self.queue.qsize() + self.engine.in_flight
 
 
 class DecodeService(object):
@@ -294,14 +324,29 @@ class DecodeService(object):
         self.max_strikes = max_strikes
         self.restart_backoff_s = restart_backoff_s
         self.restart_backoff_cap_s = restart_backoff_cap_s
+        self.batch_size = batch_size
+        self.fixed = fixed
+        self.queue_capacity = queue_capacity
         self._shards: Dict[str, _Shard] = {}
         self._length_index: Dict[int, List[str]] = {}
+        self._groups: Dict[str, List[str]] = {}
+        self._group_codes: Dict[str, QCLDPCCode] = {}
+        self._replica_seq: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._shard_gauge = self.metrics.registry.gauge(
+            "serve_shards", "live shards per group", label_names=("group",)
+        )
         for key, code in codes.items():
             make_engine = self._engine_factory(
                 key, code, batch_size, max_iterations, fixed
             )
-            self._shards[key] = _Shard(key, make_engine, queue_capacity)
+            self._shards[key] = _Shard(key, make_engine, queue_capacity,
+                                       group=key)
             self._length_index.setdefault(code.n, []).append(key)
+            self._groups[key] = [key]
+            self._group_codes[key] = code
+            self._replica_seq[key] = 0
+            self._shard_gauge.set(1, group=key)
         self._closing = threading.Event()
         self._started = False
         if autostart:
@@ -370,15 +415,18 @@ class DecodeService(object):
         if self._started:
             return
         for shard in self._shards.values():
-            thread = threading.Thread(
-                target=self._supervise,
-                args=(shard,),
-                name=f"decode-worker-{shard.key}",
-                daemon=True,
-            )
-            shard.thread = thread
-            thread.start()
+            self._start_worker(shard)
         self._started = True
+
+    def _start_worker(self, shard: _Shard) -> None:
+        thread = threading.Thread(
+            target=self._supervise,
+            args=(shard,),
+            name=f"decode-worker-{shard.key}",
+            daemon=True,
+        )
+        shard.thread = thread
+        thread.start()
 
     def close(self, wait: bool = True) -> None:
         """Stop accepting frames; drain queued and in-flight work.
@@ -417,10 +465,213 @@ class DecodeService(object):
         """Configured shard keys, in insertion order."""
         return list(self._shards)
 
+    @property
+    def groups(self) -> Dict[str, List[str]]:
+        """Replica-group membership: ``{group: [shard keys]}`` (a copy)."""
+        with self._lock:
+            return {g: list(keys) for g, keys in self._groups.items()}
+
+    def group_size(self, group: str) -> int:
+        """Live replica count of ``group`` (0 for an unknown group)."""
+        with self._lock:
+            return len(self._groups.get(group, ()))
+
+    # ------------------------------------------------------------------
+    # elastic shard pool (the autoscaler surface)
+    # ------------------------------------------------------------------
+    def add_shard(self, group: Optional[str] = None) -> str:
+        """Grow a replica group by one shard; returns the new shard key.
+
+        The new shard decodes the group's code with the service-wide
+        engine configuration and (on a started service) begins draining
+        work immediately.  With one configured code ``group`` may be
+        omitted.  Replica keys are ``<group>#<seq>`` with a monotonic
+        per-group sequence, so a key is never reused.
+        """
+        if self._closing.is_set():
+            raise ServiceClosedError("cannot add shards to a closed service")
+        with self._lock:
+            if group is None:
+                if len(self._groups) != 1:
+                    raise ServeError(
+                        f"service has {len(self._groups)} groups; pass one of "
+                        f"{list(self._groups)}"
+                    )
+                group = next(iter(self._groups))
+            code = self._group_codes.get(group)
+            if code is None:
+                raise ServeError(
+                    f"unknown shard group {group!r}; have {list(self._groups)}"
+                )
+            self._replica_seq[group] += 1
+            key = f"{group}#{self._replica_seq[group]}"
+            make_engine = self._engine_factory(
+                key, code, self.batch_size, self.max_iterations, self.fixed
+            )
+            shard = _Shard(key, make_engine, self.queue_capacity, group=group)
+            self._shards[key] = shard
+            self._groups[group].append(key)
+            self._length_index.setdefault(code.n, []).append(key)
+            self._shard_gauge.set(len(self._groups[group]), group=group)
+        if self._started:
+            self._start_worker(shard)
+        self._event("pool.shard_added", shard=key, group=group,
+                    replicas=self.group_size(group))
+        return key
+
+    def remove_shard(
+        self,
+        key: Optional[str] = None,
+        group: Optional[str] = None,
+        drain: bool = True,
+        timeout: Optional[float] = None,
+    ) -> str:
+        """Shrink the pool by one shard; returns the removed shard key.
+
+        Pass either an explicit shard ``key`` or a ``group`` (the most
+        recently added replica is removed).  The last replica of a group
+        cannot be removed — a group must always be routable.
+
+        With ``drain=True`` (default) the shard stops accepting new
+        frames, finishes its queued and in-flight work, and its worker
+        exits cleanly before the shard is dropped (bounded by
+        ``timeout`` seconds when given).  With ``drain=False`` queued
+        frames fail fast with :class:`~repro.errors.ShardDeadError`;
+        in-flight frames still retire.  Dead (struck-out) shards can be
+        removed regardless of replica count via ``key``.
+        """
+        with self._lock:
+            shard = self._resolve_removal(key, group)
+            members = self._groups[shard.group]
+            if len(members) <= 1 and shard.healthy:
+                raise ServeError(
+                    f"cannot remove {shard.key!r}: it is the last replica of "
+                    f"group {shard.group!r}"
+                )
+            shard.stopping.set()
+        if not drain:
+            self._fail_queue(
+                shard,
+                ShardDeadError(f"shard {shard.key!r} removed without drain"),
+            )
+        thread = shard.thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout)
+            if thread.is_alive():
+                raise ServeTimeoutError(
+                    f"shard {shard.key!r} did not drain within {timeout}s"
+                )
+        else:
+            # never started (or already dead): nothing will drain the queue
+            self._fail_queue(
+                shard, ShardDeadError(f"shard {shard.key!r} removed")
+            )
+            self._close_engine(shard.engine)
+        with self._lock:
+            self._shards.pop(shard.key, None)
+            members = self._groups.get(shard.group, [])
+            if shard.key in members:
+                members.remove(shard.key)
+            length_keys = self._length_index.get(
+                self._group_codes[shard.group].n, []
+            )
+            if shard.key in length_keys:
+                length_keys.remove(shard.key)
+            self._shard_gauge.set(len(members), group=shard.group)
+        self._event("pool.shard_removed", shard=shard.key, group=shard.group,
+                    replicas=self.group_size(shard.group), drained=drain)
+        return shard.key
+
+    def _resolve_removal(
+        self, key: Optional[str], group: Optional[str]
+    ) -> _Shard:
+        """Pick the shard to remove (caller holds the lock)."""
+        if key is not None:
+            shard = self._shards.get(key)
+            if shard is None:
+                raise ServeError(
+                    f"unknown shard key {key!r}; have {list(self._shards)}"
+                )
+            return shard
+        if group is None:
+            if len(self._groups) != 1:
+                raise ServeError(
+                    f"service has {len(self._groups)} groups; pass one of "
+                    f"{list(self._groups)}"
+                )
+            group = next(iter(self._groups))
+        members = self._groups.get(group)
+        if not members:
+            raise ServeError(
+                f"unknown shard group {group!r}; have {list(self._groups)}"
+            )
+        return self._shards[members[-1]]
+
+    def queue_fill(self, code_key: Optional[str] = None) -> float:
+        """Mean queue fill (0..1) across the routed shards.
+
+        ``code_key`` may be a group name or a shard key; ``None`` means
+        every shard.  The gateway's admission layer feeds this into the
+        load-shedding policy, so remote traffic sees the same degrade-
+        before-reject behaviour as in-process callers.
+        """
+        with self._lock:
+            if code_key is None:
+                shards = list(self._shards.values())
+            elif code_key in self._groups:
+                shards = [self._shards[k] for k in self._groups[code_key]]
+            elif code_key in self._shards:
+                shards = [self._shards[code_key]]
+            else:
+                raise ServeError(
+                    f"unknown code_key {code_key!r}; have {self.shard_keys}"
+                )
+        fills = [
+            s.queue.qsize() / s.queue.maxsize
+            for s in shards
+            if s.queue.maxsize > 0 and not s.stopping.is_set()
+        ]
+        if not fills:
+            return 1.0  # nothing routable: report saturated
+        return float(sum(fills)) / len(fills)
+
+    def inject_worker_crash(
+        self, key: Optional[str] = None, exc: Optional[BaseException] = None
+    ) -> str:
+        """Chaos hook: make one shard's worker raise at its next turn.
+
+        The crash takes the real supervision path — pending futures fail
+        fast, the engine is rebuilt, the supervisor restarts the worker
+        under backoff — exactly as an organic crash would.  Used by the
+        soak harness and resilience tests; returns the targeted key.
+        """
+        with self._lock:
+            if key is None:
+                candidates = [
+                    s for s in self._shards.values()
+                    if s.healthy and not s.stopping.is_set()
+                ]
+                if not candidates:
+                    raise ServeError("no healthy shard to crash")
+                shard = max(candidates, key=lambda s: s.load)
+            else:
+                shard = self._shards.get(key)
+                if shard is None:
+                    raise ServeError(
+                        f"unknown shard key {key!r}; have {list(self._shards)}"
+                    )
+            shard.crash_next = exc or RuntimeError(
+                f"injected worker crash (shard {shard.key!r})"
+            )
+        self._event("pool.inject_crash", shard=shard.key)
+        return shard.key
+
     def health(self) -> ServiceHealth:
         """Snapshot of every shard's liveness, load, and crash history."""
         shards = {}
-        for shard in self._shards.values():
+        with self._lock:
+            live = list(self._shards.values())
+        for shard in live:
             thread = shard.thread
             alive = thread is not None and thread.is_alive()
             shards[shard.key] = ShardHealth(
@@ -433,6 +684,7 @@ class DecodeService(object):
                 restarts=shard.restarts,
                 strikes=shard.strikes,
                 last_error=repr(shard.last_error) if shard.last_error else None,
+                group=shard.group,
             )
         slo_report = (
             self.slo.evaluate(self.metrics.registry)
@@ -450,6 +702,7 @@ class DecodeService(object):
         timeout: Optional[float] = 0.0,
         deadline_s: Optional[float] = None,
         max_retries: Optional[int] = None,
+        iteration_budget: Optional[int] = None,
     ) -> "Future[CompletedJob]":
         """Enqueue one frame; returns a future of :class:`CompletedJob`.
 
@@ -458,8 +711,10 @@ class DecodeService(object):
         llrs:
             Length-n channel LLRs for the target shard's code.
         code_key:
-            Shard to route to; optional when the service has one shard
-            or when the LLR length identifies the shard uniquely.
+            Group or shard to route to; optional when the service has
+            one group or when the LLR length identifies the group
+            uniquely.  A group key lands on its least-loaded healthy
+            replica.
         timeout:
             Seconds to wait for queue space.  ``0`` rejects immediately
             with :class:`QueueFullError` when the shard queue is full; a
@@ -472,6 +727,10 @@ class DecodeService(object):
         max_retries:
             Override of the service's ``default_max_retries`` transient
             retry budget for this job.
+        iteration_budget:
+            Optional caller-imposed iteration cap (e.g. a gateway
+            priority class); the effective budget is the tighter of this
+            and the load-shedding policy's.
         """
         if self._closing.is_set():
             self.metrics.frame_rejected()
@@ -479,6 +738,12 @@ class DecodeService(object):
         llrs = np.asarray(llrs, dtype=np.float64)
         shard = self._route(llrs, code_key)
         self._check_shard_alive(shard)
+        shed = self._shed_budget(shard)
+        if iteration_budget is not None:
+            shed = (
+                min(shed, int(iteration_budget)) if shed is not None
+                else min(int(iteration_budget), self.max_iterations)
+            )
         job = DecodeJob(
             llrs=llrs,
             code_key=shard.key,
@@ -488,7 +753,7 @@ class DecodeService(object):
             max_retries=(
                 self.default_max_retries if max_retries is None else max_retries
             ),
-            iteration_budget=self._shed_budget(shard),
+            iteration_budget=shed,
         )
         future: "Future[CompletedJob]" = Future()
         item = (job, future)
@@ -549,6 +814,10 @@ class DecodeService(object):
             self.log.log(_EVENT_LEVELS.get(name, "info"), name, **labels)
 
     def _check_shard_alive(self, shard: _Shard) -> None:
+        if shard.stopping.is_set():
+            raise ShardDeadError(
+                f"shard {shard.key!r} is draining for removal"
+            )
         if not shard.healthy:
             raise ShardDeadError(
                 f"shard {shard.key!r} is out of service after "
@@ -575,22 +844,41 @@ class DecodeService(object):
         return budget
 
     def _route(self, llrs: np.ndarray, code_key: Optional[str]) -> _Shard:
-        if code_key is not None:
-            shard = self._shards.get(code_key)
-            if shard is None:
+        with self._lock:
+            if code_key is not None:
+                members = self._groups.get(code_key)
+                if members is not None:
+                    return self._pick_replica(members, code_key)
+                shard = self._shards.get(code_key)
+                if shard is None:
+                    raise ServeError(
+                        f"unknown code_key {code_key!r}; have {self.shard_keys}"
+                    )
+                return shard
+            if len(self._groups) == 1:
+                group = next(iter(self._groups))
+                return self._pick_replica(self._groups[group], group)
+            keys = self._length_index.get(llrs.shape[0] if llrs.ndim else -1)
+            groups = {self._shards[k].group for k in (keys or ())}
+            if not groups or len(groups) != 1:
                 raise ServeError(
-                    f"unknown code_key {code_key!r}; have {self.shard_keys}"
+                    f"cannot route frame of length {llrs.shape}: pass code_key "
+                    f"(shards: {self.shard_keys})"
                 )
-            return shard
-        if len(self._shards) == 1:
-            return next(iter(self._shards.values()))
-        keys = self._length_index.get(llrs.shape[0] if llrs.ndim else -1)
-        if keys is None or len(keys) != 1:
-            raise ServeError(
-                f"cannot route frame of length {llrs.shape}: pass code_key "
-                f"(shards: {self.shard_keys})"
-            )
-        return self._shards[keys[0]]
+            group = groups.pop()
+            return self._pick_replica(self._groups[group], group)
+
+    def _pick_replica(self, members: List[str], group: str) -> _Shard:
+        """Least-loaded routable replica (caller holds the lock)."""
+        shards = [self._shards[k] for k in members]
+        routable = [
+            s for s in shards if s.healthy and not s.stopping.is_set()
+        ]
+        if not routable:
+            # every replica is dead or draining: return one so the
+            # caller's liveness check raises the canonical typed error
+            return shards[-1]
+        return min(routable, key=lambda s: s.load)
 
     # ------------------------------------------------------------------
     # worker loop + supervision
@@ -615,6 +903,17 @@ class DecodeService(object):
                 self._fail_queue(shard, exc)
                 self._close_engine(shard.engine)
                 shard.engine = shard.make_engine()
+                if shard.stopping.is_set():
+                    # crashed while draining for removal: don't restart,
+                    # just make sure nothing is left hanging
+                    self._fail_queue(
+                        shard,
+                        ShardDeadError(
+                            f"shard {shard.key!r} crashed while draining"
+                        ),
+                    )
+                    self._close_engine(shard.engine)
+                    return
                 if shard.strikes >= self.max_strikes:
                     shard.healthy = False
                     self._event("pool.shard_dead", shard=shard.key,
@@ -641,6 +940,9 @@ class DecodeService(object):
 
     def _worker_loop(self, shard: _Shard) -> None:
         while True:
+            if shard.crash_next is not None:
+                exc, shard.crash_next = shard.crash_next, None
+                raise exc
             engine = shard.engine
             # admit as much queued work as fits into free slots
             while engine.free_slots > 0:
@@ -674,7 +976,10 @@ class DecodeService(object):
                 self._event("pool.dispatch", shard=shard.key, job=job.job_id)
                 shard.futures[job.job_id] = (job, future)
             if engine.in_flight == 0:
-                if self._closing.is_set() and shard.queue.empty():
+                if (
+                    (self._closing.is_set() or shard.stopping.is_set())
+                    and shard.queue.empty()
+                ):
                     return
                 continue
             try:

@@ -342,3 +342,90 @@ class TestLogsCommand:
     def test_bad_level_exits_two(self, tmp_path, capsys):
         rc = main(["logs", self._write_log(tmp_path), "--level", "loud"])
         assert rc == 2
+
+
+class TestNetSoakCommand:
+    _FAST = [
+        "net-soak", "--connections", "6", "--frames", "2",
+        "--duration-scale", "0.2", "--no-crash", "--max-shards", "1",
+        "--seed", "3",
+    ]
+
+    @pytest.mark.net
+    def test_text_report(self, capsys):
+        rc = main(self._FAST)
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "net-soak:" in captured.out
+        assert "gold" in captured.out and "free" in captured.out
+        assert "verify:" in captured.out and "0 mismatches" in captured.out
+
+    @pytest.mark.net
+    def test_json_report(self, capsys):
+        rc = main(self._FAST + ["--json"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        doc = json.loads(captured.out)
+        assert doc["bench"] == "net"
+        assert doc["verify"]["mismatches"] == 0
+        assert doc["config"]["connections"] == 6
+        assert "commit" in doc
+
+    @pytest.mark.net
+    def test_json_to_file(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_net.json"
+        rc = main(self._FAST + ["--json", "-o", str(out)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert f"wrote {out}" in captured.err
+        doc = json.loads(out.read_text())
+        assert doc["bench"] == "net"
+
+    def test_rejects_bad_connections(self, capsys):
+        rc = main(["net-soak", "--connections", "0"])
+        assert rc == 2
+        assert "--connections" in capsys.readouterr().err
+
+    def test_rejects_bad_frames(self, capsys):
+        rc = main(["net-soak", "--frames", "0"])
+        assert rc == 2
+        assert "--frames" in capsys.readouterr().err
+
+
+class TestNetServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["net-serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 7207
+        assert args.kernel == "fused"
+        assert args.max_shards == 1
+
+    def test_tenant_specs(self):
+        from repro.__main__ import _parse_tenants
+        from repro.net.admission import BRONZE, GOLD
+
+        tenants = _parse_tenants(["gold:100:200:gold", "free:0.5:2:bronze"])
+        assert tenants["gold"].rate == 100.0
+        assert tenants["gold"].burst == 200.0
+        assert tenants["gold"].priority == GOLD
+        assert tenants["free"].priority == BRONZE
+
+    def test_tenant_numeric_priority(self):
+        from repro.__main__ import _parse_tenants
+
+        tenants = _parse_tenants(["t:1:2:7"])
+        assert tenants["t"].priority == 7
+
+    def test_bad_tenant_spec_raises(self):
+        from repro.__main__ import _parse_tenants
+
+        with pytest.raises(ValueError):
+            _parse_tenants(["justaname"])
+
+
+class TestLogsFollowFlag:
+    def test_follow_flag_parses(self):
+        args = build_parser().parse_args(["logs", "x.jsonl", "--follow"])
+        assert args.follow
+        args = build_parser().parse_args(["logs", "x.jsonl", "-f"])
+        assert args.follow

@@ -69,3 +69,9 @@ class TestExamples:
         out = run_example("decode_service.py", "--frames", "6", "--ebno", "3.5")
         assert "12 frames decoded across 2 rate shards" in out
         assert "mean batch occupancy" in out
+
+    @pytest.mark.net
+    def test_net_gateway(self):
+        out = run_example("net_gateway.py")
+        assert "0 bit mismatches" in out
+        assert "free tenant:" in out and "rejected" in out

@@ -1,0 +1,227 @@
+"""Admission-layer unit tests: token buckets, priority bias, budgets.
+
+All time-dependent behaviour runs on an injected fake clock, so quota
+refill arithmetic is exact, not sleep-based.
+"""
+
+import pytest
+
+from repro.errors import QuotaExceededError, ServeError
+from repro.net.admission import (
+    BRONZE,
+    GOLD,
+    PRIORITY_FILL_BIAS,
+    SILVER,
+    AdmissionController,
+    TenantPolicy,
+    TokenBucket,
+)
+from repro.serve.shedding import StepShedPolicy
+
+pytestmark = pytest.mark.net
+
+MAX_ITER = 10
+
+
+class FakeClock(object):
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert bucket.available == 3.0
+        assert all(bucket.try_acquire() for _ in range(3))
+        assert not bucket.try_acquire()
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+        for _ in range(4):
+            bucket.try_acquire()
+        clock.advance(1.0)  # +2 tokens
+        assert bucket.available == pytest.approx(2.0)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_burst_caps_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=5.0, clock=clock)
+        clock.advance(60.0)
+        assert bucket.available == 5.0
+
+    def test_zero_rate_never_refills(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire() and bucket.try_acquire()
+        clock.advance(1e6)
+        assert not bucket.try_acquire()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ServeError):
+            TokenBucket(rate=-1.0, burst=1.0)
+        with pytest.raises(ServeError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+def controller(clock, **tenants):
+    return AdmissionController(
+        {name: policy for name, policy in tenants.items()},
+        max_iterations=MAX_ITER,
+        clock=clock,
+    )
+
+
+class TestQuota:
+    def test_unknown_tenant_refused_without_default(self):
+        ctrl = controller(FakeClock())
+        with pytest.raises(QuotaExceededError, match="unknown tenant"):
+            ctrl.admit("nobody", 0.0)
+
+    def test_default_policy_admits_new_tenants(self):
+        clock = FakeClock()
+        ctrl = AdmissionController(
+            {}, max_iterations=MAX_ITER,
+            default_policy=TenantPolicy(rate=1.0, burst=2.0),
+            clock=clock,
+        )
+        assert ctrl.admit("walk-in", 0.0).tenant == "walk-in"
+        assert "walk-in" in ctrl.tenants
+        ctrl.admit("walk-in", 0.0)
+        with pytest.raises(QuotaExceededError, match="out of quota"):
+            ctrl.admit("walk-in", 0.0)
+
+    def test_exhaustion_and_refill(self):
+        clock = FakeClock()
+        ctrl = controller(
+            clock, free=TenantPolicy(rate=0.5, burst=2.0)
+        )
+        ctrl.admit("free", 0.0)
+        ctrl.admit("free", 0.0)
+        with pytest.raises(QuotaExceededError):
+            ctrl.admit("free", 0.0)
+        clock.advance(2.0)  # 0.5/s x 2s = 1 token back
+        ctrl.admit("free", 0.0)
+        with pytest.raises(QuotaExceededError):
+            ctrl.admit("free", 0.0)
+
+    def test_rejected_request_costs_no_token_elsewhere(self):
+        clock = FakeClock()
+        ctrl = controller(
+            clock,
+            a=TenantPolicy(rate=0.0, burst=1.0),
+            b=TenantPolicy(rate=0.0, burst=1.0),
+        )
+        ctrl.admit("a", 0.0)
+        with pytest.raises(QuotaExceededError):
+            ctrl.admit("a", 0.0)
+        assert ctrl.available("b") == 1.0  # b's bucket untouched
+
+
+class TestPriorityBias:
+    def test_gold_keeps_full_budget_below_threshold(self):
+        ctrl = controller(
+            FakeClock(), gold=TenantPolicy(rate=100, burst=100, priority=GOLD)
+        )
+        decision = ctrl.admit("gold", 0.70)
+        assert decision.iteration_budget is None
+        assert not decision.shed
+
+    def test_bronze_sheds_where_gold_does_not(self):
+        ctrl = controller(
+            FakeClock(),
+            gold=TenantPolicy(rate=100, burst=100, priority=GOLD),
+            bronze=TenantPolicy(rate=100, burst=100, priority=BRONZE),
+        )
+        fill = 0.50  # biased bronze fill = 0.85 -> 75% budget step
+        assert ctrl.admit("gold", fill).iteration_budget is None
+        bronze = ctrl.admit("bronze", fill)
+        assert bronze.shed
+        assert bronze.iteration_budget == int(MAX_ITER * 0.75)
+        assert bronze.biased_fill == pytest.approx(
+            fill + PRIORITY_FILL_BIAS[BRONZE]
+        )
+
+    def test_class_ordering_at_moderate_fill(self):
+        ctrl = controller(
+            FakeClock(),
+            g=TenantPolicy(rate=100, burst=100, priority=GOLD),
+            s=TenantPolicy(rate=100, burst=100, priority=SILVER),
+            b=TenantPolicy(rate=100, burst=100, priority=BRONZE),
+        )
+        fill = 0.62  # g: 0.62 (full), s: 0.77 (100%->75% step), b: 0.97 (50%)
+        budgets = {
+            name: ctrl.admit(name, fill).iteration_budget
+            for name in ("g", "s", "b")
+        }
+        assert budgets["g"] is None
+        assert budgets["s"] == int(MAX_ITER * 0.75)
+        assert budgets["b"] == int(MAX_ITER * 0.50)
+
+    def test_request_priority_cannot_beat_contract(self):
+        ctrl = controller(
+            FakeClock(),
+            bronze=TenantPolicy(rate=100, burst=100, priority=BRONZE),
+        )
+        decision = ctrl.admit("bronze", 0.5, priority=GOLD)
+        assert decision.priority == BRONZE  # clamped to the contract
+
+    def test_request_can_self_demote(self):
+        ctrl = controller(
+            FakeClock(),
+            gold=TenantPolicy(rate=100, burst=100, priority=GOLD),
+        )
+        decision = ctrl.admit("gold", 0.5, priority=BRONZE)
+        assert decision.priority == BRONZE
+        assert decision.shed
+
+    def test_unknown_class_gets_worst_bias(self):
+        ctrl = controller(
+            FakeClock(),
+            t=TenantPolicy(rate=100, burst=100, priority=77),
+        )
+        decision = ctrl.admit("t", 0.0)
+        assert decision.biased_fill == pytest.approx(
+            max(PRIORITY_FILL_BIAS.values())
+        )
+
+    def test_biased_fill_clamped_to_one(self):
+        ctrl = controller(
+            FakeClock(),
+            b=TenantPolicy(rate=100, burst=100, priority=BRONZE),
+        )
+        assert ctrl.admit("b", 0.95).biased_fill == 1.0
+
+
+class TestBudgetSemantics:
+    def test_budget_matches_shared_policy(self):
+        policy = StepShedPolicy()
+        ctrl = controller(
+            FakeClock(),
+            t=TenantPolicy(rate=100, burst=100, priority=GOLD),
+        )
+        for fill in (0.0, 0.5, 0.8, 0.95, 1.0):
+            decision = ctrl.admit("t", fill)
+            expected = policy.budget(fill, MAX_ITER)
+            got = decision.iteration_budget
+            assert (got if got is not None else MAX_ITER) == expected
+
+    def test_full_budget_is_none_not_max(self):
+        ctrl = controller(
+            FakeClock(), t=TenantPolicy(rate=100, burst=100)
+        )
+        # None means "no cap" so the service's own shed logic still rules
+        assert ctrl.admit("t", 0.0).iteration_budget is None
+
+    def test_priority_must_fit_u8(self):
+        with pytest.raises(ServeError):
+            TenantPolicy(rate=1.0, burst=1.0, priority=300)
