@@ -30,7 +30,12 @@ Commands:
   concurrent tenants, a quota-starved free tier, an injected worker
   crash, autoscaler growth and shrink, and a bit-exactness check of
   every decoded frame against ``decode_many`` (``--json`` emits the
-  ``BENCH_net.json`` document);
+  ``BENCH_net.json`` document); ``--chaos`` reroutes all traffic
+  through fault-injecting proxies (bit corruption, resets, a
+  partition, a gateway kill) and additionally asserts zero silent
+  corruption and bounded retry amplification;
+* ``chaos-proxy`` — run a standalone fault-injecting TCP proxy in
+  front of any gateway (the same engine the chaos soak uses);
 * ``perf-gate`` — re-run the committed ``BENCH_*.json`` baselines and
   exit non-zero when throughput regresses beyond tolerance (see
   docs/OBSERVABILITY.md);
@@ -598,6 +603,13 @@ def cmd_net_soak(args) -> int:
         seed=args.seed,
         inject_crash=not args.no_crash,
         max_shards=args.max_shards,
+        chaos=args.chaos,
+        replicas=args.replicas,
+        chaos_corrupt_p=args.corrupt_p,
+        partition_s=args.partition_s,
+        kill_gateway=not args.no_kill_gateway,
+        hedge_delay_s=args.hedge_delay,
+        heartbeat_s=args.heartbeat,
     )
     doc = run_net_soak(
         cfg,
@@ -609,6 +621,8 @@ def cmd_net_soak(args) -> int:
     verify = doc["verify"]
     slo = doc["slo"] or {}
     ok = verify["mismatches"] == 0 and slo.get("status") == "pass"
+    if args.chaos:
+        ok = ok and doc["chaos"]["amplification"] < 2.0
     if args.json:
         import json
 
@@ -651,11 +665,93 @@ def cmd_net_soak(args) -> int:
         f"{verify['unconverged']} unconverged"
         f"\nslo: {slo.get('status', 'unknown')}"
     )
+    if args.chaos:
+        chaos = doc["chaos"]
+        injected = {
+            key: sum(p[key] for p in chaos["proxies"])
+            for key in ("corrupted_bytes", "truncations", "resets",
+                        "delays", "partial_writes")
+        }
+        clients = chaos["clients"]
+        print(
+            f"chaos: partition={chaos['partitioned']} "
+            f"gateway_killed={chaos['gateway_killed']} "
+            f"crc_detected={chaos['crc_detected']} injected={injected}"
+            f"\nchaos clients: amplification="
+            f"{chaos['amplification']:.2f}x "
+            f"retries={clients['retries']} hedges={clients['hedges']} "
+            f"reconnects={clients['reconnects']} "
+            f"dedup_hits={chaos['dedup']['hits']}"
+            f"+{chaos['dedup']['joined']} joined"
+        )
     if args.log_out:
         print(f"wrote event log to {args.log_out}", file=sys.stderr)
     if args.trace_out:
         print(f"wrote Chrome trace to {args.trace_out}", file=sys.stderr)
     return 0 if ok else 1
+
+
+def cmd_chaos_proxy(args) -> int:
+    import asyncio
+    import json
+
+    from repro.chaos import ChaosConfig, ChaosProxy
+    from repro.utils.provenance import bench_meta
+
+    target = args.target
+    host_part, sep, port_part = target.rpartition(":")
+    if not sep or not host_part:
+        print(f"chaos-proxy: --target must be HOST:PORT, got {target!r}",
+              file=sys.stderr)
+        return 2
+    try:
+        target_port = int(port_part)
+    except ValueError:
+        print(f"chaos-proxy: bad target port {port_part!r}", file=sys.stderr)
+        return 2
+    chaos_cfg = ChaosConfig(
+        seed=args.seed,
+        corrupt_p=args.corrupt_p,
+        truncate_p=args.truncate_p,
+        reset_p=args.reset_p,
+        latency_p=args.latency_p,
+        latency_s=args.latency_s,
+        partial_write_p=args.partial_p,
+    )
+    proxy = ChaosProxy(
+        host_part, target_port, chaos_cfg, host=args.host, port=args.port
+    )
+
+    async def _run() -> None:
+        host, port = await proxy.start()
+        print(
+            f"chaos-proxy: {host}:{port} -> {host_part}:{target_port} "
+            f"(corrupt_p={args.corrupt_p:g}, reset_p={args.reset_p:g}, "
+            f"seed={args.seed}; Ctrl-C to stop)",
+            file=sys.stderr, flush=True,
+        )
+        try:
+            await asyncio.Event().wait()  # until Ctrl-C cancels us
+        finally:
+            await proxy.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    doc = bench_meta("chaos")
+    doc.update(
+        {
+            "target": f"{host_part}:{target_port}",
+            "config": chaos_cfg.to_dict(),
+            "injected": proxy.injected(),
+        }
+    )
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(f"chaos-proxy: injected {doc['injected']}", file=sys.stderr)
+    return 0
 
 
 def cmd_perf_gate(args) -> int:
@@ -970,6 +1066,77 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", default="",
         help="write the Chrome trace JSON to this path",
     )
+    ns.add_argument(
+        "--chaos", action="store_true",
+        help="route all traffic through fault-injecting proxies and "
+             "assert zero silent corruption + bounded retry "
+             "amplification (see docs/SERVING.md)",
+    )
+    ns.add_argument(
+        "--replicas", type=int, default=2,
+        help="gateway replicas behind chaos proxies (chaos mode)",
+    )
+    ns.add_argument(
+        "--corrupt-p", type=float, default=1e-3,
+        help="per-byte corruption probability on the hostile proxy",
+    )
+    ns.add_argument(
+        "--partition-s", type=float, default=0.5,
+        help="duration of the mid-peak network partition",
+    )
+    ns.add_argument(
+        "--no-kill-gateway", action="store_true",
+        help="skip killing the last gateway replica in the final phase",
+    )
+    ns.add_argument(
+        "--hedge-delay", type=float, default=1.0,
+        help="seconds before a slow request is hedged on another replica",
+    )
+    ns.add_argument(
+        "--heartbeat", type=float, default=0.5,
+        help="PING cadence for dead-peer detection (both directions)",
+    )
+
+    cp = sub.add_parser(
+        "chaos-proxy",
+        help="run a standalone fault-injecting TCP proxy until interrupted",
+    )
+    cp.add_argument(
+        "--target", required=True, metavar="HOST:PORT",
+        help="the real gateway to proxy onto",
+    )
+    cp.add_argument("--host", default="127.0.0.1")
+    cp.add_argument("--port", type=int, default=0, help="0 = OS-assigned")
+    cp.add_argument("--seed", type=int, default=0)
+    cp.add_argument(
+        "--corrupt-p", type=float, default=1e-3,
+        help="per-byte corruption probability",
+    )
+    cp.add_argument(
+        "--truncate-p", type=float, default=0.0,
+        help="per-chunk truncation probability",
+    )
+    cp.add_argument(
+        "--reset-p", type=float, default=0.0,
+        help="per-chunk connection-reset probability",
+    )
+    cp.add_argument(
+        "--latency-p", type=float, default=0.0,
+        help="per-chunk latency-spike probability",
+    )
+    cp.add_argument(
+        "--latency-s", type=float, default=0.02,
+        help="latency spike magnitude (seconds)",
+    )
+    cp.add_argument(
+        "--partial-p", type=float, default=0.0,
+        help="per-chunk partial-write probability",
+    )
+    cp.add_argument(
+        "--json", action="store_true",
+        help="on exit, emit the provenance header + injection counters "
+             "as JSON",
+    )
 
     pg = sub.add_parser(
         "perf-gate",
@@ -1036,6 +1203,7 @@ def main(argv=None) -> int:
         "logs": cmd_logs,
         "net-serve": cmd_net_serve,
         "net-soak": cmd_net_soak,
+        "chaos-proxy": cmd_chaos_proxy,
         "perf-gate": cmd_perf_gate,
         "synth": cmd_synth,
         "verilog": cmd_verilog,

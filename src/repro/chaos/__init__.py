@@ -1,0 +1,17 @@
+"""Deterministic wire-fault injection for the serving stack.
+
+See :mod:`repro.chaos.transport` for the fault planner
+(:class:`ChaosOps`), the in-process chaotic writer
+(:class:`ChaosWriter`), and the standalone chaos TCP proxy
+(:class:`ChaosProxy`) the chaos soak drives its traffic through.
+"""
+
+from repro.chaos.transport import (
+    ChaosConfig,
+    ChaosOps,
+    ChaosProxy,
+    ChaosWriter,
+    ChunkPlan,
+)
+
+__all__ = ["ChaosConfig", "ChaosOps", "ChaosProxy", "ChaosWriter", "ChunkPlan"]

@@ -1,0 +1,407 @@
+"""Deterministic wire-fault injection: chaos ops, writer, and proxy.
+
+The resilience claims of the serving stack (CRC frame integrity,
+retries, breakers, heartbeats — :mod:`repro.net`) are only claims until
+something actually mangles the wire.  This module is that something,
+built to be *reproducible*: every fault decision flows from a seeded
+:class:`numpy.random.Generator` keyed by ``(seed, stream_id)``, so a
+failing chaos run replays bit-for-bit from its config.
+
+Three layers, smallest first:
+
+* :class:`ChaosOps` — the sans-io fault planner.  Feed it a chunk of
+  bytes, get back a :class:`ChunkPlan`: possibly delayed, corrupted
+  (per-byte Bernoulli XOR), split into partial writes, truncated
+  mid-chunk, or dropped with a connection reset.  All counters live
+  here.
+* :class:`ChaosWriter` — in-process wrapper giving one
+  ``asyncio.StreamWriter`` a chaotic send path (tests without sockets).
+* :class:`ChaosProxy` — a standalone TCP proxy: point a client at its
+  port, it pumps bytes to the real gateway through a :class:`ChaosOps`
+  pair per connection.  :meth:`ChaosProxy.partition` simulates a full
+  network partition (existing connections die, new ones are refused)
+  until :meth:`ChaosProxy.heal`.
+
+Nothing here knows about frames on purpose: faults land on arbitrary
+byte boundaries, which is exactly what TCP delivers and exactly what
+the protocol's length prefix + CRC trailer must survive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+__all__ = ["ChaosConfig", "ChaosOps", "ChaosProxy", "ChaosWriter", "ChunkPlan"]
+
+#: Proxy read size — large enough that several frames share a chunk,
+#: small enough that big frames span chunks (both paths get exercised).
+_CHUNK = 65536
+
+
+@dataclass(frozen=True)
+class ChaosConfig(object):
+    """Fault probabilities for one chaotic stream direction.
+
+    All probabilities are per *chunk* except ``corrupt_p``, which is
+    per *byte* (a chunk's corrupted-byte count is Binomial(n, p)).
+    Zero everywhere (the default) makes every layer a bit-exact
+    passthrough — chaos is strictly opt-in.
+    """
+
+    seed: int = 0
+    corrupt_p: float = 0.0
+    truncate_p: float = 0.0
+    reset_p: float = 0.0
+    latency_p: float = 0.0
+    latency_s: float = 0.02
+    partial_write_p: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosConfig":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass
+class ChunkPlan(object):
+    """What :meth:`ChaosOps.plan` decided for one chunk."""
+
+    parts: List[bytes] = field(default_factory=list)
+    delay_s: float = 0.0
+    truncated: bool = False
+    reset: bool = False
+
+
+class ChaosOps(object):
+    """Deterministic per-stream fault planner (sans-io).
+
+    ``stream_id`` separates the random streams of different
+    connections/directions under one seed, so adding a connection never
+    shifts the fault pattern of another.
+    """
+
+    def __init__(self, config: ChaosConfig, stream_id: int = 0) -> None:
+        self.config = config
+        self.stream_id = stream_id
+        self._rng = np.random.default_rng([config.seed, stream_id])
+        self.chunks = 0
+        self.bytes_seen = 0
+        self.corrupted_bytes = 0
+        self.corrupted_chunks = 0
+        self.truncations = 0
+        self.resets = 0
+        self.delays = 0
+        self.partial_writes = 0
+
+    def plan(self, chunk: bytes) -> ChunkPlan:
+        """Decide the fate of ``chunk``; updates counters."""
+        cfg = self.config
+        rng = self._rng
+        self.chunks += 1
+        self.bytes_seen += len(chunk)
+        plan = ChunkPlan()
+        if cfg.latency_p > 0 and rng.random() < cfg.latency_p:
+            plan.delay_s = cfg.latency_s * (0.5 + float(rng.random()))
+            self.delays += 1
+        if cfg.reset_p > 0 and rng.random() < cfg.reset_p:
+            plan.reset = True
+            self.resets += 1
+            return plan
+        data = chunk
+        if cfg.truncate_p > 0 and rng.random() < cfg.truncate_p and len(data) > 1:
+            cut = int(rng.integers(1, len(data)))
+            data = data[:cut]
+            plan.truncated = True
+            self.truncations += 1
+        if cfg.corrupt_p > 0 and data:
+            buf = bytearray(data)
+            mask = rng.random(len(buf)) < cfg.corrupt_p
+            hits = np.flatnonzero(mask)
+            if hits.size:
+                # XOR with a nonzero byte so a hit always flips something
+                flips = rng.integers(1, 256, size=hits.size)
+                for pos, flip in zip(hits.tolist(), flips.tolist()):
+                    buf[pos] ^= flip
+                self.corrupted_bytes += int(hits.size)
+                self.corrupted_chunks += 1
+                data = bytes(buf)
+        if (
+            cfg.partial_write_p > 0
+            and len(data) > 1
+            and rng.random() < cfg.partial_write_p
+        ):
+            cut = int(rng.integers(1, len(data)))
+            plan.parts = [data[:cut], data[cut:]]
+            self.partial_writes += 1
+        else:
+            plan.parts = [data] if data else []
+        return plan
+
+    def to_dict(self) -> dict:
+        """Injection counters (aggregated by the proxy per direction)."""
+        return {
+            "chunks": self.chunks,
+            "bytes": self.bytes_seen,
+            "corrupted_bytes": self.corrupted_bytes,
+            "corrupted_chunks": self.corrupted_chunks,
+            "truncations": self.truncations,
+            "resets": self.resets,
+            "delays": self.delays,
+            "partial_writes": self.partial_writes,
+        }
+
+
+class ChaosWriter(object):
+    """In-process chaotic send path over a real ``StreamWriter``.
+
+    Mirrors the writer API the protocol helpers use (``write``,
+    ``drain``, ``close``, ``wait_closed``), applying a
+    :class:`ChaosOps` plan to every write.  A reset plan closes the
+    underlying transport — the peer sees a dropped connection, the
+    writer raises ``ConnectionResetError`` on the *next* use, exactly
+    like a real torn socket.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter, ops: ChaosOps) -> None:
+        self._writer = writer
+        self.ops = ops
+        self._dead = False
+        self._pending_plans: List[ChunkPlan] = []
+
+    def write(self, data: bytes) -> None:
+        if self._dead:
+            raise ConnectionResetError("chaos: connection was reset")
+        self._pending_plans.append(self.ops.plan(bytes(data)))
+
+    async def drain(self) -> None:
+        plans, self._pending_plans = self._pending_plans, []
+        for plan in plans:
+            if self._dead:
+                raise ConnectionResetError("chaos: connection was reset")
+            if plan.delay_s:
+                await asyncio.sleep(plan.delay_s)
+            if plan.reset:
+                self._dead = True
+                self._writer.close()
+                raise ConnectionResetError("chaos: connection was reset")
+            for part in plan.parts:
+                self._writer.write(part)
+                await self._writer.drain()
+            if plan.truncated:
+                self._dead = True
+                self._writer.close()
+
+    def close(self) -> None:
+        self._writer.close()
+
+    async def wait_closed(self) -> None:
+        try:
+            await self._writer.wait_closed()
+        except Exception:
+            pass
+
+    def get_extra_info(self, name: str, default=None):
+        return self._writer.get_extra_info(name, default)
+
+
+class _ProxyConn(object):
+    """Both writers of one proxied connection, closable as a unit."""
+
+    __slots__ = ("client_writer", "upstream_writer", "tasks")
+
+    def __init__(
+        self,
+        client_writer: asyncio.StreamWriter,
+        upstream_writer: asyncio.StreamWriter,
+    ) -> None:
+        self.client_writer = client_writer
+        self.upstream_writer = upstream_writer
+        self.tasks: Set["asyncio.Task"] = set()
+
+    def kill(self) -> None:
+        for writer in (self.client_writer, self.upstream_writer):
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+
+class ChaosProxy(object):
+    """Chaotic TCP proxy in front of a real gateway.
+
+    Every accepted connection gets an upstream connection to
+    ``(target_host, target_port)`` and two pump tasks, each with its
+    own :class:`ChaosOps` stream (``stream_id`` = connection index × 2
+    for client→gateway, +1 for gateway→client), so fault patterns are
+    independent per connection *and* per direction, and fully
+    reproducible from ``config.seed``.
+
+    :meth:`partition` drops every live connection and refuses new ones
+    until :meth:`heal`; :meth:`kill_connections` is the one-shot
+    variant (existing connections die, new ones connect fine).
+    """
+
+    def __init__(
+        self,
+        target_host: str,
+        target_port: int,
+        config: Optional[ChaosConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.target_host = target_host
+        self.target_port = target_port
+        self.config = config if config is not None else ChaosConfig()
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._partitioned = False
+        self._conn_seq = itertools.count()
+        self._conns: Set[_ProxyConn] = set()
+        self._ops: List[ChaosOps] = []
+        self.refused = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start proxying; returns the bound ``(host, port)``."""
+        if self._server is not None:
+            return self.address
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.host, self.port
+
+    async def close(self) -> None:
+        """Stop accepting and drop every proxied connection."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.kill_connections()
+
+    async def __aenter__(self) -> "ChaosProxy":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # fault controls
+    # ------------------------------------------------------------------
+    def partition(self) -> None:
+        """Network partition: kill live connections, refuse new ones."""
+        self._partitioned = True
+        for conn in list(self._conns):
+            conn.kill()
+
+    def heal(self) -> None:
+        """End the partition; new connections flow again."""
+        self._partitioned = False
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partitioned
+
+    async def kill_connections(self) -> None:
+        """Drop every live proxied connection (new ones still accepted)."""
+        for conn in list(self._conns):
+            conn.kill()
+        # give the pump tasks a beat to observe their dead sockets
+        tasks = [t for c in list(self._conns) for t in c.tasks]
+        if tasks:
+            await asyncio.wait(tasks, timeout=1.0)
+
+    def injected(self) -> Dict[str, int]:
+        """Aggregate fault counters across all connections/directions."""
+        total: Dict[str, int] = {}
+        for ops in self._ops:
+            for key, value in ops.to_dict().items():
+                total[key] = total.get(key, 0) + value
+        total["connections"] = len(self._ops) // 2
+        total["refused"] = self.refused
+        return total
+
+    # ------------------------------------------------------------------
+    # pumping
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._partitioned:
+            self.refused += 1
+            writer.close()
+            return
+        try:
+            up_reader, up_writer = await asyncio.open_connection(
+                self.target_host, self.target_port
+            )
+        except (ConnectionError, OSError):
+            self.refused += 1
+            writer.close()
+            return
+        index = next(self._conn_seq)
+        ops_up = ChaosOps(self.config, stream_id=index * 2)
+        ops_down = ChaosOps(self.config, stream_id=index * 2 + 1)
+        self._ops.extend((ops_up, ops_down))
+        conn = _ProxyConn(writer, up_writer)
+        self._conns.add(conn)
+        pump_up = asyncio.ensure_future(
+            self._pump(reader, up_writer, ops_up, conn)
+        )
+        pump_down = asyncio.ensure_future(
+            self._pump(up_reader, writer, ops_down, conn)
+        )
+        conn.tasks.update((pump_up, pump_down))
+        try:
+            await asyncio.wait({pump_up, pump_down})
+        finally:
+            conn.kill()
+            self._conns.discard(conn)
+
+    async def _pump(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        ops: ChaosOps,
+        conn: _ProxyConn,
+    ) -> None:
+        try:
+            while True:
+                chunk = await reader.read(_CHUNK)
+                if not chunk:
+                    break
+                if self._partitioned:
+                    break
+                plan = ops.plan(chunk)
+                if plan.delay_s:
+                    await asyncio.sleep(plan.delay_s)
+                if plan.reset:
+                    break
+                for part in plan.parts:
+                    writer.write(part)
+                    await writer.drain()
+                if plan.truncated:
+                    break
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            # one dead direction kills the whole proxied connection —
+            # half-duplex zombies would defeat dead-peer detection
+            conn.kill()

@@ -82,6 +82,25 @@ class NetProtocolError(ServeError):
     version, truncated or oversized payload, malformed body)."""
 
 
+class FrameCorruptionError(NetProtocolError):
+    """A protocol-v2 frame failed its CRC32C integrity check: the bytes
+    on the wire are not the bytes the peer sent.  The frame is dropped
+    before any of its contents are trusted — corruption is detected,
+    never decoded."""
+
+
+class ClientClosedError(ServeError):
+    """A blocking client call was made after :meth:`DecodeClient.close`
+    or after the client's private event-loop thread died; the call fails
+    fast instead of hanging on a loop that will never answer."""
+
+
+class CircuitOpenError(ServeError):
+    """A request was refused locally because the endpoint's circuit
+    breaker is open (too many consecutive failures); no bytes were sent.
+    The breaker half-opens after its reset timeout and probes."""
+
+
 class QuotaExceededError(ServeError):
     """A tenant exceeded its admission quota (token bucket empty or the
     tenant is unknown to the gateway); the request was refused before it

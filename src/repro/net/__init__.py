@@ -16,8 +16,15 @@ gateway with multi-tenant admission control and SLO-driven autoscaling.
   :class:`DecodeClient` (blocking).
 * :mod:`repro.net.autoscaler` — :class:`Autoscaler`, the control loop
   growing/shrinking shards off ``health().slo`` and queue fill.
+* :mod:`repro.net.resilience` — :class:`ResilientDecodeClient` with
+  retries, hedging, circuit breakers, and heartbeat liveness.
+* :mod:`repro.net.dedup` — :class:`DedupWindow`, the gateway-side
+  idempotency window that makes retries decode-once.
+* :mod:`repro.net.crc` — the CRC32C used by protocol v2 frame
+  integrity.
 * :mod:`repro.net.soak` — :func:`run_net_soak`, the self-verifying
-  diurnal-traffic soak harness behind ``repro net-soak``.
+  diurnal-traffic soak harness behind ``repro net-soak`` (with
+  ``--chaos`` it drives everything through :mod:`repro.chaos` proxies).
 """
 
 from repro.net.admission import (
@@ -31,19 +38,31 @@ from repro.net.admission import (
 )
 from repro.net.autoscaler import Autoscaler
 from repro.net.client import AsyncDecodeClient, DecodeClient, RemoteResult
+from repro.net.crc import crc32c
+from repro.net.dedup import DedupWindow
 from repro.net.gateway import DecodeGateway
 from repro.net.metrics import NetMetrics
 from repro.net.protocol import (
+    CLIENT_FLAGS,
     DEFAULT_MAX_FRAME_BYTES,
+    FLAG_CRC32C,
+    FLAG_HEARTBEAT,
+    FLAG_IDEMPOTENCY,
     MAGIC,
+    SUPPORTED_VERSIONS,
+    V1,
+    V2,
     VERSION,
     ErrorFrame,
+    FrameReader,
+    Hello,
     Ping,
     Pong,
     Request,
     Result,
     decode_frame,
     encode_error,
+    encode_hello,
     encode_ping,
     encode_pong,
     encode_request,
@@ -54,6 +73,11 @@ from repro.net.protocol import (
     unpack_llrs,
     write_frame,
 )
+from repro.net.resilience import (
+    CircuitBreaker,
+    ResilientDecodeClient,
+    RetryPolicy,
+)
 from repro.net.soak import SoakConfig, run_net_soak
 
 __all__ = [
@@ -62,25 +86,40 @@ __all__ = [
     "AsyncDecodeClient",
     "Autoscaler",
     "BRONZE",
+    "CLIENT_FLAGS",
+    "CircuitBreaker",
     "DEFAULT_MAX_FRAME_BYTES",
     "DecodeClient",
     "DecodeGateway",
+    "DedupWindow",
     "ErrorFrame",
+    "FLAG_CRC32C",
+    "FLAG_HEARTBEAT",
+    "FLAG_IDEMPOTENCY",
+    "FrameReader",
     "GOLD",
+    "Hello",
     "MAGIC",
     "NetMetrics",
     "Ping",
     "Pong",
     "RemoteResult",
     "Request",
+    "ResilientDecodeClient",
     "Result",
+    "RetryPolicy",
     "SILVER",
+    "SUPPORTED_VERSIONS",
     "SoakConfig",
     "TenantPolicy",
     "TokenBucket",
+    "V1",
+    "V2",
     "VERSION",
+    "crc32c",
     "decode_frame",
     "encode_error",
+    "encode_hello",
     "encode_ping",
     "encode_pong",
     "encode_request",

@@ -10,10 +10,21 @@ exhaustion as :class:`~repro.errors.QuotaExceededError`, backpressure
 as :class:`~repro.errors.QueueFullError`, ...), so remote and
 in-process callers handle failure identically.
 
+Connections are HELLO-negotiated by default: the client proposes
+protocol v2 plus its feature flags and adopts whatever the gateway
+answers — CRC32C frame integrity, gateway heartbeats (the read loop
+answers inbound PINGs), and idempotency keys on requests.  A gateway
+that rejects or ignores HELLO gets a clean v1 reconnect, so old peers
+keep working unchanged; pass ``negotiate=False`` to pin a connection
+to v1 outright.
+
 :class:`DecodeClient` is the blocking facade: it runs a private event
 loop on a daemon thread and forwards calls, so synchronous code (and
 ``ThreadPoolExecutor`` load generators) can use the gateway without
-touching asyncio.
+touching asyncio.  Its :meth:`~DecodeClient.close` is idempotent, and
+every blocking call fails fast with
+:class:`~repro.errors.ClientClosedError` — instead of hanging on a
+dead executor — once the client is closed or its loop thread has died.
 """
 
 from __future__ import annotations
@@ -22,18 +33,33 @@ import asyncio
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import GatewayClosedError, NetProtocolError, ServeTimeoutError
+from repro.errors import (
+    ClientClosedError,
+    GatewayClosedError,
+    NetProtocolError,
+    ServeTimeoutError,
+)
 from repro.net.admission import GOLD
 from repro.net.protocol import (
+    CLIENT_FLAGS,
     DEFAULT_MAX_FRAME_BYTES,
+    FLAG_IDEMPOTENCY,
+    SUPPORTED_VERSIONS,
+    V1,
+    V2,
+    VERSION,
     ErrorFrame,
+    Hello,
+    Ping,
     Pong,
     Result,
+    encode_hello,
     encode_ping,
+    encode_pong,
     encode_request,
     read_frame,
 )
@@ -56,6 +82,71 @@ class RemoteResult(object):
     latency_s: float
 
 
+async def _negotiate(
+    host: str,
+    port: int,
+    max_frame_bytes: int,
+    fallback_to_v1: bool = True,
+    hello_timeout: float = 10.0,
+) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter, int, int]:
+    """Open a connection and settle (version, flags) via HELLO.
+
+    A peer that answers anything but HELLO — an ERROR frame, garbage,
+    or an immediate close — predates negotiation; it gets a fresh
+    connection pinned to v1 so no handshake bytes linger in its stream.
+
+    With ``fallback_to_v1=False`` any handshake anomaly raises instead:
+    on a wire hostile enough to mangle the HELLO exchange, silently
+    degrading to v1 would drop the CRC protection exactly where it is
+    needed most, so strict callers (the resilient client) fail the
+    attempt and retry.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    version, flags = V1, 0
+    reply = None
+    try:
+        writer.write(encode_hello(CLIENT_FLAGS, VERSION))
+        await writer.drain()
+        # deadline: a mangled length prefix would stall this read
+        # forever — the peer is waiting for bytes that never come
+        reply = await asyncio.wait_for(
+            read_frame(reader, max_frame_bytes), hello_timeout
+        )
+    except (NetProtocolError, ConnectionError, OSError,
+            asyncio.TimeoutError) as exc:
+        if not fallback_to_v1:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+            if isinstance(exc, asyncio.TimeoutError):
+                raise ServeTimeoutError(
+                    f"HELLO handshake not answered within {hello_timeout}s"
+                ) from None
+            raise
+        reply = None
+    if isinstance(reply, Hello):
+        if reply.version in SUPPORTED_VERSIONS:
+            version = reply.version
+        flags = reply.flags & CLIENT_FLAGS
+        if version < V2:
+            flags = 0
+    else:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+        if not fallback_to_v1:
+            raise NetProtocolError(
+                f"peer did not answer HELLO (got {type(reply).__name__}); "
+                f"refusing the v1 fallback on a strict connection"
+            )
+        reader, writer = await asyncio.open_connection(host, port)
+    return reader, writer, version, flags
+
+
 class AsyncDecodeClient(object):
     """Asyncio client for one gateway connection.
 
@@ -72,6 +163,8 @@ class AsyncDecodeClient(object):
         code_id: str = "",
         priority: int = GOLD,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        version: int = V1,
+        flags: int = 0,
     ) -> None:
         self._reader = reader
         self._writer = writer
@@ -79,11 +172,14 @@ class AsyncDecodeClient(object):
         self.code_id = code_id
         self.priority = priority
         self.max_frame_bytes = max_frame_bytes
+        self.version = version
+        self.flags = flags
         self._job_seq = 0
         self._pending: Dict[int, "asyncio.Future"] = {}
         self._send_lock = asyncio.Lock()
         self._closed = False
         self._conn_error: Optional[BaseException] = None
+        self.pings_answered = 0
         self._reader_task = asyncio.ensure_future(self._read_loop())
 
     @classmethod
@@ -95,13 +191,30 @@ class AsyncDecodeClient(object):
         code_id: str = "",
         priority: int = GOLD,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        negotiate: bool = True,
+        fallback_to_v1: bool = True,
+        hello_timeout: float = 10.0,
     ) -> "AsyncDecodeClient":
-        """Open a gateway connection and start the result reader."""
-        reader, writer = await asyncio.open_connection(host, port)
+        """Open a gateway connection and start the result reader.
+
+        With ``negotiate=True`` (default) the connection speaks the
+        highest HELLO-agreed protocol version; ``negotiate=False`` pins
+        it to v1 (no handshake bytes on the wire at all).
+        ``fallback_to_v1=False`` turns a failed or garbled handshake
+        into an error instead of a silent v1 downgrade.
+        """
+        if negotiate:
+            reader, writer, version, flags = await _negotiate(
+                host, port, max_frame_bytes,
+                fallback_to_v1=fallback_to_v1, hello_timeout=hello_timeout,
+            )
+        else:
+            reader, writer = await asyncio.open_connection(host, port)
+            version, flags = V1, 0
         return cls(
             reader, writer,
             tenant=tenant, code_id=code_id, priority=priority,
-            max_frame_bytes=max_frame_bytes,
+            max_frame_bytes=max_frame_bytes, version=version, flags=flags,
         )
 
     async def __aenter__(self) -> "AsyncDecodeClient":
@@ -115,6 +228,11 @@ class AsyncDecodeClient(object):
         """Requests in flight on this connection."""
         return len(self._pending)
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran or the connection died."""
+        return self._closed or self._conn_error is not None
+
     # ------------------------------------------------------------------
     # requests
     # ------------------------------------------------------------------
@@ -124,10 +242,15 @@ class AsyncDecodeClient(object):
         code_id: Optional[str] = None,
         priority: Optional[int] = None,
         timeout: Optional[float] = None,
+        idempotency_key: str = "",
     ) -> RemoteResult:
         """Send one frame and await its result.
 
-        Raises the typed error the gateway shipped, or
+        ``idempotency_key`` marks retries of one logical job for the
+        gateway's dedup window; it rides the wire only when the
+        connection negotiated the capability (v1 connections silently
+        drop it — the retry then simply decodes again, which is the v1
+        status quo).  Raises the typed error the gateway shipped, or
         :class:`~repro.errors.ServeTimeoutError` when ``timeout``
         seconds pass first, or
         :class:`~repro.errors.GatewayClosedError` when the connection
@@ -151,6 +274,10 @@ class AsyncDecodeClient(object):
             self.code_id if code_id is None else code_id,
             self.priority if priority is None else priority,
             llrs=np.asarray(llrs, dtype=np.float64),
+            version=self.version,
+            idempotency_key=(
+                idempotency_key if self.flags & FLAG_IDEMPOTENCY else ""
+            ),
         )
         try:
             async with self._send_lock:
@@ -190,7 +317,7 @@ class AsyncDecodeClient(object):
         self._pending[job_id] = future
         t0 = time.monotonic()
         async with self._send_lock:
-            self._writer.write(encode_ping(job_id))
+            self._writer.write(encode_ping(job_id, version=self.version))
             await self._writer.drain()
         try:
             await asyncio.wait_for(future, timeout)
@@ -232,6 +359,18 @@ class AsyncDecodeClient(object):
                     future = self._pending.pop(frame.job_id, None)
                     if future is not None and not future.done():
                         future.set_result(frame)
+                elif isinstance(frame, Ping):
+                    # gateway heartbeat: answer so it knows we are alive
+                    try:
+                        async with self._send_lock:
+                            self._writer.write(
+                                encode_pong(frame.job_id,
+                                            version=self.version)
+                            )
+                            await self._writer.drain()
+                        self.pings_answered += 1
+                    except (ConnectionError, RuntimeError, OSError):
+                        pass
                 elif isinstance(frame, ErrorFrame):
                     exc = frame.to_exception()
                     if frame.job_id == 0:
@@ -241,7 +380,7 @@ class AsyncDecodeClient(object):
                     future = self._pending.pop(frame.job_id, None)
                     if future is not None and not future.done():
                         future.set_exception(exc)
-                # anything else (a stray Request/Ping) is ignored
+                # anything else (a stray Request/Hello) is ignored
         except asyncio.CancelledError:
             raise
         except Exception as exc:
@@ -270,6 +409,12 @@ class DecodeClient(object):
 
         with DecodeClient(host, port, tenant="gold") as client:
             result = client.decode(llrs)
+
+    Lifecycle: :meth:`close` is idempotent, and once the client is
+    closed — or its private loop thread has died for any reason — every
+    blocking call raises :class:`~repro.errors.ClientClosedError`
+    immediately rather than queueing work for an executor that will
+    never run it.
     """
 
     def __init__(
@@ -280,7 +425,9 @@ class DecodeClient(object):
         code_id: str = "",
         priority: int = GOLD,
         connect_timeout: float = 10.0,
+        negotiate: bool = True,
     ) -> None:
+        self._closed = False
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
             target=self._loop.run_forever,
@@ -293,6 +440,7 @@ class DecodeClient(object):
                 AsyncDecodeClient.connect(
                     host, port,
                     tenant=tenant, code_id=code_id, priority=priority,
+                    negotiate=negotiate,
                 ),
                 timeout=connect_timeout,
             )
@@ -300,7 +448,27 @@ class DecodeClient(object):
             self._stop_loop()
             raise
 
+    @property
+    def version(self) -> int:
+        """The negotiated protocol version of the connection."""
+        return self._client.version
+
+    @property
+    def flags(self) -> int:
+        """The negotiated feature flags of the connection."""
+        return self._client.flags
+
     def _call(self, coro, timeout: Optional[float] = None):
+        if (
+            self._closed
+            or self._loop.is_closed()
+            or not self._thread.is_alive()
+        ):
+            coro.close()  # suppress the never-awaited warning
+            raise ClientClosedError(
+                "DecodeClient is closed (or its event-loop thread died); "
+                "open a new client"
+            )
         future = asyncio.run_coroutine_threadsafe(coro, self._loop)
         try:
             return future.result(timeout)
@@ -316,12 +484,14 @@ class DecodeClient(object):
         code_id: Optional[str] = None,
         priority: Optional[int] = None,
         timeout: Optional[float] = None,
+        idempotency_key: str = "",
     ) -> RemoteResult:
         """Blocking :meth:`AsyncDecodeClient.decode`."""
         slack = None if timeout is None else timeout + 5.0
         return self._call(
             self._client.decode(
-                llrs, code_id=code_id, priority=priority, timeout=timeout
+                llrs, code_id=code_id, priority=priority, timeout=timeout,
+                idempotency_key=idempotency_key,
             ),
             timeout=slack,
         )
@@ -331,19 +501,33 @@ class DecodeClient(object):
         return self._call(self._client.ping(timeout), timeout=timeout + 5.0)
 
     def close(self) -> None:
-        """Close the connection and stop the private loop (idempotent)."""
-        if self._loop.is_closed():
+        """Close the connection and stop the private loop.
+
+        Idempotent, and never hangs: when the loop thread has already
+        died the asyncio-side close is skipped (there is nobody to run
+        it) and only the local teardown happens.
+        """
+        if self._closed:
             return
-        try:
-            self._call(self._client.close(), timeout=10.0)
-        except Exception:
-            pass
+        self._closed = True
+        if self._thread.is_alive() and not self._loop.is_closed():
+            try:
+                future = asyncio.run_coroutine_threadsafe(
+                    self._client.close(), self._loop
+                )
+                future.result(10.0)
+            except Exception:
+                pass
         self._stop_loop()
 
     def _stop_loop(self) -> None:
-        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread.is_alive() and not self._loop.is_closed():
+            try:
+                self._loop.call_soon_threadsafe(self._loop.stop)
+            except RuntimeError:
+                pass
         self._thread.join(timeout=10.0)
-        if not self._loop.is_running():
+        if not self._thread.is_alive() and not self._loop.is_closed():
             self._loop.close()
 
     def __enter__(self) -> "DecodeClient":

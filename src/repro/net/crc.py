@@ -1,0 +1,65 @@
+"""CRC32C (Castagnoli) — the frame-integrity checksum of protocol v2.
+
+The gateway protocol guards every v2 frame with a CRC32C trailer so a
+flipped bit or a torn write on the wire is *detected*, never decoded
+(see :mod:`repro.net.protocol`).  CRC32C is chosen over the zlib CRC32
+(IEEE) for its better burst-error detection and because it is what the
+storage/network world standardized on (iSCSI, ext4, TCP offload) — a
+deliberate echo of the paper's hardware framing, where datapath parity
+is cheap and always on.
+
+This is a pure-python table-driven implementation (the container bakes
+no ``crc32c`` wheel and zlib's polynomial is the wrong one).  It is
+slicing-by-4 over the reflected polynomial ``0x82F63B78``: ~4x fewer
+loop iterations than byte-at-a-time, which keeps the cost well under
+the decode time for protocol-sized frames (a 2.4 KiB REQUEST hashes in
+well under a millisecond).
+"""
+
+from __future__ import annotations
+
+__all__ = ["CRC32C_POLY", "crc32c"]
+
+#: Reflected Castagnoli polynomial.
+CRC32C_POLY = 0x82F63B78
+
+
+def _build_tables() -> "tuple[list[int], ...]":
+    table0 = []
+    for i in range(256):
+        c = i
+        for _ in range(8):
+            c = (c >> 1) ^ CRC32C_POLY if c & 1 else c >> 1
+        table0.append(c)
+    tables = [table0]
+    for k in range(1, 4):
+        prev = tables[k - 1]
+        tables.append([table0[prev[i] & 0xFF] ^ (prev[i] >> 8)
+                       for i in range(256)])
+    return tuple(tables)
+
+
+_T0, _T1, _T2, _T3 = _build_tables()
+
+
+def crc32c(data: "bytes | bytearray | memoryview", crc: int = 0) -> int:
+    """CRC32C of ``data``, continuing from a previous ``crc`` (default 0).
+
+    ``crc32c(b + c) == crc32c(c, crc32c(b))``, so frames can be hashed
+    incrementally.  Returns an unsigned 32-bit integer.
+    """
+    c = ~crc & 0xFFFFFFFF
+    view = memoryview(data)
+    n = len(view)
+    word_end = n - (n % 4)
+    i = 0
+    while i < word_end:
+        c ^= view[i] | (view[i + 1] << 8) | (view[i + 2] << 16) \
+            | (view[i + 3] << 24)
+        c = _T3[c & 0xFF] ^ _T2[(c >> 8) & 0xFF] \
+            ^ _T1[(c >> 16) & 0xFF] ^ _T0[(c >> 24) & 0xFF]
+        i += 4
+    while i < n:
+        c = _T0[(c ^ view[i]) & 0xFF] ^ (c >> 8)
+        i += 1
+    return ~c & 0xFFFFFFFF

@@ -22,6 +22,23 @@ degradation both happen at the door.  Every failure — protocol, quota,
 backpressure, shard death — is one typed ``ServeError`` member, shipped
 as an ERROR frame and re-raised as the same type client-side.
 
+Wire-level resilience (protocol v2, HELLO-negotiated per connection;
+v1 peers keep working unchanged):
+
+* **Frame integrity** — v2 frames carry a CRC32C trailer; a corrupt
+  frame raises :class:`~repro.errors.FrameCorruptionError`, is counted
+  (``net_crc_corrupt_total``), answered with a connection-scoped ERROR,
+  and the connection is closed so both sides resync from a clean slate.
+* **Idempotent retries** — v2 REQUESTs may carry a client-generated
+  idempotency key; the gateway's :class:`~repro.net.dedup.DedupWindow`
+  replays finished results and *joins* in-flight decodes, so a retried
+  or hedged job never decodes twice within the TTL window.
+* **Dead-peer detection** — when ``heartbeat_interval_s`` is set and the
+  peer negotiated the heartbeat flag, an idle connection is PINGed on
+  that cadence; ``heartbeat_misses`` unanswered pings close it
+  (``net_dead_peer_total``), so half-open TCP sessions cannot pin
+  gateway state forever.
+
 Graceful drain: :meth:`close` stops the listener, lets in-flight
 requests finish streaming their results (bounded by
 ``drain_timeout_s``), refuses new requests with
@@ -35,6 +52,7 @@ import time
 from typing import TYPE_CHECKING, Optional, Set, Tuple
 
 from repro.errors import (
+    FrameCorruptionError,
     GatewayClosedError,
     NetProtocolError,
     QueueFullError,
@@ -43,13 +61,23 @@ from repro.errors import (
     ServiceClosedError,
 )
 from repro.net.admission import AdmissionController
+from repro.net.dedup import DedupWindow
 from repro.net.metrics import NetMetrics
 from repro.net.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
+    FLAG_CRC32C,
+    FLAG_HEARTBEAT,
+    FLAG_IDEMPOTENCY,
+    V1,
+    V2,
+    Hello,
     Ping,
+    Pong,
     Request,
     decode_frame,
     encode_error,
+    encode_hello,
+    encode_ping,
     encode_pong,
     encode_result,
     read_raw,
@@ -60,7 +88,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.trace import TraceRecorder
     from repro.serve.pool import DecodeService
 
-__all__ = ["DecodeGateway"]
+__all__ = ["DecodeGateway", "GATEWAY_FLAGS"]
+
+#: Capabilities this gateway is willing to negotiate in a HELLO reply.
+GATEWAY_FLAGS = FLAG_CRC32C | FLAG_HEARTBEAT | FLAG_IDEMPOTENCY
 
 #: Severity of each gateway lifecycle event in the structured log.
 _EVENT_LEVELS = {
@@ -69,11 +100,15 @@ _EVENT_LEVELS = {
     "net.closed": "info",
     "net.conn_open": "debug",
     "net.conn_close": "debug",
+    "net.hello": "debug",
     "net.request": "debug",
     "net.result": "debug",
+    "net.dedup": "debug",
     "net.reject": "warning",
     "net.error": "warning",
     "net.protocol_error": "warning",
+    "net.crc_corrupt": "warning",
+    "net.dead_peer": "warning",
 }
 
 #: Rejection reasons, keyed by the typed error that caused them.
@@ -83,6 +118,28 @@ _REJECT_REASONS = {
     GatewayClosedError: "drain",
     ServiceClosedError: "drain",
 }
+
+
+class _ConnState(object):
+    """Per-connection negotiation + liveness state."""
+
+    __slots__ = ("writer", "lock", "peer", "version", "flags",
+                 "last_rx", "missed_pings", "ping_seq", "closed")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        self.peer = str(writer.get_extra_info("peername"))
+        self.version = V1
+        self.flags = 0
+        self.last_rx = time.monotonic()
+        self.missed_pings = 0
+        self.ping_seq = 0
+        self.closed = False
+
+    def saw_frame(self) -> None:
+        self.last_rx = time.monotonic()
+        self.missed_pings = 0
 
 
 class DecodeGateway(object):
@@ -111,6 +168,18 @@ class DecodeGateway(object):
     drain_timeout_s:
         How long :meth:`close` waits for in-flight requests to finish
         before force-closing connections.
+    dedup:
+        Optional :class:`DedupWindow` for v2 idempotency keys; pass one
+        shared instance to several replica gateways so hedged requests
+        dedup across all of them.  A private window is created when
+        None; pass ``dedup_ttl_s <= 0`` to disable entirely.
+    dedup_ttl_s:
+        TTL of the private dedup window (ignored when ``dedup`` given).
+    heartbeat_interval_s:
+        PING cadence for idle v2 connections that negotiated the
+        heartbeat flag; None (default) disables gateway-side pings.
+    heartbeat_misses:
+        Unanswered pings after which a peer is declared dead.
     """
 
     def __init__(
@@ -124,6 +193,10 @@ class DecodeGateway(object):
         recorder: "Optional[TraceRecorder]" = None,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         drain_timeout_s: float = 10.0,
+        dedup: Optional[DedupWindow] = None,
+        dedup_ttl_s: float = 30.0,
+        heartbeat_interval_s: Optional[float] = None,
+        heartbeat_misses: int = 3,
     ) -> None:
         self.service = service
         self.admission = admission
@@ -134,12 +207,21 @@ class DecodeGateway(object):
         self.recorder = recorder
         self.max_frame_bytes = max_frame_bytes
         self.drain_timeout_s = drain_timeout_s
+        if dedup is not None:
+            self.dedup: Optional[DedupWindow] = dedup
+        elif dedup_ttl_s > 0:
+            self.dedup = DedupWindow(ttl_s=dedup_ttl_s)
+        else:
+            self.dedup = None
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.heartbeat_misses = heartbeat_misses
         self._server: Optional[asyncio.AbstractServer] = None
         self._draining = False
         self._closed = False
         self._writers: Set[asyncio.StreamWriter] = set()
         self._inflight: Set["asyncio.Task"] = set()
         self._conn_tasks: Set["asyncio.Task"] = set()
+        self._heartbeats: Set["asyncio.Task"] = set()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -181,6 +263,8 @@ class DecodeGateway(object):
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        for task in list(self._heartbeats):
+            task.cancel()
         if drain:
             if self._inflight:
                 await asyncio.wait(
@@ -216,20 +300,16 @@ class DecodeGateway(object):
             self._conn_tasks.add(task)
         self._writers.add(writer)
         self.metrics.conn_opened()
-        peer = writer.get_extra_info("peername")
-        self._event("net.conn_open", peer=str(peer))
-        write_lock = asyncio.Lock()
+        conn = _ConnState(writer)
+        self._event("net.conn_open", peer=conn.peer)
         conn_tasks: Set["asyncio.Task"] = set()
+        heartbeat_task: Optional["asyncio.Task"] = None
         try:
             while True:
                 try:
                     payload = await read_raw(reader, self.max_frame_bytes)
                 except NetProtocolError as exc:
-                    self._event("net.protocol_error", peer=str(peer),
-                                error=str(exc))
-                    await self._send_quiet(
-                        writer, write_lock, encode_error(0, exc)
-                    )
+                    await self._conn_fatal(conn, exc)
                     break
                 if payload is None:
                     break  # client closed cleanly
@@ -237,35 +317,43 @@ class DecodeGateway(object):
                 try:
                     frame = decode_frame(payload)
                 except NetProtocolError as exc:
-                    self._event("net.protocol_error", peer=str(peer),
-                                error=str(exc))
-                    await self._send_quiet(
-                        writer, write_lock, encode_error(0, exc)
-                    )
+                    await self._conn_fatal(conn, exc)
                     break
+                conn.saw_frame()
+                if isinstance(frame, Hello):
+                    heartbeat_task = self._negotiate(conn, frame,
+                                                     heartbeat_task)
+                    continue
                 if isinstance(frame, Ping):
                     await self._send_quiet(
-                        writer, write_lock, encode_pong(frame.job_id)
+                        conn, encode_pong(frame.job_id, version=conn.version)
                     )
                     continue
+                if isinstance(frame, Pong):
+                    continue  # liveness bookkeeping happened in saw_frame
                 if not isinstance(frame, Request):
                     exc = NetProtocolError(
                         f"clients may not send {type(frame).__name__} frames"
                     )
-                    self._event("net.protocol_error", peer=str(peer),
+                    self._event("net.protocol_error", peer=conn.peer,
                                 error=str(exc))
                     await self._send_quiet(
-                        writer, write_lock, encode_error(frame.job_id, exc)
+                        conn,
+                        encode_error(frame.job_id, exc, version=conn.version),
                     )
                     break
                 req_task = asyncio.ensure_future(
-                    self._serve_request(frame, writer, write_lock)
+                    self._serve_request(frame, conn)
                 )
                 conn_tasks.add(req_task)
                 self._inflight.add(req_task)
                 req_task.add_done_callback(conn_tasks.discard)
                 req_task.add_done_callback(self._inflight.discard)
         finally:
+            conn.closed = True
+            if heartbeat_task is not None:
+                heartbeat_task.cancel()
+                self._heartbeats.discard(heartbeat_task)
             if conn_tasks:
                 # let this connection's tail of results flush before the
                 # socket goes away (drain-on-close already bounded these)
@@ -277,16 +365,78 @@ class DecodeGateway(object):
             except Exception:
                 pass
             self.metrics.conn_closed()
-            self._event("net.conn_close", peer=str(peer))
+            self._event("net.conn_close", peer=conn.peer)
             if task is not None:
                 self._conn_tasks.discard(task)
 
-    async def _serve_request(
+    def _negotiate(
         self,
-        req: Request,
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
+        conn: _ConnState,
+        hello: Hello,
+        heartbeat_task: Optional["asyncio.Task"],
+    ) -> Optional["asyncio.Task"]:
+        """Settle version/flags for this connection and answer HELLO."""
+        conn.version = V2 if hello.version >= V2 else V1
+        conn.flags = hello.flags & GATEWAY_FLAGS
+        if conn.version < V2:
+            conn.flags = 0  # every capability needs the v2 framing
+        self.metrics.hello(conn.version)
+        self._event("net.hello", peer=conn.peer, version=conn.version,
+                    flags=conn.flags)
+        reply = encode_hello(flags=conn.flags, version=conn.version,
+                             job_id=hello.job_id)
+        # fire-and-forget under the connection's write lock
+        send = asyncio.ensure_future(self._send_quiet(conn, reply))
+        send.add_done_callback(lambda _t: None)
+        if (
+            heartbeat_task is None
+            and self.heartbeat_interval_s
+            and conn.flags & FLAG_HEARTBEAT
+        ):
+            heartbeat_task = asyncio.ensure_future(self._heartbeat(conn))
+            self._heartbeats.add(heartbeat_task)
+            heartbeat_task.add_done_callback(self._heartbeats.discard)
+        return heartbeat_task
+
+    async def _heartbeat(self, conn: _ConnState) -> None:
+        """PING an idle peer on a cadence; close it after missed pongs."""
+        interval = float(self.heartbeat_interval_s or 0.0)
+        try:
+            while not conn.closed:
+                await asyncio.sleep(interval)
+                if conn.closed:
+                    return
+                if time.monotonic() - conn.last_rx <= interval:
+                    continue  # traffic is liveness; no ping needed
+                if conn.missed_pings >= self.heartbeat_misses:
+                    self.metrics.dead_peer()
+                    self._event("net.dead_peer", peer=conn.peer,
+                                missed=conn.missed_pings)
+                    conn.writer.close()
+                    return
+                conn.missed_pings += 1
+                conn.ping_seq += 1
+                await self._send_quiet(
+                    conn, encode_ping(conn.ping_seq, version=conn.version)
+                )
+        except asyncio.CancelledError:
+            raise
+
+    async def _conn_fatal(
+        self, conn: _ConnState, exc: NetProtocolError
     ) -> None:
+        """Report a connection-scoped protocol failure (ERROR, job 0)."""
+        if isinstance(exc, FrameCorruptionError):
+            self.metrics.crc_corrupt()
+            self._event("net.crc_corrupt", peer=conn.peer, error=str(exc))
+        else:
+            self._event("net.protocol_error", peer=conn.peer,
+                        error=str(exc))
+        await self._send_quiet(
+            conn, encode_error(0, exc, version=conn.version)
+        )
+
+    async def _serve_request(self, req: Request, conn: _ConnState) -> None:
         """Admit, submit, await, and stream back one request."""
         t0 = time.monotonic()
         tenant = req.tenant or "anonymous"
@@ -294,9 +444,40 @@ class DecodeGateway(object):
         self.metrics.request(tenant)
         self._event("net.request", tenant=tenant, job=req.job_id,
                     priority=req.priority)
+        dedup_key = None
+        owner: "Optional[asyncio.Future]" = None
+        if (
+            self.dedup is not None
+            and req.idempotency_key
+            and conn.flags & FLAG_IDEMPOTENCY
+        ):
+            dedup_key = (tenant, req.idempotency_key)
+            entry = self.dedup.lookup(dedup_key)
+            if entry is not None:
+                outcome = (
+                    "joined" if isinstance(entry, asyncio.Future) else "cached"
+                )
+                value = await self.dedup.resolve(entry)
+                if value is not None:
+                    converged, iterations, bits = value
+                    await self._send_quiet(
+                        conn,
+                        encode_result(req.job_id, converged, iterations,
+                                      bits, version=conn.version),
+                    )
+                    self.metrics.dedup_hit(outcome)
+                    self.metrics.result(tenant, time.monotonic() - t0)
+                    self._event("net.dedup", tenant=tenant, job=req.job_id,
+                                outcome=outcome)
+                    return
+                # the original attempt failed: fall through and decode
+            owner = asyncio.get_running_loop().create_future()
+            self.dedup.put(dedup_key, owner)
         try:
             if self._draining:
-                raise GatewayClosedError("gateway is draining; resubmit elsewhere")
+                raise GatewayClosedError(
+                    "gateway is draining; resubmit elsewhere"
+                )
             fill = self.service.queue_fill(code_key)
             decision = self.admission.admit(tenant, fill, req.priority)
             if decision.shed:
@@ -308,31 +489,40 @@ class DecodeGateway(object):
                 iteration_budget=decision.iteration_budget,
             )
             done = await asyncio.wrap_future(future)
+            result = done.result
+            value = (
+                bool(result.converged), int(result.iterations), result.bits
+            )
+            if dedup_key is not None:
+                self.dedup.put(dedup_key, value)
+            if owner is not None and not owner.done():
+                owner.set_result(value)
         except asyncio.CancelledError:
             raise
         except Exception as exc:
-            await self._reply_error(req, tenant, writer, write_lock, exc)
+            if dedup_key is not None:
+                self.dedup.discard(dedup_key)
+            await self._reply_error(req, tenant, conn, exc)
             return
-        result = done.result
+        finally:
+            # failures are never cached: joiners of a future that never
+            # produced a value decode fresh when they see None
+            if owner is not None and not owner.done():
+                owner.set_result(None)
         await self._send_quiet(
-            writer,
-            write_lock,
-            encode_result(
-                req.job_id, bool(result.converged),
-                int(result.iterations), result.bits,
-            ),
+            conn,
+            encode_result(req.job_id, value[0], value[1], value[2],
+                          version=conn.version),
         )
         self.metrics.result(tenant, time.monotonic() - t0)
         self._event("net.result", tenant=tenant, job=req.job_id,
-                    converged=bool(result.converged),
-                    iterations=int(result.iterations))
+                    converged=value[0], iterations=value[1])
 
     async def _reply_error(
         self,
         req: Request,
         tenant: str,
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
+        conn: _ConnState,
         exc: BaseException,
     ) -> None:
         reason = _REJECT_REASONS.get(type(exc))
@@ -347,20 +537,15 @@ class DecodeGateway(object):
         if not isinstance(exc, ServeError):
             exc = ServeError(f"{type(exc).__name__}: {exc}")
         await self._send_quiet(
-            writer, write_lock, encode_error(req.job_id, exc)
+            conn, encode_error(req.job_id, exc, version=conn.version)
         )
 
-    async def _send_quiet(
-        self,
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
-        data: bytes,
-    ) -> None:
+    async def _send_quiet(self, conn: _ConnState, data: bytes) -> None:
         """Write one frame; a torn connection is the client's problem."""
         try:
-            async with write_lock:
-                writer.write(data)
-                await writer.drain()
+            async with conn.lock:
+                conn.writer.write(data)
+                await conn.writer.drain()
             self.metrics.bytes_out(len(data))
         except (ConnectionError, RuntimeError, OSError):
             pass

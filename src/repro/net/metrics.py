@@ -64,6 +64,19 @@ class NetMetrics(object):
         self._autoscale = reg.counter(
             "net_autoscale_total", "autoscaler scaling actions",
             label_names=("direction",))
+        self._hello = reg.counter(
+            "net_hello_total", "HELLO handshakes by negotiated version",
+            label_names=("version",))
+        self._crc_corrupt = reg.counter(
+            "net_crc_corrupt_total",
+            "frames rejected by the CRC32C integrity check")
+        self._dedup_hits = reg.counter(
+            "net_dedup_hits_total",
+            "requests answered from the idempotency window",
+            label_names=("outcome",))
+        self._dead_peers = reg.counter(
+            "net_dead_peer_total",
+            "connections closed by heartbeat dead-peer detection")
 
     # ------------------------------------------------------------------
     # recording hooks
@@ -109,6 +122,22 @@ class NetMetrics(object):
     def autoscaled(self, direction: str) -> None:
         """The autoscaler acted (direction ``"up"``/``"down"``/``"replace"``)."""
         self._autoscale.inc(direction=direction)
+
+    def hello(self, version: int) -> None:
+        """A HELLO handshake settled on protocol ``version``."""
+        self._hello.inc(version=str(version))
+
+    def crc_corrupt(self) -> None:
+        """A frame failed its CRC32C check and was dropped."""
+        self._crc_corrupt.inc()
+
+    def dedup_hit(self, outcome: str) -> None:
+        """A request joined the idempotency window (``cached``/``joined``)."""
+        self._dedup_hits.inc(outcome=outcome)
+
+    def dead_peer(self) -> None:
+        """A connection was closed after missing its heartbeat budget."""
+        self._dead_peers.inc()
 
     # ------------------------------------------------------------------
     # queries (tests / reports)

@@ -1,4 +1,4 @@
-"""Framed wire protocol of the decode gateway.
+"""Framed wire protocol of the decode gateway (versions 1 and 2).
 
 One frame = a 4-byte big-endian length prefix, a fixed 12-byte header
 (magic ``RN``, version, message type, job id), and a type-specific body:
@@ -7,12 +7,14 @@ One frame = a 4-byte big-endian length prefix, a fixed 12-byte header
 type      id    body
 ========  ====  =======================================================
 REQUEST   1     u8 priority | u16-len tenant | u16-len code id |
+                *(v2 only: u16-len idempotency key)* |
                 f32 scale | u32 count | ``count`` int8 LLR samples
 RESULT    2     u8 converged | u16 iterations | u32 bit count |
                 packed bits (``numpy.packbits``, big-endian within byte)
 ERROR     3     u16-len error kind | u32-len message
 PING      4     (empty)
 PONG      5     (empty)
+HELLO     6     u8 proposed/negotiated version | u32 feature flags
 ========  ====  =======================================================
 
 Strings are UTF-8.  LLRs travel as **packed int8**: the sender computes
@@ -22,6 +24,20 @@ receiver reconstructs ``i8 * scale``.  The dequantized vector is the
 it to :func:`repro.decoder.decode_many` when checking the gateway path
 for payload mismatches, so quantization can never masquerade as a
 transport bug.
+
+**Protocol v2 — frame integrity.**  A version-2 frame carries a 4-byte
+CRC32C trailer inside the length-prefixed payload, computed over header
+plus body.  :func:`decode_frame` verifies it before trusting a single
+body byte and raises :class:`~repro.errors.FrameCorruptionError` (a
+``NetProtocolError``) on mismatch: truncation and bit corruption are
+*detected*, never decoded.  v2 is negotiated per connection with a
+HELLO handshake — the client proposes its highest version plus feature
+flags, the gateway answers with the agreed pair; HELLO itself is always
+v1-encoded so the handshake needs no prior agreement, and a peer that
+never says HELLO simply keeps speaking v1 (full backwards
+compatibility).  v2 REQUEST frames additionally carry an optional
+client-generated *idempotency key* so a retried job can be deduplicated
+server-side instead of decoded twice.
 
 Malformed input raises :class:`~repro.errors.NetProtocolError` (a
 member of the typed ``ServeError`` family); error frames round-trip the
@@ -35,12 +51,13 @@ from __future__ import annotations
 import asyncio
 import struct
 from dataclasses import dataclass
-from typing import Optional, Tuple, Type, Union
+from typing import List, Optional, Tuple, Type, Union
 
 import numpy as np
 
 from repro.errors import (
     DeadlineExceededError,
+    FrameCorruptionError,
     GatewayClosedError,
     NetProtocolError,
     QueueFullError,
@@ -51,24 +68,36 @@ from repro.errors import (
     ServiceClosedError,
     ShardDeadError,
 )
+from repro.net.crc import crc32c
 
 __all__ = [
+    "CLIENT_FLAGS",
     "DEFAULT_MAX_FRAME_BYTES",
     "ERROR_TYPES",
+    "FLAG_CRC32C",
+    "FLAG_HEARTBEAT",
+    "FLAG_IDEMPOTENCY",
     "MAGIC",
     "MSG_ERROR",
+    "MSG_HELLO",
     "MSG_PING",
     "MSG_PONG",
     "MSG_REQUEST",
     "MSG_RESULT",
+    "SUPPORTED_VERSIONS",
+    "V1",
+    "V2",
     "VERSION",
     "ErrorFrame",
+    "FrameReader",
+    "Hello",
     "Ping",
     "Pong",
     "Request",
     "Result",
     "decode_frame",
     "encode_error",
+    "encode_hello",
     "encode_ping",
     "encode_pong",
     "encode_request",
@@ -82,25 +111,44 @@ __all__ = [
 ]
 
 MAGIC = b"RN"
-VERSION = 1
+
+#: Wire protocol versions.  ``VERSION`` is the highest this build
+#: speaks; a connection's effective version is HELLO-negotiated and
+#: defaults to :data:`V1` for peers that never negotiate.
+V1 = 1
+V2 = 2
+VERSION = V2
+SUPPORTED_VERSIONS = (V1, V2)
 
 MSG_REQUEST = 1
 MSG_RESULT = 2
 MSG_ERROR = 3
 MSG_PING = 4
 MSG_PONG = 5
+MSG_HELLO = 6
+
+#: HELLO feature flags.  CRC32C is implied by v2 but advertised anyway
+#: so the capability set stays explicit on the wire.
+FLAG_CRC32C = 0x1
+FLAG_HEARTBEAT = 0x2
+FLAG_IDEMPOTENCY = 0x4
+
+#: Everything this build's clients know how to speak.
+CLIENT_FLAGS = FLAG_CRC32C | FLAG_HEARTBEAT | FLAG_IDEMPOTENCY
 
 #: Frames larger than this are refused outright (a 1 MiB frame holds a
 #: ~1M-sample LLR vector — far beyond any supported code length).
 DEFAULT_MAX_FRAME_BYTES = 1 << 20
 
 _HEADER = struct.Struct(">2sBBQ")  # magic, version, msg type, job id
+_CRC = struct.Struct(">I")
 
 #: Error kinds a gateway may ship that re-raise as their local type.
 ERROR_TYPES: "dict[str, Type[ServeError]]" = {
     cls.__name__: cls
     for cls in (
         DeadlineExceededError,
+        FrameCorruptionError,
         GatewayClosedError,
         NetProtocolError,
         QueueFullError,
@@ -126,6 +174,8 @@ class Request(object):
     priority: int
     llrs_i8: np.ndarray
     scale: float
+    version: int = V1
+    idempotency_key: str = ""
 
     def llrs(self) -> np.ndarray:
         """The canonical dequantized LLR vector both sides agree on."""
@@ -169,7 +219,17 @@ class Pong(object):
     job_id: int
 
 
-Frame = Union[Request, Result, ErrorFrame, Ping, Pong]
+@dataclass(frozen=True)
+class Hello(object):
+    """Version/feature negotiation (proposed by clients, answered by
+    gateways; always itself encoded at v1)."""
+
+    version: int
+    flags: int
+    job_id: int = 0
+
+
+Frame = Union[Request, Result, ErrorFrame, Ping, Pong, Hello]
 
 
 def error_to_exception(kind: str, message: str) -> ServeError:
@@ -206,8 +266,15 @@ def unpack_llrs(i8: np.ndarray, scale: float) -> np.ndarray:
 # ----------------------------------------------------------------------
 # encoding
 # ----------------------------------------------------------------------
-def _frame(msg_type: int, job_id: int, body: bytes) -> bytes:
-    payload = _HEADER.pack(MAGIC, VERSION, msg_type, job_id) + body
+def _frame(msg_type: int, job_id: int, body: bytes, version: int = V1) -> bytes:
+    if version not in SUPPORTED_VERSIONS:
+        raise NetProtocolError(
+            f"cannot encode protocol version {version} (speak "
+            f"{SUPPORTED_VERSIONS})"
+        )
+    payload = _HEADER.pack(MAGIC, version, msg_type, job_id) + body
+    if version >= V2:
+        payload += _CRC.pack(crc32c(payload))
     return struct.pack(">I", len(payload)) + payload
 
 
@@ -219,12 +286,16 @@ def encode_request(
     llrs: Optional[np.ndarray] = None,
     llrs_i8: Optional[np.ndarray] = None,
     scale: Optional[float] = None,
+    version: int = V1,
+    idempotency_key: str = "",
 ) -> bytes:
     """Encode a REQUEST frame.
 
     Pass either float ``llrs`` (packed here) or a pre-packed
     ``(llrs_i8, scale)`` pair — callers that need the exact wire payload
-    for a later reference decode pack once and pass the pair.
+    for a later reference decode pack once and pass the pair.  An
+    ``idempotency_key`` (v2 only) marks retries of one logical job so
+    the gateway's dedup window can replay instead of re-decoding.
     """
     if llrs_i8 is None:
         if llrs is None:
@@ -234,19 +305,30 @@ def encode_request(
         raise NetProtocolError("llrs_i8 requires an explicit scale")
     if not 0 <= priority <= 255:
         raise NetProtocolError(f"priority must fit a u8, got {priority}")
+    if idempotency_key and version < V2:
+        raise NetProtocolError(
+            "idempotency keys need protocol v2 (the v1 REQUEST body has "
+            "no field for them)"
+        )
     tenant_b = tenant.encode("utf-8")
     code_b = code_id.encode("utf-8")
-    if len(tenant_b) > 0xFFFF or len(code_b) > 0xFFFF:
-        raise NetProtocolError("tenant/code id too long for a u16 length")
+    idem_b = idempotency_key.encode("utf-8")
+    if len(tenant_b) > 0xFFFF or len(code_b) > 0xFFFF or len(idem_b) > 0xFFFF:
+        raise NetProtocolError(
+            "tenant/code id/idempotency key too long for a u16 length"
+        )
     i8 = np.ascontiguousarray(llrs_i8, dtype=np.int8)
     body = struct.pack(">BH", priority, len(tenant_b)) + tenant_b
     body += struct.pack(">H", len(code_b)) + code_b
+    if version >= V2:
+        body += struct.pack(">H", len(idem_b)) + idem_b
     body += struct.pack(">fI", float(scale), i8.size) + i8.tobytes()
-    return _frame(MSG_REQUEST, job_id, body)
+    return _frame(MSG_REQUEST, job_id, body, version=version)
 
 
 def encode_result(
-    job_id: int, converged: bool, iterations: int, bits: np.ndarray
+    job_id: int, converged: bool, iterations: int, bits: np.ndarray,
+    version: int = V1,
 ) -> bytes:
     """Encode a RESULT frame (bits are packed 8-per-byte)."""
     bits = np.asarray(bits).astype(np.uint8).ravel()
@@ -254,26 +336,35 @@ def encode_result(
     body = struct.pack(
         ">BHI", 1 if converged else 0, iterations, bits.size
     ) + packed.tobytes()
-    return _frame(MSG_RESULT, job_id, body)
+    return _frame(MSG_RESULT, job_id, body, version=version)
 
 
-def encode_error(job_id: int, exc: BaseException) -> bytes:
+def encode_error(job_id: int, exc: BaseException, version: int = V1) -> bytes:
     """Encode an ERROR frame from an exception (kind = class name)."""
     kind_b = type(exc).__name__.encode("utf-8")[:0xFFFF]
     msg_b = str(exc).encode("utf-8")[: 1 << 16]
     body = struct.pack(">H", len(kind_b)) + kind_b
     body += struct.pack(">I", len(msg_b)) + msg_b
-    return _frame(MSG_ERROR, job_id, body)
+    return _frame(MSG_ERROR, job_id, body, version=version)
 
 
-def encode_ping(job_id: int = 0) -> bytes:
+def encode_ping(job_id: int = 0, version: int = V1) -> bytes:
     """Encode a PING frame."""
-    return _frame(MSG_PING, job_id, b"")
+    return _frame(MSG_PING, job_id, b"", version=version)
 
 
-def encode_pong(job_id: int = 0) -> bytes:
+def encode_pong(job_id: int = 0, version: int = V1) -> bytes:
     """Encode a PONG frame."""
-    return _frame(MSG_PONG, job_id, b"")
+    return _frame(MSG_PONG, job_id, b"", version=version)
+
+
+def encode_hello(
+    flags: int = CLIENT_FLAGS, version: int = VERSION, job_id: int = 0
+) -> bytes:
+    """Encode a HELLO frame (always wire-encoded at v1 so negotiation
+    itself needs no prior agreement)."""
+    body = struct.pack(">BI", version, flags)
+    return _frame(MSG_HELLO, job_id, body, version=V1)
 
 
 # ----------------------------------------------------------------------
@@ -285,6 +376,10 @@ class _Cursor(object):
     def __init__(self, data: bytes) -> None:
         self.data = data
         self.pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self.data) - self.pos
 
     def take(self, count: int) -> bytes:
         if self.pos + count > len(self.data):
@@ -305,10 +400,18 @@ _U16 = struct.Struct(">H")
 _U32 = struct.Struct(">I")
 _F32_U32 = struct.Struct(">fI")
 _RES_HEAD = struct.Struct(">BHI")
+_HELLO_BODY = struct.Struct(">BI")
 
 
 def decode_frame(payload: bytes) -> Frame:
-    """Parse one frame payload (header + body, length prefix stripped)."""
+    """Parse one frame payload (header + body, length prefix stripped).
+
+    v2 frames are CRC32C-verified before any body byte is trusted;
+    mismatch raises :class:`~repro.errors.FrameCorruptionError`.
+    REQUEST/RESULT declared element counts must agree exactly with the
+    payload length — disagreement is a typed protocol error, not a
+    struct-unpack accident.
+    """
     if len(payload) < _HEADER.size:
         raise NetProtocolError(
             f"frame shorter than the {_HEADER.size}-byte header: "
@@ -317,27 +420,58 @@ def decode_frame(payload: bytes) -> Frame:
     magic, version, msg_type, job_id = _HEADER.unpack(payload[: _HEADER.size])
     if magic != MAGIC:
         raise NetProtocolError(f"bad magic {magic!r} (want {MAGIC!r})")
-    if version != VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise NetProtocolError(
-            f"unsupported protocol version {version} (speak {VERSION})"
+            f"unsupported protocol version {version} (speak "
+            f"{SUPPORTED_VERSIONS})"
         )
-    cur = _Cursor(payload[_HEADER.size :])
+    if version >= V2:
+        if len(payload) < _HEADER.size + _CRC.size:
+            raise FrameCorruptionError(
+                f"v2 frame too short to carry its CRC32C trailer: "
+                f"{len(payload)} bytes"
+            )
+        body_end = len(payload) - _CRC.size
+        (stated,) = _CRC.unpack(payload[body_end:])
+        actual = crc32c(payload[:body_end])
+        if stated != actual:
+            raise FrameCorruptionError(
+                f"CRC32C mismatch on {len(payload)}-byte frame: trailer "
+                f"says 0x{stated:08x}, payload hashes to 0x{actual:08x}"
+            )
+        cur = _Cursor(payload[_HEADER.size : body_end])
+    else:
+        cur = _Cursor(payload[_HEADER.size :])
     if msg_type == MSG_REQUEST:
         priority, tenant_len = cur.unpack(_REQ_HEAD)
         tenant = cur.take(tenant_len).decode("utf-8", "replace")
         (code_len,) = cur.unpack(_U16)
         code_id = cur.take(code_len).decode("utf-8", "replace")
+        idem = ""
+        if version >= V2:
+            (idem_len,) = cur.unpack(_U16)
+            idem = cur.take(idem_len).decode("utf-8", "replace")
         scale, count = cur.unpack(_F32_U32)
+        if count != cur.remaining:
+            raise NetProtocolError(
+                f"REQUEST declares {count} LLR samples but the payload "
+                f"carries {cur.remaining} bytes"
+            )
         i8 = np.frombuffer(cur.take(count), dtype=np.int8)
         return Request(
             job_id=job_id, tenant=tenant, code_id=code_id,
             priority=priority, llrs_i8=i8, scale=scale,
+            version=version, idempotency_key=idem,
         )
     if msg_type == MSG_RESULT:
         converged, iterations, bit_count = cur.unpack(_RES_HEAD)
-        packed = np.frombuffer(
-            cur.take((bit_count + 7) // 8), dtype=np.uint8
-        )
+        expected = (bit_count + 7) // 8
+        if expected != cur.remaining:
+            raise NetProtocolError(
+                f"RESULT declares {bit_count} bits ({expected} packed "
+                f"bytes) but the payload carries {cur.remaining} bytes"
+            )
+        packed = np.frombuffer(cur.take(expected), dtype=np.uint8)
         bits = np.unpackbits(packed)[:bit_count]
         return Result(
             job_id=job_id, converged=bool(converged),
@@ -353,7 +487,81 @@ def decode_frame(payload: bytes) -> Frame:
         return Ping(job_id=job_id)
     if msg_type == MSG_PONG:
         return Pong(job_id=job_id)
+    if msg_type == MSG_HELLO:
+        hello_version, flags = cur.unpack(_HELLO_BODY)
+        return Hello(version=hello_version, flags=flags, job_id=job_id)
     raise NetProtocolError(f"unknown message type {msg_type}")
+
+
+# ----------------------------------------------------------------------
+# incremental frame assembly (sans-io)
+# ----------------------------------------------------------------------
+class FrameReader(object):
+    """Incremental frame assembler over an arbitrary byte stream.
+
+    Push bytes in with :meth:`feed` as they arrive — in any chunking,
+    down to one byte at a time — and get back complete frame payloads
+    (length prefix stripped, ready for :func:`decode_frame`).  The
+    reader enforces the frame-size cap and checks the magic as soon as
+    the first header bytes of each frame are buffered, so a stream that
+    has lost sync (garbage where a header should be) fails immediately
+    instead of waiting for a bogus length count to fill.
+
+    This is the sans-io core shared by byte-level tests and the chaos
+    proxy's frame-aware fault injection; the asyncio paths
+    (:func:`read_raw`) keep their ``readexactly`` implementation.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+        self.max_bytes = max_bytes
+        self._buf = bytearray()
+        self._eof = False
+
+    @property
+    def buffered(self) -> int:
+        """Bytes fed but not yet returned as part of a complete frame."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> List[bytes]:
+        """Buffer ``data``; return every frame payload it completes."""
+        if self._eof:
+            raise NetProtocolError("feed() after feed_eof()")
+        self._buf.extend(data)
+        frames: List[bytes] = []
+        while True:
+            if len(self._buf) < 4:
+                break
+            (length,) = struct.unpack_from(">I", self._buf)
+            if length > self.max_bytes:
+                raise NetProtocolError(
+                    f"frame of {length} bytes exceeds the "
+                    f"{self.max_bytes}-byte limit"
+                )
+            if length >= 2 and len(self._buf) >= 6:
+                magic = bytes(self._buf[4:6])
+                if magic != MAGIC:
+                    raise NetProtocolError(
+                        f"bad magic {magic!r} mid-stream (want {MAGIC!r}); "
+                        f"the stream has lost frame sync"
+                    )
+            if len(self._buf) < 4 + length:
+                break
+            frames.append(bytes(self._buf[4 : 4 + length]))
+            del self._buf[: 4 + length]
+        return frames
+
+    def feed_eof(self) -> None:
+        """Signal end of stream; raises if it lands inside a frame."""
+        self._eof = True
+        if self._buf:
+            where = (
+                "inside a length prefix" if len(self._buf) < 4
+                else "inside a frame"
+            )
+            raise NetProtocolError(
+                f"connection closed {where} with {len(self._buf)} "
+                f"buffered bytes"
+            )
 
 
 # ----------------------------------------------------------------------
@@ -367,7 +575,8 @@ async def read_raw(
 
     EOF in the middle of a frame and an oversized length prefix raise
     :class:`NetProtocolError`.  The returned payload excludes the
-    4-byte length prefix and is ready for :func:`decode_frame`.
+    4-byte length prefix and is ready for :func:`decode_frame` (which
+    performs the v2 CRC check).
     """
     try:
         prefix = await reader.readexactly(4)

@@ -38,11 +38,13 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.channel import AwgnChannel
+from repro.chaos import ChaosConfig, ChaosProxy
 from repro.codes import wifi_code, wimax_code
 from repro.codes.qc import QCLDPCCode
 from repro.decoder import decode_many
 from repro.encoder import RuEncoder
 from repro.errors import (
+    CircuitOpenError,
     GatewayClosedError,
     QuotaExceededError,
     ServeError,
@@ -56,9 +58,11 @@ from repro.net.admission import (
 )
 from repro.net.autoscaler import Autoscaler
 from repro.net.client import AsyncDecodeClient
+from repro.net.dedup import DedupWindow
 from repro.net.gateway import DecodeGateway
 from repro.net.metrics import NetMetrics
 from repro.net.protocol import pack_llrs, unpack_llrs
+from repro.net.resilience import ResilientDecodeClient, RetryPolicy
 from repro.obs.log import EventLog
 from repro.obs.slo import default_serve_slos
 from repro.obs.trace import TraceRecorder
@@ -123,6 +127,25 @@ class SoakConfig(object):
     slo_p99_s: float = 5.0
     slo_crash_rate: float = 0.05
     slo_error_rate: float = 0.15
+    # --- chaos mode (``repro net-soak --chaos``) ---------------------
+    # Chaos is asymmetric by design: only the first replica's proxy
+    # corrupts/truncates/resets, so the circuit breaker has somewhere
+    # clean to shift traffic and retry amplification stays bounded —
+    # exactly how a real multi-AZ deployment degrades.
+    chaos: bool = False
+    replicas: int = 2
+    chaos_corrupt_p: float = 1e-3
+    chaos_truncate_p: float = 0.002
+    chaos_latency_p: float = 0.05
+    chaos_latency_s: float = 0.02
+    chaos_reset_p: float = 0.002
+    chaos_partial_p: float = 0.05
+    partition_s: float = 0.5
+    kill_gateway: bool = True
+    hedge_delay_s: float = 1.0
+    heartbeat_s: float = 0.5
+    client_max_attempts: int = 6
+    dedup_ttl_s: float = 30.0
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready form (phases become lists)."""
@@ -156,6 +179,20 @@ class SoakConfig(object):
             "slo_p99_s": self.slo_p99_s,
             "slo_crash_rate": self.slo_crash_rate,
             "slo_error_rate": self.slo_error_rate,
+            "chaos": self.chaos,
+            "replicas": self.replicas,
+            "chaos_corrupt_p": self.chaos_corrupt_p,
+            "chaos_truncate_p": self.chaos_truncate_p,
+            "chaos_latency_p": self.chaos_latency_p,
+            "chaos_latency_s": self.chaos_latency_s,
+            "chaos_reset_p": self.chaos_reset_p,
+            "chaos_partial_p": self.chaos_partial_p,
+            "partition_s": self.partition_s,
+            "kill_gateway": self.kill_gateway,
+            "hedge_delay_s": self.hedge_delay_s,
+            "heartbeat_s": self.heartbeat_s,
+            "client_max_attempts": self.client_max_attempts,
+            "dedup_ttl_s": self.dedup_ttl_s,
         }
 
     @classmethod
@@ -312,6 +349,222 @@ async def _connection_task(
         await client.close()
 
 
+async def _chaos_send_one(
+    client: ResilientDecodeClient,
+    llrs: np.ndarray,
+    stats: _TenantStats,
+    records: List[Tuple[np.ndarray, np.ndarray, bool]],
+) -> None:
+    """One frame through the resilient client (retries live inside it)."""
+    try:
+        result = await client.decode(llrs)
+    except QuotaExceededError:
+        stats.quota_rejected += 1
+        return
+    except CircuitOpenError:
+        # every endpoint's breaker open: shed locally, no wire traffic
+        stats.dropped += 1
+        return
+    except ServeError:
+        stats.failed += 1
+        return
+    stats.ok += 1
+    if result.converged:
+        records.append((llrs, result.bits, True))
+    else:
+        stats.unconverged += 1
+        records.append((llrs, result.bits, False))
+
+
+async def _chaos_connection_task(
+    index: int,
+    tenant: str,
+    cfg: SoakConfig,
+    endpoints: List[Tuple[str, int]],
+    encoder: RuEncoder,
+    code: QCLDPCCode,
+    stats: _TenantStats,
+    records: List[Tuple[np.ndarray, np.ndarray, bool]],
+    latencies: List[float],
+    clients: List[ResilientDecodeClient],
+) -> None:
+    """One resilient client living through the whole diurnal curve."""
+    rng = np.random.default_rng(cfg.seed * 100003 + index)
+    priority = int(cfg.tenants[tenant].get("priority", GOLD))
+    client = ResilientDecodeClient(
+        endpoints,
+        tenant=tenant,
+        priority=priority,
+        retry=RetryPolicy(
+            max_attempts=cfg.client_max_attempts,
+            base_delay_s=0.05, max_delay_s=1.0,
+        ),
+        hedge_delay_s=cfg.hedge_delay_s if len(endpoints) > 1 else None,
+        request_timeout_s=cfg.request_timeout_s,
+        heartbeat_s=cfg.heartbeat_s,
+        breaker_failures=4,
+        breaker_reset_s=1.0,
+        seed=cfg.seed * 7919 + index,
+        tag=f"conn{index}",
+    )
+    clients.append(client)  # stats outlive the connection
+    try:
+        await asyncio.sleep((index % 97) / 97 * 0.25)
+        for _phase, load, duration in cfg.phases:
+            frames = int(round(cfg.peak_frames_per_conn * load))
+            if frames == 0:
+                await asyncio.sleep(duration)
+                continue
+            spacing = duration / frames
+            for _ in range(frames):
+                message = rng.integers(0, 2, encoder.k).astype(np.uint8)
+                codeword = encoder.encode(message)
+                channel = AwgnChannel.from_ebno(
+                    cfg.ebno_db, code.rate, seed=rng
+                )
+                raw = channel.llrs(codeword)
+                i8, scale = pack_llrs(raw)
+                canonical = unpack_llrs(i8, scale)
+                t0 = time.monotonic()
+                await _chaos_send_one(client, canonical, stats, records)
+                latencies.append(time.monotonic() - t0)
+                await asyncio.sleep(spacing * (0.5 + rng.random() * 0.5))
+    finally:
+        await client.close()
+
+
+def _phase_offset(cfg: SoakConfig, index: int, fraction: float) -> float:
+    """Seconds into the run at ``fraction`` of phase ``index``."""
+    phases = cfg.phases
+    if not phases:
+        return 0.0
+    index = max(0, min(index, len(phases) - 1))
+    before = sum(d for _n, _l, d in phases[:index])
+    return before + phases[index][2] * fraction
+
+
+async def _drive_chaos(
+    cfg: SoakConfig,
+    service: DecodeService,
+    gateways: List[DecodeGateway],
+    chaos_cfgs: List[ChaosConfig],
+    scaler: Autoscaler,
+    encoder: RuEncoder,
+    code: QCLDPCCode,
+    stats: Dict[str, _TenantStats],
+    records: List[Tuple[np.ndarray, np.ndarray, bool]],
+    latencies: List[float],
+    progress: Callable[[str], None],
+) -> Dict[str, Any]:
+    """The chaos topology: clients -> chaos proxies -> gateway replicas.
+
+    Only proxy 0 injects corruption/truncation/resets (see the config
+    docstring); during the peak it is additionally partitioned for
+    ``partition_s`` seconds, and in the final phase gateway replica N-1
+    is killed without drain.  The resilient clients must ride all of it
+    out with zero silent corruption and bounded retry amplification.
+    """
+    for gateway in gateways:
+        await gateway.start()
+    proxies = [
+        ChaosProxy(gw.host, gw.port, chaos_cfg)
+        for gw, chaos_cfg in zip(gateways, chaos_cfgs)
+    ]
+    for proxy in proxies:
+        await proxy.start()
+    endpoints = [proxy.address for proxy in proxies]
+    progress(
+        "chaos topology up: "
+        + ", ".join(
+            f"proxy {p.address[1]} -> gateway {g.address[1]}"
+            for p, g in zip(proxies, gateways)
+        )
+    )
+    scaler.start()
+    crash_info: Dict[str, Any] = {"injected": False, "shard": None}
+    chaos_info: Dict[str, Any] = {
+        "partitioned": False, "gateway_killed": False,
+    }
+
+    async def _crash() -> None:
+        await asyncio.sleep(_crash_at(cfg))
+        try:
+            shard = service.inject_worker_crash()
+        except ServeError:
+            return
+        crash_info["injected"] = True
+        crash_info["shard"] = shard
+        progress(f"injected worker crash on shard {shard!r}")
+
+    async def _partition() -> None:
+        peak_idx = max(
+            range(len(cfg.phases)), key=lambda i: cfg.phases[i][1]
+        )
+        await asyncio.sleep(_phase_offset(cfg, peak_idx, 0.25))
+        proxies[0].partition()
+        chaos_info["partitioned"] = True
+        progress(f"partitioned proxy 0 for {cfg.partition_s}s (mid-peak)")
+        await asyncio.sleep(cfg.partition_s)
+        proxies[0].heal()
+        progress("healed proxy 0")
+
+    async def _kill_gateway() -> None:
+        await asyncio.sleep(_phase_offset(cfg, len(cfg.phases) - 1, 0.25))
+        victim = gateways[-1]
+        await victim.close(drain=False)
+        chaos_info["gateway_killed"] = True
+        progress(f"killed gateway replica on port {victim.address[1]}")
+
+    fault_tasks = [asyncio.ensure_future(_partition())]
+    if cfg.inject_crash:
+        fault_tasks.append(asyncio.ensure_future(_crash()))
+    if cfg.kill_gateway and len(gateways) > 1:
+        fault_tasks.append(asyncio.ensure_future(_kill_gateway()))
+
+    assignment = _assign_tenants(cfg)
+    clients: List[ResilientDecodeClient] = []
+    t_start = time.monotonic()
+    tasks = [
+        asyncio.ensure_future(
+            _chaos_connection_task(
+                i, tenant, cfg, endpoints, encoder, code,
+                stats[tenant], records, latencies, clients,
+            )
+        )
+        for i, tenant in enumerate(assignment)
+    ]
+    await asyncio.gather(*tasks)
+    traffic_s = time.monotonic() - t_start
+    progress(
+        f"chaos traffic done in {traffic_s:.1f}s "
+        f"({sum(s.ok for s in stats.values())} frames decoded)"
+    )
+    for task in fault_tasks:
+        task.cancel()
+    await asyncio.gather(*fault_tasks, return_exceptions=True)
+    deadline = time.monotonic() + cfg.shrink_wait_s
+    while scaler.count("down") == 0 and time.monotonic() < deadline:
+        await asyncio.sleep(0.2)
+    for proxy in proxies:
+        await proxy.close()
+    for gateway in gateways:
+        await gateway.close(drain=True)
+    client_stats: Dict[str, int] = {
+        "jobs": 0, "requests_sent": 0, "retries": 0, "hedges": 0,
+        "reconnects": 0, "breaker_refusals": 0, "dead_peers": 0,
+    }
+    for client in clients:
+        for key in client_stats:
+            client_stats[key] += client.stats[key]
+    return {
+        "traffic_s": traffic_s,
+        "crash": crash_info,
+        "chaos": chaos_info,
+        "clients": client_stats,
+        "proxies": [proxy.injected() for proxy in proxies],
+    }
+
+
 async def _drive(
     cfg: SoakConfig,
     service: DecodeService,
@@ -425,10 +678,26 @@ def run_net_soak(
         },
         max_iterations=cfg.iterations,
     )
-    gateway = DecodeGateway(
-        service, admission,
-        metrics=net_metrics, log=log, recorder=recorder,
-    )
+    dedup = DedupWindow(ttl_s=cfg.dedup_ttl_s)
+    if cfg.chaos:
+        # replica gateways share the service, metrics, AND the dedup
+        # window, so a hedge landing on replica 1 still joins replica
+        # 0's in-flight decode
+        gateways = [
+            DecodeGateway(
+                service, admission,
+                metrics=net_metrics, log=log, recorder=recorder,
+                dedup=dedup, heartbeat_interval_s=cfg.heartbeat_s,
+            )
+            for _ in range(max(1, cfg.replicas))
+        ]
+        gateway = gateways[0]
+    else:
+        gateway = DecodeGateway(
+            service, admission,
+            metrics=net_metrics, log=log, recorder=recorder,
+        )
+        gateways = [gateway]
     scaler = Autoscaler(
         service,
         min_shards=cfg.min_shards,
@@ -446,12 +715,36 @@ def run_net_soak(
     latencies: List[float] = []
     slo_report = None
     try:
-        drive_out = asyncio.run(
-            _drive(
-                cfg, service, gateway, scaler, encoder, code,
-                stats, records, latencies, note,
+        if cfg.chaos:
+            hostile = ChaosConfig(
+                seed=cfg.seed,
+                corrupt_p=cfg.chaos_corrupt_p,
+                truncate_p=cfg.chaos_truncate_p,
+                reset_p=cfg.chaos_reset_p,
+                latency_p=cfg.chaos_latency_p,
+                latency_s=cfg.chaos_latency_s,
+                partial_write_p=cfg.chaos_partial_p,
             )
-        )
+            benign = ChaosConfig(
+                seed=cfg.seed + 1,
+                latency_p=cfg.chaos_latency_p,
+                latency_s=cfg.chaos_latency_s,
+                partial_write_p=cfg.chaos_partial_p,
+            )
+            chaos_cfgs = [hostile] + [benign] * (len(gateways) - 1)
+            drive_out = asyncio.run(
+                _drive_chaos(
+                    cfg, service, gateways, chaos_cfgs, scaler, encoder,
+                    code, stats, records, latencies, note,
+                )
+            )
+        else:
+            drive_out = asyncio.run(
+                _drive(
+                    cfg, service, gateway, scaler, encoder, code,
+                    stats, records, latencies, note,
+                )
+            )
         scaler.stop()
         slo_report = service.health().slo
     finally:
@@ -489,7 +782,7 @@ def run_net_soak(
             "config": cfg.to_dict(),
             "modes": [
                 {
-                    "mode": "net-gateway",
+                    "mode": "net-chaos" if cfg.chaos else "net-gateway",
                     "frames_per_s": fps,
                     "frames": total_ok,
                     "time_s": traffic_s,
@@ -530,4 +823,20 @@ def run_net_soak(
             },
         }
     )
+    if cfg.chaos:
+        client_stats = drive_out["clients"]
+        jobs = client_stats["jobs"]
+        doc["chaos"] = {
+            "partitioned": bool(drive_out["chaos"]["partitioned"]),
+            "gateway_killed": bool(drive_out["chaos"]["gateway_killed"]),
+            "proxies": drive_out["proxies"],
+            "crc_detected": int(
+                net_metrics.registry.get("net_crc_corrupt_total").total()
+            ),
+            "dedup": dedup.to_dict(),
+            "clients": client_stats,
+            "amplification": (
+                client_stats["requests_sent"] / jobs if jobs else 0.0
+            ),
+        }
     return doc

@@ -1,0 +1,339 @@
+"""Gateway protocol-v2 behaviour over real TCP sockets.
+
+What v2 adds on top of the framed protocol: HELLO negotiation (with v1
+peers untouched), the idempotency dedup window (a retried job never
+decodes twice), connection-scoped errors for malformed or corrupt
+frames, and heartbeat dead-peer detection.
+"""
+
+import asyncio
+import struct
+
+import numpy as np
+import pytest
+
+from repro.codes import wimax_code
+from repro.decoder import decode_many
+from repro.net import (
+    AdmissionController,
+    AsyncDecodeClient,
+    DecodeGateway,
+    TenantPolicy,
+    pack_llrs,
+    unpack_llrs,
+)
+from repro.net.dedup import DedupWindow
+from repro.net.protocol import (
+    CLIENT_FLAGS,
+    FLAG_HEARTBEAT,
+    V1,
+    V2,
+    ErrorFrame,
+    Hello,
+    encode_hello,
+    encode_request,
+    read_frame,
+)
+from repro.serve.bench import generate_serve_traffic
+from repro.serve.pool import DecodeService
+
+pytestmark = [pytest.mark.net, pytest.mark.timeout(120)]
+
+MAX_ITER = 10
+
+
+@pytest.fixture(scope="module")
+def code():
+    return wimax_code("1/2", 576)
+
+
+@pytest.fixture(scope="module")
+def traffic(code):
+    frames = generate_serve_traffic(code, 6, 4.0, seed=5)
+    return [unpack_llrs(*pack_llrs(f)) for f in frames]
+
+
+@pytest.fixture()
+def service(code):
+    svc = DecodeService(
+        code, batch_size=4, max_iterations=MAX_ITER, kernel="fused",
+        queue_capacity=64,
+    )
+    yield svc
+    svc.close()
+
+
+def open_admission():
+    return AdmissionController(
+        {}, max_iterations=MAX_ITER,
+        default_policy=TenantPolicy(rate=1e9, burst=1e9),
+    )
+
+
+def counter_total(gateway, name):
+    return int(gateway.metrics.registry.get(name).total())
+
+
+class TestNegotiation:
+    def test_client_negotiates_v2_with_all_flags(self, service, traffic, code):
+        async def run():
+            async with DecodeGateway(service, open_admission()) as gw:
+                host, port = gw.address
+                async with await AsyncDecodeClient.connect(host, port) as c:
+                    assert c.version == V2
+                    assert c.flags == CLIENT_FLAGS
+                    result = await c.decode(traffic[0], timeout=60)
+                return result, counter_total(gw, "net_hello_total")
+
+        result, hellos = asyncio.run(run())
+        reference = decode_many(
+            code, traffic[0][None, :], max_iterations=MAX_ITER
+        )
+        np.testing.assert_array_equal(result.bits, reference.bits[0])
+        assert hellos == 1
+
+    def test_v1_client_interop_unchanged(self, service, traffic, code):
+        # a pre-negotiation peer: no HELLO bytes at all, plain v1 frames
+        async def run():
+            async with DecodeGateway(service, open_admission()) as gw:
+                host, port = gw.address
+                client = await AsyncDecodeClient.connect(
+                    host, port, negotiate=False
+                )
+                async with client as c:
+                    assert c.version == V1 and c.flags == 0
+                    return await asyncio.gather(
+                        *[c.decode(f, timeout=60) for f in traffic]
+                    )
+
+        results = asyncio.run(run())
+        reference = decode_many(
+            code, np.stack(traffic), max_iterations=MAX_ITER
+        )
+        for i, result in enumerate(results):
+            np.testing.assert_array_equal(result.bits, reference.bits[i])
+
+    def test_hello_reply_caps_to_gateway_abilities(self, service):
+        # a raw client proposing a future version still settles on v2
+        async def run():
+            async with DecodeGateway(service, open_admission()) as gw:
+                host, port = gw.address
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    writer.write(encode_hello(flags=0xFF, version=7))
+                    await writer.drain()
+                    return await read_frame(reader, 1 << 20)
+                finally:
+                    writer.close()
+
+        reply = asyncio.run(run())
+        assert isinstance(reply, Hello)
+        assert reply.version == V2
+        assert reply.flags == reply.flags & CLIENT_FLAGS  # no unknown bits
+
+
+class TestDedup:
+    def test_retried_key_replays_without_redecoding(self, service, traffic):
+        async def run():
+            dedup = DedupWindow(ttl_s=30.0)
+            async with DecodeGateway(
+                service, open_admission(), dedup=dedup
+            ) as gw:
+                host, port = gw.address
+                async with await AsyncDecodeClient.connect(host, port) as c:
+                    first = await c.decode(
+                        traffic[0], timeout=60, idempotency_key="job-A"
+                    )
+                    again = await c.decode(
+                        traffic[0], timeout=60, idempotency_key="job-A"
+                    )
+                hits = counter_total(gw, "net_dedup_hits_total")
+                return first, again, hits, dedup.to_dict()
+
+        first, again, hits, window = asyncio.run(run())
+        np.testing.assert_array_equal(first.bits, again.bits)
+        assert first.iterations == again.iterations
+        assert first.converged == again.converged
+        # the replay answered under the retry's own (fresh) job id
+        assert again.job_id != first.job_id
+        assert hits == 1
+        assert window["hits"] >= 1
+
+    def test_concurrent_same_key_decodes_once(self, service, traffic):
+        # both requests in flight before either result: the second
+        # joins the first's future (or replays its cached result)
+        async def run():
+            async with DecodeGateway(service, open_admission()) as gw:
+                host, port = gw.address
+                async with await AsyncDecodeClient.connect(host, port) as c:
+                    pair = await asyncio.gather(
+                        c.decode(traffic[1], timeout=60, idempotency_key="k"),
+                        c.decode(traffic[1], timeout=60, idempotency_key="k"),
+                    )
+                return pair, counter_total(gw, "net_dedup_hits_total")
+
+        (a, b), hits = asyncio.run(run())
+        np.testing.assert_array_equal(a.bits, b.bits)
+        assert a.iterations == b.iterations
+        assert hits == 1
+
+    def test_distinct_keys_are_distinct_jobs(self, service, traffic):
+        async def run():
+            async with DecodeGateway(service, open_admission()) as gw:
+                host, port = gw.address
+                async with await AsyncDecodeClient.connect(host, port) as c:
+                    await c.decode(traffic[0], timeout=60, idempotency_key="x")
+                    await c.decode(traffic[0], timeout=60, idempotency_key="y")
+                return counter_total(gw, "net_dedup_hits_total")
+
+        assert asyncio.run(run()) == 0
+
+    def test_v1_connection_bypasses_dedup(self, service, traffic):
+        # v1 REQUESTs have no key field; two identical sends are simply
+        # two jobs
+        async def run():
+            async with DecodeGateway(service, open_admission()) as gw:
+                host, port = gw.address
+                client = await AsyncDecodeClient.connect(
+                    host, port, negotiate=False
+                )
+                async with client as c:
+                    await c.decode(traffic[0], timeout=60)
+                    await c.decode(traffic[0], timeout=60)
+                return counter_total(gw, "net_dedup_hits_total")
+
+        assert asyncio.run(run()) == 0
+
+
+class TestMalformedFrames:
+    def test_count_mismatch_gets_connection_error(self, service):
+        # REQUEST declaring 64 LLR samples but carrying 32 bytes: the
+        # gateway answers a job-0 (connection-scoped) ERROR and closes
+        async def run():
+            async with DecodeGateway(service, open_admission()) as gw:
+                host, port = gw.address
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    wire = bytearray(encode_request(
+                        1, "t", "c", 0,
+                        llrs_i8=np.zeros(32, np.int8), scale=1.0,
+                    ))
+                    count_off = len(wire) - 32 - 4
+                    wire[count_off : count_off + 4] = struct.pack(">I", 64)
+                    writer.write(bytes(wire))
+                    await writer.drain()
+                    reply = await read_frame(reader, 1 << 20)
+                    eof = await reader.read()  # gateway closes after
+                    return reply, eof
+                finally:
+                    writer.close()
+
+        reply, eof = asyncio.run(run())
+        assert isinstance(reply, ErrorFrame)
+        assert reply.job_id == 0
+        assert reply.kind == "NetProtocolError"
+        assert "declares 64 LLR samples" in reply.message
+        assert eof == b""
+
+    def test_crc_corrupt_frame_gets_connection_error(self, service):
+        async def run():
+            async with DecodeGateway(service, open_admission()) as gw:
+                host, port = gw.address
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    wire = bytearray(encode_request(
+                        1, "t", "c", 0, llrs=np.ones(32), version=V2,
+                    ))
+                    wire[-10] ^= 0x20  # flip one LLR byte; CRC now lies
+                    writer.write(bytes(wire))
+                    await writer.drain()
+                    reply = await read_frame(reader, 1 << 20)
+                    eof = await reader.read()
+                    return (
+                        reply, eof,
+                        counter_total(gw, "net_crc_corrupt_total"),
+                    )
+                finally:
+                    writer.close()
+
+        reply, eof, corrupt = asyncio.run(run())
+        assert isinstance(reply, ErrorFrame)
+        assert reply.job_id == 0
+        assert reply.kind == "FrameCorruptionError"
+        assert eof == b""
+        assert corrupt == 1
+
+
+class TestHeartbeat:
+    def test_unresponsive_peer_is_closed(self, service):
+        # negotiate FLAG_HEARTBEAT, then never answer a single ping:
+        # the gateway must hang up within interval * (misses + 1)
+        async def run():
+            async with DecodeGateway(
+                service, open_admission(),
+                heartbeat_interval_s=0.05, heartbeat_misses=2,
+            ) as gw:
+                host, port = gw.address
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    writer.write(encode_hello(FLAG_HEARTBEAT, V2))
+                    await writer.drain()
+                    await read_frame(reader, 1 << 20)  # HELLO reply
+                    # swallow pings without answering until EOF
+                    await asyncio.wait_for(
+                        _read_to_eof(reader), timeout=5.0
+                    )
+                    return counter_total(gw, "net_dead_peer_total")
+                finally:
+                    writer.close()
+
+        assert asyncio.run(run()) == 1
+
+    def test_negotiated_client_answers_pings(self, service):
+        # the stock async client answers PING with PONG from its read
+        # loop, so it survives many heartbeat intervals untouched
+        async def run():
+            async with DecodeGateway(
+                service, open_admission(),
+                heartbeat_interval_s=0.05, heartbeat_misses=2,
+            ) as gw:
+                host, port = gw.address
+                async with await AsyncDecodeClient.connect(host, port) as c:
+                    await asyncio.sleep(0.6)
+                    answered = c.pings_answered
+                    alive = not c.closed
+                return (
+                    answered, alive,
+                    counter_total(gw, "net_dead_peer_total"),
+                )
+
+        answered, alive, dead = asyncio.run(run())
+        assert answered >= 3
+        assert alive
+        assert dead == 0
+
+    def test_v1_connection_is_never_pinged(self, service, traffic):
+        # no FLAG_HEARTBEAT negotiated: an idle v1 peer must not be
+        # declared dead (v1 clients do not answer PING)
+        async def run():
+            async with DecodeGateway(
+                service, open_admission(),
+                heartbeat_interval_s=0.05, heartbeat_misses=2,
+            ) as gw:
+                host, port = gw.address
+                client = await AsyncDecodeClient.connect(
+                    host, port, negotiate=False
+                )
+                async with client as c:
+                    await asyncio.sleep(0.5)
+                    result = await c.decode(traffic[0], timeout=60)
+                return result, counter_total(gw, "net_dead_peer_total")
+
+        result, dead = asyncio.run(run())
+        assert result.converged in (True, False)  # request still served
+        assert dead == 0
+
+
+async def _read_to_eof(reader):
+    while await reader.read(4096):
+        pass
