@@ -42,7 +42,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--baseline", action="append", default=[],
         help="bench JSON baseline to gate (repeatable; default: the "
-             "committed BENCH_accel.json and BENCH_serve.json)",
+             "committed BENCH_*.json documents)",
     )
     parser.add_argument("--k", type=int, default=DEFAULT_K,
                         help="re-runs per baseline (median compared)")
@@ -60,7 +60,10 @@ def main(argv=None) -> int:
 
     baselines = args.baseline or [
         os.path.join(_REPO_ROOT, name)
-        for name in ("BENCH_accel.json", "BENCH_serve.json", "BENCH_net.json")
+        for name in (
+            "BENCH_accel.json", "BENCH_serve.json", "BENCH_net.json",
+            "BENCH_zoo.json",
+        )
         if os.path.exists(os.path.join(_REPO_ROOT, name))
     ]
     if not baselines:

@@ -169,6 +169,90 @@ def cmd_serve_bench(args) -> int:
     return 0 if agree else 1
 
 
+def cmd_zoo_bench(args) -> int:
+    from repro.codes.registry import default_registry
+    from repro.errors import UnknownCodeError
+    from repro.serve.zoo_bench import run_zoo_bench
+    from repro.utils.tables import render_table
+
+    if args.frames < 1:
+        print("zoo-bench: --frames must be >= 1", file=sys.stderr)
+        return 2
+    if args.iterations < 1:
+        print("zoo-bench: --iterations must be >= 1", file=sys.stderr)
+        return 2
+
+    registry = default_registry()
+    code_ids = list(args.codes or ())
+    if args.family:
+        code_ids.extend(
+            cid for cid in registry.ids()
+            if registry.entry(cid).family == args.family
+            and cid not in code_ids
+        )
+        if not code_ids:
+            print(
+                f"zoo-bench: no registry codes in family {args.family!r} "
+                f"(families: "
+                f"{sorted({registry.entry(i).family for i in registry.ids()})})",
+                file=sys.stderr,
+            )
+            return 2
+    if args.all:
+        code_ids = list(registry.ids())
+
+    try:
+        report = run_zoo_bench(
+            code_ids=code_ids or None,
+            frames=args.frames,
+            ebno_db=args.ebno,
+            iterations=args.iterations,
+            fixed=args.fixed,
+            seed=args.seed,
+            schedule=args.schedule,
+        )
+    except UnknownCodeError as exc:
+        print(f"zoo-bench: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        import json
+
+        text = json.dumps(report, indent=2, sort_keys=True)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.output}", file=sys.stderr)
+        else:
+            print(text)
+        return 0
+
+    rows = [
+        [
+            r["mode"],
+            r["family"],
+            r["n"],
+            f"{r['rate']:.3f}",
+            f"{r['frames_per_s']:.1f}",
+            f"{r['fer']:.3f}",
+            f"{r['mean_iterations']:.2f}",
+        ]
+        for r in report["rows"]
+    ]
+    print(
+        render_table(
+            ["code id", "family", "n", "rate", "frames/s", "FER", "mean it"],
+            rows,
+            title=(
+                f"zoo-bench: {len(rows)} codes, Eb/N0={args.ebno} dB, "
+                f"{report['arithmetic']}, schedule={args.schedule}, "
+                f"{args.frames} frames each"
+            ),
+        )
+    )
+    return 0
+
+
 def cmd_accel_bench(args) -> int:
     from repro.accel.bench import DEFAULT_MODES, run_accel_bench
     from repro.utils.tables import render_table
@@ -761,7 +845,10 @@ def cmd_perf_gate(args) -> int:
 
     baselines = args.baseline or [
         name
-        for name in ("BENCH_accel.json", "BENCH_serve.json", "BENCH_net.json")
+        for name in (
+            "BENCH_accel.json", "BENCH_serve.json", "BENCH_net.json",
+            "BENCH_zoo.json",
+        )
         if os.path.exists(name)
     ]
     if not baselines:
@@ -885,6 +972,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit a machine-readable JSON report (metrics registry snapshot)",
     )
     sb.add_argument(
+        "--output", "-o", default="",
+        help="with --json, write the document to this path",
+    )
+
+    zb = sub.add_parser(
+        "zoo-bench",
+        help="per-code throughput/FER across the registry zoo",
+    )
+    zb.add_argument(
+        "--codes", nargs="*", default=None,
+        help="registry ids to bench (default: a representative subset)",
+    )
+    zb.add_argument(
+        "--family", default="",
+        help="add every registry code of this family (wimax, wifi, nr)",
+    )
+    zb.add_argument(
+        "--all", action="store_true",
+        help="bench the entire registry",
+    )
+    zb.add_argument("--ebno", type=float, default=4.0)
+    zb.add_argument("--frames", type=int, default=32, help="frames per code")
+    zb.add_argument("--iterations", type=int, default=10)
+    zb.add_argument("--seed", type=int, default=11)
+    zb.add_argument("--fixed", action="store_true", help="8-bit datapath")
+    zb.add_argument(
+        "--schedule", choices=("row", "column"), default="row",
+        help="layered schedule for the batch kernel",
+    )
+    zb.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable BENCH_zoo.json document",
+    )
+    zb.add_argument(
         "--output", "-o", default="",
         help="with --json, write the document to this path",
     )
@@ -1145,8 +1266,8 @@ def build_parser() -> argparse.ArgumentParser:
     pg.add_argument(
         "--baseline", action="append", default=[],
         help="bench JSON baseline to gate (repeatable; default: the "
-             "committed BENCH_accel.json, BENCH_serve.json, and "
-             "BENCH_net.json)",
+             "committed BENCH_accel.json, BENCH_serve.json, "
+             "BENCH_net.json, and BENCH_zoo.json)",
     )
     pg.add_argument(
         "--k", type=int, default=3,
@@ -1197,6 +1318,7 @@ def main(argv=None) -> int:
         "demo": cmd_demo,
         "experiments": cmd_experiments,
         "serve-bench": cmd_serve_bench,
+        "zoo-bench": cmd_zoo_bench,
         "accel-bench": cmd_accel_bench,
         "faults-bench": cmd_faults_bench,
         "obs-report": cmd_obs_report,

@@ -41,6 +41,7 @@ __all__ = [
     "CodePlan",
     "CodePlanCache",
     "LayerPlan",
+    "column_adjacency",
     "default_plan_cache",
     "get_plan",
     "instrument_default_cache",
@@ -143,6 +144,29 @@ class CodePlan(object):
             layers=tuple(layer_plans),
             lane_idx=np.arange(code.z, dtype=np.int64),
         )
+
+
+def column_adjacency(
+    plan: CodePlan,
+) -> Tuple[Tuple[Tuple[int, int], ...], ...]:
+    """Per block column, the ``(layer, edge)`` pairs incident to it.
+
+    The transposed view of the plan's layer structure: entry ``j`` lists
+    every ``(l, k)`` such that ``plan.layers[l].block_cols[k] == j``.
+    This is the schedule driver of the column-layered kernels
+    (:mod:`repro.decoder.column_layered`, :mod:`repro.serve.column`),
+    derived from the same immutable plan the row-layered kernels share —
+    no second cache, no second fingerprint.
+
+    The number of block columns is recovered from the plan itself
+    (``n // z``), so the function needs no code object.
+    """
+    nb = plan.n // plan.z
+    cols: List[List[Tuple[int, int]]] = [[] for _ in range(nb)]
+    for l, layer in enumerate(plan.layers):
+        for k, j in enumerate(layer.block_cols):
+            cols[int(j)].append((l, k))
+    return tuple(tuple(edges) for edges in cols)
 
 
 class CodePlanCache(object):

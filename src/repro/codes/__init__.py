@@ -9,7 +9,10 @@ package provides
 * :class:`QCLDPCCode` — a fully expanded code with layer views, sparse
   row/column adjacency, and the metadata the architecture models need
   (block columns per layer, memory footprints);
-* the IEEE 802.16e (WiMax) and IEEE 802.11n base-matrix tables;
+* the IEEE 802.16e (WiMax) and IEEE 802.11n base-matrix tables, and the
+  5G NR BG1/BG2 raptor-like family (:mod:`repro.codes.nr`);
+* :class:`CodeRegistry` — the multi-standard code zoo mapping wire-safe
+  string ids onto lazily built codes (:func:`default_registry`);
 * a programmatic construction of valid dual-diagonal QC-LDPC codes;
 * structural validation helpers.
 """
@@ -28,9 +31,22 @@ from repro.codes.wifi import (
     wifi_base_matrix,
     wifi_code,
 )
+from repro.codes.nr import (
+    NR_BASE_GRAPHS,
+    NR_LIFTING_SIZES,
+    NrEncoder,
+    nr_base_matrix,
+    nr_code,
+    nr_rate_match,
+)
+from repro.codes.registry import (
+    CodeEntry,
+    CodeRegistry,
+    default_registry,
+)
 from repro.codes.construction import random_qc_code, make_base_matrix
 from repro.codes.alist import read_alist, to_alist, write_alist
-from repro.codes.rate_adapt import RateAdaptedCode, puncture, shorten
+from repro.codes.rate_adapt import RateAdaptedCode, puncture, rate_match, shorten
 from repro.codes.from_dense import (
     code_from_alist,
     code_from_dense,
@@ -63,6 +79,15 @@ __all__ = [
     "WIFI_RATES",
     "wifi_base_matrix",
     "wifi_code",
+    "NR_BASE_GRAPHS",
+    "NR_LIFTING_SIZES",
+    "NrEncoder",
+    "nr_base_matrix",
+    "nr_code",
+    "nr_rate_match",
+    "CodeEntry",
+    "CodeRegistry",
+    "default_registry",
     "random_qc_code",
     "make_base_matrix",
     "read_alist",
@@ -70,6 +95,7 @@ __all__ = [
     "write_alist",
     "RateAdaptedCode",
     "puncture",
+    "rate_match",
     "shorten",
     "code_from_alist",
     "code_from_dense",

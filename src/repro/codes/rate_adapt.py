@@ -17,8 +17,8 @@ them for free.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
@@ -42,11 +42,17 @@ class RateAdaptedCode(object):
         Number of trailing systematic bits fixed to zero.
     punctured:
         Indices of codeword positions not transmitted.
+    encoder:
+        Optional mother-code encoder used by :meth:`encode` when no
+        per-call encoder is given.  Families without the dual-diagonal
+        parity layout (5G NR's raptor-like codes) attach their own here;
+        dual-diagonal codes fall back to :class:`RuEncoder`.
     """
 
     code: QCLDPCCode
     shortened: int = 0
     punctured: tuple = ()
+    encoder: Optional[Any] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         k = self.code.k
@@ -99,7 +105,7 @@ class RateAdaptedCode(object):
             raise CodeConstructionError(
                 f"payload length {message.shape} != ({self.payload_bits},)"
             )
-        encoder = encoder or RuEncoder(self.code)
+        encoder = encoder or self.encoder or RuEncoder(self.code)
         full_message = np.concatenate(
             [message, np.zeros(self.shortened, dtype=np.uint8)]
         )
@@ -161,3 +167,44 @@ def puncture(
     return RateAdaptedCode(
         code, punctured=tuple(range(code.n - bits, code.n))
     )
+
+
+def rate_match(
+    code: QCLDPCCode,
+    target_rate: float,
+    encoder: Optional[Any] = None,
+) -> RateAdaptedCode:
+    """Hit a target effective rate with the mother code's H unchanged.
+
+    Chooses the adaptation direction automatically: puncture trailing
+    parity to raise the rate (``k / (n - p) = target``), shorten
+    trailing systematic bits to lower it
+    (``(k - s) / (n - s) = target``).  The returned pattern's
+    :attr:`~RateAdaptedCode.effective_rate` is the closest integral
+    solution.  ``encoder`` is attached to the result for families whose
+    mother code is not RU-encodable (see :func:`repro.codes.nr.nr_rate_match`).
+    """
+    if not 0.0 < target_rate < 1.0:
+        raise CodeConstructionError(
+            f"target rate must be in (0, 1), got {target_rate}"
+        )
+    k, n = code.k, code.n
+    if target_rate > code.rate:
+        punctured = int(round(n - k / target_rate))
+        if punctured >= code.m:
+            raise CodeConstructionError(
+                f"target rate {target_rate:.3f} needs {punctured} punctured "
+                f"parity bits but the code only has {code.m}"
+            )
+        return RateAdaptedCode(
+            code,
+            punctured=tuple(range(n - punctured, n)),
+            encoder=encoder,
+        )
+    shortened = int(round((k - target_rate * n) / (1.0 - target_rate)))
+    if shortened >= k:
+        raise CodeConstructionError(
+            f"target rate {target_rate:.3f} would shorten all {k} "
+            "systematic bits"
+        )
+    return RateAdaptedCode(code, shortened=max(shortened, 0), encoder=encoder)

@@ -1,0 +1,275 @@
+"""Multi-standard code registry: the zoo behind `code_id` everywhere.
+
+One namespace of wire-safe string ids covering every code family the
+package implements — all six 802.16e (WiMax) rate classes, the full
+802.11n (WiFi) rate x length grid, and the 5G NR BG1/BG2 quasi-cyclic
+family — so the serving stack, the net protocol's ``code_id`` field,
+benchmarks, and tests all name codes the same way.
+
+Design points:
+
+* **Lazy + memoized** — registering a code stores only a builder
+  callable; the expanded :class:`~repro.codes.qc.QCLDPCCode` (and its
+  encoder) is built on first :meth:`~CodeRegistry.get` and cached, so
+  importing the registry costs nothing and a 25-code zoo does not
+  expand 25 parity-check matrices up front.
+* **Wire-safe ids** — ids must match ``[a-z0-9][a-z0-9._-]{0,63}``
+  (:data:`CODE_ID_PATTERN`); malformed ids raise
+  :class:`~repro.errors.MalformedCodeIdError` at registration, not
+  after they have leaked onto the wire.
+* **Typed failures** — duplicate registration raises
+  :class:`~repro.errors.DuplicateCodeError`; unknown lookups raise
+  :class:`~repro.errors.UnknownCodeError`, the same exception
+  :class:`~repro.serve.pool.DecodeService` routing uses, so a bad id
+  fails identically whether it hits the registry, the service, or the
+  gateway.
+
+The default registry (:func:`default_registry`) is a process-wide
+singleton; tests that need isolation construct their own
+:class:`CodeRegistry`.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+from repro.codes.qc import QCLDPCCode
+from repro.errors import (
+    DuplicateCodeError,
+    MalformedCodeIdError,
+    UnknownCodeError,
+)
+
+__all__ = [
+    "CODE_ID_PATTERN",
+    "CodeEntry",
+    "CodeRegistry",
+    "default_registry",
+]
+
+#: Grammar for wire-safe registry ids (the net protocol's ``code_id``).
+CODE_ID_PATTERN = re.compile(r"^[a-z0-9][a-z0-9._-]{0,63}$")
+
+#: Display-rate slug map shared by the default entries.
+_RATE_SLUGS = {
+    "1/2": "r12",
+    "2/3": "r23",
+    "2/3A": "r23a",
+    "2/3B": "r23b",
+    "3/4": "r34",
+    "3/4A": "r34a",
+    "3/4B": "r34b",
+    "5/6": "r56",
+}
+
+
+@dataclass(frozen=True)
+class CodeEntry(object):
+    """One registered code: identity, family metadata, lazy builders.
+
+    Attributes
+    ----------
+    code_id:
+        The wire-safe registry id.
+    family:
+        ``"wimax"``, ``"wifi"``, or ``"nr"`` (free-form for user codes).
+    rate_label:
+        Human-readable rate class (``"1/2"``, ``"bg1"``...).
+    n:
+        Code length in bits (known without building the code; the
+        service uses it for rate-aware routing tables).
+    builder:
+        Zero-argument callable producing the expanded code.
+    encoder_factory:
+        Callable mapping the built code to an encoder with the
+        ``k`` / ``encode`` / ``extract_message`` interface.
+    """
+
+    code_id: str
+    family: str
+    rate_label: str
+    n: int
+    builder: Callable[[], QCLDPCCode] = field(compare=False, repr=False)
+    encoder_factory: Callable[[QCLDPCCode], Any] = field(
+        compare=False, repr=False
+    )
+
+
+class CodeRegistry(object):
+    """Thread-safe id -> code mapping with lazy construction."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, CodeEntry] = {}
+        self._codes: Dict[str, QCLDPCCode] = {}
+        self._encoders: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        code_id: str,
+        family: str,
+        rate_label: str,
+        n: int,
+        builder: Callable[[], QCLDPCCode],
+        encoder_factory: Optional[Callable[[QCLDPCCode], Any]] = None,
+    ) -> CodeEntry:
+        """Register a lazy code under a wire-safe id.
+
+        Raises :class:`MalformedCodeIdError` for ids outside
+        :data:`CODE_ID_PATTERN` and :class:`DuplicateCodeError` when the
+        id is already taken.
+        """
+        if not isinstance(code_id, str) or not CODE_ID_PATTERN.match(code_id):
+            raise MalformedCodeIdError(
+                f"malformed code id {code_id!r}: must match "
+                f"{CODE_ID_PATTERN.pattern}"
+            )
+        if encoder_factory is None:
+            from repro.encoder.ru import RuEncoder
+
+            encoder_factory = RuEncoder
+        entry = CodeEntry(
+            code_id=code_id,
+            family=family,
+            rate_label=rate_label,
+            n=int(n),
+            builder=builder,
+            encoder_factory=encoder_factory,
+        )
+        with self._lock:
+            if code_id in self._entries:
+                raise DuplicateCodeError(
+                    f"code id {code_id!r} is already registered "
+                    f"(family {self._entries[code_id].family!r})"
+                )
+            self._entries[code_id] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def entry(self, code_id: str) -> CodeEntry:
+        """The registration record for an id (no code construction)."""
+        try:
+            return self._entries[code_id]
+        except KeyError:
+            raise UnknownCodeError(
+                f"unknown code id {code_id!r}; registered: {self.ids()}"
+            ) from None
+
+    def get(self, code_id: str) -> QCLDPCCode:
+        """The expanded code for an id (built once, then cached)."""
+        entry = self.entry(code_id)
+        with self._lock:
+            code = self._codes.get(code_id)
+        if code is not None:
+            return code
+        built = entry.builder()
+        if built.n != entry.n:
+            raise MalformedCodeIdError(
+                f"code id {code_id!r}: builder produced n={built.n}, "
+                f"registration promised n={entry.n}"
+            )
+        with self._lock:
+            # first builder wins under a race; both built the same code
+            code = self._codes.setdefault(code_id, built)
+        return code
+
+    def encoder(self, code_id: str) -> Any:
+        """A memoized encoder for the id's code."""
+        entry = self.entry(code_id)
+        with self._lock:
+            enc = self._encoders.get(code_id)
+        if enc is not None:
+            return enc
+        built = entry.encoder_factory(self.get(code_id))
+        with self._lock:
+            enc = self._encoders.setdefault(code_id, built)
+        return enc
+
+    def ids(self) -> Tuple[str, ...]:
+        """All registered ids, sorted."""
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, code_id: object) -> bool:
+        return code_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[CodeEntry]:
+        return iter(self._entries[i] for i in self.ids())
+
+
+# ---------------------------------------------------------------------------
+# the default zoo
+# ---------------------------------------------------------------------------
+
+_default: Optional[CodeRegistry] = None
+_default_lock = threading.Lock()
+
+#: WiMax lengths registered beyond the 2304 full set (rate 1/2 only).
+_WIMAX_EXTRA_LENGTHS = (576, 1152, 1728)
+
+#: NR (bg, z) points in the default zoo.
+_NR_POINTS = ((1, 16), (1, 32), (2, 16), (2, 32))
+
+
+def _populate(registry: CodeRegistry) -> None:
+    from repro.codes.nr import NR_BASE_GRAPHS, NrEncoder, nr_code
+    from repro.codes.wifi import WIFI_BLOCK_LENGTHS, WIFI_RATES, wifi_code
+    from repro.codes.wimax import WIMAX_RATES, wimax_code
+
+    def _wimax(rate: str, n: int) -> None:
+        registry.register(
+            f"wimax-{_RATE_SLUGS[rate]}-{n}",
+            family="wimax",
+            rate_label=rate,
+            n=n,
+            builder=lambda rate=rate, n=n: wimax_code(rate, n),
+        )
+
+    # All six 802.16e rate classes at the paper's full length, plus a
+    # length ladder on the case-study rate for routing diversity.
+    for rate in WIMAX_RATES:
+        _wimax(rate, 2304)
+    for n in _WIMAX_EXTRA_LENGTHS:
+        _wimax("1/2", n)
+
+    for rate in WIFI_RATES:
+        for n in WIFI_BLOCK_LENGTHS:
+            registry.register(
+                f"wifi-{_RATE_SLUGS[rate]}-{n}",
+                family="wifi",
+                rate_label=rate,
+                n=n,
+                builder=lambda rate=rate, n=n: wifi_code(rate, n),
+            )
+
+    for bg, z in _NR_POINTS:
+        nb = NR_BASE_GRAPHS[bg][1]
+        registry.register(
+            f"nr-bg{bg}-z{z}",
+            family="nr",
+            rate_label=f"bg{bg}",
+            n=nb * z,
+            builder=lambda bg=bg, z=z: nr_code(bg, z),
+            encoder_factory=NrEncoder,
+        )
+
+
+def default_registry() -> CodeRegistry:
+    """The process-wide registry preloaded with the multi-standard zoo."""
+    global _default
+    with _default_lock:
+        if _default is None:
+            registry = CodeRegistry()
+            _populate(registry)
+            _default = registry
+        return _default

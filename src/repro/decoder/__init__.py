@@ -10,6 +10,7 @@ measured against.
 
 from repro.decoder.result import BatchDecodeResult, DecodeResult
 from repro.decoder.layered import LayeredMinSumDecoder
+from repro.decoder.column_layered import ColumnLayeredMinSumDecoder
 from repro.decoder.flooding import FloodingDecoder
 from repro.decoder.hard import GallagerBDecoder, WeightedBitFlipDecoder
 from repro.decoder.layered_spa import LayeredSumProductDecoder
@@ -26,6 +27,7 @@ __all__ = [
     "BatchDecodeResult",
     "DecodeResult",
     "LayeredMinSumDecoder",
+    "ColumnLayeredMinSumDecoder",
     "FloodingDecoder",
     "GallagerBDecoder",
     "WeightedBitFlipDecoder",

@@ -105,6 +105,7 @@ def decode_many(
     fixed: bool = False,
     recorder: "Optional[TraceRecorder]" = None,
     kernel: str = "batch",
+    schedule: str = "row",
 ) -> BatchDecodeResult:
     """Decode a ``(B, n)`` LLR matrix; rows are independent frames.
 
@@ -116,11 +117,29 @@ def decode_many(
     ``batch.layer`` spans.  ``kernel`` selects the layered batch
     implementation: ``"batch"`` (default) or ``"fused"`` — the fused
     transposed-state kernel from :mod:`repro.accel.fused`, fastest for
-    large batches and equally bit-exact.
+    large batches and equally bit-exact.  ``schedule`` selects the
+    message-passing schedule for the layered min-sum path: ``"row"``
+    (the paper's layered Algorithm 1, default) or ``"column"`` — the
+    column-layered (vertical shuffled) variant from
+    :mod:`repro.serve.column`; the column schedule has its own kernel,
+    so it composes only with ``kernel="batch"``.
     """
     if kernel not in ("batch", "fused"):
         raise DecodingError(
             f"kernel must be 'batch' or 'fused', got {kernel!r}"
+        )
+    if schedule not in ("row", "column"):
+        raise DecodingError(
+            f"schedule must be 'row' or 'column', got {schedule!r}"
+        )
+    if schedule == "column" and kernel != "batch":
+        raise DecodingError(
+            "schedule='column' has a dedicated kernel; combine it with "
+            f"kernel='batch', not {kernel!r}"
+        )
+    if schedule == "column" and algorithm != "layered-min-sum":
+        raise DecodingError(
+            "schedule='column' is only available for layered-min-sum"
         )
     llrs = np.asarray(channel_llrs, dtype=np.float64)
     if llrs.ndim != 2 or llrs.shape[1] != code.n:
@@ -130,7 +149,11 @@ def decode_many(
 
     if algorithm == "layered-min-sum":
         # Imported here: repro.serve imports repro.decoder at load time.
-        if kernel == "fused":
+        if schedule == "column":
+            from repro.serve.column import ColumnBatchLayeredMinSumDecoder
+
+            batch_cls = ColumnBatchLayeredMinSumDecoder
+        elif kernel == "fused":
             from repro.accel.fused import FusedBatchLayeredMinSumDecoder
 
             batch_cls = FusedBatchLayeredMinSumDecoder

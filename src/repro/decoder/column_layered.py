@@ -1,0 +1,256 @@
+"""Column-layered (vertical shuffled) scaled min-sum decoding.
+
+The row-layered schedule (:mod:`repro.decoder.layered`, the paper's
+Algorithm 1) sweeps *block rows*: one layer update reads the layer's P
+entries, refreshes every edge of that layer, and writes the whole layer
+back.  The column-layered schedule of Cui, Wang & Cui ("Reduced-
+complexity column-layered decoding...", IET Commun. 2011) sweeps *block
+columns* instead: processing block column ``j`` visits every layer
+incident to ``j`` and refreshes only the edges of column ``j``, so each
+variable node's a-posteriori value is updated ``deg(v)`` times per
+iteration and newly sharpened column beliefs propagate *within* a layer
+sweep rather than only between layers.
+
+Memory-access contrast with the paper's architecture: the row-layered
+datapath streams one R word per edge of one layer and hits each P word
+once per layer (the two-port P SRAM pattern of Fig 5); the
+column-layered datapath holds one P word (z LLRs) hot across all of its
+incident layers and re-derives each check's min/sign state per visit —
+trading repeated check evaluation (degree x arithmetic) for single-
+column P traffic, which is why the hardware literature pairs it with
+compressed per-check state (min1/min2/index).  This software model
+keeps the uncompressed re-evaluation form so the arithmetic stays
+step-for-step comparable with the row-layered kernels: on a converged
+frame both schedules settle on the same codeword, and the randomized
+differential suite (``tests/test_decoder_column_layered.py``) pins the
+per-frame/batch bit-exactness contract.
+
+Both arithmetic modes mirror :class:`LayeredMinSumDecoder` exactly
+(float doubles; bit-accurate 8-bit two's-complement with symmetric
+saturation and the shift-add 0.75 scaler), so the batch form
+(:mod:`repro.serve.column`) can be proven bit-exact against this
+reference the same way the row kernels are.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.accel.plan import column_adjacency, get_plan
+from repro.channel.quantize import MESSAGE_8BIT, FixedPointFormat
+from repro.codes.qc import QCLDPCCode
+from repro.decoder.layered import DEFAULT_MAX_ITERATIONS
+from repro.decoder.minsum import (
+    SCALING_FACTOR,
+    min1_min2,
+    scale_magnitude_fixed,
+    sign_with_zero_positive,
+)
+from repro.decoder.result import DecodeResult
+from repro.errors import DecodingError
+from repro.utils.bitops import hard_decision
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.obs.trace import TraceRecorder
+
+__all__ = ["ColumnLayeredMinSumDecoder"]
+
+
+class ColumnLayeredMinSumDecoder(object):
+    """Column-layered scaled min-sum decoder for QC-LDPC codes.
+
+    Parameters
+    ----------
+    code:
+        The QC-LDPC code to decode.
+    max_iterations:
+        Full-sweep budget (one iteration = one pass over all block
+        columns).
+    scaling_factor:
+        Check-message scaling, float mode only (paper: 0.75).
+    fixed:
+        Use bit-accurate fixed-point arithmetic.
+    fmt:
+        Fixed-point message format (default: the paper's 8-bit format).
+    early_termination:
+        Stop as soon as all parity checks pass at an iteration boundary.
+    column_order:
+        Optional permutation of block-column indices per iteration
+        (default: natural order).
+    recorder:
+        Optional :class:`~repro.obs.trace.TraceRecorder`; emits
+        ``decode.frame`` / ``decode.iteration`` spans (column sweeps are
+        too fine-grained to span individually).
+    """
+
+    def __init__(
+        self,
+        code: QCLDPCCode,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        scaling_factor: float = SCALING_FACTOR,
+        fixed: bool = False,
+        fmt: FixedPointFormat = MESSAGE_8BIT,
+        early_termination: bool = True,
+        column_order: Optional[Sequence[int]] = None,
+        recorder: "Optional[TraceRecorder]" = None,
+    ) -> None:
+        if max_iterations < 1:
+            raise DecodingError(f"max_iterations must be >= 1, got {max_iterations}")
+        if not 0.0 < scaling_factor <= 1.0:
+            raise DecodingError(
+                f"scaling_factor must be in (0, 1], got {scaling_factor}"
+            )
+        self.code = code
+        self.max_iterations = max_iterations
+        self.scaling_factor = scaling_factor
+        self.fixed = fixed
+        self.fmt = fmt
+        self.early_termination = early_termination
+        self.recorder = recorder
+        self.plan = get_plan(code)
+        self.col_edges: Tuple[Tuple[Tuple[int, int], ...], ...] = (
+            column_adjacency(self.plan)
+        )
+        if column_order is None:
+            self.column_order = list(range(code.nb))
+        else:
+            self.column_order = [int(j) for j in column_order]
+            if sorted(self.column_order) != list(range(code.nb)):
+                raise DecodingError(
+                    "column_order must be a permutation of the block columns"
+                )
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def decode(self, channel_llrs: np.ndarray) -> DecodeResult:
+        """Decode one frame of channel LLRs (length n, float)."""
+        llrs = np.asarray(channel_llrs, dtype=np.float64)
+        if llrs.shape != (self.code.n,):
+            raise DecodingError(
+                f"LLR length {llrs.shape} != ({self.code.n},)"
+            )
+        if self.fixed:
+            return self._run_fixed(self.fmt.quantize(llrs))
+        return self._decode_float(llrs)
+
+    def decode_codes(self, llr_codes: np.ndarray) -> DecodeResult:
+        """Decode pre-quantized integer LLR codes (fixed mode only)."""
+        if not self.fixed:
+            raise DecodingError("decode_codes requires fixed=True")
+        codes = np.asarray(llr_codes, dtype=np.int32)
+        if codes.shape != (self.code.n,):
+            raise DecodingError(f"code length {codes.shape} != ({self.code.n},)")
+        return self._run_fixed(self.fmt.saturate(codes))
+
+    # ------------------------------------------------------------------
+    # floating-point path
+    # ------------------------------------------------------------------
+    def _decode_float(self, llrs: np.ndarray) -> DecodeResult:
+        code = self.code
+        rec = self.recorder
+        tracing = rec is not None and rec.enabled
+        p = llrs.copy()
+        r = [np.zeros((layer.degree, code.z)) for layer in code.layers]
+
+        iteration_syndromes: List[int] = []
+        iterations = 0
+        frame_t0 = time.perf_counter() if tracing else 0.0
+        for it in range(self.max_iterations):
+            it_t0 = time.perf_counter() if tracing else 0.0
+            for j in self.column_order:
+                for l, k in self.col_edges[j]:
+                    lp = self.plan.layers[l]
+                    idx = lp.var_idx
+                    q = p[idx] - r[l]
+                    signs = sign_with_zero_positive(q)
+                    min1, min2, pos1 = min1_min2(np.abs(q))
+                    total_sign = np.prod(signs, axis=0, dtype=np.int64)
+                    mags = np.where(lp.degree_col == pos1[None, :], min2, min1)
+                    shaped = self.scaling_factor * mags
+                    r_new = (total_sign[None, :] * signs) * shaped
+                    # Column write-back: only block column j's edge of
+                    # this layer is refreshed.
+                    p[idx[k]] = q[k] + r_new[k]
+                    r[l][k] = r_new[k]
+            iterations += 1
+            weight = int(self.code.syndrome(hard_decision(p)).sum())
+            iteration_syndromes.append(weight)
+            if tracing:
+                rec.complete("decode.iteration", it_t0, iteration=it,
+                             syndrome=weight, mode="float")
+            if self.early_termination and weight == 0:
+                break
+        if tracing:
+            rec.complete("decode.frame", frame_t0, iterations=iterations,
+                         mode="float")
+
+        bits = hard_decision(p)
+        weight = iteration_syndromes[-1]
+        return DecodeResult(
+            bits=bits,
+            converged=weight == 0,
+            iterations=iterations,
+            llrs=p,
+            syndrome_weight=weight,
+            iteration_syndromes=iteration_syndromes,
+        )
+
+    # ------------------------------------------------------------------
+    # fixed-point path
+    # ------------------------------------------------------------------
+    def _run_fixed(self, p_codes: np.ndarray) -> DecodeResult:
+        code = self.code
+        fmt = self.fmt
+        rec = self.recorder
+        tracing = rec is not None and rec.enabled
+        p = p_codes.astype(np.int32)
+        r = [
+            np.zeros((layer.degree, code.z), dtype=np.int32)
+            for layer in code.layers
+        ]
+
+        iteration_syndromes: List[int] = []
+        iterations = 0
+        frame_t0 = time.perf_counter() if tracing else 0.0
+        for it in range(self.max_iterations):
+            it_t0 = time.perf_counter() if tracing else 0.0
+            for j in self.column_order:
+                for l, k in self.col_edges[j]:
+                    lp = self.plan.layers[l]
+                    idx = lp.var_idx
+                    q = fmt.saturate(p[idx].astype(np.int64) - r[l])
+                    signs = sign_with_zero_positive(q)
+                    min1, min2, pos1 = min1_min2(np.abs(q))
+                    total_sign = np.prod(signs, axis=0, dtype=np.int64)
+                    mags = np.where(lp.degree_col == pos1[None, :], min2, min1)
+                    shaped = scale_magnitude_fixed(mags)
+                    r_new = (total_sign[None, :] * signs) * shaped
+                    r_new = fmt.saturate(r_new)
+                    p[idx[k]] = fmt.saturate(q[k].astype(np.int64) + r_new[k])
+                    r[l][k] = r_new[k]
+            iterations += 1
+            weight = int(self.code.syndrome(hard_decision(p)).sum())
+            iteration_syndromes.append(weight)
+            if tracing:
+                rec.complete("decode.iteration", it_t0, iteration=it,
+                             syndrome=weight, mode="fixed")
+            if self.early_termination and weight == 0:
+                break
+        if tracing:
+            rec.complete("decode.frame", frame_t0, iterations=iterations,
+                         mode="fixed")
+
+        bits = hard_decision(p)
+        weight = iteration_syndromes[-1]
+        return DecodeResult(
+            bits=bits,
+            converged=weight == 0,
+            iterations=iterations,
+            llrs=fmt.dequantize(p),
+            syndrome_weight=weight,
+            iteration_syndromes=iteration_syndromes,
+        )

@@ -22,6 +22,20 @@ class TransientDecodeError(DecodingError):
     corrupted engine state) and may succeed if retried on fresh state."""
 
 
+class RegistryError(ReproError):
+    """Code-registry misuse (bad registration, malformed entry)."""
+
+
+class MalformedCodeIdError(RegistryError):
+    """A registry id violates the wire-safe grammar (lowercase alnum
+    plus ``._-``, must start alphanumeric, at most 64 chars) — such an
+    id could not travel the net protocol's ``code_id`` field safely."""
+
+
+class DuplicateCodeError(RegistryError):
+    """A code was registered under an id the registry already holds."""
+
+
 class FaultConfigError(ReproError):
     """Fault-injection misuse (unknown site, bad rate, bad bit index)."""
 
@@ -60,6 +74,13 @@ class ServeTimeoutError(ServeError):
 
 class ServiceClosedError(ServeError):
     """A frame was submitted to a service that is shutting down or closed."""
+
+
+class UnknownCodeError(ServeError):
+    """A code id / code key names no registered code: raised by registry
+    lookups and by :meth:`DecodeService.submit` routing, and carried
+    across the wire as its own ERROR frame kind so remote clients see
+    the same typed error a local caller would."""
 
 
 class ShardDeadError(ServeError):

@@ -41,6 +41,14 @@ from repro.net.client import AsyncDecodeClient, DecodeClient, RemoteResult
 from repro.net.crc import crc32c
 from repro.net.dedup import DedupWindow
 from repro.net.gateway import DecodeGateway
+from repro.net.harq import (
+    HarqCodeStats,
+    HarqConfig,
+    HarqReport,
+    HarqRung,
+    default_ladder,
+    run_harq_session,
+)
 from repro.net.metrics import NetMetrics
 from repro.net.protocol import (
     CLIENT_FLAGS,
@@ -86,48 +94,54 @@ __all__ = [
     "AsyncDecodeClient",
     "Autoscaler",
     "BRONZE",
-    "CLIENT_FLAGS",
     "CircuitBreaker",
-    "DEFAULT_MAX_FRAME_BYTES",
+    "CLIENT_FLAGS",
+    "crc32c",
+    "decode_frame",
     "DecodeClient",
     "DecodeGateway",
     "DedupWindow",
-    "ErrorFrame",
-    "FLAG_CRC32C",
-    "FLAG_HEARTBEAT",
-    "FLAG_IDEMPOTENCY",
-    "FrameReader",
-    "GOLD",
-    "Hello",
-    "MAGIC",
-    "NetMetrics",
-    "Ping",
-    "Pong",
-    "RemoteResult",
-    "Request",
-    "ResilientDecodeClient",
-    "Result",
-    "RetryPolicy",
-    "SILVER",
-    "SUPPORTED_VERSIONS",
-    "SoakConfig",
-    "TenantPolicy",
-    "TokenBucket",
-    "V1",
-    "V2",
-    "VERSION",
-    "crc32c",
-    "decode_frame",
+    "default_ladder",
+    "DEFAULT_MAX_FRAME_BYTES",
     "encode_error",
     "encode_hello",
     "encode_ping",
     "encode_pong",
     "encode_request",
     "encode_result",
+    "ErrorFrame",
+    "FLAG_CRC32C",
+    "FLAG_HEARTBEAT",
+    "FLAG_IDEMPOTENCY",
+    "FrameReader",
+    "GOLD",
+    "HarqCodeStats",
+    "HarqConfig",
+    "HarqReport",
+    "HarqRung",
+    "Hello",
+    "MAGIC",
+    "NetMetrics",
     "pack_llrs",
+    "Ping",
+    "Pong",
     "read_frame",
     "read_raw",
+    "RemoteResult",
+    "Request",
+    "ResilientDecodeClient",
+    "Result",
+    "RetryPolicy",
+    "run_harq_session",
     "run_net_soak",
+    "SILVER",
+    "SoakConfig",
+    "SUPPORTED_VERSIONS",
+    "TenantPolicy",
+    "TokenBucket",
     "unpack_llrs",
+    "V1",
+    "V2",
+    "VERSION",
     "write_frame",
 ]

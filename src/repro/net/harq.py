@@ -1,0 +1,279 @@
+"""Channel-adaptive HARQ-like client session over the gateway.
+
+Link adaptation in miniature: a client watches a (simulated) channel
+whose SNR sweeps the band with seeded jitter, and picks a code from the
+registry zoo per frame — robust low-rate codes when the channel is bad,
+aggressive high-rate codes when it is good — exactly the way an
+802.16e/802.11n/NR modem renegotiates its MCS between HARQ rounds.
+Because the gateway routes on the wire protocol's ``code_id`` field
+(shard groups keyed by registry id, see
+:meth:`~repro.serve.pool.DecodeService.from_registry`), the switch is a
+pure client-side decision: the same TCP connection carries frames for
+every rung of the ladder, mid-stream.
+
+The session is self-verifying.  Every frame sent is also decoded
+locally through :func:`~repro.decoder.api.decode_many` on the
+wire-quantized LLRs (so both sides see byte-identical inputs), and the
+report counts any payload mismatch between the remote and local bits —
+the acceptance bar is zero.
+
+Usage::
+
+    ladder = (
+        HarqRung("wimax-r12-576", min_snr_db=-1e9),
+        HarqRung("wifi-r23-648", min_snr_db=3.0),
+        HarqRung("wimax-r56-2304", min_snr_db=4.5),
+    )
+    report = run_harq_session(host, port, HarqConfig(ladder=ladder))
+    assert report.mismatches == 0 and report.switches >= 1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.channel.awgn import AwgnChannel
+from repro.decoder.api import decode_many
+from repro.errors import ServeError
+from repro.net.client import DecodeClient
+from repro.net.protocol import pack_llrs, unpack_llrs
+
+__all__ = ["HarqRung", "HarqConfig", "HarqCodeStats", "HarqReport",
+           "run_harq_session", "default_ladder"]
+
+
+@dataclass(frozen=True)
+class HarqRung(object):
+    """One rung of the adaptation ladder.
+
+    ``min_snr_db`` is the lowest simulated Eb/N0 at which this rung's
+    code is selectable; the session always picks the highest eligible
+    rung, so ordering rungs by ascending threshold orders them from
+    most robust to most aggressive.
+    """
+
+    code_id: str
+    min_snr_db: float
+
+
+def default_ladder() -> Tuple[HarqRung, ...]:
+    """A three-code ladder spanning the zoo's standards.
+
+    Rate 1/2 WiMAX as the floor (always eligible), rate-2/3 802.11n in
+    the middle, rate-5/6 WiMAX at the top — three different block
+    lengths, so the switch also exercises rate-aware shard routing.
+    """
+    return (
+        HarqRung("wimax-r12-576", min_snr_db=-1e9),
+        HarqRung("wifi-r23-648", min_snr_db=3.2),
+        HarqRung("wimax-r56-2304", min_snr_db=4.6),
+    )
+
+
+@dataclass(frozen=True)
+class HarqConfig(object):
+    """Parameters of one simulated session (all deterministic per seed)."""
+
+    ladder: Tuple[HarqRung, ...] = field(default_factory=default_ladder)
+    frames: int = 48
+    seed: int = 2026
+    snr_min_db: float = 1.5
+    snr_max_db: float = 6.0
+    snr_jitter_db: float = 0.3
+    max_iterations: int = 10
+    tenant: str = "harq"
+    request_timeout_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if len(self.ladder) < 2:
+            raise ServeError(
+                f"HARQ ladder needs >= 2 rungs to switch, got "
+                f"{len(self.ladder)}"
+            )
+        if self.frames < 2:
+            raise ServeError(f"frames must be >= 2, got {self.frames}")
+        if self.snr_min_db >= self.snr_max_db:
+            raise ServeError(
+                f"snr band is empty: [{self.snr_min_db}, {self.snr_max_db}]"
+            )
+        if not any(r.min_snr_db <= self.snr_min_db for r in self.ladder):
+            raise ServeError(
+                "no rung is eligible at snr_min_db; give the most robust "
+                "rung a min_snr_db at or below it"
+            )
+
+    def snr_at(self, frame: int, rng: np.random.Generator) -> float:
+        """Simulated Eb/N0 for frame ``frame``.
+
+        A triangular sweep across the whole band (bad channel at the
+        session's edges, good in the middle) plus seeded jitter — so
+        every rung whose threshold lies inside the band is visited in
+        every session, while the exact switch points stay seed-
+        dependent.  The jitter draw happens unconditionally to keep
+        the rng stream aligned across configs.
+        """
+        t = frame / (self.frames - 1)
+        sweep = 1.0 - abs(2.0 * t - 1.0)
+        snr = self.snr_min_db + (self.snr_max_db - self.snr_min_db) * sweep
+        snr += float(rng.uniform(-self.snr_jitter_db, self.snr_jitter_db))
+        return min(max(snr, self.snr_min_db), self.snr_max_db)
+
+
+@dataclass
+class HarqCodeStats(object):
+    """Per-code outcome of a session."""
+
+    code_id: str
+    frames: int = 0
+    converged: int = 0
+    mismatches: int = 0
+    iterations_total: int = 0
+
+    @property
+    def fer(self) -> float:
+        """Frame error rate (non-converged fraction) for this code."""
+        return 1.0 - self.converged / self.frames if self.frames else 0.0
+
+    @property
+    def mean_iterations(self) -> float:
+        return self.iterations_total / self.frames if self.frames else 0.0
+
+
+@dataclass
+class HarqReport(object):
+    """What one session did, and whether the wire path was faithful."""
+
+    frames: int
+    switches: int
+    mismatches: int
+    code_sequence: Tuple[str, ...]
+    snr_trace_db: Tuple[float, ...]
+    per_code: Dict[str, HarqCodeStats]
+
+    @property
+    def codes_used(self) -> Tuple[str, ...]:
+        """Distinct codes in first-use order."""
+        seen: List[str] = []
+        for cid in self.code_sequence:
+            if cid not in seen:
+                seen.append(cid)
+        return tuple(seen)
+
+    def to_dict(self) -> dict:
+        return {
+            "frames": self.frames,
+            "switches": self.switches,
+            "mismatches": self.mismatches,
+            "codes_used": list(self.codes_used),
+            "per_code": {
+                cid: {
+                    "frames": s.frames,
+                    "converged": s.converged,
+                    "fer": round(s.fer, 6),
+                    "mean_iterations": round(s.mean_iterations, 3),
+                    "mismatches": s.mismatches,
+                }
+                for cid, s in sorted(self.per_code.items())
+            },
+        }
+
+
+def _select_rung(ladder: Tuple[HarqRung, ...], snr_db: float) -> HarqRung:
+    """Highest (most aggressive) rung whose threshold the channel meets."""
+    best: Optional[HarqRung] = None
+    for rung in ladder:
+        if rung.min_snr_db <= snr_db:
+            best = rung
+    if best is None:  # __post_init__ guarantees this cannot happen mid-walk
+        best = ladder[0]
+    return best
+
+
+def run_harq_session(
+    host: str,
+    port: int,
+    config: Optional[HarqConfig] = None,
+    registry: Optional[object] = None,
+) -> HarqReport:
+    """Run one channel-adaptive session against a live gateway.
+
+    The gateway must host every code on the ladder (use
+    :meth:`DecodeService.from_registry` with the same ids).  Each frame
+    is encoded with the registry's encoder for the selected code,
+    passed through an AWGN channel at the walk's current Eb/N0,
+    wire-quantized, sent with a per-request ``code_id``, and then
+    re-decoded locally; remote and local bits must agree frame by
+    frame (``report.mismatches`` counts the exceptions).
+    """
+    config = config or HarqConfig()
+    if registry is None:
+        from repro.codes.registry import default_registry
+
+        registry = default_registry()
+
+    codes = {r.code_id: registry.get(r.code_id) for r in config.ladder}
+    encoders = {r.code_id: registry.encoder(r.code_id) for r in config.ladder}
+
+    rng = np.random.default_rng(config.seed)
+    snr_trace: List[float] = []
+    code_sequence: List[str] = []
+    # (code_id, wire llrs, remote bits, remote iterations) per frame
+    sent: List[Tuple[str, np.ndarray, np.ndarray, int]] = []
+    stats = {cid: HarqCodeStats(code_id=cid) for cid in codes}
+
+    with DecodeClient(host, port, tenant=config.tenant) as client:
+        for i in range(config.frames):
+            snr_db = config.snr_at(i, rng)
+            rung = _select_rung(config.ladder, snr_db)
+            code = codes[rung.code_id]
+            encoder = encoders[rung.code_id]
+            message = rng.integers(0, 2, encoder.k).astype(np.uint8)
+            codeword = encoder.encode(message)
+            channel = AwgnChannel.from_ebno(snr_db, code.rate, seed=rng)
+            llrs = unpack_llrs(*pack_llrs(channel.llrs(codeword)))
+
+            result = client.decode(
+                llrs, code_id=rung.code_id,
+                timeout=config.request_timeout_s,
+            )
+
+            code_sequence.append(rung.code_id)
+            snr_trace.append(snr_db)
+            sent.append((rung.code_id, llrs, result.bits,
+                         int(result.iterations)))
+            st = stats[rung.code_id]
+            st.frames += 1
+            st.converged += int(result.converged)
+            st.iterations_total += int(result.iterations)
+
+    # self-verification: decode the exact wire payloads locally, per code
+    for cid, code in codes.items():
+        frames = [(llrs, bits, its) for c, llrs, bits, its in sent if c == cid]
+        if not frames:
+            continue
+        batch = decode_many(
+            code,
+            np.stack([f[0] for f in frames]),
+            max_iterations=config.max_iterations,
+        )
+        for i, (_, remote_bits, remote_its) in enumerate(frames):
+            if (
+                remote_its != int(batch.iterations[i])
+                or not np.array_equal(remote_bits, batch.bits[i])
+            ):
+                stats[cid].mismatches += 1
+
+    switches = sum(
+        1 for a, b in zip(code_sequence, code_sequence[1:]) if a != b
+    )
+    return HarqReport(
+        frames=len(code_sequence),
+        switches=switches,
+        mismatches=sum(s.mismatches for s in stats.values()),
+        code_sequence=tuple(code_sequence),
+        snr_trace_db=tuple(snr_trace),
+        per_code=stats,
+    )

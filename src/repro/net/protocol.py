@@ -67,6 +67,7 @@ from repro.errors import (
     ServeTimeoutError,
     ServiceClosedError,
     ShardDeadError,
+    UnknownCodeError,
 )
 from repro.net.crc import crc32c
 
@@ -157,6 +158,7 @@ ERROR_TYPES: "dict[str, Type[ServeError]]" = {
         ServeTimeoutError,
         ServiceClosedError,
         ShardDeadError,
+        UnknownCodeError,
     )
 }
 

@@ -1,9 +1,10 @@
 """Performance regression gate over committed benchmark baselines.
 
 The bench documents under version control (``BENCH_accel.json``,
-``BENCH_serve.json``, ``BENCH_net.json``) freeze the throughput story
-of the repo — the fused-kernel speedup, the process-pool scaling, the
-serving overhead, the network-gateway overhead.
+``BENCH_serve.json``, ``BENCH_net.json``, ``BENCH_zoo.json``) freeze
+the throughput story of the repo — the fused-kernel speedup, the
+process-pool scaling, the serving overhead, the network-gateway
+overhead, and the per-code cost of the registry zoo.
 :func:`run_perf_gate` re-runs each baseline's bench with the baseline's
 own embedded configuration, compares per-mode throughput medians
 against the committed numbers, and fails when any mode regressed by
@@ -181,7 +182,7 @@ def load_baseline(path: str) -> Dict[str, Any]:
 
 def _bench_kind(doc: Dict[str, Any]) -> Optional[str]:
     # provenance header first (bench_meta stamps it), shape as fallback
-    if doc.get("bench") in ("accel", "serve", "net"):
+    if doc.get("bench") in ("accel", "serve", "net", "zoo"):
         if isinstance(doc.get("rows"), list) or isinstance(
             doc.get("modes"), list
         ):
@@ -243,10 +244,28 @@ def rerun_baseline(
         raise PerfGateError(f"k must be >= 1, got {k}")
     kind = _bench_kind(doc)
     wanted = list(modes) if modes else list(baseline_fps(doc))
-    code = _code_from_baseline(doc)
+    # zoo baselines span many codes; their config embeds the registry
+    # ids, so no single code is reconstructed from the header
+    code = None if kind == "zoo" else _code_from_baseline(doc)
     samples: Dict[str, List[float]] = {m: [] for m in wanted}
     for _ in range(k):
-        if kind == "accel":
+        if kind == "zoo":
+            from repro.serve.zoo_bench import run_zoo_bench
+
+            cfg = dict(doc.get("config", {}))
+            run = run_zoo_bench(
+                code_ids=list(cfg.get("code_ids") or wanted),
+                frames=int(cfg.get("frames", 32)),
+                ebno_db=float(cfg.get("ebno_db", 4.0)),
+                iterations=int(cfg.get("iterations", 10)),
+                fixed=bool(cfg.get("fixed", False)),
+                seed=int(cfg.get("seed", 11)),
+                schedule=str(cfg.get("schedule", "row")),
+            )
+            observed = {
+                r["mode"]: float(r["frames_per_s"]) for r in run["rows"]
+            }
+        elif kind == "accel":
             from repro.accel.bench import run_accel_bench
 
             run = run_accel_bench(

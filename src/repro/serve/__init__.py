@@ -35,6 +35,7 @@ Quickstart::
 """
 
 from repro.serve.batch import BatchLayeredMinSumDecoder
+from repro.serve.column import ColumnBatchLayeredMinSumDecoder
 from repro.serve.engine import ContinuousBatchingEngine
 from repro.serve.jobs import CompletedJob, DecodeJob
 from repro.serve.metrics import MetricsSnapshot, ServeMetrics
@@ -43,6 +44,7 @@ from repro.serve.shedding import LoadShedPolicy, NoShedPolicy, StepShedPolicy
 
 __all__ = [
     "BatchLayeredMinSumDecoder",
+    "ColumnBatchLayeredMinSumDecoder",
     "ContinuousBatchingEngine",
     "CompletedJob",
     "DecodeJob",

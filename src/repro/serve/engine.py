@@ -50,9 +50,13 @@ class ContinuousBatchingEngine(object):
     max_iterations / scaling_factor / fixed / fmt:
         Forwarded to the underlying batch kernel.
     kernel:
-        ``"batch"`` (the reference batch kernel) or ``"fused"`` (the
-        fused transposed-state kernel from :mod:`repro.accel.fused`);
-        both are bit-exact with the per-frame decoder.
+        ``"batch"`` (the reference batch kernel), ``"fused"`` (the
+        fused transposed-state kernel from :mod:`repro.accel.fused`), or
+        ``"column"`` (the column-layered schedule from
+        :mod:`repro.serve.column`).  ``batch`` and ``fused`` are
+        bit-exact with the per-frame row-layered decoder; ``column`` is
+        bit-exact with its own per-frame reference
+        (:class:`~repro.decoder.column_layered.ColumnLayeredMinSumDecoder`).
     metrics:
         Optional shared :class:`ServeMetrics`; a private instance is
         created when omitted.
@@ -78,9 +82,9 @@ class ContinuousBatchingEngine(object):
     ) -> None:
         if batch_size < 1:
             raise DecodingError(f"batch_size must be >= 1, got {batch_size}")
-        if kernel not in ("batch", "fused"):
+        if kernel not in ("batch", "fused", "column"):
             raise DecodingError(
-                f"kernel must be 'batch' or 'fused', got {kernel!r}"
+                f"kernel must be 'batch', 'fused', or 'column', got {kernel!r}"
             )
         self.code = code
         self.batch_size = batch_size
@@ -91,6 +95,10 @@ class ContinuousBatchingEngine(object):
             from repro.accel.fused import FusedBatchLayeredMinSumDecoder
 
             kernel_cls = FusedBatchLayeredMinSumDecoder
+        elif kernel == "column":
+            from repro.serve.column import ColumnBatchLayeredMinSumDecoder
+
+            kernel_cls = ColumnBatchLayeredMinSumDecoder
         else:
             kernel_cls = BatchLayeredMinSumDecoder
         self.kernel = kernel_cls(

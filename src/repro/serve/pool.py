@@ -64,6 +64,7 @@ from typing import (
     List,
     Mapping,
     Optional,
+    Sequence,
     Tuple,
     Union,
 )
@@ -80,6 +81,7 @@ from repro.errors import (
     ServiceClosedError,
     ShardDeadError,
     TransientDecodeError,
+    UnknownCodeError,
 )
 from repro.serve.engine import ContinuousBatchingEngine
 from repro.serve.jobs import CompletedJob, DecodeJob
@@ -216,9 +218,11 @@ class DecodeService(object):
         shared-memory LLR slots — same bit-exact results and the same
         supervision semantics, plus hard fault isolation.
     kernel:
-        ``"batch"`` or ``"fused"`` — which batch kernel the shard
-        engines run (both bit-exact with the per-frame decoder; see
-        :mod:`repro.accel.fused`).
+        ``"batch"``, ``"fused"``, or ``"column"`` — which batch kernel
+        the shard engines run (``batch``/``fused`` are bit-exact with
+        the per-frame row-layered decoder, see :mod:`repro.accel.fused`;
+        ``column`` runs the column-layered schedule of
+        :mod:`repro.serve.column`).
     queue_capacity:
         Bound of each shard's admission queue (the backpressure knob).
     metrics:
@@ -291,9 +295,9 @@ class DecodeService(object):
             raise ServeError(
                 f"backend must be 'thread' or 'process', got {backend!r}"
             )
-        if kernel not in ("batch", "fused"):
+        if kernel not in ("batch", "fused", "column"):
             raise ServeError(
-                f"kernel must be 'batch' or 'fused', got {kernel!r}"
+                f"kernel must be 'batch', 'fused', or 'column', got {kernel!r}"
             )
         if queue_capacity < 1:
             raise ServeError(f"queue_capacity must be >= 1, got {queue_capacity}")
@@ -327,6 +331,8 @@ class DecodeService(object):
         self.batch_size = batch_size
         self.fixed = fixed
         self.queue_capacity = queue_capacity
+        #: Registry ids this service was built from (see from_registry).
+        self.registry_ids: Tuple[str, ...] = ()
         self._shards: Dict[str, _Shard] = {}
         self._length_index: Dict[int, List[str]] = {}
         self._groups: Dict[str, List[str]] = {}
@@ -388,6 +394,46 @@ class DecodeService(object):
                 )
 
         return make
+
+    @classmethod
+    def from_registry(
+        cls,
+        code_ids: Sequence[str],
+        registry: Optional[object] = None,
+        warm_plans: bool = True,
+        **kwargs: object,
+    ) -> "DecodeService":
+        """Host a set of registry codes, one shard group per id.
+
+        ``code_ids`` are ids from a :class:`~repro.codes.registry.CodeRegistry`
+        (default: the process-wide zoo from
+        :func:`~repro.codes.registry.default_registry`); unknown ids
+        raise :class:`~repro.errors.UnknownCodeError` before any shard
+        is built.  Shard groups are keyed by registry id, so the same
+        string a remote client puts in the net protocol's ``code_id``
+        field routes frames here — rate-aware routing across the whole
+        zoo, even when several codes share a frame length.  With
+        ``warm_plans`` (default) each code's :class:`~repro.accel.plan.CodePlan`
+        is built into the process-global plan cache up front, so the
+        first frame of every code hits a warm cache instead of paying
+        plan construction on the serving path.
+        """
+        if registry is None:
+            from repro.codes.registry import default_registry
+
+            registry = default_registry()
+        ids = list(code_ids)
+        if not ids:
+            raise ServeError("from_registry needs at least one code id")
+        codes = {code_id: registry.get(code_id) for code_id in ids}
+        if warm_plans:
+            from repro.accel.plan import get_plan
+
+            for code in codes.values():
+                get_plan(code)
+        service = cls(codes, **kwargs)
+        service.registry_ids = tuple(ids)
+        return service
 
     @staticmethod
     def _close_engine(engine: object) -> None:
@@ -623,7 +669,7 @@ class DecodeService(object):
             elif code_key in self._shards:
                 shards = [self._shards[code_key]]
             else:
-                raise ServeError(
+                raise UnknownCodeError(
                     f"unknown code_key {code_key!r}; have {self.shard_keys}"
                 )
         fills = [
@@ -851,7 +897,7 @@ class DecodeService(object):
                     return self._pick_replica(members, code_key)
                 shard = self._shards.get(code_key)
                 if shard is None:
-                    raise ServeError(
+                    raise UnknownCodeError(
                         f"unknown code_key {code_key!r}; have {self.shard_keys}"
                     )
                 return shard

@@ -99,6 +99,58 @@ class TestCommands:
         assert sites == {"none/llr", "llr"}
         assert "faults_frames" in obj["metrics"]
 
+    @pytest.mark.zoo
+    def test_zoo_bench_table(self, capsys):
+        rc = main([
+            "zoo-bench", "--frames", "4",
+            "--codes", "wimax-r12-576", "wifi-r12-648",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "zoo-bench" in out
+        assert "wimax-r12-576" in out and "wifi-r12-648" in out
+        assert "FER" in out
+
+    @pytest.mark.zoo
+    def test_zoo_bench_json(self, capsys):
+        rc = main([
+            "zoo-bench", "--frames", "4", "--codes", "nr-bg2-z16", "--json",
+        ])
+        assert rc == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["bench"] == "zoo"
+        assert [r["mode"] for r in obj["rows"]] == ["nr-bg2-z16"]
+        assert obj["config"]["code_ids"] == ["nr-bg2-z16"]
+
+    @pytest.mark.zoo
+    def test_zoo_bench_family_filter(self, capsys):
+        rc = main(["zoo-bench", "--frames", "2", "--family", "nr"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "nr-bg1-z16" in out and "nr-bg2-z32" in out
+        assert "wimax" not in out.replace("zoo-bench", "")
+
+    @pytest.mark.zoo
+    def test_zoo_bench_column_schedule(self, capsys):
+        rc = main([
+            "zoo-bench", "--frames", "3", "--codes", "wimax-r12-576",
+            "--schedule", "column",
+        ])
+        assert rc == 0
+        assert "schedule=column" in capsys.readouterr().out
+
+    @pytest.mark.zoo
+    def test_zoo_bench_rejects_unknown_code(self, capsys):
+        rc = main(["zoo-bench", "--codes", "no-such-code"])
+        assert rc == 2
+        assert "no-such-code" in capsys.readouterr().err
+
+    @pytest.mark.zoo
+    def test_zoo_bench_rejects_unknown_family(self, capsys):
+        rc = main(["zoo-bench", "--family", "dvb"])
+        assert rc == 2
+        assert "dvb" in capsys.readouterr().err
+
     def test_accel_bench_table(self, capsys):
         rc = main([
             "accel-bench", "--length", "576", "--frames", "6", "--batch", "3",

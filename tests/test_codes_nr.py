@@ -1,0 +1,144 @@
+"""5G NR BG1/BG2 family: construction, encoding, rate matching.
+
+The NR base graphs are the registry's third standard and the only one
+with a raptor-like structure — a 4-row dual-diagonal core followed by
+single-parity extension rows, each closing on its own degree-1 parity
+column.  These tests pin the structural invariants (shapes, lifting
+grammar, extension-row form), the encoder (RU on the core + XOR
+accumulation for the extensions, verified against H), and the rate-
+matching hooks that puncture/shorten the mother code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codes import (
+    NR_BASE_GRAPHS,
+    NR_LIFTING_SIZES,
+    NrEncoder,
+    nr_base_matrix,
+    nr_code,
+    nr_rate_match,
+    rate_match,
+    wimax_code,
+)
+from repro.codes.nr import NR_CORE_ROWS
+from repro.errors import CodeConstructionError, EncodingError
+
+pytestmark = pytest.mark.zoo
+
+
+class TestStructure:
+    def test_base_graph_shapes(self):
+        assert NR_BASE_GRAPHS[1] == (46, 68, 22)
+        assert NR_BASE_GRAPHS[2] == (42, 52, 10)
+
+    def test_lifting_grammar(self):
+        # a * 2^j for a in {2,3,5,7,9,11,13,15}, capped at 384
+        assert 384 in NR_LIFTING_SIZES
+        assert 2 in NR_LIFTING_SIZES
+        assert max(NR_LIFTING_SIZES) == 384
+        assert all(z <= 384 for z in NR_LIFTING_SIZES)
+        for z in NR_LIFTING_SIZES:
+            a = z
+            while a % 2 == 0:
+                a //= 2
+            assert a in (1, 3, 5, 7, 9, 11, 13, 15)
+
+    @pytest.mark.parametrize("bg", [1, 2])
+    def test_code_shape_follows_base_graph(self, bg):
+        mb, nb, kb = NR_BASE_GRAPHS[bg]
+        for z in (16, 32):
+            code = nr_code(bg, z)
+            assert code.n == nb * z
+            assert code.m == mb * z
+            assert code.k == kb * z
+
+    @pytest.mark.parametrize("bg", [1, 2])
+    def test_extension_rows_are_single_parity(self, bg):
+        base = nr_base_matrix(bg, 16)
+        mb, nb, kb = NR_BASE_GRAPHS[bg]
+        core_cols = kb + NR_CORE_ROWS
+        for row in range(NR_CORE_ROWS, mb):
+            blocks = base.row_blocks(row)
+            # closes on its own fresh degree-1 parity column at shift 0
+            last_col, last_shift = blocks[-1]
+            assert last_col == core_cols + (row - NR_CORE_ROWS)
+            assert last_shift == 0
+            # every other connection reaches back into the core span
+            assert all(col < core_cols for col, _ in blocks[:-1])
+            assert any(col < kb for col, _ in blocks[:-1])
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(CodeConstructionError):
+            nr_base_matrix(3, 16)
+        with pytest.raises(CodeConstructionError):
+            nr_base_matrix(1, 17)  # not in the lifting grammar
+        with pytest.raises(CodeConstructionError):
+            nr_base_matrix(1, 768)
+
+
+class TestEncoder:
+    @pytest.mark.parametrize("bg,z", [(1, 16), (1, 32), (2, 16), (2, 32)])
+    def test_encode_produces_codewords(self, bg, z):
+        code = nr_code(bg, z)
+        encoder = NrEncoder(code)
+        rng = np.random.default_rng([bg, z])
+        for _ in range(3):
+            message = rng.integers(0, 2, encoder.k).astype(np.uint8)
+            codeword = encoder.encode(message)
+            assert code.is_codeword(codeword)
+            np.testing.assert_array_equal(
+                encoder.extract_message(codeword), message
+            )
+
+    def test_systematic_prefix(self):
+        code = nr_code(2, 16)
+        encoder = NrEncoder(code)
+        rng = np.random.default_rng(5)
+        message = rng.integers(0, 2, encoder.k).astype(np.uint8)
+        codeword = encoder.encode(message)
+        np.testing.assert_array_equal(codeword[: encoder.k], message)
+
+    def test_rejects_non_nr_code(self):
+        with pytest.raises(EncodingError):
+            NrEncoder(wimax_code("1/2", 576))
+
+
+class TestRateMatch:
+    def test_nr_puncture_raises_rate(self):
+        code = nr_code(1, 16)
+        adapted = nr_rate_match(code, 0.45)
+        assert adapted.effective_rate == pytest.approx(0.45, abs=0.01)
+        assert len(adapted.punctured) > 0 and adapted.shortened == 0
+        rng = np.random.default_rng(2)
+        message = rng.integers(0, 2, adapted.payload_bits).astype(np.uint8)
+        transmitted = adapted.encode(message)
+        assert transmitted.shape == (adapted.transmitted_bits,)
+        # the hard-decision round trip expands back onto the mother code
+        llrs = adapted.expand_llrs(np.where(transmitted, -8.0, 8.0))
+        assert llrs.shape == (code.n,)
+
+    def test_nr_shorten_lowers_rate(self):
+        code = nr_code(2, 16)  # mother rate ~0.19
+        adapted = nr_rate_match(code, 0.15)
+        assert adapted.effective_rate == pytest.approx(0.15, abs=0.01)
+        assert adapted.shortened > 0 and not adapted.punctured
+
+    def test_generic_rate_match_on_wimax(self):
+        code = wimax_code("1/2", 576)
+        up = rate_match(code, 0.6)
+        assert up.effective_rate == pytest.approx(0.6, abs=0.01)
+        down = rate_match(code, 0.4)
+        assert down.effective_rate == pytest.approx(0.4, abs=0.01)
+
+    def test_rate_match_bounds(self):
+        code = wimax_code("1/2", 576)
+        with pytest.raises(CodeConstructionError):
+            rate_match(code, 0.0)
+        with pytest.raises(CodeConstructionError):
+            rate_match(code, 1.0)
+        with pytest.raises(CodeConstructionError):
+            rate_match(code, 0.999)  # would puncture all parity

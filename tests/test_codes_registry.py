@@ -1,0 +1,159 @@
+"""Property tests over the registry zoo.
+
+Three properties hold for *every* registered code, present and future
+(the tests iterate the registry, not a hardcoded list):
+
+* it builds, its shape matches its registration, and its plan
+  round-trips through the :class:`CodePlanCache` — a second lookup is
+  a cache hit on the identical object;
+* a decoded frame satisfies H·ĉ = 0 (the decoder's output is a
+  codeword of the code the registry claims it is);
+* registration is defensive — malformed ids, duplicates, and unknown
+  lookups each raise their own typed error, so a typo in a config can
+  never silently alias another code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel.plan import CodePlanCache
+from repro.channel import AwgnChannel
+from repro.codes import wimax_code
+from repro.codes.registry import CodeEntry, CodeRegistry, default_registry
+from repro.decoder import decode
+from repro.errors import (
+    DuplicateCodeError,
+    MalformedCodeIdError,
+    RegistryError,
+    ServeError,
+    UnknownCodeError,
+)
+
+pytestmark = pytest.mark.zoo
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+# ----------------------------------------------------------------------
+# structural properties over every registered code
+# ----------------------------------------------------------------------
+def test_zoo_spans_all_three_standards(registry):
+    families = {registry.entry(cid).family for cid in registry.ids()}
+    assert {"wimax", "wifi", "nr"} <= families
+    assert len(registry) >= 25
+
+
+def test_every_entry_builds_with_declared_shape(registry):
+    for code_id in registry.ids():
+        entry = registry.entry(code_id)
+        code = registry.get(code_id)
+        assert code.n == entry.n, code_id
+        assert code.n % code.z == 0, code_id
+        encoder = registry.encoder(code_id)
+        assert encoder.k == code.k, code_id
+
+
+def test_build_and_encoder_are_memoized(registry):
+    for code_id in registry.ids():
+        assert registry.get(code_id) is registry.get(code_id)
+        assert registry.encoder(code_id) is registry.encoder(code_id)
+
+
+def test_every_code_round_trips_plan_cache(registry):
+    """Second plan lookup for each code is a hit on the same object."""
+    cache = CodePlanCache()
+    for code_id in registry.ids():
+        code = registry.get(code_id)
+        first = cache.get(code)
+        hits_before = cache.hits
+        assert cache.get(code) is first
+        assert cache.hits == hits_before + 1
+    assert cache.misses == len(registry)
+
+
+def test_every_code_decodes_to_a_codeword(registry):
+    """H·ĉ = 0 for a decoded clean-channel frame of every zoo code."""
+    for code_id in registry.ids():
+        code = registry.get(code_id)
+        encoder = registry.encoder(code_id)
+        gen = np.random.default_rng(abs(hash(code_id)) % (1 << 32))
+        message = gen.integers(0, 2, encoder.k).astype(np.uint8)
+        codeword = encoder.encode(message)
+        llrs = AwgnChannel.from_ebno(5.0, code.rate, seed=gen).llrs(codeword)
+        result = decode(code, llrs)
+        assert result.converged, code_id
+        assert code.is_codeword(result.bits), code_id
+        assert int(np.sum(code.syndrome(result.bits))) == 0, code_id
+
+
+def test_ids_are_wire_safe(registry):
+    """Every id fits the net protocol's code_id field unescaped."""
+    for code_id in registry.ids():
+        assert code_id.encode("ascii")
+        assert len(code_id) <= 64
+        assert code_id == code_id.lower()
+        assert " " not in code_id
+
+
+# ----------------------------------------------------------------------
+# defensive registration
+# ----------------------------------------------------------------------
+def test_malformed_ids_rejected():
+    reg = CodeRegistry()
+    build = lambda: wimax_code("1/2", 576)  # noqa: E731
+    for bad in ("", "UPPER", "has space", "-leading", "a" * 65, "unié"):
+        with pytest.raises(MalformedCodeIdError):
+            reg.register(bad, family="wimax", rate_label="1/2", n=576,
+                         builder=build)
+    assert len(reg) == 0
+
+
+def test_duplicate_id_rejected():
+    reg = CodeRegistry()
+    build = lambda: wimax_code("1/2", 576)  # noqa: E731
+    reg.register("dup-code", family="wimax", rate_label="1/2", n=576,
+                 builder=build)
+    with pytest.raises(DuplicateCodeError):
+        reg.register("dup-code", family="wimax", rate_label="1/2", n=576,
+                     builder=build)
+    assert len(reg) == 1
+
+
+def test_unknown_id_raises_typed_error(registry):
+    with pytest.raises(UnknownCodeError) as excinfo:
+        registry.entry("no-such-code")
+    assert "no-such-code" in str(excinfo.value)
+    with pytest.raises(UnknownCodeError):
+        registry.get("no-such-code")
+    with pytest.raises(UnknownCodeError):
+        registry.encoder("no-such-code")
+    assert "no-such-code" not in registry
+
+
+def test_builder_shape_mismatch_rejected():
+    """A builder that lies about n fails at build time, loudly."""
+    reg = CodeRegistry()
+    reg.register("liar-code", family="wimax", rate_label="1/2", n=9999,
+                 builder=lambda: wimax_code("1/2", 576))
+    with pytest.raises(RegistryError):
+        reg.get("liar-code")
+
+
+def test_error_taxonomy():
+    """Registry errors are catchable as RegistryError; UnknownCodeError
+    stays a ServeError so the net layer's typed transport carries it."""
+    assert issubclass(MalformedCodeIdError, RegistryError)
+    assert issubclass(DuplicateCodeError, RegistryError)
+    assert issubclass(UnknownCodeError, ServeError)
+
+
+def test_entry_is_frozen(registry):
+    entry = registry.entry("wimax-r12-576")
+    assert isinstance(entry, CodeEntry)
+    with pytest.raises(Exception):
+        entry.n = 1

@@ -87,6 +87,34 @@ def test_wimax_random_rate_and_length(sweep_seed, fixed):
     _assert_batch_matches_per_frame(code, llrs_2d, fixed)
 
 
+@pytest.mark.parametrize("sweep_seed", range(4))
+@pytest.mark.parametrize("fixed", [False, True])
+def test_registry_zoo_random_codes(sweep_seed, fixed):
+    """The sweep draws codes from the registry zoo, not a hardcoded
+    (2304, 1/2): every standard family (802.16e, 802.11n, 5G NR) takes
+    a turn through the batch-vs-per-frame equivalence."""
+    from repro.codes.registry import default_registry
+
+    registry = default_registry()
+    pool = (
+        "wimax-r12-576", "wimax-r56-2304", "wifi-r12-648", "wifi-r34-1296",
+        "nr-bg1-z16", "nr-bg2-z32",
+    )
+    rng = np.random.default_rng([2028, sweep_seed])
+    code_id = str(rng.choice(pool))
+    code = registry.get(code_id)
+    encoder = registry.encoder(code_id)
+    ebno_db = float(rng.uniform(3.0, 5.0))
+    batch = int(rng.integers(2, 5))
+    frames = []
+    for _ in range(batch):
+        message = rng.integers(0, 2, encoder.k).astype(np.uint8)
+        codeword = encoder.encode(message)
+        channel = AwgnChannel.from_ebno(ebno_db, code.rate, seed=rng)
+        frames.append(channel.llrs(codeword))
+    _assert_batch_matches_per_frame(code, np.stack(frames), fixed)
+
+
 @pytest.mark.parametrize("fixed", [False, True])
 def test_decode_many_matches_per_frame(wimax_short, fixed):
     """The high-level decode_many() API inherits the equivalence."""

@@ -81,6 +81,60 @@ class TestBaselineLoading(object):
             assert baseline_fps(doc)
 
 
+@pytest.mark.zoo
+class TestZooBaseline(object):
+    @pytest.fixture(scope="class")
+    def tiny_zoo_doc(self):
+        from repro.serve.zoo_bench import run_zoo_bench
+
+        return run_zoo_bench(
+            code_ids=["wimax-r12-576", "wifi-r12-648"], frames=4,
+            iterations=5, seed=3,
+        )
+
+    def test_zoo_doc_shape_and_kind(self, tmp_path, tiny_zoo_doc):
+        doc = load_baseline(_write(tmp_path, tiny_zoo_doc, "BENCH_zoo.json"))
+        assert doc["bench"] == "zoo"
+        fps = baseline_fps(doc)
+        assert set(fps) == {"wimax-r12-576", "wifi-r12-648"}
+        assert all(v > 0 for v in fps.values())
+        assert doc["config"]["code_ids"] == ["wimax-r12-576", "wifi-r12-648"]
+
+    def test_zoo_rows_carry_fer_and_shape(self, tiny_zoo_doc):
+        for row in tiny_zoo_doc["rows"]:
+            assert 0.0 <= row["fer"] <= 1.0
+            assert row["n"] > 0 and 0 < row["rate"] < 1
+            assert row["converged"] <= row["frames"]
+
+    def test_zoo_rerun_uses_embedded_config(self, tiny_zoo_doc):
+        observed = rerun_baseline(tiny_zoo_doc, k=1)
+        assert set(observed) == {"wimax-r12-576", "wifi-r12-648"}
+        assert all(v > 0 for v in observed.values())
+
+    def test_zoo_gate_passes_and_inflated_fails(self, tmp_path,
+                                                tiny_zoo_doc):
+        path = _write(tmp_path, tiny_zoo_doc, "BENCH_zoo.json")
+        report = run_perf_gate([path], k=1, tolerance=0.95,
+                               history_path="")
+        assert report.ok
+        inflated = json.loads(json.dumps(tiny_zoo_doc))
+        for row in inflated["rows"]:
+            row["frames_per_s"] *= 1000.0
+        bad = _write(tmp_path, inflated, "BENCH_zoo_inflated.json")
+        report = run_perf_gate([bad], k=1, tolerance=0.30,
+                               history_path="")
+        assert not report.ok
+
+    def test_zoo_unknown_code_in_config_raises(self, tiny_zoo_doc):
+        from repro.errors import UnknownCodeError
+
+        doc = json.loads(json.dumps(tiny_zoo_doc))
+        doc["config"]["code_ids"] = ["no-such-code"]
+        doc["rows"] = [dict(doc["rows"][0], mode="no-such-code")]
+        with pytest.raises(UnknownCodeError):
+            rerun_baseline(doc, k=1)
+
+
 class TestCompare(object):
     def test_pass_fail_and_missing(self, tiny_baseline_doc):
         fps = baseline_fps(tiny_baseline_doc)
