@@ -41,6 +41,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--trace", action="store_true",
+        help="negotiate wire-level trace propagation (the "
+             "BENCH_net_trace.json variant; mode becomes "
+             "net-gateway-traced)",
+    )
+    parser.add_argument(
         "--output", "-o", default="",
         help="write the BENCH_net.json document here (default: stdout)",
     )
@@ -50,6 +56,7 @@ def main(argv=None) -> int:
         connections=args.connections,
         peak_frames_per_conn=args.frames,
         seed=args.seed,
+        trace=args.trace,
     )
     doc = run_net_soak(
         cfg, progress=lambda msg: print(f"bench_net: {msg}", file=sys.stderr)
@@ -65,6 +72,8 @@ def main(argv=None) -> int:
         doc["verify"]["mismatches"] == 0
         and (doc["slo"] or {}).get("status") == "pass"
     )
+    if doc.get("trace_verify") is not None:
+        ok = ok and doc["trace_verify"]["ok"]
     return 0 if ok else 1
 
 

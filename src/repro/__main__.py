@@ -19,13 +19,18 @@ Commands:
   summary, per-layer profile, and metrics (text/json/prometheus;
   ``--chrome-out`` dumps an ``about:tracing`` timeline; ``--backend
   thread|process`` traces a full DecodeService instead of the bare
-  engine, adding SLO verdicts and merged worker-process spans);
+  engine, adding SLO verdicts and merged worker-process spans;
+  ``--endpoint HOST:PORT`` scrapes a *live* gateway's status endpoint
+  instead of running local traffic, so the ``net_*`` series show up
+  in the same json/prometheus formats);
 * ``logs`` — pretty-print / filter a structured event log written by
   ``obs-report --log-out`` (or any :class:`repro.obs.EventLog` sink);
-  ``--follow`` streams a live file like ``tail -f``;
+  ``--follow`` streams a live file like ``tail -f``; ``--tenant`` /
+  ``--code-id`` isolate one tenant's or one code's records;
 * ``net-serve`` — run the framed TCP decode gateway (multi-tenant
   admission, optional autoscaling) in front of a DecodeService until
-  interrupted (see docs/SERVING.md);
+  interrupted (``--obs-port`` adds the ``repro top`` status endpoint;
+  see docs/SERVING.md);
 * ``net-soak`` — synthetic diurnal-traffic soak against a real gateway:
   concurrent tenants, a quota-starved free tier, an injected worker
   crash, autoscaler growth and shrink, and a bit-exactness check of
@@ -33,7 +38,15 @@ Commands:
   ``BENCH_net.json`` document); ``--chaos`` reroutes all traffic
   through fault-injecting proxies (bit corruption, resets, a
   partition, a gateway kill) and additionally asserts zero silent
-  corruption and bounded retry amplification;
+  corruption and bounded retry amplification; ``--trace`` negotiates
+  wire-level trace propagation and verifies every request's
+  client → gateway → worker span chain;
+* ``top`` — live ops console against a ``net-serve --obs-port``
+  gateway: per-tenant RED tables, queue fill, dedup/autoscaler state,
+  and SLO verdicts (``--once --json`` for scripts/tests);
+* ``trace-request`` — slice one request's distributed trace out of a
+  merged Chrome trace (by ``--trace-id`` or client ``--job-id``) and
+  render its wire/admission/queue-wait/decode/respond waterfall;
 * ``chaos-proxy`` — run a standalone fault-injecting TCP proxy in
   front of any gateway (the same engine the chaos soak uses);
 * ``perf-gate`` — re-run the committed ``BENCH_*.json`` baselines and
@@ -403,12 +416,44 @@ def cmd_faults_bench(args) -> int:
     return 0
 
 
+def _parse_hostport(spec, default_host="127.0.0.1"):
+    """``HOST:PORT`` (or bare ``PORT``) -> (host, port)."""
+    host, sep, port_part = spec.rpartition(":")
+    if not sep:
+        host, port_part = default_host, spec
+    return (host or default_host), int(port_part)
+
+
 def cmd_obs_report(args) -> int:
     from repro.obs import EventLog, TraceRecorder, layer_profile_report
     from repro.obs.slo import default_serve_slos
     from repro.serve import ContinuousBatchingEngine, DecodeJob, ServeMetrics
     from repro.serve.bench import generate_serve_traffic
     from repro.serve.pool import DecodeService
+
+    if args.endpoint:
+        # scrape a live gateway's status endpoint instead of running
+        # local traffic — same formats, so dashboards don't care
+        from repro.net.console import fetch_status, render_top
+
+        try:
+            host, port = _parse_hostport(args.endpoint)
+            status = fetch_status(host, port)
+        except (OSError, ValueError) as exc:
+            print(f"obs-report: endpoint {args.endpoint}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if args.format == "prometheus":
+            print(status.get("prometheus", ""), end="")
+        elif args.format == "json":
+            import json
+
+            doc = dict(status)
+            doc.pop("prometheus", None)  # redundant with "metrics"
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            print(render_top(status))
+        return 0
 
     if args.frames < 1:
         print("obs-report: --frames must be >= 1", file=sys.stderr)
@@ -509,12 +554,19 @@ def cmd_logs(args) -> int:
         else:
             print(format_record(record), flush=True)
 
+    fields = {}
+    if args.tenant:
+        fields["tenant"] = args.tenant
+    if args.code_id:
+        fields["code_id"] = args.code_id
+    fields = fields or None
+
     if args.follow:
         # replay the existing tail, then stream appends until Ctrl-C
         from_start = False
         try:
             records = read_log(args.file, level=args.level or None,
-                               event=args.event or None)
+                               event=args.event or None, fields=fields)
         except OSError:
             # not written yet; once it appears, replay it from the top
             records = []
@@ -529,6 +581,7 @@ def cmd_logs(args) -> int:
         try:
             for record in follow_log(args.file, level=args.level or None,
                                      event=args.event or None,
+                                     fields=fields,
                                      from_start=from_start):
                 emit(record)
         except KeyboardInterrupt:
@@ -537,7 +590,7 @@ def cmd_logs(args) -> int:
 
     try:
         records = read_log(args.file, level=args.level or None,
-                           event=args.event or None)
+                           event=args.event or None, fields=fields)
     except OSError as exc:
         print(f"logs: {exc}", file=sys.stderr)
         return 2
@@ -637,11 +690,26 @@ def cmd_net_serve(args) -> int:
         host, port = await gateway.start()
         print(f"net-serve: listening on {host}:{port} "
               f"(code {code.name}, backend {args.backend})", flush=True)
+        obs = None
+        if args.obs_port is not None:
+            from repro.net.console import ObsEndpoint
+
+            obs = ObsEndpoint(
+                gateway, host=args.host, port=args.obs_port,
+                autoscaler=scaler,
+            )
+            await obs.start()
+            obs_host, obs_port = obs.address
+            print(f"net-serve: status endpoint on {obs_host}:{obs_port} "
+                  f"(watch it with `repro top --port {obs_port}`)",
+                  flush=True)
         if scaler is not None:
             scaler.start()
         try:
             await asyncio.Event().wait()  # until Ctrl-C cancels us
         finally:
+            if obs is not None:
+                await obs.close()
             await gateway.close(drain=True)
 
     try:
@@ -694,11 +762,13 @@ def cmd_net_soak(args) -> int:
         kill_gateway=not args.no_kill_gateway,
         hedge_delay_s=args.hedge_delay,
         heartbeat_s=args.heartbeat,
+        trace=args.trace,
     )
     doc = run_net_soak(
         cfg,
         log_path=args.log_out or None,
         trace_path=args.trace_out or None,
+        top_path=args.top_out or None,
         progress=(None if args.json else
                   (lambda msg: print(f"net-soak: {msg}", file=sys.stderr))),
     )
@@ -707,6 +777,9 @@ def cmd_net_soak(args) -> int:
     ok = verify["mismatches"] == 0 and slo.get("status") == "pass"
     if args.chaos:
         ok = ok and doc["chaos"]["amplification"] < 2.0
+    trace_verify = doc.get("trace_verify")
+    if trace_verify is not None:
+        ok = ok and trace_verify["ok"]
     if args.json:
         import json
 
@@ -749,6 +822,12 @@ def cmd_net_soak(args) -> int:
         f"{verify['unconverged']} unconverged"
         f"\nslo: {slo.get('status', 'unknown')}"
     )
+    if trace_verify is not None:
+        print(
+            f"trace: {trace_verify['traces']} traces, "
+            f"{trace_verify['checked']} chains checked, "
+            f"{trace_verify['broken']} broken"
+        )
     if args.chaos:
         chaos = doc["chaos"]
         injected = {
@@ -772,7 +851,74 @@ def cmd_net_soak(args) -> int:
         print(f"wrote event log to {args.log_out}", file=sys.stderr)
     if args.trace_out:
         print(f"wrote Chrome trace to {args.trace_out}", file=sys.stderr)
+    if args.top_out:
+        print(f"wrote top snapshot to {args.top_out}", file=sys.stderr)
     return 0 if ok else 1
+
+
+def cmd_top(args) -> int:
+    from repro.errors import ReproError
+    from repro.net.console import run_top
+
+    try:
+        host, port = _parse_hostport(
+            args.endpoint, default_host=args.host
+        ) if args.endpoint else (args.host, args.port)
+    except ValueError as exc:
+        print(f"top: {exc}", file=sys.stderr)
+        return 2
+    try:
+        run_top(
+            host, port,
+            interval_s=args.interval,
+            once=args.once,
+            as_json=args.json,
+        )
+    except (OSError, ReproError, ValueError) as exc:
+        print(f"top: {host}:{port}: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_trace_request(args) -> int:
+    import json
+
+    from repro.obs.request_trace import (
+        TraceLookupError,
+        extract_request,
+        format_waterfall,
+        load_chrome_trace,
+        request_waterfall,
+        trace_ids,
+    )
+
+    try:
+        doc = load_chrome_trace(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"trace-request: {exc}", file=sys.stderr)
+        return 2
+    if args.list:
+        for trace in trace_ids(doc):
+            print(trace)
+        return 0
+    try:
+        request = extract_request(
+            doc, trace_id=args.trace_id, job_id=args.job_id
+        )
+    except TraceLookupError as exc:
+        print(f"trace-request: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(request, handle, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote request slice to {args.output}", file=sys.stderr)
+    waterfall = request_waterfall(request)
+    if args.json:
+        print(json.dumps(waterfall, indent=2, sort_keys=True))
+    else:
+        print(format_waterfall(waterfall))
+    return 0
 
 
 def cmd_chaos_proxy(args) -> int:
@@ -847,7 +993,7 @@ def cmd_perf_gate(args) -> int:
         name
         for name in (
             "BENCH_accel.json", "BENCH_serve.json", "BENCH_net.json",
-            "BENCH_zoo.json",
+            "BENCH_net_trace.json", "BENCH_zoo.json",
         )
         if os.path.exists(name)
     ]
@@ -1089,6 +1235,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-out", default="",
         help="also write the structured event log (JSONL) to this path",
     )
+    ob.add_argument(
+        "--endpoint", default="", metavar="HOST:PORT",
+        help="scrape a live gateway's status endpoint (net-serve "
+             "--obs-port) instead of running local traffic; honours "
+             "--format json/prometheus/text",
+    )
 
     lg = sub.add_parser(
         "logs", help="pretty-print / filter a structured event log (JSONL)"
@@ -1111,6 +1263,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--follow", "-f", action="store_true",
         help="after printing the current tail, stream new records as "
              "they are appended (like tail -f; Ctrl-C stops)",
+    )
+    lg.add_argument(
+        "--tenant", default="",
+        help="only records whose tenant field matches",
+    )
+    lg.add_argument(
+        "--code-id", default="",
+        help="only records whose code_id field matches (HARQ rung "
+             "switches, autoscaler decisions, request incidents)",
     )
 
     nsv = sub.add_parser(
@@ -1142,6 +1303,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-out", default="",
         help="write the structured event log (JSONL) to this path "
              "(tail it with `repro logs --follow`)",
+    )
+    nsv.add_argument(
+        "--obs-port", type=int, default=None, metavar="PORT",
+        help="also serve the JSON status endpoint for `repro top` on "
+             "this port (0 = OS-assigned; omit to disable)",
     )
 
     ns = sub.add_parser(
@@ -1217,6 +1383,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--heartbeat", type=float, default=0.5,
         help="PING cadence for dead-peer detection (both directions)",
     )
+    ns.add_argument(
+        "--trace", action="store_true",
+        help="negotiate wire-level trace propagation (FLAG_TRACE) and "
+             "verify every request's client->gateway->worker span chain "
+             "in the merged Chrome trace",
+    )
+    ns.add_argument(
+        "--top-out", default="",
+        help="write a `repro top --once --json` status snapshot taken "
+             "at the end of the soak to this path",
+    )
+
+    tp = sub.add_parser(
+        "top",
+        help="live ops console against a net-serve --obs-port gateway",
+    )
+    tp.add_argument("--host", default="127.0.0.1")
+    tp.add_argument("--port", type=int, default=7208)
+    tp.add_argument(
+        "--endpoint", default="", metavar="HOST:PORT",
+        help="status endpoint address (overrides --host/--port)",
+    )
+    tp.add_argument(
+        "--interval", type=float, default=1.0,
+        help="refresh period in seconds for the live view",
+    )
+    tp.add_argument(
+        "--once", action="store_true",
+        help="print one frame and exit (no alternate screen)",
+    )
+    tp.add_argument(
+        "--json", action="store_true",
+        help="print the raw status document instead of tables",
+    )
+
+    tr = sub.add_parser(
+        "trace-request",
+        help="extract one request's distributed trace + waterfall "
+             "from a merged Chrome trace (net-soak --trace --trace-out)",
+    )
+    tr.add_argument("file", help="Chrome trace JSON path")
+    tr.add_argument(
+        "--trace-id", type=int, default=None,
+        help="distributed trace id to extract",
+    )
+    tr.add_argument(
+        "--job-id", type=int, default=None,
+        help="client-side wire job id to look the trace up by",
+    )
+    tr.add_argument(
+        "--list", action="store_true",
+        help="list every distributed trace id in the document and exit",
+    )
+    tr.add_argument(
+        "--json", action="store_true",
+        help="emit the waterfall as JSON instead of a text bar chart",
+    )
+    tr.add_argument(
+        "--output", "-o", default="",
+        help="also write the extracted single-request Chrome trace "
+             "(opens in Perfetto) to this path",
+    )
 
     cp = sub.add_parser(
         "chaos-proxy",
@@ -1267,7 +1495,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline", action="append", default=[],
         help="bench JSON baseline to gate (repeatable; default: the "
              "committed BENCH_accel.json, BENCH_serve.json, "
-             "BENCH_net.json, and BENCH_zoo.json)",
+             "BENCH_net.json, BENCH_net_trace.json, and BENCH_zoo.json)",
     )
     pg.add_argument(
         "--k", type=int, default=3,
@@ -1325,6 +1553,8 @@ def main(argv=None) -> int:
         "logs": cmd_logs,
         "net-serve": cmd_net_serve,
         "net-soak": cmd_net_soak,
+        "top": cmd_top,
+        "trace-request": cmd_trace_request,
         "chaos-proxy": cmd_chaos_proxy,
         "perf-gate": cmd_perf_gate,
         "synth": cmd_synth,

@@ -453,10 +453,19 @@ class ProcessEngineProxy(object):
         while their ``perf_counter`` epochs are unrelated), labelled
         with the shard key and backend, and tagged with the child pid so
         the Chrome trace renders the worker as its own process row.
+
+        The offset is clamped at zero: a child forked *before* the
+        current parent recorder (e.g. its final telemetry flush arrives
+        after a shard restart swapped a fresh recorder in) would
+        otherwise shift spans to negative timestamps, which Chrome's
+        trace viewer silently drops.
         """
         spans = payload.get("spans") or []
         if self.recorder is not None and spans:
-            offset = float(payload["wall_epoch"]) - self.recorder.wall_epoch()
+            offset = max(
+                0.0,
+                float(payload["wall_epoch"]) - self.recorder.wall_epoch(),
+            )
             self.recorder.merge(
                 records_from_wire(spans),
                 time_offset_s=offset,

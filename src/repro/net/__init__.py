@@ -24,7 +24,12 @@ gateway with multi-tenant admission control and SLO-driven autoscaling.
   integrity.
 * :mod:`repro.net.soak` — :func:`run_net_soak`, the self-verifying
   diurnal-traffic soak harness behind ``repro net-soak`` (with
-  ``--chaos`` it drives everything through :mod:`repro.chaos` proxies).
+  ``--chaos`` it drives everything through :mod:`repro.chaos` proxies;
+  with ``trace=True`` it verifies every request's distributed span
+  chain).
+* :mod:`repro.net.console` — the ``repro top`` live ops console and
+  the JSON status endpoint (:class:`ObsEndpoint`) a gateway serves it
+  from.
 """
 
 from repro.net.admission import (
@@ -38,6 +43,13 @@ from repro.net.admission import (
 )
 from repro.net.autoscaler import Autoscaler
 from repro.net.client import AsyncDecodeClient, DecodeClient, RemoteResult
+from repro.net.console import (
+    ObsEndpoint,
+    build_status,
+    fetch_status,
+    render_top,
+    run_top,
+)
 from repro.net.crc import crc32c
 from repro.net.dedup import DedupWindow
 from repro.net.gateway import DecodeGateway
@@ -56,6 +68,7 @@ from repro.net.protocol import (
     FLAG_CRC32C,
     FLAG_HEARTBEAT,
     FLAG_IDEMPOTENCY,
+    FLAG_TRACE,
     MAGIC,
     SUPPORTED_VERSIONS,
     V1,
@@ -94,6 +107,7 @@ __all__ = [
     "AsyncDecodeClient",
     "Autoscaler",
     "BRONZE",
+    "build_status",
     "CircuitBreaker",
     "CLIENT_FLAGS",
     "crc32c",
@@ -110,9 +124,11 @@ __all__ = [
     "encode_request",
     "encode_result",
     "ErrorFrame",
+    "fetch_status",
     "FLAG_CRC32C",
     "FLAG_HEARTBEAT",
     "FLAG_IDEMPOTENCY",
+    "FLAG_TRACE",
     "FrameReader",
     "GOLD",
     "HarqCodeStats",
@@ -122,18 +138,21 @@ __all__ = [
     "Hello",
     "MAGIC",
     "NetMetrics",
+    "ObsEndpoint",
     "pack_llrs",
     "Ping",
     "Pong",
     "read_frame",
     "read_raw",
     "RemoteResult",
+    "render_top",
     "Request",
     "ResilientDecodeClient",
     "Result",
     "RetryPolicy",
     "run_harq_session",
     "run_net_soak",
+    "run_top",
     "SILVER",
     "SoakConfig",
     "SUPPORTED_VERSIONS",

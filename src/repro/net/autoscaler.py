@@ -144,6 +144,20 @@ class Autoscaler(object):
         has been taken."""
         return sum(1 for d in self.decisions if d["action"] == action)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot (``repro top`` / soak reports)."""
+        return {
+            "group": self.group,
+            "replicas": self.service.group_size(self.group),
+            "min_shards": self.min_shards,
+            "max_shards": self.max_shards,
+            "counts": {
+                action: self.count(action)
+                for action in ("up", "down", "replace")
+            },
+            "decisions": list(self.decisions[-20:]),
+        }
+
     # ------------------------------------------------------------------
     # the decision step
     # ------------------------------------------------------------------
@@ -270,8 +284,11 @@ class Autoscaler(object):
         )
         if self.metrics is not None:
             self.metrics.autoscaled(action)
+        # code_id mirrors group so `repro logs --code-id` isolates the
+        # scaling history of one code alongside its request incidents
         self._event(f"scale.{action}", group=self.group,
-                    replicas=replicas, fill=round(fill, 3), **extra)
+                    code_id=self.group, replicas=replicas,
+                    fill=round(fill, 3), **extra)
 
     def _event(self, name: str, **fields: object) -> None:
         if self.log is not None:

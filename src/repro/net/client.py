@@ -33,7 +33,7 @@ import asyncio
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -48,6 +48,8 @@ from repro.net.protocol import (
     CLIENT_FLAGS,
     DEFAULT_MAX_FRAME_BYTES,
     FLAG_IDEMPOTENCY,
+    FLAG_TRACE,
+    NULL_TRACE,
     SUPPORTED_VERSIONS,
     V1,
     V2,
@@ -57,12 +59,17 @@ from repro.net.protocol import (
     Ping,
     Pong,
     Result,
+    TraceContext,
     encode_hello,
     encode_ping,
     encode_pong,
     encode_request,
     read_frame,
 )
+from repro.obs.trace import new_trace_id
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import TraceRecorder
 
 __all__ = ["AsyncDecodeClient", "DecodeClient", "RemoteResult"]
 
@@ -80,6 +87,9 @@ class RemoteResult(object):
     converged: bool
     iterations: int
     latency_s: float
+    #: the distributed trace id the request travelled under (0 when the
+    #: connection or client is untraced)
+    trace_id: int = 0
 
 
 async def _negotiate(
@@ -165,6 +175,7 @@ class AsyncDecodeClient(object):
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         version: int = V1,
         flags: int = 0,
+        recorder: "Optional[TraceRecorder]" = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
@@ -174,6 +185,7 @@ class AsyncDecodeClient(object):
         self.max_frame_bytes = max_frame_bytes
         self.version = version
         self.flags = flags
+        self.recorder = recorder
         self._job_seq = 0
         self._pending: Dict[int, "asyncio.Future"] = {}
         self._send_lock = asyncio.Lock()
@@ -194,6 +206,7 @@ class AsyncDecodeClient(object):
         negotiate: bool = True,
         fallback_to_v1: bool = True,
         hello_timeout: float = 10.0,
+        recorder: "Optional[TraceRecorder]" = None,
     ) -> "AsyncDecodeClient":
         """Open a gateway connection and start the result reader.
 
@@ -201,7 +214,9 @@ class AsyncDecodeClient(object):
         highest HELLO-agreed protocol version; ``negotiate=False`` pins
         it to v1 (no handshake bytes on the wire at all).
         ``fallback_to_v1=False`` turns a failed or garbled handshake
-        into an error instead of a silent v1 downgrade.
+        into an error instead of a silent v1 downgrade.  ``recorder``
+        enables client-side request spans (one ``client.request`` span
+        per decode, carrying the distributed trace id).
         """
         if negotiate:
             reader, writer, version, flags = await _negotiate(
@@ -215,6 +230,7 @@ class AsyncDecodeClient(object):
             reader, writer,
             tenant=tenant, code_id=code_id, priority=priority,
             max_frame_bytes=max_frame_bytes, version=version, flags=flags,
+            recorder=recorder,
         )
 
     async def __aenter__(self) -> "AsyncDecodeClient":
@@ -243,6 +259,7 @@ class AsyncDecodeClient(object):
         priority: Optional[int] = None,
         timeout: Optional[float] = None,
         idempotency_key: str = "",
+        trace: Optional[TraceContext] = None,
     ) -> RemoteResult:
         """Send one frame and await its result.
 
@@ -250,7 +267,11 @@ class AsyncDecodeClient(object):
         gateway's dedup window; it rides the wire only when the
         connection negotiated the capability (v1 connections silently
         drop it — the retry then simply decodes again, which is the v1
-        status quo).  Raises the typed error the gateway shipped, or
+        status quo).  ``trace`` is an inherited trace context — the
+        resilient client passes its per-attempt span here so the wire
+        hop parents under it; with a recorder attached and no inherited
+        context, each decode starts a fresh distributed trace.  Raises
+        the typed error the gateway shipped, or
         :class:`~repro.errors.ServeTimeoutError` when ``timeout``
         seconds pass first, or
         :class:`~repro.errors.GatewayClosedError` when the connection
@@ -264,45 +285,92 @@ class AsyncDecodeClient(object):
             )
         self._job_seq += 1
         job_id = self._job_seq
+        code = self.code_id if code_id is None else code_id
+        rec = self.recorder
+        recording = rec is not None and rec.enabled
+        # establish the trace id (inherited or fresh) and this hop's span
+        trace_id = 0
+        parent_span: Optional[int] = None
+        if trace is not None and trace.trace_id:
+            trace_id, parent_span = trace.trace_id, trace.span_id
+        elif recording:
+            trace_id = new_trace_id()
+        span_id = rec.allocate_span_id() if recording and trace_id else 0
+        wire_trace: Optional[TraceContext] = None
+        if self.flags & FLAG_TRACE:
+            # a FLAG_TRACE connection always carries the field; the
+            # parent the gateway adopts is our request span when we
+            # record one, else the inherited span, else nothing
+            if trace_id:
+                wire_trace = TraceContext(
+                    trace_id, span_id or (parent_span or 0)
+                )
+            else:
+                wire_trace = NULL_TRACE
         loop = asyncio.get_running_loop()
         future: "asyncio.Future" = loop.create_future()
         self._pending[job_id] = future
         t0 = time.monotonic()
+        t0_pc = time.perf_counter()
         frame = encode_request(
             job_id,
             self.tenant,
-            self.code_id if code_id is None else code_id,
+            code,
             self.priority if priority is None else priority,
             llrs=np.asarray(llrs, dtype=np.float64),
             version=self.version,
             idempotency_key=(
                 idempotency_key if self.flags & FLAG_IDEMPOTENCY else ""
             ),
+            trace=wire_trace,
         )
         try:
-            async with self._send_lock:
-                self._writer.write(frame)
-                await self._writer.drain()
-        except (ConnectionError, RuntimeError, OSError) as exc:
-            self._pending.pop(job_id, None)
-            raise GatewayClosedError(f"send failed: {exc}") from None
-        try:
-            if timeout is not None:
-                result = await asyncio.wait_for(future, timeout)
-            else:
-                result = await future
-        except asyncio.TimeoutError:
-            self._pending.pop(job_id, None)
-            raise ServeTimeoutError(
-                f"no result for job {job_id} within {timeout}s"
-            ) from None
+            try:
+                async with self._send_lock:
+                    self._writer.write(frame)
+                    await self._writer.drain()
+            except (ConnectionError, RuntimeError, OSError) as exc:
+                self._pending.pop(job_id, None)
+                raise GatewayClosedError(f"send failed: {exc}") from None
+            try:
+                if timeout is not None:
+                    result = await asyncio.wait_for(future, timeout)
+                else:
+                    result = await future
+            except asyncio.TimeoutError:
+                self._pending.pop(job_id, None)
+                raise ServeTimeoutError(
+                    f"no result for job {job_id} within {timeout}s"
+                ) from None
+        except BaseException as exc:
+            if span_id:
+                rec.complete(
+                    "client.request", t0_pc, span_id=span_id,
+                    parent_id=parent_span, trace=trace_id, job=job_id,
+                    tenant=self.tenant, code_id=code, ok=False,
+                    error=type(exc).__name__,
+                )
+            raise
         if isinstance(result, Result):
+            if span_id:
+                labels = dict(
+                    trace=trace_id, job=job_id, tenant=self.tenant,
+                    code_id=code, ok=True, converged=result.converged,
+                    iterations=result.iterations,
+                )
+                if result.trace is not None:
+                    labels["gateway_span"] = result.trace.span_id
+                rec.complete(
+                    "client.request", t0_pc, span_id=span_id,
+                    parent_id=parent_span, **labels
+                )
             return RemoteResult(
                 job_id=job_id,
                 bits=result.bits,
                 converged=result.converged,
                 iterations=result.iterations,
                 latency_s=time.monotonic() - t0,
+                trace_id=trace_id,
             )
         raise NetProtocolError(f"unexpected reply {type(result).__name__}")
 
@@ -349,7 +417,10 @@ class AsyncDecodeClient(object):
     async def _read_loop(self) -> None:
         try:
             while True:
-                frame = await read_frame(self._reader, self.max_frame_bytes)
+                frame = await read_frame(
+                    self._reader, self.max_frame_bytes,
+                    trace=bool(self.flags & FLAG_TRACE),
+                )
                 if frame is None:
                     self._conn_error = GatewayClosedError(
                         "gateway closed the connection"
@@ -426,6 +497,7 @@ class DecodeClient(object):
         priority: int = GOLD,
         connect_timeout: float = 10.0,
         negotiate: bool = True,
+        recorder: "Optional[TraceRecorder]" = None,
     ) -> None:
         self._closed = False
         self._loop = asyncio.new_event_loop()
@@ -440,7 +512,7 @@ class DecodeClient(object):
                 AsyncDecodeClient.connect(
                     host, port,
                     tenant=tenant, code_id=code_id, priority=priority,
-                    negotiate=negotiate,
+                    negotiate=negotiate, recorder=recorder,
                 ),
                 timeout=connect_timeout,
             )

@@ -68,12 +68,15 @@ from repro.net.protocol import (
     FLAG_CRC32C,
     FLAG_HEARTBEAT,
     FLAG_IDEMPOTENCY,
+    FLAG_TRACE,
+    NULL_TRACE,
     V1,
     V2,
     Hello,
     Ping,
     Pong,
     Request,
+    TraceContext,
     decode_frame,
     encode_error,
     encode_hello,
@@ -91,7 +94,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["DecodeGateway", "GATEWAY_FLAGS"]
 
 #: Capabilities this gateway is willing to negotiate in a HELLO reply.
-GATEWAY_FLAGS = FLAG_CRC32C | FLAG_HEARTBEAT | FLAG_IDEMPOTENCY
+GATEWAY_FLAGS = FLAG_CRC32C | FLAG_HEARTBEAT | FLAG_IDEMPOTENCY | FLAG_TRACE
 
 #: Severity of each gateway lifecycle event in the structured log.
 _EVENT_LEVELS = {
@@ -248,6 +251,11 @@ class DecodeGateway(object):
         """True once :meth:`close` has begun refusing new requests."""
         return self._draining
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has completed."""
+        return self._closed
+
     async def close(self, drain: bool = True) -> None:
         """Stop the listener and shut connections down.
 
@@ -315,7 +323,9 @@ class DecodeGateway(object):
                     break  # client closed cleanly
                 self.metrics.bytes_in(len(payload) + 4)
                 try:
-                    frame = decode_frame(payload)
+                    frame = decode_frame(
+                        payload, trace=bool(conn.flags & FLAG_TRACE)
+                    )
                 except NetProtocolError as exc:
                     await self._conn_fatal(conn, exc)
                     break
@@ -437,10 +447,54 @@ class DecodeGateway(object):
         )
 
     async def _serve_request(self, req: Request, conn: _ConnState) -> None:
-        """Admit, submit, await, and stream back one request."""
+        """Admit, submit, await, and stream back one request.
+
+        When the request carries a trace context (``FLAG_TRACE``
+        connections with a tracing client), the gateway *adopts* it:
+        one ``gateway.request`` span parented under the client's wire
+        span, with ``gateway.dedup`` / ``gateway.queue_probe`` /
+        ``gateway.admission`` / ``gateway.submit`` / ``gateway.respond``
+        children, the waterfall split recorded as span attributes, and
+        the same context threaded into ``DecodeService.submit`` so the
+        pool's queue-wait/decode spans join the tree.  Spans use
+        explicit parent ids rather than the thread-local stack because
+        every request interleaves on one event-loop thread.
+        """
         t0 = time.monotonic()
+        t0_pc = time.perf_counter()
         tenant = req.tenant or "anonymous"
         code_key = req.code_id or None
+        code_label = req.code_id or "default"
+        rec = self.recorder
+        req_trace_id = req.trace.trace_id if req.trace is not None else 0
+        tracing = rec is not None and rec.enabled and bool(req_trace_id)
+        serve_span = rec.allocate_span_id() if tracing else 0
+        remote_parent = req.trace.span_id if tracing else 0
+        reply_trace: Optional[TraceContext] = None
+        if conn.flags & FLAG_TRACE:
+            # echo the trace id (plus our span) so the client can join
+            # the reply to its own tree even without a shared recorder
+            reply_trace = (
+                TraceContext(req_trace_id, serve_span)
+                if req_trace_id else NULL_TRACE
+            )
+
+        def child(name: str, start_pc: float, **labels: object) -> None:
+            if tracing:
+                rec.complete(
+                    name, start_pc, parent_id=serve_span,
+                    trace=req_trace_id, **labels
+                )
+
+        def finish(outcome: str, **extra: object) -> None:
+            if tracing:
+                rec.complete(
+                    "gateway.request", t0_pc, span_id=serve_span,
+                    parent_id=remote_parent or None, trace=req_trace_id,
+                    tenant=tenant, code_id=code_label, job=req.job_id,
+                    outcome=outcome, **extra
+                )
+
         self.metrics.request(tenant)
         self._event("net.request", tenant=tenant, job=req.job_id,
                     priority=req.priority)
@@ -452,6 +506,7 @@ class DecodeGateway(object):
             and conn.flags & FLAG_IDEMPOTENCY
         ):
             dedup_key = (tenant, req.idempotency_key)
+            t_dedup = time.perf_counter()
             entry = self.dedup.lookup(dedup_key)
             if entry is not None:
                 outcome = (
@@ -459,36 +514,61 @@ class DecodeGateway(object):
                 )
                 value = await self.dedup.resolve(entry)
                 if value is not None:
+                    child("gateway.dedup", t_dedup, outcome=outcome)
                     converged, iterations, bits = value
+                    t_respond = time.perf_counter()
                     await self._send_quiet(
                         conn,
                         encode_result(req.job_id, converged, iterations,
-                                      bits, version=conn.version),
+                                      bits, version=conn.version,
+                                      trace=reply_trace),
                     )
+                    child("gateway.respond", t_respond)
+                    total_s = time.monotonic() - t0
                     self.metrics.dedup_hit(outcome)
-                    self.metrics.result(tenant, time.monotonic() - t0)
+                    self.metrics.result(tenant, total_s)
+                    self.metrics.phase(tenant, code_label, "total", total_s)
                     self._event("net.dedup", tenant=tenant, job=req.job_id,
                                 outcome=outcome)
+                    finish("dedup", dedup=outcome, total_s=round(total_s, 6))
                     return
                 # the original attempt failed: fall through and decode
+            child("gateway.dedup", t_dedup, outcome="miss")
             owner = asyncio.get_running_loop().create_future()
             self.dedup.put(dedup_key, owner)
+        admission_s = queue_wait_s = decode_s = 0.0
         try:
             if self._draining:
                 raise GatewayClosedError(
                     "gateway is draining; resubmit elsewhere"
                 )
+            t_probe = time.perf_counter()
             fill = self.service.queue_fill(code_key)
+            child("gateway.queue_probe", t_probe, fill=round(fill, 4))
+            t_admit = time.perf_counter()
             decision = self.admission.admit(tenant, fill, req.priority)
+            admission_s = time.perf_counter() - t_probe
+            child("gateway.admission", t_admit,
+                  shed=decision.shed, budget=decision.iteration_budget)
             if decision.shed:
                 self.metrics.shed(tenant)
+            t_submit = time.perf_counter()
             future = self.service.submit(
                 req.llrs(),
                 code_key=code_key,
                 timeout=0.0,
                 iteration_budget=decision.iteration_budget,
+                trace=(
+                    TraceContext(req_trace_id, serve_span)
+                    if tracing else None
+                ),
             )
             done = await asyncio.wrap_future(future)
+            child("gateway.submit", t_submit, job=req.job_id)
+            job = done.job
+            if job.dispatched_at is not None:
+                queue_wait_s = max(0.0, job.dispatched_at - job.enqueued_at)
+                decode_s = max(0.0, done.completed_at - job.dispatched_at)
             result = done.result
             value = (
                 bool(result.converged), int(result.iterations), result.bits
@@ -502,21 +582,43 @@ class DecodeGateway(object):
         except Exception as exc:
             if dedup_key is not None:
                 self.dedup.discard(dedup_key)
-            await self._reply_error(req, tenant, conn, exc)
+            await self._reply_error(req, tenant, conn, exc,
+                                    trace=reply_trace)
+            self.metrics.phase(tenant, code_label, "total",
+                               time.monotonic() - t0)
+            finish("error", error=type(exc).__name__)
             return
         finally:
             # failures are never cached: joiners of a future that never
             # produced a value decode fresh when they see None
             if owner is not None and not owner.done():
                 owner.set_result(None)
+        t_respond = time.perf_counter()
         await self._send_quiet(
             conn,
             encode_result(req.job_id, value[0], value[1], value[2],
-                          version=conn.version),
+                          version=conn.version, trace=reply_trace),
         )
-        self.metrics.result(tenant, time.monotonic() - t0)
+        respond_s = time.perf_counter() - t_respond
+        child("gateway.respond", t_respond)
+        total_s = time.monotonic() - t0
+        self.metrics.result(tenant, total_s)
+        phase = self.metrics.phase
+        phase(tenant, code_label, "total", total_s)
+        phase(tenant, code_label, "admission", admission_s)
+        phase(tenant, code_label, "queue_wait", queue_wait_s)
+        phase(tenant, code_label, "decode", decode_s)
+        phase(tenant, code_label, "respond", respond_s)
         self._event("net.result", tenant=tenant, job=req.job_id,
                     converged=value[0], iterations=value[1])
+        finish(
+            "ok", converged=value[0], iterations=value[1],
+            admission_s=round(admission_s, 6),
+            queue_wait_s=round(queue_wait_s, 6),
+            decode_s=round(decode_s, 6),
+            respond_s=round(respond_s, 6),
+            total_s=round(total_s, 6),
+        )
 
     async def _reply_error(
         self,
@@ -524,6 +626,7 @@ class DecodeGateway(object):
         tenant: str,
         conn: _ConnState,
         exc: BaseException,
+        trace: Optional[TraceContext] = None,
     ) -> None:
         reason = _REJECT_REASONS.get(type(exc))
         if reason is not None:
@@ -537,7 +640,8 @@ class DecodeGateway(object):
         if not isinstance(exc, ServeError):
             exc = ServeError(f"{type(exc).__name__}: {exc}")
         await self._send_quiet(
-            conn, encode_error(req.job_id, exc, version=conn.version)
+            conn,
+            encode_error(req.job_id, exc, version=conn.version, trace=trace),
         )
 
     async def _send_quiet(self, conn: _ConnState, data: bytes) -> None:

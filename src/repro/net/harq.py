@@ -197,6 +197,7 @@ def run_harq_session(
     port: int,
     config: Optional[HarqConfig] = None,
     registry: Optional[object] = None,
+    log: Optional[object] = None,
 ) -> HarqReport:
     """Run one channel-adaptive session against a live gateway.
 
@@ -207,6 +208,12 @@ def run_harq_session(
     wire-quantized, sent with a per-request ``code_id``, and then
     re-decoded locally; remote and local bits must agree frame by
     frame (``report.mismatches`` counts the exceptions).
+
+    ``log`` may be an :class:`~repro.obs.log.EventLog`: every rung
+    change is stamped as a ``harq.switch`` record labelled with the
+    session's tenant and both code ids, so ``repro logs --tenant X``
+    (or ``--code-id Y``) correlates rate adaptation with the gateway
+    incidents it causes.
     """
     config = config or HarqConfig()
     if registry is None:
@@ -228,6 +235,18 @@ def run_harq_session(
         for i in range(config.frames):
             snr_db = config.snr_at(i, rng)
             rung = _select_rung(config.ladder, snr_db)
+            if (
+                log is not None and code_sequence
+                and code_sequence[-1] != rung.code_id
+            ):
+                log.info(
+                    "harq.switch",
+                    tenant=config.tenant,
+                    code_id=rung.code_id,
+                    from_code=code_sequence[-1],
+                    frame=i,
+                    snr_db=round(snr_db, 2),
+                )
             code = codes[rung.code_id]
             encoder = encoders[rung.code_id]
             message = rng.integers(0, 2, encoder.k).astype(np.uint8)

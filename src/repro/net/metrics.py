@@ -57,6 +57,12 @@ class NetMetrics(object):
             "net_request_latency_seconds",
             "request receipt to result frame write",
             label_names=("tenant",), buckets=_LATENCY_BUCKETS)
+        self._phases = reg.histogram(
+            "net_request_seconds",
+            "per-request RED latency split by gateway phase "
+            "(total/admission/queue_wait/decode/respond)",
+            label_names=("tenant", "code_id", "phase"),
+            buckets=_LATENCY_BUCKETS)
         self._bytes_in = reg.counter(
             "net_bytes_in_total", "payload bytes received")
         self._bytes_out = reg.counter(
@@ -106,6 +112,21 @@ class NetMetrics(object):
     def error(self, tenant: str, kind: str) -> None:
         """An error frame went back to ``tenant``."""
         self._errors.inc(tenant=tenant, kind=kind)
+
+    def phase(
+        self, tenant: str, code_id: str, phase: str, seconds: float
+    ) -> None:
+        """One waterfall segment of a request (RED duration metric).
+
+        ``phase="total"`` is observed for every request (successes,
+        rejections, errors alike); the split phases (``admission`` /
+        ``queue_wait`` / ``decode`` / ``respond``) only for requests
+        that actually decoded, so per-phase p99s are not diluted by
+        fail-fast rejections.
+        """
+        self._phases.observe(
+            seconds, tenant=tenant, code_id=code_id, phase=phase
+        )
 
     def shed(self, tenant: str) -> None:
         """A request was admitted with a reduced iteration budget."""

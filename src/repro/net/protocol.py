@@ -6,12 +6,15 @@ One frame = a 4-byte big-endian length prefix, a fixed 12-byte header
 ========  ====  =======================================================
 type      id    body
 ========  ====  =======================================================
-REQUEST   1     u8 priority | u16-len tenant | u16-len code id |
+REQUEST   1     *(FLAG_TRACE: u64 trace id | u64 parent span id)* |
+                u8 priority | u16-len tenant | u16-len code id |
                 *(v2 only: u16-len idempotency key)* |
                 f32 scale | u32 count | ``count`` int8 LLR samples
-RESULT    2     u8 converged | u16 iterations | u32 bit count |
+RESULT    2     *(FLAG_TRACE: u64 trace id | u64 parent span id)* |
+                u8 converged | u16 iterations | u32 bit count |
                 packed bits (``numpy.packbits``, big-endian within byte)
-ERROR     3     u16-len error kind | u32-len message
+ERROR     3     *(FLAG_TRACE: u64 trace id | u64 parent span id)* |
+                u16-len error kind | u32-len message
 PING      4     (empty)
 PONG      5     (empty)
 HELLO     6     u8 proposed/negotiated version | u32 feature flags
@@ -38,6 +41,18 @@ never says HELLO simply keeps speaking v1 (full backwards
 compatibility).  v2 REQUEST frames additionally carry an optional
 client-generated *idempotency key* so a retried job can be deduplicated
 server-side instead of decoded twice.
+
+**Trace context (``FLAG_TRACE``).**  When both sides advertise
+:data:`FLAG_TRACE` in HELLO, every REQUEST/RESULT/ERROR body begins
+with a 16-byte trace context — u64 trace id, u64 parent span id
+(:class:`~repro.obs.trace.TraceContext`) — letting the gateway adopt
+the client's span tree and the client join the gateway's reply spans
+under one distributed trace id.  ``(0, 0)`` means "this hop carries no
+context" and decodes as ``None``.  The field exists *only* on
+connections that negotiated the flag, so v1 peers and v2 peers without
+``FLAG_TRACE`` see byte-identical frames to previous builds; because
+it sits inside the CRC32C-protected v2 payload, a corrupted trace
+field fails the CRC check before any parsing can go wrong.
 
 Malformed input raises :class:`~repro.errors.NetProtocolError` (a
 member of the typed ``ServeError`` family); error frames round-trip the
@@ -70,6 +85,7 @@ from repro.errors import (
     UnknownCodeError,
 )
 from repro.net.crc import crc32c
+from repro.obs.trace import NULL_TRACE, TraceContext
 
 __all__ = [
     "CLIENT_FLAGS",
@@ -78,7 +94,9 @@ __all__ = [
     "FLAG_CRC32C",
     "FLAG_HEARTBEAT",
     "FLAG_IDEMPOTENCY",
+    "FLAG_TRACE",
     "MAGIC",
+    "NULL_TRACE",
     "MSG_ERROR",
     "MSG_HELLO",
     "MSG_PING",
@@ -96,6 +114,7 @@ __all__ = [
     "Pong",
     "Request",
     "Result",
+    "TraceContext",
     "decode_frame",
     "encode_error",
     "encode_hello",
@@ -133,9 +152,10 @@ MSG_HELLO = 6
 FLAG_CRC32C = 0x1
 FLAG_HEARTBEAT = 0x2
 FLAG_IDEMPOTENCY = 0x4
+FLAG_TRACE = 0x8
 
 #: Everything this build's clients know how to speak.
-CLIENT_FLAGS = FLAG_CRC32C | FLAG_HEARTBEAT | FLAG_IDEMPOTENCY
+CLIENT_FLAGS = FLAG_CRC32C | FLAG_HEARTBEAT | FLAG_IDEMPOTENCY | FLAG_TRACE
 
 #: Frames larger than this are refused outright (a 1 MiB frame holds a
 #: ~1M-sample LLR vector — far beyond any supported code length).
@@ -143,6 +163,7 @@ DEFAULT_MAX_FRAME_BYTES = 1 << 20
 
 _HEADER = struct.Struct(">2sBBQ")  # magic, version, msg type, job id
 _CRC = struct.Struct(">I")
+_TRACE = struct.Struct(">QQ")  # trace id, parent span id (FLAG_TRACE)
 
 #: Error kinds a gateway may ship that re-raise as their local type.
 ERROR_TYPES: "dict[str, Type[ServeError]]" = {
@@ -178,6 +199,7 @@ class Request(object):
     scale: float
     version: int = V1
     idempotency_key: str = ""
+    trace: Optional[TraceContext] = None
 
     def llrs(self) -> np.ndarray:
         """The canonical dequantized LLR vector both sides agree on."""
@@ -192,6 +214,7 @@ class Result(object):
     converged: bool
     iterations: int
     bits: np.ndarray
+    trace: Optional[TraceContext] = None
 
 
 @dataclass(frozen=True)
@@ -201,6 +224,7 @@ class ErrorFrame(object):
     job_id: int
     kind: str
     message: str
+    trace: Optional[TraceContext] = None
 
     def to_exception(self) -> ServeError:
         """The local typed exception this frame re-raises as."""
@@ -280,6 +304,25 @@ def _frame(msg_type: int, job_id: int, body: bytes, version: int = V1) -> bytes:
     return struct.pack(">I", len(payload)) + payload
 
 
+def _trace_prefix(trace: Optional[TraceContext], version: int) -> bytes:
+    """The body prefix for a FLAG_TRACE connection (empty when None).
+
+    ``trace=None`` means the connection never negotiated the flag —
+    no field at all, byte-stable with pre-trace builds.  A connection
+    that *did* negotiate it must always pass a context (use
+    :data:`~repro.obs.trace.NULL_TRACE` when there is nothing to
+    propagate) because the receiver parses the field unconditionally.
+    """
+    if trace is None:
+        return b""
+    if version < V2:
+        raise NetProtocolError(
+            "trace context needs protocol v2 (the v1 bodies have no "
+            "field for it)"
+        )
+    return _TRACE.pack(trace.trace_id, trace.span_id)
+
+
 def encode_request(
     job_id: int,
     tenant: str,
@@ -290,6 +333,7 @@ def encode_request(
     scale: Optional[float] = None,
     version: int = V1,
     idempotency_key: str = "",
+    trace: Optional[TraceContext] = None,
 ) -> bytes:
     """Encode a REQUEST frame.
 
@@ -298,6 +342,9 @@ def encode_request(
     for a later reference decode pack once and pass the pair.  An
     ``idempotency_key`` (v2 only) marks retries of one logical job so
     the gateway's dedup window can replay instead of re-decoding.
+    ``trace`` (v2, ``FLAG_TRACE`` connections only) prefixes the body
+    with the 16-byte trace context; pass it on *every* frame of such a
+    connection (:data:`~repro.obs.trace.NULL_TRACE` when untraced).
     """
     if llrs_i8 is None:
         if llrs is None:
@@ -320,7 +367,8 @@ def encode_request(
             "tenant/code id/idempotency key too long for a u16 length"
         )
     i8 = np.ascontiguousarray(llrs_i8, dtype=np.int8)
-    body = struct.pack(">BH", priority, len(tenant_b)) + tenant_b
+    body = _trace_prefix(trace, version)
+    body += struct.pack(">BH", priority, len(tenant_b)) + tenant_b
     body += struct.pack(">H", len(code_b)) + code_b
     if version >= V2:
         body += struct.pack(">H", len(idem_b)) + idem_b
@@ -330,22 +378,27 @@ def encode_request(
 
 def encode_result(
     job_id: int, converged: bool, iterations: int, bits: np.ndarray,
-    version: int = V1,
+    version: int = V1, trace: Optional[TraceContext] = None,
 ) -> bytes:
     """Encode a RESULT frame (bits are packed 8-per-byte)."""
     bits = np.asarray(bits).astype(np.uint8).ravel()
     packed = np.packbits(bits)
-    body = struct.pack(
+    body = _trace_prefix(trace, version)
+    body += struct.pack(
         ">BHI", 1 if converged else 0, iterations, bits.size
     ) + packed.tobytes()
     return _frame(MSG_RESULT, job_id, body, version=version)
 
 
-def encode_error(job_id: int, exc: BaseException, version: int = V1) -> bytes:
+def encode_error(
+    job_id: int, exc: BaseException, version: int = V1,
+    trace: Optional[TraceContext] = None,
+) -> bytes:
     """Encode an ERROR frame from an exception (kind = class name)."""
     kind_b = type(exc).__name__.encode("utf-8")[:0xFFFF]
     msg_b = str(exc).encode("utf-8")[: 1 << 16]
-    body = struct.pack(">H", len(kind_b)) + kind_b
+    body = _trace_prefix(trace, version)
+    body += struct.pack(">H", len(kind_b)) + kind_b
     body += struct.pack(">I", len(msg_b)) + msg_b
     return _frame(MSG_ERROR, job_id, body, version=version)
 
@@ -405,7 +458,7 @@ _RES_HEAD = struct.Struct(">BHI")
 _HELLO_BODY = struct.Struct(">BI")
 
 
-def decode_frame(payload: bytes) -> Frame:
+def decode_frame(payload: bytes, trace: bool = False) -> Frame:
     """Parse one frame payload (header + body, length prefix stripped).
 
     v2 frames are CRC32C-verified before any body byte is trusted;
@@ -413,6 +466,14 @@ def decode_frame(payload: bytes) -> Frame:
     REQUEST/RESULT declared element counts must agree exactly with the
     payload length — disagreement is a typed protocol error, not a
     struct-unpack accident.
+
+    ``trace=True`` (connections that negotiated ``FLAG_TRACE``) reads
+    the 16-byte trace context off REQUEST/RESULT/ERROR bodies; a
+    ``(0, 0)`` context decodes as ``None``.  The flag is connection
+    state, not frame state — the CRC has already vouched for the bytes
+    by the time the field is read, so a flipped trace byte can only
+    surface as :class:`~repro.errors.FrameCorruptionError`, never as a
+    silently mis-parsed body.
     """
     if len(payload) < _HEADER.size:
         raise NetProtocolError(
@@ -444,6 +505,15 @@ def decode_frame(payload: bytes) -> Frame:
         cur = _Cursor(payload[_HEADER.size : body_end])
     else:
         cur = _Cursor(payload[_HEADER.size :])
+    trace_ctx: Optional[TraceContext] = None
+    if (
+        trace
+        and version >= V2
+        and msg_type in (MSG_REQUEST, MSG_RESULT, MSG_ERROR)
+    ):
+        trace_id, parent_span = cur.unpack(_TRACE)
+        if trace_id or parent_span:
+            trace_ctx = TraceContext(trace_id, parent_span)
     if msg_type == MSG_REQUEST:
         priority, tenant_len = cur.unpack(_REQ_HEAD)
         tenant = cur.take(tenant_len).decode("utf-8", "replace")
@@ -463,7 +533,7 @@ def decode_frame(payload: bytes) -> Frame:
         return Request(
             job_id=job_id, tenant=tenant, code_id=code_id,
             priority=priority, llrs_i8=i8, scale=scale,
-            version=version, idempotency_key=idem,
+            version=version, idempotency_key=idem, trace=trace_ctx,
         )
     if msg_type == MSG_RESULT:
         converged, iterations, bit_count = cur.unpack(_RES_HEAD)
@@ -477,14 +547,16 @@ def decode_frame(payload: bytes) -> Frame:
         bits = np.unpackbits(packed)[:bit_count]
         return Result(
             job_id=job_id, converged=bool(converged),
-            iterations=iterations, bits=bits,
+            iterations=iterations, bits=bits, trace=trace_ctx,
         )
     if msg_type == MSG_ERROR:
         (kind_len,) = cur.unpack(_U16)
         kind = cur.take(kind_len).decode("utf-8", "replace")
         (msg_len,) = cur.unpack(_U32)
         message = cur.take(msg_len).decode("utf-8", "replace")
-        return ErrorFrame(job_id=job_id, kind=kind, message=message)
+        return ErrorFrame(
+            job_id=job_id, kind=kind, message=message, trace=trace_ctx,
+        )
     if msg_type == MSG_PING:
         return Ping(job_id=job_id)
     if msg_type == MSG_PONG:
@@ -604,12 +676,17 @@ async def read_raw(
 async def read_frame(
     reader: "asyncio.StreamReader",
     max_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    trace: bool = False,
 ) -> Optional[Frame]:
-    """Read and parse one frame; None on clean EOF between frames."""
+    """Read and parse one frame; None on clean EOF between frames.
+
+    ``trace`` mirrors :func:`decode_frame`'s parameter — pass the
+    connection's negotiated ``FLAG_TRACE`` state.
+    """
     payload = await read_raw(reader, max_bytes)
     if payload is None:
         return None
-    return decode_frame(payload)
+    return decode_frame(payload, trace=trace)
 
 
 def write_frame(writer: "asyncio.StreamWriter", frame_bytes: bytes) -> None:

@@ -41,7 +41,15 @@ import itertools
 import time
 import uuid
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -57,6 +65,10 @@ from repro.errors import (
 )
 from repro.net.admission import GOLD
 from repro.net.client import AsyncDecodeClient, RemoteResult
+from repro.obs.trace import TraceContext, new_trace_id
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import TraceRecorder
 
 __all__ = [
     "CircuitBreaker",
@@ -215,6 +227,15 @@ class ResilientDecodeClient(object):
         fresh random token per client instance — two clients of the
         same tenant must never share a key space, or one would replay
         the other's cached results from the gateway's dedup window.
+    recorder:
+        Optional :class:`~repro.obs.trace.TraceRecorder`.  When set,
+        every logical job opens a ``client.job`` span under a fresh
+        distributed trace id and each wire attempt (retries and hedges
+        alike) becomes a sibling ``client.attempt`` span labelled with
+        the shared idempotency key — so one Chrome trace shows the
+        whole race, not just the winning attempt.  The recorder is
+        also handed to every underlying connection, whose
+        ``client.request`` spans parent under the attempt spans.
     """
 
     def __init__(
@@ -232,6 +253,7 @@ class ResilientDecodeClient(object):
         breaker_reset_s: float = 2.0,
         seed: int = 0,
         tag: Optional[str] = None,
+        recorder: "Optional[TraceRecorder]" = None,
     ) -> None:
         if not endpoints:
             raise ValueError("ResilientDecodeClient needs >= 1 endpoint")
@@ -244,6 +266,7 @@ class ResilientDecodeClient(object):
         self.heartbeat_s = heartbeat_s
         self.heartbeat_misses = heartbeat_misses
         self._rng = np.random.default_rng(seed)
+        self.recorder = recorder
         self._tag = tag if tag is not None else uuid.uuid4().hex[:12]
         self._key_seq = itertools.count(1)
         self._endpoints: List[_Endpoint] = [
@@ -290,6 +313,7 @@ class ResilientDecodeClient(object):
                     ep.host, ep.port,
                     tenant=self.tenant, code_id=self.code_id,
                     priority=self.priority, fallback_to_v1=False,
+                    recorder=self.recorder,
                 )
                 ep.missed = 0
             return ep.client
@@ -324,27 +348,60 @@ class ResilientDecodeClient(object):
         key: str,
         code_id: Optional[str],
         priority: Optional[int],
+        trace: Optional[TraceContext] = None,
+        attempt: int = 1,
+        hedge: bool = False,
     ) -> RemoteResult:
-        """One wire attempt on one endpoint; updates its breaker."""
+        """One wire attempt on one endpoint; updates its breaker.
+
+        With a trace context, the attempt is its own ``client.attempt``
+        span (a sibling of any hedge racing it, all sharing the
+        idempotency ``key`` label) and the wire hop parents under it.
+        """
+        rec = self.recorder
+        tracing = (
+            rec is not None and rec.enabled
+            and trace is not None and bool(trace.trace_id)
+        )
+        span_id = rec.allocate_span_id() if tracing else 0
+        wire_trace = (
+            TraceContext(trace.trace_id, span_id) if tracing else None
+        )
+        t0 = time.perf_counter()
+
+        def span(ok: bool, **extra: object) -> None:
+            if tracing:
+                rec.complete(
+                    "client.attempt", t0,
+                    span_id=span_id, parent_id=trace.span_id,
+                    trace=trace.trace_id, key=key, attempt=attempt,
+                    endpoint=ep.name, hedge=hedge, ok=ok, **extra
+                )
+
         try:
             client = await self._client_for(ep)
             self.stats["requests_sent"] += 1
             result = await client.decode(
                 llrs, code_id=code_id, priority=priority,
                 timeout=self.request_timeout_s, idempotency_key=key,
+                trace=wire_trace,
             )
         except asyncio.CancelledError:
+            span(False, error="cancelled")
             raise
         except RETRYABLE_ERRORS as exc:
+            span(False, error=type(exc).__name__)
             ep.breaker.record_failure()
             if isinstance(exc, (GatewayClosedError, ConnectionError,
                                 OSError, NetProtocolError)):
                 await self._drop(ep)
             raise
-        except QuotaExceededError:
+        except QuotaExceededError as exc:
             # a healthy endpoint refusing on quota is not a failure
+            span(False, error=type(exc).__name__)
             ep.breaker.record_success()
             raise
+        span(True)
         ep.breaker.record_success()
         return result
 
@@ -367,6 +424,25 @@ class ResilientDecodeClient(object):
         self.stats["jobs"] += 1
         key = idempotency_key or f"{self._tag}-{next(self._key_seq)}"
         llrs = np.asarray(llrs, dtype=np.float64)
+        rec = self.recorder
+        recording = rec is not None and rec.enabled
+        trace: Optional[TraceContext] = None
+        job_span = 0
+        if recording:
+            job_span = rec.allocate_span_id()
+            trace = TraceContext(new_trace_id(), job_span)
+        t0 = time.perf_counter()
+
+        def job_done(ok: bool, attempts: int, **extra: object) -> None:
+            if recording:
+                rec.complete(
+                    "client.job", t0,
+                    span_id=job_span, parent_id=None,
+                    trace=trace.trace_id, key=key,
+                    tenant=self.tenant, attempts=attempts, ok=ok,
+                    **extra
+                )
+
         last_exc: Optional[Exception] = None
         attempt = 0
         while attempt < self.retry.max_attempts:
@@ -374,18 +450,22 @@ class ResilientDecodeClient(object):
             ep = self._pick()
             if ep is None:
                 self.stats["breaker_refusals"] += 1
+                job_done(False, attempt - 1, error="CircuitOpenError")
                 raise CircuitOpenError(
                     "all gateway endpoints have open circuit breakers"
                 )
             if attempt > 1:
                 self.stats["retries"] += 1
             try:
-                return await self._attempt_hedged(
+                result = await self._attempt_hedged(
                     ep, llrs, key, code_id, priority,
+                    trace=trace, attempt=attempt,
                 )
             except asyncio.CancelledError:
+                job_done(False, attempt, error="cancelled")
                 raise
-            except QuotaExceededError:
+            except QuotaExceededError as exc:
+                job_done(False, attempt, error=type(exc).__name__)
                 raise
             except RETRYABLE_ERRORS as exc:
                 last_exc = exc
@@ -393,6 +473,11 @@ class ResilientDecodeClient(object):
                     await asyncio.sleep(
                         self.retry.delay_s(attempt, self._rng)
                     )
+            else:
+                job_done(True, attempt)
+                return result
+        job_done(False, attempt,
+                 error=type(last_exc).__name__ if last_exc else "unknown")
         if isinstance(last_exc, ServeError):
             raise last_exc
         raise GatewayClosedError(
@@ -407,10 +492,13 @@ class ResilientDecodeClient(object):
         key: str,
         code_id: Optional[str],
         priority: Optional[int],
+        trace: Optional[TraceContext] = None,
+        attempt: int = 1,
     ) -> RemoteResult:
         """Primary attempt on ``ep``; hedge elsewhere if it dawdles."""
         primary = asyncio.ensure_future(
-            self._attempt(ep, llrs, key, code_id, priority)
+            self._attempt(ep, llrs, key, code_id, priority,
+                          trace=trace, attempt=attempt)
         )
         if self.hedge_delay_s is None or len(self._endpoints) < 2:
             return await primary
@@ -424,7 +512,8 @@ class ResilientDecodeClient(object):
             return await primary
         self.stats["hedges"] += 1
         hedge = asyncio.ensure_future(
-            self._attempt(other, llrs, key, code_id, priority)
+            self._attempt(other, llrs, key, code_id, priority,
+                          trace=trace, attempt=attempt, hedge=True)
         )
         racers = {primary, hedge}
         result: Optional[RemoteResult] = None

@@ -31,6 +31,7 @@ configuration from the issue.
 from __future__ import annotations
 
 import asyncio
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -127,6 +128,12 @@ class SoakConfig(object):
     slo_p99_s: float = 5.0
     slo_crash_rate: float = 0.05
     slo_error_rate: float = 0.15
+    #: Distributed tracing: negotiate FLAG_TRACE on every client, so
+    #: each request yields one client→gateway→shard span chain under a
+    #: single trace id; the report gains a ``trace_verify`` block and
+    #: the throughput mode is renamed ``*-traced`` (separate perf-gate
+    #: baseline — tracing is measured overhead, not noise).
+    trace: bool = False
     # --- chaos mode (``repro net-soak --chaos``) ---------------------
     # Chaos is asymmetric by design: only the first replica's proxy
     # corrupts/truncates/resets, so the circuit breaker has somewhere
@@ -179,6 +186,7 @@ class SoakConfig(object):
             "slo_p99_s": self.slo_p99_s,
             "slo_crash_rate": self.slo_crash_rate,
             "slo_error_rate": self.slo_error_rate,
+            "trace": self.trace,
             "chaos": self.chaos,
             "replicas": self.replicas,
             "chaos_corrupt_p": self.chaos_corrupt_p,
@@ -316,12 +324,13 @@ async def _connection_task(
     stats: _TenantStats,
     records: List[Tuple[np.ndarray, np.ndarray, bool]],
     latencies: List[float],
+    recorder: Optional[TraceRecorder] = None,
 ) -> None:
     """One client connection living through the whole diurnal curve."""
     rng = np.random.default_rng(cfg.seed * 100003 + index)
     priority = int(cfg.tenants[tenant].get("priority", GOLD))
     client = await AsyncDecodeClient.connect(
-        host, port, tenant=tenant, priority=priority
+        host, port, tenant=tenant, priority=priority, recorder=recorder
     )
     try:
         # stagger connection ramp-up so the accept loop is not a spike
@@ -387,6 +396,7 @@ async def _chaos_connection_task(
     records: List[Tuple[np.ndarray, np.ndarray, bool]],
     latencies: List[float],
     clients: List[ResilientDecodeClient],
+    recorder: Optional[TraceRecorder] = None,
 ) -> None:
     """One resilient client living through the whole diurnal curve."""
     rng = np.random.default_rng(cfg.seed * 100003 + index)
@@ -395,6 +405,7 @@ async def _chaos_connection_task(
         endpoints,
         tenant=tenant,
         priority=priority,
+        recorder=recorder,
         retry=RetryPolicy(
             max_attempts=cfg.client_max_attempts,
             base_delay_s=0.05, max_delay_s=1.0,
@@ -455,6 +466,7 @@ async def _drive_chaos(
     records: List[Tuple[np.ndarray, np.ndarray, bool]],
     latencies: List[float],
     progress: Callable[[str], None],
+    recorder: Optional[TraceRecorder] = None,
 ) -> Dict[str, Any]:
     """The chaos topology: clients -> chaos proxies -> gateway replicas.
 
@@ -529,6 +541,7 @@ async def _drive_chaos(
             _chaos_connection_task(
                 i, tenant, cfg, endpoints, encoder, code,
                 stats[tenant], records, latencies, clients,
+                recorder=recorder,
             )
         )
         for i, tenant in enumerate(assignment)
@@ -576,6 +589,7 @@ async def _drive(
     records: List[Tuple[np.ndarray, np.ndarray, bool]],
     latencies: List[float],
     progress: Callable[[str], None],
+    recorder: Optional[TraceRecorder] = None,
 ) -> Dict[str, Any]:
     host, port = await gateway.start()
     progress(f"gateway listening on {host}:{port}")
@@ -602,6 +616,7 @@ async def _drive(
             _connection_task(
                 i, tenant, cfg, host, port, encoder, code,
                 stats[tenant], records, latencies,
+                recorder=recorder,
             )
         )
         for i, tenant in enumerate(assignment)
@@ -626,20 +641,74 @@ async def _drive(
     return {"traffic_s": traffic_s, "crash": crash_info}
 
 
+def _verify_trace_chains(recorder: TraceRecorder) -> Dict[str, Any]:
+    """Audit the span chains of every successful request.
+
+    Groups spans by their ``trace`` label and, for each trace whose
+    client half reported success (``client.request``/``client.job``
+    with ``ok=True``), demands the distributed story is complete: at
+    least one ``gateway.request`` span joined the trace, and — unless
+    the gateway answered from the dedup window — a ``job.decode`` span
+    proves a shard actually decoded the frame.  A broken chain means
+    trace propagation dropped context somewhere on the wire path.
+    """
+    by_trace: Dict[int, List[Any]] = {}
+    for span in recorder.records():
+        trace = span.label_dict.get("trace")
+        if trace:
+            by_trace.setdefault(int(trace), []).append(span)
+    checked = 0
+    broken: List[int] = []
+    for trace_id in sorted(by_trace):
+        group = by_trace[trace_id]
+        client_ok = any(
+            span.name in ("client.request", "client.job")
+            and span.label_dict.get("ok")
+            for span in group
+        )
+        if not client_ok:
+            continue
+        checked += 1
+        names = {span.name for span in group}
+        outcomes = {
+            span.label_dict.get("outcome")
+            for span in group if span.name == "gateway.request"
+        }
+        if not outcomes:
+            broken.append(trace_id)
+        elif "ok" in outcomes and "job.decode" not in names:
+            broken.append(trace_id)
+        elif "ok" not in outcomes and "dedup" not in outcomes:
+            broken.append(trace_id)
+    return {
+        "traces": len(by_trace),
+        "checked": checked,
+        "broken": len(broken),
+        "broken_ids": broken[:10],
+        "ok": not broken,
+    }
+
+
 def run_net_soak(
     config: Optional[SoakConfig] = None,
     log_path: Optional[str] = None,
     trace_path: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
+    top_path: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run one gateway soak; returns the full JSON-ready report.
 
     ``log_path`` tees the structured event log to a JSONL file (tail it
     live with ``repro logs --follow``); ``trace_path`` writes the
-    Chrome trace.  The report carries the standard provenance header
+    Chrome trace; ``top_path`` writes the final ``repro top`` status
+    document (the same JSON a live ``--obs-port`` endpoint would
+    serve).  The report carries the standard provenance header
     (``bench: "net"``) plus throughput (``modes``), per-tenant
     admission stats, the autoscaler decision log, the final SLO report,
-    and the decode-vs-reference verification outcome.
+    and the decode-vs-reference verification outcome.  With
+    ``config.trace`` the clients negotiate FLAG_TRACE and the report
+    gains a ``trace_verify`` block proving every successful request
+    left a complete client→gateway→decode span chain.
     """
     cfg = config if config is not None else SoakConfig()
     note = progress if progress is not None else (lambda _msg: None)
@@ -736,6 +805,7 @@ def run_net_soak(
                 _drive_chaos(
                     cfg, service, gateways, chaos_cfgs, scaler, encoder,
                     code, stats, records, latencies, note,
+                    recorder=recorder if cfg.trace else None,
                 )
             )
         else:
@@ -743,6 +813,7 @@ def run_net_soak(
                 _drive(
                     cfg, service, gateway, scaler, encoder, code,
                     stats, records, latencies, note,
+                    recorder=recorder if cfg.trace else None,
                 )
             )
         scaler.stop()
@@ -753,6 +824,14 @@ def run_net_soak(
         log.close()
     if trace_path:
         recorder.write_chrome_trace(trace_path)
+    if top_path:
+        from repro.net.console import build_status
+
+        with open(top_path, "w") as handle:
+            json.dump(
+                build_status(gateway, autoscaler=scaler), handle,
+                sort_keys=True,
+            )
 
     # ------------------------------------------------------------------
     # verification: the wire path must agree with decode_many bit-exactly
@@ -782,7 +861,10 @@ def run_net_soak(
             "config": cfg.to_dict(),
             "modes": [
                 {
-                    "mode": "net-chaos" if cfg.chaos else "net-gateway",
+                    "mode": (
+                        ("net-chaos" if cfg.chaos else "net-gateway")
+                        + ("-traced" if cfg.trace else "")
+                    ),
                     "frames_per_s": fps,
                     "frames": total_ok,
                     "time_s": traffic_s,
@@ -813,6 +895,9 @@ def run_net_soak(
                 "worker_crashes": snap.worker_crashes,
                 "worker_restarts": snap.worker_restarts,
             },
+            "trace_verify": (
+                _verify_trace_chains(recorder) if cfg.trace else None
+            ),
             "slo": slo_report.to_dict() if slo_report is not None else None,
             "serve": {
                 "frames_in": snap.frames_in,

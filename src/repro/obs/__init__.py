@@ -24,7 +24,13 @@ package gives every runtime subsystem one instrumentation spine:
   and ``repro obs-report``;
 * :mod:`repro.obs.perfgate` — the benchmark regression gate behind
   ``repro perf-gate``: re-runs committed ``BENCH_*.json`` baselines
-  median-of-k and fails on relative throughput regressions.
+  median-of-k and fails on relative throughput regressions;
+* :class:`TraceContext` — the (trace id, span id) pair that rides the
+  v2 wire protocol (``FLAG_TRACE``) so client, gateway, and worker
+  spans of one request merge into a single distributed trace;
+* :mod:`repro.obs.request_trace` — slices one request's trace out of a
+  merged Chrome trace and renders its latency waterfall
+  (``repro trace-request``).
 
 Quickstart::
 
@@ -62,18 +68,29 @@ from repro.obs.profile import (
     stage_profile,
     write_chrome_trace,
 )
+from repro.obs.request_trace import (
+    extract_request,
+    format_waterfall,
+    load_chrome_trace,
+    request_waterfall,
+    trace_ids,
+)
 from repro.obs.slo import (
     SloConfigError,
     SloMonitor,
     SloReport,
     SloRule,
     SloVerdict,
+    default_gateway_slos,
     default_serve_slos,
 )
 from repro.obs.trace import (
     NULL_SPAN,
+    NULL_TRACE,
     SpanRecord,
+    TraceContext,
     TraceRecorder,
+    new_trace_id,
     records_from_wire,
     records_to_wire,
 )
@@ -89,23 +106,32 @@ __all__ = [
     "MetricsError",
     "MetricsRegistry",
     "NULL_SPAN",
+    "NULL_TRACE",
     "SloConfigError",
     "SloMonitor",
     "SloReport",
     "SloRule",
     "SloVerdict",
     "SpanRecord",
+    "TraceContext",
     "TraceRecorder",
     "arch_chrome_trace",
+    "default_gateway_slos",
     "default_serve_slos",
+    "extract_request",
     "format_record",
+    "format_waterfall",
     "follow_log",
     "format_records",
     "layer_profile",
     "layer_profile_report",
+    "load_chrome_trace",
+    "new_trace_id",
     "read_log",
     "records_from_wire",
     "records_to_wire",
+    "request_waterfall",
     "stage_profile",
+    "trace_ids",
     "write_chrome_trace",
 ]

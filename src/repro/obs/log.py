@@ -74,6 +74,25 @@ def _level_rank(level: str) -> int:
         ) from None
 
 
+def _fields_match(
+    record: LogRecord, fields: Optional[Mapping[str, Any]]
+) -> bool:
+    """Subset match on a record's structured fields.
+
+    Values compare as strings so CLI-supplied filters (always strings)
+    match numeric field values; a record missing any requested key is
+    filtered out.
+    """
+    if not fields:
+        return True
+    for key, want in fields.items():
+        if key not in record.fields:
+            return False
+        if str(record.fields[key]) != str(want):
+            return False
+    return True
+
+
 @dataclass(frozen=True)
 class LogRecord(object):
     """One structured log record.
@@ -229,11 +248,15 @@ class EventLog(object):
         self,
         level: Optional[str] = None,
         event: Optional[str] = None,
+        fields: Optional[Mapping[str, Any]] = None,
     ) -> List[LogRecord]:
         """Retained records, oldest first, optionally filtered.
 
         ``level`` keeps records at or above that severity; ``event``
-        keeps records whose event name contains the substring.
+        keeps records whose event name contains the substring;
+        ``fields`` keeps records whose structured fields contain every
+        given key with a (string-)equal value — e.g.
+        ``fields={"tenant": "gold"}`` isolates one tenant's incidents.
         """
         with self._lock:
             out = list(self._buffer)
@@ -242,6 +265,8 @@ class EventLog(object):
             out = [r for r in out if _level_rank(r.level) >= rank]
         if event is not None:
             out = [r for r in out if event in r.event]
+        if fields:
+            out = [r for r in out if _fields_match(r, fields)]
         return out
 
     def close(self) -> None:
@@ -267,11 +292,14 @@ def read_log(
     path: str,
     level: Optional[str] = None,
     event: Optional[str] = None,
+    fields: Optional[Mapping[str, Any]] = None,
 ) -> List[LogRecord]:
     """Parse a JSON-lines event-log file, oldest first.
 
     ``level`` keeps records at or above that severity; ``event`` keeps
-    records whose event name contains the substring.  Blank and
+    records whose event name contains the substring; ``fields`` keeps
+    records whose structured fields match every given key/value (string
+    comparison — ``repro logs --tenant gold`` rides this).  Blank and
     non-JSON lines are skipped (a live file may have a torn last line).
     """
     rank = _level_rank(level) if level is not None else None
@@ -290,6 +318,8 @@ def read_log(
                 continue
             if event is not None and event not in record.event:
                 continue
+            if not _fields_match(record, fields):
+                continue
             out.append(record)
     return out
 
@@ -301,6 +331,7 @@ def follow_log(
     poll_s: float = 0.2,
     stop: Optional[threading.Event] = None,
     from_start: bool = False,
+    fields: Optional[Mapping[str, Any]] = None,
 ) -> "Iterator[LogRecord]":
     """Yield records appended to a live JSONL log, ``tail -f``-style.
 
@@ -308,6 +339,7 @@ def follow_log(
     file is waited for rather than an error (the writer may not have
     opened its sink yet), and a truncated/rotated file is reopened from
     the start.  ``level``/``event`` filter like :func:`read_log`.
+    ``fields`` subset-matches structured fields like :func:`read_log`.
     ``from_start`` replays existing content before streaming; the
     default starts at the current end of file.  Pass a
     ``threading.Event`` as ``stop`` to end the stream from another
@@ -348,6 +380,8 @@ def follow_log(
                     if rank is not None and _level_rank(record.level) < rank:
                         continue
                     if event is not None and event not in record.event:
+                        continue
+                    if not _fields_match(record, fields):
                         continue
                     yield record
                 continue

@@ -49,6 +49,7 @@ from repro.utils.tables import render_table
 __all__ = [
     "DEFAULT_K",
     "DEFAULT_TOLERANCE",
+    "TRACING_OVERHEAD_BUDGET",
     "GateReport",
     "GateVerdict",
     "PerfGateError",
@@ -64,6 +65,10 @@ DEFAULT_K = 3
 
 #: Relative slowdown allowed before a mode fails (0.30 = 30 %).
 DEFAULT_TOLERANCE = 0.30
+
+#: Advisory budget for wire-tracing overhead: the traced gateway soak
+#: should stay within this fraction of the untraced one's throughput.
+TRACING_OVERHEAD_BUDGET = 0.10
 
 
 class PerfGateError(ReproError):
@@ -125,6 +130,39 @@ class GateReport(object):
         """The failing verdicts only."""
         return [v for v in self.verdicts if not v.ok]
 
+    def tracing_overhead(self) -> Optional[Dict[str, Any]]:
+        """Advisory traced-vs-untraced gateway throughput comparison.
+
+        Compares the ``net-gateway-traced`` mode's frames/s against the
+        plain ``net-gateway`` mode's (re-run medians when available,
+        committed numbers otherwise).  Returns None unless both modes
+        were gated.  Advisory only — it never flips :attr:`ok` — but CI
+        surfaces it so a tracing hot path that creeps past
+        :data:`TRACING_OVERHEAD_BUDGET` is visible before it matters.
+        """
+        def _fps(mode: str) -> Optional[float]:
+            for v in self.verdicts:
+                if v.mode == mode:
+                    return (
+                        v.observed_fps
+                        if v.observed_fps is not None
+                        else v.baseline_fps
+                    )
+            return None
+
+        plain = _fps("net-gateway")
+        traced = _fps("net-gateway-traced")
+        if not plain or not traced:
+            return None
+        overhead = max(0.0, 1.0 - traced / plain)
+        return {
+            "plain_fps": plain,
+            "traced_fps": traced,
+            "overhead": overhead,
+            "budget": TRACING_OVERHEAD_BUDGET,
+            "ok": overhead < TRACING_OVERHEAD_BUDGET,
+        }
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready report."""
         return {
@@ -132,6 +170,7 @@ class GateReport(object):
             "k": self.k,
             "tolerance": self.tolerance,
             "verdicts": [v.to_dict() for v in self.verdicts],
+            "tracing_overhead": self.tracing_overhead(),
         }
 
     def report(self, title: str = "perf gate") -> str:
@@ -151,7 +190,7 @@ class GateReport(object):
                 ]
             )
         status = "PASS" if self.ok else "FAIL"
-        return render_table(
+        text = render_table(
             ["bench", "mode", "baseline fps", "observed fps", "ratio",
              "status"],
             rows,
@@ -160,6 +199,17 @@ class GateReport(object):
                 f"tolerance {self.tolerance:.0%})"
             ),
         )
+        overhead = self.tracing_overhead()
+        if overhead is not None:
+            text += (
+                f"\n\ntracing overhead (advisory): "
+                f"{overhead['overhead']:.1%} "
+                f"({overhead['traced_fps']:.1f} traced vs "
+                f"{overhead['plain_fps']:.1f} plain fps; budget "
+                f"{overhead['budget']:.0%}) — "
+                f"{'within budget' if overhead['ok'] else 'OVER BUDGET'}"
+            )
+        return text
 
 
 # ----------------------------------------------------------------------

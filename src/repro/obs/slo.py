@@ -48,6 +48,7 @@ __all__ = [
     "SloReport",
     "SloRule",
     "SloVerdict",
+    "default_gateway_slos",
     "default_serve_slos",
 ]
 
@@ -378,3 +379,42 @@ def default_serve_slos(
             ),
         ]
     )
+
+
+def default_gateway_slos(
+    p99_latency_s: float = 1.0,
+    error_rate: float = 0.05,
+    rejection_rate: float = 0.25,
+    tenants: Sequence[str] = (),
+) -> SloMonitor:
+    """The stock gateway (RED) objectives over the ``net_*`` namespace.
+
+    Global rules bound the error-frame rate and the pre-decode
+    rejection rate per received request (counter ratios aggregate over
+    every tenant).  For each name in ``tenants`` a per-tenant p99 rule
+    is added on ``net_request_latency_seconds`` — the histogram is
+    tenant-labelled, so latency objectives are inherently per-tenant
+    (a noisy neighbour fails *its* rule, not a blurred global one).
+    ``repro top`` discovers the tenant list from the live registry and
+    rebuilds this monitor per refresh.
+    """
+    rules: List[Any] = [
+        SloRule(
+            metric="net_errors_total", per="net_requests_total",
+            op="<", threshold=error_rate, name="net_error_rate",
+        ),
+        SloRule(
+            metric="net_rejected_total", per="net_requests_total",
+            op="<", threshold=rejection_rate, name="net_rejection_rate",
+        ),
+    ]
+    for tenant in tenants:
+        rules.append(
+            SloRule(
+                metric="net_request_latency_seconds", stat="p99",
+                op="<", threshold=p99_latency_s,
+                labels=(("tenant", tenant),),
+                name=f"net_latency_p99[{tenant}]",
+            )
+        )
+    return SloMonitor(rules)

@@ -32,6 +32,7 @@ import itertools
 import json
 import threading
 import time
+import uuid
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
@@ -40,11 +41,46 @@ from repro.utils.tables import render_table
 
 __all__ = [
     "SpanRecord",
+    "TraceContext",
     "TraceRecorder",
     "NULL_SPAN",
+    "NULL_TRACE",
+    "new_trace_id",
     "records_to_wire",
     "records_from_wire",
 ]
+
+
+@dataclass(frozen=True)
+class TraceContext(object):
+    """Wire-portable trace coordinates for one hop of a request.
+
+    ``trace_id`` names the whole distributed request (one id from the
+    first client span to the last worker span); ``span_id`` is the
+    sender's span at this hop, i.e. the *parent* the receiver should
+    hang its own spans under.  Both travel as u64s on protocol-v2
+    frames when ``FLAG_TRACE`` is negotiated; ``(0, 0)`` means "no
+    context" and is falsy.
+    """
+
+    trace_id: int
+    span_id: int
+
+    def __bool__(self) -> bool:
+        return bool(self.trace_id)
+
+
+#: The absent trace context (what an untraced hop puts on the wire).
+NULL_TRACE = TraceContext(0, 0)
+
+
+def new_trace_id() -> int:
+    """A fresh nonzero u64 trace id.
+
+    uuid4-derived, so ids stay collision-free across clients, processes
+    and (eventually) hosts without any coordination.
+    """
+    return (uuid.uuid4().int >> 64) or 1
 
 
 @dataclass(frozen=True)
@@ -111,6 +147,10 @@ class _NullSpan(object):
 
 #: The singleton no-op span (also usable as an explicit placeholder).
 NULL_SPAN = _NullSpan()
+
+#: Sentinel distinguishing "parent not given" from "parent is None
+#: (top-level)" in :meth:`TraceRecorder.complete`.
+_UNSET = object()
 
 
 class _Span(object):
@@ -216,32 +256,60 @@ class TraceRecorder(object):
             )
         )
 
-    def complete(self, name: str, start_s: float, **labels: Any) -> None:
+    def complete(
+        self,
+        name: str,
+        start_s: float,
+        span_id: Optional[int] = None,
+        parent_id: Any = _UNSET,
+        **labels: Any,
+    ) -> None:
         """Record a span measured externally (explicit start instant).
 
         ``start_s`` is an *absolute* ``time.perf_counter()`` reading
         taken by the caller before the work; the end instant is "now".
         Hot loops use this to avoid per-span context-manager overhead
         while still attributing wall time.
+
+        ``span_id`` lets a caller pre-allocate the id (via
+        :meth:`allocate_span_id`) so children can reference a parent
+        *before* the parent span is committed — the shape of every
+        async request span, where children finish first.  ``parent_id``
+        overrides the thread-local stack (pass ``None`` for an explicit
+        top-level span); distributed request spans use it to hang under
+        a remote peer's span instead of whatever this thread happens to
+        have open.
         """
         if not self.enabled:
             return
         end = time.perf_counter() - self.epoch
         stack = self._stack()
-        parent = stack[-1] if stack else None
+        if parent_id is _UNSET:
+            parent = stack[-1] if stack else None
+            parent_id = parent.span_id if parent is not None else None
         self._append(
             SpanRecord(
                 name=name,
                 start_s=start_s - self.epoch,
                 end_s=end,
                 kind="span",
-                span_id=next(self._ids),
-                parent_id=parent.span_id if parent is not None else None,
+                span_id=span_id if span_id is not None else next(self._ids),
+                parent_id=parent_id,
                 depth=len(stack),
                 thread_id=threading.get_ident(),
                 labels=tuple(sorted(labels.items())),
             )
         )
+
+    def allocate_span_id(self) -> int:
+        """Reserve a span id ahead of the span's :meth:`complete` call.
+
+        Async request handling records children before the enclosing
+        request span exists; pre-allocating the parent id (and passing
+        it to both sides) keeps the tree intact regardless of commit
+        order.
+        """
+        return next(self._ids)
 
     def current_span_id(self) -> Optional[int]:
         """Id of the innermost open span on this thread, or None.

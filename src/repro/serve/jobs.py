@@ -11,11 +11,14 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.decoder.result import DecodeResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import TraceContext
 
 _JOB_IDS = itertools.count()
 
@@ -54,6 +57,16 @@ class DecodeJob(object):
         Optional per-job iteration cap; ``None`` means the engine's
         configured budget.  The load-shedding policy lowers this under
         overload so the service degrades accuracy before availability.
+    trace:
+        Optional :class:`~repro.obs.trace.TraceContext` inherited from
+        the submitter (ultimately the wire client); the worker loop
+        records its queue-wait/decode spans under it so one distributed
+        trace id spans client → gateway → shard → worker.
+    dispatched_at:
+        ``time.monotonic()`` instant a worker pulled the job off its
+        shard queue (set by the worker loop; None until then).  The
+        enqueue→dispatch delta is the queue-wait segment of the
+        request waterfall.
     """
 
     llrs: np.ndarray
@@ -64,6 +77,8 @@ class DecodeJob(object):
     max_retries: int = 0
     attempts: int = 0
     iteration_budget: Optional[int] = None
+    trace: "Optional[TraceContext]" = None
+    dispatched_at: Optional[float] = None
 
     @property
     def expired(self) -> bool:

@@ -91,7 +91,7 @@ from repro.serve.shedding import LoadShedPolicy, StepShedPolicy
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.log import EventLog
     from repro.obs.slo import SloMonitor, SloReport
-    from repro.obs.trace import TraceRecorder
+    from repro.obs.trace import TraceContext, TraceRecorder
 
 __all__ = ["DecodeService", "ServiceHealth", "ShardHealth"]
 
@@ -749,6 +749,7 @@ class DecodeService(object):
         deadline_s: Optional[float] = None,
         max_retries: Optional[int] = None,
         iteration_budget: Optional[int] = None,
+        trace: "Optional[TraceContext]" = None,
     ) -> "Future[CompletedJob]":
         """Enqueue one frame; returns a future of :class:`CompletedJob`.
 
@@ -777,6 +778,12 @@ class DecodeService(object):
             Optional caller-imposed iteration cap (e.g. a gateway
             priority class); the effective budget is the tighter of this
             and the load-shedding policy's.
+        trace:
+            Optional distributed :class:`~repro.obs.trace.TraceContext`
+            (trace id + parent span id).  The worker loop records the
+            job's queue-wait and decode segments as spans under that
+            parent, so a gateway-submitted frame shows up in the same
+            Chrome trace as its wire request.
         """
         if self._closing.is_set():
             self.metrics.frame_rejected()
@@ -800,6 +807,7 @@ class DecodeService(object):
                 self.default_max_retries if max_retries is None else max_retries
             ),
             iteration_budget=shed,
+            trace=trace,
         )
         future: "Future[CompletedJob]" = Future()
         item = (job, future)
@@ -858,6 +866,47 @@ class DecodeService(object):
             self.recorder.event(name, **labels)
         if self.log is not None:
             self.log.log(_EVENT_LEVELS.get(name, "info"), name, **labels)
+
+    # ------------------------------------------------------------------
+    # distributed-trace spans
+    # ------------------------------------------------------------------
+    def _trace_queue_wait(self, shard: _Shard, job: DecodeJob) -> None:
+        """Record the enqueue→dispatch wait as a span under the job's trace."""
+        rec = self.recorder
+        if rec is None or not rec.enabled or job.trace is None:
+            return
+        if job.dispatched_at is None:  # pragma: no cover - set by caller
+            return
+        wait_s = max(0.0, job.dispatched_at - job.enqueued_at)
+        rec.complete(
+            "pool.queue_wait",
+            time.perf_counter() - wait_s,
+            parent_id=job.trace.span_id,
+            trace=job.trace.trace_id,
+            job=job.job_id,
+            shard=shard.key,
+        )
+
+    def _trace_decode(self, shard: _Shard, done: CompletedJob) -> None:
+        """Record the dispatch→retire decode segment under the job's trace."""
+        rec = self.recorder
+        job = done.job
+        if rec is None or not rec.enabled or job.trace is None:
+            return
+        start = job.dispatched_at
+        if start is None:
+            start = job.enqueued_at
+        decode_s = max(0.0, done.completed_at - start)
+        rec.complete(
+            "job.decode",
+            time.perf_counter() - decode_s,
+            parent_id=job.trace.span_id,
+            trace=job.trace.trace_id,
+            job=job.job_id,
+            shard=shard.key,
+            converged=done.result.converged,
+            iterations=done.result.iterations,
+        )
 
     def _check_shard_alive(self, shard: _Shard) -> None:
         if shard.stopping.is_set():
@@ -1019,7 +1068,9 @@ class DecodeService(object):
                     self.metrics.frame_errored()
                     future.set_exception(exc)
                     continue
+                job.dispatched_at = time.monotonic()
                 self._event("pool.dispatch", shard=shard.key, job=job.job_id)
+                self._trace_queue_wait(shard, job)
                 shard.futures[job.job_id] = (job, future)
             if engine.in_flight == 0:
                 if (
@@ -1033,6 +1084,7 @@ class DecodeService(object):
                 for done in completed:
                     item = shard.futures.pop(done.job_id, None)
                     if item is not None:
+                        self._trace_decode(shard, done)
                         item[1].set_result(done)
                 if completed:
                     # forward progress (frames actually retired): clear

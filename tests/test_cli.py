@@ -481,3 +481,105 @@ class TestLogsFollowFlag:
         assert args.follow
         args = build_parser().parse_args(["logs", "x.jsonl", "-f"])
         assert args.follow
+
+
+class TestObservabilityCommands:
+    def _trace_doc(self, tmp_path):
+        events = [
+            {"name": "client.request", "ph": "X", "pid": 1, "tid": 1,
+             "ts": 0.0, "dur": 8000.0, "args": {"trace": 77, "job": 5}},
+            {"name": "gateway.request", "ph": "X", "pid": 2, "tid": 1,
+             "ts": 1000.0, "dur": 6000.0,
+             "args": {"trace": 77, "job": 5, "admission_s": 0.001,
+                      "queue_wait_s": 0.002, "decode_s": 0.002,
+                      "respond_s": 0.001, "total_s": 0.006}},
+        ]
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"traceEvents": events}))
+        return str(path)
+
+    def test_trace_request_list(self, tmp_path, capsys):
+        assert main(["trace-request", self._trace_doc(tmp_path),
+                     "--list"]) == 0
+        assert capsys.readouterr().out.strip() == "77"
+
+    def test_trace_request_waterfall_by_job(self, tmp_path, capsys):
+        rc = main(["trace-request", self._trace_doc(tmp_path),
+                   "--job-id", "5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "trace 77" in out
+        for seg in ("wire", "admission", "queue_wait", "decode",
+                    "respond"):
+            assert seg in out
+
+    def test_trace_request_json_and_slice(self, tmp_path, capsys):
+        out_path = tmp_path / "slice.json"
+        rc = main(["trace-request", self._trace_doc(tmp_path),
+                   "--trace-id", "77", "--json", "-o", str(out_path)])
+        assert rc == 0
+        waterfall = json.loads(capsys.readouterr().out)
+        assert waterfall["trace_id"] == 77
+        assert waterfall["segments"]["wire"] > 0
+        sliced = json.loads(out_path.read_text())
+        assert len(sliced["traceEvents"]) == 2
+
+    def test_trace_request_unknown_id_exits_2(self, tmp_path, capsys):
+        rc = main(["trace-request", self._trace_doc(tmp_path),
+                   "--trace-id", "999"])
+        assert rc == 2
+        assert "999" in capsys.readouterr().err
+
+    def test_trace_request_missing_file_exits_2(self, tmp_path, capsys):
+        rc = main(["trace-request", str(tmp_path / "absent.json")])
+        assert rc == 2
+
+    def test_top_parser_defaults(self):
+        args = build_parser().parse_args(["top"])
+        assert args.port == 7208 and not args.once and not args.json
+
+    def test_top_unreachable_endpoint_exits_2(self, capsys):
+        rc = main(["top", "--once", "--endpoint", "127.0.0.1:1",
+                   "--interval", "0.01"])
+        assert rc == 2
+        assert "top:" in capsys.readouterr().err
+
+    def test_obs_report_unreachable_endpoint_exits_2(self, capsys):
+        rc = main(["obs-report", "--endpoint", "127.0.0.1:1"])
+        assert rc == 2
+        assert "endpoint" in capsys.readouterr().err
+
+    def test_logs_field_filters(self, tmp_path, capsys):
+        from repro.obs.log import EventLog
+
+        path = str(tmp_path / "log.jsonl")
+        log = EventLog(path=path)
+        log.info("net.request", tenant="gold", code_id="a")
+        log.info("net.request", tenant="free", code_id="b")
+        log.info("scale.up", code_id="a")
+        log.close()
+        rc = main(["logs", path, "--tenant", "gold", "--json"])
+        assert rc == 0
+        lines = [json.loads(l) for l in
+                 capsys.readouterr().out.strip().splitlines()]
+        assert len(lines) == 1
+        assert lines[0]["fields"]["tenant"] == "gold"
+        rc = main(["logs", path, "--code-id", "a", "--json"])
+        lines = [json.loads(l) for l in
+                 capsys.readouterr().out.strip().splitlines()]
+        assert rc == 0
+        assert {l["event"] for l in lines} == {"net.request", "scale.up"}
+
+    def test_net_soak_trace_flags_parse(self):
+        args = build_parser().parse_args(
+            ["net-soak", "--trace", "--top-out", "t.json"]
+        )
+        assert args.trace and args.top_out == "t.json"
+        args = build_parser().parse_args(["net-soak"])
+        assert not args.trace and args.top_out == ""
+
+    def test_net_serve_obs_port_parses(self):
+        args = build_parser().parse_args(["net-serve", "--obs-port", "0"])
+        assert args.obs_port == 0
+        args = build_parser().parse_args(["net-serve"])
+        assert args.obs_port is None

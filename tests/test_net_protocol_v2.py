@@ -166,10 +166,15 @@ class TestHello:
         assert hello.flags == CLIENT_FLAGS
 
     def test_flag_bits_are_distinct(self):
-        assert FLAG_CRC32C & FLAG_HEARTBEAT == 0
-        assert FLAG_CRC32C & FLAG_IDEMPOTENCY == 0
-        assert FLAG_HEARTBEAT & FLAG_IDEMPOTENCY == 0
-        assert CLIENT_FLAGS == FLAG_CRC32C | FLAG_HEARTBEAT | FLAG_IDEMPOTENCY
+        from repro.net.protocol import FLAG_TRACE
+
+        flags = (FLAG_CRC32C, FLAG_HEARTBEAT, FLAG_IDEMPOTENCY, FLAG_TRACE)
+        for i, a in enumerate(flags):
+            for b in flags[i + 1:]:
+                assert a & b == 0
+        assert CLIENT_FLAGS == (
+            FLAG_CRC32C | FLAG_HEARTBEAT | FLAG_IDEMPOTENCY | FLAG_TRACE
+        )
 
     def test_version_constants(self):
         assert VERSION == V2

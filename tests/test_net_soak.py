@@ -128,3 +128,73 @@ def test_acceptance_500_connection_soak():
     # nothing silently vanished: every sent frame is accounted for
     for stats in tenants.values():
         assert stats["failed"] == 0
+
+
+class TestTracedSoak:
+    def test_traced_mode_verifies_every_chain(self, tmp_path):
+        cfg = SoakConfig(
+            connections=8,
+            peak_frames_per_conn=2,
+            phases=(("peak", 1.0, 0.8),),
+            inject_crash=False,
+            max_shards=1,
+            shrink_wait_s=0.0,
+            seed=3,
+            trace=True,
+        )
+        trace_path = str(tmp_path / "traced.json")
+        top_path = str(tmp_path / "top.json")
+        report = run_net_soak(
+            cfg, trace_path=trace_path, top_path=top_path
+        )
+        (mode,) = report["modes"]
+        assert mode["mode"] == "net-gateway-traced"
+        verify = report["trace_verify"]
+        assert verify is not None and verify["ok"]
+        assert verify["checked"] > 0
+        assert verify["broken"] == 0 and verify["broken_ids"] == []
+
+        # the merged Chrome trace slices into per-request waterfalls
+        from repro.obs.request_trace import (
+            extract_request,
+            load_chrome_trace,
+            request_waterfall,
+            trace_ids,
+        )
+
+        doc = load_chrome_trace(trace_path)
+        ids = trace_ids(doc)
+        assert len(ids) >= verify["checked"]
+        waterfalls = [
+            request_waterfall(extract_request(doc, trace_id=t))
+            for t in ids[:4]
+        ]
+        assert any(
+            {"queue_wait", "decode"} <= set(w["segments"])
+            for w in waterfalls
+        )
+
+        # the end-of-run top snapshot carries the exact RED counters
+        import json
+
+        with open(top_path) as handle:
+            status = json.load(handle)
+        assert status["schema_version"] == 1
+        total_requests = sum(
+            row["requests"] for row in status["tenants"].values()
+        )
+        assert total_requests >= mode["frames"]
+
+    def test_untraced_report_has_no_trace_verify(self):
+        cfg = SoakConfig(
+            connections=4,
+            peak_frames_per_conn=1,
+            phases=(("peak", 1.0, 0.5),),
+            inject_crash=False,
+            max_shards=1,
+            shrink_wait_s=0.0,
+            seed=4,
+        )
+        report = run_net_soak(cfg)
+        assert report["trace_verify"] is None
+        assert report["modes"][0]["mode"] == "net-gateway"

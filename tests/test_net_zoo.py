@@ -246,3 +246,45 @@ class TestHarqSession:
         assert max(snrs) <= config.snr_max_db
         for rung in config.ladder[1:]:
             assert max(snrs) >= rung.min_snr_db
+
+
+class TestHarqSwitchLogging:
+    _gateway = TestHarqSession._gateway
+    _teardown = TestHarqSession._teardown
+
+    def test_rung_switches_land_in_event_log_with_labels(self):
+        from repro.obs.log import EventLog
+
+        ladder = (
+            HarqRung("wimax-r12-576", min_snr_db=-1e9),
+            HarqRung("wifi-r23-648", min_snr_db=3.2),
+            HarqRung("wimax-r56-2304", min_snr_db=4.6),
+        )
+        service = DecodeService.from_registry(
+            [r.code_id for r in ladder], batch_size=8,
+            max_iterations=MAX_ITER, kernel="fused", queue_capacity=64,
+        )
+        log = EventLog()
+        try:
+            loop, gateway, host, port = self._gateway(service)
+            try:
+                report = run_harq_session(
+                    host, port,
+                    HarqConfig(ladder=ladder, frames=36, seed=7,
+                               tenant="gold"),
+                    log=log,
+                )
+            finally:
+                self._teardown(loop, gateway)
+        finally:
+            service.close()
+
+        switches = log.records(event="harq.switch")
+        assert len(switches) == report.switches
+        for record in switches:
+            # tenant + code_id labels make `repro logs --tenant/--code-id`
+            # isolate one stream's adaptation history
+            assert record.fields["tenant"] == "gold"
+            assert record.fields["code_id"] in {r.code_id for r in ladder}
+            assert record.fields["from_code"] != record.fields["code_id"]
+            assert "snr_db" in record.fields and "frame" in record.fields

@@ -229,3 +229,60 @@ class TestProcessServiceTelemetry(object):
         for a, b in zip(outputs["thread"], outputs["process"]):
             np.testing.assert_array_equal(a.result.bits, b.result.bits)
             assert a.result.iterations == b.result.iterations
+
+
+class TestOffsetClamp(object):
+    """A stale child flush must never shift spans to negative time."""
+
+    def _stub(self, recorder):
+        from repro.accel.procpool import ProcessEngineProxy
+
+        class Stub(object):
+            pass
+
+        stub = Stub()
+        stub.recorder = recorder
+        stub.metrics = ServeMetrics()
+        stub.log = None
+        stub._shard_label = "s0"
+        stub.batch_size = 4
+        return ProcessEngineProxy._merge_telemetry.__get__(stub)
+
+    def test_stale_child_epoch_clamps_to_zero(self):
+        child = TraceRecorder()
+        with child.span("engine.step", batch=2):
+            pass
+        parent = TraceRecorder()
+        merge = self._stub(parent)
+        # a child forked before this parent recorder existed (shard
+        # restart swapped a fresh one in): naive offset would be < 0
+        merge({
+            "spans": records_to_wire(child.drain()),
+            "wall_epoch": parent.wall_epoch() - 5.0,
+            "pid": 4242, "steps": 0, "slot_iterations": 0,
+        })
+        step = parent.by_name("engine.step")[0]
+        assert step.start_s >= 0.0
+        assert step.end_s >= step.start_s
+        # Chrome's viewer silently drops negative-ts events; the export
+        # must keep the span visible
+        events = [
+            ev for ev in parent.to_chrome_trace()["traceEvents"]
+            if ev.get("ph") == "X"
+        ]
+        assert events and all(ev["ts"] >= 0 for ev in events)
+
+    def test_normal_offset_still_applies(self):
+        parent = TraceRecorder()
+        child = TraceRecorder()
+        with child.span("engine.step", batch=2):
+            pass
+        shipped = child.drain()
+        merge = self._stub(parent)
+        merge({
+            "spans": records_to_wire(shipped),
+            "wall_epoch": parent.wall_epoch() + 3.0,
+            "pid": 4242, "steps": 0, "slot_iterations": 0,
+        })
+        step = parent.by_name("engine.step")[0]
+        assert step.start_s == pytest.approx(shipped[0].start_s + 3.0)

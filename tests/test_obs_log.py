@@ -270,3 +270,84 @@ class TestFollowLog(object):
         records = list(follow_log(path, poll_s=0.01, stop=stop,
                                   from_start=True))
         assert [r.event for r in records] == ["only"]
+
+
+class TestFieldsFilter(object):
+    """--tenant / --code-id style subset matching on record fields."""
+
+    def _log(self, tmp_path):
+        path = str(tmp_path / "fields.jsonl")
+        log = EventLog(path=path)
+        log.info("net.request", tenant="gold", code_id="wimax", job=1)
+        log.info("net.request", tenant="free", code_id="wifi", job=2)
+        log.info("harq.switch", tenant="gold", code_id="wifi", frame=3)
+        log.info("scale.up", code_id="grp")  # no tenant field at all
+        log.close()
+        return path
+
+    def test_single_field_subset_match(self, tmp_path):
+        path = self._log(tmp_path)
+        records = read_log(path, fields={"tenant": "gold"})
+        assert [r.event for r in records] == ["net.request", "harq.switch"]
+
+    def test_conjunction_of_fields(self, tmp_path):
+        path = self._log(tmp_path)
+        records = read_log(
+            path, fields={"tenant": "gold", "code_id": "wifi"}
+        )
+        assert [r.event for r in records] == ["harq.switch"]
+
+    def test_missing_field_never_matches(self, tmp_path):
+        path = self._log(tmp_path)
+        records = read_log(path, fields={"tenant": "gold"})
+        assert all(r.event != "scale.up" for r in records)
+
+    def test_values_compare_as_strings(self, tmp_path):
+        # CLI args arrive as strings; numeric fields must still match
+        path = self._log(tmp_path)
+        records = read_log(path, fields={"job": "2"})
+        assert [r.fields["tenant"] for r in records] == ["free"]
+
+    def test_combines_with_level_and_event(self, tmp_path):
+        path = self._log(tmp_path)
+        records = read_log(
+            path, event="net.request", fields={"tenant": "gold"}
+        )
+        assert len(records) == 1 and records[0].fields["job"] == 1
+
+    def test_empty_fields_is_no_filter(self, tmp_path):
+        path = self._log(tmp_path)
+        assert len(read_log(path, fields={})) == 4
+        assert len(read_log(path, fields=None)) == 4
+
+    def test_follow_log_honours_fields(self, tmp_path):
+        import threading
+
+        path = str(tmp_path / "stream.jsonl")
+        log = EventLog(path=path)
+        log.info("net.request", tenant="gold")
+        log.close()
+        got = []
+        stop = threading.Event()
+
+        def run():
+            for record in follow_log(
+                path, fields={"tenant": "gold"}, from_start=True,
+                poll_s=0.01, stop=stop,
+            ):
+                got.append(record)
+                if len(got) >= 2:
+                    break
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        with open(path, "a") as handle:
+            for tenant in ("free", "gold"):
+                handle.write(json.dumps({
+                    "ts": time.time(), "level": "info",
+                    "event": "net.request", "fields": {"tenant": tenant},
+                }) + "\n")
+        thread.join(timeout=5.0)
+        stop.set()
+        assert len(got) == 2
+        assert all(r.fields["tenant"] == "gold" for r in got)

@@ -1,0 +1,121 @@
+"""Per-request trace extraction and the latency waterfall."""
+
+import pytest
+
+from repro.obs.request_trace import (
+    TraceLookupError,
+    extract_request,
+    format_waterfall,
+    load_chrome_trace,
+    request_waterfall,
+    trace_ids,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def _span(name, trace, pid=1, tid=1, ts=0.0, dur=1000.0, **args):
+    args["trace"] = trace
+    return {
+        "name": name, "ph": "X", "pid": pid, "tid": tid,
+        "ts": ts, "dur": dur, "args": args,
+    }
+
+
+def _doc():
+    """Two interleaved traces plus process metadata rows."""
+    events = [
+        # trace 11: full chain with waterfall labels
+        _span("client.request", 11, pid=1, ts=0.0, dur=10_000.0, job=3),
+        _span("gateway.request", 11, pid=2, ts=1_000.0, dur=8_000.0,
+              job=3, admission_s=0.0005, queue_wait_s=0.002,
+              decode_s=0.004, respond_s=0.0005, total_s=0.008),
+        _span("job.decode", 11, pid=2, tid=7, ts=3_000.0, dur=4_000.0),
+        # trace 22: gateway-only (client recorder was off)
+        _span("gateway.request", 22, pid=2, ts=50_000.0, dur=5_000.0,
+              job=9, decode_s=0.003),
+        # an untraced span must never leak into a slice
+        {"name": "engine.step", "ph": "X", "pid": 2, "tid": 1,
+         "ts": 0.0, "dur": 10.0, "args": {}},
+        {"name": "process_name", "ph": "M", "pid": 1,
+         "args": {"name": "client"}},
+        {"name": "process_name", "ph": "M", "pid": 2,
+         "args": {"name": "gateway"}},
+        {"name": "process_name", "ph": "M", "pid": 3,
+         "args": {"name": "unrelated"}},
+    ]
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+class TestExtract:
+    def test_trace_ids_enumerates_distinct(self):
+        assert trace_ids(_doc()) == [11, 22]
+
+    def test_extract_by_trace_id_keeps_owned_metadata(self):
+        doc = extract_request(_doc(), trace_id=11)
+        names = [e["name"] for e in doc["traceEvents"]]
+        assert names.count("client.request") == 1
+        assert names.count("gateway.request") == 1
+        assert "engine.step" not in names
+        # metadata rows only for pids that still own events
+        meta_pids = {
+            e["pid"] for e in doc["traceEvents"] if e["ph"] == "M"
+        }
+        assert meta_pids == {1, 2}
+        assert doc["trace_id"] == 11
+
+    def test_extract_by_job_id_resolves_via_client_span(self):
+        assert extract_request(_doc(), job_id=3)["trace_id"] == 11
+        # job 9 only has a gateway-side span; the fallback finds it
+        assert extract_request(_doc(), job_id=9)["trace_id"] == 22
+
+    def test_lookup_errors(self):
+        with pytest.raises(TraceLookupError):
+            extract_request(_doc())  # neither selector
+        with pytest.raises(TraceLookupError):
+            extract_request(_doc(), trace_id=11, job_id=3)  # both
+        with pytest.raises(TraceLookupError):
+            extract_request(_doc(), trace_id=999)
+        with pytest.raises(TraceLookupError):
+            extract_request(_doc(), job_id=999)
+
+    def test_load_round_trip(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(_doc()))
+        assert trace_ids(load_chrome_trace(str(path))) == [11, 22]
+
+
+class TestWaterfall:
+    def test_segments_ordered_and_wire_derived(self):
+        wf = request_waterfall(extract_request(_doc(), trace_id=11))
+        assert wf["trace_id"] == 11
+        assert wf["total_s"] == pytest.approx(0.010)
+        assert list(wf["segments"]) == [
+            "wire", "admission", "queue_wait", "decode", "respond",
+        ]
+        # wire = client dur - gateway dur, both ends measured locally
+        assert wf["segments"]["wire"] == pytest.approx(0.002)
+        assert wf["segments"]["decode"] == pytest.approx(0.004)
+
+    def test_gateway_only_trace_still_yields_splits(self):
+        wf = request_waterfall(extract_request(_doc(), trace_id=22))
+        assert wf["total_s"] == pytest.approx(0.005)
+        assert list(wf["segments"]) == ["decode"]
+        assert "wire" not in wf["segments"]
+
+    def test_format_renders_bars_and_shares(self):
+        wf = request_waterfall(extract_request(_doc(), trace_id=11))
+        text = format_waterfall(wf)
+        assert "trace 11" in text
+        for name in ("wire", "admission", "queue_wait", "decode",
+                     "respond"):
+            assert name in text
+        assert "#" in text
+
+    def test_format_handles_empty_segments(self):
+        text = format_waterfall(
+            {"trace_id": 5, "total_s": 0.0, "segments": {}, "spans": 0}
+        )
+        assert "no waterfall segments" in text

@@ -193,3 +193,79 @@ class TestDefaultServeSlos(object):
         assert by_name["serve_latency_p99"].status == "pass"
         assert by_name["serve_crash_rate"].status == "pass"
         assert by_name["serve_error_rate"].status == "pass"
+
+
+class TestDefaultGatewaySlos(object):
+    def _metrics(self):
+        from repro.net.metrics import NetMetrics
+
+        return NetMetrics()
+
+    def test_fresh_registry_is_unknown(self):
+        from repro.obs.slo import default_gateway_slos
+
+        report = default_gateway_slos().evaluate(self._metrics().registry)
+        assert report.status == "unknown"
+        assert all(v.status == "unknown" for v in report.verdicts)
+
+    def test_healthy_gateway_passes(self):
+        from repro.obs.slo import default_gateway_slos
+
+        metrics = self._metrics()
+        for _ in range(20):
+            metrics.request("gold")
+            metrics.result("gold", 0.01)
+        report = default_gateway_slos(tenants=("gold",)).evaluate(
+            metrics.registry
+        )
+        assert report.status == "pass"
+        names = {v.rule.name for v in report.verdicts}
+        assert "net_error_rate" in names
+        assert "net_rejection_rate" in names
+        assert "net_latency_p99[gold]" in names
+
+    def test_error_rate_breach_fails(self):
+        from repro.obs.slo import default_gateway_slos
+
+        metrics = self._metrics()
+        for _ in range(10):
+            metrics.request("gold")
+            metrics.result("gold", 0.01)
+        metrics.error("gold", "ServeError")
+        report = default_gateway_slos(
+            error_rate=0.05, tenants=("gold",)
+        ).evaluate(metrics.registry)
+        assert report.status == "fail"
+        failing = [v.rule.name for v in report.verdicts
+                   if v.status == "fail"]
+        assert failing == ["net_error_rate"]
+
+    def test_per_tenant_latency_rules_are_isolated(self):
+        from repro.obs.slo import default_gateway_slos
+
+        metrics = self._metrics()
+        for _ in range(10):
+            metrics.request("gold")
+            metrics.result("gold", 0.001)
+            metrics.request("free")
+            metrics.result("free", 30.0)
+        report = default_gateway_slos(
+            p99_latency_s=1.0, tenants=("gold", "free")
+        ).evaluate(metrics.registry)
+        by_name = {v.rule.name: v.status for v in report.verdicts}
+        assert by_name["net_latency_p99[gold]"] == "pass"
+        assert by_name["net_latency_p99[free]"] == "fail"
+
+    def test_rejection_rate_uses_aggregate_counters(self):
+        from repro.obs.slo import default_gateway_slos
+
+        metrics = self._metrics()
+        for _ in range(4):
+            metrics.request("free")
+        for _ in range(3):
+            metrics.rejected("free", "quota")
+        report = default_gateway_slos(rejection_rate=0.25).evaluate(
+            metrics.registry
+        )
+        by_name = {v.rule.name: v.status for v in report.verdicts}
+        assert by_name["net_rejection_rate"] == "fail"
